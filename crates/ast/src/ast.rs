@@ -1,0 +1,604 @@
+//! The abstract syntax tree for the JS-CERES JavaScript subset.
+//!
+//! The subset is roughly ES5 minus `with`, labels, getters/setters, regex
+//! literals and automatic semicolon insertion — enough to express the 12
+//! case-study workloads and the instrumentation the rewriter injects.
+//!
+//! Every loop statement carries a [`LoopId`] assigned by
+//! [`crate::numbering::assign_loop_ids`]; ids are stable across a
+//! parse → instrument → codegen → parse round trip because the numbering
+//! pass walks the tree in source order.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for a *syntactic* loop, unique within a program.
+///
+/// `LoopId(0)` means "not yet assigned".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Sentinel for loops that have not been numbered yet.
+    pub const UNASSIGNED: LoopId = LoopId(0);
+
+    /// True when the numbering pass has not visited this loop.
+    pub fn is_unassigned(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A parsed program: a list of top-level statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn empty() -> Self {
+        Program { body: Vec::new() }
+    }
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+
+    /// A synthesized statement (no source location).
+    pub fn synth(kind: StmtKind) -> Self {
+        Stmt { kind, span: Span::SYNTHETIC }
+    }
+}
+
+/// One `name = init` element of a `var` declaration list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDeclarator {
+    pub name: String,
+    pub init: Option<Expr>,
+    pub span: Span,
+}
+
+/// A named function declaration (`function f(a, b) { ... }`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncDecl {
+    pub name: String,
+    pub func: Func,
+}
+
+/// The shared shape of function declarations and function expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Func {
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A `case`/`default` clause of a `switch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCase {
+    /// `None` for `default:`.
+    pub test: Option<Expr>,
+    pub body: Vec<Stmt>,
+}
+
+/// `catch (name) { ... }` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatchClause {
+    pub param: String,
+    pub body: Vec<Stmt>,
+}
+
+/// Initializer of a C-style `for` loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForInit {
+    /// `for (var i = 0, j = 1; ...)`
+    VarDecl(Vec<VarDeclarator>),
+    /// `for (i = 0; ...)`
+    Expr(Expr),
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// An expression statement, e.g. `f(x);`.
+    Expr(Expr),
+    /// `var a = 1, b;` — *function-scoped*, hoisted by the interpreter.
+    VarDecl(Vec<VarDeclarator>),
+    /// `function f(...) { ... }` — hoisted.
+    Func(FuncDecl),
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `if (c) t else e`
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        alt: Option<Box<Stmt>>,
+    },
+    /// `while (c) body`
+    While {
+        loop_id: LoopId,
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    /// `do body while (c);`
+    DoWhile {
+        loop_id: LoopId,
+        body: Box<Stmt>,
+        cond: Expr,
+    },
+    /// `for (init; cond; update) body`
+    For {
+        loop_id: LoopId,
+        init: Option<ForInit>,
+        cond: Option<Expr>,
+        update: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    /// `for (var k in obj) body` / `for (k in obj) body`
+    ForIn {
+        loop_id: LoopId,
+        decl: bool,
+        var: String,
+        object: Expr,
+        body: Box<Stmt>,
+    },
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `throw e;`
+    Throw(Expr),
+    /// `try { ... } catch (e) { ... } finally { ... }`
+    Try {
+        block: Vec<Stmt>,
+        catch: Option<CatchClause>,
+        finally: Option<Vec<Stmt>>,
+    },
+    /// `switch (d) { case a: ... default: ... }`
+    Switch {
+        disc: Expr,
+        cases: Vec<SwitchCase>,
+    },
+    /// `;`
+    Empty,
+}
+
+impl StmtKind {
+    /// The loop id if this is a loop statement.
+    pub fn loop_id(&self) -> Option<LoopId> {
+        match self {
+            StmtKind::While { loop_id, .. }
+            | StmtKind::DoWhile { loop_id, .. }
+            | StmtKind::For { loop_id, .. }
+            | StmtKind::ForIn { loop_id, .. } => Some(*loop_id),
+            _ => None,
+        }
+    }
+
+    /// True for the four loop forms.
+    pub fn is_loop(&self) -> bool {
+        self.loop_id().is_some()
+    }
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// A synthesized expression (no source location).
+    pub fn synth(kind: ExprKind) -> Self {
+        Expr { kind, span: Span::SYNTHETIC }
+    }
+
+    /// True when this expression is a valid assignment target.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index { .. }
+        )
+    }
+}
+
+/// Property key in an object literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropKey {
+    Ident(String),
+    Str(String),
+    Num(f64),
+}
+
+impl PropKey {
+    /// The runtime property name this key denotes.
+    pub fn as_name(&self) -> String {
+        match self {
+            PropKey::Ident(s) | PropKey::Str(s) => s.clone(),
+            PropKey::Num(n) => crate::number_to_string(*n),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,    // -
+    Plus,   // +
+    Not,    // !
+    BitNot, // ~
+    TypeOf, // typeof
+    Void,   // void
+    Delete, // delete
+}
+
+impl UnaryOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Plus => "+",
+            UnaryOp::Not => "!",
+            UnaryOp::BitNot => "~",
+            UnaryOp::TypeOf => "typeof",
+            UnaryOp::Void => "void",
+            UnaryOp::Delete => "delete",
+        }
+    }
+}
+
+/// Binary (non-logical) operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,      // ==
+    NotEq,   // !=
+    StrictEq,    // ===
+    StrictNotEq, // !==
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Shl,     // <<
+    Shr,     // >>
+    UShr,    // >>>
+    BitAnd,
+    BitOr,
+    BitXor,
+    In,          // key in obj
+    InstanceOf,
+}
+
+impl BinaryOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::Eq => "==",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::StrictEq => "===",
+            BinaryOp::StrictNotEq => "!==",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::UShr => ">>>",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::In => "in",
+            BinaryOp::InstanceOf => "instanceof",
+        }
+    }
+
+    /// Binding power used by both the parser and the precedence-aware
+    /// code generator. Higher binds tighter.
+    pub fn precedence(&self) -> u8 {
+        use BinaryOp::*;
+        match self {
+            BitOr => 3,
+            BitXor => 4,
+            BitAnd => 5,
+            Eq | NotEq | StrictEq | StrictNotEq => 6,
+            Lt | LtEq | Gt | GtEq | In | InstanceOf => 7,
+            Shl | Shr | UShr => 8,
+            Add | Sub => 9,
+            Mul | Div | Rem => 10,
+        }
+    }
+}
+
+/// Short-circuiting logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogicalOp {
+    And, // &&
+    Or,  // ||
+}
+
+impl LogicalOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LogicalOp::And => "&&",
+            LogicalOp::Or => "||",
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignOp {
+    Assign, // =
+    Add,    // +=
+    Sub,    // -=
+    Mul,    // *=
+    Div,    // /=
+    Rem,    // %=
+    Shl,    // <<=
+    Shr,    // >>=
+    UShr,   // >>>=
+    BitAnd, // &=
+    BitOr,  // |=
+    BitXor, // ^=
+}
+
+impl AssignOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Rem => "%=",
+            AssignOp::Shl => "<<=",
+            AssignOp::Shr => ">>=",
+            AssignOp::UShr => ">>>=",
+            AssignOp::BitAnd => "&=",
+            AssignOp::BitOr => "|=",
+            AssignOp::BitXor => "^=",
+        }
+    }
+
+    /// The compound binary operation, if any (`+=` → `Add`).
+    pub fn binary(&self) -> Option<BinaryOp> {
+        Some(match self {
+            AssignOp::Assign => return None,
+            AssignOp::Add => BinaryOp::Add,
+            AssignOp::Sub => BinaryOp::Sub,
+            AssignOp::Mul => BinaryOp::Mul,
+            AssignOp::Div => BinaryOp::Div,
+            AssignOp::Rem => BinaryOp::Rem,
+            AssignOp::Shl => BinaryOp::Shl,
+            AssignOp::Shr => BinaryOp::Shr,
+            AssignOp::UShr => BinaryOp::UShr,
+            AssignOp::BitAnd => BinaryOp::BitAnd,
+            AssignOp::BitOr => BinaryOp::BitOr,
+            AssignOp::BitXor => BinaryOp::BitXor,
+        })
+    }
+}
+
+/// `++` / `--`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateOp {
+    Inc,
+    Dec,
+}
+
+impl UpdateOp {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UpdateOp::Inc => "++",
+            UpdateOp::Dec => "--",
+        }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `undefined` (treated as a literal keyword in this subset).
+    Undefined,
+    /// `this`.
+    This,
+    /// Variable reference.
+    Ident(String),
+    /// `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// `{ a: 1, "b": 2 }`.
+    Object(Vec<(PropKey, Expr)>),
+    /// `function (a) { ... }` (optionally named).
+    Func {
+        name: Option<String>,
+        func: Func,
+    },
+    /// Prefix unary operator.
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    /// `++x`, `x--`, ...
+    Update {
+        op: UpdateOp,
+        prefix: bool,
+        target: Box<Expr>,
+    },
+    /// Arithmetic / comparison / bitwise.
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `&&` / `||`.
+    Logical {
+        op: LogicalOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `target op= value`.
+    Assign {
+        op: AssignOp,
+        target: Box<Expr>,
+        value: Box<Expr>,
+    },
+    /// `c ? t : e`.
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        alt: Box<Expr>,
+    },
+    /// `f(a, b)`.
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `new F(a, b)`.
+    New {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `obj.prop`.
+    Member {
+        object: Box<Expr>,
+        prop: String,
+    },
+    /// `obj[e]`.
+    Index {
+        object: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// `a, b, c` (comma expression).
+    Seq(Vec<Expr>),
+}
+
+/// Format a JavaScript number the way `String(n)` would for the values we
+/// care about: integers without a trailing `.0`, specials spelled like JS.
+pub fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        return "NaN".to_string();
+    }
+    if n.is_infinite() {
+        return if n > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+    }
+    if n == 0.0 {
+        // JS prints both zeros as "0".
+        return "0".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 1e21 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{}", n);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_id_display_and_sentinel() {
+        assert_eq!(LoopId(3).to_string(), "L3");
+        assert!(LoopId::UNASSIGNED.is_unassigned());
+        assert!(!LoopId(1).is_unassigned());
+    }
+
+    #[test]
+    fn stmt_kind_loop_detection() {
+        let body = Box::new(Stmt::synth(StmtKind::Empty));
+        let w = StmtKind::While {
+            loop_id: LoopId(2),
+            cond: Expr::synth(ExprKind::Bool(true)),
+            body,
+        };
+        assert!(w.is_loop());
+        assert_eq!(w.loop_id(), Some(LoopId(2)));
+        assert!(!StmtKind::Empty.is_loop());
+    }
+
+    #[test]
+    fn assign_op_binary_mapping() {
+        assert_eq!(AssignOp::Assign.binary(), None);
+        assert_eq!(AssignOp::Add.binary(), Some(BinaryOp::Add));
+        assert_eq!(AssignOp::UShr.binary(), Some(BinaryOp::UShr));
+    }
+
+    #[test]
+    fn precedence_ordering_matches_js() {
+        assert!(BinaryOp::Mul.precedence() > BinaryOp::Add.precedence());
+        assert!(BinaryOp::Add.precedence() > BinaryOp::Shl.precedence());
+        assert!(BinaryOp::Shl.precedence() > BinaryOp::Lt.precedence());
+        assert!(BinaryOp::Lt.precedence() > BinaryOp::Eq.precedence());
+        assert!(BinaryOp::Eq.precedence() > BinaryOp::BitAnd.precedence());
+        assert!(BinaryOp::BitAnd.precedence() > BinaryOp::BitXor.precedence());
+        assert!(BinaryOp::BitXor.precedence() > BinaryOp::BitOr.precedence());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(number_to_string(3.0), "3");
+        assert_eq!(number_to_string(-4.0), "-4");
+        assert_eq!(number_to_string(0.5), "0.5");
+        assert_eq!(number_to_string(0.0), "0");
+        assert_eq!(number_to_string(-0.0), "0");
+        assert_eq!(number_to_string(f64::NAN), "NaN");
+        assert_eq!(number_to_string(f64::INFINITY), "Infinity");
+        assert_eq!(number_to_string(f64::NEG_INFINITY), "-Infinity");
+    }
+
+    #[test]
+    fn prop_key_names() {
+        assert_eq!(PropKey::Ident("a".into()).as_name(), "a");
+        assert_eq!(PropKey::Str("b c".into()).as_name(), "b c");
+        assert_eq!(PropKey::Num(7.0).as_name(), "7");
+    }
+
+    #[test]
+    fn lvalue_detection() {
+        assert!(Expr::synth(ExprKind::Ident("x".into())).is_lvalue());
+        let m = Expr::synth(ExprKind::Member {
+            object: Box::new(Expr::synth(ExprKind::Ident("a".into()))),
+            prop: "b".into(),
+        });
+        assert!(m.is_lvalue());
+        assert!(!Expr::synth(ExprKind::Num(1.0)).is_lvalue());
+    }
+}

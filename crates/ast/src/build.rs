@@ -1,0 +1,115 @@
+//! Convenience constructors for synthesized AST nodes.
+//!
+//! The instrumentation passes build many small snippets (hook calls,
+//! temporaries, try/finally wrappers); these helpers keep that code terse.
+//! All nodes produced here carry [`crate::span::Span::SYNTHETIC`].
+
+use crate::ast::*;
+
+/// `name`
+pub fn ident(name: &str) -> Expr {
+    Expr::synth(ExprKind::Ident(name.to_string()))
+}
+
+/// Numeric literal.
+pub fn num(n: f64) -> Expr {
+    Expr::synth(ExprKind::Num(n))
+}
+
+/// String literal.
+pub fn str_lit(s: &str) -> Expr {
+    Expr::synth(ExprKind::Str(s.to_string()))
+}
+
+/// `callee(args...)` where `callee` is a bare identifier.
+pub fn call(callee: &str, args: Vec<Expr>) -> Expr {
+    Expr::synth(ExprKind::Call { callee: Box::new(ident(callee)), args })
+}
+
+/// `callee(args...)` for an arbitrary callee expression.
+pub fn call_expr(callee: Expr, args: Vec<Expr>) -> Expr {
+    Expr::synth(ExprKind::Call { callee: Box::new(callee), args })
+}
+
+/// `object.prop`
+pub fn member(object: Expr, prop: &str) -> Expr {
+    Expr::synth(ExprKind::Member { object: Box::new(object), prop: prop.to_string() })
+}
+
+/// `object[index]`
+pub fn index(object: Expr, idx: Expr) -> Expr {
+    Expr::synth(ExprKind::Index { object: Box::new(object), index: Box::new(idx) })
+}
+
+/// `target = value`
+pub fn assign(target: Expr, value: Expr) -> Expr {
+    Expr::synth(ExprKind::Assign {
+        op: AssignOp::Assign,
+        target: Box::new(target),
+        value: Box::new(value),
+    })
+}
+
+/// `(a, b, ...)`
+pub fn seq(exprs: Vec<Expr>) -> Expr {
+    Expr::synth(ExprKind::Seq(exprs))
+}
+
+/// Expression statement.
+pub fn expr_stmt(e: Expr) -> Stmt {
+    Stmt::synth(StmtKind::Expr(e))
+}
+
+/// `{ stmts }`
+pub fn block(stmts: Vec<Stmt>) -> Stmt {
+    Stmt::synth(StmtKind::Block(stmts))
+}
+
+/// `var name = init;`
+pub fn var_decl(name: &str, init: Option<Expr>) -> Stmt {
+    Stmt::synth(StmtKind::VarDecl(vec![VarDeclarator {
+        name: name.to_string(),
+        init,
+        span: crate::span::Span::SYNTHETIC,
+    }]))
+}
+
+/// `try { body } finally { fin }`
+pub fn try_finally(body: Vec<Stmt>, fin: Vec<Stmt>) -> Stmt {
+    Stmt::synth(StmtKind::Try { block: body, catch: None, finally: Some(fin) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{expr_to_source, stmt_to_source};
+
+    #[test]
+    fn builders_print_expected_source() {
+        let e = call("__ceres_loop_enter", vec![num(7.0)]);
+        assert_eq!(expr_to_source(&e), "__ceres_loop_enter(7)");
+
+        let e = assign(member(ident("a"), "b"), str_lit("x"));
+        assert_eq!(expr_to_source(&e), "a.b = \"x\"");
+
+        let s = try_finally(
+            vec![expr_stmt(ident("work"))],
+            vec![expr_stmt(call("done", vec![]))],
+        );
+        let src = stmt_to_source(&s);
+        assert!(src.starts_with("try {"), "got {src}");
+        assert!(src.contains("finally {"), "got {src}");
+    }
+
+    #[test]
+    fn index_and_seq() {
+        let e = seq(vec![assign(ident("t"), ident("o")), index(ident("t"), num(0.0))]);
+        assert_eq!(expr_to_source(&e), "t = o, t[0]");
+    }
+
+    #[test]
+    fn var_decl_prints() {
+        assert_eq!(stmt_to_source(&var_decl("x", Some(num(1.0)))), "var x = 1;");
+        assert_eq!(stmt_to_source(&var_decl("y", None)), "var y;");
+    }
+}

@@ -1,0 +1,665 @@
+//! JavaScript source generation.
+//!
+//! The proxy in the paper rewrites JavaScript *source* on its way to the
+//! browser; our instrumentation passes therefore produce a transformed AST
+//! that is printed back to JavaScript by this module and re-parsed by the
+//! interpreter front end. The printer is precedence-aware and guarantees the
+//! round-trip property checked by the parser test-suite:
+//! `parse(print(ast)) == ast` (modulo spans) for parser-normalized ASTs
+//! (loop and `if` bodies are always blocks; `-<literal>` is folded into a
+//! negative number literal).
+
+use crate::ast::*;
+
+/// Print a whole program as JavaScript source.
+pub fn program_to_source(program: &Program) -> String {
+    let mut p = Printer::new();
+    for (i, stmt) in program.body.iter().enumerate() {
+        if i > 0 {
+            p.out.push('\n');
+        }
+        p.stmt(stmt);
+    }
+    p.out
+}
+
+/// Print a single expression (used in tests and report rendering).
+pub fn expr_to_source(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+/// Print a single statement.
+pub fn stmt_to_source(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
+/// Escape a string for a double-quoted JS literal.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+/// Precedence level of an expression for parenthesization decisions.
+/// Larger binds tighter. Mirrors the ECMAScript grammar.
+fn prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Seq(_) => 1,
+        ExprKind::Assign { .. } => 2,
+        ExprKind::Cond { .. } => 3,
+        ExprKind::Logical { op: LogicalOp::Or, .. } => 4,
+        ExprKind::Logical { op: LogicalOp::And, .. } => 5,
+        ExprKind::Binary { op, .. } => 5 + op.precedence(),
+        ExprKind::Unary { .. } => 16,
+        ExprKind::Update { prefix: true, .. } => 16,
+        ExprKind::Update { prefix: false, .. } => 17,
+        ExprKind::New { .. } => 18,
+        ExprKind::Call { .. } | ExprKind::Member { .. } | ExprKind::Index { .. } => 18,
+        // Negative literals print as (-n); treat them as lowest-safe so they
+        // always get parens outside a bare statement position.
+        ExprKind::Num(n) if *n < 0.0 || (*n == 0.0 && n.is_sign_negative()) => 16,
+        _ => 19,
+    }
+}
+
+/// Does this expression, printed, start with `function` or `{`?
+/// Such expressions must be parenthesized in statement position.
+fn starts_ambiguously(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Func { .. } | ExprKind::Object(_) => true,
+        ExprKind::Binary { left, .. }
+        | ExprKind::Logical { left, .. } => starts_ambiguously(left),
+        ExprKind::Assign { target, .. } => starts_ambiguously(target),
+        ExprKind::Cond { cond, .. } => starts_ambiguously(cond),
+        ExprKind::Call { callee, .. } => starts_ambiguously(callee),
+        ExprKind::Member { object, .. } | ExprKind::Index { object, .. } => {
+            starts_ambiguously(object)
+        }
+        ExprKind::Update { prefix: false, target, .. } => starts_ambiguously(target),
+        ExprKind::Seq(exprs) => exprs.first().map(starts_ambiguously).unwrap_or(false),
+        _ => false,
+    }
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn word(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        self.word("{");
+        self.indent += 1;
+        for s in stmts {
+            self.line();
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line();
+        self.word("}");
+    }
+
+    /// Print a statement used as a loop/if body. The parser normalizes such
+    /// bodies to blocks, so we expect a block here; anything else is printed
+    /// as a one-statement block to preserve the normalization invariant.
+    fn body(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Block(stmts) => self.block(stmts),
+            _ => self.block(std::slice::from_ref(stmt)),
+        }
+    }
+
+    fn var_declarators(&mut self, decls: &[VarDeclarator]) {
+        self.word("var ");
+        for (i, d) in decls.iter().enumerate() {
+            if i > 0 {
+                self.word(", ");
+            }
+            self.word(&d.name);
+            if let Some(init) = &d.init {
+                self.word(" = ");
+                // Initializers sit at assignment precedence: comma must nest.
+                self.expr(init, 2);
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                if starts_ambiguously(e) {
+                    self.word("(");
+                    self.expr(e, 0);
+                    self.word(")");
+                } else {
+                    self.expr(e, 0);
+                }
+                self.word(";");
+            }
+            StmtKind::VarDecl(decls) => {
+                self.var_declarators(decls);
+                self.word(";");
+            }
+            StmtKind::Func(decl) => {
+                self.word("function ");
+                self.word(&decl.name);
+                self.func_tail(&decl.func);
+            }
+            StmtKind::Return(None) => self.word("return;"),
+            StmtKind::Return(Some(e)) => {
+                self.word("return ");
+                self.expr(e, 0);
+                self.word(";");
+            }
+            StmtKind::If { cond, then, alt } => {
+                self.word("if (");
+                self.expr(cond, 0);
+                self.word(") ");
+                self.body(then);
+                if let Some(alt) = alt {
+                    self.word(" else ");
+                    if matches!(alt.kind, StmtKind::If { .. }) {
+                        self.stmt(alt);
+                    } else {
+                        self.body(alt);
+                    }
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                self.word("while (");
+                self.expr(cond, 0);
+                self.word(") ");
+                self.body(body);
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                self.word("do ");
+                self.body(body);
+                self.word(" while (");
+                self.expr(cond, 0);
+                self.word(");");
+            }
+            StmtKind::For { init, cond, update, body, .. } => {
+                self.word("for (");
+                match init {
+                    Some(ForInit::VarDecl(decls)) => self.var_declarators(decls),
+                    Some(ForInit::Expr(e)) => self.expr(e, 0),
+                    None => {}
+                }
+                self.word("; ");
+                if let Some(c) = cond {
+                    self.expr(c, 0);
+                }
+                self.word("; ");
+                if let Some(u) = update {
+                    self.expr(u, 0);
+                }
+                self.word(") ");
+                self.body(body);
+            }
+            StmtKind::ForIn { decl, var, object, body, .. } => {
+                self.word("for (");
+                if *decl {
+                    self.word("var ");
+                }
+                self.word(var);
+                self.word(" in ");
+                self.expr(object, 0);
+                self.word(") ");
+                self.body(body);
+            }
+            StmtKind::Block(stmts) => self.block(stmts),
+            StmtKind::Break => self.word("break;"),
+            StmtKind::Continue => self.word("continue;"),
+            StmtKind::Throw(e) => {
+                self.word("throw ");
+                self.expr(e, 0);
+                self.word(";");
+            }
+            StmtKind::Try { block, catch, finally } => {
+                self.word("try ");
+                self.block(block);
+                if let Some(c) = catch {
+                    self.word(" catch (");
+                    self.word(&c.param);
+                    self.word(") ");
+                    self.block(&c.body);
+                }
+                if let Some(f) = finally {
+                    self.word(" finally ");
+                    self.block(f);
+                }
+            }
+            StmtKind::Switch { disc, cases } => {
+                self.word("switch (");
+                self.expr(disc, 0);
+                self.word(") {");
+                self.indent += 1;
+                for case in cases {
+                    self.line();
+                    match &case.test {
+                        Some(t) => {
+                            self.word("case ");
+                            self.expr(t, 0);
+                            self.word(":");
+                        }
+                        None => self.word("default:"),
+                    }
+                    self.indent += 1;
+                    for s in &case.body {
+                        self.line();
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line();
+                self.word("}");
+            }
+            StmtKind::Empty => self.word(";"),
+        }
+    }
+
+    fn func_tail(&mut self, func: &Func) {
+        self.word("(");
+        for (i, p) in func.params.iter().enumerate() {
+            if i > 0 {
+                self.word(", ");
+            }
+            self.word(p);
+        }
+        self.word(") ");
+        self.block(&func.body);
+    }
+
+    /// Print `e`, parenthesizing when its precedence is below `min`.
+    fn expr(&mut self, e: &Expr, min: u8) {
+        let p = prec(e);
+        if p < min {
+            self.word("(");
+            self.expr_inner(e);
+            self.word(")");
+        } else {
+            self.expr_inner(e);
+        }
+    }
+
+    fn expr_inner(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Num(n) => {
+                if *n < 0.0 || (*n == 0.0 && n.is_sign_negative()) {
+                    // Printed at prec 16; callers requiring tighter will add
+                    // parens via `expr`. The leading `-` re-folds on parse.
+                    self.word(&format!("-{}", number_to_string(n.abs())));
+                } else {
+                    self.word(&number_to_string(*n));
+                }
+            }
+            ExprKind::Str(s) => {
+                self.word("\"");
+                self.word(&escape_string(s));
+                self.word("\"");
+            }
+            ExprKind::Bool(b) => self.word(if *b { "true" } else { "false" }),
+            ExprKind::Null => self.word("null"),
+            ExprKind::Undefined => self.word("undefined"),
+            ExprKind::This => self.word("this"),
+            ExprKind::Ident(name) => self.word(name),
+            ExprKind::Array(elems) => {
+                self.word("[");
+                for (i, el) in elems.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(el, 2);
+                }
+                self.word("]");
+            }
+            ExprKind::Object(props) => {
+                if props.is_empty() {
+                    self.word("{}");
+                    return;
+                }
+                self.word("{ ");
+                for (i, (key, value)) in props.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    match key {
+                        PropKey::Ident(name) => self.word(name),
+                        PropKey::Str(s) => {
+                            self.word("\"");
+                            self.word(&escape_string(s));
+                            self.word("\"");
+                        }
+                        PropKey::Num(n) => self.word(&number_to_string(*n)),
+                    }
+                    self.word(": ");
+                    self.expr(value, 2);
+                }
+                self.word(" }");
+            }
+            ExprKind::Func { name, func } => {
+                self.word("function ");
+                if let Some(n) = name {
+                    self.word(n);
+                }
+                self.func_tail(func);
+            }
+            ExprKind::Unary { op, expr } => {
+                self.word(op.as_str());
+                match op {
+                    UnaryOp::TypeOf | UnaryOp::Void | UnaryOp::Delete => self.word(" "),
+                    // `- -x` and `+ +x` need a separating space.
+                    UnaryOp::Neg | UnaryOp::Plus
+                        if unary_leads_with_sign(expr, *op) => {
+                            self.word(" ");
+                        }
+                    _ => {}
+                }
+                self.expr(expr, 16);
+            }
+            ExprKind::Update { op, prefix, target } => {
+                if *prefix {
+                    self.word(op.as_str());
+                    self.expr(target, 16);
+                } else {
+                    self.expr(target, 17);
+                    self.word(op.as_str());
+                }
+            }
+            ExprKind::Binary { op, left, right } => {
+                let my = 5 + op.precedence();
+                self.expr(left, my);
+                self.word(" ");
+                self.word(op.as_str());
+                self.word(" ");
+                self.expr(right, my + 1);
+            }
+            ExprKind::Logical { op, left, right } => {
+                let my = prec(e);
+                self.expr(left, my);
+                self.word(" ");
+                self.word(op.as_str());
+                self.word(" ");
+                self.expr(right, my + 1);
+            }
+            ExprKind::Assign { op, target, value } => {
+                self.expr(target, 16);
+                self.word(" ");
+                self.word(op.as_str());
+                self.word(" ");
+                self.expr(value, 2);
+            }
+            ExprKind::Cond { cond, then, alt } => {
+                self.expr(cond, 4);
+                self.word(" ? ");
+                self.expr(then, 2);
+                self.word(" : ");
+                self.expr(alt, 2);
+            }
+            ExprKind::Call { callee, args } => {
+                // `new x()` as a callee must keep its parens: prec(New)==18,
+                // but `new f()(args)` without parens re-parses differently.
+                if matches!(callee.kind, ExprKind::New { .. }) {
+                    self.word("(");
+                    self.expr_inner(callee);
+                    self.word(")");
+                } else {
+                    self.expr(callee, 18);
+                }
+                self.word("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(a, 2);
+                }
+                self.word(")");
+            }
+            ExprKind::New { callee, args } => {
+                self.word("new ");
+                if new_callee_needs_parens(callee) {
+                    self.word("(");
+                    self.expr_inner(callee);
+                    self.word(")");
+                } else {
+                    self.expr_inner(callee);
+                }
+                self.word("(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(a, 2);
+                }
+                self.word(")");
+            }
+            ExprKind::Member { object, prop } => {
+                self.member_object(object);
+                self.word(".");
+                self.word(prop);
+            }
+            ExprKind::Index { object, index } => {
+                self.member_object(object);
+                self.word("[");
+                self.expr(index, 0);
+                self.word("]");
+            }
+            ExprKind::Seq(exprs) => {
+                for (i, ex) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.expr(ex, 2);
+                }
+            }
+        }
+    }
+
+    /// Print the object part of a member/index access. Number literals need
+    /// parens (`(3).toString`), and anything below call precedence needs
+    /// parens too.
+    fn member_object(&mut self, object: &Expr) {
+        let needs = match &object.kind {
+            ExprKind::Num(_) => true,
+            _ => prec(object) < 18,
+        };
+        if needs {
+            self.word("(");
+            self.expr_inner(object);
+            self.word(")");
+        } else {
+            self.expr_inner(object);
+        }
+    }
+}
+
+/// Would printing `inner` directly after `op` glue two sign characters
+/// together (e.g. `--x` instead of `- -x`)?
+fn unary_leads_with_sign(inner: &Expr, op: UnaryOp) -> bool {
+    match (&inner.kind, op) {
+        (ExprKind::Unary { op: UnaryOp::Neg, .. }, UnaryOp::Neg) => true,
+        (ExprKind::Unary { op: UnaryOp::Plus, .. }, UnaryOp::Plus) => true,
+        (ExprKind::Update { op: UpdateOp::Dec, prefix: true, .. }, UnaryOp::Neg) => true,
+        (ExprKind::Update { op: UpdateOp::Inc, prefix: true, .. }, UnaryOp::Plus) => true,
+        (ExprKind::Num(n), UnaryOp::Neg) if *n < 0.0 => true,
+        _ => false,
+    }
+}
+
+/// `new` callee may be a plain identifier or a dotted path without calls;
+/// everything else is parenthesized so `new (expr)(args)` parses back the
+/// same way.
+fn new_callee_needs_parens(callee: &Expr) -> bool {
+    match &callee.kind {
+        ExprKind::Ident(_) => false,
+        ExprKind::Member { object, .. } => new_callee_needs_parens(object),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(name: &str) -> Expr {
+        Expr::synth(ExprKind::Ident(name.into()))
+    }
+
+    fn num(n: f64) -> Expr {
+        Expr::synth(ExprKind::Num(n))
+    }
+
+    fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::synth(ExprKind::Binary { op, left: Box::new(l), right: Box::new(r) })
+    }
+
+    #[test]
+    fn binary_parenthesization() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let e = bin(BinaryOp::Mul, bin(BinaryOp::Add, ident("a"), ident("b")), ident("c"));
+        assert_eq!(expr_to_source(&e), "(a + b) * c");
+        let e = bin(BinaryOp::Add, ident("a"), bin(BinaryOp::Mul, ident("b"), ident("c")));
+        assert_eq!(expr_to_source(&e), "a + b * c");
+    }
+
+    #[test]
+    fn left_associativity_forces_right_parens() {
+        // a - (b - c)
+        let e = bin(BinaryOp::Sub, ident("a"), bin(BinaryOp::Sub, ident("b"), ident("c")));
+        assert_eq!(expr_to_source(&e), "a - (b - c)");
+        // (a - b) - c prints without parens
+        let e = bin(BinaryOp::Sub, bin(BinaryOp::Sub, ident("a"), ident("b")), ident("c"));
+        assert_eq!(expr_to_source(&e), "a - b - c");
+    }
+
+    #[test]
+    fn logical_vs_bitwise() {
+        // a && (b | c): bitwise binds tighter, no parens needed on the right
+        let e = Expr::synth(ExprKind::Logical {
+            op: LogicalOp::And,
+            left: Box::new(ident("a")),
+            right: Box::new(bin(BinaryOp::BitOr, ident("b"), ident("c"))),
+        });
+        assert_eq!(expr_to_source(&e), "a && b | c");
+        // (a && b) | c: logical is looser, needs parens inside bitwise
+        let inner = Expr::synth(ExprKind::Logical {
+            op: LogicalOp::And,
+            left: Box::new(ident("a")),
+            right: Box::new(ident("b")),
+        });
+        let e = bin(BinaryOp::BitOr, inner, ident("c"));
+        assert_eq!(expr_to_source(&e), "(a && b) | c");
+    }
+
+    #[test]
+    fn negative_literal_prints_and_member_of_number() {
+        assert_eq!(expr_to_source(&num(-3.0)), "-3");
+        let e = Expr::synth(ExprKind::Member {
+            object: Box::new(num(3.0)),
+            prop: "toString".into(),
+        });
+        assert_eq!(expr_to_source(&e), "(3).toString");
+    }
+
+    #[test]
+    fn double_negation_spacing() {
+        let e = Expr::synth(ExprKind::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::synth(ExprKind::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(ident("x")),
+            })),
+        });
+        assert_eq!(expr_to_source(&e), "- -x");
+    }
+
+    #[test]
+    fn statement_level_function_and_object_parenthesized() {
+        let f = Expr::synth(ExprKind::Func {
+            name: None,
+            func: Func { params: vec![], body: vec![], span: crate::span::Span::SYNTHETIC },
+        });
+        let call = Expr::synth(ExprKind::Call { callee: Box::new(f), args: vec![] });
+        let s = Stmt::synth(StmtKind::Expr(call));
+        let src = stmt_to_source(&s);
+        assert!(src.starts_with("(function"), "got: {src}");
+    }
+
+    #[test]
+    fn new_with_computed_callee() {
+        let call = Expr::synth(ExprKind::Call { callee: Box::new(ident("f")), args: vec![] });
+        let e = Expr::synth(ExprKind::New { callee: Box::new(call), args: vec![] });
+        assert_eq!(expr_to_source(&e), "new (f())()");
+        let e2 = Expr::synth(ExprKind::New { callee: Box::new(ident("F")), args: vec![num(1.0)] });
+        assert_eq!(expr_to_source(&e2), "new F(1)");
+    }
+
+    #[test]
+    fn seq_in_args_gets_parens() {
+        let seq = Expr::synth(ExprKind::Seq(vec![ident("a"), ident("b")]));
+        let call = Expr::synth(ExprKind::Call { callee: Box::new(ident("f")), args: vec![seq] });
+        assert_eq!(expr_to_source(&call), "f((a, b))");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(escape_string("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_string("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn if_else_bodies_are_blocks() {
+        let s = Stmt::synth(StmtKind::If {
+            cond: ident("a"),
+            then: Box::new(Stmt::synth(StmtKind::Expr(ident("b")))),
+            alt: Some(Box::new(Stmt::synth(StmtKind::Expr(ident("c"))))),
+        });
+        let src = stmt_to_source(&s);
+        assert!(src.contains("if (a) {"), "got {src}");
+        assert!(src.contains("else {"), "got {src}");
+    }
+
+    #[test]
+    fn assignment_chain() {
+        let e = Expr::synth(ExprKind::Assign {
+            op: AssignOp::Assign,
+            target: Box::new(ident("a")),
+            value: Box::new(Expr::synth(ExprKind::Assign {
+                op: AssignOp::Add,
+                target: Box::new(ident("b")),
+                value: Box::new(num(1.0)),
+            })),
+        });
+        assert_eq!(expr_to_source(&e), "a = b += 1");
+    }
+}

@@ -1,0 +1,93 @@
+//! Source locations.
+//!
+//! JS-CERES reports refer to loops and accesses by **line number** (e.g. the
+//! Fig. 6 warning `while(line 24) ok ok -> for(line 6) ok dependence`), so
+//! every AST node carries a [`Span`] with byte offsets and a 1-based line.
+
+use serde::{Deserialize, Serialize};
+
+/// A region of source text.
+///
+/// `lo`/`hi` are byte offsets into the original source; `line` is the
+/// 1-based line of `lo`. Spans are purely diagnostic: two ASTs that differ
+/// only in spans are considered structurally equal by the parser round-trip
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+    /// 1-based line number of `lo` (0 means "synthetic node").
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized (instrumentation) nodes.
+    pub const SYNTHETIC: Span = Span { lo: 0, hi: 0, line: 0 };
+
+    /// Create a span from offsets and a line.
+    pub fn new(lo: u32, hi: u32, line: u32) -> Self {
+        Span { lo, hi, line }
+    }
+
+    /// True when this span was synthesized rather than parsed.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Synthetic spans are absorbed: merging with one returns the other side
+    /// unchanged.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_offsets() {
+        let a = Span::new(10, 20, 2);
+        let b = Span::new(5, 12, 1);
+        let m = a.to(b);
+        assert_eq!(m, Span::new(5, 20, 1));
+    }
+
+    #[test]
+    fn merge_absorbs_synthetic() {
+        let a = Span::new(10, 20, 2);
+        assert_eq!(a.to(Span::SYNTHETIC), a);
+        assert_eq!(Span::SYNTHETIC.to(a), a);
+        assert!(Span::SYNTHETIC.is_synthetic());
+    }
+
+    #[test]
+    fn display_formats_line() {
+        assert_eq!(Span::new(0, 1, 7).to_string(), "line 7");
+        assert_eq!(Span::SYNTHETIC.to_string(), "<synthetic>");
+    }
+}

@@ -1,0 +1,305 @@
+//! Mutable AST walker.
+//!
+//! [`VisitMut`] walks the tree in source order, calling overridable hooks
+//! before descending. The instrumentation passes and the loop-numbering pass
+//! are both built on it. Default methods perform the full traversal; an
+//! implementation overrides only what it needs and calls the `walk_*` free
+//! functions to continue.
+
+use crate::ast::*;
+
+/// A mutable visitor over the AST.
+///
+/// Every hook defaults to "just walk the children". Overrides that still
+/// want to descend must call the corresponding `walk_*` function.
+pub trait VisitMut {
+    fn visit_program(&mut self, program: &mut Program) {
+        walk_program(self, program);
+    }
+
+    fn visit_stmt(&mut self, stmt: &mut Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &mut Expr) {
+        walk_expr(self, expr);
+    }
+
+    fn visit_func(&mut self, func: &mut Func) {
+        walk_func(self, func);
+    }
+}
+
+/// Walk all top-level statements.
+pub fn walk_program<V: VisitMut + ?Sized>(v: &mut V, program: &mut Program) {
+    for stmt in &mut program.body {
+        v.visit_stmt(stmt);
+    }
+}
+
+/// Walk a function body.
+pub fn walk_func<V: VisitMut + ?Sized>(v: &mut V, func: &mut Func) {
+    for stmt in &mut func.body {
+        v.visit_stmt(stmt);
+    }
+}
+
+/// Walk the children of a statement.
+pub fn walk_stmt<V: VisitMut + ?Sized>(v: &mut V, stmt: &mut Stmt) {
+    match &mut stmt.kind {
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::VarDecl(decls) => {
+            for d in decls {
+                if let Some(init) = &mut d.init {
+                    v.visit_expr(init);
+                }
+            }
+        }
+        StmtKind::Func(decl) => v.visit_func(&mut decl.func),
+        StmtKind::Return(Some(e)) => v.visit_expr(e),
+        StmtKind::Return(None) => {}
+        StmtKind::If { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then);
+            if let Some(alt) = alt {
+                v.visit_stmt(alt);
+            }
+        }
+        StmtKind::While { cond, body, .. } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        StmtKind::DoWhile { body, cond, .. } => {
+            v.visit_stmt(body);
+            v.visit_expr(cond);
+        }
+        StmtKind::For { init, cond, update, body, .. } => {
+            match init {
+                Some(ForInit::VarDecl(decls)) => {
+                    for d in decls {
+                        if let Some(e) = &mut d.init {
+                            v.visit_expr(e);
+                        }
+                    }
+                }
+                Some(ForInit::Expr(e)) => v.visit_expr(e),
+                None => {}
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(u) = update {
+                v.visit_expr(u);
+            }
+            v.visit_stmt(body);
+        }
+        StmtKind::ForIn { object, body, .. } => {
+            v.visit_expr(object);
+            v.visit_stmt(body);
+        }
+        StmtKind::Block(stmts) => {
+            for s in stmts {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
+        StmtKind::Throw(e) => v.visit_expr(e),
+        StmtKind::Try { block, catch, finally } => {
+            for s in block {
+                v.visit_stmt(s);
+            }
+            if let Some(c) = catch {
+                for s in &mut c.body {
+                    v.visit_stmt(s);
+                }
+            }
+            if let Some(f) = finally {
+                for s in f {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StmtKind::Switch { disc, cases } => {
+            v.visit_expr(disc);
+            for case in cases {
+                if let Some(t) = &mut case.test {
+                    v.visit_expr(t);
+                }
+                for s in &mut case.body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+    }
+}
+
+/// Walk the children of an expression.
+pub fn walk_expr<V: VisitMut + ?Sized>(v: &mut V, expr: &mut Expr) {
+    match &mut expr.kind {
+        ExprKind::Num(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::Undefined
+        | ExprKind::This
+        | ExprKind::Ident(_) => {}
+        ExprKind::Array(elems) => {
+            for e in elems {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Object(props) => {
+            for (_, e) in props {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Func { func, .. } => v.visit_func(func),
+        ExprKind::Unary { expr, .. } => v.visit_expr(expr),
+        ExprKind::Update { target, .. } => v.visit_expr(target),
+        ExprKind::Binary { left, right, .. } | ExprKind::Logical { left, right, .. } => {
+            v.visit_expr(left);
+            v.visit_expr(right);
+        }
+        ExprKind::Assign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        ExprKind::Cond { cond, then, alt } => {
+            v.visit_expr(cond);
+            v.visit_expr(then);
+            v.visit_expr(alt);
+        }
+        ExprKind::Call { callee, args } | ExprKind::New { callee, args } => {
+            v.visit_expr(callee);
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Member { object, .. } => v.visit_expr(object),
+        ExprKind::Index { object, index } => {
+            v.visit_expr(object);
+            v.visit_expr(index);
+        }
+        ExprKind::Seq(exprs) => {
+            for e in exprs {
+                v.visit_expr(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    /// Counts idents to check the traversal reaches every corner.
+    struct IdentCounter(usize);
+
+    impl VisitMut for IdentCounter {
+        fn visit_expr(&mut self, expr: &mut Expr) {
+            if matches!(expr.kind, ExprKind::Ident(_)) {
+                self.0 += 1;
+            }
+            walk_expr(self, expr);
+        }
+    }
+
+    fn ident(name: &str) -> Expr {
+        Expr::synth(ExprKind::Ident(name.into()))
+    }
+
+    #[test]
+    fn visits_nested_expressions() {
+        // if (a) { b(c, d ? e : f); } else { var g = h; }
+        let mut program = Program {
+            body: vec![Stmt::new(
+                StmtKind::If {
+                    cond: ident("a"),
+                    then: Box::new(Stmt::synth(StmtKind::Block(vec![Stmt::synth(
+                        StmtKind::Expr(Expr::synth(ExprKind::Call {
+                            callee: Box::new(ident("b")),
+                            args: vec![
+                                ident("c"),
+                                Expr::synth(ExprKind::Cond {
+                                    cond: Box::new(ident("d")),
+                                    then: Box::new(ident("e")),
+                                    alt: Box::new(ident("f")),
+                                }),
+                            ],
+                        })),
+                    )]))),
+                    alt: Some(Box::new(Stmt::synth(StmtKind::VarDecl(vec![
+                        VarDeclarator { name: "g".into(), init: Some(ident("h")), span: Span::SYNTHETIC },
+                    ])))),
+                },
+                Span::new(0, 1, 1),
+            )],
+        };
+        let mut counter = IdentCounter(0);
+        counter.visit_program(&mut program);
+        // a, b, c, d, e, f, h — `g` is a declarator name, not an Ident expr.
+        assert_eq!(counter.0, 7);
+    }
+
+    #[test]
+    fn visits_loops_and_functions() {
+        // while (x) { function f(p) { return p + y; } }
+        let mut program = Program {
+            body: vec![Stmt::synth(StmtKind::While {
+                loop_id: LoopId::UNASSIGNED,
+                cond: ident("x"),
+                body: Box::new(Stmt::synth(StmtKind::Func(FuncDecl {
+                    name: "f".into(),
+                    func: Func {
+                        params: vec!["p".into()],
+                        body: vec![Stmt::synth(StmtKind::Return(Some(Expr::synth(
+                            ExprKind::Binary {
+                                op: BinaryOp::Add,
+                                left: Box::new(ident("p")),
+                                right: Box::new(ident("y")),
+                            },
+                        ))))],
+                        span: Span::SYNTHETIC,
+                    },
+                }))),
+            })],
+        };
+        let mut counter = IdentCounter(0);
+        counter.visit_program(&mut program);
+        assert_eq!(counter.0, 3); // x, p, y
+    }
+
+    #[test]
+    fn visits_try_switch_forin() {
+        let mut program = Program {
+            body: vec![
+                Stmt::synth(StmtKind::Try {
+                    block: vec![Stmt::synth(StmtKind::Throw(ident("t1")))],
+                    catch: Some(CatchClause {
+                        param: "e".into(),
+                        body: vec![Stmt::synth(StmtKind::Expr(ident("t2")))],
+                    }),
+                    finally: Some(vec![Stmt::synth(StmtKind::Expr(ident("t3")))]),
+                }),
+                Stmt::synth(StmtKind::Switch {
+                    disc: ident("s"),
+                    cases: vec![SwitchCase {
+                        test: Some(ident("c1")),
+                        body: vec![Stmt::synth(StmtKind::Break)],
+                    }],
+                }),
+                Stmt::synth(StmtKind::ForIn {
+                    loop_id: LoopId::UNASSIGNED,
+                    decl: true,
+                    var: "k".into(),
+                    object: ident("o"),
+                    body: Box::new(Stmt::synth(StmtKind::Continue)),
+                }),
+            ],
+        };
+        let mut counter = IdentCounter(0);
+        counter.visit_program(&mut program);
+        assert_eq!(counter.0, 6); // t1 t2 t3 s c1 o
+    }
+}

@@ -1,0 +1,143 @@
+//! Native kernel twins: sequential vs Rayon.
+//!
+//! The measurable counterpart of the Sec. 4.2 Amdahl discussion: the loop
+//! nests Table 3 rates "easy"/"very easy" really do speed up when their
+//! dependencies are broken the way the classifier suggests (disjoint
+//! writes → `par_chunks_mut`, reductions → `reduce`, constraint conflicts
+//! → color batches).
+
+use ceres_workloads::native::{cloth, fluid, image_filter, nbody, normal_map, raytrace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_image_filter(c: &mut Criterion) {
+    let img = image_filter::Image::gradient(512, 384);
+    let mut group = c.benchmark_group("camanjs_filter_512x384");
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let mut i = img.clone();
+            image_filter::filter_seq(&mut i);
+            black_box(i.checksum())
+        })
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| {
+            let mut i = img.clone();
+            image_filter::filter_par(&mut i);
+            black_box(i.checksum())
+        })
+    });
+    group.finish();
+}
+
+fn bench_blur(c: &mut Criterion) {
+    let img = image_filter::Image::gradient(256, 192);
+    let mut group = c.benchmark_group("camanjs_blur_256x192");
+    group.bench_function("seq", |b| b.iter(|| black_box(image_filter::blur_seq(&img).checksum())));
+    group.bench_function("par", |b| b.iter(|| black_box(image_filter::blur_par(&img).checksum())));
+    group.finish();
+}
+
+fn bench_raytrace(c: &mut Criterion) {
+    let scene = raytrace::scene();
+    let mut group = c.benchmark_group("raytrace_320x240");
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(raytrace::render_seq(&scene, 320, 240).len()))
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| black_box(raytrace::render_par(&scene, 320, 240).len()))
+    });
+    group.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let x0 = fluid::Grid::seeded(128);
+    let mut group = c.benchmark_group("fluid_jacobi_128_k10");
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let mut x = x0.clone();
+            fluid::lin_solve_seq(&mut x, &x0, 1.0, 4.0, 10);
+            black_box(x.checksum())
+        })
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| {
+            let mut x = x0.clone();
+            fluid::lin_solve_par(&mut x, &x0, 1.0, 4.0, 10);
+            black_box(x.checksum())
+        })
+    });
+    group.finish();
+}
+
+fn bench_nbody(c: &mut Criterion) {
+    let bodies = nbody::make_bodies(2048);
+    let mut group = c.benchmark_group("nbody_fig6_2048");
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let mut bs = bodies.clone();
+            nbody::compute_forces_seq(&mut bs);
+            black_box(nbody::step_seq(&mut bs))
+        })
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| {
+            let mut bs = bodies.clone();
+            nbody::compute_forces_par(&mut bs);
+            black_box(nbody::step_par(&mut bs))
+        })
+    });
+    group.finish();
+}
+
+fn bench_normal_map(c: &mut Criterion) {
+    let (w, h) = (512, 384);
+    let hm = normal_map::height_map(w, h);
+    let mut group = c.benchmark_group("normal_map_512x384");
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let n = normal_map::normals_seq(&hm, w, h);
+            black_box(normal_map::shade_seq(&n, w, h, 100.0, 100.0).len())
+        })
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| {
+            let n = normal_map::normals_par(&hm, w, h);
+            black_box(normal_map::shade_par(&n, w, h, 100.0, 100.0).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cloth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloth_64x48_step");
+    group.bench_function("seq", |b| {
+        b.iter(|| {
+            let mut cloth = cloth::Cloth::new(64, 48);
+            for _ in 0..3 {
+                cloth.integrate_seq();
+                cloth.satisfy_seq(3);
+            }
+            black_box(cloth.strain())
+        })
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| {
+            let mut cloth = cloth::Cloth::new(64, 48);
+            for _ in 0..3 {
+                cloth.integrate_par();
+                cloth.satisfy_par(3);
+            }
+            black_box(cloth.strain())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_image_filter, bench_blur, bench_raytrace, bench_fluid,
+              bench_nbody, bench_normal_map, bench_cloth
+}
+criterion_main!(benches);

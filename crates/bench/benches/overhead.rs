@@ -1,0 +1,46 @@
+//! Instrumentation overhead by mode.
+//!
+//! The paper stages its three instrumentation modes precisely because their
+//! costs differ wildly: lightweight profiling has "no discernible impact",
+//! loop profiling "minimal discernible impact", and the dependence analysis
+//! "has a very high overhead" (Sec. 3.1–3.3). This bench reproduces that
+//! ordering on the same program: uninstrumented < lightweight ≲ loop
+//! profile ≪ dependence.
+
+use ceres_bench::BENCH_PROGRAM;
+use ceres_core::engine::run_instrumented;
+use ceres_core::Mode;
+use ceres_interp::Interp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instrumentation_overhead");
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(42);
+            interp.eval_source(black_box(BENCH_PROGRAM)).unwrap();
+            black_box(interp.clock.now_ticks())
+        })
+    });
+
+    for (name, mode) in [
+        ("lightweight", Mode::Lightweight),
+        ("loop_profile", Mode::LoopProfile),
+        ("dependence", Mode::Dependence),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (interp, _engine) =
+                    run_instrumented(black_box(BENCH_PROGRAM), mode, 42).unwrap();
+                black_box(interp.clock.now_ticks())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Front-end throughput: lexing, parsing, code generation, and the three
+//! rewriting passes over the real workload corpus (all 12 case-study
+//! sources concatenated).
+
+use ceres_instrument::{instrument_program, Mode};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn corpus() -> String {
+    ceres_workloads::all()
+        .iter()
+        .map(|w| w.source)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = corpus();
+    let mut group = c.benchmark_group("frontend");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+
+    group.bench_function("lex", |b| {
+        b.iter(|| black_box(ceres_parser::tokenize(black_box(&src)).unwrap().len()))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(ceres_parser::parse_program(black_box(&src)).unwrap().body.len()))
+    });
+
+    let mut program = ceres_parser::parse_program(&src).unwrap();
+    let loops = ceres_ast::assign_loop_ids(&mut program);
+    assert!(!loops.is_empty());
+
+    group.bench_function("codegen", |b| {
+        b.iter(|| black_box(ceres_ast::program_to_source(black_box(&program)).len()))
+    });
+    for (name, mode) in [
+        ("rewrite_lightweight", Mode::Lightweight),
+        ("rewrite_loop_profile", Mode::LoopProfile),
+        ("rewrite_dependence", Mode::Dependence),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(instrument_program(black_box(&program), mode).body.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

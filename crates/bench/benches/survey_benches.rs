@@ -1,0 +1,48 @@
+//! Survey processing: population generation, thematic coding, and the
+//! Figure 1–4 aggregations.
+
+use ceres_survey as survey;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_survey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("survey");
+
+    group.bench_function("generate_population", |b| {
+        b.iter(|| black_box(survey::generate(black_box(2015)).len()))
+    });
+
+    let pop = survey::generate(2015);
+    let coder = survey::Coder::primary();
+    let answers: Vec<&str> = pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+
+    group.bench_function("thematic_coding", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for a in &answers {
+                total += coder.code(black_box(a)).len();
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("jaccard_agreement", |b| {
+        let secondary = survey::Coder::secondary();
+        b.iter(|| black_box(survey::agreement(&coder, &secondary, black_box(&answers))))
+    });
+
+    group.bench_function("figures_1_to_4", |b| {
+        b.iter(|| {
+            let (rows, na) = survey::fig1(black_box(&pop), &coder);
+            let f2 = survey::fig2(&pop);
+            let f3 = survey::fig3(&pop);
+            let f4 = survey::fig4(&pop);
+            black_box((rows.len(), na, f2.len(), f3.total(), f4.total()))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_survey);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! `jsceres` — run the JS-CERES analysis on a JavaScript or HTML file.
+//!
+//! ```text
+//! jsceres <file.js|file.html> [options]
+//!
+//!   --mode light|loop|dep   instrumentation mode (default: loop)
+//!   --focus <loop-id>       dependence focus (paper Sec. 3.3)
+//!   --seed <n>              interpreter seed (default 2015)
+//!   --max-ticks <n>         abort runaway programs after n virtual ticks
+//!   --report <dir>          commit a full report under <dir>
+//!   --emit-instrumented     print the rewritten source and exit
+//!   --refactor <loop-id>    print the loop rewritten as forEachPar and exit
+//! ```
+//!
+//! The file is served through the in-process proxy pipeline (Fig. 5), run
+//! to completion (event queue drained, no user interaction), and the
+//! analysis is printed: timing, loop profile, warnings, polymorphism, and
+//! the Table 3-style nest classification.
+
+use ceres_core::report::{
+    render_loop_profile, render_nest_table, render_polymorphism, render_warnings, ReportRepo,
+};
+use ceres_core::{analyze, publish_report, AnalyzeOptions, Document, Mode, WebServer};
+
+struct Options {
+    file: String,
+    mode: Mode,
+    focus: Option<u32>,
+    seed: u64,
+    max_ticks: Option<u64>,
+    report: Option<String>,
+    emit_instrumented: bool,
+    refactor: Option<u32>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jsceres <file.js|file.html> [--mode light|loop|dep] [--focus N]\n\
+         \x20              [--seed N] [--max-ticks N] [--report DIR] [--emit-instrumented]\n\
+         \x20              [--refactor LOOP_ID]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        mode: Mode::LoopProfile,
+        focus: None,
+        seed: 2015,
+        max_ticks: None,
+        report: None,
+        emit_instrumented: false,
+        refactor: None,
+    };
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage();
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => {
+                opts.mode = match next_value(&mut args, "--mode").as_str() {
+                    "light" | "lightweight" => Mode::Lightweight,
+                    "loop" | "profile" => Mode::LoopProfile,
+                    "dep" | "dependence" => Mode::Dependence,
+                    other => {
+                        eprintln!("unknown mode `{other}`");
+                        usage();
+                    }
+                };
+            }
+            "--focus" => {
+                opts.focus = next_value(&mut args, "--focus").parse().ok();
+                if opts.focus.is_none() {
+                    eprintln!("--focus needs a loop id (see the loop profile output)");
+                    usage();
+                }
+            }
+            "--seed" => opts.seed = next_value(&mut args, "--seed").parse().unwrap_or(2015),
+            "--max-ticks" => {
+                opts.max_ticks = next_value(&mut args, "--max-ticks").parse().ok();
+            }
+            "--report" => opts.report = Some(next_value(&mut args, "--report")),
+            "--refactor" => {
+                opts.refactor = next_value(&mut args, "--refactor").parse().ok();
+                if opts.refactor.is_none() {
+                    eprintln!("--refactor needs a loop id (see the loop profile output)");
+                    usage();
+                }
+            }
+            "--emit-instrumented" => opts.emit_instrumented = true,
+            "-h" | "--help" => usage(),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let content = match std::fs::read_to_string(&opts.file) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.file);
+            std::process::exit(1);
+        }
+    };
+    let is_html = opts.file.ends_with(".html") || opts.file.ends_with(".htm");
+
+    if let Some(loop_id) = opts.refactor {
+        let source = if is_html {
+            ceres_dom::extract_scripts(&content)
+                .iter()
+                .map(|b| b.content.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        } else {
+            content.clone()
+        };
+        match ceres_parser::parse_and_number(&source) {
+            Ok((program, _)) => {
+                match ceres_instrument::refactor_loop(&program, ceres_ast::LoopId(loop_id)) {
+                    Ok(p) => {
+                        println!("{}", ceres_ast::program_to_source(&p));
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("cannot refactor loop {loop_id}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if opts.emit_instrumented {
+        let source = if is_html {
+            ceres_dom::extract_scripts(&content)
+                .iter()
+                .map(|b| b.content.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
+        } else {
+            content.clone()
+        };
+        match ceres_instrument::instrument_source(&source, opts.mode) {
+            Ok((out, loops)) => {
+                eprintln!("// {} loops instrumented ({:?} mode)", loops.len(), opts.mode);
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut server = WebServer::new();
+    let doc = if is_html { Document::Html(content) } else { Document::Js(content) };
+    server.publish(&opts.file, doc);
+
+    let run = analyze(
+        &server,
+        &opts.file,
+        AnalyzeOptions {
+            mode: opts.mode,
+            seed: opts.seed,
+            focus: opts.focus.map(ceres_ast::LoopId),
+            max_ticks: opts.max_ticks,
+            ..Default::default()
+        },
+        Box::new(|_, _| Ok(())),
+    );
+    let mut run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+
+    if !run.console.is_empty() {
+        println!("-- console --");
+        for line in &run.console {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    println!("-- timing --");
+    println!(
+        "total {:.1} ms | profiler-active {:.1} ms | in loops {:.1} ms ({:.0}%)",
+        run.total_ms,
+        run.active_ms,
+        run.loops_ms,
+        100.0 * run.loop_fraction()
+    );
+
+    {
+        let engine = run.engine.borrow();
+        if opts.mode != Mode::Lightweight {
+            println!("\n-- loop profile --");
+            print!("{}", render_loop_profile(&engine));
+        }
+        if opts.mode == Mode::Dependence {
+            println!("\n-- dependence warnings --");
+            print!("{}", render_warnings(&engine));
+            println!("\n-- polymorphism --");
+            print!("{}", render_polymorphism(&engine));
+        }
+    }
+    if opts.mode != Mode::Lightweight {
+        let nests = run.nests();
+        if !nests.is_empty() {
+            let engine = run.engine.borrow();
+            println!("\n-- loop nests (Table 3 style) --");
+            print!("{}", render_nest_table(&engine, &nests));
+            if opts.mode == Mode::Dependence {
+                println!("\n-- suggestions --");
+                print!(
+                    "{}",
+                    ceres_core::render_suggestions(
+                        &engine,
+                        &ceres_core::suggest(&engine, &nests)
+                    )
+                );
+            }
+        }
+    }
+
+    if let Some(dir) = &opts.report {
+        let app = std::path::Path::new(&opts.file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("app")
+            .to_string();
+        let mut repo = match ReportRepo::open(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot open report dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match publish_report(&mut run, &mut repo, &app) {
+            Ok(commit) => println!("\nreport committed as {commit} under {dir}"),
+            Err(e) => eprintln!("report failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ceres-bench
+//!
+//! Benchmark harness for js-ceres-rs:
+//!
+//! * the `repro` binary regenerates every table and figure of the paper
+//!   (`cargo run --release -p ceres-bench --bin repro -- all`);
+//! * Criterion benches measure instrumentation overhead (`overhead` — the
+//!   paper's three-stage rationale), native kernel speedups (`kernels`),
+//!   front-end throughput (`parser_throughput`), survey processing
+//!   (`survey_benches`), and the full pipeline (`pipeline_benches`).
+
+/// A small fixed JS program used by the overhead and pipeline benches: a
+/// loop nest with both disjoint and accumulating accesses.
+pub const BENCH_PROGRAM: &str = "\
+var n = 24;\n\
+var grid = new Float32Array(n * n);\n\
+var acc = { total: 0 };\n\
+function kernel(t) {\n\
+  var i, j;\n\
+  for (j = 0; j < n; j++) {\n\
+    for (i = 0; i < n; i++) {\n\
+      grid[j * n + i] = (i * 31 + j * 17 + t) % 255;\n\
+      acc.total += grid[j * n + i] * 0.001;\n\
+    }\n\
+  }\n\
+}\n\
+var t;\n\
+for (t = 0; t < 4; t++) { kernel(t); }\n\
+console.log(acc.total.toFixed(3));\n";

@@ -1,0 +1,115 @@
+//! Smoke tests for the `jsceres` and `repro` binaries.
+
+use std::process::Command;
+
+fn jsceres() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jsceres"))
+}
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("jsceres-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn jsceres_analyzes_a_js_file() {
+    let file = write_temp(
+        "acc.js",
+        "var acc = { v: 0 };\nvar i;\nfor (i = 0; i < 40; i++) { acc.v += i; }\nconsole.log(acc.v);",
+    );
+    let out = jsceres().arg(&file).arg("--mode").arg("dep").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("780"), "{stdout}"); // 0+..+39
+    assert!(stdout.contains("-- loop profile --"), "{stdout}");
+    assert!(stdout.contains("-- dependence warnings --"), "{stdout}");
+    assert!(stdout.contains("acc.v"), "{stdout}");
+    assert!(stdout.contains("-- suggestions --"), "{stdout}");
+    assert!(stdout.contains("parallel reduction"), "{stdout}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn jsceres_handles_html_input() {
+    let file = write_temp(
+        "page.html",
+        "<html><body><script>var s = 0; var i; for (i = 0; i < 5; i++) { s += i; }\nconsole.log(\"sum\", s);</script></body></html>",
+    );
+    let out = jsceres().arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sum 10"), "{stdout}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn jsceres_emit_instrumented_prints_hooks() {
+    let file = write_temp("loop.js", "var i;\nfor (i = 0; i < 3; i++) { }\n");
+    let out = jsceres()
+        .arg(&file)
+        .arg("--mode")
+        .arg("loop")
+        .arg("--emit-instrumented")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("__ceres_loop_enter(1)"), "{stdout}");
+    assert!(stdout.contains("finally"), "{stdout}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn jsceres_rejects_bad_usage() {
+    let out = jsceres().output().unwrap();
+    assert!(!out.status.success());
+    let out = jsceres().arg("nonexistent-file.js").output().unwrap();
+    assert!(!out.status.success());
+    let out = jsceres().arg("--mode").arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn jsceres_writes_reports() {
+    let file = write_temp("rep.js", "var x = 0;\nvar i;\nfor (i = 0; i < 4; i++) { x += i; }");
+    let dir = std::env::temp_dir().join(format!("jsceres-cli-reports-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = jsceres()
+        .arg(&file)
+        .arg("--mode")
+        .arg("dep")
+        .arg("--report")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("log.txt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn repro_survey_targets_run_quickly() {
+    for target in ["fig1", "fig3", "fig4", "table1"] {
+        let out = repro().arg(target).output().unwrap();
+        assert!(out.status.success(), "{target}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("=="), "{target}: {stdout}");
+    }
+    // fig1 carries the paper's exact Games count.
+    let out = repro().arg("fig1").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Games"), "{stdout}");
+    assert!(stdout.contains("26"), "{stdout}");
+}
+
+#[test]
+fn repro_rejects_unknown_target() {
+    let out = repro().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+}

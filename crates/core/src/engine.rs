@@ -1,0 +1,1316 @@
+//! The JS-CERES analysis engine.
+//!
+//! One [`Engine`] instance backs one instrumented run. The `__ceres_*` host
+//! functions registered by [`attach_engine`] feed it: loop enter/iter/exit
+//! maintain the characterization stack and per-loop statistics; the
+//! dependence hooks maintain stamps, snapshots and warnings; tagged host
+//! objects (DOM/Canvas/WebGL) are attributed to the loops open at access
+//! time via the interpreter's [`Monitor`].
+
+use crate::stack::{
+    characterize_write, empty_stamp, flow_dependence, is_problematic, Characterization, Stamp,
+    StackEntry,
+};
+use crate::welford::Welford;
+use ceres_ast::{LoopId, LoopInfo};
+use ceres_instrument::{hooks, Mode};
+use ceres_interp::{ops, CallCtx, Interp, JsResult, Monitor, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Per-syntactic-loop statistics (paper Sec. 3.2).
+#[derive(Debug, Clone, Default)]
+pub struct LoopRecord {
+    /// "the number of times it is encountered at runtime".
+    pub instances: u64,
+    /// Trip count per instance (total/avg/variance via Welford).
+    pub trips: Welford,
+    /// Running time per instance, in virtual-clock ticks (includes nested
+    /// loops, as in the paper's loop-nest accounting).
+    pub time_ticks: Welford,
+    /// Set when recursion re-entered this loop before it exited; the paper
+    /// "raises a warning, and discards the analysis results for the
+    /// affected loop nest".
+    pub recursion_tainted: bool,
+}
+
+/// Kinds of dependence warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WarningKind {
+    /// (a) write to a variable declared outside the current iteration.
+    VarWrite,
+    /// (b) write to a property of an object shared across iterations.
+    SharedPropWrite,
+    /// (c) read of a property written in a different iteration (flow/RAW).
+    FlowRead,
+    /// Extension: write-after-write on the same property location observed
+    /// across iterations (output dependence evidence).
+    WawWrite,
+    /// Recursion grew the loop stack; results for the nest are discarded.
+    Recursion,
+}
+
+impl WarningKind {
+    pub fn describe(&self) -> &'static str {
+        match self {
+            WarningKind::VarWrite => "write to variable declared outside the loop iteration",
+            WarningKind::SharedPropWrite => "write to property of object shared between iterations",
+            WarningKind::FlowRead => "read of property written in a different iteration (flow)",
+            WarningKind::WawWrite => "repeated write to the same property location (output)",
+            WarningKind::Recursion => "recursive call re-entered the loop; nest results discarded",
+        }
+    }
+}
+
+/// One (deduplicated) dependence warning.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    pub kind: WarningKind,
+    /// Human-readable subject: `p`, `com.x`, `data[*]`, `bodies[]`, …
+    pub subject: String,
+    pub characterization: Characterization,
+    /// Write-op spelling for variable writes ("=", "+=", "++", "init", …).
+    pub op: Option<String>,
+    /// The top-level loop open when the warning fired (Table 3 nest).
+    pub nest_root: LoopId,
+    /// How many dynamic accesses collapsed into this warning.
+    pub count: u64,
+}
+
+/// Key-diversity statistics per written subject; used by the difficulty
+/// classifier to tell disjoint writes (`data[i]`, distinct `i` per
+/// iteration) from conflicting ones (`com.x` every iteration).
+#[derive(Debug, Clone, Default)]
+pub struct SubjectStats {
+    pub writes: u64,
+    /// Innermost (loop, instance) the current window belongs to.
+    ctx: Option<(LoopId, u64)>,
+    ctx_writes: u64,
+    ctx_locations: HashSet<(u64, String)>,
+    /// Sum of per-instance disjointness ratios and window count.
+    ratio_sum: f64,
+    windows: u64,
+}
+
+const KEYSET_CAP: usize = 4096;
+
+impl SubjectStats {
+    fn record(&mut self, obj_id: u64, key: &str, ctx: Option<(LoopId, u64)>) {
+        self.writes += 1;
+        if self.ctx != ctx {
+            self.fold_window();
+            self.ctx = ctx;
+        }
+        self.ctx_writes += 1;
+        if self.ctx_locations.len() < KEYSET_CAP {
+            self.ctx_locations.insert((obj_id, key.to_string()));
+        }
+    }
+
+    fn fold_window(&mut self) {
+        if self.ctx_writes > 0 {
+            self.ratio_sum +=
+                (self.ctx_locations.len() as f64 / self.ctx_writes as f64).min(1.0);
+            self.windows += 1;
+        }
+        self.ctx_writes = 0;
+        self.ctx_locations.clear();
+    }
+
+    /// Mean, over innermost loop *instances*, of the fraction of writes
+    /// that hit a distinct location within that instance. 1.0 ⇒ each
+    /// iteration writes its own location (`out[i] = …`, or one field of a
+    /// per-iteration object); near 0 ⇒ every iteration hits the same
+    /// location (`acc.v = …`).
+    pub fn disjointness(&self) -> f64 {
+        let mut ratio_sum = self.ratio_sum;
+        let mut windows = self.windows;
+        if self.ctx_writes > 0 {
+            ratio_sum += (self.ctx_locations.len() as f64 / self.ctx_writes as f64).min(1.0);
+            windows += 1;
+        }
+        if windows == 0 {
+            1.0
+        } else {
+            ratio_sum / windows as f64
+        }
+    }
+}
+
+/// The engine state shared by all hooks of one run.
+pub struct Engine {
+    pub mode: Mode,
+    /// Loop id → source info (kind, line), from the instrumentation pass.
+    pub loops: HashMap<LoopId, LoopInfo>,
+
+    // --- characterization stack ---
+    stack: Vec<StackEntry>,
+    start_ticks: Vec<u64>,
+    instance_counters: HashMap<LoopId, u64>,
+
+    // --- loop profiling ---
+    pub records: HashMap<LoopId, LoopRecord>,
+    /// loop → top-level loop of the nest it ran inside.
+    pub nest_root: HashMap<LoopId, LoopId>,
+
+    // --- lightweight profiling ---
+    lw_open: u64,
+    lw_start: u64,
+    /// Total ticks with ≥1 loop open (the paper's "time spent in loops").
+    pub lw_loop_ticks: u64,
+
+    // --- dependence analysis ---
+    /// Restrict recording to nests containing this loop (the paper's
+    /// "focus on a specific loop").
+    pub focus: Option<LoopId>,
+    binding_stamps: HashMap<u64, Stamp>,
+    object_stamps: HashMap<u64, Stamp>,
+    write_snapshots: HashMap<(u64, String), Stamp>,
+    pub warnings: Vec<Warning>,
+    warning_index: HashMap<(WarningKind, String, String), usize>,
+    // key: (kind, subject|op, rendered characterization)
+    pub subject_stats: HashMap<String, SubjectStats>,
+
+    // --- runtime type observation (paper Sec. 2.4 / 4.2) ---
+    /// (display name, binding id) → set of runtime types written *inside
+    /// loops*. Keyed per binding so unrelated locals that share a name in
+    /// different functions don't alias; a key with more than one type
+    /// (ignoring undefined/null, per the paper's definition) is
+    /// polymorphic. Property subjects use binding id 0.
+    pub observed_types: HashMap<(String, u64), BTreeSet<&'static str>>,
+
+    // --- task-parallelism limit study (Fortuna et al. baseline) ---
+    /// Completed tasks in execution order.
+    pub tasks: Vec<crate::tasks::TaskRecord>,
+    task_depth: usize,
+
+    // --- DOM attribution ---
+    /// loop id → host-object tags accessed while it was open.
+    pub dom_by_loop: HashMap<LoopId, BTreeSet<&'static str>>,
+    /// Host accesses observed with no loop open.
+    pub dom_outside_loops: u64,
+}
+
+impl Engine {
+    pub fn new(mode: Mode, loops: Vec<LoopInfo>) -> Engine {
+        Engine {
+            mode,
+            loops: loops.into_iter().map(|l| (l.id, l)).collect(),
+            stack: Vec::new(),
+            start_ticks: Vec::new(),
+            instance_counters: HashMap::new(),
+            records: HashMap::new(),
+            nest_root: HashMap::new(),
+            lw_open: 0,
+            lw_start: 0,
+            lw_loop_ticks: 0,
+            focus: None,
+            binding_stamps: HashMap::new(),
+            object_stamps: HashMap::new(),
+            write_snapshots: HashMap::new(),
+            warnings: Vec::new(),
+            warning_index: HashMap::new(),
+            subject_stats: HashMap::new(),
+            observed_types: HashMap::new(),
+            tasks: Vec::new(),
+            task_depth: 0,
+            dom_by_loop: HashMap::new(),
+            dom_outside_loops: 0,
+        }
+    }
+
+    /// Current stack as a stamp.
+    fn stamp(&self) -> Stamp {
+        Rc::from(self.stack.as_slice())
+    }
+
+    /// Is dependence recording active right now (inside a loop; inside the
+    /// focused nest when a focus is set)?
+    fn recording(&self) -> bool {
+        if self.stack.is_empty() {
+            return false;
+        }
+        match self.focus {
+            None => true,
+            Some(f) => self.stack.iter().any(|e| e.loop_id == f),
+        }
+    }
+
+    // ---------------- loop hooks ----------------
+
+    fn lw_enter(&mut self, now: u64) {
+        if self.lw_open == 0 {
+            self.lw_start = now;
+        }
+        self.lw_open += 1;
+    }
+
+    fn lw_exit(&mut self, now: u64) {
+        if self.lw_open > 0 {
+            self.lw_open -= 1;
+            if self.lw_open == 0 {
+                self.lw_loop_ticks += now - self.lw_start;
+            }
+        }
+    }
+
+    fn loop_enter(&mut self, id: LoopId, now: u64) {
+        // Recursion detection (paper Sec. 3.3): same syntactic loop opened
+        // again before it closed.
+        if self.stack.iter().any(|e| e.loop_id == id) {
+            let root = self.stack.first().map(|e| e.loop_id).unwrap_or(id);
+            self.records.entry(id).or_default().recursion_tainted = true;
+            self.records.entry(root).or_default().recursion_tainted = true;
+            self.push_warning(Warning {
+                kind: WarningKind::Recursion,
+                subject: self
+                    .loops
+                    .get(&id)
+                    .map(|l| l.display_name())
+                    .unwrap_or_else(|| format!("{id}")),
+                characterization: Vec::new(),
+                op: None,
+                nest_root: root,
+                count: 1,
+            });
+        }
+        let counter = self.instance_counters.entry(id).or_insert(0);
+        *counter += 1;
+        let instance = *counter;
+        self.nest_root
+            .entry(id)
+            .or_insert_with(|| self.stack.first().map(|e| e.loop_id).unwrap_or(id));
+        self.stack.push(StackEntry { loop_id: id, instance, iteration: 0 });
+        self.start_ticks.push(now);
+        // Lightweight totals also work in the richer modes so Table 2 can be
+        // cross-checked against loop-profile runs.
+        self.lw_enter(now);
+    }
+
+    fn iter(&mut self, id: LoopId) {
+        // The hook sits at the top of the loop body, so the innermost open
+        // loop is (in well-formed programs) the one being iterated. Scan
+        // from the top for robustness under recursion taint.
+        if let Some(e) = self.stack.iter_mut().rev().find(|e| e.loop_id == id) {
+            e.iteration += 1;
+        }
+    }
+
+    fn loop_exit(&mut self, id: LoopId, now: u64) {
+        // Pop until we find the entry (robust under abnormal unwinding).
+        while let Some(top) = self.stack.pop() {
+            let start = self.start_ticks.pop().unwrap_or(now);
+            let rec = self.records.entry(top.loop_id).or_default();
+            rec.instances += 1;
+            rec.trips.add(top.iteration as f64);
+            rec.time_ticks.add((now - start) as f64);
+            self.lw_exit(now);
+            if top.loop_id == id {
+                break;
+            }
+        }
+    }
+
+    // ---------------- dependence hooks ----------------
+
+    fn stamp_binding(&mut self, binding_id: u64) {
+        self.binding_stamps.insert(binding_id, self.stamp());
+    }
+
+    fn stamp_object(&mut self, obj_id: u64) {
+        self.object_stamps.insert(obj_id, self.stamp());
+    }
+
+    fn push_warning(&mut self, w: Warning) {
+        let render_key: String = w
+            .characterization
+            .iter()
+            .map(|l| format!("{}:{:?}{:?}", l.loop_id, l.instance, l.iteration))
+            .collect();
+        let key = (
+            w.kind,
+            format!("{}|{}", w.subject, w.op.as_deref().unwrap_or("")),
+            render_key,
+        );
+        match self.warning_index.get(&key) {
+            Some(&i) => self.warnings[i].count += w.count,
+            None => {
+                self.warning_index.insert(key, self.warnings.len());
+                self.warnings.push(w);
+            }
+        }
+    }
+
+    fn var_write(&mut self, binding_id: Option<u64>, name: &str, op: &str) {
+        if !self.recording() {
+            return;
+        }
+        let stamp =
+            binding_id.and_then(|id| self.binding_stamps.get(&id).cloned()).unwrap_or_else(
+                // Unstamped binding (implicit global, host-provided):
+                // conservatively "created before all loops".
+                empty_stamp,
+            );
+        let c = characterize_write(&stamp, &self.stack);
+        if is_problematic(&c) {
+            let root = self.stack[0].loop_id;
+            self.push_warning(Warning {
+                kind: WarningKind::VarWrite,
+                subject: name.to_string(),
+                characterization: c,
+                op: Some(op.to_string()),
+                nest_root: root,
+                count: 1,
+            });
+        }
+    }
+
+    /// Property write: returns whether it was recorded (used by tests).
+    #[allow(clippy::too_many_arguments)]
+    fn prop_write(
+        &mut self,
+        obj_id: u64,
+        key: &str,
+        base: Option<(&str, Option<u64>)>,
+        op: &str,
+    ) {
+        if !self.recording() {
+            return;
+        }
+        let subject = subject_name(base.map(|b| b.0), key);
+        // Effective stamp: of the object's creation stamp and the base
+        // variable's binding stamp, take the one matching the *current*
+        // stack deeper — i.e. the freshest context the location is reachable
+        // from. This is what reproduces the paper's Fig. 6 output: `p.vX`
+        // characterizes through `p`'s per-activation binding (stamped inside
+        // the while), not through the particle object (created during
+        // setup, before any of the open loops). See DESIGN.md §4.
+        let obj_stamp = self.object_stamps.get(&obj_id).cloned().unwrap_or_else(empty_stamp);
+        let base_stamp = base
+            .and_then(|(_, id)| id)
+            .and_then(|id| self.binding_stamps.get(&id).cloned());
+        let eff = match base_stamp {
+            Some(b)
+                if matched_prefix_len(&b, &self.stack)
+                    > matched_prefix_len(&obj_stamp, &self.stack) =>
+            {
+                b
+            }
+            _ => obj_stamp,
+        };
+        let c = characterize_write(&eff, &self.stack);
+        let root = self.stack[0].loop_id;
+        let ctx = self.stack.last().map(|e| (e.loop_id, e.instance));
+        self.subject_stats.entry(subject.clone()).or_default().record(obj_id, key, ctx);
+        if is_problematic(&c) {
+            self.push_warning(Warning {
+                kind: WarningKind::SharedPropWrite,
+                subject: subject.clone(),
+                characterization: c,
+                op: Some(op.to_string()),
+                nest_root: root,
+                count: 1,
+            });
+        }
+        // Output-dependence evidence: same location written in another
+        // iteration we are still inside of.
+        let snap_key = (obj_id, key.to_string());
+        if let Some(prev) = self.write_snapshots.get(&snap_key) {
+            if let Some(c) = flow_dependence(prev, &self.stack) {
+                self.push_warning(Warning {
+                    kind: WarningKind::WawWrite,
+                    subject,
+                    characterization: c,
+                    op: None,
+                    nest_root: root,
+                    count: 1,
+                });
+            }
+        }
+        self.write_snapshots.insert(snap_key, self.stamp());
+    }
+
+    fn prop_read(&mut self, obj_id: u64, key: &str, base: Option<&str>) {
+        if !self.recording() {
+            return;
+        }
+        let snap_key = (obj_id, key.to_string());
+        if let Some(snapshot) = self.write_snapshots.get(&snap_key) {
+            if let Some(c) = flow_dependence(snapshot, &self.stack) {
+                let root = self.stack[0].loop_id;
+                self.push_warning(Warning {
+                    kind: WarningKind::FlowRead,
+                    subject: subject_name(base, key),
+                    characterization: c,
+                    op: None,
+                    nest_root: root,
+                    count: 1,
+                });
+            }
+        }
+    }
+
+    /// Record the runtime type written to `subject` (only inside loops —
+    /// the paper inspects "polymorphic variable accesses … within the
+    /// computationally-intensive loops").
+    fn observe_type(&mut self, subject: &str, binding: u64, value: &Value) {
+        if self.stack.is_empty() {
+            return;
+        }
+        // The paper: "We do not consider a variable polymorphic if it
+        // changes between defined, undefined, and null."
+        let ty = match value {
+            Value::Undefined | Value::Null => return,
+            v => v.type_of(),
+        };
+        self.observed_types
+            .entry((subject.to_string(), binding))
+            .or_default()
+            .insert(ty);
+    }
+
+    /// Subjects observed with more than one runtime type inside loops.
+    pub fn polymorphic_subjects(&self) -> Vec<(String, Vec<&'static str>)> {
+        let mut out: Vec<(String, Vec<&'static str>)> = self
+            .observed_types
+            .iter()
+            .filter(|(_, tys)| tys.len() > 1)
+            .map(|((s, _), tys)| (s.clone(), tys.iter().copied().collect()))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Open a task (nested opens fold into the outermost).
+    pub fn begin_task(&mut self, label: &str, now_ticks: u64) {
+        self.task_depth += 1;
+        if self.task_depth == 1 {
+            self.tasks.push(crate::tasks::TaskRecord {
+                label: label.to_string(),
+                start_ticks: now_ticks,
+                end_ticks: now_ticks,
+                reads: std::collections::HashSet::new(),
+                writes: std::collections::HashSet::new(),
+            });
+        }
+    }
+
+    /// Close the innermost task.
+    pub fn end_task(&mut self, now_ticks: u64) {
+        if self.task_depth > 0 {
+            self.task_depth -= 1;
+            if self.task_depth == 0 {
+                if let Some(t) = self.tasks.last_mut() {
+                    t.end_ticks = now_ticks;
+                }
+            }
+        }
+    }
+
+    fn task_read(&mut self, location: u64) {
+        if self.task_depth > 0 {
+            if let Some(t) = self.tasks.last_mut() {
+                t.reads.insert(location);
+            }
+        }
+    }
+
+    fn task_write(&mut self, location: u64) {
+        if self.task_depth > 0 {
+            if let Some(t) = self.tasks.last_mut() {
+                t.writes.insert(location);
+            }
+        }
+    }
+
+    fn host_access_inner(&mut self, tag: &'static str) {
+        if self.stack.is_empty() {
+            self.dom_outside_loops += 1;
+            return;
+        }
+        for e in &self.stack {
+            self.dom_by_loop.entry(e.loop_id).or_default().insert(tag);
+        }
+    }
+
+    // ---------------- results ----------------
+
+    /// Depth of the open-loop stack (diagnostics).
+    pub fn open_loops(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Warnings attributed to the nest rooted at `root`.
+    pub fn warnings_for_nest(&self, root: LoopId) -> Vec<&Warning> {
+        self.warnings.iter().filter(|w| w.nest_root == root).collect()
+    }
+}
+
+/// How many leading levels of `stamp` match `current` exactly (same loop,
+/// instance, and iteration).
+fn matched_prefix_len(stamp: &[StackEntry], current: &[StackEntry]) -> usize {
+    stamp
+        .iter()
+        .zip(current)
+        .take_while(|(s, c)| {
+            s.loop_id == c.loop_id && s.instance == c.instance && s.iteration == c.iteration
+        })
+        .count()
+}
+
+/// Compose a warning subject: `p.vX`, `data[*]`, `com.x`, or `*.x` when the
+/// base expression was not a variable. Numeric keys collapse to `[*]` so
+/// index sweeps produce one subject.
+fn subject_name(base: Option<&str>, key: &str) -> String {
+    let base = base.unwrap_or("*");
+    if key.parse::<f64>().is_ok() {
+        format!("{base}[*]")
+    } else {
+        format!("{base}.{key}")
+    }
+}
+
+/// Wrapper implementing the interpreter's [`Monitor`] for DOM attribution.
+struct EngineMonitor(Rc<std::cell::RefCell<Engine>>);
+
+impl Monitor for EngineMonitor {
+    fn host_access(&self, tag: &'static str, _op: &str) {
+        // May be called re-entrantly from hooks only *after* they dropped
+        // their borrow (hook discipline: compute, drop, call interp).
+        if let Ok(mut eng) = self.0.try_borrow_mut() {
+            eng.host_access_inner(tag);
+        }
+    }
+
+    fn task_begin(&self, label: &str, now_ticks: u64) {
+        if let Ok(mut eng) = self.0.try_borrow_mut() {
+            eng.begin_task(label, now_ticks);
+        }
+    }
+
+    fn task_end(&self, now_ticks: u64) {
+        if let Ok(mut eng) = self.0.try_borrow_mut() {
+            eng.end_task(now_ticks);
+        }
+    }
+}
+
+/// Shared engine handle.
+pub type EngineRef = Rc<std::cell::RefCell<Engine>>;
+
+/// Create an engine for `mode`, register every `__ceres_*` hook and the DOM
+/// monitor on `interp`, and return the shared handle.
+pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> EngineRef {
+    let engine: EngineRef = Rc::new(std::cell::RefCell::new(Engine::new(mode, loops)));
+
+    interp.monitor = Some(Rc::new(EngineMonitor(engine.clone())));
+
+    let arg = |args: &[Value], i: usize| args.get(i).cloned().unwrap_or(Value::Undefined);
+    let key_of = |v: &Value| ops::to_string(v);
+    let opt_str = |v: &Value| match v {
+        Value::Str(s) => Some(s.to_string()),
+        _ => None,
+    };
+
+    // --- lightweight ---
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::LW_ENTER, move |interp, _ctx, _args| {
+            let now = interp.clock.now_ticks();
+            eng.borrow_mut().lw_enter(now);
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::LW_EXIT, move |interp, _ctx, _args| {
+            let now = interp.clock.now_ticks();
+            eng.borrow_mut().lw_exit(now);
+            Ok(Value::Undefined)
+        });
+    }
+
+    // --- loop profiling ---
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::LOOP_ENTER, move |interp, _ctx, args| {
+            let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
+            let now = interp.clock.now_ticks();
+            eng.borrow_mut().loop_enter(id, now);
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::ITER, move |_interp, _ctx, args| {
+            let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
+            eng.borrow_mut().iter(id);
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::LOOP_EXIT, move |interp, _ctx, args| {
+            let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
+            let now = interp.clock.now_ticks();
+            eng.borrow_mut().loop_exit(id, now);
+            Ok(Value::Undefined)
+        });
+    }
+
+    // --- dependence ---
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::DECLVARS, move |interp, ctx, args| {
+            // Stamping bindings copies the loop stack per name.
+            interp.clock.tick(2 * args.len() as u64);
+            let Some(scope) = &ctx.caller_scope else { return Ok(Value::Undefined) };
+            let mut eng = eng.borrow_mut();
+            for a in args {
+                if let Value::Str(name) = a {
+                    if let Some(b) = scope.lookup(name) {
+                        let id = b.borrow().id;
+                        eng.stamp_binding(id);
+                    }
+                }
+            }
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::WRVAR, move |interp, ctx, args| {
+            // Scope lookup + stamp diff against the current stack.
+            interp.clock.tick(8);
+            let name = key_of(&arg(args, 0));
+            let op = opt_str(&arg(args, 1)).unwrap_or_else(|| "=".to_string());
+            let binding_id = ctx
+                .caller_scope
+                .as_ref()
+                .and_then(|s| s.lookup(&name))
+                .map(|b| b.borrow().id);
+            let mut e = eng.borrow_mut();
+            if let Some(id) = binding_id {
+                e.task_write(crate::tasks::binding_location(id));
+            }
+            e.var_write(binding_id, &name, &op);
+            // When the rewriter threads the assigned value through the
+            // hook (3-argument form), observe its runtime type and pass
+            // it along unchanged.
+            if args.len() > 2 {
+                let value = arg(args, 2);
+                e.observe_type(&name, binding_id.unwrap_or(0), &value);
+                return Ok(value);
+            }
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::WRAP, move |interp, _ctx, args| {
+            // The Proxy wrap: snapshot the loop stack for the new object.
+            interp.clock.tick(4);
+            let v = arg(args, 0);
+            if let Value::Object(o) = &v {
+                eng.borrow_mut().stamp_object(o.id());
+            }
+            Ok(v)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::GETPROP, move |interp, _ctx, args| {
+            // Snapshot lookup + flow-dependence diff.
+            interp.clock.tick(6);
+            let obj = arg(args, 0);
+            let key = key_of(&arg(args, 1));
+            let base = opt_str(&arg(args, 2));
+            if let Value::Object(o) = &obj {
+                let mut e = eng.borrow_mut();
+                e.task_read(crate::tasks::object_location(o.id()));
+                e.prop_read(o.id(), &key, base.as_deref());
+            }
+            interp.get_property(&obj, &key)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::SETPROP, move |interp, ctx, args| {
+            // Effective-stamp diff, WAW check, snapshot update.
+            interp.clock.tick(10);
+            let obj = arg(args, 0);
+            let key = key_of(&arg(args, 1));
+            let value = arg(args, 2);
+            let base = opt_str(&arg(args, 3));
+            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), "=");
+            eng.borrow_mut().observe_type(&subject_name(base.as_deref(), &key), 0, &value);
+            interp.set_property(&obj, &key, value.clone())?;
+            Ok(value)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::SETPROP2, move |interp, ctx, args| {
+            // Read check + write check + compound evaluation.
+            interp.clock.tick(14);
+            let obj = arg(args, 0);
+            let key = key_of(&arg(args, 1));
+            let op = key_of(&arg(args, 2));
+            let value = arg(args, 3);
+            let base = opt_str(&arg(args, 4));
+            // Compound assignment reads the old value first.
+            if let Value::Object(o) = &obj {
+                eng.borrow_mut().prop_read(o.id(), &key, base.as_deref());
+            }
+            let old = interp.get_property(&obj, &key)?;
+            let new = apply_binop(&op, &old, &value);
+            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), &op);
+            interp.set_property(&obj, &key, new.clone())?;
+            Ok(new)
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::UPDATE_PROP, move |interp, ctx, args| {
+            interp.clock.tick(12);
+            let obj = arg(args, 0);
+            let key = key_of(&arg(args, 1));
+            let delta = ops::to_number(&arg(args, 2));
+            let prefix = ops::to_number(&arg(args, 3)) != 0.0;
+            let base = opt_str(&arg(args, 4));
+            if let Value::Object(o) = &obj {
+                eng.borrow_mut().prop_read(o.id(), &key, base.as_deref());
+            }
+            let old = ops::to_number(&interp.get_property(&obj, &key)?);
+            let new = old + delta;
+            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), "++");
+            interp.set_property(&obj, &key, Value::Num(new))?;
+            Ok(Value::Num(if prefix { new } else { old }))
+        });
+    }
+    {
+        let eng = engine.clone();
+        interp.register_native(hooks::MCALL, move |interp, ctx, args| {
+            interp.clock.tick(8);
+            let obj = arg(args, 0);
+            let key = key_of(&arg(args, 1));
+            let base = opt_str(&arg(args, 2));
+            let call_args: Vec<Value> = args.iter().skip(3).cloned().collect();
+            if let Value::Object(o) = &obj {
+                let mut e = eng.borrow_mut();
+                e.task_read(crate::tasks::object_location(o.id()));
+                e.prop_read(o.id(), &key, base.as_deref());
+                // Array-mutating methods are element writes in disguise:
+                // `results.push(x)` inside a loop is an output dependence on
+                // the shared array.
+                if o.is_array() && MUTATING_ARRAY_METHODS.contains(&key.as_str()) {
+                    e.task_write(crate::tasks::object_location(o.id()));
+                    e.prop_write(o.id(), "<elements>", base.as_deref().map(|b| (b, None)), "push");
+                }
+            }
+            // Resolve the binding id for the base variable (for the
+            // effective-stamp refinement) before calling out.
+            let f = interp.get_property(&obj, &key)?;
+            interp.call_value(&f, obj, &call_args, ctx.caller_scope.clone())
+        });
+    }
+
+    engine
+}
+
+/// Array methods that mutate the receiver's elements.
+const MUTATING_ARRAY_METHODS: &[&str] =
+    &["push", "pop", "shift", "unshift", "splice", "sort", "reverse"];
+
+/// Shared write-recording path for SETPROP/SETPROP2/UPDATE_PROP.
+fn record_prop_write(
+    eng: &EngineRef,
+    ctx: &CallCtx,
+    obj: &Value,
+    key: &str,
+    base: Option<&str>,
+    op: &str,
+) {
+    let Value::Object(o) = obj else { return };
+    let base_with_id = base.map(|name| {
+        let id = ctx
+            .caller_scope
+            .as_ref()
+            .and_then(|s| s.lookup(name))
+            .map(|b| b.borrow().id);
+        (name, id)
+    });
+    let mut e = eng.borrow_mut();
+    e.task_write(crate::tasks::object_location(o.id()));
+    e.prop_write(o.id(), key, base_with_id, op);
+}
+
+/// Evaluate `old op value` for compound property assignment.
+fn apply_binop(op: &str, old: &Value, value: &Value) -> Value {
+    use ceres_interp::ops::*;
+    match op {
+        "+" => js_add(old, value),
+        "-" => Value::Num(to_number(old) - to_number(value)),
+        "*" => Value::Num(to_number(old) * to_number(value)),
+        "/" => Value::Num(to_number(old) / to_number(value)),
+        "%" => Value::Num(to_number(old) % to_number(value)),
+        "<<" => Value::Num((to_int32(old) << (to_uint32(value) & 31)) as f64),
+        ">>" => Value::Num((to_int32(old) >> (to_uint32(value) & 31)) as f64),
+        ">>>" => Value::Num((to_uint32(old) >> (to_uint32(value) & 31)) as f64),
+        "&" => Value::Num((to_int32(old) & to_int32(value)) as f64),
+        "|" => Value::Num((to_int32(old) | to_int32(value)) as f64),
+        "^" => Value::Num((to_int32(old) ^ to_int32(value)) as f64),
+        _ => js_add(old, value),
+    }
+}
+
+/// Run `source` under `mode` on a fresh interpreter with DOM installed;
+/// convenience used by tests, examples, and the pipeline.
+pub fn run_instrumented(source: &str, mode: Mode, seed: u64) -> JsResult<(Interp, EngineRef)> {
+    let (instrumented, loops) = ceres_instrument::instrument_source(source, mode)
+        .map_err(|e| ceres_interp::Control::Fatal(format!("instrumentation parse error: {e}")))?;
+    let mut interp = Interp::new(seed);
+    ceres_dom::install_dom(&mut interp);
+    let engine = attach_engine(&mut interp, mode, loops);
+    interp.eval_source(&instrumented)?;
+    Ok((interp, engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::render;
+
+    fn run(src: &str, mode: Mode) -> (Interp, EngineRef) {
+        run_instrumented(src, mode, 42).unwrap_or_else(|e| panic!("run failed: {e:?}"))
+    }
+
+    #[test]
+    fn lightweight_counts_loop_time() {
+        let (interp, eng) = run(
+            "var s = 0;\n\
+             for (var i = 0; i < 1000; i++) { s += i; }\n\
+             var t = 0;\n\
+             for (var j = 0; j < 10; j++) { t += j; }",
+            Mode::Lightweight,
+        );
+        let eng = eng.borrow();
+        assert!(eng.lw_loop_ticks > 0);
+        assert!(eng.lw_loop_ticks < interp.clock.now_ticks());
+        // The 1000-iteration loop dominates: loop time is most of total.
+        assert!(eng.lw_loop_ticks as f64 > 0.8 * interp.clock.now_ticks() as f64);
+    }
+
+    #[test]
+    fn loop_profile_counts_instances_and_trips() {
+        let (_interp, eng) = run(
+            "function work(n) {\n\
+               var s = 0;\n\
+               for (var i = 0; i < n; i++) { s += i; }\n\
+               return s;\n\
+             }\n\
+             for (var r = 0; r < 5; r++) { work(10); }",
+            Mode::LoopProfile,
+        );
+        let eng = eng.borrow();
+        // Loop 1 = the inner for (source order), loop 2 = the outer for.
+        let inner = &eng.records[&LoopId(1)];
+        let outer = &eng.records[&LoopId(2)];
+        assert_eq!(inner.instances, 5);
+        assert_eq!(inner.trips.mean(), 10.0);
+        assert_eq!(inner.trips.total(), 50.0);
+        assert_eq!(outer.instances, 1);
+        assert_eq!(outer.trips.mean(), 5.0);
+        // Outer nest time includes inner time.
+        assert!(outer.time_ticks.total() >= inner.time_ticks.total());
+        // Nest attribution: inner ran inside outer.
+        assert_eq!(eng.nest_root[&LoopId(1)], LoopId(2));
+        assert_eq!(eng.nest_root[&LoopId(2)], LoopId(2));
+    }
+
+    #[test]
+    fn trip_variance_via_welford() {
+        let (_interp, eng) = run(
+            "for (var r = 1; r <= 4; r++) {\n\
+               for (var i = 0; i < r * 10; i++) { }\n\
+             }",
+            Mode::LoopProfile,
+        );
+        let eng = eng.borrow();
+        let inner = &eng.records[&LoopId(2)];
+        assert_eq!(inner.instances, 4);
+        assert_eq!(inner.trips.mean(), 25.0); // (10+20+30+40)/4
+        assert!((inner.trips.stddev() - 125.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_and_return_still_record_exits() {
+        let (_interp, eng) = run(
+            "function f() {\n\
+               for (var i = 0; i < 100; i++) {\n\
+                 if (i === 3) { return i; }\n\
+               }\n\
+             }\n\
+             f();\n\
+             for (var j = 0; j < 100; j++) { if (j === 5) { break; } }",
+            Mode::LoopProfile,
+        );
+        let eng = eng.borrow();
+        assert_eq!(eng.open_loops(), 0, "stack must unwind cleanly");
+        let f_loop = &eng.records[&LoopId(1)];
+        let b_loop = &eng.records[&LoopId(2)];
+        assert_eq!(f_loop.instances, 1);
+        assert_eq!(f_loop.trips.mean(), 4.0); // iterations 1..=4 entered
+        assert_eq!(b_loop.instances, 1);
+        assert_eq!(b_loop.trips.mean(), 6.0);
+    }
+
+    #[test]
+    fn recursion_detected_and_tainted() {
+        let (_interp, eng) = run(
+            "function rec(n) {\n\
+               var s = 0;\n\
+               for (var i = 0; i < 2; i++) {\n\
+                 if (n > 0) { s += rec(n - 1); }\n\
+               }\n\
+               return s;\n\
+             }\n\
+             rec(3);",
+            Mode::LoopProfile,
+        );
+        let eng = eng.borrow();
+        assert!(eng.records[&LoopId(1)].recursion_tainted);
+        assert!(eng.warnings.iter().any(|w| w.kind == WarningKind::Recursion));
+    }
+
+    #[test]
+    fn fig6_nbody_warnings() {
+        // The paper's Fig. 6 program, with a concrete setup and 3 steps.
+        let src = r#"
+var dT = 0.01;
+var bodies = [];
+var setup;
+for (setup = 0; setup < 4; setup++) {
+  bodies.push({ x: setup, y: 0, vX: 0, vY: 0, fX: 1, fY: 1, m: 1 });
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function computeForces() { }
+function step() {
+  computeForces();
+  var com = new Particle();
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * com.m + p.x * p.m) / (com.m + p.m);
+    com.y = (com.y * com.m + p.y * p.m) / (com.m + p.m);
+  }
+  return com;
+}
+var steps = 0;
+while (steps < 3) {
+  var com = step();
+  steps++;
+}
+"#;
+        let (_interp, eng) = run(src, Mode::Dependence);
+        let eng = eng.borrow();
+        let loops = &eng.loops;
+
+        // Loop ids in source order: 1 = setup for, 2 = the step() for,
+        // 3 = the while.
+        let find = |kind: WarningKind, subject: &str| {
+            eng.warnings
+                .iter()
+                .find(|w| w.kind == kind && w.subject == subject)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "missing {kind:?} for {subject}; have: {:?}",
+                        eng.warnings
+                            .iter()
+                            .map(|w| format!("{:?} {}", w.kind, w.subject))
+                            .collect::<Vec<_>>()
+                    )
+                })
+        };
+
+        // (a) write to variable p: while ok ok -> for ok dependence.
+        let wp = find(WarningKind::VarWrite, "p");
+        let rendered = render(&wp.characterization, loops);
+        assert!(
+            rendered.starts_with("while(") && rendered.contains("ok ok -> for("),
+            "unexpected characterization: {rendered}"
+        );
+        assert!(rendered.ends_with("ok dependence"), "{rendered}");
+
+        // (b) writes to properties of p and com share the same shape.
+        for subject in ["p.vX", "p.vY", "p.x", "p.y", "com.m", "com.x", "com.y"] {
+            let w = find(WarningKind::SharedPropWrite, subject);
+            let r = render(&w.characterization, loops);
+            assert!(
+                r.contains("ok ok -> for(") && r.ends_with("ok dependence"),
+                "{subject}: {r}"
+            );
+        }
+
+        // (c) flow reads of com.x / com.y / com.m.
+        for subject in ["com.m", "com.x", "com.y"] {
+            let w = find(WarningKind::FlowRead, subject);
+            let r = render(&w.characterization, loops);
+            assert!(
+                r.contains("ok ok -> for(") && r.ends_with("ok dependence"),
+                "flow {subject}: {r}"
+            );
+        }
+
+        // The induction variable i is recorded as a var write with ++
+        // (the `var i = 0` init is a separate "init" warning).
+        assert!(eng
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::VarWrite
+                && w.subject == "i"
+                && w.op.as_deref() == Some("++")));
+    }
+
+    #[test]
+    fn private_iteration_locals_produce_no_warnings() {
+        let (_interp, eng) = run(
+            "function f(v) { var t = { s: 0 }; t.s = v * 2; return t.s; }\n\
+             var out = 0;\n\
+             for (var i = 0; i < 10; i++) { out += f(i); }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        // t is created and written entirely within one iteration: no
+        // SharedPropWrite warning for t.s.
+        assert!(
+            !eng.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "t.s"),
+            "t.s wrongly flagged: {:?}",
+            eng.warnings
+        );
+        // out is a reduction accumulator: flagged with op "+=".
+        let w = eng
+            .warnings
+            .iter()
+            .find(|w| w.kind == WarningKind::VarWrite && w.subject == "out")
+            .expect("out flagged");
+        assert_eq!(w.op.as_deref(), Some("+="));
+    }
+
+    #[test]
+    fn disjoint_index_writes_have_high_disjointness() {
+        let (_interp, eng) = run(
+            "var data = new Float32Array(64);\n\
+             for (var i = 0; i < 64; i++) { data[i] = i * 2; }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        let stats = eng.subject_stats.get("data[*]").expect("stats for data[*]");
+        assert_eq!(stats.writes, 64);
+        // one window, 64 writes to 64 distinct locations
+        assert!(stats.disjointness() > 0.9, "disjointness {}", stats.disjointness());
+        // Conflicting writes to one field: low disjointness.
+        let (_interp, eng) = run(
+            "var acc = { v: 0 };\n\
+             for (var i = 0; i < 64; i++) { acc.v = acc.v + i; }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        let stats = eng.subject_stats.get("acc.v").expect("stats for acc.v");
+        assert!(stats.disjointness() < 0.1, "disjointness {}", stats.disjointness());
+        // And the read side is a flow dependence.
+        assert!(eng
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::FlowRead && w.subject == "acc.v"));
+    }
+
+    #[test]
+    fn array_push_in_loop_is_output_dependence() {
+        let (_interp, eng) = run(
+            "var results = [];\n\
+             for (var i = 0; i < 8; i++) { results.push(i * i); }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        assert!(
+            eng.warnings
+                .iter()
+                .any(|w| w.kind == WarningKind::SharedPropWrite
+                    && w.subject == "results.<elements>"),
+            "push not flagged: {:?}",
+            eng.warnings.iter().map(|w| (w.kind, w.subject.clone())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn focus_limits_recording_to_one_nest() {
+        let src = "var a = { v: 0 };\n\
+                   var b = { v: 0 };\n\
+                   for (var i = 0; i < 4; i++) { a.v += i; }\n\
+                   for (var j = 0; j < 4; j++) { b.v += j; }";
+        // Focused on loop 2 (the second for): only b.v warnings appear.
+        let (instrumented, loops) =
+            ceres_instrument::instrument_source(src, Mode::Dependence).unwrap();
+        let mut interp = Interp::new(42);
+        ceres_dom::install_dom(&mut interp);
+        let engine = attach_engine(&mut interp, Mode::Dependence, loops);
+        engine.borrow_mut().focus = Some(LoopId(2));
+        interp.eval_source(&instrumented).unwrap();
+        let eng = engine.borrow();
+        assert!(eng.warnings.iter().any(|w| w.subject == "b.v"));
+        assert!(!eng.warnings.iter().any(|w| w.subject == "a.v"));
+    }
+
+    #[test]
+    fn dom_accesses_attributed_to_open_loops() {
+        let (_interp, eng) = run(
+            "var el = document.getElementById(\"out\");\n\
+             for (var i = 0; i < 5; i++) { el.innerHTML = \"i\" + i; }\n\
+             for (var j = 0; j < 5; j++) { var x = j * 2; }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        assert!(eng.dom_by_loop.get(&LoopId(1)).map(|t| t.contains("dom")).unwrap_or(false));
+        assert!(!eng.dom_by_loop.contains_key(&LoopId(2)));
+    }
+
+    #[test]
+    fn warnings_deduplicate_with_counts() {
+        let (_interp, eng) = run(
+            "var g = 0;\n\
+             for (var i = 0; i < 50; i++) { g = i; }",
+            Mode::Dependence,
+        );
+        let eng = eng.borrow();
+        let w: Vec<_> = eng
+            .warnings
+            .iter()
+            .filter(|w| w.kind == WarningKind::VarWrite && w.subject == "g")
+            .collect();
+        assert_eq!(w.len(), 1, "deduplicated");
+        assert_eq!(w[0].count, 50);
+    }
+
+    #[test]
+    fn mcall_preserves_receiver_semantics() {
+        let (interp, _eng) = run(
+            "var counter = { n: 0, bump: function () { this.n += 1; return this.n; } };\n\
+             for (var i = 0; i < 3; i++) { counter.bump(); }\n\
+             console.log(counter.n);",
+            Mode::Dependence,
+        );
+        assert_eq!(interp.console, vec!["3"]);
+    }
+
+    #[test]
+    fn instrumented_programs_compute_same_results() {
+        // Semantics preservation: the same program, all four ways.
+        let src = "var out = [];\n\
+                   function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }\n\
+                   for (var i = 0; i < 8; i++) { out.push(fib(i)); }\n\
+                   console.log(out.join(\",\"));";
+        let expected = "0,1,1,2,3,5,8,13";
+        let mut plain = Interp::new(42);
+        plain.eval_source(src).unwrap();
+        assert_eq!(plain.console, vec![expected]);
+        for mode in [Mode::Lightweight, Mode::LoopProfile, Mode::Dependence] {
+            let (interp, _eng) = run(src, mode);
+            assert_eq!(interp.console, vec![expected], "{mode:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod polymorphism_tests {
+    use crate::engine::run_instrumented;
+    use ceres_instrument::Mode;
+
+    #[test]
+    fn polymorphic_variable_in_loop_is_detected() {
+        let (_interp, eng) = run_instrumented(
+            "var x = 0;\n\
+             var i;\n\
+             for (i = 0; i < 6; i++) {\n\
+               x = i % 2 === 0 ? i : \"s\" + i;\n\
+             }",
+            Mode::Dependence,
+            1,
+        )
+        .unwrap();
+        let eng = eng.borrow();
+        let poly = eng.polymorphic_subjects();
+        assert!(
+            poly.iter().any(|(s, tys)| s == "x"
+                && tys.contains(&"number")
+                && tys.contains(&"string")),
+            "{poly:?}"
+        );
+    }
+
+    #[test]
+    fn monomorphic_and_nullable_variables_are_not_flagged() {
+        let (_interp, eng) = run_instrumented(
+            "var n = 0;\n\
+             var maybe = null;\n\
+             var i;\n\
+             for (i = 0; i < 6; i++) {\n\
+               n = i * 2;\n\
+               maybe = i % 2 === 0 ? null : undefined;\n\
+             }",
+            Mode::Dependence,
+            1,
+        )
+        .unwrap();
+        let eng = eng.borrow();
+        let poly = eng.polymorphic_subjects();
+        assert!(poly.is_empty(), "{poly:?}");
+        // n was observed, with exactly one type.
+        let n_types: Vec<usize> = eng
+            .observed_types
+            .iter()
+            .filter(|((name, _), _)| name == "n")
+            .map(|(_, tys)| tys.len())
+            .collect();
+        assert_eq!(n_types, vec![1]);
+    }
+
+    #[test]
+    fn polymorphic_property_is_detected() {
+        let (_interp, eng) = run_instrumented(
+            "var o = { v: 0 };\n\
+             var i;\n\
+             for (i = 0; i < 4; i++) {\n\
+               o.v = i === 2 ? function () { return 1; } : i;\n\
+             }",
+            Mode::Dependence,
+            1,
+        )
+        .unwrap();
+        let eng = eng.borrow();
+        let poly = eng.polymorphic_subjects();
+        assert!(
+            poly.iter().any(|(s, tys)| s == "o.v" && tys.contains(&"function")),
+            "{poly:?}"
+        );
+    }
+
+    #[test]
+    fn writes_outside_loops_are_not_observed() {
+        let (_interp, eng) = run_instrumented(
+            "var a = 1;\na = \"str\";\na = true;",
+            Mode::Dependence,
+            1,
+        )
+        .unwrap();
+        let eng = eng.borrow();
+        assert!(eng.polymorphic_subjects().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # ceres-core
+//!
+//! The JS-CERES profiling and runtime dependence-analysis engine — the
+//! primary contribution of *"Are web applications ready for parallelism?"*
+//! (Radoi, Herhut, Sreeram, Dig — PPoPP 2015), reproduced in Rust.
+//!
+//! JS-CERES answers two research questions about a web application:
+//!
+//! * **Q1 — how much latent data parallelism is available?** Measured by
+//!   staged profiling: a lightweight open-loop counter bounds the time spent
+//!   in loops (Table 2); per-loop instance/trip/time statistics with
+//!   Welford variance identify the computationally intensive nests
+//!   (Table 3, left half).
+//! * **Q2 — what impedes parallelization?** A dependence analysis stamps
+//!   every binding and object with the stack of open loops at creation,
+//!   snapshots property writes, and characterizes each access as an
+//!   `ok`/`dependence` triple list per loop level (Fig. 6); a classifier
+//!   rolls the warnings up into control-flow divergence, DOM access, and
+//!   dependence-breaking difficulty (Table 3, right half) plus Amdahl
+//!   speedup bounds (Sec. 4.2).
+//!
+//! Module map:
+//!
+//! * [`welford`] — online mean/variance (paper's \[36\]);
+//! * [`stack`] — characterization stacks, stamps, and the diff rules;
+//! * [`engine`] — hook runtime wiring the instrumentation to the analysis;
+//! * [`classify`] — Table 3 columns 5–8 and the Amdahl model;
+//! * [`report`] — paper-style rendering + the local "github" repo;
+//! * [`pipeline`] — the Fig. 5 proxy dataflow, end to end.
+//!
+//! ```
+//! use ceres_core::engine::run_instrumented;
+//! use ceres_instrument::Mode;
+//!
+//! let (_interp, engine) = run_instrumented(
+//!     "var total = 0;\n\
+//!      for (var i = 0; i < 100; i++) { total += i; }",
+//!     Mode::Dependence,
+//!     42,
+//! ).unwrap();
+//! let engine = engine.borrow();
+//! // `total` is an accumulator shared across iterations: flagged.
+//! assert!(engine.warnings.iter().any(|w| w.subject == "total"));
+//! ```
+
+pub mod classify;
+pub mod engine;
+pub mod pipeline;
+pub mod report;
+pub mod stack;
+pub mod suggest;
+pub mod tasks;
+pub mod welford;
+
+pub use classify::{
+    amdahl_bound, amdahl_speedup, classify_nests, static_features, Difficulty, Divergence,
+    NestClassification,
+};
+pub use engine::{attach_engine, run_instrumented, Engine, EngineRef, Warning, WarningKind};
+pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
+pub use report::ReportRepo;
+pub use suggest::{render_suggestions, suggest, Suggestion};
+pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
+pub use stack::{characterize_write, flow_dependence, render, Characterization, Flag};
+pub use welford::Welford;
+
+/// Re-exported so downstream users need only one crate for the common path.
+pub use ceres_instrument::Mode;

@@ -1,0 +1,189 @@
+//! Welford's online algorithm for mean and variance.
+//!
+//! The paper (Sec. 3.2) computes, per syntactic loop, "the total, average,
+//! and variance of its running time, and the total, average, and variance of
+//! its trip count", with "variance … updated using Welford's online
+//! algorithm \[36\]" — B. Welford, *Technometrics* 1962. This is that
+//! accumulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    /// Sum of squares of differences from the current mean.
+    m2: f64,
+    total: f64,
+}
+
+impl Welford {
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.total += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ), 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m.abs()
+        }
+    }
+
+    /// Merge another accumulator into this one (Chan et al.'s parallel
+    /// combination) — lets per-thread statistics be combined without a
+    /// shared accumulator, the same trick the native kernels use for their
+    /// reductions.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.total += other.total;
+    }
+
+    /// Render as `avg±sd` the way Table 3 does (`31±23`, `168±147`), with
+    /// the `±sd` part dropped when the deviation rounds to zero.
+    pub fn display_pm(&self) -> String {
+        let mean = self.mean();
+        let sd = self.stddev();
+        let fmt = |x: f64| {
+            if x >= 10_000.0 {
+                format!("{:.0}k", x / 1000.0)
+            } else if x >= 100.0 || x.fract() == 0.0 {
+                format!("{x:.0}")
+            } else {
+                format!("{x:.1}")
+            }
+        };
+        if sd < 0.05 * mean.abs().max(1.0) {
+            fmt(mean)
+        } else {
+            format!("{}\u{b1}{}", fmt(mean), fmt(sd))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(data: &[f64]) -> (f64, f64) {
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_two_pass_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.add(x);
+        }
+        let (mean, var) = naive(&data);
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+        assert_eq!(w.total(), 40.0);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.add(5.0);
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // The classic catastrophic-cancellation case for the naive formula.
+        let mut w = Welford::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            w.add(x);
+        }
+        assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((w.variance() - 22.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats_like_table3() {
+        let mut w = Welford::new();
+        for x in [10.0, 50.0, 33.0] {
+            w.add(x);
+        }
+        let s = w.display_pm();
+        assert!(s.contains('\u{b1}'), "{s}");
+        // Constant data → no ±.
+        let mut w = Welford::new();
+        for _ in 0..5 {
+            w.add(120.0);
+        }
+        assert_eq!(w.display_pm(), "120");
+        // Large values get the `k` suffix.
+        let mut w = Welford::new();
+        w.add(90_000.0);
+        assert_eq!(w.display_pm(), "90k");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the characterization-stack algebra (paper Sec. 3.3).
+
+use ceres_ast::LoopId;
+use ceres_core::stack::{
+    characterize_write, flow_dependence, Flag, StackEntry,
+};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = StackEntry> {
+    (1u32..6, 1u64..8, 0u64..8).prop_map(|(l, inst, iter)| StackEntry {
+        loop_id: LoopId(l),
+        instance: inst,
+        iteration: iter,
+    })
+}
+
+/// A plausible open-loop stack: distinct loop ids along the nest (a loop
+/// can only be open once unless recursion tainted the run).
+fn stack_strategy() -> impl Strategy<Value = Vec<StackEntry>> {
+    prop::collection::vec(entry_strategy(), 0..5).prop_map(|mut v| {
+        let mut seen = std::collections::HashSet::new();
+        v.retain(|e| seen.insert(e.loop_id));
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn dependence_ok_is_never_produced(stamp in stack_strategy(), current in stack_strategy()) {
+        for level in characterize_write(&stamp, &current) {
+            prop_assert!(
+                !(level.instance == Flag::Dependence && level.iteration == Flag::Ok),
+                "invalid `dependence ok` from stamp {stamp:?} vs {current:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_has_one_level_per_open_loop(
+        stamp in stack_strategy(),
+        current in stack_strategy(),
+    ) {
+        let c = characterize_write(&stamp, &current);
+        prop_assert_eq!(c.len(), current.len());
+        for (level, cur) in c.iter().zip(&current) {
+            prop_assert_eq!(level.loop_id, cur.loop_id);
+        }
+    }
+
+    #[test]
+    fn dependence_is_suffix_closed(stamp in stack_strategy(), current in stack_strategy()) {
+        // Once a level shows any dependence, every deeper level must show
+        // iteration-dependence too (a location shared across iterations of
+        // an outer loop is shared across everything inside it).
+        let c = characterize_write(&stamp, &current);
+        let mut broken = false;
+        for level in &c {
+            if broken {
+                prop_assert_eq!(level.iteration, Flag::Dependence);
+            }
+            if level.iteration == Flag::Dependence {
+                broken = true;
+            }
+        }
+    }
+
+    #[test]
+    fn identical_stamp_and_stack_is_clean(stack in stack_strategy()) {
+        let c = characterize_write(&stack, &stack);
+        for level in c {
+            prop_assert_eq!(level.instance, Flag::Ok);
+            prop_assert_eq!(level.iteration, Flag::Ok);
+        }
+        // And a read of a value written this very iteration is no flow dep.
+        prop_assert!(flow_dependence(&stack, &stack).is_none());
+    }
+
+    #[test]
+    fn flow_dependence_requires_matching_instance_prefix(
+        snapshot in stack_strategy(),
+        current in stack_strategy(),
+    ) {
+        if let Some(c) = flow_dependence(&snapshot, &current) {
+            // The found level: first iteration-dependence; all levels above
+            // it matched exactly, and the level itself matched loop+instance.
+            let found = c.iter().position(|l| l.iteration == Flag::Dependence)
+                .expect("a reported flow dep has a dependence level");
+            for k in 0..found {
+                prop_assert_eq!(c[k].instance, Flag::Ok);
+                prop_assert_eq!(c[k].iteration, Flag::Ok);
+                prop_assert_eq!(snapshot[k].loop_id, current[k].loop_id);
+                prop_assert_eq!(snapshot[k].iteration, current[k].iteration);
+            }
+            prop_assert_eq!(snapshot[found].loop_id, current[found].loop_id);
+            prop_assert_eq!(snapshot[found].instance, current[found].instance);
+            prop_assert_ne!(snapshot[found].iteration, current[found].iteration);
+        }
+    }
+
+    #[test]
+    fn deeper_iteration_makes_write_problematic(
+        stack in stack_strategy().prop_filter("non-empty", |s| !s.is_empty()),
+        bump in 1u64..5,
+    ) {
+        // Advance the innermost iteration: the old stamp must now show a
+        // dependence at exactly that level.
+        let mut current = stack.clone();
+        let last = current.len() - 1;
+        current[last].iteration += bump;
+        let c = characterize_write(&stack, &current);
+        prop_assert_eq!(c[last].instance, Flag::Ok);
+        prop_assert_eq!(c[last].iteration, Flag::Dependence);
+        for level in &c[..last] {
+            prop_assert_eq!(level.iteration, Flag::Ok);
+        }
+        // And the read side agrees it is a flow dependence at that level.
+        let f = flow_dependence(&stack, &current).expect("flow dep");
+        prop_assert_eq!(f[last].iteration, Flag::Dependence);
+    }
+}

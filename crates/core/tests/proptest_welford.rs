@@ -1,0 +1,78 @@
+//! Property tests: Welford ≡ two-pass statistics, and parallel merge ≡
+//! sequential accumulation.
+
+use ceres_core::Welford;
+use proptest::prelude::*;
+
+fn naive(data: &[f64]) -> (f64, f64) {
+    if data.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn welford_matches_two_pass(data in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let mut w = Welford::new();
+        for &x in &data {
+            w.add(x);
+        }
+        let (mean, var) = naive(&data);
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(w.count(), data.len() as u64);
+    }
+
+    #[test]
+    fn merge_equals_sequential(
+        a in prop::collection::vec(-1e4f64..1e4, 0..100),
+        b in prop::collection::vec(-1e4f64..1e4, 0..100),
+    ) {
+        let mut left = Welford::new();
+        for &x in &a {
+            left.add(x);
+        }
+        let mut right = Welford::new();
+        for &x in &b {
+            right.add(x);
+        }
+        left.merge(&right);
+
+        let mut seq = Welford::new();
+        for &x in a.iter().chain(&b) {
+            seq.add(x);
+        }
+        prop_assert_eq!(left.count(), seq.count());
+        prop_assert!((left.mean() - seq.mean()).abs() <= 1e-7 * seq.mean().abs().max(1.0));
+        prop_assert!(
+            (left.variance() - seq.variance()).abs()
+                <= 1e-6 * seq.variance().abs().max(1.0)
+        );
+        prop_assert!((left.total() - seq.total()).abs() <= 1e-7 * seq.total().abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        chunks in prop::collection::vec(prop::collection::vec(-100f64..100.0, 1..20), 1..8),
+    ) {
+        // Fold left-to-right vs a single pass.
+        let mut merged = Welford::new();
+        let mut seq = Welford::new();
+        for chunk in &chunks {
+            let mut w = Welford::new();
+            for &x in chunk {
+                w.add(x);
+                seq.add(x);
+            }
+            merged.merge(&w);
+        }
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.variance() - seq.variance()).abs() < 1e-8 * seq.variance().max(1.0));
+    }
+}

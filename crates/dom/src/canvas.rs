@@ -1,0 +1,136 @@
+//! 2D canvas with a real pixel buffer.
+//!
+//! Several workloads (CamanJS, Harmony, Normal Mapping, Raytracing) are
+//! image pipelines: they call `getImageData`, crunch the pixel array in
+//! loops, and `putImageData` the result. The buffer here is a real RGBA
+//! `Vec<u8>` so those loops do honest work and the results are checkable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared pixel state of one canvas.
+pub struct CanvasState {
+    pub width: usize,
+    pub height: usize,
+    /// RGBA, row-major, `4 * width * height` bytes.
+    pub pixels: Vec<u8>,
+    /// Count of draw-ish operations (fillRect, putImageData, stroke, …).
+    pub draw_ops: u64,
+}
+
+pub type CanvasRef = Rc<RefCell<CanvasState>>;
+
+impl CanvasState {
+    /// Create a canvas pre-filled with a deterministic gradient + checker
+    /// pattern, so `getImageData` yields non-trivial, reproducible input
+    /// for the image workloads.
+    pub fn new(width: usize, height: usize) -> CanvasRef {
+        let mut pixels = vec![0u8; 4 * width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let i = 4 * (y * width + x);
+                let checker = if (x / 8 + y / 8) % 2 == 0 { 40 } else { 0 };
+                pixels[i] = ((x * 255) / width.max(1)) as u8;
+                pixels[i + 1] = ((y * 255) / height.max(1)) as u8;
+                pixels[i + 2] = (((x + y) * 127) / (width + height).max(1)) as u8 + checker;
+                pixels[i + 3] = 255;
+            }
+        }
+        Rc::new(RefCell::new(CanvasState { width, height, pixels, draw_ops: 0 }))
+    }
+
+    /// Copy out a sub-rectangle as RGBA bytes (clamped to the canvas).
+    pub fn get_rect(&self, x: usize, y: usize, w: usize, h: usize) -> (usize, usize, Vec<u8>) {
+        let w = w.min(self.width.saturating_sub(x));
+        let h = h.min(self.height.saturating_sub(y));
+        let mut out = Vec::with_capacity(4 * w * h);
+        for row in 0..h {
+            let start = 4 * ((y + row) * self.width + x);
+            out.extend_from_slice(&self.pixels[start..start + 4 * w]);
+        }
+        (w, h, out)
+    }
+
+    /// Write a sub-rectangle of RGBA bytes back (clamped).
+    pub fn put_rect(&mut self, x: usize, y: usize, w: usize, h: usize, data: &[u8]) {
+        self.draw_ops += 1;
+        let cw = w.min(self.width.saturating_sub(x));
+        let ch = h.min(self.height.saturating_sub(y));
+        for row in 0..ch {
+            let dst = 4 * ((y + row) * self.width + x);
+            let src = 4 * row * w;
+            let n = 4 * cw;
+            if src + n <= data.len() {
+                self.pixels[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            }
+        }
+    }
+
+    /// Fill a rectangle with a solid RGBA color.
+    pub fn fill_rect(&mut self, x: i64, y: i64, w: i64, h: i64, rgba: [u8; 4]) {
+        self.draw_ops += 1;
+        for yy in y.max(0)..(y + h).min(self.height as i64) {
+            for xx in x.max(0)..(x + w).min(self.width as i64) {
+                let i = 4 * (yy as usize * self.width + xx as usize);
+                self.pixels[i..i + 4].copy_from_slice(&rgba);
+            }
+        }
+    }
+
+    /// Checksum of the pixel buffer (tests / golden comparisons).
+    pub fn checksum(&self) -> u64 {
+        // FNV-1a over the pixel bytes.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &self.pixels {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_is_deterministic() {
+        let a = CanvasState::new(16, 16);
+        let b = CanvasState::new(16, 16);
+        assert_eq!(a.borrow().checksum(), b.borrow().checksum());
+        // Alpha is opaque everywhere.
+        assert!(a.borrow().pixels.iter().skip(3).step_by(4).all(|&p| p == 255));
+    }
+
+    #[test]
+    fn get_put_roundtrip() {
+        let c = CanvasState::new(8, 8);
+        let before = c.borrow().checksum();
+        let (w, h, data) = c.borrow().get_rect(2, 2, 4, 4);
+        assert_eq!((w, h), (4, 4));
+        assert_eq!(data.len(), 4 * 16);
+        c.borrow_mut().put_rect(2, 2, 4, 4, &data);
+        assert_eq!(c.borrow().checksum(), before);
+        assert_eq!(c.borrow().draw_ops, 1);
+    }
+
+    #[test]
+    fn get_rect_clamps() {
+        let c = CanvasState::new(4, 4);
+        let (w, h, data) = c.borrow().get_rect(2, 2, 10, 10);
+        assert_eq!((w, h), (2, 2));
+        assert_eq!(data.len(), 16);
+        let (w, h, data) = c.borrow().get_rect(9, 9, 2, 2);
+        assert_eq!((w, h), (0, 0));
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn fill_rect_changes_pixels_and_clips() {
+        let c = CanvasState::new(4, 4);
+        c.borrow_mut().fill_rect(-2, -2, 10, 10, [1, 2, 3, 4]);
+        let s = c.borrow();
+        assert_eq!(&s.pixels[0..4], &[1, 2, 3, 4]);
+        assert_eq!(s.draw_ops, 1);
+    }
+}

@@ -1,0 +1,746 @@
+//! DOM document/element bindings and the canvas JS API.
+//!
+//! All host objects installed here are **tagged** ([`crate::TAG_DOM`],
+//! [`crate::TAG_CANVAS`], [`crate::TAG_WEBGL`]); the interpreter reports
+//! every property access on a tagged object to the registered `Monitor`,
+//! which is how `ceres-core` fills Table 3's "DOM access" column.
+
+use crate::canvas::{CanvasRef, CanvasState};
+use crate::{TAG_CANVAS, TAG_DOM, TAG_WEBGL};
+use ceres_interp::{
+    native_fn, new_array, new_object, ops, CallCtx, Interp, JsResult, ObjRef, Value,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared mutable DOM state, owned by the [`DomHandle`] and captured by the
+/// native methods.
+pub struct DomShared {
+    /// Elements by id (getElementById cache).
+    pub elements: HashMap<String, ObjRef>,
+    /// Event listeners: element object id → event type → handlers.
+    pub listeners: HashMap<(u64, String), Vec<Value>>,
+    /// Pixel state per canvas element (by element object id).
+    pub canvases: HashMap<u64, CanvasRef>,
+    /// Total DOM mutations performed (appendChild, setAttribute, …).
+    pub mutations: u64,
+}
+
+/// Handle for driving the DOM from interaction scripts and inspecting it
+/// from tests.
+#[derive(Clone)]
+pub struct DomHandle {
+    pub shared: Rc<RefCell<DomShared>>,
+}
+
+impl DomHandle {
+    /// Dispatch an event to listeners registered on `#id`.
+    ///
+    /// `props` become properties of the event object (e.g. mouse x/y).
+    pub fn dispatch(
+        &self,
+        interp: &mut Interp,
+        id: &str,
+        event_type: &str,
+        props: &[(&str, f64)],
+    ) -> JsResult<usize> {
+        let target = self.shared.borrow().elements.get(id).cloned();
+        let Some(target) = target else { return Ok(0) };
+        let handlers = self
+            .shared
+            .borrow()
+            .listeners
+            .get(&(target.id(), event_type.to_string()))
+            .cloned()
+            .unwrap_or_default();
+        let event = new_object();
+        event.set_prop("type", Value::str(event_type));
+        event.set_prop("target", Value::Object(target.clone()));
+        for (k, v) in props {
+            event.set_prop(k, Value::Num(*v));
+        }
+        let n = handlers.len();
+        let monitor = interp.monitor.clone();
+        if let Some(m) = &monitor {
+            m.task_begin(&format!("event:{event_type}#{id}"), interp.clock.now_ticks());
+        }
+        let mut result = Ok(());
+        for h in handlers {
+            result = interp
+                .call_value(&h, Value::Object(target.clone()), &[Value::Object(event.clone())], None)
+                .map(|_| ());
+            if result.is_err() {
+                break;
+            }
+        }
+        if let Some(m) = &monitor {
+            m.task_end(interp.clock.now_ticks());
+        }
+        result?;
+        Ok(n)
+    }
+
+    /// Pixel state of the canvas element `#id`, if it is a canvas.
+    pub fn canvas(&self, id: &str) -> Option<CanvasRef> {
+        let shared = self.shared.borrow();
+        let el = shared.elements.get(id)?;
+        shared.canvases.get(&el.id()).cloned()
+    }
+
+    /// Number of DOM mutations recorded so far.
+    pub fn mutations(&self) -> u64 {
+        self.shared.borrow().mutations
+    }
+}
+
+fn native(name: &str, f: impl Fn(&mut Interp, &CallCtx, &[Value]) -> JsResult + 'static) -> Value {
+    Value::Object(native_fn(name, Rc::new(f)))
+}
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Undefined)
+}
+
+fn num_arg(args: &[Value], i: usize) -> f64 {
+    ops::to_number(&arg(args, i))
+}
+
+/// Install `document` and `window` into the interpreter; returns the handle
+/// used by interaction scripts.
+pub fn install_dom(interp: &mut Interp) -> DomHandle {
+    let shared = Rc::new(RefCell::new(DomShared {
+        elements: HashMap::new(),
+        listeners: HashMap::new(),
+        canvases: HashMap::new(),
+        mutations: 0,
+    }));
+    let handle = DomHandle { shared: shared.clone() };
+
+    let document = new_object();
+    document.set_tag(TAG_DOM);
+
+    // document.getElementById(id) — elements are created lazily so workload
+    // HTML does not need to pre-declare them.
+    {
+        let shared = shared.clone();
+        document.set_prop(
+            "getElementById",
+            native("getElementById", move |_interp, _ctx, args| {
+                let id = ops::to_string(&arg(args, 0));
+                Ok(Value::Object(element_by_id(&shared, &id)))
+            }),
+        );
+    }
+    // document.createElement(tag)
+    {
+        let shared = shared.clone();
+        document.set_prop(
+            "createElement",
+            native("createElement", move |_interp, _ctx, args| {
+                let tag = ops::to_string(&arg(args, 0)).to_lowercase();
+                Ok(Value::Object(new_element(&shared, &tag, None)))
+            }),
+        );
+    }
+    // document.body
+    let body = new_element(&shared, "body", Some("body"));
+    document.set_prop("body", Value::Object(body));
+
+    interp.register_global("document", Value::Object(document.clone()));
+
+    // window
+    let window = new_object();
+    window.set_tag(TAG_DOM);
+    window.set_prop("innerWidth", Value::Num(1280.0));
+    window.set_prop("innerHeight", Value::Num(800.0));
+    window.set_prop("document", Value::Object(document));
+    {
+        let shared = shared.clone();
+        window.set_prop(
+            "addEventListener",
+            native("addEventListener", move |_interp, ctx, args| {
+                let ty = ops::to_string(&arg(args, 0));
+                let handler = arg(args, 1);
+                if let Some(o) = ctx.this.as_object() {
+                    shared
+                        .borrow_mut()
+                        .listeners
+                        .entry((o.id(), ty))
+                        .or_default()
+                        .push(handler);
+                }
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    // `window` is dispatchable like an element (interaction scripts send
+    // synthetic "resize"/"keydown"/custom events to it by the id "window").
+    shared.borrow_mut().elements.insert("window".to_string(), window.clone());
+    interp.register_global("window", Value::Object(window));
+
+    handle
+}
+
+fn element_by_id(shared: &Rc<RefCell<DomShared>>, id: &str) -> ObjRef {
+    if let Some(el) = shared.borrow().elements.get(id) {
+        return el.clone();
+    }
+    // Ids that look like canvases get canvas powers; everything else is a
+    // generic element. Workloads use ids like "canvas", "scene-canvas".
+    let tag = if id.contains("canvas") { "canvas" } else { "div" };
+    new_element(shared, tag, Some(id))
+}
+
+/// Build a DOM element object (optionally registered under an id).
+fn new_element(shared: &Rc<RefCell<DomShared>>, tag: &str, id: Option<&str>) -> ObjRef {
+    let el = new_object();
+    el.set_tag(TAG_DOM);
+    el.set_prop("tagName", Value::str(tag.to_uppercase()));
+    el.set_prop("id", Value::str(id.unwrap_or("")));
+    el.set_prop("innerHTML", Value::str(""));
+    el.set_prop("textContent", Value::str(""));
+    el.set_prop("className", Value::str(""));
+    el.set_prop("children", Value::Object(new_array(Vec::new())));
+
+    let style = new_object();
+    style.set_tag(TAG_DOM);
+    el.set_prop("style", Value::Object(style));
+
+    // appendChild
+    {
+        let shared = shared.clone();
+        el.set_prop(
+            "appendChild",
+            native("appendChild", move |interp, ctx, args| {
+                shared.borrow_mut().mutations += 1;
+                let child = arg(args, 0);
+                let children = interp.get_property(&ctx.this, "children")?;
+                if let Some(c) = children.as_object() {
+                    c.with_array_mut(|v| v.push(child.clone()));
+                }
+                Ok(child)
+            }),
+        );
+    }
+    // removeChild (by identity)
+    {
+        let shared = shared.clone();
+        el.set_prop(
+            "removeChild",
+            native("removeChild", move |interp, ctx, args| {
+                shared.borrow_mut().mutations += 1;
+                let child = arg(args, 0);
+                let children = interp.get_property(&ctx.this, "children")?;
+                if let (Some(c), Some(target)) = (children.as_object(), child.as_object()) {
+                    c.with_array_mut(|v| {
+                        v.retain(|x| !matches!(x.as_object(), Some(o) if o.id() == target.id()))
+                    });
+                }
+                Ok(child)
+            }),
+        );
+    }
+    // setAttribute / getAttribute
+    {
+        let shared = shared.clone();
+        el.set_prop(
+            "setAttribute",
+            native("setAttribute", move |interp, ctx, args| {
+                shared.borrow_mut().mutations += 1;
+                let k = format!("attr:{}", ops::to_string(&arg(args, 0)));
+                interp.set_property(&ctx.this, &k, arg(args, 1))?;
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    el.set_prop(
+        "getAttribute",
+        native("getAttribute", move |interp, ctx, args| {
+            let k = format!("attr:{}", ops::to_string(&arg(args, 0)));
+            interp.get_property(&ctx.this, &k)
+        }),
+    );
+    // addEventListener
+    {
+        let shared = shared.clone();
+        el.set_prop(
+            "addEventListener",
+            native("addEventListener", move |_interp, ctx, args| {
+                let ty = ops::to_string(&arg(args, 0));
+                let handler = arg(args, 1);
+                if let Some(o) = ctx.this.as_object() {
+                    shared
+                        .borrow_mut()
+                        .listeners
+                        .entry((o.id(), ty))
+                        .or_default()
+                        .push(handler);
+                }
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+
+    if tag == "canvas" {
+        install_canvas_element(shared, &el);
+    }
+
+    if let Some(id) = id {
+        shared.borrow_mut().elements.insert(id.to_string(), el.clone());
+    }
+    el
+}
+
+fn install_canvas_element(shared: &Rc<RefCell<DomShared>>, el: &ObjRef) {
+    el.set_prop("width", Value::Num(64.0));
+    el.set_prop("height", Value::Num(64.0));
+    let shared = shared.clone();
+    let el_for_ctx = el.clone();
+    el.set_prop(
+        "getContext",
+        native("getContext", move |interp, _ctx, args| {
+            let kind = ops::to_string(&arg(args, 0));
+            let w = ops::to_number(&el_for_ctx.get_own("width").unwrap_or(Value::Num(64.0))) as usize;
+            let h =
+                ops::to_number(&el_for_ctx.get_own("height").unwrap_or(Value::Num(64.0))) as usize;
+            if kind.starts_with("webgl") {
+                return Ok(Value::Object(webgl_context()));
+            }
+            let canvas = shared
+                .borrow_mut()
+                .canvases
+                .entry(el_for_ctx.id())
+                .or_insert_with(|| CanvasState::new(w.max(1), h.max(1)))
+                .clone();
+            let _ = interp;
+            Ok(Value::Object(context_2d(canvas)))
+        }),
+    );
+}
+
+/// Parse CSS-ish colors: `#rgb`, `#rrggbb`, `rgb(...)`, `rgba(...)`.
+pub fn parse_color(s: &str) -> [u8; 4] {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix('#') {
+        let v = |h: &str| u8::from_str_radix(h, 16).unwrap_or(0);
+        match hex.len() {
+            3 => {
+                let b = hex.as_bytes();
+                let d = |c: u8| v(&format!("{0}{0}", c as char));
+                return [d(b[0]), d(b[1]), d(b[2]), 255];
+            }
+            6 => return [v(&hex[0..2]), v(&hex[2..4]), v(&hex[4..6]), 255],
+            _ => return [0, 0, 0, 255],
+        }
+    }
+    if let Some(inner) = s
+        .strip_prefix("rgba(")
+        .or_else(|| s.strip_prefix("rgb("))
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let parts: Vec<f64> =
+            inner.split(',').map(|p| p.trim().parse::<f64>().unwrap_or(0.0)).collect();
+        let c = |i: usize| parts.get(i).copied().unwrap_or(0.0).clamp(0.0, 255.0) as u8;
+        let a = if parts.len() > 3 { (parts[3].clamp(0.0, 1.0) * 255.0) as u8 } else { 255 };
+        return [c(0), c(1), c(2), a];
+    }
+    [128, 128, 128, 255]
+}
+
+/// Build a 2D context object bound to `canvas`.
+fn context_2d(canvas: CanvasRef) -> ObjRef {
+    let ctx = new_object();
+    ctx.set_tag(TAG_CANVAS);
+    ctx.set_prop("fillStyle", Value::str("#000000"));
+    ctx.set_prop("strokeStyle", Value::str("#000000"));
+    ctx.set_prop("lineWidth", Value::Num(1.0));
+    ctx.set_prop("globalAlpha", Value::Num(1.0));
+
+    {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "fillRect",
+            native("fillRect", move |interp, cctx, args| {
+                let style = ops::to_string(&interp.get_property(&cctx.this, "fillStyle")?);
+                canvas.borrow_mut().fill_rect(
+                    num_arg(args, 0) as i64,
+                    num_arg(args, 1) as i64,
+                    num_arg(args, 2) as i64,
+                    num_arg(args, 3) as i64,
+                    parse_color(&style),
+                );
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "clearRect",
+            native("clearRect", move |_interp, _cctx, args| {
+                canvas.borrow_mut().fill_rect(
+                    num_arg(args, 0) as i64,
+                    num_arg(args, 1) as i64,
+                    num_arg(args, 2) as i64,
+                    num_arg(args, 3) as i64,
+                    [0, 0, 0, 0],
+                );
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "getImageData",
+            native("getImageData", move |_interp, _cctx, args| {
+                let (w, h, bytes) = canvas.borrow().get_rect(
+                    num_arg(args, 0).max(0.0) as usize,
+                    num_arg(args, 1).max(0.0) as usize,
+                    num_arg(args, 2).max(0.0) as usize,
+                    num_arg(args, 3).max(0.0) as usize,
+                );
+                Ok(Value::Object(image_data(w, h, &bytes)))
+            }),
+        );
+    }
+    {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "createImageData",
+            native("createImageData", move |_interp, _cctx, args| {
+                let w = num_arg(args, 0).max(0.0) as usize;
+                let h = num_arg(args, 1).max(0.0) as usize;
+                let _ = &canvas;
+                Ok(Value::Object(image_data(w, h, &vec![0; 4 * w * h])))
+            }),
+        );
+    }
+    {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "putImageData",
+            native("putImageData", move |interp, _cctx, args| {
+                let img = arg(args, 0);
+                let w = ops::to_number(&interp.get_property(&img, "width")?) as usize;
+                let h = ops::to_number(&interp.get_property(&img, "height")?) as usize;
+                let data = interp.get_property(&img, "data")?;
+                let mut bytes = vec![0u8; 4 * w * h];
+                if let Some(d) = data.as_object() {
+                    for (i, byte) in bytes.iter_mut().enumerate() {
+                        if let Some(v) = d.array_get(i) {
+                            *byte = ops::to_number(&v).clamp(0.0, 255.0) as u8;
+                        }
+                    }
+                }
+                canvas.borrow_mut().put_rect(
+                    num_arg(args, 1).max(0.0) as usize,
+                    num_arg(args, 2).max(0.0) as usize,
+                    w,
+                    h,
+                    &bytes,
+                );
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    // Path API: a tiny model — moveTo/lineTo track a pen; stroke() stamps
+    // pixels along recorded segments so drawing workloads mutate real state.
+    let pen: Rc<RefCell<Vec<(f64, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let pen = pen.clone();
+        ctx.set_prop(
+            "beginPath",
+            native("beginPath", move |_interp, _cctx, _args| {
+                pen.borrow_mut().clear();
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let pen = pen.clone();
+        ctx.set_prop(
+            "moveTo",
+            native("moveTo", move |_interp, _cctx, args| {
+                pen.borrow_mut().push((num_arg(args, 0), num_arg(args, 1)));
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let pen = pen.clone();
+        ctx.set_prop(
+            "lineTo",
+            native("lineTo", move |_interp, _cctx, args| {
+                pen.borrow_mut().push((num_arg(args, 0), num_arg(args, 1)));
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let pen = pen.clone();
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "stroke",
+            native("stroke", move |interp, cctx, _args| {
+                let style = ops::to_string(&interp.get_property(&cctx.this, "strokeStyle")?);
+                let color = parse_color(&style);
+                let pts = pen.borrow().clone();
+                let mut c = canvas.borrow_mut();
+                c.draw_ops += 1;
+                for seg in pts.windows(2) {
+                    let (x0, y0) = seg[0];
+                    let (x1, y1) = seg[1];
+                    let steps = ((x1 - x0).abs().max((y1 - y0).abs()) as usize).max(1);
+                    for s in 0..=steps {
+                        let t = s as f64 / steps as f64;
+                        let x = (x0 + (x1 - x0) * t) as i64;
+                        let y = (y0 + (y1 - y0) * t) as i64;
+                        c.fill_rect(x, y, 1, 1, color);
+                        c.draw_ops -= 1; // fill_rect counted; keep one per stroke
+                    }
+                }
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let pen = pen.clone();
+        ctx.set_prop(
+            "arc",
+            native("arc", move |_interp, _cctx, args| {
+                // Approximate the arc by points on the circle.
+                let cx = num_arg(args, 0);
+                let cy = num_arg(args, 1);
+                let r = num_arg(args, 2);
+                let a0 = num_arg(args, 3);
+                let a1 = num_arg(args, 4);
+                let mut p = pen.borrow_mut();
+                for s in 0..=16 {
+                    let a = a0 + (a1 - a0) * s as f64 / 16.0;
+                    p.push((cx + r * a.cos(), cy + r * a.sin()));
+                }
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    {
+        let pen = pen.clone();
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            "fill",
+            native("fill", move |interp, cctx, _args| {
+                // Fill the bounding box of the path (model fidelity is not
+                // the point; mutating deterministic pixels is).
+                let style = ops::to_string(&interp.get_property(&cctx.this, "fillStyle")?);
+                let pts = pen.borrow().clone();
+                if pts.is_empty() {
+                    return Ok(Value::Undefined);
+                }
+                let minx = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+                let maxx = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+                let miny = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+                let maxy = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+                canvas.borrow_mut().fill_rect(
+                    minx as i64,
+                    miny as i64,
+                    (maxx - minx) as i64 + 1,
+                    (maxy - miny) as i64 + 1,
+                    parse_color(&style),
+                );
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    for noop in ["save", "restore", "closePath", "translate", "rotate", "scale", "drawImage"] {
+        let canvas = canvas.clone();
+        ctx.set_prop(
+            noop,
+            native(noop, move |_interp, _cctx, _args| {
+                let _ = &canvas;
+                Ok(Value::Undefined)
+            }),
+        );
+    }
+    ctx
+}
+
+/// ImageData stand-in: `{ width, height, data: [r, g, b, a, …] }`.
+fn image_data(w: usize, h: usize, bytes: &[u8]) -> ObjRef {
+    let data: Vec<Value> = bytes.iter().map(|&b| Value::Num(b as f64)).collect();
+    let img = new_object();
+    img.set_prop("width", Value::Num(w as f64));
+    img.set_prop("height", Value::Num(h as f64));
+    img.set_prop("data", Value::Object(new_array(data)));
+    img
+}
+
+/// Minimal WebGL context: enough surface for workloads to call into, every
+/// method a tagged no-op.
+fn webgl_context() -> ObjRef {
+    let gl = new_object();
+    gl.set_tag(TAG_WEBGL);
+    for m in [
+        "createShader", "shaderSource", "compileShader", "createProgram", "attachShader",
+        "linkProgram", "useProgram", "createBuffer", "bindBuffer", "bufferData", "drawArrays",
+        "viewport", "clear", "clearColor", "enable", "getAttribLocation", "getUniformLocation",
+        "uniform1f", "uniform2f", "vertexAttribPointer", "enableVertexAttribArray",
+    ] {
+        gl.set_prop(m, native(m, |_interp, _ctx, _args| Ok(Value::Undefined)));
+    }
+    gl.set_prop("COLOR_BUFFER_BIT", Value::Num(16384.0));
+    gl.set_prop("ARRAY_BUFFER", Value::Num(34962.0));
+    gl.set_prop("TRIANGLES", Value::Num(4.0));
+    gl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Interp, DomHandle) {
+        let mut interp = Interp::new(11);
+        let dom = install_dom(&mut interp);
+        (interp, dom)
+    }
+
+    #[test]
+    fn get_element_and_mutate() {
+        let (mut interp, dom) = setup();
+        interp
+            .eval_source(
+                "var el = document.getElementById(\"app\");\n\
+                 el.innerHTML = \"<b>hi</b>\";\n\
+                 var child = document.createElement(\"div\");\n\
+                 el.appendChild(child);\n\
+                 el.setAttribute(\"data-x\", \"1\");\n\
+                 console.log(el.getAttribute(\"data-x\"), el.children.length);",
+            )
+            .unwrap();
+        assert_eq!(interp.console, vec!["1 1"]);
+        assert_eq!(dom.mutations(), 2); // appendChild + setAttribute
+    }
+
+    #[test]
+    fn same_element_returned_for_same_id() {
+        let (mut interp, _dom) = setup();
+        interp
+            .eval_source(
+                "var a = document.getElementById(\"x\");\n\
+                 var b = document.getElementById(\"x\");\n\
+                 console.log(a === b);",
+            )
+            .unwrap();
+        assert_eq!(interp.console, vec!["true"]);
+    }
+
+    #[test]
+    fn canvas_image_data_roundtrip() {
+        let (mut interp, dom) = setup();
+        interp
+            .eval_source(
+                "var c = document.getElementById(\"canvas\");\n\
+                 c.width = 8; c.height = 8;\n\
+                 var ctx = c.getContext(\"2d\");\n\
+                 var img = ctx.getImageData(0, 0, 8, 8);\n\
+                 var i;\n\
+                 for (i = 0; i < img.data.length; i += 4) {\n\
+                   img.data[i] = 255 - img.data[i];\n\
+                 }\n\
+                 ctx.putImageData(img, 0, 0);\n\
+                 console.log(img.data.length);",
+            )
+            .unwrap();
+        assert_eq!(interp.console, vec!["256"]);
+        let canvas = dom.canvas("canvas").expect("canvas state");
+        // Red channel inverted relative to a fresh gradient.
+        let fresh = CanvasState::new(8, 8);
+        let inverted_red = canvas.borrow().pixels[0];
+        assert_eq!(inverted_red, 255 - fresh.borrow().pixels[0]);
+        assert_eq!(canvas.borrow().draw_ops, 1);
+    }
+
+    #[test]
+    fn fill_rect_uses_fill_style() {
+        let (mut interp, dom) = setup();
+        interp
+            .eval_source(
+                "var ctx = document.getElementById(\"canvas\").getContext(\"2d\");\n\
+                 ctx.fillStyle = \"#ff0000\";\n\
+                 ctx.fillRect(0, 0, 2, 2);",
+            )
+            .unwrap();
+        let canvas = dom.canvas("canvas").unwrap();
+        assert_eq!(&canvas.borrow().pixels[0..4], &[255, 0, 0, 255]);
+    }
+
+    #[test]
+    fn event_dispatch_calls_handlers() {
+        let (mut interp, dom) = setup();
+        interp
+            .eval_source(
+                "var hits = [];\n\
+                 var el = document.getElementById(\"btn\");\n\
+                 el.addEventListener(\"click\", function (e) { hits.push(e.x); });\n\
+                 el.addEventListener(\"click\", function (e) { hits.push(e.x * 2); });",
+            )
+            .unwrap();
+        let n = dom.dispatch(&mut interp, "btn", "click", &[("x", 5.0)]).unwrap();
+        assert_eq!(n, 2);
+        interp.eval_source("console.log(hits.join(\",\"));").unwrap();
+        assert_eq!(interp.console, vec!["5,10"]);
+        // Unknown id / type are no-ops.
+        assert_eq!(dom.dispatch(&mut interp, "nope", "click", &[]).unwrap(), 0);
+        assert_eq!(dom.dispatch(&mut interp, "btn", "keydown", &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn color_parsing() {
+        assert_eq!(parse_color("#ff0080"), [255, 0, 128, 255]);
+        assert_eq!(parse_color("#f08"), [255, 0, 136, 255]);
+        assert_eq!(parse_color("rgb(1, 2, 3)"), [1, 2, 3, 255]);
+        assert_eq!(parse_color("rgba(1, 2, 3, 0.5)"), [1, 2, 3, 127]);
+        assert_eq!(parse_color("weird"), [128, 128, 128, 255]);
+    }
+
+    #[test]
+    fn dom_accesses_notify_monitor() {
+        use std::cell::RefCell;
+        struct Probe(RefCell<Vec<(&'static str, String)>>);
+        impl ceres_interp::Monitor for Probe {
+            fn host_access(&self, tag: &'static str, op: &str) {
+                self.0.borrow_mut().push((tag, op.to_string()));
+            }
+        }
+        let (mut interp, _dom) = setup();
+        let probe = Rc::new(Probe(RefCell::new(Vec::new())));
+        interp.monitor = Some(probe.clone());
+        interp
+            .eval_source(
+                "var el = document.getElementById(\"app\");\n\
+                 el.innerHTML = \"x\";\n\
+                 var ctx = document.getElementById(\"canvas\").getContext(\"2d\");\n\
+                 ctx.fillRect(0, 0, 1, 1);",
+            )
+            .unwrap();
+        let accesses = probe.0.borrow();
+        assert!(accesses.iter().any(|(t, op)| *t == TAG_DOM && op == "getElementById"));
+        assert!(accesses.iter().any(|(t, op)| *t == TAG_DOM && op == "innerHTML"));
+        assert!(accesses.iter().any(|(t, op)| *t == TAG_CANVAS && op == "fillRect"));
+    }
+
+    #[test]
+    fn webgl_context_is_tagged_and_callable() {
+        let (mut interp, _dom) = setup();
+        interp
+            .eval_source(
+                "var gl = document.getElementById(\"glcanvas\").getContext(\"webgl\");\n\
+                 gl.clearColor(0, 0, 0, 1);\n\
+                 gl.clear(gl.COLOR_BUFFER_BIT);\n\
+                 console.log(gl.TRIANGLES);",
+            )
+            .unwrap();
+        assert_eq!(interp.console, vec!["4"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! HTML `<script>` extraction.
+//!
+//! The JS-CERES proxy intercepts both HTML and JavaScript documents
+//! (Fig. 5, step 2): for HTML it must locate inline scripts, instrument
+//! them, and splice the transformed code back. This module implements the
+//! scanner; `ceres-core::pipeline` does the splicing.
+
+/// One inline script found in an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptBlock {
+    /// JavaScript source between the tags.
+    pub content: String,
+    /// Byte offset of the content start in the original HTML.
+    pub start: usize,
+    /// Byte offset one past the content end.
+    pub end: usize,
+    /// 1-based line of the content start (for error messages).
+    pub line: u32,
+}
+
+/// Scan `html` for `<script>…</script>` blocks and return their contents.
+///
+/// Handles attributes on the opening tag (`<script type="text/javascript">`)
+/// and is case-insensitive. Scripts with a `src` attribute are *external*
+/// and yield an empty block (the proxy fetches and instruments those as
+/// separate JavaScript documents).
+pub fn extract_scripts(html: &str) -> Vec<ScriptBlock> {
+    let lower = html.to_lowercase();
+    let mut blocks = Vec::new();
+    let mut pos = 0;
+    while let Some(open_rel) = lower[pos..].find("<script") {
+        let open = pos + open_rel;
+        let Some(tag_end_rel) = lower[open..].find('>') else { break };
+        let tag_end = open + tag_end_rel + 1;
+        let open_tag = &html[open..tag_end];
+        let is_external = open_tag.to_lowercase().contains("src=");
+        let Some(close_rel) = lower[tag_end..].find("</script") else { break };
+        let close = tag_end + close_rel;
+        if !is_external {
+            let content = html[tag_end..close].to_string();
+            let line = 1 + html[..tag_end].bytes().filter(|&b| b == b'\n').count() as u32;
+            blocks.push(ScriptBlock { content, start: tag_end, end: close, line });
+        }
+        let Some(gt_rel) = lower[close..].find('>') else { break };
+        pos = close + gt_rel + 1;
+    }
+    blocks
+}
+
+/// Replace each script block's content with the corresponding string from
+/// `replacements` (must be same length as `extract_scripts(html)`), giving
+/// the instrumented HTML the proxy sends back to the browser.
+pub fn splice_scripts(html: &str, blocks: &[ScriptBlock], replacements: &[String]) -> String {
+    assert_eq!(blocks.len(), replacements.len(), "one replacement per block");
+    let mut out = String::with_capacity(html.len());
+    let mut cursor = 0;
+    for (block, repl) in blocks.iter().zip(replacements) {
+        out.push_str(&html[cursor..block.start]);
+        out.push('\n');
+        out.push_str(repl);
+        out.push('\n');
+        cursor = block.end;
+    }
+    out.push_str(&html[cursor..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_single_script() {
+        let html = "<html><body><script>var x = 1;</script></body></html>";
+        let blocks = extract_scripts(html);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].content, "var x = 1;");
+    }
+
+    #[test]
+    fn extracts_multiple_with_attributes() {
+        let html = r#"<script type="text/javascript">a();</script>
+<p>hi</p>
+<SCRIPT>b();</SCRIPT>"#;
+        let blocks = extract_scripts(html);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].content, "a();");
+        assert_eq!(blocks[1].content, "b();");
+        assert_eq!(blocks[0].line, 1);
+        assert_eq!(blocks[1].line, 3);
+    }
+
+    #[test]
+    fn skips_external_scripts() {
+        let html = r#"<script src="lib.js"></script><script>inline();</script>"#;
+        let blocks = extract_scripts(html);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].content, "inline();");
+    }
+
+    #[test]
+    fn splice_replaces_content() {
+        let html = "<x><script>a();</script><y><script>b();</script>";
+        let blocks = extract_scripts(html);
+        let out = splice_scripts(html, &blocks, &["A();".to_string(), "B();".to_string()]);
+        assert!(out.contains("A();"), "{out}");
+        assert!(out.contains("B();"), "{out}");
+        assert!(!out.contains(">a();<"), "{out}");
+        // Structure preserved.
+        assert!(out.starts_with("<x><script>"), "{out}");
+        assert!(out.contains("<y>"), "{out}");
+    }
+
+    #[test]
+    fn empty_and_script_free_html() {
+        assert!(extract_scripts("").is_empty());
+        assert!(extract_scripts("<html><body>text</body></html>").is_empty());
+    }
+
+    #[test]
+    fn unterminated_script_ignored() {
+        let blocks = extract_scripts("<script>var x = 1;");
+        assert!(blocks.is_empty());
+    }
+}

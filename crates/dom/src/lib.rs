@@ -1,0 +1,31 @@
+//! # ceres-dom
+//!
+//! A miniature browser substrate: DOM document/element objects, a 2D canvas
+//! with a real pixel buffer, a WebGL stub, and HTML `<script>` extraction.
+//!
+//! The paper's Table 3 classifies each loop nest by whether it **accesses
+//! the DOM** — load-bearing for the parallelization-difficulty estimate,
+//! because "no major browser currently supports concurrent accesses to the
+//! DOM" (Sec. 4.2). Here, every DOM/Canvas object is *tagged*; the
+//! interpreter notifies the registered [`ceres_interp::Monitor`] on each
+//! tagged property access, and `ceres-core` attributes those accesses to the
+//! loops open at that moment.
+//!
+//! DOM elements are ordinary interpreter objects with native methods, so no
+//! special host-object machinery is needed — the same trick the analysis
+//! plays with object ids instead of ES Proxies.
+
+pub mod canvas;
+pub mod document;
+pub mod html;
+
+pub use canvas::CanvasState;
+pub use document::{install_dom, DomHandle};
+pub use html::{extract_scripts, splice_scripts, ScriptBlock};
+
+/// Object tag for DOM nodes (document, elements, style objects).
+pub const TAG_DOM: &str = "dom";
+/// Object tag for 2D canvas contexts and image data.
+pub const TAG_CANVAS: &str = "canvas";
+/// Object tag for WebGL contexts.
+pub const TAG_WEBGL: &str = "webgl";

@@ -1,0 +1,97 @@
+//! Property tests for HTML script extraction and splicing.
+
+use ceres_dom::{extract_scripts, splice_scripts};
+use proptest::prelude::*;
+
+/// Text that cannot open or close a tag (keeps generated HTML well-formed).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 .,!?]{0,40}"
+}
+
+/// JS-ish content without the `</script` closer.
+fn js_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 =+;()]{0,60}"
+}
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Text(String),
+    Script(String),
+    ExternalScript,
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        text_strategy().prop_map(Piece::Text),
+        js_strategy().prop_map(Piece::Script),
+        Just(Piece::ExternalScript),
+    ]
+}
+
+fn render(pieces: &[Piece]) -> String {
+    let mut html = String::from("<html><body>");
+    for p in pieces {
+        match p {
+            Piece::Text(t) => html.push_str(&format!("<p>{t}</p>")),
+            Piece::Script(js) => html.push_str(&format!("<script>{js}</script>")),
+            Piece::ExternalScript => html.push_str("<script src=\"lib.js\"></script>"),
+        }
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn extraction_finds_exactly_the_inline_scripts(pieces in prop::collection::vec(piece_strategy(), 0..8)) {
+        let html = render(&pieces);
+        let blocks = extract_scripts(&html);
+        let expected: Vec<&String> = pieces
+            .iter()
+            .filter_map(|p| match p {
+                Piece::Script(js) => Some(js),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(blocks.len(), expected.len(), "{}", html);
+        for (b, e) in blocks.iter().zip(expected) {
+            prop_assert_eq!(&b.content, e);
+        }
+    }
+
+    #[test]
+    fn splice_replaces_inline_content_and_preserves_structure(
+        pieces in prop::collection::vec(piece_strategy(), 0..6),
+    ) {
+        let html = render(&pieces);
+        let blocks = extract_scripts(&html);
+        let replacements: Vec<String> =
+            (0..blocks.len()).map(|i| format!("REPL_{i}();")).collect();
+        let out = splice_scripts(&html, &blocks, &replacements);
+        // Every replacement present…
+        for r in &replacements {
+            prop_assert!(out.contains(r.as_str()), "{out}");
+        }
+        // …non-script text preserved…
+        for p in &pieces {
+            if let Piece::Text(t) = p {
+                if !t.is_empty() {
+                    prop_assert!(out.contains(t.as_str()), "lost text {t:?} in {out}");
+                }
+            }
+        }
+        // …and re-extraction returns exactly the replacements.
+        let re = extract_scripts(&out);
+        prop_assert_eq!(re.len(), replacements.len());
+        for (b, r) in re.iter().zip(&replacements) {
+            prop_assert_eq!(b.content.trim(), r.as_str());
+        }
+    }
+
+    #[test]
+    fn extraction_never_panics_on_junk(html in "[ -~\\n]{0,300}") {
+        let _ = extract_scripts(&html);
+    }
+}

@@ -1,0 +1,67 @@
+//! Names of the host functions the rewriter inserts.
+//!
+//! `ceres-core` registers natives under these names; keeping the constants
+//! in one place prevents instrument/engine drift.
+
+/// Lightweight mode: open-loop counter increment (no arguments).
+pub const LW_ENTER: &str = "__ceres_lw_enter";
+/// Lightweight mode: open-loop counter decrement (no arguments).
+pub const LW_EXIT: &str = "__ceres_lw_exit";
+
+/// Loop-profile/dependence: `(loop_id)` — push a (loop, instance, 0) triple.
+pub const LOOP_ENTER: &str = "__ceres_loop_enter";
+/// Loop-profile/dependence: `(loop_id)` — increment the iteration in place.
+pub const ITER: &str = "__ceres_iter";
+/// Loop-profile/dependence: `(loop_id)` — pop the triple, record stats.
+pub const LOOP_EXIT: &str = "__ceres_loop_exit";
+
+/// Dependence: `("a", "b", …)` — stamp the named bindings of the *calling*
+/// activation with the current loop stack. Inserted at the top of every
+/// function body (and of the program) for all hoisted names and parameters.
+pub const DECLVARS: &str = "__ceres_declvars";
+/// Dependence: `("x", "op")` — record a write to variable `x` (type (a)
+/// warning). `op` is the spelling of the write ("=", "+=", "++", "init",
+/// "forin"), used by the difficulty classifier to spot induction/reduction
+/// patterns.
+pub const WRVAR: &str = "__ceres_wrvar";
+/// Dependence: `(value) -> value` — stamp a freshly created object (the
+/// paper's Proxy wrap).
+pub const WRAP: &str = "__ceres_wrap";
+/// Dependence: `(obj, key[, baseVar]) -> obj[key]` — recorded property read
+/// (type (c)). `baseVar` names the variable the object was reached through,
+/// when the base expression is a simple identifier.
+pub const GETPROP: &str = "__ceres_getprop";
+/// Dependence: `(obj, key, value[, baseVar]) -> value` — recorded property
+/// write (type (b)). `baseVar` names the variable the object was reached
+/// through, when the base expression is a simple identifier.
+pub const SETPROP: &str = "__ceres_setprop";
+/// Dependence: `(obj, key, "op", value[, baseVar]) -> result` — compound
+/// property assignment (`o.k op= v`): recorded read + write.
+pub const SETPROP2: &str = "__ceres_setprop2";
+/// Dependence: `(obj, key, delta, isPrefix[, baseVar]) -> old|new` —
+/// `o.k++` and friends: recorded read + write.
+pub const UPDATE_PROP: &str = "__ceres_update_prop";
+/// Dependence: `(obj, key, baseVarOrNull, args…) -> obj[key](args…)` —
+/// method call that records the property read and preserves the receiver.
+/// The base slot is always present because the arguments are variadic.
+pub const MCALL: &str = "__ceres_mcall";
+
+/// All hook names, for tests and for the engine's registration loop.
+pub const ALL_HOOKS: &[&str] = &[
+    LW_ENTER, LW_EXIT, LOOP_ENTER, ITER, LOOP_EXIT, DECLVARS, WRVAR, WRAP, GETPROP, SETPROP,
+    SETPROP2, UPDATE_PROP, MCALL,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_names_are_unique_and_prefixed() {
+        let mut seen = std::collections::HashSet::new();
+        for h in ALL_HOOKS {
+            assert!(h.starts_with("__ceres_"), "{h} must be namespaced");
+            assert!(seen.insert(h), "{h} duplicated");
+        }
+    }
+}

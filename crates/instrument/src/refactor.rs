@@ -1,0 +1,488 @@
+//! Imperative-to-functional loop refactoring (paper Sec. 5.3 / 5.5).
+//!
+//! "Refactoring tools [23] that can transform imperative iteration into
+//! functional style could make these loops amenable to parallelism via
+//! libraries with parallel operators such as RiverTrail." This module is
+//! that transform for the canonical counted loop:
+//!
+//! ```text
+//! for (var i = 0; i < N; i++) { body }   ⇒   forEachPar(N, function (i) { body });
+//! ```
+//!
+//! `forEachPar` is the RiverTrail-style shim the interpreter provides
+//! (sequential today, parallel-ready in shape). The transform is *exactly*
+//! the function extraction of the paper's Fig. 6 discussion: loop-body
+//! `var`s become locals of the callback, so their cross-iteration sharing
+//! (the `p` warning) disappears — which the integration tests verify by
+//! re-running the dependence analysis on the refactored program.
+//!
+//! The transform refuses loops it cannot prove shape-compatible:
+//! non-canonical headers, bodies containing `break`/`continue`/`return`
+//! at the loop's own level, or uses of the induction variable after the
+//! loop.
+
+use ceres_ast::ast::*;
+use ceres_ast::build;
+use ceres_ast::Span;
+
+/// Why a loop was not refactored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefactorError {
+    /// No loop with the requested id.
+    NoSuchLoop,
+    /// Header is not `for (var i = 0; i < N; i++)` (or the `i = 0` form).
+    NonCanonicalHeader,
+    /// Body contains `break`/`continue` belonging to this loop.
+    BodyBreaksOut,
+    /// Body contains `return` (outside any nested function) — extraction
+    /// would change where it returns to.
+    BodyReturns,
+}
+
+impl std::fmt::Display for RefactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefactorError::NoSuchLoop => write!(f, "no loop with that id"),
+            RefactorError::NonCanonicalHeader => {
+                write!(f, "loop header is not `for (var i = 0; i < N; i++)`")
+            }
+            RefactorError::BodyBreaksOut => {
+                write!(f, "loop body breaks/continues at the loop's own level")
+            }
+            RefactorError::BodyReturns => write!(f, "loop body returns from the enclosing function"),
+        }
+    }
+}
+
+impl std::error::Error for RefactorError {}
+
+/// Rewrite the loop `target` into a `forEachPar` call throughout `program`.
+/// Returns the transformed program; the original is untouched.
+pub fn refactor_loop(program: &Program, target: LoopId) -> Result<Program, RefactorError> {
+    let mut found = Err(RefactorError::NoSuchLoop);
+    let body = program
+        .body
+        .iter()
+        .map(|s| rewrite_stmt(s, target, &mut found))
+        .collect();
+    found?;
+    Ok(Program { body })
+}
+
+fn rewrite_stmt(
+    stmt: &Stmt,
+    target: LoopId,
+    found: &mut Result<(), RefactorError>,
+) -> Stmt {
+    if let StmtKind::For { loop_id, .. } = &stmt.kind {
+        if *loop_id == target {
+            match try_transform(stmt) {
+                Ok(new_stmt) => {
+                    *found = Ok(());
+                    return new_stmt;
+                }
+                Err(e) => {
+                    *found = Err(e);
+                    return stmt.clone();
+                }
+            }
+        }
+    } else if stmt.kind.loop_id() == Some(target) {
+        // A while/do-while/for-in with the requested id: it exists but has
+        // no canonical counted header to transform.
+        *found = Err(RefactorError::NonCanonicalHeader);
+        return stmt.clone();
+    }
+    // Recurse structurally (loops can nest anywhere, including inside
+    // function expressions held by expression statements — the
+    // `X.prototype.m = function () { … }` pattern).
+    let kind = match &stmt.kind {
+        StmtKind::Expr(e) => StmtKind::Expr(rewrite_expr(e, target, found)),
+        StmtKind::VarDecl(ds) => StmtKind::VarDecl(
+            ds.iter()
+                .map(|d| VarDeclarator {
+                    name: d.name.clone(),
+                    init: d.init.as_ref().map(|e| rewrite_expr(e, target, found)),
+                    span: d.span,
+                })
+                .collect(),
+        ),
+        StmtKind::Return(e) => {
+            StmtKind::Return(e.as_ref().map(|e| rewrite_expr(e, target, found)))
+        }
+        StmtKind::Block(ss) => {
+            StmtKind::Block(ss.iter().map(|s| rewrite_stmt(s, target, found)).collect())
+        }
+        StmtKind::If { cond, then, alt } => StmtKind::If {
+            cond: rewrite_expr(cond, target, found),
+            then: Box::new(rewrite_stmt(then, target, found)),
+            alt: alt.as_ref().map(|a| Box::new(rewrite_stmt(a, target, found))),
+        },
+        StmtKind::While { loop_id, cond, body } => StmtKind::While {
+            loop_id: *loop_id,
+            cond: rewrite_expr(cond, target, found),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::DoWhile { loop_id, body, cond } => StmtKind::DoWhile {
+            loop_id: *loop_id,
+            body: Box::new(rewrite_stmt(body, target, found)),
+            cond: rewrite_expr(cond, target, found),
+        },
+        StmtKind::For { loop_id, init, cond, update, body } => StmtKind::For {
+            loop_id: *loop_id,
+            init: init.clone(),
+            cond: cond.clone(),
+            update: update.clone(),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::ForIn { loop_id, decl, var, object, body } => StmtKind::ForIn {
+            loop_id: *loop_id,
+            decl: *decl,
+            var: var.clone(),
+            object: rewrite_expr(object, target, found),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::Func(decl) => StmtKind::Func(FuncDecl {
+            name: decl.name.clone(),
+            func: Func {
+                params: decl.func.params.clone(),
+                body: decl
+                    .func
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
+                span: decl.func.span,
+            },
+        }),
+        StmtKind::Try { block, catch, finally } => StmtKind::Try {
+            block: block.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+            catch: catch.as_ref().map(|c| CatchClause {
+                param: c.param.clone(),
+                body: c.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+            }),
+            finally: finally
+                .as_ref()
+                .map(|f| f.iter().map(|s| rewrite_stmt(s, target, found)).collect()),
+        },
+        StmtKind::Switch { disc, cases } => StmtKind::Switch {
+            disc: disc.clone(),
+            cases: cases
+                .iter()
+                .map(|c| SwitchCase {
+                    test: c.test.clone(),
+                    body: c.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+                })
+                .collect(),
+        },
+        other => other.clone(),
+    };
+    Stmt::new(kind, stmt.span)
+}
+
+/// Walk an expression, rewriting loops inside any function-expression
+/// bodies it contains.
+fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorError>) -> Expr {
+    let kind = match &expr.kind {
+        ExprKind::Func { name, func } => ExprKind::Func {
+            name: name.clone(),
+            func: Func {
+                params: func.params.clone(),
+                body: func.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+                span: func.span,
+            },
+        },
+        ExprKind::Array(els) => {
+            ExprKind::Array(els.iter().map(|e| rewrite_expr(e, target, found)).collect())
+        }
+        ExprKind::Object(props) => ExprKind::Object(
+            props
+                .iter()
+                .map(|(k, v)| (k.clone(), rewrite_expr(v, target, found)))
+                .collect(),
+        ),
+        ExprKind::Unary { op, expr: inner } => ExprKind::Unary {
+            op: *op,
+            expr: Box::new(rewrite_expr(inner, target, found)),
+        },
+        ExprKind::Update { op, prefix, target: t } => ExprKind::Update {
+            op: *op,
+            prefix: *prefix,
+            target: Box::new(rewrite_expr(t, target, found)),
+        },
+        ExprKind::Binary { op, left, right } => ExprKind::Binary {
+            op: *op,
+            left: Box::new(rewrite_expr(left, target, found)),
+            right: Box::new(rewrite_expr(right, target, found)),
+        },
+        ExprKind::Logical { op, left, right } => ExprKind::Logical {
+            op: *op,
+            left: Box::new(rewrite_expr(left, target, found)),
+            right: Box::new(rewrite_expr(right, target, found)),
+        },
+        ExprKind::Assign { op, target: t, value } => ExprKind::Assign {
+            op: *op,
+            target: Box::new(rewrite_expr(t, target, found)),
+            value: Box::new(rewrite_expr(value, target, found)),
+        },
+        ExprKind::Cond { cond, then, alt } => ExprKind::Cond {
+            cond: Box::new(rewrite_expr(cond, target, found)),
+            then: Box::new(rewrite_expr(then, target, found)),
+            alt: Box::new(rewrite_expr(alt, target, found)),
+        },
+        ExprKind::Call { callee, args } => ExprKind::Call {
+            callee: Box::new(rewrite_expr(callee, target, found)),
+            args: args.iter().map(|a| rewrite_expr(a, target, found)).collect(),
+        },
+        ExprKind::New { callee, args } => ExprKind::New {
+            callee: Box::new(rewrite_expr(callee, target, found)),
+            args: args.iter().map(|a| rewrite_expr(a, target, found)).collect(),
+        },
+        ExprKind::Member { object, prop } => ExprKind::Member {
+            object: Box::new(rewrite_expr(object, target, found)),
+            prop: prop.clone(),
+        },
+        ExprKind::Index { object, index } => ExprKind::Index {
+            object: Box::new(rewrite_expr(object, target, found)),
+            index: Box::new(rewrite_expr(index, target, found)),
+        },
+        ExprKind::Seq(es) => {
+            ExprKind::Seq(es.iter().map(|e| rewrite_expr(e, target, found)).collect())
+        }
+        other => other.clone(),
+    };
+    Expr::new(kind, expr.span)
+}
+
+/// Attempt the canonical transformation of one `for` statement.
+fn try_transform(stmt: &Stmt) -> Result<Stmt, RefactorError> {
+    let StmtKind::For { init, cond, update, body, .. } = &stmt.kind else {
+        return Err(RefactorError::NonCanonicalHeader);
+    };
+
+    // Induction variable and `= 0` start.
+    let var = match init {
+        Some(ForInit::VarDecl(ds))
+            if ds.len() == 1
+                && matches!(&ds[0].init, Some(Expr { kind: ExprKind::Num(n), .. }) if *n == 0.0) =>
+        {
+            ds[0].name.clone()
+        }
+        Some(ForInit::Expr(Expr {
+            kind: ExprKind::Assign { op: AssignOp::Assign, target, value },
+            ..
+        })) if matches!(value.kind, ExprKind::Num(n) if n == 0.0) => match &target.kind {
+            ExprKind::Ident(name) => name.clone(),
+            _ => return Err(RefactorError::NonCanonicalHeader),
+        },
+        _ => return Err(RefactorError::NonCanonicalHeader),
+    };
+
+    // `i < N`.
+    let bound = match cond {
+        Some(Expr { kind: ExprKind::Binary { op: BinaryOp::Lt, left, right }, .. })
+            if matches!(&left.kind, ExprKind::Ident(n) if *n == var) =>
+        {
+            (**right).clone()
+        }
+        _ => return Err(RefactorError::NonCanonicalHeader),
+    };
+
+    // `i++` / `++i` / `i += 1`.
+    let canonical_update = match update {
+        Some(Expr { kind: ExprKind::Update { op: UpdateOp::Inc, target, .. }, .. }) => {
+            matches!(&target.kind, ExprKind::Ident(n) if *n == var)
+        }
+        Some(Expr {
+            kind: ExprKind::Assign { op: AssignOp::Add, target, value },
+            ..
+        }) => {
+            matches!(&target.kind, ExprKind::Ident(n) if *n == var)
+                && matches!(value.kind, ExprKind::Num(x) if x == 1.0)
+        }
+        _ => false,
+    };
+    if !canonical_update {
+        return Err(RefactorError::NonCanonicalHeader);
+    }
+
+    // Body restrictions.
+    check_body(body, 0)?;
+
+    // forEachPar(N, function (i) { body });
+    let callback = Expr::synth(ExprKind::Func {
+        name: None,
+        func: Func {
+            params: vec![var],
+            body: match &body.kind {
+                StmtKind::Block(ss) => ss.clone(),
+                other => vec![Stmt::new(other.clone(), body.span)],
+            },
+            span: Span::SYNTHETIC,
+        },
+    });
+    Ok(build::expr_stmt(build::call("forEachPar", vec![bound, callback])))
+}
+
+/// Reject bodies with loop-level `break`/`continue` or function-level
+/// `return`. `depth` counts nested loops (their own break/continue is fine);
+/// nested functions reset both concerns.
+fn check_body(stmt: &Stmt, depth: u32) -> Result<(), RefactorError> {
+    match &stmt.kind {
+        StmtKind::Break | StmtKind::Continue => {
+            if depth == 0 {
+                Err(RefactorError::BodyBreaksOut)
+            } else {
+                Ok(())
+            }
+        }
+        StmtKind::Return(_) => Err(RefactorError::BodyReturns),
+        StmtKind::Block(ss) => ss.iter().try_for_each(|s| check_body(s, depth)),
+        StmtKind::If { then, alt, .. } => {
+            check_body(then, depth)?;
+            alt.as_ref().map_or(Ok(()), |a| check_body(a, depth))
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. }
+        | StmtKind::ForIn { body, .. } => check_body(body, depth + 1),
+        StmtKind::Try { block, catch, finally } => {
+            block.iter().try_for_each(|s| check_body(s, depth))?;
+            if let Some(c) = catch {
+                c.body.iter().try_for_each(|s| check_body(s, depth))?;
+            }
+            if let Some(f) = finally {
+                f.iter().try_for_each(|s| check_body(s, depth))?;
+            }
+            Ok(())
+        }
+        StmtKind::Switch { cases, .. } => {
+            // `break` inside a switch belongs to the switch.
+            cases
+                .iter()
+                .try_for_each(|c| c.body.iter().try_for_each(|s| check_body(s, depth + 1)))
+        }
+        // Nested functions own their returns/breaks.
+        StmtKind::Func(_) => Ok(()),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_parser::parse_and_number;
+
+    fn refactor(src: &str, id: u32) -> Result<String, RefactorError> {
+        let (program, _) = parse_and_number(src).unwrap();
+        refactor_loop(&program, LoopId(id)).map(|p| ceres_ast::program_to_source(&p))
+    }
+
+    #[test]
+    fn canonical_loop_becomes_for_each_par() {
+        let out = refactor(
+            "var out = new Float32Array(8);\nfor (var i = 0; i < 8; i++) { out[i] = i * 2; }",
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("forEachPar(8, function (i) {"), "{out}");
+        assert!(out.contains("out[i] = i * 2;"), "{out}");
+        assert!(!out.contains("for ("), "{out}");
+    }
+
+    #[test]
+    fn i_equals_zero_form_and_plus_equals_update() {
+        let out = refactor("var i;\nfor (i = 0; i < n; i += 1) { f(i); }", 1).unwrap();
+        assert!(out.contains("forEachPar(n, function (i) {"), "{out}");
+    }
+
+    #[test]
+    fn non_canonical_headers_are_refused() {
+        assert_eq!(
+            refactor("for (var i = 1; i < 8; i++) { }", 1),
+            Err(RefactorError::NonCanonicalHeader),
+            "non-zero start"
+        );
+        assert_eq!(
+            refactor("for (var i = 0; i <= 8; i++) { }", 1),
+            Err(RefactorError::NonCanonicalHeader),
+            "<= bound"
+        );
+        assert_eq!(
+            refactor("for (var i = 0; i < 8; i += 2) { }", 1),
+            Err(RefactorError::NonCanonicalHeader),
+            "stride 2"
+        );
+        assert_eq!(
+            refactor("while (x) { }", 1),
+            Err(RefactorError::NonCanonicalHeader),
+            "while loop"
+        );
+    }
+
+    #[test]
+    fn bodies_with_escapes_are_refused() {
+        assert_eq!(
+            refactor("for (var i = 0; i < 8; i++) { if (i === 3) { break; } }", 1),
+            Err(RefactorError::BodyBreaksOut)
+        );
+        assert_eq!(
+            refactor(
+                "function f() { for (var i = 0; i < 8; i++) { return i; } }",
+                1
+            ),
+            Err(RefactorError::BodyReturns)
+        );
+        // continue at the loop's own level
+        assert_eq!(
+            refactor("for (var i = 0; i < 8; i++) { if (i % 2) { continue; } f(i); }", 1),
+            Err(RefactorError::BodyBreaksOut)
+        );
+    }
+
+    #[test]
+    fn nested_loop_breaks_are_fine() {
+        let out = refactor(
+            "for (var i = 0; i < 4; i++) {\n\
+               var j;\n\
+               for (j = 0; j < 10; j++) { if (j === i) { break; } }\n\
+             }",
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("forEachPar(4, function (i)"), "{out}");
+        assert!(out.contains("break;"), "inner break survives: {out}");
+    }
+
+    #[test]
+    fn switch_breaks_do_not_block() {
+        let out = refactor(
+            "for (var i = 0; i < 4; i++) { switch (i) { case 1: f(); break; default: g(); } }",
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("forEachPar"), "{out}");
+    }
+
+    #[test]
+    fn missing_loop_id_reports() {
+        assert_eq!(refactor("f();", 1), Err(RefactorError::NoSuchLoop));
+        assert_eq!(
+            refactor("for (var i = 0; i < 2; i++) { }", 9),
+            Err(RefactorError::NoSuchLoop)
+        );
+    }
+
+    #[test]
+    fn inner_loop_can_be_targeted() {
+        let out = refactor(
+            "var t;\nfor (t = 0; t < 3; t += 1) {\n\
+               for (var i = 0; i < 8; i++) { g(t, i); }\n\
+             }",
+            2,
+        )
+        .unwrap();
+        assert!(out.contains("for (t = 0"), "outer stays imperative: {out}");
+        assert!(out.contains("forEachPar(8, function (i)"), "{out}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Virtual clock and simulated sampling profiler.
+//!
+//! The paper measures wall-clock time with the high-resolution timer and CPU
+//! activity with the Gecko sampling profiler (Sec. 3.1). Real time is not
+//! reproducible, so the interpreter charges a fixed tick cost per evaluated
+//! AST node; `performance.now()` reads this clock. Relative quantities —
+//! fraction of time in loops, per-loop-nest shares, instrumentation
+//! overheads — are then exact and deterministic.
+//!
+//! The profiler reproduces Gecko's *function-granularity sampling* artifact
+//! the paper describes: "as the sampling occurs at function level …, a long
+//! running computation within a single function may be seen as inactive
+//! time". We model that directly: a sample counts as *active* only when at
+//! least one function entry/exit happened since the previous sample. Tight
+//! loops that never cross a function boundary are therefore under-attributed,
+//! which is exactly why Table 2 sometimes shows Active < In-Loops.
+
+/// Ticks per simulated millisecond. One tick ≈ one evaluated AST node.
+pub const TICKS_PER_MS: u64 = 2_000;
+
+/// Sampling interval of the simulated profiler, in ticks (~1 ms).
+pub const SAMPLE_INTERVAL: u64 = 2_000;
+
+/// Virtual clock + sampling profiler state.
+pub struct Clock {
+    now: u64,
+    /// Function boundary events (entry or exit) since the last sample.
+    fn_events: u64,
+    /// Next tick at which a sample fires.
+    next_sample: u64,
+    active_samples: u64,
+    total_samples: u64,
+    /// True while the event loop is idle (between events); idle samples are
+    /// never active.
+    idle: bool,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock {
+    pub fn new() -> Clock {
+        Clock {
+            now: 0,
+            fn_events: 0,
+            next_sample: SAMPLE_INTERVAL,
+            active_samples: 0,
+            total_samples: 0,
+            idle: false,
+        }
+    }
+
+    /// Current time in ticks.
+    pub fn now_ticks(&self) -> u64 {
+        self.now
+    }
+
+    /// Current time in simulated milliseconds (what `performance.now()`
+    /// returns).
+    pub fn now_ms(&self) -> f64 {
+        self.now as f64 / TICKS_PER_MS as f64
+    }
+
+    /// Charge `n` ticks of executing work.
+    #[inline]
+    pub fn tick(&mut self, n: u64) {
+        self.now += n;
+        while self.now >= self.next_sample {
+            self.sample();
+            self.next_sample += SAMPLE_INTERVAL;
+        }
+    }
+
+    /// Record a function entry or exit (profiler visibility event).
+    #[inline]
+    pub fn fn_boundary(&mut self) {
+        self.fn_events += 1;
+    }
+
+    /// Advance the clock over an idle period (event loop waiting). Samples
+    /// taken in this window are inactive.
+    pub fn advance_idle(&mut self, ticks: u64) {
+        let was_idle = self.idle;
+        self.idle = true;
+        self.tick(ticks);
+        self.idle = was_idle;
+    }
+
+    fn sample(&mut self) {
+        self.total_samples += 1;
+        if !self.idle && self.fn_events > 0 {
+            self.active_samples += 1;
+        }
+        self.fn_events = 0;
+    }
+
+    /// Profiler-reported *active* time in ticks (samples × interval), the
+    /// analogue of the Gecko profiler's active time in Table 2.
+    pub fn active_ticks(&self) -> u64 {
+        self.active_samples * SAMPLE_INTERVAL
+    }
+
+    /// Profiler-reported active time in simulated milliseconds.
+    pub fn active_ms(&self) -> f64 {
+        self.active_ticks() as f64 / TICKS_PER_MS as f64
+    }
+
+    /// Total samples taken (diagnostics).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate() {
+        let mut c = Clock::new();
+        c.tick(10);
+        c.tick(5);
+        assert_eq!(c.now_ticks(), 15);
+        assert!((c.now_ms() - 15.0 / TICKS_PER_MS as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_fire_on_interval() {
+        let mut c = Clock::new();
+        c.tick(SAMPLE_INTERVAL * 3 + 1);
+        assert_eq!(c.total_samples(), 3);
+    }
+
+    #[test]
+    fn active_requires_fn_boundary() {
+        let mut c = Clock::new();
+        // A long single-function computation: no boundaries → inactive.
+        c.tick(SAMPLE_INTERVAL * 5);
+        assert_eq!(c.active_ticks(), 0);
+        // Now with function crossings each sample window → active.
+        for _ in 0..5 {
+            c.fn_boundary();
+            c.tick(SAMPLE_INTERVAL);
+        }
+        assert_eq!(c.active_ticks(), 5 * SAMPLE_INTERVAL);
+    }
+
+    #[test]
+    fn idle_windows_are_inactive_even_with_boundaries() {
+        let mut c = Clock::new();
+        c.fn_boundary();
+        c.advance_idle(SAMPLE_INTERVAL * 4);
+        assert_eq!(c.active_ticks(), 0);
+        assert_eq!(c.total_samples(), 4);
+    }
+
+    #[test]
+    fn one_big_tick_fires_all_crossed_samples() {
+        let mut c = Clock::new();
+        c.fn_boundary();
+        c.tick(SAMPLE_INTERVAL * 10);
+        // Only the first sample saw a boundary; the rest of the big tick had
+        // none (events were consumed by the first sample).
+        assert_eq!(c.total_samples(), 10);
+        assert_eq!(c.active_ticks(), SAMPLE_INTERVAL);
+    }
+}

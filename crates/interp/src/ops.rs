@@ -1,0 +1,247 @@
+//! JavaScript operator semantics: coercions, equality, arithmetic.
+//!
+//! Implements the ES5 abstract operations the subset needs (`ToNumber`,
+//! `ToString`, `ToInt32`, `ToUint32`, abstract equality, relational
+//! comparison, and the `+` operator's string/number split). `ToPrimitive` on
+//! objects skips user-defined `valueOf`/`toString` (none of the workloads
+//! rely on them): arrays stringify as joined elements, everything else as
+//! `[object Object]` / a function placeholder.
+
+use crate::value::{ObjKind, Value};
+use ceres_ast::ast::number_to_string;
+
+/// `ToNumber`.
+pub fn to_number(v: &Value) -> f64 {
+    match v {
+        Value::Undefined => f64::NAN,
+        Value::Null => 0.0,
+        Value::Bool(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Value::Num(n) => *n,
+        Value::Str(s) => str_to_number(s),
+        Value::Object(_) => {
+            let p = to_primitive(v);
+            match p {
+                Value::Object(_) => f64::NAN,
+                other => to_number(&other),
+            }
+        }
+    }
+}
+
+fn str_to_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return 0.0;
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).map(|v| v as f64).unwrap_or(f64::NAN);
+    }
+    if t == "Infinity" || t == "+Infinity" {
+        return f64::INFINITY;
+    }
+    if t == "-Infinity" {
+        return f64::NEG_INFINITY;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// `ToString`.
+pub fn to_string(v: &Value) -> String {
+    match v {
+        Value::Undefined => "undefined".to_string(),
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => number_to_string(*n),
+        Value::Str(s) => s.to_string(),
+        Value::Object(o) => match &o.borrow().kind {
+            ObjKind::Array(elems) => elems
+                .iter()
+                .map(|e| match e {
+                    Value::Undefined | Value::Null => String::new(),
+                    other => to_string(other),
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+            ObjKind::Function(f) => {
+                format!("function {}() {{ [code] }}", f.name.as_deref().unwrap_or(""))
+            }
+            ObjKind::Native { name, .. } => format!("function {name}() {{ [native code] }}"),
+            ObjKind::Plain => "[object Object]".to_string(),
+        },
+    }
+}
+
+/// `ToPrimitive` with no user hooks: objects become strings.
+pub fn to_primitive(v: &Value) -> Value {
+    match v {
+        Value::Object(_) => Value::str(to_string(v)),
+        other => other.clone(),
+    }
+}
+
+/// `ToInt32` (for bitwise ops and `>>`/`<<`).
+pub fn to_int32(v: &Value) -> i32 {
+    let n = to_number(v);
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let m = n.trunc() as i64;
+    (m & 0xFFFF_FFFF) as u32 as i32
+}
+
+/// `ToUint32` (for `>>>`).
+pub fn to_uint32(v: &Value) -> u32 {
+    let n = to_number(v);
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let m = n.trunc() as i64;
+    (m & 0xFFFF_FFFF) as u32
+}
+
+/// The `+` operator: string concatenation when either primitive is a string.
+pub fn js_add(a: &Value, b: &Value) -> Value {
+    let pa = to_primitive(a);
+    let pb = to_primitive(b);
+    match (&pa, &pb) {
+        (Value::Str(_), _) | (_, Value::Str(_)) => {
+            Value::str(format!("{}{}", to_string(&pa), to_string(&pb)))
+        }
+        _ => Value::Num(to_number(&pa) + to_number(&pb)),
+    }
+}
+
+/// Abstract (loose, `==`) equality.
+pub fn loose_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Undefined | Value::Null, Value::Undefined | Value::Null) => true,
+        (Value::Num(x), Value::Num(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Object(x), Value::Object(y)) => x.id() == y.id(),
+        (Value::Num(_), Value::Str(_)) => to_number(a) == to_number(b),
+        (Value::Str(_), Value::Num(_)) => to_number(a) == to_number(b),
+        (Value::Bool(_), _) => loose_eq(&Value::Num(to_number(a)), b),
+        (_, Value::Bool(_)) => loose_eq(a, &Value::Num(to_number(b))),
+        (Value::Object(_), Value::Num(_) | Value::Str(_)) => loose_eq(&to_primitive(a), b),
+        (Value::Num(_) | Value::Str(_), Value::Object(_)) => loose_eq(a, &to_primitive(b)),
+        _ => false,
+    }
+}
+
+/// Result of a relational comparison.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum CmpResult {
+    True,
+    False,
+    /// NaN involved: every relational operator yields false.
+    Undefined,
+}
+
+/// The abstract relational comparison `a < b`.
+pub fn less_than(a: &Value, b: &Value) -> CmpResult {
+    let pa = to_primitive(a);
+    let pb = to_primitive(b);
+    if let (Value::Str(x), Value::Str(y)) = (&pa, &pb) {
+        return if x < y { CmpResult::True } else { CmpResult::False };
+    }
+    let (x, y) = (to_number(&pa), to_number(&pb));
+    if x.is_nan() || y.is_nan() {
+        CmpResult::Undefined
+    } else if x < y {
+        CmpResult::True
+    } else {
+        CmpResult::False
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{new_array, new_object};
+
+    #[test]
+    fn to_number_cases() {
+        assert!(to_number(&Value::Undefined).is_nan());
+        assert_eq!(to_number(&Value::Null), 0.0);
+        assert_eq!(to_number(&Value::Bool(true)), 1.0);
+        assert_eq!(to_number(&Value::str("  42 ")), 42.0);
+        assert_eq!(to_number(&Value::str("")), 0.0);
+        assert_eq!(to_number(&Value::str("0x10")), 16.0);
+        assert!(to_number(&Value::str("4x")).is_nan());
+        assert_eq!(to_number(&Value::str("-Infinity")), f64::NEG_INFINITY);
+        // [5] -> "5" -> 5
+        let arr = new_array(vec![Value::Num(5.0)]);
+        assert_eq!(to_number(&Value::Object(arr)), 5.0);
+        // {} -> "[object Object]" -> NaN
+        assert!(to_number(&Value::Object(new_object())).is_nan());
+    }
+
+    #[test]
+    fn to_string_cases() {
+        assert_eq!(to_string(&Value::Num(3.5)), "3.5");
+        assert_eq!(to_string(&Value::Num(3.0)), "3");
+        assert_eq!(to_string(&Value::Null), "null");
+        let arr = new_array(vec![Value::Num(1.0), Value::Null, Value::str("x")]);
+        assert_eq!(to_string(&Value::Object(arr)), "1,,x");
+        assert_eq!(to_string(&Value::Object(new_object())), "[object Object]");
+    }
+
+    #[test]
+    fn int32_wrapping() {
+        assert_eq!(to_int32(&Value::Num(0.0)), 0);
+        assert_eq!(to_int32(&Value::Num(-1.0)), -1);
+        assert_eq!(to_int32(&Value::Num(4294967296.0)), 0); // 2^32 wraps
+        assert_eq!(to_int32(&Value::Num(2147483648.0)), -2147483648); // 2^31
+        assert_eq!(to_int32(&Value::Num(f64::NAN)), 0);
+        assert_eq!(to_uint32(&Value::Num(-1.0)), 4294967295);
+    }
+
+    #[test]
+    fn add_string_vs_number() {
+        assert!(matches!(js_add(&Value::Num(1.0), &Value::Num(2.0)), Value::Num(n) if n == 3.0));
+        assert_eq!(to_string(&js_add(&Value::str("a"), &Value::Num(1.0))), "a1");
+        assert_eq!(to_string(&js_add(&Value::Num(1.0), &Value::str("a"))), "1a");
+        // [1,2] + 3 === "1,23"
+        let arr = new_array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        assert_eq!(to_string(&js_add(&Value::Object(arr), &Value::Num(3.0))), "1,23");
+        // true + 1 === 2
+        assert!(matches!(js_add(&Value::Bool(true), &Value::Num(1.0)), Value::Num(n) if n == 2.0));
+    }
+
+    #[test]
+    fn loose_equality_table() {
+        assert!(loose_eq(&Value::Null, &Value::Undefined));
+        assert!(!loose_eq(&Value::Null, &Value::Num(0.0)));
+        assert!(loose_eq(&Value::Num(1.0), &Value::str("1")));
+        assert!(loose_eq(&Value::Bool(true), &Value::Num(1.0)));
+        assert!(loose_eq(&Value::Bool(false), &Value::str("0")));
+        assert!(!loose_eq(&Value::str("a"), &Value::Num(0.0)));
+        let o = new_object();
+        assert!(loose_eq(&Value::Object(o.clone()), &Value::Object(o.clone())));
+        assert!(!loose_eq(&Value::Object(o), &Value::Object(new_object())));
+        // [1] == 1
+        let arr = new_array(vec![Value::Num(1.0)]);
+        assert!(loose_eq(&Value::Object(arr), &Value::Num(1.0)));
+        // NaN != NaN
+        assert!(!loose_eq(&Value::Num(f64::NAN), &Value::Num(f64::NAN)));
+    }
+
+    #[test]
+    fn relational_comparison() {
+        assert_eq!(less_than(&Value::Num(1.0), &Value::Num(2.0)), CmpResult::True);
+        assert_eq!(less_than(&Value::str("a"), &Value::str("b")), CmpResult::True);
+        assert_eq!(less_than(&Value::str("b"), &Value::str("a")), CmpResult::False);
+        // "10" < "9" lexicographically!
+        assert_eq!(less_than(&Value::str("10"), &Value::str("9")), CmpResult::True);
+        // but "10" < 9 numerically
+        assert_eq!(less_than(&Value::str("10"), &Value::Num(9.0)), CmpResult::False);
+        assert_eq!(less_than(&Value::Num(f64::NAN), &Value::Num(1.0)), CmpResult::Undefined);
+    }
+}

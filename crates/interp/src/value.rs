@@ -1,0 +1,390 @@
+//! Runtime values and the object heap.
+//!
+//! Objects are reference-counted with interior mutability; every object gets
+//! a process-unique id so the analysis engine can keep side tables (creation
+//! stamps, last-write snapshots) without the interpreter knowing about them —
+//! this replaces the ES `Proxy` wrapping the paper's tool used (Sec. 3.3).
+
+use crate::env::ScopeRef;
+use crate::interp::{Interp, JsResult};
+use ceres_ast::ast::Func;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A JavaScript value.
+#[derive(Clone)]
+pub enum Value {
+    Undefined,
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(Rc<str>),
+    Object(ObjRef),
+}
+
+impl Value {
+    pub fn str<S: AsRef<str>>(s: S) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// JS `typeof`.
+    pub fn type_of(&self) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Null => "object",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Object(o) => {
+                if o.is_callable() {
+                    "function"
+                } else {
+                    "object"
+                }
+            }
+        }
+    }
+
+    /// JS truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Undefined | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Object(_) => true,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&ObjRef> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined, Value::Undefined) | (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a.id() == b.id(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Undefined => write!(f, "undefined"),
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Object(o) => write!(f, "[object #{} {}]", o.id(), o.class_name()),
+        }
+    }
+}
+
+/// Signature of native (host) functions.
+///
+/// `this` is the receiver, `args` the call arguments. The [`CallCtx`] exposes
+/// the *caller's* lexical scope so analysis hooks like `__ceres_wrvar("p")`
+/// can resolve the binding the instrumented access refers to.
+pub type NativeFn = Rc<dyn Fn(&mut Interp, &CallCtx, &[Value]) -> JsResult>;
+
+/// Context passed to native functions.
+pub struct CallCtx {
+    /// `this` value of the call.
+    pub this: Value,
+    /// Scope the call expression was evaluated in (caller's scope).
+    pub caller_scope: Option<ScopeRef>,
+}
+
+/// What kind of object this is.
+pub enum ObjKind {
+    /// Plain object (also used for DOM nodes built by `ceres-dom`).
+    Plain,
+    /// Array with dense element storage.
+    Array(Vec<Value>),
+    /// Interpreted function (closure).
+    Function(JsFunction),
+    /// Host function implemented in Rust.
+    Native { name: String, f: NativeFn },
+}
+
+/// An interpreted function: AST + captured environment.
+pub struct JsFunction {
+    pub name: Option<String>,
+    pub func: Rc<Func>,
+    pub env: ScopeRef,
+}
+
+/// Object payload.
+pub struct Obj {
+    pub kind: ObjKind,
+    /// Named properties, with `key_order` preserving insertion order for
+    /// `for-in` and `Object.keys`.
+    pub props: HashMap<String, Value>,
+    pub key_order: Vec<String>,
+    pub proto: Option<ObjRef>,
+    /// Free-form tag used by `ceres-dom` to mark DOM/Canvas objects so the
+    /// analysis can classify accesses (Table 3, "DOM access" column).
+    pub tag: Option<&'static str>,
+}
+
+impl Obj {
+    pub fn get_own(&self, key: &str) -> Option<Value> {
+        self.props.get(key).cloned()
+    }
+
+    pub fn set_prop(&mut self, key: &str, value: Value) {
+        if !self.props.contains_key(key) {
+            self.key_order.push(key.to_string());
+        }
+        self.props.insert(key.to_string(), value);
+    }
+
+    pub fn delete_prop(&mut self, key: &str) -> bool {
+        if self.props.remove(key).is_some() {
+            self.key_order.retain(|k| k != key);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A reference-counted handle to an object with a unique id.
+#[derive(Clone)]
+pub struct ObjRef {
+    id: u64,
+    inner: Rc<RefCell<Obj>>,
+}
+
+thread_local! {
+    static NEXT_OBJ_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
+}
+
+impl ObjRef {
+    pub fn new(kind: ObjKind) -> ObjRef {
+        let id = NEXT_OBJ_ID.with(|c| {
+            let id = c.get();
+            c.set(id + 1);
+            id
+        });
+        ObjRef {
+            id,
+            inner: Rc::new(RefCell::new(Obj {
+                kind,
+                props: HashMap::new(),
+                key_order: Vec::new(),
+                proto: None,
+                tag: None,
+            })),
+        }
+    }
+
+    /// Unique, never-reused object id. Keys for analysis side tables.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn borrow(&self) -> std::cell::Ref<'_, Obj> {
+        self.inner.borrow()
+    }
+
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, Obj> {
+        self.inner.borrow_mut()
+    }
+
+    pub fn is_callable(&self) -> bool {
+        matches!(
+            self.inner.borrow().kind,
+            ObjKind::Function(_) | ObjKind::Native { .. }
+        )
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self.inner.borrow().kind, ObjKind::Array(_))
+    }
+
+    /// Class name for diagnostics: "Object", "Array", "Function".
+    pub fn class_name(&self) -> &'static str {
+        match self.inner.borrow().kind {
+            ObjKind::Plain => "Object",
+            ObjKind::Array(_) => "Array",
+            ObjKind::Function(_) | ObjKind::Native { .. } => "Function",
+        }
+    }
+
+    /// Array length, if this is an array.
+    pub fn array_len(&self) -> Option<usize> {
+        match &self.inner.borrow().kind {
+            ObjKind::Array(v) => Some(v.len()),
+            _ => None,
+        }
+    }
+
+    /// Read an array element (None when out of range or not an array).
+    pub fn array_get(&self, idx: usize) -> Option<Value> {
+        match &self.inner.borrow().kind {
+            ObjKind::Array(v) => v.get(idx).cloned(),
+            _ => None,
+        }
+    }
+
+    /// Write an array element, growing with `undefined` holes as needed.
+    pub fn array_set(&self, idx: usize, value: Value) {
+        if let ObjKind::Array(v) = &mut self.inner.borrow_mut().kind {
+            if idx >= v.len() {
+                v.resize(idx + 1, Value::Undefined);
+            }
+            v[idx] = value;
+        }
+    }
+
+    /// Run `f` with a mutable borrow of the element vector.
+    pub fn with_array_mut<R>(&self, f: impl FnOnce(&mut Vec<Value>) -> R) -> Option<R> {
+        match &mut self.inner.borrow_mut().kind {
+            ObjKind::Array(v) => Some(f(v)),
+            _ => None,
+        }
+    }
+
+    /// The DOM tag, if `ceres-dom` marked this object.
+    pub fn tag(&self) -> Option<&'static str> {
+        self.inner.borrow().tag
+    }
+
+    pub fn set_tag(&self, tag: &'static str) {
+        self.inner.borrow_mut().tag = Some(tag);
+    }
+
+    pub fn proto(&self) -> Option<ObjRef> {
+        self.inner.borrow().proto.clone()
+    }
+
+    pub fn set_proto(&self, proto: Option<ObjRef>) {
+        self.inner.borrow_mut().proto = proto;
+    }
+
+    /// Get own property (not walking the prototype chain).
+    pub fn get_own(&self, key: &str) -> Option<Value> {
+        self.inner.borrow().get_own(key)
+    }
+
+    /// Set an own named property.
+    pub fn set_prop(&self, key: &str, value: Value) {
+        self.inner.borrow_mut().set_prop(key, value);
+    }
+
+    /// Own enumerable keys in insertion order; for arrays, indices first.
+    pub fn own_keys(&self) -> Vec<String> {
+        let obj = self.inner.borrow();
+        let mut keys = Vec::new();
+        if let ObjKind::Array(v) = &obj.kind {
+            for i in 0..v.len() {
+                keys.push(i.to_string());
+            }
+        }
+        keys.extend(obj.key_order.iter().cloned());
+        keys
+    }
+}
+
+impl PartialEq for ObjRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+/// Convenience: build a plain object.
+pub fn new_object() -> ObjRef {
+    ObjRef::new(ObjKind::Plain)
+}
+
+/// Convenience: build an array from values.
+pub fn new_array(values: Vec<Value>) -> ObjRef {
+    ObjRef::new(ObjKind::Array(values))
+}
+
+/// Convenience: build a native function object.
+pub fn native_fn(name: &str, f: NativeFn) -> ObjRef {
+    ObjRef::new(ObjKind::Native { name: name.to_string(), f })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Undefined.truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(Value::Object(new_object()).truthy());
+    }
+
+    #[test]
+    fn type_of_strings() {
+        assert_eq!(Value::Undefined.type_of(), "undefined");
+        assert_eq!(Value::Null.type_of(), "object");
+        assert_eq!(Value::Num(1.0).type_of(), "number");
+        assert_eq!(Value::str("a").type_of(), "string");
+        assert_eq!(Value::Bool(true).type_of(), "boolean");
+        assert_eq!(Value::Object(new_object()).type_of(), "object");
+    }
+
+    #[test]
+    fn object_ids_are_unique() {
+        let a = new_object();
+        let b = new_object();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn strict_eq_objects_by_identity() {
+        let a = new_object();
+        let b = a.clone();
+        let c = new_object();
+        assert!(Value::Object(a.clone()).strict_eq(&Value::Object(b)));
+        assert!(!Value::Object(a).strict_eq(&Value::Object(c)));
+    }
+
+    #[test]
+    fn array_storage_grows_with_holes() {
+        let a = new_array(vec![Value::Num(1.0)]);
+        a.array_set(3, Value::Num(4.0));
+        assert_eq!(a.array_len(), Some(4));
+        assert!(matches!(a.array_get(1), Some(Value::Undefined)));
+        assert!(matches!(a.array_get(3), Some(Value::Num(n)) if n == 4.0));
+    }
+
+    #[test]
+    fn own_keys_arrays_then_props() {
+        let a = new_array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        a.set_prop("name", Value::str("xs"));
+        assert_eq!(a.own_keys(), vec!["0", "1", "name"]);
+    }
+
+    #[test]
+    fn key_order_preserved_and_delete() {
+        let o = new_object();
+        o.set_prop("b", Value::Num(1.0));
+        o.set_prop("a", Value::Num(2.0));
+        o.set_prop("b", Value::Num(3.0)); // overwrite keeps position
+        assert_eq!(o.own_keys(), vec!["b", "a"]);
+        assert!(o.borrow_mut().delete_prop("b"));
+        assert_eq!(o.own_keys(), vec!["a"]);
+        assert!(!o.borrow_mut().delete_prop("zzz"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for interpreter semantics: arithmetic agrees with Rust
+//! f64, coercions agree with the ES5 abstract operations, and structural
+//! invariants (scoping, event ordering) hold for generated inputs.
+
+use ceres_interp::{ops, Interp, Value};
+use proptest::prelude::*;
+
+fn eval(src: &str) -> Value {
+    let mut interp = Interp::new(1);
+    interp.eval_expr_source(src).unwrap_or_else(|e| panic!("{e:?} for {src}"))
+}
+
+fn eval_num(src: &str) -> f64 {
+    match eval(src) {
+        Value::Num(n) => n,
+        other => panic!("expected number from {src}, got {other:?}"),
+    }
+}
+
+/// Numbers that print round-trip exactly in our JS literal syntax.
+fn js_num() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(|n| n as f64),
+        (-1_000_000i64..1_000_000).prop_map(|n| n as f64 / 64.0),
+    ]
+}
+
+fn lit(n: f64) -> String {
+    if n < 0.0 {
+        format!("({n})")
+    } else {
+        format!("{n}")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arithmetic_matches_rust(a in js_num(), b in js_num()) {
+        let cases: Vec<(String, f64)> = vec![
+            (format!("{} + {}", lit(a), lit(b)), a + b),
+            (format!("{} - {}", lit(a), lit(b)), a - b),
+            (format!("{} * {}", lit(a), lit(b)), a * b),
+        ];
+        for (src, expected) in cases {
+            let got = eval_num(&src);
+            if expected.is_nan() {
+                prop_assert!(got.is_nan(), "{src}");
+            } else {
+                prop_assert_eq!(got, expected, "{}", src);
+            }
+        }
+        // Division and remainder may be NaN/inf; compare bitwise semantics.
+        let got = eval_num(&format!("{} / {}", lit(a), lit(b)));
+        let expected = a / b;
+        prop_assert!(got == expected || (got.is_nan() && expected.is_nan()));
+        let got = eval_num(&format!("{} % {}", lit(a), lit(b)));
+        let expected = a % b;
+        prop_assert!(got == expected || (got.is_nan() && expected.is_nan()));
+    }
+
+    #[test]
+    fn comparisons_match_rust(a in js_num(), b in js_num()) {
+        let table: Vec<(String, bool)> = vec![
+            (format!("{} < {}", lit(a), lit(b)), a < b),
+            (format!("{} <= {}", lit(a), lit(b)), a <= b),
+            (format!("{} > {}", lit(a), lit(b)), a > b),
+            (format!("{} >= {}", lit(a), lit(b)), a >= b),
+            (format!("{} === {}", lit(a), lit(b)), a == b),
+            (format!("{} !== {}", lit(a), lit(b)), a != b),
+        ];
+        for (src, expected) in table {
+            match eval(&src) {
+                Value::Bool(got) => prop_assert_eq!(got, expected, "{}", src),
+                other => prop_assert!(false, "{src} -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_matches_int32_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let aa = a as f64;
+        let bb = b as f64;
+        prop_assert_eq!(eval_num(&format!("({aa}) & ({bb})")), (a & b) as f64);
+        prop_assert_eq!(eval_num(&format!("({aa}) | ({bb})")), (a | b) as f64);
+        prop_assert_eq!(eval_num(&format!("({aa}) ^ ({bb})")), (a ^ b) as f64);
+        let sh = (b as u32) & 31;
+        prop_assert_eq!(eval_num(&format!("({aa}) << ({bb})")), (a << sh) as f64);
+        prop_assert_eq!(eval_num(&format!("({aa}) >> ({bb})")), (a >> sh) as f64);
+        prop_assert_eq!(
+            eval_num(&format!("({aa}) >>> ({bb})")),
+            ((a as u32) >> sh) as f64
+        );
+    }
+
+    #[test]
+    fn to_number_string_roundtrip(n in js_num()) {
+        // Number -> string -> number round-trips for friendly values.
+        let s = ops::to_string(&Value::Num(n));
+        prop_assert_eq!(ops::to_number(&Value::str(&s)), n, "via {}", s);
+    }
+
+    #[test]
+    fn loop_sum_matches_closed_form(n in 0u32..500) {
+        let got = {
+            let mut interp = Interp::new(1);
+            interp
+                .eval_source(&format!(
+                    "var s = 0;\nfor (var i = 1; i <= {n}; i++) {{ s += i; }}\nresult = s;"
+                ))
+                .unwrap();
+            match interp.global.get("result") {
+                Some(Value::Num(x)) => x,
+                other => panic!("{other:?}"),
+            }
+        };
+        prop_assert_eq!(got, (n as f64) * (n as f64 + 1.0) / 2.0);
+    }
+
+    #[test]
+    fn array_methods_match_rust_vec(values in prop::collection::vec(-100i32..100, 0..24)) {
+        let js_array = format!(
+            "[{}]",
+            values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        let mut interp = Interp::new(1);
+        interp
+            .eval_source(&format!(
+                "var a = {js_array};\n\
+                 var doubled = a.map(function (x) {{ return x * 2; }});\n\
+                 var evens = a.filter(function (x) {{ return x % 2 === 0; }});\n\
+                 var sum = a.reduce(function (acc, x) {{ return acc + x; }}, 0);\n\
+                 var sorted = a.slice().sort(function (x, y) {{ return x - y; }});\n\
+                 out = [doubled.join(\",\"), evens.join(\",\"), sum, sorted.join(\",\")].join(\"|\");"
+            ))
+            .unwrap();
+        let got = match interp.global.get("out") {
+            Some(Value::Str(s)) => s.to_string(),
+            other => panic!("{other:?}"),
+        };
+        let doubled: Vec<String> = values.iter().map(|v| (v * 2).to_string()).collect();
+        let evens: Vec<String> =
+            values.iter().filter(|v| *v % 2 == 0).map(|v| v.to_string()).collect();
+        let sum: i32 = values.iter().sum();
+        let mut sorted = values.clone();
+        sorted.sort();
+        let sorted: Vec<String> = sorted.iter().map(|v| v.to_string()).collect();
+        let expected =
+            format!("{}|{}|{}|{}", doubled.join(","), evens.join(","), sum, sorted.join(","));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn event_loop_fires_in_time_order(delays in prop::collection::vec(0u32..200, 1..12)) {
+        let mut interp = Interp::new(1);
+        let setup: String = delays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                format!("setTimeout(function () {{ fired.push([{d}, {i}]); }}, {d});\n")
+            })
+            .collect();
+        interp.eval_source(&format!("var fired = [];\n{setup}")).unwrap();
+        interp.run_events(1000).unwrap();
+        interp
+            .eval_source(
+                "flat = fired.map(function (p) { return p[0] + \":\" + p[1]; }).join(\",\");",
+            )
+            .unwrap();
+        let got = match interp.global.get("flat") {
+            Some(Value::Str(s)) => s.to_string(),
+            other => panic!("{other:?}"),
+        };
+        // Expected: sorted by (delay, insertion order).
+        let mut expected: Vec<(u32, usize)> =
+            delays.iter().copied().enumerate().map(|(i, d)| (d, i)).collect();
+        expected.sort();
+        let expected: Vec<String> =
+            expected.iter().map(|(d, i)| format!("{d}:{i}")).collect();
+        prop_assert_eq!(got, expected.join(","));
+    }
+
+    #[test]
+    fn string_index_and_length_match_rust(s in "[a-zA-Z0-9 ]{0,24}") {
+        let mut interp = Interp::new(1);
+        interp
+            .eval_source(&format!(
+                "var s = \"{s}\";\nlen = s.length;\nup = s.toUpperCase();"
+            ))
+            .unwrap();
+        match interp.global.get("len") {
+            Some(Value::Num(n)) => prop_assert_eq!(n as usize, s.chars().count()),
+            other => prop_assert!(false, "{other:?}"),
+        }
+        match interp.global.get("up") {
+            Some(Value::Str(up)) => prop_assert_eq!(up.to_string(), s.to_uppercase()),
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! Interpreter semantics tests: the JS behaviours the study depends on.
+
+use ceres_interp::{ops, run_source, Control, Interp, Value, TICKS_PER_MS};
+
+fn logs(src: &str) -> Vec<String> {
+    run_source(src).console
+}
+
+fn eval_num(src: &str) -> f64 {
+    let mut interp = Interp::new(42);
+    match interp.eval_expr_source(src) {
+        Ok(Value::Num(n)) => n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(eval_num("1 + 2 * 3"), 7.0);
+    assert_eq!(eval_num("(1 + 2) * 3"), 9.0);
+    assert_eq!(eval_num("7 % 3"), 1.0);
+    assert_eq!(eval_num("2 * 3 + 4 / 2"), 8.0);
+    assert_eq!(eval_num("1 << 4"), 16.0);
+    assert_eq!(eval_num("-5 >>> 0"), 4294967291.0);
+    assert_eq!(eval_num("~0"), -1.0);
+}
+
+#[test]
+fn variables_and_functions() {
+    let out = logs(
+        "function add(a, b) { return a + b; }\n\
+         var x = add(2, 3);\n\
+         console.log(x);",
+    );
+    assert_eq!(out, vec!["5"]);
+}
+
+#[test]
+fn closures_capture_environment() {
+    let out = logs(
+        "function counter() {\n\
+           var n = 0;\n\
+           return function () { n = n + 1; return n; };\n\
+         }\n\
+         var c = counter();\n\
+         c(); c();\n\
+         console.log(c());",
+    );
+    assert_eq!(out, vec!["3"]);
+}
+
+#[test]
+fn function_scoping_var_shared_across_iterations() {
+    // The Fig. 6 semantics: `var` inside a loop body is one binding for the
+    // whole function, so closures created per-iteration all see the final
+    // value.
+    let out = logs(
+        "var fns = [];\n\
+         for (var i = 0; i < 3; i++) {\n\
+           var p = i;\n\
+           fns.push(function () { return p; });\n\
+         }\n\
+         console.log(fns[0](), fns[1](), fns[2]());",
+    );
+    assert_eq!(out, vec!["2 2 2"]);
+}
+
+#[test]
+fn hoisting_of_vars_and_functions() {
+    let out = logs(
+        "console.log(typeof x, typeof f);\n\
+         var x = 1;\n\
+         function f() { return 1; }\n\
+         console.log(f());",
+    );
+    assert_eq!(out, vec!["undefined function", "1"]);
+}
+
+#[test]
+fn prototypes_and_new() {
+    let out = logs(
+        "function Particle(x) { this.x = x; }\n\
+         Particle.prototype.getX = function () { return this.x; };\n\
+         var p = new Particle(7);\n\
+         console.log(p.getX(), p instanceof Particle);",
+    );
+    assert_eq!(out, vec!["7 true"]);
+}
+
+#[test]
+fn constructor_returning_object_overrides_this() {
+    let out = logs(
+        "function F() { this.a = 1; return { b: 2 }; }\n\
+         var o = new F();\n\
+         console.log(o.a, o.b);",
+    );
+    assert_eq!(out, vec!["undefined 2"]);
+}
+
+#[test]
+fn loops_break_continue() {
+    let out = logs(
+        "var s = 0;\n\
+         for (var i = 0; i < 10; i++) {\n\
+           if (i === 3) { continue; }\n\
+           if (i === 6) { break; }\n\
+           s += i;\n\
+         }\n\
+         console.log(s);",
+    );
+    assert_eq!(out, vec!["12"]); // 0+1+2+4+5
+}
+
+#[test]
+fn do_while_and_while() {
+    let out = logs(
+        "var n = 0;\n\
+         do { n++; } while (n < 3);\n\
+         while (n < 10) { n += 3; }\n\
+         console.log(n);",
+    );
+    assert_eq!(out, vec!["12"]);
+}
+
+#[test]
+fn for_in_iterates_keys_in_insertion_order() {
+    let out = logs(
+        "var o = { b: 1, a: 2, c: 3 };\n\
+         var keys = [];\n\
+         for (var k in o) { keys.push(k); }\n\
+         console.log(keys.join(\"-\"));",
+    );
+    assert_eq!(out, vec!["b-a-c"]);
+}
+
+#[test]
+fn try_catch_finally_ordering() {
+    let out = logs(
+        "var log = [];\n\
+         function f() {\n\
+           try {\n\
+             log.push(\"try\");\n\
+             throw new Error(\"x\");\n\
+           } catch (e) {\n\
+             log.push(\"catch:\" + e.message);\n\
+             return 1;\n\
+           } finally {\n\
+             log.push(\"finally\");\n\
+           }\n\
+         }\n\
+         var r = f();\n\
+         console.log(log.join(\",\"), r);",
+    );
+    assert_eq!(out, vec!["try,catch:x,finally 1"]);
+}
+
+#[test]
+fn finally_runs_on_break_from_loop() {
+    // This is what makes instrumented loop-exit hooks exact.
+    let out = logs(
+        "var log = [];\n\
+         for (var i = 0; i < 5; i++) {\n\
+           try {\n\
+             if (i === 2) { break; }\n\
+             log.push(i);\n\
+           } finally {\n\
+             log.push(\"fin\" + i);\n\
+           }\n\
+         }\n\
+         console.log(log.join(\",\"));",
+    );
+    assert_eq!(out, vec!["0,fin0,1,fin1,fin2"]);
+}
+
+#[test]
+fn switch_fallthrough_and_default() {
+    let out = logs(
+        "function f(x) {\n\
+           var r = [];\n\
+           switch (x) {\n\
+             case 1: r.push(\"one\");\n\
+             case 2: r.push(\"two\"); break;\n\
+             default: r.push(\"other\");\n\
+           }\n\
+           return r.join(\",\");\n\
+         }\n\
+         console.log(f(1), f(2), f(9));",
+    );
+    assert_eq!(out, vec!["one,two two other"]);
+}
+
+#[test]
+fn array_methods() {
+    let out = logs(
+        "var a = [3, 1, 2];\n\
+         a.push(4);\n\
+         console.log(a.length, a.indexOf(2), a.join(\"|\"));\n\
+         var doubled = a.map(function (x) { return x * 2; });\n\
+         console.log(doubled.join(\",\"));\n\
+         var sum = a.reduce(function (acc, x) { return acc + x; }, 0);\n\
+         console.log(sum);\n\
+         var odds = a.filter(function (x) { return x % 2 === 1; });\n\
+         console.log(odds.join(\",\"));\n\
+         a.sort(function (x, y) { return x - y; });\n\
+         console.log(a.join(\",\"));",
+    );
+    assert_eq!(out, vec!["4 2 3|1|2|4", "6,2,4,8", "10", "3,1", "1,2,3,4"]);
+}
+
+#[test]
+fn array_slice_splice_concat() {
+    let out = logs(
+        "var a = [0, 1, 2, 3, 4];\n\
+         console.log(a.slice(1, 3).join(\",\"));\n\
+         console.log(a.slice(-2).join(\",\"));\n\
+         var removed = a.splice(1, 2, \"x\");\n\
+         console.log(removed.join(\",\"), a.join(\",\"));\n\
+         console.log([1].concat([2, 3], 4).join(\",\"));",
+    );
+    assert_eq!(out, vec!["1,2", "3,4", "1,2 0,x,3,4", "1,2,3,4"]);
+}
+
+#[test]
+fn string_methods() {
+    let out = logs(
+        "var s = \"Hello World\";\n\
+         console.log(s.length, s.charAt(1), s.charCodeAt(0));\n\
+         console.log(s.indexOf(\"World\"), s.toUpperCase(), s.slice(0, 5));\n\
+         console.log(\"a,b,c\".split(\",\").join(\"-\"));\n\
+         console.log(\"  x  \".trim());\n\
+         console.log(String.fromCharCode(72, 105));",
+    );
+    assert_eq!(out, vec!["11 e 72", "6 HELLO WORLD Hello", "a-b-c", "x", "Hi"]);
+}
+
+#[test]
+fn math_builtin_and_seeded_random() {
+    let out = logs(
+        "console.log(Math.floor(3.7), Math.max(1, 9, 4), Math.pow(2, 10));\n\
+         console.log(Math.abs(-4), Math.sqrt(16), Math.round(2.5));",
+    );
+    assert_eq!(out, vec!["3 9 1024", "4 4 3"]);
+    // Determinism across interpreters with the same seed.
+    let mut a = Interp::new(7);
+    let mut b = Interp::new(7);
+    let ra: Vec<u64> = (0..5).map(|_| (a.next_random() * 1e9) as u64).collect();
+    let rb: Vec<u64> = (0..5).map(|_| (b.next_random() * 1e9) as u64).collect();
+    assert_eq!(ra, rb);
+    for r in ra {
+        assert!((r as f64 / 1e9) < 1.0);
+    }
+}
+
+#[test]
+fn call_and_apply() {
+    let out = logs(
+        "function f(a, b) { return this.base + a + b; }\n\
+         var ctx = { base: 100 };\n\
+         console.log(f.call(ctx, 1, 2), f.apply(ctx, [3, 4]));",
+    );
+    assert_eq!(out, vec!["103 107"]);
+}
+
+#[test]
+fn global_assignment_without_declaration() {
+    let out = logs(
+        "function f() { implicit = 5; }\n\
+         f();\n\
+         console.log(implicit);",
+    );
+    assert_eq!(out, vec!["5"]);
+}
+
+#[test]
+fn recursion_depth_limited() {
+    let mut interp = Interp::new(1);
+    let r = interp.eval_source("function f() { return f(); } f();");
+    match r {
+        Err(Control::Throw(v)) => {
+            let name = interp.get_property(&v, "name").unwrap();
+            assert_eq!(ops::to_string(&name), "RangeError");
+        }
+        other => panic!("expected throw, got {other:?}"),
+    }
+}
+
+#[test]
+fn tick_budget_aborts() {
+    let mut interp = Interp::new(1);
+    interp.max_ticks = Some(10_000);
+    let r = interp.eval_source("while (true) { }");
+    assert!(matches!(r, Err(Control::Fatal(_))));
+}
+
+#[test]
+fn performance_now_advances() {
+    let out = logs(
+        "var t0 = performance.now();\n\
+         var s = 0;\n\
+         for (var i = 0; i < 10000; i++) { s += i; }\n\
+         var t1 = performance.now();\n\
+         console.log(t1 > t0);",
+    );
+    assert_eq!(out, vec!["true"]);
+}
+
+#[test]
+fn event_loop_ordering_and_idle_time() {
+    let mut interp = Interp::new(1);
+    interp
+        .eval_source(
+            "var log = [];\n\
+             setTimeout(function () { log.push(\"b\"); }, 20);\n\
+             setTimeout(function () { log.push(\"a\"); }, 10);\n\
+             log.push(\"sync\");",
+        )
+        .unwrap();
+    assert_eq!(interp.pending_events(), 2);
+    let before = interp.clock.now_ticks();
+    interp.run_events(100).unwrap();
+    interp.eval_source("console.log(log.join(\",\"));").unwrap();
+    assert_eq!(interp.console, vec!["sync,a,b"]);
+    // The clock advanced over the idle gaps.
+    assert!(interp.clock.now_ticks() >= before + 20 * TICKS_PER_MS);
+}
+
+#[test]
+fn typeof_undeclared_is_undefined() {
+    let out = logs("console.log(typeof nothere);");
+    assert_eq!(out, vec!["undefined"]);
+}
+
+#[test]
+fn delete_and_in_operators() {
+    let out = logs(
+        "var o = { a: 1 };\n\
+         console.log(\"a\" in o, delete o.a, \"a\" in o);",
+    );
+    assert_eq!(out, vec!["true true false"]);
+}
+
+#[test]
+fn typed_array_standins() {
+    let out = logs(
+        "var f = new Float32Array(4);\n\
+         f[2] = 1.5;\n\
+         console.log(f.length, f[0], f[2]);\n\
+         var g = new Float64Array([1, \"2\", 3]);\n\
+         console.log(g[1] + 1);",
+    );
+    assert_eq!(out, vec!["4 0 1.5", "3"]);
+}
+
+#[test]
+fn parse_int_float() {
+    let out = logs(
+        "console.log(parseInt(\"42px\"), parseInt(\"ff\", 16), parseInt(\"-7\"));\n\
+         console.log(parseFloat(\"3.5e2xyz\"), isNaN(parseInt(\"x\")));",
+    );
+    assert_eq!(out, vec!["42 255 -7", "350 true"]);
+}
+
+#[test]
+fn json_stringify() {
+    let out = logs("console.log(JSON.stringify({ a: 1, b: [true, null, \"x\"] }));");
+    assert_eq!(out, vec![r#"{"a":1,"b":[true,null,"x"]}"#]);
+}
+
+#[test]
+fn arguments_object() {
+    let out = logs(
+        "function f() { return arguments.length + \":\" + arguments[1]; }\n\
+         console.log(f(10, 20, 30));",
+    );
+    assert_eq!(out, vec!["3:20"]);
+}
+
+#[test]
+fn uncaught_throw_surfaces() {
+    let mut interp = Interp::new(1);
+    let r = interp.eval_source("throw new Error(\"boom\");");
+    match r {
+        Err(Control::Throw(v)) => {
+            let m = interp.get_property(&v, "message").unwrap();
+            assert_eq!(ops::to_string(&m), "boom");
+        }
+        other => panic!("expected throw, got {other:?}"),
+    }
+}
+
+#[test]
+fn native_function_registration_and_caller_scope() {
+    let mut interp = Interp::new(1);
+    interp.register_native("probe", |_interp, ctx, _args| {
+        // The caller's scope must see the instrumented function's locals.
+        let scope = ctx.caller_scope.as_ref().expect("caller scope");
+        Ok(scope.get("secret").unwrap_or(Value::Undefined))
+    });
+    interp
+        .eval_source(
+            "function f() { var secret = 99; answer = probe(); }\n\
+             f();\n\
+             console.log(answer);",
+        )
+        .unwrap();
+    assert_eq!(interp.console, vec!["99"]);
+}
+
+#[test]
+fn catch_param_scoped_to_catch() {
+    let out = logs(
+        "var e = \"outer\";\n\
+         try { throw 1; } catch (e) { }\n\
+         console.log(e);",
+    );
+    assert_eq!(out, vec!["outer"]);
+}
+
+#[test]
+fn string_concat_coercions() {
+    let out = logs(
+        "console.log(1 + \"2\", \"3\" + 4, [1, 2] + \"\", ({}) + \"\");\n\
+         console.log(true + 1, null + 1, undefined + 1);",
+    );
+    assert_eq!(out, vec!["12 34 1,2 [object Object]", "2 1 NaN"]);
+}
+
+#[test]
+fn comparison_operators() {
+    let out = logs(
+        "console.log(1 < 2, \"a\" < \"b\", \"10\" < \"9\", 2 >= 2, 1 == \"1\", 1 === \"1\");",
+    );
+    assert_eq!(out, vec!["true true true true true false"]);
+}
+
+#[test]
+fn nested_member_chains_and_this() {
+    let out = logs(
+        "var app = {\n\
+           state: { count: 0 },\n\
+           tick: function () { this.state.count += 2; return this.state.count; }\n\
+         };\n\
+         app.tick();\n\
+         console.log(app.tick());",
+    );
+    assert_eq!(out, vec!["4"]);
+}
+
+#[test]
+fn set_interval_repeats_until_cleared() {
+    let mut interp = Interp::new(1);
+    interp
+        .eval_source(
+            "var n = 0;\n\
+             var id = setInterval(function () {\n\
+               n++;\n\
+               if (n === 4) { clearInterval(id); }\n\
+             }, 10);",
+        )
+        .unwrap();
+    interp.run_events(100).unwrap();
+    interp.eval_source("console.log(n);").unwrap();
+    assert_eq!(interp.console, vec!["4"]);
+    assert_eq!(interp.pending_events(), 0, "cancelled interval must drain");
+}
+
+#[test]
+fn clear_timeout_cancels_pending() {
+    let mut interp = Interp::new(1);
+    interp
+        .eval_source(
+            "var fired = [];\n\
+             var a = setTimeout(function () { fired.push(\"a\"); }, 10);\n\
+             var b = setTimeout(function () { fired.push(\"b\"); }, 20);\n\
+             clearTimeout(a);",
+        )
+        .unwrap();
+    interp.run_events(100).unwrap();
+    interp.eval_source("console.log(fired.join(\",\"));").unwrap();
+    assert_eq!(interp.console, vec!["b"]);
+}
+
+#[test]
+fn interval_timing_is_periodic() {
+    let mut interp = Interp::new(1);
+    interp
+        .eval_source(
+            "var stamps = [];\n\
+             var id = setInterval(function () {\n\
+               stamps.push(Math.round(performance.now()));\n\
+               if (stamps.length === 3) { clearInterval(id); }\n\
+             }, 50);",
+        )
+        .unwrap();
+    interp.run_events(100).unwrap();
+    interp
+        .eval_source("console.log(stamps[1] - stamps[0], stamps[2] - stamps[1]);")
+        .unwrap();
+    // Periods are ~50 ms apart (handler runtime is charged inside the
+    // period window; drift stays below one period).
+    let parts: Vec<i64> = interp.console[0]
+        .split(' ')
+        .map(|p| p.parse().unwrap())
+        .collect();
+    for d in parts {
+        assert!((50..100).contains(&d), "period drifted: {d}");
+    }
+}
+
+#[test]
+fn function_bind() {
+    let out = logs(
+        "function greet(greeting, name) { return greeting + \", \" + name + \" (\" + this.suffix + \")\"; }\n\
+         var bound = greet.bind({ suffix: \"bot\" }, \"hi\");\n\
+         console.log(bound(\"ada\"));\n\
+         console.log(bound(\"bob\"));",
+    );
+    assert_eq!(out, vec!["hi, ada (bot)", "hi, bob (bot)"]);
+}
+
+#[test]
+fn array_last_index_of() {
+    let out = logs("console.log([1, 2, 1, 3].lastIndexOf(1), [1].lastIndexOf(9));");
+    assert_eq!(out, vec!["2 -1"]);
+}
+
+#[test]
+fn math_extras() {
+    let out = logs(
+        "console.log(Math.sign(-7), Math.sign(3), Math.sign(0));\n\
+         console.log(Math.trunc(-2.7), Math.trunc(2.7));\n\
+         console.log(Math.hypot(3, 4), Math.cbrt(27));",
+    );
+    assert_eq!(out, vec!["-1 1 0", "-2 2", "5 3"]);
+}

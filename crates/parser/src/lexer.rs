@@ -1,0 +1,541 @@
+//! Lexer for the JS-CERES JavaScript subset.
+//!
+//! Produces a flat token stream with spans. Handles line (`//`) and block
+//! (`/* */`) comments, decimal / hex / exponent numbers, single- and
+//! double-quoted strings with the usual escapes. Regex literals and
+//! automatic semicolon insertion are intentionally unsupported (the
+//! workloads are written in-repo, so the subset is under our control).
+
+use ceres_ast::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Token kinds. Operators are lumped into `Punct` with the exact spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Num(f64),
+    Str(String),
+    Ident(String),
+    Keyword(Keyword),
+    /// Operator / punctuation, longest-match (e.g. `>>>=`).
+    Punct(&'static str),
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Num(n) => write!(f, "number {n}"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Reserved words recognized by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Var,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    In,
+    Break,
+    Continue,
+    New,
+    Delete,
+    Typeof,
+    Void,
+    Instanceof,
+    This,
+    Null,
+    Undefined,
+    True,
+    False,
+    Throw,
+    Try,
+    Catch,
+    Finally,
+    Switch,
+    Case,
+    Default,
+}
+
+impl Keyword {
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Var => "var",
+            Function => "function",
+            Return => "return",
+            If => "if",
+            Else => "else",
+            While => "while",
+            Do => "do",
+            For => "for",
+            In => "in",
+            Break => "break",
+            Continue => "continue",
+            New => "new",
+            Delete => "delete",
+            Typeof => "typeof",
+            Void => "void",
+            Instanceof => "instanceof",
+            This => "this",
+            Null => "null",
+            Undefined => "undefined",
+            True => "true",
+            False => "false",
+            Throw => "throw",
+            Try => "try",
+            Catch => "catch",
+            Finally => "finally",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "var" => Var,
+            "function" => Function,
+            "return" => Return,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "do" => Do,
+            "for" => For,
+            "in" => In,
+            "break" => Break,
+            "continue" => Continue,
+            "new" => New,
+            "delete" => Delete,
+            "typeof" => Typeof,
+            "void" => Void,
+            "instanceof" => Instanceof,
+            "this" => This,
+            "null" => Null,
+            "undefined" => Undefined,
+            "true" => True,
+            "false" => False,
+            "throw" => Throw,
+            "try" => Try,
+            "catch" => Catch,
+            "finally" => Finally,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexing error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuators, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    ">>>=", "===", "!==", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "{", "}", "(", ")", "[", "]",
+    ";", ",", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+];
+
+/// Tokenize `source` into a vector ending with an `Eof` token.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            match bytes[i + 1] {
+                b'/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                b'*' => {
+                    let start_line = line;
+                    i += 2;
+                    loop {
+                        if i + 1 >= bytes.len() {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                line: start_line,
+                            });
+                        }
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                let hex_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hex_start {
+                    return Err(LexError { message: "empty hex literal".into(), line });
+                }
+                let value = u64::from_str_radix(&source[hex_start..i], 16)
+                    .map_err(|e| LexError { message: format!("bad hex literal: {e}"), line })?;
+                tokens.push(Token {
+                    kind: TokenKind::Num(value as f64),
+                    span: Span::new(start as u32, i as u32, line),
+                });
+                continue;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &source[start..i];
+            let value: f64 = text
+                .parse()
+                .map_err(|e| LexError { message: format!("bad number `{text}`: {e}"), line })?;
+            tokens.push(Token {
+                kind: TokenKind::Num(value),
+                span: Span::new(start as u32, i as u32, line),
+            });
+            continue;
+        }
+        // Strings.
+        if c == b'"' || c == b'\'' {
+            let quote = c;
+            let start = i;
+            let start_line = line;
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: start_line,
+                    });
+                }
+                let b = bytes[i];
+                if b == quote {
+                    i += 1;
+                    break;
+                }
+                if b == b'\n' {
+                    return Err(LexError {
+                        message: "newline in string literal".into(),
+                        line: start_line,
+                    });
+                }
+                if b == b'\\' {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated escape".into(),
+                            line: start_line,
+                        });
+                    }
+                    let e = bytes[i];
+                    i += 1;
+                    match e {
+                        b'n' => value.push('\n'),
+                        b'r' => value.push('\r'),
+                        b't' => value.push('\t'),
+                        b'0' => value.push('\0'),
+                        b'b' => value.push('\u{8}'),
+                        b'f' => value.push('\u{c}'),
+                        b'v' => value.push('\u{b}'),
+                        b'\\' => value.push('\\'),
+                        b'\'' => value.push('\''),
+                        b'"' => value.push('"'),
+                        b'u' => {
+                            if i + 4 > bytes.len() {
+                                return Err(LexError {
+                                    message: "truncated \\u escape".into(),
+                                    line: start_line,
+                                });
+                            }
+                            let hex = &source[i..i + 4];
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| LexError {
+                                message: format!("bad \\u escape `{hex}`"),
+                                line: start_line,
+                            })?;
+                            i += 4;
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        b'x' => {
+                            if i + 2 > bytes.len() {
+                                return Err(LexError {
+                                    message: "truncated \\x escape".into(),
+                                    line: start_line,
+                                });
+                            }
+                            let hex = &source[i..i + 2];
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| LexError {
+                                message: format!("bad \\x escape `{hex}`"),
+                                line: start_line,
+                            })?;
+                            i += 2;
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => value.push(other as char),
+                    }
+                    continue;
+                }
+                // Multi-byte UTF-8: copy the full scalar.
+                let ch_len = utf8_len(b);
+                value.push_str(&source[i..i + ch_len]);
+                i += ch_len;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(value),
+                span: Span::new(start as u32, i as u32, start_line),
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'$' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            let text = &source[start..i];
+            let span = Span::new(start as u32, i as u32, line);
+            let kind = match Keyword::from_str(text) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Ident(text.to_string()),
+            };
+            tokens.push(Token { kind, span });
+            continue;
+        }
+        // Punctuation, longest match first.
+        for p in PUNCTS {
+            if source[i..].starts_with(p) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    span: Span::new(i as u32, (i + p.len()) as u32, line),
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { message: format!("unexpected character `{}`", c as char), line });
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(i as u32, i as u32, line),
+    });
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 0x1F .5 1e3 1.5e-2"),
+            vec![
+                TokenKind::Num(1.0),
+                TokenKind::Num(2.5),
+                TokenKind::Num(31.0),
+                TokenKind::Num(0.5),
+                TokenKind::Num(1000.0),
+                TokenKind::Num(0.015),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" 'c\'d' "A" "\x41""#),
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Str("c'd".into()),
+                TokenKind::Str("A".into()),
+                TokenKind::Str("A".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_string_content() {
+        assert_eq!(
+            kinds("\"héllo→\""),
+            vec![TokenKind::Str("héllo→".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            kinds("var varx function $f _g"),
+            vec![
+                TokenKind::Keyword(Keyword::Var),
+                TokenKind::Ident("varx".into()),
+                TokenKind::Keyword(Keyword::Function),
+                TokenKind::Ident("$f".into()),
+                TokenKind::Ident("_g".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_punct() {
+        assert_eq!(
+            kinds("a >>>= b >>> c >> d > e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(">>>="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(">>>"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct(">"),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("=== == ="),
+            vec![
+                TokenKind::Punct("==="),
+                TokenKind::Punct("=="),
+                TokenKind::Punct("="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks.len(), 4); // a b c eof
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_in_spans() {
+        let toks = tokenize("x\ny\n  z").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"line\nbreak\"").is_err());
+        assert!(tokenize("0x").is_err());
+    }
+
+    #[test]
+    fn division_is_punct() {
+        // No regex literals in this subset: `/` always lexes as division.
+        assert_eq!(
+            kinds("a / b /= c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("/"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("/="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,861 @@
+//! Recursive-descent parser for the JS-CERES JavaScript subset.
+//!
+//! Normalizations applied while parsing (the code generator relies on them
+//! for the round-trip property):
+//!
+//! * `if`/`else` and loop bodies that are single statements are wrapped in a
+//!   [`StmtKind::Block`];
+//! * unary minus applied directly to a numeric literal folds into a negative
+//!   [`ExprKind::Num`];
+//! * parentheses are not represented in the AST.
+//!
+//! Semicolons are required (no ASI). The `in` operator is excluded inside
+//! C-style `for` initializers, matching the ECMAScript `NoIn` productions.
+
+use crate::lexer::{tokenize, Keyword, LexError, Token, TokenKind};
+use ceres_ast::ast::*;
+use ceres_ast::Span;
+use std::fmt;
+
+/// A parse error with location information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parse a program; loop ids are left [`LoopId::UNASSIGNED`] — run
+/// [`ceres_ast::assign_loop_ids`] afterwards when ids are needed.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut body = Vec::new();
+    while !p.at_eof() {
+        body.push(p.statement()?);
+    }
+    Ok(Program { body })
+}
+
+/// Parse a single expression (must consume all input).
+pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expression(true)?;
+    if !p.at_eof() {
+        return Err(p.err(format!("unexpected {} after expression", p.peek().kind)));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, line: self.peek().span.line }
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(&self.peek().kind, TokenKind::Keyword(q) if *q == k)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.is_keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<Token, ParseError> {
+        if self.is_punct(p) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<Token, ParseError> {
+        if self.is_keyword(k) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected `{}`, found {}", k.as_str(), self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Punct("{") => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.is_punct("}") {
+                    if self.at_eof() {
+                        return Err(self.err("unterminated block".into()));
+                    }
+                    body.push(self.statement()?);
+                }
+                let end = self.bump().span;
+                Ok(Stmt::new(StmtKind::Block(body), start.to(end)))
+            }
+            TokenKind::Punct(";") => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Empty, start))
+            }
+            TokenKind::Keyword(kw) => self.keyword_statement(kw, start),
+            _ => {
+                let e = self.expression(true)?;
+                self.expect_punct(";")?;
+                let span = start.to(e.span);
+                Ok(Stmt::new(StmtKind::Expr(e), span))
+            }
+        }
+    }
+
+    fn keyword_statement(&mut self, kw: Keyword, start: Span) -> Result<Stmt, ParseError> {
+        match kw {
+            Keyword::Var => {
+                self.bump();
+                let decls = self.var_declarators(true)?;
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::VarDecl(decls), start))
+            }
+            Keyword::Function => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let func = self.function_tail(start)?;
+                Ok(Stmt::new(StmtKind::Func(FuncDecl { name, func }), start))
+            }
+            Keyword::Return => {
+                self.bump();
+                if self.eat_punct(";") {
+                    return Ok(Stmt::new(StmtKind::Return(None), start));
+                }
+                let e = self.expression(true)?;
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::Return(Some(e)), start))
+            }
+            Keyword::If => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expression(true)?;
+                self.expect_punct(")")?;
+                let then = Box::new(self.body_statement()?);
+                let alt = if self.eat_keyword(Keyword::Else) {
+                    if self.is_keyword(Keyword::If) {
+                        // `else if` chains stay as nested ifs, unwrapped.
+                        Some(Box::new(self.statement()?))
+                    } else {
+                        Some(Box::new(self.body_statement()?))
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::new(StmtKind::If { cond, then, alt }, start))
+            }
+            Keyword::While => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expression(true)?;
+                self.expect_punct(")")?;
+                let body = Box::new(self.body_statement()?);
+                Ok(Stmt::new(
+                    StmtKind::While { loop_id: LoopId::UNASSIGNED, cond, body },
+                    start,
+                ))
+            }
+            Keyword::Do => {
+                self.bump();
+                let body = Box::new(self.body_statement()?);
+                self.expect_keyword(Keyword::While)?;
+                self.expect_punct("(")?;
+                let cond = self.expression(true)?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::new(
+                    StmtKind::DoWhile { loop_id: LoopId::UNASSIGNED, body, cond },
+                    start,
+                ))
+            }
+            Keyword::For => self.for_statement(start),
+            Keyword::Break => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::Break, start))
+            }
+            Keyword::Continue => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::Continue, start))
+            }
+            Keyword::Throw => {
+                self.bump();
+                let e = self.expression(true)?;
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::Throw(e), start))
+            }
+            Keyword::Try => {
+                self.bump();
+                let block = self.block_body()?;
+                let catch = if self.eat_keyword(Keyword::Catch) {
+                    self.expect_punct("(")?;
+                    let (param, _) = self.expect_ident()?;
+                    self.expect_punct(")")?;
+                    let body = self.block_body()?;
+                    Some(CatchClause { param, body })
+                } else {
+                    None
+                };
+                let finally = if self.eat_keyword(Keyword::Finally) {
+                    Some(self.block_body()?)
+                } else {
+                    None
+                };
+                if catch.is_none() && finally.is_none() {
+                    return Err(self.err("try requires catch or finally".into()));
+                }
+                Ok(Stmt::new(StmtKind::Try { block, catch, finally }, start))
+            }
+            Keyword::Switch => {
+                self.bump();
+                self.expect_punct("(")?;
+                let disc = self.expression(true)?;
+                self.expect_punct(")")?;
+                self.expect_punct("{")?;
+                let mut cases = Vec::new();
+                let mut seen_default = false;
+                while !self.is_punct("}") {
+                    let test = if self.eat_keyword(Keyword::Case) {
+                        let t = self.expression(true)?;
+                        Some(t)
+                    } else if self.eat_keyword(Keyword::Default) {
+                        if seen_default {
+                            return Err(self.err("duplicate default clause".into()));
+                        }
+                        seen_default = true;
+                        None
+                    } else {
+                        return Err(self.err(format!(
+                            "expected `case`, `default` or `}}`, found {}",
+                            self.peek().kind
+                        )));
+                    };
+                    self.expect_punct(":")?;
+                    let mut body = Vec::new();
+                    while !self.is_punct("}")
+                        && !self.is_keyword(Keyword::Case)
+                        && !self.is_keyword(Keyword::Default)
+                    {
+                        body.push(self.statement()?);
+                    }
+                    cases.push(SwitchCase { test, body });
+                }
+                self.expect_punct("}")?;
+                Ok(Stmt::new(StmtKind::Switch { disc, cases }, start))
+            }
+            // Keywords that start expressions fall through to the
+            // expression-statement path.
+            Keyword::New
+            | Keyword::Delete
+            | Keyword::Typeof
+            | Keyword::Void
+            | Keyword::This
+            | Keyword::Null
+            | Keyword::Undefined
+            | Keyword::True
+            | Keyword::False => {
+                let e = self.expression(true)?;
+                self.expect_punct(";")?;
+                Ok(Stmt::new(StmtKind::Expr(e), start))
+            }
+            other => Err(self.err(format!("unexpected keyword `{}`", other.as_str()))),
+        }
+    }
+
+    fn for_statement(&mut self, start: Span) -> Result<Stmt, ParseError> {
+        self.bump(); // `for`
+        self.expect_punct("(")?;
+
+        // for (var x in obj) / for (x in obj)
+        if self.is_keyword(Keyword::Var) {
+            // Look ahead: `var IDENT in` → for-in.
+            if let TokenKind::Ident(_) = &self.peek2().kind {
+                let save = self.pos;
+                self.bump(); // var
+                let (name, _) = self.expect_ident()?;
+                if self.eat_keyword(Keyword::In) {
+                    let object = self.expression(true)?;
+                    self.expect_punct(")")?;
+                    let body = Box::new(self.body_statement()?);
+                    return Ok(Stmt::new(
+                        StmtKind::ForIn {
+                            loop_id: LoopId::UNASSIGNED,
+                            decl: true,
+                            var: name,
+                            object,
+                            body,
+                        },
+                        start,
+                    ));
+                }
+                self.pos = save;
+            }
+            self.bump(); // var
+            let decls = self.var_declarators(false)?;
+            self.expect_punct(";")?;
+            return self.for_tail(start, Some(ForInit::VarDecl(decls)));
+        }
+
+        if self.eat_punct(";") {
+            return self.for_tail(start, None);
+        }
+
+        // Bare `x in obj`?
+        if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            if matches!(self.peek2().kind, TokenKind::Keyword(Keyword::In)) {
+                self.bump(); // ident
+                self.bump(); // in
+                let object = self.expression(true)?;
+                self.expect_punct(")")?;
+                let body = Box::new(self.body_statement()?);
+                return Ok(Stmt::new(
+                    StmtKind::ForIn {
+                        loop_id: LoopId::UNASSIGNED,
+                        decl: false,
+                        var: name,
+                        object,
+                        body,
+                    },
+                    start,
+                ));
+            }
+        }
+
+        let init = self.expression(false)?;
+        self.expect_punct(";")?;
+        self.for_tail(start, Some(ForInit::Expr(init)))
+    }
+
+    fn for_tail(&mut self, start: Span, init: Option<ForInit>) -> Result<Stmt, ParseError> {
+        let cond = if self.is_punct(";") { None } else { Some(self.expression(true)?) };
+        self.expect_punct(";")?;
+        let update = if self.is_punct(")") { None } else { Some(self.expression(true)?) };
+        self.expect_punct(")")?;
+        let body = Box::new(self.body_statement()?);
+        Ok(Stmt::new(
+            StmtKind::For { loop_id: LoopId::UNASSIGNED, init, cond, update, body },
+            start,
+        ))
+    }
+
+    /// Parse a statement in loop/if-body position, normalizing to a block.
+    fn body_statement(&mut self) -> Result<Stmt, ParseError> {
+        let s = self.statement()?;
+        Ok(match s.kind {
+            StmtKind::Block(_) => s,
+            _ => {
+                let span = s.span;
+                Stmt::new(StmtKind::Block(vec![s]), span)
+            }
+        })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.is_punct("}") {
+            if self.at_eof() {
+                return Err(self.err("unterminated block".into()));
+            }
+            body.push(self.statement()?);
+        }
+        self.bump();
+        Ok(body)
+    }
+
+    fn var_declarators(&mut self, allow_in: bool) -> Result<Vec<VarDeclarator>, ParseError> {
+        let mut decls = Vec::new();
+        loop {
+            let (name, span) = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.assignment(allow_in)?)
+            } else {
+                None
+            };
+            decls.push(VarDeclarator { name, init, span });
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn function_tail(&mut self, start: Span) -> Result<Func, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                let (name, _) = self.expect_ident()?;
+                params.push(name);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let body = self.block_body()?;
+        Ok(Func { params, body, span: start })
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Full expression including the comma operator.
+    fn expression(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let first = self.assignment(allow_in)?;
+        if !self.is_punct(",") {
+            return Ok(first);
+        }
+        let mut exprs = vec![first];
+        while self.eat_punct(",") {
+            exprs.push(self.assignment(allow_in)?);
+        }
+        let span = exprs.first().unwrap().span.to(exprs.last().unwrap().span);
+        Ok(Expr::new(ExprKind::Seq(exprs), span))
+    }
+
+    fn assignment(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let left = self.conditional(allow_in)?;
+        let op = match self.peek().kind {
+            TokenKind::Punct("=") => AssignOp::Assign,
+            TokenKind::Punct("+=") => AssignOp::Add,
+            TokenKind::Punct("-=") => AssignOp::Sub,
+            TokenKind::Punct("*=") => AssignOp::Mul,
+            TokenKind::Punct("/=") => AssignOp::Div,
+            TokenKind::Punct("%=") => AssignOp::Rem,
+            TokenKind::Punct("<<=") => AssignOp::Shl,
+            TokenKind::Punct(">>=") => AssignOp::Shr,
+            TokenKind::Punct(">>>=") => AssignOp::UShr,
+            TokenKind::Punct("&=") => AssignOp::BitAnd,
+            TokenKind::Punct("|=") => AssignOp::BitOr,
+            TokenKind::Punct("^=") => AssignOp::BitXor,
+            _ => return Ok(left),
+        };
+        if !left.is_lvalue() {
+            return Err(self.err("invalid assignment target".into()));
+        }
+        self.bump();
+        let value = self.assignment(allow_in)?;
+        let span = left.span.to(value.span);
+        Ok(Expr::new(
+            ExprKind::Assign { op, target: Box::new(left), value: Box::new(value) },
+            span,
+        ))
+    }
+
+    fn conditional(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let cond = self.binary(0, allow_in)?;
+        if !self.eat_punct("?") {
+            return Ok(cond);
+        }
+        let then = self.assignment(true)?;
+        self.expect_punct(":")?;
+        let alt = self.assignment(allow_in)?;
+        let span = cond.span.to(alt.span);
+        Ok(Expr::new(
+            ExprKind::Cond { cond: Box::new(cond), then: Box::new(then), alt: Box::new(alt) },
+            span,
+        ))
+    }
+
+    /// Precedence-climbing over binary and logical operators.
+    ///
+    /// Levels (looser to tighter): `||`(1) `&&`(2) then [`BinaryOp`]
+    /// precedences 3..=10.
+    fn binary(&mut self, min: u8, allow_in: bool) -> Result<Expr, ParseError> {
+        let mut left = self.unary(allow_in)?;
+        loop {
+            let (lvl, op): (u8, BinOrLogical) = match &self.peek().kind {
+                TokenKind::Punct("||") => (1, BinOrLogical::Logical(LogicalOp::Or)),
+                TokenKind::Punct("&&") => (2, BinOrLogical::Logical(LogicalOp::And)),
+                TokenKind::Punct("|") => (3, BinOrLogical::Binary(BinaryOp::BitOr)),
+                TokenKind::Punct("^") => (4, BinOrLogical::Binary(BinaryOp::BitXor)),
+                TokenKind::Punct("&") => (5, BinOrLogical::Binary(BinaryOp::BitAnd)),
+                TokenKind::Punct("==") => (6, BinOrLogical::Binary(BinaryOp::Eq)),
+                TokenKind::Punct("!=") => (6, BinOrLogical::Binary(BinaryOp::NotEq)),
+                TokenKind::Punct("===") => (6, BinOrLogical::Binary(BinaryOp::StrictEq)),
+                TokenKind::Punct("!==") => (6, BinOrLogical::Binary(BinaryOp::StrictNotEq)),
+                TokenKind::Punct("<") => (7, BinOrLogical::Binary(BinaryOp::Lt)),
+                TokenKind::Punct("<=") => (7, BinOrLogical::Binary(BinaryOp::LtEq)),
+                TokenKind::Punct(">") => (7, BinOrLogical::Binary(BinaryOp::Gt)),
+                TokenKind::Punct(">=") => (7, BinOrLogical::Binary(BinaryOp::GtEq)),
+                TokenKind::Keyword(Keyword::In) if allow_in => {
+                    (7, BinOrLogical::Binary(BinaryOp::In))
+                }
+                TokenKind::Keyword(Keyword::Instanceof) => {
+                    (7, BinOrLogical::Binary(BinaryOp::InstanceOf))
+                }
+                TokenKind::Punct("<<") => (8, BinOrLogical::Binary(BinaryOp::Shl)),
+                TokenKind::Punct(">>") => (8, BinOrLogical::Binary(BinaryOp::Shr)),
+                TokenKind::Punct(">>>") => (8, BinOrLogical::Binary(BinaryOp::UShr)),
+                TokenKind::Punct("+") => (9, BinOrLogical::Binary(BinaryOp::Add)),
+                TokenKind::Punct("-") => (9, BinOrLogical::Binary(BinaryOp::Sub)),
+                TokenKind::Punct("*") => (10, BinOrLogical::Binary(BinaryOp::Mul)),
+                TokenKind::Punct("/") => (10, BinOrLogical::Binary(BinaryOp::Div)),
+                TokenKind::Punct("%") => (10, BinOrLogical::Binary(BinaryOp::Rem)),
+                _ => break,
+            };
+            if lvl < min {
+                break;
+            }
+            self.bump();
+            // All these operators are left-associative: parse the right side
+            // at one level tighter.
+            let right = self.binary(lvl + 1, allow_in)?;
+            let span = left.span.to(right.span);
+            left = match op {
+                BinOrLogical::Binary(op) => Expr::new(
+                    ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) },
+                    span,
+                ),
+                BinOrLogical::Logical(op) => Expr::new(
+                    ExprKind::Logical { op, left: Box::new(left), right: Box::new(right) },
+                    span,
+                ),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let start = self.peek().span;
+        let op = match &self.peek().kind {
+            TokenKind::Punct("-") => Some(UnaryOp::Neg),
+            TokenKind::Punct("+") => Some(UnaryOp::Plus),
+            TokenKind::Punct("!") => Some(UnaryOp::Not),
+            TokenKind::Punct("~") => Some(UnaryOp::BitNot),
+            TokenKind::Keyword(Keyword::Typeof) => Some(UnaryOp::TypeOf),
+            TokenKind::Keyword(Keyword::Void) => Some(UnaryOp::Void),
+            TokenKind::Keyword(Keyword::Delete) => Some(UnaryOp::Delete),
+            TokenKind::Punct("++") | TokenKind::Punct("--") => {
+                let up = if self.is_punct("++") { UpdateOp::Inc } else { UpdateOp::Dec };
+                self.bump();
+                let target = self.unary(allow_in)?;
+                if !target.is_lvalue() {
+                    return Err(self.err("invalid increment/decrement target".into()));
+                }
+                let span = start.to(target.span);
+                return Ok(Expr::new(
+                    ExprKind::Update { op: up, prefix: true, target: Box::new(target) },
+                    span,
+                ));
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.unary(allow_in)?;
+            let span = start.to(inner.span);
+            // Fold -<literal> so the printer round-trips negatives.
+            if op == UnaryOp::Neg {
+                if let ExprKind::Num(n) = inner.kind {
+                    return Ok(Expr::new(ExprKind::Num(-n), span));
+                }
+            }
+            return Ok(Expr::new(ExprKind::Unary { op, expr: Box::new(inner) }, span));
+        }
+        self.postfix(allow_in)
+    }
+
+    fn postfix(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let e = self.call_member(allow_in)?;
+        if self.is_punct("++") || self.is_punct("--") {
+            let op = if self.is_punct("++") { UpdateOp::Inc } else { UpdateOp::Dec };
+            if !e.is_lvalue() {
+                return Err(self.err("invalid increment/decrement target".into()));
+            }
+            let t = self.bump();
+            let span = e.span.to(t.span);
+            return Ok(Expr::new(
+                ExprKind::Update { op, prefix: false, target: Box::new(e) },
+                span,
+            ));
+        }
+        Ok(e)
+    }
+
+    /// Member access / calls / `new` chains.
+    fn call_member(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let mut e = if self.is_keyword(Keyword::New) {
+            self.new_expression(allow_in)?
+        } else {
+            self.primary(allow_in)?
+        };
+        loop {
+            if self.eat_punct(".") {
+                let (prop, span) = self.member_name()?;
+                let full = e.span.to(span);
+                e = Expr::new(ExprKind::Member { object: Box::new(e), prop }, full);
+            } else if self.eat_punct("[") {
+                let idx = self.expression(true)?;
+                let end = self.expect_punct("]")?.span;
+                let full = e.span.to(end);
+                e = Expr::new(
+                    ExprKind::Index { object: Box::new(e), index: Box::new(idx) },
+                    full,
+                );
+            } else if self.is_punct("(") {
+                let args = self.arguments()?;
+                let span = e.span;
+                e = Expr::new(ExprKind::Call { callee: Box::new(e), args }, span);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    /// Property names after `.` may be keywords (`a.in` is rare but legal in
+    /// ES5); we accept identifiers and keywords.
+    fn member_name(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            TokenKind::Keyword(kw) => {
+                let t = self.bump();
+                Ok((kw.as_str().to_string(), t.span))
+            }
+            other => Err(self.err(format!("expected property name, found {other}"))),
+        }
+    }
+
+    fn new_expression(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
+        let start = self.expect_keyword(Keyword::New)?.span;
+        // Callee: primary (possibly parenthesized) followed by member
+        // accesses, but *not* calls — the first argument list belongs to new.
+        let mut callee = if self.is_keyword(Keyword::New) {
+            self.new_expression(allow_in)?
+        } else {
+            self.primary(allow_in)?
+        };
+        loop {
+            if self.eat_punct(".") {
+                let (prop, span) = self.member_name()?;
+                let full = callee.span.to(span);
+                callee = Expr::new(ExprKind::Member { object: Box::new(callee), prop }, full);
+            } else if self.eat_punct("[") {
+                let idx = self.expression(true)?;
+                let end = self.expect_punct("]")?.span;
+                let full = callee.span.to(end);
+                callee = Expr::new(
+                    ExprKind::Index { object: Box::new(callee), index: Box::new(idx) },
+                    full,
+                );
+            } else {
+                break;
+            }
+        }
+        let args = if self.is_punct("(") { self.arguments()? } else { Vec::new() };
+        Ok(Expr::new(ExprKind::New { callee: Box::new(callee), args }, start))
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.is_punct(")") {
+            loop {
+                args.push(self.assignment(true)?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self, _allow_in: bool) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Num(n), t.span))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), t.span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Ident(name), t.span))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(true), t.span))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(false), t.span))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Null, t.span))
+            }
+            TokenKind::Keyword(Keyword::Undefined) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Undefined, t.span))
+            }
+            TokenKind::Keyword(Keyword::This) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::This, t.span))
+            }
+            TokenKind::Keyword(Keyword::Function) => {
+                self.bump();
+                let name = match self.peek().kind.clone() {
+                    TokenKind::Ident(n) => {
+                        self.bump();
+                        Some(n)
+                    }
+                    _ => None,
+                };
+                let func = self.function_tail(t.span)?;
+                Ok(Expr::new(ExprKind::Func { name, func }, t.span))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expression(true)?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Punct("[") => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !self.is_punct("]") {
+                    loop {
+                        elems.push(self.assignment(true)?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                        // Trailing comma before ].
+                        if self.is_punct("]") {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect_punct("]")?.span;
+                Ok(Expr::new(ExprKind::Array(elems), t.span.to(end)))
+            }
+            TokenKind::Punct("{") => {
+                self.bump();
+                let mut props = Vec::new();
+                if !self.is_punct("}") {
+                    loop {
+                        let key = match self.peek().kind.clone() {
+                            TokenKind::Ident(name) => {
+                                self.bump();
+                                PropKey::Ident(name)
+                            }
+                            TokenKind::Keyword(kw) => {
+                                self.bump();
+                                PropKey::Ident(kw.as_str().to_string())
+                            }
+                            TokenKind::Str(s) => {
+                                self.bump();
+                                PropKey::Str(s)
+                            }
+                            TokenKind::Num(n) => {
+                                self.bump();
+                                PropKey::Num(n)
+                            }
+                            other => {
+                                return Err(
+                                    self.err(format!("expected property key, found {other}"))
+                                )
+                            }
+                        };
+                        self.expect_punct(":")?;
+                        let value = self.assignment(true)?;
+                        props.push((key, value));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                        if self.is_punct("}") {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect_punct("}")?.span;
+                Ok(Expr::new(ExprKind::Object(props), t.span.to(end)))
+            }
+            other => Err(self.err(format!("unexpected {other} in expression"))),
+        }
+    }
+}
+
+enum BinOrLogical {
+    Binary(BinaryOp),
+    Logical(LogicalOp),
+}

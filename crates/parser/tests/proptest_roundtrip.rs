@@ -1,0 +1,256 @@
+//! Property tests for the parser/codegen round trip.
+//!
+//! Strategy: generate random (parser-normalized) ASTs, print them with the
+//! code generator, parse the result, and require structural equality. This
+//! exercises precedence/parenthesization decisions far beyond the
+//! hand-written cases.
+
+use ceres_ast::ast::*;
+use ceres_ast::codegen::program_to_source;
+use ceres_parser::{parse_program, strip_spans};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Avoid keywords: prefix everything with `v_`.
+    "[a-z]{1,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn literal_strategy() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        // Finite, round-trippable numbers (integers and simple fractions).
+        (-1000i32..1000).prop_map(|n| ExprKind::Num(n as f64)),
+        (-1000i32..1000).prop_map(|n| ExprKind::Num(n as f64 / 8.0)),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(ExprKind::Str),
+        any::<bool>().prop_map(ExprKind::Bool),
+        Just(ExprKind::Null),
+        Just(ExprKind::Undefined),
+        Just(ExprKind::This),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Rem),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::StrictEq),
+        Just(BinaryOp::StrictNotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Shl),
+        Just(BinaryOp::Shr),
+        Just(BinaryOp::UShr),
+        Just(BinaryOp::BitAnd),
+        Just(BinaryOp::BitOr),
+        Just(BinaryOp::BitXor),
+        Just(BinaryOp::In),
+        Just(BinaryOp::InstanceOf),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::synth),
+        ident_strategy().prop_map(|s| Expr::synth(ExprKind::Ident(s))),
+    ];
+    leaf.prop_recursive(5, 64, 6, |inner| {
+        prop_oneof![
+            // Binary
+            (binop_strategy(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::synth(
+                ExprKind::Binary { op, left: Box::new(l), right: Box::new(r) }
+            )),
+            // Logical
+            (any::<bool>(), inner.clone(), inner.clone()).prop_map(|(and, l, r)| Expr::synth(
+                ExprKind::Logical {
+                    op: if and { LogicalOp::And } else { LogicalOp::Or },
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            )),
+            // Unary (non-folding ops only; Neg on a Num literal would be
+            // re-folded by the parser and compare unequal).
+            (inner.clone()).prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            })),
+            (inner.clone()).prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnaryOp::TypeOf,
+                expr: Box::new(e)
+            })),
+            (inner.clone()).prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnaryOp::BitNot,
+                expr: Box::new(e)
+            })),
+            // Conditional
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::synth(
+                ExprKind::Cond { cond: Box::new(c), then: Box::new(t), alt: Box::new(e) }
+            )),
+            // Call with ident callee
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(f, args)| Expr::synth(ExprKind::Call {
+                    callee: Box::new(Expr::synth(ExprKind::Ident(f))),
+                    args
+                })
+            ),
+            // Member / index
+            (ident_strategy(), ident_strategy()).prop_map(|(o, p)| Expr::synth(
+                ExprKind::Member {
+                    object: Box::new(Expr::synth(ExprKind::Ident(o))),
+                    prop: p
+                }
+            )),
+            (ident_strategy(), inner.clone()).prop_map(|(o, i)| Expr::synth(ExprKind::Index {
+                object: Box::new(Expr::synth(ExprKind::Ident(o))),
+                index: Box::new(i)
+            })),
+            // Assignment to an ident
+            (ident_strategy(), inner.clone()).prop_map(|(t, v)| Expr::synth(ExprKind::Assign {
+                op: AssignOp::Assign,
+                target: Box::new(Expr::synth(ExprKind::Ident(t))),
+                value: Box::new(v)
+            })),
+            // Array / object literals
+            prop::collection::vec(inner.clone(), 0..4)
+                .prop_map(|els| Expr::synth(ExprKind::Array(els))),
+            prop::collection::vec((ident_strategy(), inner.clone()), 0..3).prop_map(|props| {
+                Expr::synth(ExprKind::Object(
+                    props.into_iter().map(|(k, v)| (PropKey::Ident(k), v)).collect(),
+                ))
+            }),
+            // Sequence (≥2 elements, as the parser only builds those)
+            prop::collection::vec(inner.clone(), 2..4)
+                .prop_map(|es| Expr::synth(ExprKind::Seq(es))),
+            // new
+            (ident_strategy(), prop::collection::vec(inner, 0..3)).prop_map(|(f, args)| {
+                Expr::synth(ExprKind::New {
+                    callee: Box::new(Expr::synth(ExprKind::Ident(f))),
+                    args,
+                })
+            }),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        expr_strategy().prop_map(|e| Stmt::synth(StmtKind::Expr(e))),
+        (ident_strategy(), prop::option::of(expr_strategy())).prop_map(|(n, init)| {
+            Stmt::synth(StmtKind::VarDecl(vec![VarDeclarator {
+                name: n,
+                init,
+                span: ceres_ast::Span::SYNTHETIC,
+            }]))
+        }),
+        expr_strategy().prop_map(|e| Stmt::synth(StmtKind::Return(Some(e)))),
+        Just(Stmt::synth(StmtKind::Return(None))),
+        Just(Stmt::synth(StmtKind::Empty)),
+        expr_strategy().prop_map(|e| Stmt::synth(StmtKind::Throw(e))),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4)
+            .prop_map(|b| Stmt::synth(StmtKind::Block(b)));
+        prop_oneof![
+            block.clone(),
+            // if / if-else (bodies normalized to blocks)
+            (expr_strategy(), block.clone(), prop::option::of(block.clone())).prop_map(
+                |(c, t, a)| Stmt::synth(StmtKind::If {
+                    cond: c,
+                    then: Box::new(t),
+                    alt: a.map(Box::new),
+                })
+            ),
+            // while
+            (expr_strategy(), block.clone()).prop_map(|(c, b)| Stmt::synth(StmtKind::While {
+                loop_id: LoopId::UNASSIGNED,
+                cond: c,
+                body: Box::new(b),
+            })),
+            // classic for
+            (
+                prop::option::of(expr_strategy()),
+                prop::option::of(expr_strategy()),
+                block.clone()
+            )
+                .prop_map(|(c, u, b)| Stmt::synth(StmtKind::For {
+                    loop_id: LoopId::UNASSIGNED,
+                    init: None,
+                    cond: c,
+                    update: u,
+                    body: Box::new(b),
+                })),
+            // for-in
+            (ident_strategy(), expr_strategy(), block.clone(), any::<bool>()).prop_map(
+                |(v, o, b, d)| Stmt::synth(StmtKind::ForIn {
+                    loop_id: LoopId::UNASSIGNED,
+                    decl: d,
+                    var: v,
+                    object: o,
+                    body: Box::new(b),
+                })
+            ),
+            // function declaration
+            (
+                ident_strategy(),
+                prop::collection::vec(ident_strategy(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(n, params, body)| Stmt::synth(StmtKind::Func(FuncDecl {
+                    name: n,
+                    func: Func { params, body, span: ceres_ast::Span::SYNTHETIC },
+                }))),
+            // try/catch/finally
+            (
+                prop::collection::vec(inner.clone(), 0..3),
+                ident_strategy(),
+                prop::collection::vec(inner, 0..2)
+            )
+                .prop_map(|(b, p, c)| Stmt::synth(StmtKind::Try {
+                    block: b,
+                    catch: Some(CatchClause { param: p, body: c }),
+                    finally: None,
+                })),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_roundtrips(stmts in prop::collection::vec(stmt_strategy(), 0..6)) {
+        let program = Program { body: stmts };
+        let printed = program_to_source(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nsource:\n{printed}"));
+        let reparsed = strip_spans(reparsed);
+        prop_assert_eq!(
+            &program, &reparsed,
+            "round-trip mismatch\nprinted:\n{}", printed
+        );
+    }
+
+    #[test]
+    fn printing_is_idempotent(stmts in prop::collection::vec(stmt_strategy(), 0..5)) {
+        let program = Program { body: stmts };
+        let once = program_to_source(&program);
+        let reparsed = strip_spans(parse_program(&once).unwrap());
+        let twice = program_to_source(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = ceres_parser::tokenize(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = parse_program(&src);
+    }
+}

@@ -1,0 +1,186 @@
+//! Aggregations regenerating Figures 1–4 from a population.
+
+use crate::coding::Coder;
+use crate::model::*;
+use std::collections::BTreeMap;
+
+/// One Fig. 1 bar: category, respondent count, percentage of coded answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    pub category: TrendCategory,
+    pub count: usize,
+    pub pct: f64,
+}
+
+/// Fig. 1: future web application categories.
+pub fn fig1(pop: &[Respondent], coder: &Coder) -> (Vec<Fig1Row>, usize) {
+    let mut counts: BTreeMap<TrendCategory, usize> = BTreeMap::new();
+    let mut no_answer = 0usize;
+    for r in pop {
+        match &r.trend_answer {
+            None => no_answer += 1,
+            Some(ans) => {
+                for cat in coder.code(ans) {
+                    *counts.entry(cat).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let total: usize = counts.values().sum();
+    let mut rows: Vec<Fig1Row> = TrendCategory::ALL
+        .iter()
+        .map(|&category| {
+            let count = counts.get(&category).copied().unwrap_or(0);
+            Fig1Row {
+                category,
+                count,
+                pct: if total > 0 { 100.0 * count as f64 / total as f64 } else { 0.0 },
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.count));
+    (rows, no_answer)
+}
+
+/// One Fig. 2 row: per-component rating distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    pub component: Component,
+    pub not_an_issue: usize,
+    pub so_so: usize,
+    pub bottleneck: usize,
+}
+
+impl Fig2Row {
+    pub fn total(&self) -> usize {
+        self.not_an_issue + self.so_so + self.bottleneck
+    }
+
+    /// Percentage that called this component a bottleneck.
+    pub fn bottleneck_pct(&self) -> f64 {
+        100.0 * self.bottleneck as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Fig. 2: perceived performance bottlenecks.
+pub fn fig2(pop: &[Respondent]) -> Vec<Fig2Row> {
+    Component::ALL
+        .iter()
+        .map(|&component| {
+            let mut row =
+                Fig2Row { component, not_an_issue: 0, so_so: 0, bottleneck: 0 };
+            for r in pop {
+                match r.rating_for(component) {
+                    Some(Rating::NotAnIssue) => row.not_an_issue += 1,
+                    Some(Rating::SoSo) => row.so_so += 1,
+                    Some(Rating::Bottleneck) => row.bottleneck += 1,
+                    None => {}
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// A 1–5 histogram (Figs. 3 and 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleHistogram {
+    pub counts: [usize; 5],
+}
+
+impl ScaleHistogram {
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    pub fn pct(&self, value: u8) -> f64 {
+        100.0 * self.counts[(value - 1) as usize] as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Fig. 3: functional (1) – imperative (5) preference.
+pub fn fig3(pop: &[Respondent]) -> ScaleHistogram {
+    histogram(pop, |r| r.style_pref)
+}
+
+/// Fig. 4: monomorphic (1) – polymorphic (5) variables.
+pub fn fig4(pop: &[Respondent]) -> ScaleHistogram {
+    histogram(pop, |r| r.poly_pref)
+}
+
+fn histogram(pop: &[Respondent], get: impl Fn(&Respondent) -> Option<u8>) -> ScaleHistogram {
+    let mut counts = [0usize; 5];
+    for r in pop {
+        if let Some(v) = get(r) {
+            if (1..=5).contains(&v) {
+                counts[(v - 1) as usize] += 1;
+            }
+        }
+    }
+    ScaleHistogram { counts }
+}
+
+/// Render a horizontal ASCII bar chart (for the `repro` binary).
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for _ in 0..filled.min(width) {
+        s.push('#');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{generate, POLY_COUNTS, STYLE_COUNTS, TREND_NO_ANSWER};
+
+    #[test]
+    fn fig1_matches_paper() {
+        let pop = generate(2015);
+        let (rows, no_answer) = fig1(&pop, &Coder::primary());
+        assert_eq!(no_answer, TREND_NO_ANSWER);
+        assert_eq!(rows[0].category, TrendCategory::Games);
+        assert_eq!(rows[0].count, 26);
+        assert!((rows[0].pct - 31.0).abs() < 1.0, "{}", rows[0].pct);
+        // The paper's ordering: Games > P2P/Social > Desktop-like.
+        assert_eq!(rows[1].category, TrendCategory::PeerToPeerAndSocial);
+        assert_eq!(rows[2].category, TrendCategory::DesktopLike);
+    }
+
+    #[test]
+    fn fig2_matches_paper() {
+        let pop = generate(2015);
+        let rows = fig2(&pop);
+        let loading = rows.iter().find(|r| r.component == Component::ResourceLoading).unwrap();
+        assert!((loading.bottleneck_pct() - 52.0).abs() < 1.0);
+        let crunch = rows.iter().find(|r| r.component == Component::NumberCrunching).unwrap();
+        assert!((crunch.bottleneck_pct() - 21.0).abs() < 1.0);
+        // "Another 40% of respondents do not dismiss number crunching":
+        let soso_pct = 100.0 * crunch.so_so as f64 / crunch.total() as f64;
+        assert!((soso_pct - 39.0).abs() < 1.5, "{soso_pct}");
+        let css = rows.iter().find(|r| r.component == Component::Styling).unwrap();
+        assert!((css.bottleneck_pct() - 15.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig3_fig4_match_paper() {
+        let pop = generate(2015);
+        let f3 = fig3(&pop);
+        assert_eq!(f3.counts, STYLE_COUNTS);
+        assert!((f3.pct(1) - 31.0).abs() < 1.0);
+        assert!((f3.pct(5) - 5.0).abs() < 1.0);
+        let f4 = fig4(&pop);
+        assert_eq!(f4.counts, POLY_COUNTS);
+        assert!((f4.pct(1) - 58.0).abs() < 1.0);
+        assert!((f4.pct(5) - 1.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn ascii_bar_rendering() {
+        assert_eq!(bar(50.0, 10), "#####");
+        assert_eq!(bar(0.0, 10), "");
+        assert_eq!(bar(100.0, 4), "####");
+        assert_eq!(bar(150.0, 4), "####"); // clamped
+    }
+}

@@ -1,0 +1,25 @@
+//! # ceres-survey
+//!
+//! The developer-survey half of *"Are web applications ready for
+//! parallelism?"* (Sec. 2): a synthetic population of 174 respondents whose
+//! answer marginals equal the paper's published counts exactly, a real
+//! thematic-coding engine with Jaccard inter-rater validation (the paper's
+//! methodology), and the aggregations that regenerate Figures 1–4.
+//!
+//! ```
+//! use ceres_survey::{generate, fig1, Coder};
+//! let pop = generate(2015);
+//! let (rows, no_answer) = fig1(&pop, &Coder::primary());
+//! assert_eq!(rows[0].count, 26); // Games leads, as in the paper
+//! assert_eq!(no_answer, 45);
+//! ```
+
+pub mod coding;
+pub mod figures;
+pub mod model;
+pub mod population;
+
+pub use coding::{agreement, jaccard, Coder};
+pub use figures::{bar, fig1, fig2, fig3, fig4, Fig1Row, Fig2Row, ScaleHistogram};
+pub use model::{Component, Rating, Respondent, TrendCategory, RESPONDENTS};
+pub use population::generate;

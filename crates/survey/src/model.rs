@@ -1,0 +1,147 @@
+//! Survey data model (paper Sec. 2).
+//!
+//! The questionnaire had "20 questions … broadly in four categories: trends
+//! in web applications, programming style, preferred tools and frameworks,
+//! and perceived performance bottlenecks", answered by 174 developers. This
+//! module models the answers the paper reports on.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct responses the paper received.
+pub const RESPONDENTS: usize = 174;
+
+/// Future-trend categories developed by the paper's two coders (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrendCategory {
+    Games,
+    PeerToPeerAndSocial,
+    DesktopLike,
+    DataProcessing,
+    AudioAndVideo,
+    Visualization,
+    AugmentedReality,
+}
+
+impl TrendCategory {
+    pub const ALL: [TrendCategory; 7] = [
+        TrendCategory::Games,
+        TrendCategory::PeerToPeerAndSocial,
+        TrendCategory::DesktopLike,
+        TrendCategory::DataProcessing,
+        TrendCategory::AudioAndVideo,
+        TrendCategory::Visualization,
+        TrendCategory::AugmentedReality,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrendCategory::Games => "Games",
+            TrendCategory::PeerToPeerAndSocial => "Peer-to-Peer and Social",
+            TrendCategory::DesktopLike => "Desktop like",
+            TrendCategory::DataProcessing => "Data processing, analysis; productivity",
+            TrendCategory::AudioAndVideo => "Audio and Video",
+            TrendCategory::Visualization => "Visualization",
+            TrendCategory::AugmentedReality => "Augmented reality; voice, gesture, user recognition",
+        }
+    }
+}
+
+/// Components rated in the bottleneck question (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Component {
+    ResourceLoading,
+    DomManipulation,
+    Canvas,
+    WebGl,
+    NumberCrunching,
+    Styling,
+}
+
+impl Component {
+    pub const ALL: [Component; 6] = [
+        Component::ResourceLoading,
+        Component::DomManipulation,
+        Component::Canvas,
+        Component::WebGl,
+        Component::NumberCrunching,
+        Component::Styling,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::ResourceLoading => "resource loading",
+            Component::DomManipulation => "DOM manipulation",
+            Component::Canvas => "Canvas (read/write images)",
+            Component::WebGl => "WebGL interaction",
+            Component::NumberCrunching => "number crunching",
+            Component::Styling => "styling (CSS)",
+        }
+    }
+}
+
+/// The three-point bottleneck scale of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rating {
+    NotAnIssue,
+    SoSo,
+    Bottleneck,
+}
+
+impl Rating {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rating::NotAnIssue => "not an issue",
+            Rating::SoSo => "so, so...",
+            Rating::Bottleneck => "is a bottleneck",
+        }
+    }
+}
+
+/// One survey respondent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Respondent {
+    pub id: u32,
+    /// Free-text answer to "what new kinds of applications will trend on
+    /// the web over the next 5 years?" (`None` = no answer / invalid).
+    pub trend_answer: Option<String>,
+    /// Per-component bottleneck ratings (partial responses allowed — the
+    /// paper's Fig. 2 row totals differ per component).
+    pub bottlenecks: Vec<(Component, Rating)>,
+    /// Functional(1)–imperative(5) style preference (Fig. 3).
+    pub style_pref: Option<u8>,
+    /// Monomorphic(1)–polymorphic(5) variable use (Fig. 4).
+    pub poly_pref: Option<u8>,
+    /// Prefers high-level array operators over explicit loops (Sec. 2.3:
+    /// 74% said yes).
+    pub prefers_operators: Option<bool>,
+    /// Free-text global-variable usage scenario (Sec. 2.4: 105 answers).
+    pub global_var_usage: Option<String>,
+}
+
+impl Respondent {
+    pub fn rating_for(&self, c: Component) -> Option<Rating> {
+        self.bottlenecks.iter().find(|(cc, _)| *cc == c).map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrendCategory::Games.label(), "Games");
+        assert_eq!(Component::NumberCrunching.label(), "number crunching");
+        assert_eq!(Rating::Bottleneck.label(), "is a bottleneck");
+        assert_eq!(TrendCategory::ALL.len(), 7);
+        assert_eq!(Component::ALL.len(), 6);
+    }
+
+    #[test]
+    fn rating_lookup() {
+        let mut r = Respondent::default();
+        r.bottlenecks.push((Component::Canvas, Rating::SoSo));
+        assert_eq!(r.rating_for(Component::Canvas), Some(Rating::SoSo));
+        assert_eq!(r.rating_for(Component::WebGl), None);
+    }
+}

@@ -1,0 +1,302 @@
+//! Synthetic respondent population.
+//!
+//! The paper's raw responses are not published (only aggregates at
+//! `cos.github.io/js-ceres` and in Figs. 1–4). We regenerate a population
+//! of 174 respondents whose answer *marginals equal the published counts
+//! exactly*; a seeded shuffle decides which respondent holds which answer,
+//! so every derived figure is deterministic given the seed.
+//!
+//! Published marginals reproduced here:
+//!
+//! * Fig. 1 — 45 no-answer; 85 codable answers split 26/17/15/8/7/7/5
+//!   (Games / P2P+Social / Desktop-like / A-V / DataProc / Vis / AR), the
+//!   remaining 44 valid-but-vague;
+//! * Fig. 2 — per-component (not-an-issue, so-so, bottleneck) counts;
+//! * Fig. 3 — style scale 52/50/41/15/8 over 166 answers;
+//! * Fig. 4 — polymorphism scale 58/29/7/5/1 % over 168 answers
+//!   (the paper's text: "98 out of 168" purely monomorphic);
+//! * Sec. 2.3 — 74 % prefer high-level operators;
+//! * Sec. 2.4 — 105 global-variable scenarios, 33 of them namespacing.
+
+use crate::model::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Phrase bank per trend category. The coders' codebook (see
+/// [`crate::coding`]) must re-discover the category from these texts, the
+/// way the paper hand-coded free text.
+pub fn trend_phrases(cat: TrendCategory) -> &'static [&'static str] {
+    match cat {
+        TrendCategory::Games => &[
+            "commercial-quality 3D games in the browser",
+            "console-class games using WebGL and canvas",
+            "multiplayer game engines with realistic physics",
+            "realistic physics worlds to explore",
+        ],
+        TrendCategory::PeerToPeerAndSocial => &[
+            "peer-to-peer collaboration apps",
+            "social networks with realtime sharing",
+            "p2p messaging without servers",
+            "more social apps with live feeds",
+        ],
+        TrendCategory::DesktopLike => &[
+            "desktop-like applications moving to the web",
+            "office suites like the desktop ones",
+            "apps formerly at home on the desktop",
+            "full IDE experiences in a browser tab",
+        ],
+        TrendCategory::DataProcessing => &[
+            "data processing and analysis dashboards",
+            "productivity suites with heavy analytics",
+            "big data analysis tools in the browser",
+        ],
+        TrendCategory::AudioAndVideo => &[
+            "audio and video editing in the browser",
+            "realtime video processing apps",
+            "music production tools with live audio",
+        ],
+        TrendCategory::Visualization => &[
+            "interactive data visualization everywhere",
+            "rich visualization of large datasets",
+            "charting and infographics tools",
+        ],
+        TrendCategory::AugmentedReality => &[
+            "augmented reality overlays",
+            "voice and gesture recognition interfaces",
+            "user recognition and AR experiences",
+        ],
+    }
+}
+
+/// Fig. 1 codable-answer counts, paper order.
+pub const TREND_COUNTS: [(TrendCategory, usize); 7] = [
+    (TrendCategory::Games, 26),
+    (TrendCategory::PeerToPeerAndSocial, 17),
+    (TrendCategory::DesktopLike, 15),
+    (TrendCategory::AudioAndVideo, 8),
+    (TrendCategory::DataProcessing, 7),
+    (TrendCategory::Visualization, 7),
+    (TrendCategory::AugmentedReality, 5),
+];
+
+/// Respondents who skipped the trend question entirely.
+pub const TREND_NO_ANSWER: usize = 45;
+
+/// Fig. 2 counts: (component, not-an-issue, so-so, bottleneck).
+pub const BOTTLENECK_COUNTS: [(Component, usize, usize, usize); 6] = [
+    (Component::ResourceLoading, 13, 64, 85),
+    (Component::DomManipulation, 23, 65, 83),
+    (Component::Canvas, 37, 72, 46),
+    (Component::WebGl, 37, 72, 41),
+    (Component::NumberCrunching, 65, 65, 35),
+    (Component::Styling, 62, 77, 25),
+];
+
+/// Fig. 3 counts for scale 1..=5 (166 answers).
+pub const STYLE_COUNTS: [usize; 5] = [52, 50, 41, 15, 8];
+
+/// Fig. 4 counts for scale 1..=5 (168 answers; 98 purely monomorphic per
+/// the paper's text).
+pub const POLY_COUNTS: [usize; 5] = [98, 49, 12, 7, 2];
+
+/// Operator-preference: of those who answered, 74 % preferred the builtin
+/// operators (Sec. 2.3). We model 160 answers.
+pub const OPERATOR_ANSWERS: usize = 160;
+pub const OPERATOR_PREFER: usize = 118; // ≈ 74 %
+
+/// Global-variable scenarios (Sec. 2.4): 105 answers, 33 namespacing.
+pub const GLOBAL_VAR_ANSWERS: usize = 105;
+pub const GLOBAL_VAR_NAMESPACE: usize = 33;
+
+/// Generate the population. `seed` controls only the assignment shuffle,
+/// never the marginals.
+pub fn generate(seed: u64) -> Vec<Respondent> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = RESPONDENTS;
+    let mut pop: Vec<Respondent> = (0..n as u32)
+        .map(|id| Respondent { id, ..Default::default() })
+        .collect();
+
+    // --- Fig. 1: trend answers ---
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut cursor = 0;
+    for (cat, count) in TREND_COUNTS {
+        let phrases = trend_phrases(cat);
+        for k in 0..count {
+            let idx = order[cursor];
+            cursor += 1;
+            pop[idx].trend_answer = Some(phrases[k % phrases.len()].to_string());
+        }
+    }
+    // Valid-but-vague answers (coded to no category).
+    let vague = ["more apps in general", "hard to say", "everything will be web"];
+    let codable: usize = TREND_COUNTS.iter().map(|(_, c)| c).sum();
+    let vague_count = n - TREND_NO_ANSWER - codable;
+    for k in 0..vague_count {
+        let idx = order[cursor];
+        cursor += 1;
+        pop[idx].trend_answer = Some(vague[k % vague.len()].to_string());
+    }
+    // The remaining TREND_NO_ANSWER respondents keep `None`.
+
+    // --- Fig. 2: bottleneck ratings (independent shuffles per component,
+    // like a matrix question with per-row skips) ---
+    for (component, not_issue, soso, bottleneck) in BOTTLENECK_COUNTS {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut cursor = 0;
+        for (rating, count) in [
+            (Rating::NotAnIssue, not_issue),
+            (Rating::SoSo, soso),
+            (Rating::Bottleneck, bottleneck),
+        ] {
+            for _ in 0..count {
+                let idx = order[cursor];
+                cursor += 1;
+                pop[idx].bottlenecks.push((component, rating));
+            }
+        }
+    }
+
+    // --- Fig. 3 / Fig. 4: scales ---
+    assign_scale(&mut pop, &mut rng, &STYLE_COUNTS, |r, v| r.style_pref = Some(v));
+    assign_scale(&mut pop, &mut rng, &POLY_COUNTS, |r, v| r.poly_pref = Some(v));
+
+    // --- operator preference ---
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for (k, &idx) in order.iter().take(OPERATOR_ANSWERS).enumerate() {
+        pop[idx].prefers_operators = Some(k < OPERATOR_PREFER);
+    }
+
+    // --- global-variable scenarios ---
+    let namespace_texts = [
+        "emulating a namespace for my modules",
+        "a module system substitute via one global object",
+        "namespacing the app under a single global",
+    ];
+    let other_texts = [
+        "sharing values between scripts on the same page",
+        "passing configuration from the server on page load",
+        "a global singleton for the main data structure",
+        "debugging from the console",
+    ];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for (k, &idx) in order.iter().take(GLOBAL_VAR_ANSWERS).enumerate() {
+        let text = if k < GLOBAL_VAR_NAMESPACE {
+            namespace_texts[k % namespace_texts.len()]
+        } else {
+            other_texts[k % other_texts.len()]
+        };
+        pop[idx].global_var_usage = Some(text.to_string());
+    }
+
+    pop
+}
+
+fn assign_scale(
+    pop: &mut [Respondent],
+    rng: &mut impl rand::Rng,
+    counts: &[usize; 5],
+    set: impl Fn(&mut Respondent, u8),
+) {
+    let mut order: Vec<usize> = (0..pop.len()).collect();
+    order.shuffle(rng);
+    let mut cursor = 0;
+    for (i, &count) in counts.iter().enumerate() {
+        for _ in 0..count {
+            set(&mut pop[order[cursor]], (i + 1) as u8);
+            cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_size_is_174() {
+        assert_eq!(generate(2015).len(), RESPONDENTS);
+    }
+
+    #[test]
+    fn trend_marginals_exact() {
+        let pop = generate(2015);
+        let none = pop.iter().filter(|r| r.trend_answer.is_none()).count();
+        assert_eq!(none, TREND_NO_ANSWER);
+        // Every codable phrase appears the right number of times (checked
+        // via the coding engine in `coding::tests`); here just the totals.
+        let some = pop.iter().filter(|r| r.trend_answer.is_some()).count();
+        assert_eq!(some, RESPONDENTS - TREND_NO_ANSWER);
+    }
+
+    #[test]
+    fn bottleneck_marginals_exact() {
+        let pop = generate(2015);
+        for (component, ni, ss, bn) in BOTTLENECK_COUNTS {
+            let count = |rating| {
+                pop.iter().filter(|r| r.rating_for(component) == Some(rating)).count()
+            };
+            assert_eq!(count(Rating::NotAnIssue), ni, "{component:?}");
+            assert_eq!(count(Rating::SoSo), ss, "{component:?}");
+            assert_eq!(count(Rating::Bottleneck), bn, "{component:?}");
+        }
+    }
+
+    #[test]
+    fn scale_marginals_exact() {
+        let pop = generate(2015);
+        for v in 1..=5u8 {
+            let style = pop.iter().filter(|r| r.style_pref == Some(v)).count();
+            assert_eq!(style, STYLE_COUNTS[(v - 1) as usize]);
+            let poly = pop.iter().filter(|r| r.poly_pref == Some(v)).count();
+            assert_eq!(poly, POLY_COUNTS[(v - 1) as usize]);
+        }
+        // The paper's headline: 98 of 168 purely monomorphic (58%).
+        let answered: usize = POLY_COUNTS.iter().sum();
+        assert_eq!(answered, 168);
+        assert_eq!(POLY_COUNTS[0], 98);
+    }
+
+    #[test]
+    fn operator_preference_is_74_percent() {
+        let pop = generate(2015);
+        let yes = pop.iter().filter(|r| r.prefers_operators == Some(true)).count();
+        let all = pop.iter().filter(|r| r.prefers_operators.is_some()).count();
+        assert_eq!(all, OPERATOR_ANSWERS);
+        let pct = 100.0 * yes as f64 / all as f64;
+        assert!((pct - 74.0).abs() < 1.0, "{pct}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_varies_across_seeds() {
+        let a = generate(7);
+        let b = generate(7);
+        let c = generate(8);
+        let key = |pop: &[Respondent]| -> Vec<Option<u8>> {
+            pop.iter().map(|r| r.style_pref).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_ne!(key(&a), key(&c));
+    }
+
+    #[test]
+    fn global_var_marginals() {
+        let pop = generate(2015);
+        let answered = pop.iter().filter(|r| r.global_var_usage.is_some()).count();
+        assert_eq!(answered, GLOBAL_VAR_ANSWERS);
+        let ns = pop
+            .iter()
+            .filter(|r| {
+                r.global_var_usage
+                    .as_deref()
+                    .map(|t| t.contains("namespac") || t.contains("module"))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(ns, GLOBAL_VAR_NAMESPACE);
+    }
+}

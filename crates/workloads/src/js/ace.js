@@ -1,0 +1,88 @@
+// Ace — code editor used by the Cloud9 IDE (Table 1: Productivity).
+// Mirrors ace.c9.io's renderer: keystrokes invalidate lines; the renderer
+// loop re-renders until no cascading changes remain (the paper: "the first
+// loop executes a rendering method until there are no more cascading
+// changes" and "the loops only execute roughly one iteration on average").
+// Renders into DOM rows — "yes (DOM) / very hard" in Table 3.
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var editorEl = document.getElementById("editor");
+var lines = [];
+var lineEls = [];
+var dirty = [];
+var offsets = [];
+var tokenState = { inComment: false };
+var rendersDone = 0;
+
+function init() {
+  var i;
+  for (i = 0; i < 24; i++) {
+    lines.push("function line" + i + "() { return " + i + "; }");
+    var el = document.createElement("div");
+    editorEl.appendChild(el);
+    lineEls.push(el);
+    dirty.push(true);
+    offsets.push(0);
+  }
+}
+
+function tokenizeLine(text) {
+  // Tiny highlighter: split into words, wrap keywords.
+  var words = text.split(" ");
+  var out = "";
+  var i;
+  for (i = 0; i < words.length; i++) {
+    var w = words[i];
+    if (w === "function" || w === "return" || w === "var") {
+      out += "<b>" + w + "</b> ";
+    } else {
+      out += w + " ";
+    }
+  }
+  return out;
+}
+
+// The cascading-render loop: render dirty lines; rendering a line may
+// invalidate the next one (bracket matching), so loop until stable.
+function renderLoop() {
+  var changed = true;
+  while (changed) {
+    changed = false;
+    var i;
+    for (i = 0; i < lines.length; i++) {
+      if (dirty[i]) {
+        // Tokenizer line state: whether a block comment is open flows from
+        // each line into the next (the classic editor-tokenizer chain).
+        tokenState.inComment = lines[i].indexOf("/*") >= 0 ? true : (lines[i].indexOf("*/") >= 0 ? false : tokenState.inComment);
+        lineEls[i].innerHTML = tokenState.inComment ? lines[i] : tokenizeLine(lines[i]);
+        dirty[i] = false;
+        // Layout: each line's offset depends on the line above (wrapped
+        // lines are taller), and rendering may cascade invalidation.
+        var lineHeight = 12 + (lines[i].length > 40 ? 12 : 0);
+        offsets[i] = (i === 0 ? 0 : offsets[i - 1]) + lineHeight;
+        lineEls[i].style.top = offsets[i];
+        if (lines[i].indexOf("{") >= 0 && i + 1 < lines.length && rendersDone % 7 === 0) {
+          dirty[i + 1] = true;
+          changed = true;
+        }
+        rendersDone++;
+      }
+    }
+  }
+}
+
+function onKey(line, ch) {
+  lines[line] = lines[line] + ch;
+  dirty[line] = true;
+  renderLoop();
+}
+
+init();
+renderLoop();
+
+window.addEventListener("keydown", function (e) {
+  onKey(Math.floor(e.line), "x");
+});
+
+window.addEventListener("report", function (e) {
+  console.log("ace: renders =", rendersDone);
+});

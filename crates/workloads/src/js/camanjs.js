@@ -1,0 +1,117 @@
+// CamanJS — image manipulation library (Table 1: Audio and Video).
+// Mirrors camanjs.com's architecture: a Caman object wraps a canvas, pulls
+// the pixel buffer once with getImageData, queues per-pixel filters
+// (brightness, contrast, saturation) plus a convolution kernel, then
+// renders back with putImageData. The per-pixel loops are the paper's
+// "easy / easy" rows: disjoint writes to data[i].
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+
+function Caman(id) {
+  this.canvas = document.getElementById(id);
+  this.ctx = this.canvas.getContext("2d");
+  this.width = 24 * S;
+  this.height = 18 * S;
+  this.image = this.ctx.getImageData(0, 0, this.width, this.height);
+  this.queue = [];
+}
+
+Caman.prototype.process = function (name, fn) {
+  this.queue.push({ name: name, fn: fn });
+  return this;
+};
+
+Caman.prototype.brightness = function (adjust) {
+  return this.process("brightness", function (r, g, b) {
+    return [r + adjust, g + adjust, b + adjust];
+  });
+};
+
+Caman.prototype.contrast = function (adjust) {
+  var factor = (adjust + 100) / 100;
+  var f2 = factor * factor;
+  return this.process("contrast", function (r, g, b) {
+    return [
+      (r / 255 - 0.5) * f2 * 255 + 127.5,
+      (g / 255 - 0.5) * f2 * 255 + 127.5,
+      (b / 255 - 0.5) * f2 * 255 + 127.5
+    ];
+  });
+};
+
+Caman.prototype.saturation = function (adjust) {
+  var mul = adjust * -0.01;
+  return this.process("saturation", function (r, g, b) {
+    var max = Math.max(r, g, b);
+    return [
+      r + (max - r) * mul,
+      g + (max - g) * mul,
+      b + (max - b) * mul
+    ];
+  });
+};
+
+function clamp(v) {
+  return v < 0 ? 0 : (v > 255 ? 255 : v);
+}
+
+// The dominant per-pixel nest (the paper's 72% row).
+Caman.prototype.renderQueue = function () {
+  var data = this.image.data;
+  var q, i;
+  for (q = 0; q < this.queue.length; q++) {
+    var fn = this.queue[q].fn;
+    for (i = 0; i < data.length; i += 4) {
+      var out = fn(data[i], data[i + 1], data[i + 2]);
+      data[i] = clamp(out[0]);
+      data[i + 1] = clamp(out[1]);
+      data[i + 2] = clamp(out[2]);
+    }
+  }
+  this.queue = [];
+};
+
+// 3x3 box-blur convolution (the paper's second nest).
+Caman.prototype.convolve = function () {
+  var w = this.width;
+  var h = this.height;
+  var src = this.image.data;
+  var dst = new Float32Array(src.length);
+  var x, y, c;
+  for (y = 1; y < h - 1; y++) {
+    for (x = 1; x < w - 1; x++) {
+      for (c = 0; c < 3; c++) {
+        var acc = 0;
+        var ky, kx;
+        for (ky = -1; ky <= 1; ky++) {
+          for (kx = -1; kx <= 1; kx++) {
+            acc += src[((y + ky) * w + (x + kx)) * 4 + c];
+          }
+        }
+        dst[(y * w + x) * 4 + c] = acc / 9;
+      }
+      dst[(y * w + x) * 4 + 3] = 255;
+    }
+  }
+  for (x = 0; x < dst.length; x++) {
+    src[x] = clamp(dst[x]);
+  }
+};
+
+Caman.prototype.render = function () {
+  this.renderQueue();
+  this.ctx.putImageData(this.image, 0, 0);
+};
+
+var caman = new Caman("caman-canvas");
+var passes = 0;
+
+function applyFilters() {
+  caman.brightness(10).contrast(8).saturation(-20);
+  caman.renderQueue();
+  caman.convolve();
+  caman.render();
+  passes++;
+  console.log("caman: pass", passes, "done");
+}
+
+window.addEventListener("filters", applyFilters);

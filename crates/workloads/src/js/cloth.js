@@ -1,0 +1,124 @@
+// Tear-able Cloth — Verlet-integration cloth physics (Table 1: Games).
+// Mirrors lonely-pixel.com/lab/cloth: a grid of points connected by
+// constraints; each frame integrates the points, then resolves constraints
+// several times, then draws the links to a canvas. Constraint resolution
+// writes both endpoints of every link — the "medium" dependence-breaking
+// difficulty of the paper's Table 3 row.
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var COLS = 12 * S;
+var ROWS = 8 * S;
+var SPACING = 6;
+var GRAVITY = 0.35;
+var ITERATIONS = 3;
+var TEAR_DISTANCE = 28;
+
+var points = [];
+var links = [];
+var frame = 0;
+
+function makeCloth() {
+  var x, y;
+  for (y = 0; y <= ROWS; y++) {
+    for (x = 0; x <= COLS; x++) {
+      points.push({
+        x: x * SPACING + 20,
+        y: y * SPACING + 5,
+        px: x * SPACING + 20,
+        py: y * SPACING + 5,
+        pinned: y === 0 && x % 3 === 0
+      });
+    }
+  }
+  for (y = 0; y <= ROWS; y++) {
+    for (x = 0; x <= COLS; x++) {
+      var i = y * (COLS + 1) + x;
+      if (x < COLS) {
+        links.push({ a: i, b: i + 1, rest: SPACING, torn: false });
+      }
+      if (y < ROWS) {
+        links.push({ a: i, b: i + (COLS + 1), rest: SPACING, torn: false });
+      }
+    }
+  }
+}
+
+function integrate() {
+  var i;
+  for (i = 0; i < points.length; i++) {
+    var p = points[i];
+    if (p.pinned) {
+      continue;
+    }
+    var vx = (p.x - p.px) * 0.99;
+    var vy = (p.y - p.py) * 0.99;
+    p.px = p.x;
+    p.py = p.y;
+    p.x += vx;
+    p.y += vy + GRAVITY;
+  }
+}
+
+function satisfy() {
+  var it, i;
+  for (it = 0; it < ITERATIONS; it++) {
+    for (i = 0; i < links.length; i++) {
+      var l = links[i];
+      if (l.torn) {
+        continue;
+      }
+      var a = points[l.a];
+      var b = points[l.b];
+      var dx = b.x - a.x;
+      var dy = b.y - a.y;
+      var dist = Math.sqrt(dx * dx + dy * dy);
+      if (dist > TEAR_DISTANCE) {
+        l.torn = true;
+        continue;
+      }
+      var diff = (l.rest - dist) / (dist + 0.0001) * 0.5;
+      var ox = dx * diff;
+      var oy = dy * diff;
+      if (!a.pinned) {
+        a.x -= ox;
+        a.y -= oy;
+      }
+      if (!b.pinned) {
+        b.x += ox;
+        b.y += oy;
+      }
+    }
+  }
+}
+
+var canvas = document.getElementById("cloth-canvas");
+var ctx = canvas.getContext("2d");
+
+function draw() {
+  var i;
+  ctx.clearRect(0, 0, 120, 80);
+  ctx.beginPath();
+  for (i = 0; i < links.length; i++) {
+    var l = links[i];
+    if (l.torn) {
+      continue;
+    }
+    ctx.moveTo(points[l.a].x, points[l.a].y);
+    ctx.lineTo(points[l.b].x, points[l.b].y);
+  }
+  ctx.stroke();
+}
+
+function step() {
+  integrate();
+  satisfy();
+  draw();
+  frame++;
+  if (frame < 18) {
+    requestAnimationFrame(step);
+  } else {
+    console.log("cloth: frames =", frame, "torn =", links.filter(function (l) { return l.torn; }).length);
+  }
+}
+
+makeCloth();
+requestAnimationFrame(step);

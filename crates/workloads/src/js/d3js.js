@@ -1,0 +1,89 @@
+// D3.js — interactive azimuthal projection map (Table 1: Visualization).
+// Mirrors d3js.org's geo examples: world features (polylines of lon/lat
+// points) are projected with an azimuthal equidistant projection and
+// re-rendered into DOM path elements on every drag. One nest dominates
+// (99%), trips = number of features (~156±57 in the paper), projection
+// accumulates per-path state and writes the DOM — "hard / hard".
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var FEATURES = 32 * S;
+var svg = document.getElementById("map-svg");
+var features = [];
+var pathEls = [];
+var rotation = { lambda: 0, phi: 0 };
+var rendered = 0;
+
+function makeWorld() {
+  var f, p;
+  for (f = 0; f < FEATURES; f++) {
+    var n = 4 + (f * 13) % 20;
+    var pts = [];
+    for (p = 0; p < n; p++) {
+      pts.push({
+        lon: ((f * 37 + p * 11) % 360) - 180,
+        lat: ((f * 17 + p * 7) % 160) - 80
+      });
+    }
+    features.push({ id: f, points: pts });
+    var el = document.createElement("path");
+    svg.appendChild(el);
+    pathEls.push(el);
+  }
+}
+
+function project(lon, lat) {
+  // Azimuthal equidistant projection with the current rotation.
+  var rad = Math.PI / 180;
+  var l = (lon + rotation.lambda) * rad;
+  var phi = (lat + rotation.phi) * rad;
+  var cosc = Math.sin(0) * Math.sin(phi) + Math.cos(0) * Math.cos(phi) * Math.cos(l);
+  var c = Math.acos(Math.max(-1, Math.min(1, cosc)));
+  var k = c === 0 ? 1 : c / Math.sin(c);
+  return {
+    x: 50 + 28 * k * Math.cos(phi) * Math.sin(l) / Math.PI,
+    y: 40 - 28 * k * (Math.cos(0) * Math.sin(phi) - Math.sin(0) * Math.cos(phi) * Math.cos(l)) / Math.PI
+  };
+}
+
+// The dominant nest: over features, over points; builds a path string
+// incrementally (the accumulation that makes deps "hard") and writes it
+// into the DOM.
+var bounds = { minX: 1e9, minY: 1e9 };
+function render() {
+  var f, p;
+  bounds.minX = 1e9;
+  bounds.minY = 1e9;
+  for (f = 0; f < features.length; f++) {
+    var d = "";
+    var prev = null;
+    for (p = 0; p < features[f].points.length; p++) {
+      var pt = features[f].points[p];
+      var xy = project(pt.lon, pt.lat);
+      if (prev === null) {
+        d = d + "M" + xy.x.toFixed(1) + "," + xy.y.toFixed(1);
+      } else {
+        d = d + "L" + xy.x.toFixed(1) + "," + xy.y.toFixed(1);
+      }
+      prev = xy;
+      // Viewport fitting: running min/max over everything projected so
+      // far — a cross-feature sequential accumulation.
+      bounds.minX = xy.x < bounds.minX ? xy.x : bounds.minX;
+      bounds.minY = xy.y < bounds.minY ? xy.y : bounds.minY;
+    }
+    pathEls[f].setAttribute("d", d);
+    rendered++;
+  }
+  svg.setAttribute("viewBox", bounds.minX.toFixed(0) + " " + bounds.minY.toFixed(0));
+}
+
+makeWorld();
+render();
+
+window.addEventListener("drag", function (e) {
+  rotation.lambda += e.dx;
+  rotation.phi += e.dy;
+  render();
+});
+
+window.addEventListener("report", function (e) {
+  console.log("d3: features =", features.length, "paths rendered =", rendered);
+});

@@ -1,0 +1,160 @@
+// fluidSim — Navier-Stokes fluid dynamics (Table 1: Games).
+// Mirrors nerget.com/fluidSim (Jos Stam's "Real-Time Fluid Dynamics for
+// Games"): density/velocity fields on an (N+2)² grid, with diffuse /
+// advect / project passes. The linear solver uses Jacobi iterations with
+// double buffering, so every grid write is disjoint per cell — the paper's
+// "none / no / easy / easy" row, with very many small loop instances.
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var N = 10 * S;
+var size = (N + 2) * (N + 2);
+var u = new Float32Array(size);
+var v = new Float32Array(size);
+var uPrev = new Float32Array(size);
+var vPrev = new Float32Array(size);
+var dens = new Float32Array(size);
+var densPrev = new Float32Array(size);
+var frame = 0;
+
+function IX(i, j) {
+  return i + (N + 2) * j;
+}
+
+function addSource(x, s, dt) {
+  var i;
+  for (i = 0; i < size; i++) {
+    x[i] += dt * s[i];
+  }
+}
+
+function setBnd(b, x) {
+  var i;
+  for (i = 1; i <= N; i++) {
+    x[IX(0, i)] = b === 1 ? -x[IX(1, i)] : x[IX(1, i)];
+    x[IX(N + 1, i)] = b === 1 ? -x[IX(N, i)] : x[IX(N, i)];
+    x[IX(i, 0)] = b === 2 ? -x[IX(i, 1)] : x[IX(i, 1)];
+    x[IX(i, N + 1)] = b === 2 ? -x[IX(i, N)] : x[IX(i, N)];
+  }
+  x[IX(0, 0)] = 0.5 * (x[IX(1, 0)] + x[IX(0, 1)]);
+  x[IX(0, N + 1)] = 0.5 * (x[IX(1, N + 1)] + x[IX(0, N)]);
+  x[IX(N + 1, 0)] = 0.5 * (x[IX(N, 0)] + x[IX(N + 1, 1)]);
+  x[IX(N + 1, N + 1)] = 0.5 * (x[IX(N, N + 1)] + x[IX(N + 1, N)]);
+}
+
+// Jacobi linear solve: reads `x0`/`prev`, writes `x` — disjoint writes.
+var scratch = new Float32Array(size);
+function linSolve(b, x, x0, a, c) {
+  var k, i, j;
+  for (k = 0; k < 8; k++) {
+    for (i = 0; i < size; i++) {
+      scratch[i] = x[i];
+    }
+    for (j = 1; j <= N; j++) {
+      for (i = 1; i <= N; i++) {
+        x[IX(i, j)] =
+          (x0[IX(i, j)] +
+            a *
+              (scratch[IX(i - 1, j)] +
+                scratch[IX(i + 1, j)] +
+                scratch[IX(i, j - 1)] +
+                scratch[IX(i, j + 1)])) /
+          c;
+      }
+    }
+    setBnd(b, x);
+  }
+}
+
+function diffuse(b, x, x0, diff, dt) {
+  var a = dt * diff * N * N;
+  linSolve(b, x, x0, a, 1 + 4 * a);
+}
+
+function advect(b, d, d0, uu, vv, dt) {
+  var i, j;
+  var dt0 = dt * N;
+  for (j = 1; j <= N; j++) {
+    for (i = 1; i <= N; i++) {
+      var x = i - dt0 * uu[IX(i, j)];
+      var y = j - dt0 * vv[IX(i, j)];
+      if (x < 0.5) { x = 0.5; }
+      if (x > N + 0.5) { x = N + 0.5; }
+      if (y < 0.5) { y = 0.5; }
+      if (y > N + 0.5) { y = N + 0.5; }
+      var i0 = Math.floor(x);
+      var i1 = i0 + 1;
+      var j0 = Math.floor(y);
+      var j1 = j0 + 1;
+      var s1 = x - i0;
+      var s0 = 1 - s1;
+      var t1 = y - j0;
+      var t0 = 1 - t1;
+      d[IX(i, j)] =
+        s0 * (t0 * d0[IX(i0, j0)] + t1 * d0[IX(i0, j1)]) +
+        s1 * (t0 * d0[IX(i1, j0)] + t1 * d0[IX(i1, j1)]);
+    }
+  }
+  setBnd(b, d);
+}
+
+function project(uu, vv, p, div) {
+  var i, j;
+  for (j = 1; j <= N; j++) {
+    for (i = 1; i <= N; i++) {
+      div[IX(i, j)] = -0.5 * (uu[IX(i + 1, j)] - uu[IX(i - 1, j)] + vv[IX(i, j + 1)] - vv[IX(i, j - 1)]) / N;
+      p[IX(i, j)] = 0;
+    }
+  }
+  setBnd(0, div);
+  setBnd(0, p);
+  linSolve(0, p, div, 1, 4);
+  for (j = 1; j <= N; j++) {
+    for (i = 1; i <= N; i++) {
+      uu[IX(i, j)] -= 0.5 * N * (p[IX(i + 1, j)] - p[IX(i - 1, j)]);
+      vv[IX(i, j)] -= 0.5 * N * (p[IX(i, j + 1)] - p[IX(i, j - 1)]);
+    }
+  }
+  setBnd(1, uu);
+  setBnd(2, vv);
+}
+
+function velStep(dt) {
+  addSource(u, uPrev, dt);
+  addSource(v, vPrev, dt);
+  diffuse(1, uPrev, u, 0.0001, dt);
+  diffuse(2, vPrev, v, 0.0001, dt);
+  project(uPrev, vPrev, u, v);
+  advect(1, u, uPrev, uPrev, vPrev, dt);
+  advect(2, v, vPrev, uPrev, vPrev, dt);
+  project(u, v, uPrev, vPrev);
+}
+
+function densStep(dt) {
+  addSource(dens, densPrev, dt);
+  diffuse(0, densPrev, dens, 0.0001, dt);
+  advect(0, dens, densPrev, u, v, dt);
+}
+
+function stir() {
+  uPrev[IX(3, 3)] = 12;
+  vPrev[IX(3, 3)] = -8;
+  densPrev[IX(5, 5)] = 40;
+}
+
+function step() {
+  stir();
+  velStep(0.1);
+  densStep(0.1);
+  frame++;
+  if (frame < 4) {
+    requestAnimationFrame(step);
+  } else {
+    var total = 0;
+    var i;
+    for (i = 0; i < size; i++) {
+      total += dens[i];
+    }
+    console.log("fluid: frames =", frame, "mass =", total.toFixed(2));
+  }
+}
+
+requestAnimationFrame(step);

@@ -1,0 +1,109 @@
+// HAAR.js — Viola-Jones face detection (Table 1: User recognition).
+// Structure mirrors github.com/foo123/HAAR.js: integral image, then a
+// multi-scale sliding-window sweep where each window runs a cascade of
+// decision trees (the recursive search the paper calls out: "does, at each
+// iteration, a recursive search through a tree which makes the iterations
+// uneven").
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var W = 48 * S;
+var H = 36 * S;
+var gray = new Float32Array(W * H);
+var ii = new Float32Array((W + 1) * (H + 1));
+var detections = [];
+
+function makeImage() {
+  var x, y;
+  for (y = 0; y < H; y++) {
+    for (x = 0; x < W; x++) {
+      gray[y * W + x] = (x * 7 + y * 13) % 97 + (Math.floor(x / 8) % 2) * 40;
+    }
+  }
+}
+
+var cascade = [];
+function tree(f, thr, l, r, depth) {
+  return {
+    feature: f,
+    threshold: thr,
+    left: l,
+    right: r,
+    childL: depth > 0 ? tree((f + 1) % 7, thr - 5, l * 0.5, r * 0.5, depth - 1) : null,
+    childR: depth > 1 ? tree((f + 3) % 7, thr + 5, l * 0.25, r * 0.25, depth - 2) : null
+  };
+}
+function buildCascade() {
+  var s, t;
+  for (s = 0; s < 4; s++) {
+    var stage = { thr: 0.4 * s + 0.2, trees: [] };
+    for (t = 0; t < 3 + s; t++) {
+      stage.trees.push(tree((s * 5 + t) % 7, 20 + 3 * t, 1 + 0.1 * t, -0.5 - 0.05 * s, (t % 3)));
+    }
+    cascade.push(stage);
+  }
+}
+
+function integralImage() {
+  var x, y;
+  for (y = 1; y <= H; y++) {
+    var rowSum = 0;
+    for (x = 1; x <= W; x++) {
+      rowSum += gray[(y - 1) * W + (x - 1)];
+      ii[y * (W + 1) + x] = ii[(y - 1) * (W + 1) + x] + rowSum;
+    }
+  }
+}
+
+function rectSum(x, y, w, h) {
+  var s = W + 1;
+  return ii[(y + h) * s + (x + w)] - ii[y * s + (x + w)] - ii[(y + h) * s + x] + ii[y * s + x];
+}
+
+function featureValue(f, x, y, win) {
+  var half = Math.floor(win / 2);
+  if (f % 2 === 0) {
+    return rectSum(x, y, win, half) - rectSum(x, y + half, win, win - half);
+  }
+  return rectSum(x, y, half, win) - rectSum(x + half, y, win - half, win);
+}
+
+function evalTree(node, x, y, win) {
+  var v = featureValue(node.feature, x, y, win) / (win * win);
+  if (v < node.threshold) {
+    if (node.childL !== null) { return evalTree(node.childL, x, y, win); }
+    return node.left;
+  }
+  if (node.childR !== null) { return evalTree(node.childR, x, y, win); }
+  return node.right;
+}
+
+function detect() {
+  var scale, x, y, st, t;
+  for (scale = 1; scale <= 2; scale++) {
+    var win = 8 * scale;
+    for (y = 0; y + win < H; y += 2) {
+      for (x = 0; x + win < W; x += 2) {
+        var pass = true;
+        for (st = 0; st < cascade.length; st++) {
+          var stage = cascade[st];
+          var total = 0;
+          for (t = 0; t < stage.trees.length; t++) {
+            total += evalTree(stage.trees[t], x, y, win);
+          }
+          if (total < stage.thr) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          detections.push({ x: x, y: y, scale: scale });
+        }
+      }
+    }
+  }
+}
+
+makeImage();
+buildCascade();
+integralImage();
+detect();
+console.log("haar: detections =", detections.length);

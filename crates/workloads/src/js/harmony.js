@@ -1,0 +1,55 @@
+// Harmony — procedural drawing application (Table 1: Audio and Video).
+// Mirrors mrdoob.com/projects/harmony: each pointer-move event sweeps the
+// recent stroke points and draws connecting "web" lines to the canvas when
+// points are near each other. The loops touch the canvas every iteration —
+// the paper's "easy (deps) / very hard (parallelization)" rows, and the app
+// is idle between strokes (tiny Active/In-Loops share in Table 2).
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var canvas = document.getElementById("harmony-canvas");
+var ctx = canvas.getContext("2d");
+ctx.strokeStyle = "#202020";
+
+var strokePoints = [];
+var segmentsDrawn = 0;
+var BRUSH_RADIUS = 40;
+
+function sketchTo(x, y) {
+  strokePoints.push({ x: x, y: y });
+  var i;
+  // Connect the new point to every previous point within the brush radius
+  // (the ribbon/web brush): each iteration may stroke to the canvas.
+  ctx.beginPath();
+  ctx.moveTo(x, y);
+  for (i = 0; i < strokePoints.length - 1; i++) {
+    var p = strokePoints[i];
+    var dx = p.x - x;
+    var dy = p.y - y;
+    var d2 = dx * dx + dy * dy;
+    if (d2 < BRUSH_RADIUS * BRUSH_RADIUS) {
+      ctx.moveTo(x, y);
+      ctx.lineTo(p.x + dx * 0.2, p.y + dy * 0.2);
+      segmentsDrawn++;
+    }
+  }
+  ctx.stroke();
+}
+
+// Shadow pass: fade the neighbourhood of the stroke (second canvas nest).
+function fade(x, y) {
+  var img = ctx.getImageData(Math.max(0, x - 1), Math.max(0, y - 1), 2, 2);
+  var i;
+  for (i = 3; i < img.data.length; i += 4) {
+    img.data[i] = Math.max(0, img.data[i] - 16);
+  }
+  ctx.putImageData(img, Math.max(0, x - 1), Math.max(0, y - 1));
+}
+
+canvas.addEventListener("pointermove", function (e) {
+  sketchTo(e.x, e.y);
+  fade(e.x, e.y);
+});
+
+canvas.addEventListener("pointerup", function (e) {
+  strokePoints = [];
+  console.log("harmony: stroke finished, segments =", segmentsDrawn);
+});

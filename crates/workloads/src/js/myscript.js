@@ -1,0 +1,63 @@
+// MyScript — handwriting recognition front end (Table 1: User recognition).
+// Mirrors webdemo.visionobjects.com's client side: ink points accumulate on
+// pointer moves; on stroke end the client computes segment lengths and a
+// resampled polyline before shipping the stroke to the recognizer (a
+// server, in the real app — here a stub). The paper: "the only client-side
+// expensive loop executes only a few iterations, computing the length of
+// line segments" — trips 4±2, DOM yes, very hard.
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var pad = document.getElementById("ink-pad");
+var strokes = [];
+var current = [];
+var recognized = 0;
+
+pad.addEventListener("pointermove", function (e) {
+  current.push({ x: e.x, y: e.y });
+});
+
+var inkState = { dirX: 0, dirY: 0, curvature: 0 };
+function segmentLengths(points) {
+  var lengths = [];
+  var i;
+  for (i = 1; i < points.length; i++) {
+    var dx = points[i].x - points[i - 1].x;
+    var dy = points[i].y - points[i - 1].y;
+    var len = Math.sqrt(dx * dx + dy * dy);
+    lengths.push(len);
+    // Running stroke direction and curvature: each segment's smoothed
+    // value reads the previous segment's — the sequential chain that
+    // makes this loop very hard to parallelize.
+    inkState.dirX = (inkState.dirX * 0.7 + dx * 0.3) / (len + 0.001);
+    inkState.dirY = (inkState.dirY * 0.7 + dy * 0.3) / (len + 0.001);
+    inkState.curvature = (inkState.curvature * 0.5 + Math.abs(dx * inkState.dirY - dy * inkState.dirX)) / 2;
+    // The UI live-updates a progress indicator per segment.
+    pad.textContent = "segments: " + lengths.length;
+  }
+  return lengths;
+}
+
+function sendToRecognizer(stroke, lengths) {
+  // Network stub: the real work happens server-side.
+  var total = 0;
+  var i;
+  for (i = 0; i < lengths.length; i++) {
+    total += lengths[i];
+  }
+  recognized++;
+  return total;
+}
+
+pad.addEventListener("pointerup", function (e) {
+  if (current.length < 2) {
+    current = [];
+    return;
+  }
+  var lengths = segmentLengths(current);
+  var total = sendToRecognizer(current, lengths);
+  strokes.push({ points: current, total: total });
+  current = [];
+});
+
+window.addEventListener("report", function (e) {
+  console.log("myscript: strokes =", strokes.length, "recognized =", recognized);
+});

@@ -1,0 +1,80 @@
+// Normal Mapping — 29a.ch/experiments (Table 1: Games).
+// Per-pixel lighting from a height map: pass 1 derives surface normals by
+// finite differences, pass 2 shades each pixel against a moving light.
+// Both passes write each pixel exactly once — "very easy / easy", 99% of
+// time in loops, "little" divergence (only boundary clamps).
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var W = 24 * S;
+var H = 18 * S;
+var canvas = document.getElementById("nm-canvas");
+var ctx = canvas.getContext("2d");
+var out = ctx.createImageData(W, H);
+
+var height = new Float32Array(W * H);
+var normals = new Float32Array(W * H * 3);
+
+function makeHeightMap() {
+  var x, y;
+  for (y = 0; y < H; y++) {
+    for (x = 0; x < W; x++) {
+      height[y * W + x] =
+        Math.sin(x * 0.5) * 8 + Math.cos(y * 0.4) * 6 + Math.sin((x + y) * 0.2) * 4;
+    }
+  }
+}
+
+function computeNormals() {
+  var x, y;
+  for (y = 0; y < H; y++) {
+    for (x = 0; x < W; x++) {
+      var xl = x > 0 ? height[y * W + x - 1] : height[y * W + x];
+      var xr = x < W - 1 ? height[y * W + x + 1] : height[y * W + x];
+      var yu = y > 0 ? height[(y - 1) * W + x] : height[y * W + x];
+      var yd = y < H - 1 ? height[(y + 1) * W + x] : height[y * W + x];
+      var nx = xl - xr;
+      var ny = yu - yd;
+      var nz = 2;
+      var len = Math.sqrt(nx * nx + ny * ny + nz * nz);
+      var o = (y * W + x) * 3;
+      normals[o] = nx / len;
+      normals[o + 1] = ny / len;
+      normals[o + 2] = nz / len;
+    }
+  }
+}
+
+function shade(lightX, lightY) {
+  var x, y;
+  for (y = 0; y < H; y++) {
+    for (x = 0; x < W; x++) {
+      var lx = lightX - x;
+      var ly = lightY - y;
+      var lz = 12;
+      var ll = Math.sqrt(lx * lx + ly * ly + lz * lz);
+      var o = (y * W + x) * 3;
+      var d = (normals[o] * lx + normals[o + 1] * ly + normals[o + 2] * lz) / ll;
+      var v = Math.max(0, d) * 255;
+      var po = (y * W + x) * 4;
+      out.data[po] = v * 0.9;
+      out.data[po + 1] = v * 0.8;
+      out.data[po + 2] = v;
+      out.data[po + 3] = 255;
+    }
+  }
+  ctx.putImageData(out, 0, 0);
+}
+
+var frame = 0;
+function animate() {
+  shade(W / 2 + Math.cos(frame * 0.7) * 8, H / 2 + Math.sin(frame * 0.7) * 6);
+  frame++;
+  if (frame < 3) {
+    requestAnimationFrame(animate);
+  } else {
+    console.log("normalmap: frames =", frame);
+  }
+}
+
+makeHeightMap();
+computeNormals();
+requestAnimationFrame(animate);

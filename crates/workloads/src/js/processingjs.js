@@ -1,0 +1,144 @@
+// processing.js — interactive spiral visual effect (Table 1: Visualization).
+// Mirrors processingjs.org's exhibition sketches: a particle system on a
+// spiral; per frame, several short loops update angle/radius/trail state
+// (instances very high, trips ~4, "easy/medium") and one loop renders via
+// canvas + a DOM counter ("medium/very hard" — the paper's third row).
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var PARTICLES = 24 * S;
+var TRAIL = 4;
+var canvas = document.getElementById("spiral-canvas");
+var ctx = canvas.getContext("2d");
+var hud = document.getElementById("hud");
+
+var particles = [];
+
+// Per-frame sketch setup: processing.js recomputes the transform matrix,
+// stroke state, and color model before touching any particle. This is
+// straight-line math (no loops) — the reason the paper's Table 2 shows
+// processing.js CPU-active far more than loop-time.
+var matrix = { a: 1, b: 0, c: 0, d: 1, e: 0, f: 0 };
+function computeFrameTransform(t) {
+  var angle = t * 0.02;
+  var sa = Math.sin(angle);
+  var ca = Math.cos(angle);
+  var zoom = 1 + 0.1 * Math.sin(t * 0.01);
+  matrix.a = ca * zoom;
+  matrix.b = sa * zoom;
+  matrix.c = -sa * zoom;
+  matrix.d = ca * zoom;
+  matrix.e = 45 - 45 * ca * zoom + 35 * sa * zoom;
+  matrix.f = 35 - 45 * sa * zoom - 35 * ca * zoom;
+  var h = (t * 3.7) % 360;
+  var sat = 0.6 + 0.4 * Math.cos(t * 0.05);
+  var lum = 0.5 + 0.1 * Math.sin(t * 0.03);
+  var c1 = lum + sat * Math.cos(h * 0.0174);
+  var c2 = lum + sat * Math.cos((h - 120) * 0.0174);
+  var c3 = lum + sat * Math.cos((h + 120) * 0.0174);
+  var gamma1 = Math.pow(Math.max(0, c1), 2.2);
+  var gamma2 = Math.pow(Math.max(0, c2), 2.2);
+  var gamma3 = Math.pow(Math.max(0, c3), 2.2);
+  var norm = Math.sqrt(gamma1 * gamma1 + gamma2 * gamma2 + gamma3 * gamma3 + 0.001);
+  var easing = 1 - Math.exp(-t * 0.1);
+  var wobble1 = Math.atan2(sa * easing, ca + 0.001);
+  var wobble2 = Math.atan2(ca * easing, sa + 0.001);
+  var blend = (wobble1 * 0.3 + wobble2 * 0.7) * norm;
+  return Math.abs(blend) + gamma1 / norm + gamma2 / norm + gamma3 / norm;
+}
+
+function setup() {
+  var i;
+  for (i = 0; i < PARTICLES; i++) {
+    particles.push({
+      angle: i * 0.3,
+      radius: 2 + (i % 9),
+      speed: 0.05 + (i % 5) * 0.01,
+      trail: [],
+      x: 0,
+      y: 0
+    });
+  }
+}
+
+// Update pass: one short loop per particle per frame (very many
+// instances, ~TRAIL trips each, like the paper's 54.6k × 4±37 rows).
+function updateParticle(p) {
+  p.angle += p.speed;
+  p.radius += 0.08;
+  if (p.radius > 34) {
+    p.radius = 2;
+  }
+  p.x = 45 + Math.cos(p.angle) * p.radius;
+  p.y = 35 + Math.sin(p.angle) * p.radius;
+  p.trail.push({ x: p.x, y: p.y });
+  if (p.trail.length > TRAIL) {
+    p.trail.shift();
+  }
+  var i;
+  var glow = 0;
+  for (i = 0; i < p.trail.length; i++) {
+    glow += p.trail[i].x * 0.01;
+  }
+  return glow;
+}
+
+function trailCentroid(p) {
+  var cx = 0;
+  var cy = 0;
+  var i;
+  for (i = 0; i < p.trail.length; i++) {
+    cx += p.trail[i].x;
+    cy += p.trail[i].y;
+  }
+  p.cx = cx / (p.trail.length + 0.0001);
+  p.cy = cy / (p.trail.length + 0.0001);
+}
+
+function drawParticle(p) {
+  var i;
+  ctx.beginPath();
+  for (i = 1; i < p.trail.length; i++) {
+    ctx.moveTo(p.trail[i - 1].x, p.trail[i - 1].y);
+    ctx.lineTo(p.trail[i].x, p.trail[i].y);
+  }
+  ctx.stroke();
+  if (p.radius < 3) {
+    hud.textContent = "respawn";
+  }
+}
+
+var frame = 0;
+var frameEnergy = 0;
+function drawFrame() {
+  var i;
+  // Straight-line per-frame setup dominates (see computeFrameTransform):
+  // call it repeatedly as processing.js does for each style push/pop.
+  frameEnergy += computeFrameTransform(frame);
+  frameEnergy += computeFrameTransform(frame + 0.125);
+  frameEnergy += computeFrameTransform(frame + 0.25);
+  frameEnergy += computeFrameTransform(frame + 0.375);
+  frameEnergy += computeFrameTransform(frame + 0.5);
+  frameEnergy += computeFrameTransform(frame + 0.625);
+  frameEnergy += computeFrameTransform(frame + 0.75);
+  frameEnergy += computeFrameTransform(frame + 0.875);
+  frameEnergy += computeFrameTransform(frame + 0.9375);
+  frameEnergy += computeFrameTransform(frame + 0.96875);
+  ctx.clearRect(0, 0, 90, 70);
+  for (i = 0; i < particles.length; i++) {
+    updateParticle(particles[i]);
+  }
+  for (i = 0; i < particles.length; i++) {
+    trailCentroid(particles[i]);
+  }
+  for (i = 0; i < particles.length; i++) {
+    drawParticle(particles[i]);
+  }
+  frame++;
+  if (frame < 20) {
+    requestAnimationFrame(drawFrame);
+  } else {
+    console.log("processing: frames =", frame, "particles =", particles.length);
+  }
+}
+
+setup();
+requestAnimationFrame(drawFrame);

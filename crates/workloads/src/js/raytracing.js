@@ -1,0 +1,115 @@
+// Realtime Raytracing — gist.github.com/jwagner/422755 (Table 1: Games).
+// A sphere-scene raytracer rendering into an ImageData buffer: per-pixel
+// primary rays with recursive reflections ("variable depth recursion" —
+// divergence yes), but every pixel writes its own slot — dependence
+// breaking "very easy", parallelization "easy", 98% of time in the loop.
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var W = 16 * S;
+var H = 12 * S;
+var canvas = document.getElementById("rt-canvas");
+var ctx = canvas.getContext("2d");
+var img = ctx.createImageData(W, H);
+
+var spheres = [
+  { cx: 0, cy: 0, cz: 6, r: 2, cr: 255, cg: 60, cb: 60, refl: 0.4 },
+  { cx: 2.5, cy: 1, cz: 8, r: 1.5, cr: 60, cg: 255, cb: 60, refl: 0.3 },
+  { cx: -2.5, cy: -1, cz: 7, r: 1, cr: 60, cg: 60, cb: 255, refl: 0.6 }
+];
+var light = { x: -5, y: 5, z: 0 };
+
+function intersect(ox, oy, oz, dx, dy, dz) {
+  var best = null;
+  var bestT = 1e9;
+  var i;
+  for (i = 0; i < spheres.length; i++) {
+    var s = spheres[i];
+    var lx = s.cx - ox;
+    var ly = s.cy - oy;
+    var lz = s.cz - oz;
+    var tca = lx * dx + ly * dy + lz * dz;
+    if (tca < 0) {
+      continue;
+    }
+    var d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    if (d2 > s.r * s.r) {
+      continue;
+    }
+    var thc = Math.sqrt(s.r * s.r - d2);
+    var t = tca - thc;
+    if (t > 0.001 && t < bestT) {
+      bestT = t;
+      best = s;
+    }
+  }
+  if (best === null) {
+    return null;
+  }
+  return { t: bestT, sphere: best };
+}
+
+function trace(ox, oy, oz, dx, dy, dz, depth) {
+  var hit = intersect(ox, oy, oz, dx, dy, dz);
+  if (hit === null) {
+    var sky = 40 + 30 * (dy + 1);
+    return [sky, sky, 90 + 40 * (dy + 1)];
+  }
+  var s = hit.sphere;
+  var px = ox + dx * hit.t;
+  var py = oy + dy * hit.t;
+  var pz = oz + dz * hit.t;
+  var nx = (px - s.cx) / s.r;
+  var ny = (py - s.cy) / s.r;
+  var nz = (pz - s.cz) / s.r;
+  var lx = light.x - px;
+  var ly = light.y - py;
+  var lz = light.z - pz;
+  var ll = Math.sqrt(lx * lx + ly * ly + lz * lz);
+  lx /= ll;
+  ly /= ll;
+  lz /= ll;
+  var diff = Math.max(0, nx * lx + ny * ly + nz * lz);
+  var shadow = intersect(px, py, pz, lx, ly, lz);
+  if (shadow !== null) {
+    diff *= 0.2;
+  }
+  var color = [s.cr * (0.15 + 0.85 * diff), s.cg * (0.15 + 0.85 * diff), s.cb * (0.15 + 0.85 * diff)];
+  if (depth < 3 && s.refl > 0) {
+    var dot = dx * nx + dy * ny + dz * nz;
+    var rx = dx - 2 * dot * nx;
+    var ry = dy - 2 * dot * ny;
+    var rz = dz - 2 * dot * nz;
+    var refl = trace(px, py, pz, rx, ry, rz, depth + 1);
+    color[0] = color[0] * (1 - s.refl) + refl[0] * s.refl;
+    color[1] = color[1] * (1 - s.refl) + refl[1] * s.refl;
+    color[2] = color[2] * (1 - s.refl) + refl[2] * s.refl;
+  }
+  return color;
+}
+
+var frame = 0;
+function render() {
+  var x, y;
+  for (y = 0; y < H; y++) {
+    for (x = 0; x < W; x++) {
+      var dx = (x - W / 2) / W;
+      var dy = (H / 2 - y) / H;
+      var dz = 1;
+      var len = Math.sqrt(dx * dx + dy * dy + 1);
+      var c = trace(0, 0, frame * 0.1, dx / len, dy / len, dz / len, 0);
+      var o = (y * W + x) * 4;
+      img.data[o] = Math.min(255, c[0]);
+      img.data[o + 1] = Math.min(255, c[1]);
+      img.data[o + 2] = Math.min(255, c[2]);
+      img.data[o + 3] = 255;
+    }
+  }
+  ctx.putImageData(img, 0, 0);
+  frame++;
+  if (frame < 4) {
+    requestAnimationFrame(render);
+  } else {
+    console.log("raytracing: frames =", frame);
+  }
+}
+
+requestAnimationFrame(render);

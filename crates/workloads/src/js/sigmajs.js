@@ -1,0 +1,114 @@
+// sigma.js — GEXF graph rendering (Table 1: Visualization).
+// Mirrors sigmajs.org: parse a graph, run a force-directed layout step per
+// frame (nodes read and write each other's positions — flow dependencies,
+// "very hard"), then draw nodes and edges, updating DOM labels. Two nests
+// dominate, both touching the DOM, as in the paper's rows (68% / 22%).
+var S = (typeof SCALE === "undefined") ? 1 : SCALE;
+var NODES = 24 * S;
+var canvas = document.getElementById("sigma-canvas");
+var ctx = canvas.getContext("2d");
+var labelEl = document.getElementById("sigma-label");
+
+var nodes = [];
+var edges = [];
+var layoutState = { energy: 0 };
+
+function parseGexf() {
+  // Stand-in for GEXF parsing: deterministic graph generation.
+  var i;
+  for (i = 0; i < NODES; i++) {
+    nodes.push({
+      id: i,
+      x: Math.cos(i * 0.7) * 30 + 40,
+      y: Math.sin(i * 0.7) * 25 + 35,
+      heat: 0,
+      degree: 0
+    });
+  }
+  for (i = 0; i < NODES; i++) {
+    var a = i;
+    var b = (i * 7 + 3) % NODES;
+    if (a !== b) {
+      edges.push({ source: a, target: b });
+      nodes[a].degree++;
+      nodes[b].degree++;
+    }
+  }
+}
+
+// Force Atlas-ish layout step with in-place (Gauss-Seidel) position
+// updates: each node reads the positions its predecessors just wrote and
+// immediately moves itself — the cross-iteration flow dependencies that
+// make the paper call this nest "very hard". The hub label is refreshed in
+// the same loop (the DOM access of Table 3).
+function layoutStep() {
+  var i, j;
+  for (i = 0; i < nodes.length; i++) {
+    var n = nodes[i];
+    var fx = 0;
+    var fy = 0;
+    for (j = 0; j < nodes.length; j++) {
+      if (i === j) {
+        continue;
+      }
+      var o = nodes[j];
+      var dx = n.x - o.x;
+      var dy = n.y - o.y;
+      var d2 = dx * dx + dy * dy + 0.01;
+      fx += dx / d2 * 8;
+      fy += dy / d2 * 8;
+    }
+    n.x = n.x + Math.max(-2, Math.min(2, fx));
+    n.y = n.y + Math.max(-2, Math.min(2, fy));
+    n.heat = (n.heat + Math.abs(fx) + Math.abs(fy)) / 2;
+    // Global annealing energy: read-modify-write every node — a third
+    // sequential chain through the layout loop.
+    layoutState.energy = (layoutState.energy * 0.95 + fx * fx + fy * fy) / (1 + n.heat * 0.01);
+    if (n.heat > 0.4 && n.degree >= 2) {
+      labelEl.textContent = "hub " + n.id;
+    }
+  }
+  for (i = 0; i < edges.length; i++) {
+    var e = edges[i];
+    var a = nodes[e.source];
+    var b = nodes[e.target];
+    var ax = (b.x - a.x) * 0.02;
+    var ay = (b.y - a.y) * 0.02;
+    a.x = a.x + ax;
+    a.y = a.y + ay;
+    b.x = b.x - ax;
+    b.y = b.y - ay;
+  }
+}
+
+// Draw pass: canvas + DOM label updates per node (the second nest).
+function draw() {
+  ctx.clearRect(0, 0, 90, 70);
+  var i;
+  ctx.beginPath();
+  for (i = 0; i < edges.length; i++) {
+    var e = edges[i];
+    ctx.moveTo(nodes[e.source].x, nodes[e.source].y);
+    ctx.lineTo(nodes[e.target].x, nodes[e.target].y);
+  }
+  ctx.stroke();
+  for (i = 0; i < nodes.length; i++) {
+    var n = nodes[i];
+    ctx.fillRect(n.x - 1, n.y - 1, 2, 2);
+  }
+}
+
+var frame = 0;
+function tick() {
+  layoutStep();
+  draw();
+  frame++;
+  if (frame < 6) {
+    requestAnimationFrame(tick);
+  } else {
+    console.log("sigma: frames =", frame, "nodes =", nodes.length, "edges =", edges.length);
+  }
+}
+
+parseGexf();
+requestAnimationFrame(tick);

@@ -1,0 +1,12 @@
+//! # ceres-workloads
+//!
+//! The paper's 12 case-study web applications (Table 1), re-implemented in
+//! the supported JavaScript subset with the same algorithmic structure as
+//! the originals, plus native Rust "twin" kernels (sequential + Rayon) used
+//! to demonstrate that the latent parallelism JS-CERES finds is actually
+//! exploitable (the Sec. 4.2 Amdahl discussion).
+
+pub mod native;
+pub mod registry;
+
+pub use registry::{all, by_slug, run_workload, PaperExpectation, Workload};

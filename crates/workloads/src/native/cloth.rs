@@ -1,0 +1,264 @@
+//! Cloth twin: Verlet integration + constraint relaxation.
+//!
+//! Table 3 rates the cloth nest "medium": the integration loop is
+//! embarrassingly parallel (each point owns its state), but constraint
+//! resolution writes *both* endpoints of every link, so naive
+//! parallelization races. The parallel variant shows the standard fix the
+//! "medium" rating implies: partition links into independent batches
+//! (graph coloring — here the structured red/black split of a grid cloth)
+//! and run each batch in parallel.
+
+use rayon::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+    pub px: f64,
+    pub py: f64,
+    pub pinned: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub a: usize,
+    pub b: usize,
+    pub rest: f64,
+    /// Color class for conflict-free parallel batches.
+    pub color: usize,
+}
+
+pub struct Cloth {
+    pub cols: usize,
+    pub rows: usize,
+    pub points: Vec<Point>,
+    pub links: Vec<Link>,
+}
+
+const SPACING: f64 = 6.0;
+const GRAVITY: f64 = 0.35;
+
+impl Cloth {
+    /// Grid cloth matching the JS workload's construction.
+    pub fn new(cols: usize, rows: usize) -> Cloth {
+        let mut points = Vec::new();
+        for y in 0..=rows {
+            for x in 0..=cols {
+                points.push(Point {
+                    x: x as f64 * SPACING + 20.0,
+                    y: y as f64 * SPACING + 5.0,
+                    px: x as f64 * SPACING + 20.0,
+                    py: y as f64 * SPACING + 5.0,
+                    pinned: y == 0 && x % 3 == 0,
+                });
+            }
+        }
+        let mut links = Vec::new();
+        for y in 0..=rows {
+            for x in 0..=cols {
+                let i = y * (cols + 1) + x;
+                if x < cols {
+                    // Horizontal links: even/odd column = colors 0/1.
+                    links.push(Link { a: i, b: i + 1, rest: SPACING, color: x % 2 });
+                }
+                if y < rows {
+                    // Vertical links: even/odd row = colors 2/3.
+                    links.push(Link { a: i, b: i + (cols + 1), rest: SPACING, color: 2 + y % 2 });
+                }
+            }
+        }
+        Cloth { cols, rows, points, links }
+    }
+
+    /// Verlet integration — the embarrassingly parallel phase.
+    pub fn integrate_seq(&mut self) {
+        for p in &mut self.points {
+            integrate_point(p);
+        }
+    }
+
+    pub fn integrate_par(&mut self) {
+        self.points.par_iter_mut().for_each(integrate_point);
+    }
+
+    /// Sequential constraint relaxation, matching the JS workload.
+    pub fn satisfy_seq(&mut self, iterations: usize) {
+        for _ in 0..iterations {
+            for l in &self.links {
+                satisfy_link(&mut self.points, l);
+            }
+        }
+    }
+
+    /// Parallel constraint relaxation by color batches: inside one batch no
+    /// two links share a point, so each link may update its endpoints
+    /// without synchronization. Note the *result differs* from the
+    /// sequential Gauss-Seidel order (colors run 0..=3 instead of source
+    /// order) — both orders converge to the same rest configuration; the
+    /// invariant tests below check convergence, not bit equality.
+    pub fn satisfy_par(&mut self, iterations: usize) {
+        // Index links by color once.
+        let by_color: Vec<Vec<usize>> = (0..4)
+            .map(|c| {
+                self.links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.color == c)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        for _ in 0..iterations {
+            for batch in &by_color {
+                // Compute corrections in parallel, then apply. Disjointness
+                // within a batch makes the applies conflict-free.
+                let corrections: Vec<(usize, usize, f64, f64, bool, bool)> = batch
+                    .par_iter()
+                    .map(|&li| {
+                        let l = &self.links[li];
+                        let a = &self.points[l.a];
+                        let b = &self.points[l.b];
+                        let dx = b.x - a.x;
+                        let dy = b.y - a.y;
+                        let dist = (dx * dx + dy * dy).sqrt();
+                        let diff = (l.rest - dist) / (dist + 1e-4) * 0.5;
+                        (l.a, l.b, dx * diff, dy * diff, a.pinned, b.pinned)
+                    })
+                    .collect();
+                for (a, b, ox, oy, a_pin, b_pin) in corrections {
+                    if !a_pin {
+                        self.points[a].x -= ox;
+                        self.points[a].y -= oy;
+                    }
+                    if !b_pin {
+                        self.points[b].x += ox;
+                        self.points[b].y += oy;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mean absolute deviation of link lengths from rest length.
+    pub fn strain(&self) -> f64 {
+        let total: f64 = self
+            .links
+            .iter()
+            .map(|l| {
+                let a = &self.points[l.a];
+                let b = &self.points[l.b];
+                let d = ((b.x - a.x).powi(2) + (b.y - a.y).powi(2)).sqrt();
+                (d - l.rest).abs()
+            })
+            .sum();
+        total / self.links.len() as f64
+    }
+}
+
+fn integrate_point(p: &mut Point) {
+    if p.pinned {
+        return;
+    }
+    let vx = (p.x - p.px) * 0.99;
+    let vy = (p.y - p.py) * 0.99;
+    p.px = p.x;
+    p.py = p.y;
+    p.x += vx;
+    p.y += vy + GRAVITY;
+}
+
+fn satisfy_link(points: &mut [Point], l: &Link) {
+    let (ax, ay) = (points[l.a].x, points[l.a].y);
+    let (bx, by) = (points[l.b].x, points[l.b].y);
+    let dx = bx - ax;
+    let dy = by - ay;
+    let dist = (dx * dx + dy * dy).sqrt();
+    let diff = (l.rest - dist) / (dist + 1e-4) * 0.5;
+    let (ox, oy) = (dx * diff, dy * diff);
+    if !points[l.a].pinned {
+        points[l.a].x -= ox;
+        points[l.a].y -= oy;
+    }
+    if !points[l.b].pinned {
+        points[l.b].x += ox;
+        points[l.b].y += oy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let cloth = Cloth::new(12, 8);
+        for c in 0..4 {
+            let mut seen = std::collections::HashSet::new();
+            for l in cloth.links.iter().filter(|l| l.color == c) {
+                assert!(seen.insert(l.a), "point {} shared within color {c}", l.a);
+                assert!(seen.insert(l.b), "point {} shared within color {c}", l.b);
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_par_matches_seq() {
+        let mut a = Cloth::new(12, 8);
+        let mut b = Cloth::new(12, 8);
+        a.integrate_seq();
+        b.integrate_par();
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn both_relaxations_reduce_strain() {
+        // Start from a uniformly stretched configuration (everything 1.4×
+        // away from the first point): relaxation must pull the links back
+        // toward rest length.
+        let stretched = || -> Cloth {
+            let mut cloth = Cloth::new(12, 8);
+            let (ox, oy) = (cloth.points[0].x, cloth.points[0].y);
+            for p in &mut cloth.points {
+                p.x = ox + (p.x - ox) * 1.4;
+                p.y = oy + (p.y - oy) * 1.4;
+                p.px = p.x;
+                p.py = p.y;
+            }
+            cloth
+        };
+        let mut seq = stretched();
+        let mut par = stretched();
+        let before = seq.strain();
+        assert!(before > 1.0, "stretched cloth starts strained: {before}");
+        seq.satisfy_seq(20);
+        par.satisfy_par(20);
+        let after_s = seq.strain();
+        let after_p = par.strain();
+        // Pinned points hold part of the stretch; halving is convergence.
+        assert!(after_s < before * 0.5, "seq relaxation converges: {before} -> {after_s}");
+        assert!(after_p < before * 0.5, "par relaxation converges: {before} -> {after_p}");
+        // Both orders approach the same rest configuration.
+        assert!((after_s - after_p).abs() < 0.2, "{after_s} vs {after_p}");
+    }
+
+    #[test]
+    fn pinned_points_never_move() {
+        let mut cloth = Cloth::new(6, 4);
+        let pinned: Vec<(usize, f64, f64)> = cloth
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.pinned)
+            .map(|(i, p)| (i, p.x, p.y))
+            .collect();
+        assert!(!pinned.is_empty());
+        for _ in 0..10 {
+            cloth.integrate_par();
+            cloth.satisfy_par(3);
+        }
+        for (i, x, y) in pinned {
+            assert_eq!(cloth.points[i].x, x);
+            assert_eq!(cloth.points[i].y, y);
+        }
+    }
+}

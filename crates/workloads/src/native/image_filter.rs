@@ -1,0 +1,174 @@
+//! CamanJS twin: per-pixel filter pipeline and a 3×3 box blur.
+//!
+//! The JS version's dominant nest writes `data[i..i+3]` disjointly per
+//! pixel — Table 3 "easy". Here the same pipeline runs over rows with
+//! `rayon::par_chunks_mut`, the textbook embarrassingly parallel image op.
+
+use rayon::prelude::*;
+
+/// RGBA image with deterministic gradient content (same pattern as the
+/// `ceres-dom` canvas, so JS and native operate on comparable inputs).
+#[derive(Clone)]
+pub struct Image {
+    pub width: usize,
+    pub height: usize,
+    pub data: Vec<u8>,
+}
+
+impl Image {
+    pub fn gradient(width: usize, height: usize) -> Image {
+        let mut data = vec![0u8; 4 * width * height];
+        for y in 0..height {
+            for x in 0..width {
+                let i = 4 * (y * width + x);
+                let checker = if (x / 8 + y / 8) % 2 == 0 { 40 } else { 0 };
+                data[i] = ((x * 255) / width.max(1)) as u8;
+                data[i + 1] = ((y * 255) / height.max(1)) as u8;
+                data[i + 2] = (((x + y) * 127) / (width + height).max(1)) as u8 + checker;
+                data[i + 3] = 255;
+            }
+        }
+        Image { width, height, data }
+    }
+
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &self.data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[inline]
+fn clamp(v: f32) -> u8 {
+    v.clamp(0.0, 255.0) as u8
+}
+
+/// The CamanJS filter chain on one pixel (brightness → contrast →
+/// saturation), matching the JS workload's parameters.
+#[inline]
+pub fn filter_pixel(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    // brightness(10)
+    let (r, g, b) = (r as f32 + 10.0, g as f32 + 10.0, b as f32 + 10.0);
+    // contrast(8)
+    let f2 = (1.08f32) * 1.08;
+    let c = |v: f32| (v / 255.0 - 0.5) * f2 * 255.0 + 127.5;
+    let (r, g, b) = (c(r), c(g), c(b));
+    // saturation(-20)
+    let max = r.max(g).max(b);
+    let mul = -0.01 * -20.0;
+    (clamp(r + (max - r) * mul), clamp(g + (max - g) * mul), clamp(b + (max - b) * mul))
+}
+
+/// Sequential filter pass.
+pub fn filter_seq(img: &mut Image) {
+    for px in img.data.chunks_exact_mut(4) {
+        let (r, g, b) = filter_pixel(px[0], px[1], px[2]);
+        px[0] = r;
+        px[1] = g;
+        px[2] = b;
+    }
+}
+
+/// Parallel filter pass (rows are independent).
+pub fn filter_par(img: &mut Image) {
+    let row = 4 * img.width;
+    img.data.par_chunks_mut(row).for_each(|row| {
+        for px in row.chunks_exact_mut(4) {
+            let (r, g, b) = filter_pixel(px[0], px[1], px[2]);
+            px[0] = r;
+            px[1] = g;
+            px[2] = b;
+        }
+    });
+}
+
+fn blur_row(src: &Image, y: usize, out_row: &mut [u8]) {
+    let w = src.width;
+    let h = src.height;
+    for x in 0..w {
+        for c in 0..3 {
+            if x == 0 || x == w - 1 || y == 0 || y == h - 1 {
+                out_row[4 * x + c] = src.data[4 * (y * w + x) + c];
+                continue;
+            }
+            let mut acc = 0u32;
+            for ky in -1i64..=1 {
+                for kx in -1i64..=1 {
+                    let yy = (y as i64 + ky) as usize;
+                    let xx = (x as i64 + kx) as usize;
+                    acc += src.data[4 * (yy * w + xx) + c] as u32;
+                }
+            }
+            out_row[4 * x + c] = (acc / 9) as u8;
+        }
+        out_row[4 * x + 3] = 255;
+    }
+}
+
+/// Sequential 3×3 box blur into a fresh buffer.
+pub fn blur_seq(src: &Image) -> Image {
+    let mut out = src.clone();
+    let row = 4 * src.width;
+    for y in 0..src.height {
+        let start = y * row;
+        blur_row(src, y, &mut out.data[start..start + row]);
+    }
+    out
+}
+
+/// Parallel 3×3 box blur (each output row computed independently).
+pub fn blur_par(src: &Image) -> Image {
+    let mut out = src.clone();
+    let row = 4 * src.width;
+    out.data
+        .par_chunks_mut(row)
+        .enumerate()
+        .for_each(|(y, out_row)| blur_row(src, y, out_row));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_par_matches_seq() {
+        let mut a = Image::gradient(64, 48);
+        let mut b = a.clone();
+        filter_seq(&mut a);
+        filter_par(&mut b);
+        assert_eq!(a.data, b.data);
+        // And actually changed the image.
+        assert_ne!(a.checksum(), Image::gradient(64, 48).checksum());
+    }
+
+    #[test]
+    fn blur_par_matches_seq() {
+        let img = Image::gradient(64, 48);
+        let a = blur_seq(&img);
+        let b = blur_par(&img);
+        assert_eq!(a.data, b.data);
+        // Interior smoothed: a mid pixel equals the mean of its block.
+        let w = img.width;
+        let i = 4 * (10 * w + 10);
+        let mut acc = 0u32;
+        for ky in 9..=11usize {
+            for kx in 9..=11usize {
+                acc += img.data[4 * (ky * w + kx)] as u32;
+            }
+        }
+        assert_eq!(a.data[i], (acc / 9) as u8);
+    }
+
+    #[test]
+    fn gradient_matches_dom_canvas() {
+        // The native gradient and the ceres-dom canvas gradient are the
+        // same pattern, so cross-substrate comparisons are meaningful.
+        let native = Image::gradient(16, 16);
+        let canvas = ceres_dom::CanvasState::new(16, 16);
+        assert_eq!(native.data, canvas.borrow().pixels);
+    }
+}

@@ -1,0 +1,24 @@
+//! Native Rust twins of the parallelizable case-study kernels.
+//!
+//! JS-CERES can only *find* latent data parallelism; these kernels
+//! demonstrate it is really there. Each kernel exists in a sequential and a
+//! Rayon data-parallel variant with identical (or reduction-order-tolerant)
+//! results, mirroring the loop nests Table 3 rates "easy"/"very easy":
+//!
+//! * [`image_filter`] — CamanJS's per-pixel filter pipeline + convolution;
+//! * [`fluid`] — fluidSim's Jacobi linear solver sweep;
+//! * [`raytrace`] — the per-pixel raytracer (divergence and all);
+//! * [`normal_map`] — the normal-mapping shading pass;
+//! * [`cloth`] — Verlet integration (parallel) with sequential constraint
+//!   relaxation (the "medium" row: constraints conflict on shared points);
+//! * [`nbody`] — Fig. 6's example with its dependencies *broken*: `p`
+//!   privatized and the center-of-mass turned into a parallel reduction.
+//!
+//! The Criterion bench `kernels` measures sequential vs parallel walltime.
+
+pub mod cloth;
+pub mod fluid;
+pub mod image_filter;
+pub mod nbody;
+pub mod normal_map;
+pub mod raytrace;

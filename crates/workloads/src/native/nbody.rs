@@ -1,0 +1,206 @@
+//! Fig. 6's N-body step with its dependencies broken.
+//!
+//! The paper's worked example flags three access classes in the `for` loop:
+//! the shared `p` (function-scoped var), the per-particle property writes,
+//! and the flow-dependent center-of-mass accumulation. The parallel variant
+//! shows exactly how each is broken:
+//!
+//! * `p` → privatized (each parallel iteration owns its particle borrow);
+//! * `p.vX`/`p.x` writes → already disjoint per particle (`par_iter_mut`);
+//! * `com` → a parallel **reduction** with an associative combine.
+//!
+//! The sequential and parallel versions agree to floating-point reduction
+//! tolerance.
+
+use rayon::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Particle {
+    pub x: f64,
+    pub y: f64,
+    pub vx: f64,
+    pub vy: f64,
+    pub fx: f64,
+    pub fy: f64,
+    pub m: f64,
+}
+
+/// Weighted center of mass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Com {
+    pub x: f64,
+    pub y: f64,
+    pub m: f64,
+}
+
+impl Com {
+    fn add(self, p: &Particle) -> Com {
+        let m = self.m + p.m;
+        Com {
+            x: (self.x * self.m + p.x * p.m) / m,
+            y: (self.y * self.m + p.y * p.m) / m,
+            m,
+        }
+    }
+
+    /// Associative combine for the parallel reduction.
+    fn merge(self, other: Com) -> Com {
+        let m = self.m + other.m;
+        if m == 0.0 {
+            return Com::default();
+        }
+        Com {
+            x: (self.x * self.m + other.x * other.m) / m,
+            y: (self.y * self.m + other.y * other.m) / m,
+            m,
+        }
+    }
+}
+
+/// Deterministic particle cloud.
+pub fn make_bodies(n: usize) -> Vec<Particle> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * 0.61803398875;
+            Particle {
+                x: a.cos() * 10.0,
+                y: a.sin() * 10.0,
+                vx: 0.0,
+                vy: 0.0,
+                fx: a.cos(),
+                fy: a.sin(),
+                m: 1.0 + (i % 5) as f64 * 0.25,
+            }
+        })
+        .collect()
+}
+
+const DT: f64 = 0.01;
+
+fn integrate(p: &mut Particle) {
+    p.vx += p.fx / p.m * DT;
+    p.vy += p.fy / p.m * DT;
+    p.x += p.vx * DT;
+    p.y += p.vy * DT;
+}
+
+/// The paper's sequential `step()` (Fig. 6, lines 6–21).
+pub fn step_seq(bodies: &mut [Particle]) -> Com {
+    let mut com = Com::default();
+    for p in bodies.iter_mut() {
+        integrate(p);
+        com = com.add(p);
+    }
+    com
+}
+
+/// The dependence-broken parallel step.
+pub fn step_par(bodies: &mut [Particle]) -> Com {
+    bodies
+        .par_iter_mut()
+        .map(|p| {
+            integrate(p);
+            Com { x: p.x, y: p.y, m: p.m }
+        })
+        .reduce(Com::default, Com::merge)
+}
+
+/// All-pairs force computation (the `computeForces()` of Fig. 6), O(n²):
+/// the compute-heavy phase the parallel version wins on.
+pub fn compute_forces_seq(bodies: &mut [Particle]) {
+    let snapshot: Vec<(f64, f64, f64)> = bodies.iter().map(|p| (p.x, p.y, p.m)).collect();
+    for (i, p) in bodies.iter_mut().enumerate() {
+        let (mut fx, mut fy) = (0.0, 0.0);
+        for (j, &(x, y, m)) in snapshot.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dx = x - p.x;
+            let dy = y - p.y;
+            let d2 = dx * dx + dy * dy + 0.01;
+            let inv = m / (d2 * d2.sqrt());
+            fx += dx * inv;
+            fy += dy * inv;
+        }
+        p.fx = fx;
+        p.fy = fy;
+    }
+}
+
+/// Parallel all-pairs forces (reads a position snapshot, writes own slot).
+pub fn compute_forces_par(bodies: &mut [Particle]) {
+    let snapshot: Vec<(f64, f64, f64)> = bodies.iter().map(|p| (p.x, p.y, p.m)).collect();
+    bodies.par_iter_mut().enumerate().for_each(|(i, p)| {
+        let (mut fx, mut fy) = (0.0, 0.0);
+        for (j, &(x, y, m)) in snapshot.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dx = x - p.x;
+            let dy = y - p.y;
+            let d2 = dx * dx + dy * dy + 0.01;
+            let inv = m / (d2 * d2.sqrt());
+            fx += dx * inv;
+            fy += dy * inv;
+        }
+        p.fx = fx;
+        p.fy = fy;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_step_matches_sequential() {
+        let mut a = make_bodies(256);
+        let mut b = a.clone();
+        let com_a = step_seq(&mut a);
+        let com_b = step_par(&mut b);
+        assert_eq!(a, b, "particle state must match exactly");
+        // The com reduction reassociates: tolerate float noise.
+        assert!((com_a.x - com_b.x).abs() < 1e-9, "{} vs {}", com_a.x, com_b.x);
+        assert!((com_a.y - com_b.y).abs() < 1e-9);
+        assert!((com_a.m - com_b.m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_forces_match_sequential() {
+        let mut a = make_bodies(128);
+        let mut b = a.clone();
+        compute_forces_seq(&mut a);
+        compute_forces_par(&mut b);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pa.fx - pb.fx).abs() < 1e-12);
+            assert!((pa.fy - pb.fy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn com_merge_is_mass_weighted() {
+        let a = Com { x: 0.0, y: 0.0, m: 1.0 };
+        let b = Com { x: 10.0, y: 0.0, m: 3.0 };
+        let m = a.merge(b);
+        assert!((m.x - 7.5).abs() < 1e-12);
+        assert_eq!(m.m, 4.0);
+        // Merge with nothing.
+        assert_eq!(Com::default().merge(Com::default()), Com::default());
+    }
+
+    #[test]
+    fn multi_step_trajectories_stay_in_sync() {
+        let mut a = make_bodies(64);
+        let mut b = a.clone();
+        for _ in 0..10 {
+            compute_forces_seq(&mut a);
+            step_seq(&mut a);
+            compute_forces_par(&mut b);
+            step_par(&mut b);
+        }
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pa.x - pb.x).abs() < 1e-9);
+            assert!((pa.y - pb.y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Normal-mapping twin: height map → normals → per-pixel shading.
+//!
+//! Table 3: "very easy / easy", 99% of time in loops — both passes write
+//! each output element exactly once.
+
+use rayon::prelude::*;
+
+/// Deterministic height field, same formula as the JS workload.
+pub fn height_map(w: usize, h: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            out[y * w + x] = ((x as f32 * 0.5).sin() * 8.0)
+                + ((y as f32 * 0.4).cos() * 6.0)
+                + (((x + y) as f32 * 0.2).sin() * 4.0);
+        }
+    }
+    out
+}
+
+fn normal_at(height: &[f32], w: usize, h: usize, x: usize, y: usize) -> [f32; 3] {
+    let at = |xx: usize, yy: usize| height[yy * w + xx];
+    let xl = if x > 0 { at(x - 1, y) } else { at(x, y) };
+    let xr = if x < w - 1 { at(x + 1, y) } else { at(x, y) };
+    let yu = if y > 0 { at(x, y - 1) } else { at(x, y) };
+    let yd = if y < h - 1 { at(x, y + 1) } else { at(x, y) };
+    let n = [xl - xr, yu - yd, 2.0];
+    let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+    [n[0] / len, n[1] / len, n[2] / len]
+}
+
+/// Sequential normals pass.
+pub fn normals_seq(height: &[f32], w: usize, h: usize) -> Vec<[f32; 3]> {
+    let mut out = vec![[0.0; 3]; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            out[y * w + x] = normal_at(height, w, h, x, y);
+        }
+    }
+    out
+}
+
+/// Parallel normals pass.
+pub fn normals_par(height: &[f32], w: usize, h: usize) -> Vec<[f32; 3]> {
+    let mut out = vec![[0.0; 3]; w * h];
+    out.par_chunks_mut(w).enumerate().for_each(|(y, row)| {
+        for (x, slot) in row.iter_mut().enumerate() {
+            *slot = normal_at(height, w, h, x, y);
+        }
+    });
+    out
+}
+
+fn shade_pixel(n: [f32; 3], x: usize, y: usize, lx: f32, ly: f32) -> [u8; 3] {
+    let l = [lx - x as f32, ly - y as f32, 12.0];
+    let ll = (l[0] * l[0] + l[1] * l[1] + l[2] * l[2]).sqrt();
+    let d = ((n[0] * l[0] + n[1] * l[1] + n[2] * l[2]) / ll).max(0.0);
+    let v = d * 255.0;
+    [(v * 0.9) as u8, (v * 0.8) as u8, v as u8]
+}
+
+/// Sequential shading pass.
+pub fn shade_seq(normals: &[[f32; 3]], w: usize, h: usize, lx: f32, ly: f32) -> Vec<u8> {
+    let mut out = vec![0u8; 3 * w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let p = shade_pixel(normals[y * w + x], x, y, lx, ly);
+            out[3 * (y * w + x)..3 * (y * w + x) + 3].copy_from_slice(&p);
+        }
+    }
+    out
+}
+
+/// Parallel shading pass.
+pub fn shade_par(normals: &[[f32; 3]], w: usize, h: usize, lx: f32, ly: f32) -> Vec<u8> {
+    let mut out = vec![0u8; 3 * w * h];
+    out.par_chunks_mut(3 * w).enumerate().for_each(|(y, row)| {
+        for x in 0..w {
+            let p = shade_pixel(normals[y * w + x], x, y, lx, ly);
+            row[3 * x..3 * x + 3].copy_from_slice(&p);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (w, h) = (96, 64);
+        let hm = height_map(w, h);
+        let na = normals_seq(&hm, w, h);
+        let nb = normals_par(&hm, w, h);
+        assert_eq!(na, nb);
+        let sa = shade_seq(&na, w, h, 20.0, 20.0);
+        let sb = shade_par(&nb, w, h, 20.0, 20.0);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn normals_are_unit_length_and_upward() {
+        let (w, h) = (32, 32);
+        let hm = height_map(w, h);
+        for n in normals_seq(&hm, w, h) {
+            let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+            assert!((len - 1.0).abs() < 1e-5);
+            assert!(n[2] > 0.0);
+        }
+    }
+
+    #[test]
+    fn light_position_moves_highlights() {
+        let (w, h) = (32, 32);
+        let hm = height_map(w, h);
+        let n = normals_seq(&hm, w, h);
+        let left = shade_seq(&n, w, h, 0.0, 16.0);
+        let right = shade_seq(&n, w, h, 31.0, 16.0);
+        assert_ne!(left, right);
+    }
+}

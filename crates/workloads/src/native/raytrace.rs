@@ -1,0 +1,140 @@
+//! Raytracer twin: per-pixel rays with recursive reflections.
+//!
+//! Table 3: "very easy" dependencies (each pixel writes its own slot),
+//! divergence "yes" (variable-depth recursion) — which Rayon's work
+//! stealing absorbs, unlike SIMD. The scene matches the JS workload.
+
+use rayon::prelude::*;
+
+#[derive(Clone, Copy)]
+pub struct Sphere {
+    pub c: [f64; 3],
+    pub r: f64,
+    pub color: [f64; 3],
+    pub refl: f64,
+}
+
+/// The JS workload's scene.
+pub fn scene() -> Vec<Sphere> {
+    vec![
+        Sphere { c: [0.0, 0.0, 6.0], r: 2.0, color: [255.0, 60.0, 60.0], refl: 0.4 },
+        Sphere { c: [2.5, 1.0, 8.0], r: 1.5, color: [60.0, 255.0, 60.0], refl: 0.3 },
+        Sphere { c: [-2.5, -1.0, 7.0], r: 1.0, color: [60.0, 60.0, 255.0], refl: 0.6 },
+    ]
+}
+
+const LIGHT: [f64; 3] = [-5.0, 5.0, 0.0];
+
+fn intersect(spheres: &[Sphere], o: [f64; 3], d: [f64; 3]) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for (idx, s) in spheres.iter().enumerate() {
+        let l = [s.c[0] - o[0], s.c[1] - o[1], s.c[2] - o[2]];
+        let tca = l[0] * d[0] + l[1] * d[1] + l[2] * d[2];
+        if tca < 0.0 {
+            continue;
+        }
+        let d2 = l[0] * l[0] + l[1] * l[1] + l[2] * l[2] - tca * tca;
+        if d2 > s.r * s.r {
+            continue;
+        }
+        let thc = (s.r * s.r - d2).sqrt();
+        let t = tca - thc;
+        if t > 0.001 && best.map(|(bt, _)| t < bt).unwrap_or(true) {
+            best = Some((t, idx));
+        }
+    }
+    best
+}
+
+fn trace(spheres: &[Sphere], o: [f64; 3], d: [f64; 3], depth: u32) -> [f64; 3] {
+    let Some((t, idx)) = intersect(spheres, o, d) else {
+        let sky = 40.0 + 30.0 * (d[1] + 1.0);
+        return [sky, sky, 90.0 + 40.0 * (d[1] + 1.0)];
+    };
+    let s = spheres[idx];
+    let p = [o[0] + d[0] * t, o[1] + d[1] * t, o[2] + d[2] * t];
+    let n = [(p[0] - s.c[0]) / s.r, (p[1] - s.c[1]) / s.r, (p[2] - s.c[2]) / s.r];
+    let mut l = [LIGHT[0] - p[0], LIGHT[1] - p[1], LIGHT[2] - p[2]];
+    let ll = (l[0] * l[0] + l[1] * l[1] + l[2] * l[2]).sqrt();
+    l = [l[0] / ll, l[1] / ll, l[2] / ll];
+    let mut diff = (n[0] * l[0] + n[1] * l[1] + n[2] * l[2]).max(0.0);
+    if intersect(spheres, p, l).is_some() {
+        diff *= 0.2;
+    }
+    let shade = 0.15 + 0.85 * diff;
+    let mut color = [s.color[0] * shade, s.color[1] * shade, s.color[2] * shade];
+    if depth < 3 && s.refl > 0.0 {
+        let dot = d[0] * n[0] + d[1] * n[1] + d[2] * n[2];
+        let r = [d[0] - 2.0 * dot * n[0], d[1] - 2.0 * dot * n[1], d[2] - 2.0 * dot * n[2]];
+        let refl = trace(spheres, p, r, depth + 1);
+        for c in 0..3 {
+            color[c] = color[c] * (1.0 - s.refl) + refl[c] * s.refl;
+        }
+    }
+    color
+}
+
+fn pixel(spheres: &[Sphere], w: usize, h: usize, x: usize, y: usize) -> [u8; 3] {
+    let dx = (x as f64 - w as f64 / 2.0) / w as f64;
+    let dy = (h as f64 / 2.0 - y as f64) / h as f64;
+    let len = (dx * dx + dy * dy + 1.0).sqrt();
+    let c = trace(spheres, [0.0, 0.0, 0.0], [dx / len, dy / len, 1.0 / len], 0);
+    [c[0].min(255.0) as u8, c[1].min(255.0) as u8, c[2].min(255.0) as u8]
+}
+
+/// Sequential render into an RGB buffer.
+pub fn render_seq(spheres: &[Sphere], w: usize, h: usize) -> Vec<u8> {
+    let mut out = vec![0u8; 3 * w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let p = pixel(spheres, w, h, x, y);
+            out[3 * (y * w + x)..3 * (y * w + x) + 3].copy_from_slice(&p);
+        }
+    }
+    out
+}
+
+/// Parallel render (rows independent).
+pub fn render_par(spheres: &[Sphere], w: usize, h: usize) -> Vec<u8> {
+    let mut out = vec![0u8; 3 * w * h];
+    out.par_chunks_mut(3 * w).enumerate().for_each(|(y, row)| {
+        for x in 0..w {
+            let p = pixel(spheres, w, h, x, y);
+            row[3 * x..3 * x + 3].copy_from_slice(&p);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let s = scene();
+        assert_eq!(render_seq(&s, 64, 48), render_par(&s, 64, 48));
+    }
+
+    #[test]
+    fn image_has_spheres_and_sky() {
+        let s = scene();
+        let img = render_seq(&s, 64, 48);
+        // Center pixel hits the big red sphere.
+        let c = 3 * (24 * 64 + 32);
+        assert!(img[c] > img[c + 2], "center should be red-dominant: {:?}", &img[c..c + 3]);
+        // Top corner is sky (blue-dominant).
+        assert!(img[2] > img[0], "corner should be sky: {:?}", &img[0..3]);
+    }
+
+    #[test]
+    fn reflections_change_the_image() {
+        let mut matte = scene();
+        for s in &mut matte {
+            s.refl = 0.0;
+        }
+        let with = render_seq(&scene(), 32, 24);
+        let without = render_seq(&matte, 32, 24);
+        assert_ne!(with, without);
+    }
+}

@@ -1,0 +1,436 @@
+//! The 12 case-study workloads (paper Table 1) and the driver that runs
+//! them through the JS-CERES pipeline.
+//!
+//! Each [`Workload`] carries its JavaScript source (written in-repo against
+//! the supported subset, implementing the same algorithm class as the
+//! original app), an *interaction script* standing in for the user
+//! exercising the app (Fig. 5, step 4), and the paper's published Table 3
+//! expectations for shape comparison in EXPERIMENTS.md.
+
+use ceres_core::pipeline::{analyze, AnalyzeOptions, AppRun, Document, WebServer};
+use ceres_core::{Difficulty, Mode};
+use ceres_dom::DomHandle;
+use ceres_interp::{Interp, JsResult, TICKS_PER_MS};
+
+/// Idle pause lengths used by interaction scripts, in virtual milliseconds.
+const THINK_SHORT: u64 = 30;
+const THINK_LONG: u64 = 400;
+
+/// How the paper rated an application's dominant loop nests.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperExpectation {
+    /// Table 2: is the app compute-intensive (CPU active a large share)?
+    pub compute_intensive: bool,
+    /// Table 2: is a large part of the computation in loops?
+    pub loop_heavy: bool,
+    /// Table 3: does the dominant nest touch the DOM/Canvas?
+    pub dom_in_top_nest: bool,
+    /// Table 3: parallelization difficulty of the dominant nest.
+    pub parallelization: Difficulty,
+    /// Sec. 4.2: counted among the 5 apps with Amdahl bound > 3×?
+    pub amdahl_over_3x: bool,
+}
+
+/// One case-study application.
+pub struct Workload {
+    /// Display name, as in Table 1.
+    pub name: &'static str,
+    /// Short identifier for files/CLI.
+    pub slug: &'static str,
+    /// Original URL (Table 1).
+    pub url: &'static str,
+    /// Trend category (Table 1).
+    pub category: &'static str,
+    /// One-line description (Table 1).
+    pub description: &'static str,
+    /// The JavaScript implementation.
+    pub source: &'static str,
+    /// User-interaction script.
+    pub interaction: fn(&mut Interp, &DomHandle) -> JsResult<()>,
+    /// Published ratings to compare against.
+    pub expected: PaperExpectation,
+}
+
+fn idle(interp: &mut Interp, ms: u64) {
+    interp.clock.advance_idle(ms * TICKS_PER_MS);
+}
+
+fn dispatch_n(
+    interp: &mut Interp,
+    dom: &DomHandle,
+    id: &str,
+    ev: &str,
+    n: usize,
+    props: impl Fn(usize) -> Vec<(&'static str, f64)>,
+) -> JsResult<()> {
+    for k in 0..n {
+        let p = props(k);
+        dom.dispatch(interp, id, ev, &p)?;
+        // Drain timers the handler scheduled before the next user action.
+        interp.run_events(1000)?;
+        idle(interp, THINK_SHORT);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Interaction scripts
+// ---------------------------------------------------------------------
+
+fn interact_batch(interp: &mut Interp, _dom: &DomHandle) -> JsResult<()> {
+    // Load-time compute apps: the user just looks at the result a while.
+    idle(interp, THINK_LONG);
+    Ok(())
+}
+
+fn interact_animation(interp: &mut Interp, _dom: &DomHandle) -> JsResult<()> {
+    // Frame chain is already queued via requestAnimationFrame; let it run,
+    // then linger.
+    interp.run_events(10_000)?;
+    idle(interp, THINK_LONG);
+    Ok(())
+}
+
+fn interact_caman(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
+    for _ in 0..3 {
+        dom.dispatch(interp, "window", "filters", &[])?;
+        interp.run_events(1000)?;
+        idle(interp, THINK_LONG);
+    }
+    Ok(())
+}
+
+fn interact_harmony(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
+    // Two strokes of a dozen points each, slow hand (mostly idle time).
+    for stroke in 0..2 {
+        dispatch_n(interp, dom, "harmony-canvas", "pointermove", 12, |k| {
+            vec![
+                ("x", 10.0 + 3.0 * k as f64 + 20.0 * stroke as f64),
+                ("y", 12.0 + ((k * 7) % 11) as f64),
+            ]
+        })?;
+        dom.dispatch(interp, "harmony-canvas", "pointerup", &[])?;
+        idle(interp, THINK_LONG * 2);
+    }
+    Ok(())
+}
+
+fn interact_ace(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
+    // A typing burst: 20 keystrokes on various lines, slow typist.
+    for k in 0..20 {
+        dom.dispatch(interp, "window", "keydown", &[("line", (k * 5 % 24) as f64)])?;
+        interp.run_events(100)?;
+        idle(interp, 120);
+    }
+    dom.dispatch(interp, "window", "report", &[])?;
+    idle(interp, THINK_LONG * 3);
+    Ok(())
+}
+
+fn interact_myscript(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
+    // Write three characters: short strokes, long pauses (the recognizer
+    // round-trip happens server-side in the real app).
+    for c in 0..3 {
+        dispatch_n(interp, dom, "ink-pad", "pointermove", 5, |k| {
+            vec![("x", (c * 10 + k * 2) as f64), ("y", (8 + (k % 3) * 3) as f64)]
+        })?;
+        dom.dispatch(interp, "ink-pad", "pointerup", &[])?;
+        idle(interp, THINK_LONG * 2);
+    }
+    dom.dispatch(interp, "window", "report", &[])?;
+    Ok(())
+}
+
+fn interact_d3(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
+    // Drag the globe a few times.
+    for k in 0..6 {
+        dom.dispatch(
+            interp,
+            "window",
+            "drag",
+            &[("dx", 5.0 + k as f64), ("dy", 2.0)],
+        )?;
+        interp.run_events(100)?;
+        idle(interp, THINK_LONG / 2);
+    }
+    dom.dispatch(interp, "window", "report", &[])?;
+    idle(interp, THINK_LONG);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The registry (Table 1)
+// ---------------------------------------------------------------------
+
+/// All 12 workloads, in the paper's Table 1 order.
+pub fn all() -> Vec<Workload> {
+    use Difficulty::*;
+    vec![
+        Workload {
+            name: "HAAR.js",
+            slug: "haar",
+            url: "github.com/foo123/HAAR.js",
+            category: "User recognition",
+            description: "face recognition (Viola-Jones)",
+            source: include_str!("js/haar.js"),
+            interaction: interact_batch,
+            // Note: the paper's HAAR run spent little time in syntactic
+            // loops (Table 2: 0.44 s of 8 s); our implementation drives the
+            // cascade from loops, so it is loop-heavy here. The Table 3
+            // ratings (medium, divergence through tree recursion) carry
+            // over. See EXPERIMENTS.md.
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Medium,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "Tear-able Cloth",
+            slug: "cloth",
+            url: "lonely-pixel.com/lab/cloth",
+            category: "Games",
+            description: "cloth physics simulation (Verlet integration)",
+            source: include_str!("js/cloth.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Medium,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "CamanJS",
+            slug: "camanjs",
+            url: "camanjs.com",
+            category: "Audio and Video",
+            description: "image manipulation library",
+            source: include_str!("js/camanjs.js"),
+            interaction: interact_caman,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Easy,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "fluidSim",
+            slug: "fluidsim",
+            url: "nerget.com/fluidSim",
+            category: "Games",
+            description: "fluid dynamics simulation (Navier-Stokes)",
+            source: include_str!("js/fluidsim.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Easy,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "Harmony",
+            slug: "harmony",
+            url: "mrdoob.com/projects/harmony",
+            category: "Audio and Video",
+            description: "drawing application",
+            source: include_str!("js/harmony.js"),
+            interaction: interact_harmony,
+            expected: PaperExpectation {
+                compute_intensive: false,
+                loop_heavy: false,
+                dom_in_top_nest: true,
+                parallelization: VeryHard,
+                amdahl_over_3x: false,
+            },
+        },
+        Workload {
+            name: "Ace",
+            slug: "ace",
+            url: "ace.c9.io",
+            category: "Productivity",
+            description: "code editor used by the Cloud9 IDE",
+            source: include_str!("js/ace.js"),
+            interaction: interact_ace,
+            expected: PaperExpectation {
+                compute_intensive: false,
+                loop_heavy: false,
+                dom_in_top_nest: true,
+                parallelization: VeryHard,
+                amdahl_over_3x: false,
+            },
+        },
+        Workload {
+            name: "MyScript",
+            slug: "myscript",
+            url: "webdemo.visionobjects.com",
+            category: "User recognition",
+            description: "handwriting recognition application",
+            source: include_str!("js/myscript.js"),
+            interaction: interact_myscript,
+            expected: PaperExpectation {
+                compute_intensive: false,
+                loop_heavy: false,
+                dom_in_top_nest: true,
+                parallelization: VeryHard,
+                amdahl_over_3x: false,
+            },
+        },
+        Workload {
+            name: "Realtime Raytracing",
+            slug: "raytracing",
+            url: "gist.github.com/jwagner/422755",
+            category: "Games",
+            description: "real-time raytracing demo",
+            source: include_str!("js/raytracing.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Easy,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "Normal Mapping",
+            slug: "normalmap",
+            url: "29a.ch/experiments",
+            category: "Games",
+            description: "normal mapping",
+            source: include_str!("js/normalmap.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: false,
+                parallelization: Easy,
+                amdahl_over_3x: true,
+            },
+        },
+        Workload {
+            name: "sigma.js",
+            slug: "sigmajs",
+            url: "sigmajs.org",
+            category: "Visualization",
+            description: "GEXF rendering",
+            source: include_str!("js/sigmajs.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: true,
+                parallelization: VeryHard,
+                amdahl_over_3x: false,
+            },
+        },
+        Workload {
+            name: "processing.js",
+            slug: "processingjs",
+            url: "processingjs.org",
+            category: "Visualization",
+            description: "interactive spiral visual effect",
+            source: include_str!("js/processingjs.js"),
+            interaction: interact_animation,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: false,
+                dom_in_top_nest: false,
+                parallelization: Medium,
+                amdahl_over_3x: false,
+            },
+        },
+        Workload {
+            name: "D3.js",
+            slug: "d3js",
+            url: "d3js.org",
+            category: "Visualization",
+            description: "interactive azimuthal projection map",
+            source: include_str!("js/d3js.js"),
+            interaction: interact_d3,
+            expected: PaperExpectation {
+                compute_intensive: true,
+                loop_heavy: true,
+                dom_in_top_nest: true,
+                parallelization: Hard,
+                amdahl_over_3x: false,
+            },
+        },
+    ]
+}
+
+/// Look up a workload by slug.
+pub fn by_slug(slug: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.slug == slug)
+}
+
+/// Run one workload through the pipeline at the given mode and scale
+/// (`scale` multiplies problem sizes via the `SCALE` global; 1 = test size).
+pub fn run_workload(w: &Workload, mode: Mode, scale: u32) -> Result<AppRun, ceres_interp::Control> {
+    let mut server = WebServer::new();
+    // Serve as an HTML page with the script inline, exercising the proxy's
+    // HTML path end to end.
+    let html = format!(
+        "<html><body><canvas id=\"main-canvas\"></canvas>\n<script>\nvar SCALE = {scale};\n{}\n</script></body></html>",
+        w.source
+    );
+    server.publish("index.html", Document::Html(html));
+    let interaction = w.interaction;
+    analyze(
+        &server,
+        "index.html",
+        AnalyzeOptions { mode, seed: 2015, ..Default::default() },
+        Box::new(interaction),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        let ws = all();
+        assert_eq!(ws.len(), 12, "Table 1 lists 12 applications");
+        let categories: std::collections::HashSet<_> =
+            ws.iter().map(|w| w.category).collect();
+        for c in ["Games", "Visualization", "User recognition", "Audio and Video", "Productivity"]
+        {
+            assert!(categories.contains(c), "missing category {c}");
+        }
+        // Slugs unique.
+        let slugs: std::collections::HashSet<_> = ws.iter().map(|w| w.slug).collect();
+        assert_eq!(slugs.len(), 12);
+        assert!(by_slug("raytracing").is_some());
+        assert!(by_slug("nope").is_none());
+    }
+
+    #[test]
+    fn all_workloads_parse_in_the_subset() {
+        for w in all() {
+            ceres_parser::parse_program(w.source)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", w.slug));
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_uninstrumented() {
+        for w in all() {
+            let run = run_workload(&w, Mode::Lightweight, 1)
+                .unwrap_or_else(|e| panic!("{} failed: {e:?}", w.slug));
+            assert!(
+                !run.console.is_empty(),
+                "{} produced no output (did its completion log run?)",
+                w.slug
+            );
+            assert!(run.total_ms > 0.0, "{}", w.slug);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: the native Rayon kernel twins agree with their
+//! sequential counterparts on arbitrary problem sizes — the "breaking the
+//! dependencies did not change the program" guarantee behind the Sec. 4.2
+//! speedup claims.
+
+use ceres_workloads::native::{fluid, image_filter, nbody, normal_map, raytrace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn image_filter_par_matches_seq(w in 1usize..96, h in 1usize..64) {
+        let img = image_filter::Image::gradient(w, h);
+        let mut a = img.clone();
+        let mut b = img;
+        image_filter::filter_seq(&mut a);
+        image_filter::filter_par(&mut b);
+        prop_assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn blur_par_matches_seq(w in 3usize..64, h in 3usize..48) {
+        let img = image_filter::Image::gradient(w, h);
+        prop_assert_eq!(
+            image_filter::blur_seq(&img).data,
+            image_filter::blur_par(&img).data
+        );
+    }
+
+    #[test]
+    fn fluid_par_matches_seq(n in 2usize..48, iters in 1usize..12) {
+        let x0 = fluid::Grid::seeded(n);
+        let mut a = x0.clone();
+        let mut b = x0.clone();
+        fluid::lin_solve_seq(&mut a, &x0, 1.0, 4.0, iters);
+        fluid::lin_solve_par(&mut b, &x0, 1.0, 4.0, iters);
+        prop_assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn raytrace_par_matches_seq(w in 1usize..64, h in 1usize..48) {
+        let s = raytrace::scene();
+        prop_assert_eq!(raytrace::render_seq(&s, w, h), raytrace::render_par(&s, w, h));
+    }
+
+    #[test]
+    fn normal_map_par_matches_seq(w in 2usize..64, h in 2usize..48, lx in 0f32..64.0, ly in 0f32..48.0) {
+        let hm = normal_map::height_map(w, h);
+        let na = normal_map::normals_seq(&hm, w, h);
+        let nb = normal_map::normals_par(&hm, w, h);
+        prop_assert_eq!(&na, &nb);
+        prop_assert_eq!(
+            normal_map::shade_seq(&na, w, h, lx, ly),
+            normal_map::shade_par(&nb, w, h, lx, ly)
+        );
+    }
+
+    #[test]
+    fn nbody_par_matches_seq(n in 1usize..256, steps in 1usize..6) {
+        let mut a = nbody::make_bodies(n);
+        let mut b = a.clone();
+        let mut com_a = nbody::Com::default();
+        let mut com_b = nbody::Com::default();
+        for _ in 0..steps {
+            nbody::compute_forces_seq(&mut a);
+            com_a = nbody::step_seq(&mut a);
+            nbody::compute_forces_par(&mut b);
+            com_b = nbody::step_par(&mut b);
+        }
+        for (pa, pb) in a.iter().zip(&b) {
+            prop_assert!((pa.x - pb.x).abs() < 1e-9);
+            prop_assert!((pa.y - pb.y).abs() < 1e-9);
+            prop_assert!((pa.vx - pb.vx).abs() < 1e-9);
+        }
+        prop_assert!((com_a.x - com_b.x).abs() < 1e-7);
+        prop_assert!((com_a.m - com_b.m).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,48 @@
+// The paper's Fig. 6 N-body example, completed with setup so it runs:
+// the step() function updates velocities/positions and accumulates a live
+// center of mass — the loop at "for (var i = 0 ..." carries the three
+// warning classes the paper walks through.
+var dT = 0.01;
+var bodies = [];
+var setup;
+for (setup = 0; setup < 8; setup++) {
+  bodies.push({ x: setup, y: -setup, vX: 0, vY: 0, fX: 1, fY: 0.5, m: 1 + setup % 3 });
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function computeForces() {
+  var i;
+  for (i = 0; i < bodies.length; i++) {
+    bodies[i].fX = Math.sin(i) * 0.5;
+    bodies[i].fY = Math.cos(i) * 0.5;
+  }
+}
+function step() {
+  computeForces();
+  var com = new Particle();
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+
+    // update velocity
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+
+    // update position
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+
+    // update center of mass
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  return com;
+}
+function display(bodies, com) {
+  console.log("com", com.x.toFixed(3), com.y.toFixed(3));
+}
+var steps = 0;
+while (steps < 3) {
+  var com = step();
+  display(bodies, com);
+  steps++;
+}

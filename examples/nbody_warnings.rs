@@ -1,0 +1,52 @@
+//! The paper's Fig. 6 worked example, end to end.
+//!
+//! ```text
+//! cargo run -p ceres-examples --bin nbody_warnings
+//! ```
+//!
+//! Runs the N-body step under dependence instrumentation and prints the
+//! three warning classes with their `ok`/`dependence` characterizations —
+//! the `p`, property-write, and `com` flow-read warnings the paper walks
+//! through, e.g. `while(line 44) ok ok -> for(line 22) ok dependence`.
+
+use ceres_core::engine::run_instrumented;
+use ceres_core::{render, Mode, WarningKind};
+
+fn main() {
+    let src = include_str!("js/nbody.js");
+    println!("-- Fig. 6 source (excerpt) --");
+    for (i, line) in src.lines().enumerate() {
+        if (13..=44).contains(&(i + 1)) {
+            println!("{:>3}  {line}", i + 1);
+        }
+    }
+
+    let (interp, engine) = run_instrumented(src, Mode::Dependence, 2015).expect("nbody");
+    println!("\n-- program output --");
+    for line in &interp.console {
+        println!("{line}");
+    }
+
+    let engine = engine.borrow();
+    println!("\n-- warnings for the step() loop --");
+    for (kind, title) in [
+        (WarningKind::VarWrite, "(a) writes to variables declared outside the iteration"),
+        (WarningKind::SharedPropWrite, "(b) writes to properties of shared objects"),
+        (WarningKind::FlowRead, "(c) reads of properties written in another iteration"),
+    ] {
+        println!("{title}:");
+        for w in engine.warnings.iter().filter(|w| w.kind == kind) {
+            println!(
+                "  `{}`{}: {}",
+                w.subject,
+                w.op.as_deref().map(|o| format!(" (via {o})")).unwrap_or_default(),
+                render(&w.characterization, &engine.loops)
+            );
+        }
+    }
+
+    println!("\nCompare with the paper: the write to `p` and the property");
+    println!("writes/reads on `com` are all characterized");
+    println!("`while ok ok -> for ok dependence` — each while-iteration has");
+    println!("a private version, but all for-iterations share it.");
+}

@@ -1,0 +1,68 @@
+//! Latent parallelism, cashed in: the Fig. 6 N-body example from JS-CERES
+//! warning to measured Rayon speedup.
+//!
+//! ```text
+//! cargo run --release -p ceres-examples --bin parallel_speedup
+//! ```
+//!
+//! 1. run the JS N-body under dependence analysis — the warnings say the
+//!    particle updates are per-iteration private but `com` carries a flow
+//!    dependence;
+//! 2. break the dependencies the way the warnings suggest (privatize,
+//!    reduce);
+//! 3. measure sequential vs parallel native twins.
+
+use ceres_core::engine::run_instrumented;
+use ceres_core::{Mode, WarningKind};
+use ceres_workloads::native::nbody;
+use std::time::Instant;
+
+fn main() {
+    // --- 1. what does JS-CERES say? ---
+    let src = include_str!("js/nbody.js");
+    let (_interp, engine) = run_instrumented(src, Mode::Dependence, 2015).expect("nbody");
+    let engine = engine.borrow();
+    let flows: Vec<&str> = engine
+        .warnings
+        .iter()
+        .filter(|w| w.kind == WarningKind::FlowRead)
+        .map(|w| w.subject.as_str())
+        .collect();
+    println!("JS-CERES flow dependencies in the step loop: {flows:?}");
+    println!("→ `com.*` must become a reduction; `p.*` writes are disjoint.\n");
+
+    // --- 2 & 3. the dependence-broken native twin, measured ---
+    let n = 4096;
+    let steps = 5;
+    println!("native N-body, {n} bodies × {steps} steps (O(n²) forces):");
+
+    let bench = |parallel: bool| -> (f64, nbody::Com) {
+        let mut bodies = nbody::make_bodies(n);
+        let start = Instant::now();
+        let mut com = nbody::Com::default();
+        for _ in 0..steps {
+            if parallel {
+                nbody::compute_forces_par(&mut bodies);
+                com = nbody::step_par(&mut bodies);
+            } else {
+                nbody::compute_forces_seq(&mut bodies);
+                com = nbody::step_seq(&mut bodies);
+            }
+        }
+        (start.elapsed().as_secs_f64() * 1e3, com)
+    };
+
+    // Warm up the Rayon pool.
+    bench(true);
+    let (seq_ms, seq_com) = bench(false);
+    let (par_ms, par_com) = bench(true);
+
+    println!("  sequential: {seq_ms:>8.2} ms   com = ({:.4}, {:.4})", seq_com.x, seq_com.y);
+    println!("  parallel:   {par_ms:>8.2} ms   com = ({:.4}, {:.4})", par_com.x, par_com.y);
+    println!("  speedup:    {:>8.2}x on {} threads", seq_ms / par_ms, rayon::current_num_threads());
+    assert!((seq_com.x - par_com.x).abs() < 1e-6, "reduction must agree");
+
+    println!("\nThe dependence JS-CERES reported (`com` flow) did not block");
+    println!("parallelization — it named exactly the value needing a");
+    println!("reduction, as Sec. 5.3 anticipates for tool builders.");
+}

@@ -1,0 +1,67 @@
+//! Regenerate the survey half of the paper (Figures 1–4 plus the
+//! methodology numbers quoted in Sec. 2).
+//!
+//! ```text
+//! cargo run -p ceres-examples --bin survey_report
+//! ```
+
+use ceres_survey as survey;
+
+fn main() {
+    let pop = survey::generate(2015);
+    println!("{} respondents (seeded synthetic population, paper marginals)\n", pop.len());
+
+    // Fig. 1 with the coding methodology on display.
+    let coder = survey::Coder::primary();
+    let (rows, no_answer) = survey::fig1(&pop, &coder);
+    println!("Figure 1 — future web application categories:");
+    for r in &rows {
+        println!("  {:<52} {:>3} ({:>2.0}%) {}", r.category.label(), r.count, r.pct,
+            survey::bar(r.pct, 24));
+    }
+    println!("  {:<52} {:>3}", "no answer / no valid data", no_answer);
+    let answers: Vec<&str> = pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+    let sample: Vec<&str> = answers.iter().step_by(5).copied().collect();
+    println!(
+        "  inter-rater agreement on a 20% sample (Jaccard): {:.0}%\n",
+        100.0 * survey::agreement(&coder, &survey::Coder::secondary(), &sample)
+    );
+
+    println!("Figure 2 — perceived bottlenecks (% calling it a bottleneck):");
+    for row in survey::fig2(&pop) {
+        println!(
+            "  {:<28} {:>3.0}% {}",
+            row.component.label(),
+            row.bottleneck_pct(),
+            survey::bar(row.bottleneck_pct(), 24)
+        );
+    }
+
+    let f3 = survey::fig3(&pop);
+    println!("\nFigure 3 — functional(1) .. imperative(5) ({} answers):", f3.total());
+    for v in 1..=5u8 {
+        println!("  {v}: {:>3.0}% {}", f3.pct(v), survey::bar(f3.pct(v), 24));
+    }
+
+    let f4 = survey::fig4(&pop);
+    println!("\nFigure 4 — monomorphic(1) .. polymorphic(5) ({} answers):", f4.total());
+    for v in 1..=5u8 {
+        println!("  {v}: {:>3.0}% {}", f4.pct(v), survey::bar(f4.pct(v), 24));
+    }
+
+    // The Sec. 2.3/2.4 headline numbers.
+    let ops_yes = pop.iter().filter(|r| r.prefers_operators == Some(true)).count();
+    let ops_all = pop.iter().filter(|r| r.prefers_operators.is_some()).count();
+    let globals = pop.iter().filter(|r| r.global_var_usage.is_some()).count();
+    println!("\nheadlines:");
+    println!(
+        "  {:.0}% of {} respondents prefer high-level array operators (paper: 74%)",
+        100.0 * ops_yes as f64 / ops_all as f64,
+        ops_all
+    );
+    println!("  {globals} described a global-variable scenario (paper: 105)");
+    println!(
+        "  {:.0}% report purely monomorphic variables (paper: 58%)",
+        f4.pct(1)
+    );
+}

@@ -1,0 +1,161 @@
+//! Failure injection: the analysis engine must stay consistent when the
+//! analyzed program throws, overruns its budget, recurses, or exercises
+//! unusual control flow — the situations a real proxy-based tool meets on
+//! arbitrary web content.
+
+use ceres_core::engine::{attach_engine, run_instrumented};
+use ceres_core::Mode;
+use ceres_interp::{Control, Interp};
+
+#[test]
+fn uncaught_throw_inside_loop_unwinds_analysis_stack() {
+    let src = "var i;\n\
+               for (i = 0; i < 100; i++) {\n\
+                 if (i === 7) { throw new Error(\"boom\"); }\n\
+               }";
+    let (instrumented, loops) =
+        ceres_instrument::instrument_source(src, Mode::Dependence).unwrap();
+    let mut interp = Interp::new(1);
+    ceres_dom::install_dom(&mut interp);
+    let engine = attach_engine(&mut interp, Mode::Dependence, loops);
+    let r = interp.eval_source(&instrumented);
+    assert!(matches!(r, Err(Control::Throw(_))), "{r:?}");
+    // The try/finally wrappers ran the exit hooks during unwinding.
+    let eng = engine.borrow();
+    assert_eq!(eng.open_loops(), 0, "loop stack must unwind on throw");
+    let rec = eng.records.values().next().expect("loop recorded");
+    assert_eq!(rec.instances, 1);
+    assert_eq!(rec.trips.mean(), 8.0); // iterations 1..=8 entered
+}
+
+#[test]
+fn caught_throw_keeps_profiling_consistent() {
+    let (interp, engine) = run_instrumented(
+        "var caught = 0;\n\
+         var i;\n\
+         for (i = 0; i < 10; i++) {\n\
+           try {\n\
+             if (i % 3 === 0) { throw i; }\n\
+           } catch (e) {\n\
+             caught++;\n\
+           }\n\
+         }\n\
+         console.log(caught);",
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
+    assert_eq!(interp.console, vec!["4"]); // i = 0,3,6,9
+    let eng = engine.borrow();
+    assert_eq!(eng.open_loops(), 0);
+    let rec = eng.records.values().next().unwrap();
+    assert_eq!(rec.trips.mean(), 10.0);
+}
+
+#[test]
+fn tick_budget_abort_mid_loop_is_fatal_not_catchable() {
+    let src = "var spin = 0;\n\
+               try {\n\
+                 while (true) { spin++; }\n\
+               } catch (e) {\n\
+                 console.log(\"caught?!\");\n\
+               }";
+    let (instrumented, loops) =
+        ceres_instrument::instrument_source(src, Mode::LoopProfile).unwrap();
+    let mut interp = Interp::new(1);
+    interp.max_ticks = Some(50_000);
+    let engine = attach_engine(&mut interp, Mode::LoopProfile, loops);
+    let r = interp.eval_source(&instrumented);
+    assert!(matches!(r, Err(Control::Fatal(_))), "{r:?}");
+    assert!(interp.console.is_empty(), "budget abort must not be catchable");
+    // Engine state still inspectable: the loop was entered once and never
+    // cleanly exited (the abort is deliberately not maskable by finally).
+    let eng = engine.borrow();
+    assert!(eng.open_loops() <= 1);
+}
+
+#[test]
+fn deep_recursion_in_analyzed_code_is_contained() {
+    let (interp, engine) = run_instrumented(
+        "function dive(n) { return n <= 0 ? 0 : 1 + dive(n - 1); }\n\
+         var depth = \"?\";\n\
+         try {\n\
+           depth = dive(100000);\n\
+         } catch (e) {\n\
+           depth = \"overflow:\" + e.name;\n\
+         }\n\
+         console.log(depth);",
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
+    assert_eq!(interp.console, vec!["overflow:RangeError"]);
+    assert_eq!(engine.borrow().open_loops(), 0);
+}
+
+#[test]
+fn loop_recursion_taints_but_does_not_crash() {
+    // A loop whose body re-enters itself through a function call: the
+    // paper's "recursive function calls may make the stack grow
+    // indefinitely. JS-CERES detects this, raises a warning, and discards
+    // the analysis results for the affected loop nest."
+    let (interp, engine) = run_instrumented(
+        "var total = 0;\n\
+         function walk(depth) {\n\
+           var i;\n\
+           for (i = 0; i < 2; i++) {\n\
+             total++;\n\
+             if (depth > 0) { walk(depth - 1); }\n\
+           }\n\
+         }\n\
+         walk(4);\n\
+         console.log(total);",
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
+    assert_eq!(interp.console, vec!["62"]); // 2*(1+2+4+8+16) = 62
+    let eng = engine.borrow();
+    assert_eq!(eng.open_loops(), 0);
+    assert!(eng.records.values().any(|r| r.recursion_tainted));
+    assert!(eng
+        .warnings
+        .iter()
+        .any(|w| w.kind == ceres_core::WarningKind::Recursion));
+}
+
+#[test]
+fn empty_and_degenerate_programs() {
+    for src in ["", ";", "var x;", "// just a comment\n"] {
+        let (interp, engine) = run_instrumented(src, Mode::Dependence, 1)
+            .unwrap_or_else(|e| panic!("{src:?}: {e:?}"));
+        assert!(interp.console.is_empty());
+        let eng = engine.borrow();
+        assert!(eng.warnings.is_empty());
+        assert!(eng.records.is_empty());
+    }
+    // Zero-trip loops record an instance with zero trips.
+    let (_interp, engine) =
+        run_instrumented("for (var i = 0; i < 0; i++) { }", Mode::LoopProfile, 1).unwrap();
+    let eng = engine.borrow();
+    let rec = eng.records.values().next().unwrap();
+    assert_eq!(rec.instances, 1);
+    assert_eq!(rec.trips.mean(), 0.0);
+}
+
+#[test]
+fn parse_errors_surface_cleanly_through_the_pipeline() {
+    let mut server = ceres_core::WebServer::new();
+    server.publish("bad.js", ceres_core::Document::Js("var = 1;".to_string()));
+    let r = ceres_core::analyze(
+        &server,
+        "bad.js",
+        ceres_core::AnalyzeOptions::default(),
+        Box::new(|_, _| Ok(())),
+    );
+    match r {
+        Err(Control::Fatal(msg)) => assert!(msg.contains("parse error"), "{msg}"),
+        Err(other) => panic!("expected fatal parse error, got {other:?}"),
+        Ok(_) => panic!("expected fatal parse error, got a successful run"),
+    }
+}

