@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// Identifier for a *syntactic* loop, unique within a program.
 ///
 /// `LoopId(0)` means "not yet assigned".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct LoopId(pub u32);
 
 impl LoopId {
@@ -61,7 +63,10 @@ impl Stmt {
 
     /// A synthesized statement (no source location).
     pub fn synth(kind: StmtKind) -> Self {
-        Stmt { kind, span: Span::SYNTHETIC }
+        Stmt {
+            kind,
+            span: Span::SYNTHETIC,
+        }
     }
 }
 
@@ -172,10 +177,7 @@ pub enum StmtKind {
         finally: Option<Vec<Stmt>>,
     },
     /// `switch (d) { case a: ... default: ... }`
-    Switch {
-        disc: Expr,
-        cases: Vec<SwitchCase>,
-    },
+    Switch { disc: Expr, cases: Vec<SwitchCase> },
     /// `;`
     Empty,
 }
@@ -212,7 +214,10 @@ impl Expr {
 
     /// A synthesized expression (no source location).
     pub fn synth(kind: ExprKind) -> Self {
-        Expr { kind, span: Span::SYNTHETIC }
+        Expr {
+            kind,
+            span: Span::SYNTHETIC,
+        }
     }
 
     /// True when this expression is a valid assignment target.
@@ -276,21 +281,21 @@ pub enum BinaryOp {
     Mul,
     Div,
     Rem,
-    Eq,      // ==
-    NotEq,   // !=
+    Eq,          // ==
+    NotEq,       // !=
     StrictEq,    // ===
     StrictNotEq, // !==
     Lt,
     LtEq,
     Gt,
     GtEq,
-    Shl,     // <<
-    Shr,     // >>
-    UShr,    // >>>
+    Shl,  // <<
+    Shr,  // >>
+    UShr, // >>>
     BitAnd,
     BitOr,
     BitXor,
-    In,          // key in obj
+    In, // key in obj
     InstanceOf,
 }
 
@@ -446,15 +451,9 @@ pub enum ExprKind {
     /// `{ a: 1, "b": 2 }`.
     Object(Vec<(PropKey, Expr)>),
     /// `function (a) { ... }` (optionally named).
-    Func {
-        name: Option<String>,
-        func: Func,
-    },
+    Func { name: Option<String>, func: Func },
     /// Prefix unary operator.
-    Unary {
-        op: UnaryOp,
-        expr: Box<Expr>,
-    },
+    Unary { op: UnaryOp, expr: Box<Expr> },
     /// `++x`, `x--`, ...
     Update {
         op: UpdateOp,
@@ -486,25 +485,13 @@ pub enum ExprKind {
         alt: Box<Expr>,
     },
     /// `f(a, b)`.
-    Call {
-        callee: Box<Expr>,
-        args: Vec<Expr>,
-    },
+    Call { callee: Box<Expr>, args: Vec<Expr> },
     /// `new F(a, b)`.
-    New {
-        callee: Box<Expr>,
-        args: Vec<Expr>,
-    },
+    New { callee: Box<Expr>, args: Vec<Expr> },
     /// `obj.prop`.
-    Member {
-        object: Box<Expr>,
-        prop: String,
-    },
+    Member { object: Box<Expr>, prop: String },
     /// `obj[e]`.
-    Index {
-        object: Box<Expr>,
-        index: Box<Expr>,
-    },
+    Index { object: Box<Expr>, index: Box<Expr> },
     /// `a, b, c` (comma expression).
     Seq(Vec<Expr>),
 }
@@ -516,7 +503,11 @@ pub fn number_to_string(n: f64) -> String {
         return "NaN".to_string();
     }
     if n.is_infinite() {
-        return if n > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+        return if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        };
     }
     if n == 0.0 {
         // JS prints both zeros as "0".

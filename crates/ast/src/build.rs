@@ -23,22 +23,34 @@ pub fn str_lit(s: &str) -> Expr {
 
 /// `callee(args...)` where `callee` is a bare identifier.
 pub fn call(callee: &str, args: Vec<Expr>) -> Expr {
-    Expr::synth(ExprKind::Call { callee: Box::new(ident(callee)), args })
+    Expr::synth(ExprKind::Call {
+        callee: Box::new(ident(callee)),
+        args,
+    })
 }
 
 /// `callee(args...)` for an arbitrary callee expression.
 pub fn call_expr(callee: Expr, args: Vec<Expr>) -> Expr {
-    Expr::synth(ExprKind::Call { callee: Box::new(callee), args })
+    Expr::synth(ExprKind::Call {
+        callee: Box::new(callee),
+        args,
+    })
 }
 
 /// `object.prop`
 pub fn member(object: Expr, prop: &str) -> Expr {
-    Expr::synth(ExprKind::Member { object: Box::new(object), prop: prop.to_string() })
+    Expr::synth(ExprKind::Member {
+        object: Box::new(object),
+        prop: prop.to_string(),
+    })
 }
 
 /// `object[index]`
 pub fn index(object: Expr, idx: Expr) -> Expr {
-    Expr::synth(ExprKind::Index { object: Box::new(object), index: Box::new(idx) })
+    Expr::synth(ExprKind::Index {
+        object: Box::new(object),
+        index: Box::new(idx),
+    })
 }
 
 /// `target = value`
@@ -76,7 +88,11 @@ pub fn var_decl(name: &str, init: Option<Expr>) -> Stmt {
 
 /// `try { body } finally { fin }`
 pub fn try_finally(body: Vec<Stmt>, fin: Vec<Stmt>) -> Stmt {
-    Stmt::synth(StmtKind::Try { block: body, catch: None, finally: Some(fin) })
+    Stmt::synth(StmtKind::Try {
+        block: body,
+        catch: None,
+        finally: Some(fin),
+    })
 }
 
 #[cfg(test)]
@@ -103,7 +119,10 @@ mod tests {
 
     #[test]
     fn index_and_seq() {
-        let e = seq(vec![assign(ident("t"), ident("o")), index(ident("t"), num(0.0))]);
+        let e = seq(vec![
+            assign(ident("t"), ident("o")),
+            index(ident("t"), num(0.0)),
+        ]);
         assert_eq!(expr_to_source(&e), "t = o, t[0]");
     }
 

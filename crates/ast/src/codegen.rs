@@ -66,8 +66,12 @@ fn prec(e: &Expr) -> u8 {
         ExprKind::Seq(_) => 1,
         ExprKind::Assign { .. } => 2,
         ExprKind::Cond { .. } => 3,
-        ExprKind::Logical { op: LogicalOp::Or, .. } => 4,
-        ExprKind::Logical { op: LogicalOp::And, .. } => 5,
+        ExprKind::Logical {
+            op: LogicalOp::Or, ..
+        } => 4,
+        ExprKind::Logical {
+            op: LogicalOp::And, ..
+        } => 5,
         ExprKind::Binary { op, .. } => 5 + op.precedence(),
         ExprKind::Unary { .. } => 16,
         ExprKind::Update { prefix: true, .. } => 16,
@@ -86,15 +90,18 @@ fn prec(e: &Expr) -> u8 {
 fn starts_ambiguously(e: &Expr) -> bool {
     match &e.kind {
         ExprKind::Func { .. } | ExprKind::Object(_) => true,
-        ExprKind::Binary { left, .. }
-        | ExprKind::Logical { left, .. } => starts_ambiguously(left),
+        ExprKind::Binary { left, .. } | ExprKind::Logical { left, .. } => starts_ambiguously(left),
         ExprKind::Assign { target, .. } => starts_ambiguously(target),
         ExprKind::Cond { cond, .. } => starts_ambiguously(cond),
         ExprKind::Call { callee, .. } => starts_ambiguously(callee),
         ExprKind::Member { object, .. } | ExprKind::Index { object, .. } => {
             starts_ambiguously(object)
         }
-        ExprKind::Update { prefix: false, target, .. } => starts_ambiguously(target),
+        ExprKind::Update {
+            prefix: false,
+            target,
+            ..
+        } => starts_ambiguously(target),
         ExprKind::Seq(exprs) => exprs.first().map(starts_ambiguously).unwrap_or(false),
         _ => false,
     }
@@ -102,7 +109,10 @@ fn starts_ambiguously(e: &Expr) -> bool {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self) {
@@ -207,7 +217,13 @@ impl Printer {
                 self.expr(cond, 0);
                 self.word(");");
             }
-            StmtKind::For { init, cond, update, body, .. } => {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 self.word("for (");
                 match init {
                     Some(ForInit::VarDecl(decls)) => self.var_declarators(decls),
@@ -225,7 +241,13 @@ impl Printer {
                 self.word(") ");
                 self.body(body);
             }
-            StmtKind::ForIn { decl, var, object, body, .. } => {
+            StmtKind::ForIn {
+                decl,
+                var,
+                object,
+                body,
+                ..
+            } => {
                 self.word("for (");
                 if *decl {
                     self.word("var ");
@@ -244,7 +266,11 @@ impl Printer {
                 self.expr(e, 0);
                 self.word(";");
             }
-            StmtKind::Try { block, catch, finally } => {
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
                 self.word("try ");
                 self.block(block);
                 if let Some(c) = catch {
@@ -379,10 +405,9 @@ impl Printer {
                 match op {
                     UnaryOp::TypeOf | UnaryOp::Void | UnaryOp::Delete => self.word(" "),
                     // `- -x` and `+ +x` need a separating space.
-                    UnaryOp::Neg | UnaryOp::Plus
-                        if unary_leads_with_sign(expr, *op) => {
-                            self.word(" ");
-                        }
+                    UnaryOp::Neg | UnaryOp::Plus if unary_leads_with_sign(expr, *op) => {
+                        self.word(" ");
+                    }
                     _ => {}
                 }
                 self.expr(expr, 16);
@@ -507,10 +532,34 @@ impl Printer {
 /// together (e.g. `--x` instead of `- -x`)?
 fn unary_leads_with_sign(inner: &Expr, op: UnaryOp) -> bool {
     match (&inner.kind, op) {
-        (ExprKind::Unary { op: UnaryOp::Neg, .. }, UnaryOp::Neg) => true,
-        (ExprKind::Unary { op: UnaryOp::Plus, .. }, UnaryOp::Plus) => true,
-        (ExprKind::Update { op: UpdateOp::Dec, prefix: true, .. }, UnaryOp::Neg) => true,
-        (ExprKind::Update { op: UpdateOp::Inc, prefix: true, .. }, UnaryOp::Plus) => true,
+        (
+            ExprKind::Unary {
+                op: UnaryOp::Neg, ..
+            },
+            UnaryOp::Neg,
+        ) => true,
+        (
+            ExprKind::Unary {
+                op: UnaryOp::Plus, ..
+            },
+            UnaryOp::Plus,
+        ) => true,
+        (
+            ExprKind::Update {
+                op: UpdateOp::Dec,
+                prefix: true,
+                ..
+            },
+            UnaryOp::Neg,
+        ) => true,
+        (
+            ExprKind::Update {
+                op: UpdateOp::Inc,
+                prefix: true,
+                ..
+            },
+            UnaryOp::Plus,
+        ) => true,
         (ExprKind::Num(n), UnaryOp::Neg) if *n < 0.0 => true,
         _ => false,
     }
@@ -540,25 +589,45 @@ mod tests {
     }
 
     fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
-        Expr::synth(ExprKind::Binary { op, left: Box::new(l), right: Box::new(r) })
+        Expr::synth(ExprKind::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        })
     }
 
     #[test]
     fn binary_parenthesization() {
         // (a + b) * c needs parens; a + b * c does not.
-        let e = bin(BinaryOp::Mul, bin(BinaryOp::Add, ident("a"), ident("b")), ident("c"));
+        let e = bin(
+            BinaryOp::Mul,
+            bin(BinaryOp::Add, ident("a"), ident("b")),
+            ident("c"),
+        );
         assert_eq!(expr_to_source(&e), "(a + b) * c");
-        let e = bin(BinaryOp::Add, ident("a"), bin(BinaryOp::Mul, ident("b"), ident("c")));
+        let e = bin(
+            BinaryOp::Add,
+            ident("a"),
+            bin(BinaryOp::Mul, ident("b"), ident("c")),
+        );
         assert_eq!(expr_to_source(&e), "a + b * c");
     }
 
     #[test]
     fn left_associativity_forces_right_parens() {
         // a - (b - c)
-        let e = bin(BinaryOp::Sub, ident("a"), bin(BinaryOp::Sub, ident("b"), ident("c")));
+        let e = bin(
+            BinaryOp::Sub,
+            ident("a"),
+            bin(BinaryOp::Sub, ident("b"), ident("c")),
+        );
         assert_eq!(expr_to_source(&e), "a - (b - c)");
         // (a - b) - c prints without parens
-        let e = bin(BinaryOp::Sub, bin(BinaryOp::Sub, ident("a"), ident("b")), ident("c"));
+        let e = bin(
+            BinaryOp::Sub,
+            bin(BinaryOp::Sub, ident("a"), ident("b")),
+            ident("c"),
+        );
         assert_eq!(expr_to_source(&e), "a - b - c");
     }
 
@@ -607,9 +676,16 @@ mod tests {
     fn statement_level_function_and_object_parenthesized() {
         let f = Expr::synth(ExprKind::Func {
             name: None,
-            func: Func { params: vec![], body: vec![], span: crate::span::Span::SYNTHETIC },
+            func: Func {
+                params: vec![],
+                body: vec![],
+                span: crate::span::Span::SYNTHETIC,
+            },
         });
-        let call = Expr::synth(ExprKind::Call { callee: Box::new(f), args: vec![] });
+        let call = Expr::synth(ExprKind::Call {
+            callee: Box::new(f),
+            args: vec![],
+        });
         let s = Stmt::synth(StmtKind::Expr(call));
         let src = stmt_to_source(&s);
         assert!(src.starts_with("(function"), "got: {src}");
@@ -617,17 +693,29 @@ mod tests {
 
     #[test]
     fn new_with_computed_callee() {
-        let call = Expr::synth(ExprKind::Call { callee: Box::new(ident("f")), args: vec![] });
-        let e = Expr::synth(ExprKind::New { callee: Box::new(call), args: vec![] });
+        let call = Expr::synth(ExprKind::Call {
+            callee: Box::new(ident("f")),
+            args: vec![],
+        });
+        let e = Expr::synth(ExprKind::New {
+            callee: Box::new(call),
+            args: vec![],
+        });
         assert_eq!(expr_to_source(&e), "new (f())()");
-        let e2 = Expr::synth(ExprKind::New { callee: Box::new(ident("F")), args: vec![num(1.0)] });
+        let e2 = Expr::synth(ExprKind::New {
+            callee: Box::new(ident("F")),
+            args: vec![num(1.0)],
+        });
         assert_eq!(expr_to_source(&e2), "new F(1)");
     }
 
     #[test]
     fn seq_in_args_gets_parens() {
         let seq = Expr::synth(ExprKind::Seq(vec![ident("a"), ident("b")]));
-        let call = Expr::synth(ExprKind::Call { callee: Box::new(ident("f")), args: vec![seq] });
+        let call = Expr::synth(ExprKind::Call {
+            callee: Box::new(ident("f")),
+            args: vec![seq],
+        });
         assert_eq!(expr_to_source(&call), "f((a, b))");
     }
 

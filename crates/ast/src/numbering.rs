@@ -56,7 +56,10 @@ impl VisitMut for Numberer {
 /// Returns the table of loops found. Re-running renumbers from 1 again, so
 /// the pass is idempotent on an already-numbered tree.
 pub fn assign_loop_ids(program: &mut Program) -> Vec<LoopInfo> {
-    let mut n = Numberer { next: 1, loops: Vec::new() };
+    let mut n = Numberer {
+        next: 1,
+        loops: Vec::new(),
+    };
     n.visit_program(program);
     n.loops
 }
@@ -81,7 +84,9 @@ mod tests {
     fn numbers_in_source_order_nested() {
         let inner = mk_while(Stmt::synth(StmtKind::Empty), 2);
         let outer = mk_while(inner, 1);
-        let mut program = Program { body: vec![outer, mk_while(Stmt::synth(StmtKind::Empty), 5)] };
+        let mut program = Program {
+            body: vec![outer, mk_while(Stmt::synth(StmtKind::Empty), 5)],
+        };
         let loops = assign_loop_ids(&mut program);
         assert_eq!(loops.len(), 3);
         assert_eq!(loops[0].id, LoopId(1));
@@ -99,7 +104,9 @@ mod tests {
 
     #[test]
     fn idempotent_renumbering() {
-        let mut program = Program { body: vec![mk_while(Stmt::synth(StmtKind::Empty), 1)] };
+        let mut program = Program {
+            body: vec![mk_while(Stmt::synth(StmtKind::Empty), 1)],
+        };
         let first = assign_loop_ids(&mut program);
         let second = assign_loop_ids(&mut program);
         assert_eq!(first, second);
@@ -107,7 +114,11 @@ mod tests {
 
     #[test]
     fn display_name_formats_like_paper() {
-        let info = LoopInfo { id: LoopId(1), kind: "while", span: Span::new(0, 1, 24) };
+        let info = LoopInfo {
+            id: LoopId(1),
+            kind: "while",
+            span: Span::new(0, 1, 24),
+        };
         assert_eq!(info.display_name(), "while(line 24)");
     }
 }

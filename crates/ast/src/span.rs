@@ -24,7 +24,11 @@ pub struct Span {
 
 impl Span {
     /// A span covering nothing, used for synthesized (instrumentation) nodes.
-    pub const SYNTHETIC: Span = Span { lo: 0, hi: 0, line: 0 };
+    pub const SYNTHETIC: Span = Span {
+        lo: 0,
+        hi: 0,
+        line: 0,
+    };
 
     /// Create a span from offsets and a line.
     pub fn new(lo: u32, hi: u32, line: u32) -> Self {

@@ -73,7 +73,13 @@ pub fn walk_stmt<V: VisitMut + ?Sized>(v: &mut V, stmt: &mut Stmt) {
             v.visit_stmt(body);
             v.visit_expr(cond);
         }
-        StmtKind::For { init, cond, update, body, .. } => {
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
             match init {
                 Some(ForInit::VarDecl(decls)) => {
                     for d in decls {
@@ -104,7 +110,11 @@ pub fn walk_stmt<V: VisitMut + ?Sized>(v: &mut V, stmt: &mut Stmt) {
         }
         StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
         StmtKind::Throw(e) => v.visit_expr(e),
-        StmtKind::Try { block, catch, finally } => {
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
             for s in block {
                 v.visit_stmt(s);
             }
@@ -230,7 +240,11 @@ mod tests {
                         })),
                     )]))),
                     alt: Some(Box::new(Stmt::synth(StmtKind::VarDecl(vec![
-                        VarDeclarator { name: "g".into(), init: Some(ident("h")), span: Span::SYNTHETIC },
+                        VarDeclarator {
+                            name: "g".into(),
+                            init: Some(ident("h")),
+                            span: Span::SYNTHETIC,
+                        },
                     ])))),
                 },
                 Span::new(0, 1, 1),

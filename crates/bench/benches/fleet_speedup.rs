@@ -1,0 +1,28 @@
+//! Fleet analyzer scaling: the full 12-app analysis at 1/2/4/8 workers.
+//!
+//! Each sample runs the entire fleet (12 isolated pipelines), so samples
+//! are expensive — the harness uses a small sample count. The interesting
+//! output is the ratio between the 1-worker and N-worker lines.
+
+use ceres_core::Mode;
+use ceres_workloads::run_fleet_report;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn fleet_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(12));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("analyze_all/{workers}_workers"), |b| {
+            b.iter(|| {
+                let report = run_fleet_report(Mode::Dependence, 1, workers).expect("fleet");
+                assert_eq!(report.apps.len(), 12);
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_speedup);
+criterion_main!(benches);

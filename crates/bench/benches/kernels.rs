@@ -33,8 +33,12 @@ fn bench_image_filter(c: &mut Criterion) {
 fn bench_blur(c: &mut Criterion) {
     let img = image_filter::Image::gradient(256, 192);
     let mut group = c.benchmark_group("camanjs_blur_256x192");
-    group.bench_function("seq", |b| b.iter(|| black_box(image_filter::blur_seq(&img).checksum())));
-    group.bench_function("par", |b| b.iter(|| black_box(image_filter::blur_par(&img).checksum())));
+    group.bench_function("seq", |b| {
+        b.iter(|| black_box(image_filter::blur_seq(&img).checksum()))
+    });
+    group.bench_function("par", |b| {
+        b.iter(|| black_box(image_filter::blur_par(&img).checksum()))
+    });
     group.finish();
 }
 

@@ -23,7 +23,14 @@ fn bench_frontend(c: &mut Criterion) {
         b.iter(|| black_box(ceres_parser::tokenize(black_box(&src)).unwrap().len()))
     });
     group.bench_function("parse", |b| {
-        b.iter(|| black_box(ceres_parser::parse_program(black_box(&src)).unwrap().body.len()))
+        b.iter(|| {
+            black_box(
+                ceres_parser::parse_program(black_box(&src))
+                    .unwrap()
+                    .body
+                    .len(),
+            )
+        })
     });
 
     let mut program = ceres_parser::parse_program(&src).unwrap();

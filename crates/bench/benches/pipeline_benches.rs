@@ -22,7 +22,10 @@ fn bench_pipeline(c: &mut Criterion) {
                 let run = analyze(
                     &server,
                     "app.js",
-                    AnalyzeOptions { mode, ..Default::default() },
+                    AnalyzeOptions {
+                        mode,
+                        ..Default::default()
+                    },
                     Box::new(|_, _| Ok(())),
                 )
                 .unwrap();
@@ -45,7 +48,11 @@ fn bench_pipeline(c: &mut Criterion) {
                 let run = analyze(
                     &server,
                     "app.js",
-                    AnalyzeOptions { mode: Mode::Dependence, focus, ..Default::default() },
+                    AnalyzeOptions {
+                        mode: Mode::Dependence,
+                        focus,
+                        ..Default::default()
+                    },
                     Box::new(|_, _| Ok(())),
                 )
                 .unwrap();

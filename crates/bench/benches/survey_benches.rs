@@ -14,7 +14,10 @@ fn bench_survey(c: &mut Criterion) {
 
     let pop = survey::generate(2015);
     let coder = survey::Coder::primary();
-    let answers: Vec<&str> = pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+    let answers: Vec<&str> = pop
+        .iter()
+        .filter_map(|r| r.trend_answer.as_deref())
+        .collect();
 
     group.bench_function("thematic_coding", |b| {
         b.iter(|| {

@@ -10,6 +10,15 @@
 //!   --report <dir>          commit a full report under <dir>
 //!   --emit-instrumented     print the rewritten source and exit
 //!   --refactor <loop-id>    print the loop rewritten as forEachPar and exit
+//!
+//! jsceres analyze-all [options]     analyze the whole 12-app fleet
+//!
+//!   --mode light|loop|dep   instrumentation mode (default: dep)
+//!   --scale <n>             workload problem-size multiplier (default 1)
+//!   --workers <n>           worker threads (default: CERES_FLEET_WORKERS
+//!                           or the machine parallelism)
+//!   --sequential            shorthand for --workers 1
+//!   --json <file>           also write the merged report as JSON
 //! ```
 //!
 //! The file is served through the in-process proxy pipeline (Fig. 5), run
@@ -37,7 +46,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: jsceres <file.js|file.html> [--mode light|loop|dep] [--focus N]\n\
          \x20              [--seed N] [--max-ticks N] [--report DIR] [--emit-instrumented]\n\
-         \x20              [--refactor LOOP_ID]"
+         \x20              [--refactor LOOP_ID]\n\
+         \x20      jsceres analyze-all [--mode light|loop|dep] [--scale N] [--workers N]\n\
+         \x20              [--sequential] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -109,7 +120,103 @@ fn parse_args() -> Options {
     opts
 }
 
+/// `jsceres analyze-all`: fan the registered workloads across the fleet
+/// worker pool and print the merged Table 2/Table 3 renderings.
+fn analyze_all(args: &[String]) {
+    let mut mode = Mode::Dependence;
+    let mut scale: u32 = 1;
+    let mut workers = ceres_core::fleet::default_workers();
+    let mut json: Option<String> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage();
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                mode = match value(args, i, "--mode").as_str() {
+                    "light" | "lightweight" => Mode::Lightweight,
+                    "loop" | "profile" => Mode::LoopProfile,
+                    "dep" | "dependence" => Mode::Dependence,
+                    other => {
+                        eprintln!("unknown mode `{other}`");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--scale" => {
+                scale = value(args, i, "--scale").parse().unwrap_or(1);
+                i += 2;
+            }
+            "--workers" => {
+                workers = match value(args, i, "--workers").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--workers needs a positive integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--sequential" => {
+                workers = 1;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(args, i, "--json"));
+                i += 2;
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let report = match ceres_workloads::run_fleet_report(mode, scale, workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+
+    println!(
+        "-- fleet: {} apps, {} workers, mode {:?}, scale {scale} ({wall:.2}s wall) --\n",
+        report.apps.len(),
+        workers,
+        mode
+    );
+    println!("-- Table 2: task durations (virtual-clock ms) --");
+    print!("{}", report.render_table2());
+    if mode != Mode::Lightweight {
+        println!("\n-- Table 3: dominant loop nests --");
+        print!("{}", report.render_table3());
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nJSON report written to {path}");
+    }
+}
+
 fn main() {
+    // Fleet subcommand takes its own flags; dispatch before normal parsing.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("analyze-all") {
+        analyze_all(&argv[1..]);
+        return;
+    }
+
     let opts = parse_args();
     let content = match std::fs::read_to_string(&opts.file) {
         Ok(c) => c,
@@ -162,7 +269,11 @@ fn main() {
         };
         match ceres_instrument::instrument_source(&source, opts.mode) {
             Ok((out, loops)) => {
-                eprintln!("// {} loops instrumented ({:?} mode)", loops.len(), opts.mode);
+                eprintln!(
+                    "// {} loops instrumented ({:?} mode)",
+                    loops.len(),
+                    opts.mode
+                );
                 println!("{out}");
                 return;
             }
@@ -174,7 +285,11 @@ fn main() {
     }
 
     let mut server = WebServer::new();
-    let doc = if is_html { Document::Html(content) } else { Document::Js(content) };
+    let doc = if is_html {
+        Document::Html(content)
+    } else {
+        Document::Js(content)
+    };
     server.publish(&opts.file, doc);
 
     let run = analyze(
@@ -237,10 +352,7 @@ fn main() {
                 println!("\n-- suggestions --");
                 print!(
                     "{}",
-                    ceres_core::render_suggestions(
-                        &engine,
-                        &ceres_core::suggest(&engine, &nests)
-                    )
+                    ceres_core::render_suggestions(&engine, &ceres_core::suggest(&engine, &nests))
                 );
             }
         }

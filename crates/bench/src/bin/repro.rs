@@ -4,7 +4,13 @@
 //! ```text
 //! repro <target>    where target ∈ {fig1, fig2, fig3, fig4, fig5, fig6,
 //!                                   table1, table2, table3, amdahl,
-//!                                   speedup, all}
+//!                                   speedup, fleet, fleet-bench, all}
+//!
+//! repro fleet [--workers N] [--sequential] [--json FILE]
+//!     run the 12-app fleet through the parallel analyzer and print the
+//!     merged Table 2/Table 3 (`repro --parallel` is an alias)
+//! repro fleet-bench [--workers N] [--json FILE]
+//!     time sequential vs parallel fleet analysis, emit speedup JSON
 //! ```
 //!
 //! Absolute numbers come from the virtual clock / this machine; the claim
@@ -17,7 +23,8 @@ use ceres_workloads::{all as workloads, run_workload};
 use std::time::Instant;
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let target = argv.first().cloned().unwrap_or_else(|| "all".to_string());
     match target.as_str() {
         "fig1" => fig1(),
         "fig2" => fig2(),
@@ -31,6 +38,8 @@ fn main() {
         "amdahl" => amdahl(),
         "tasklimit" => tasklimit(),
         "speedup" => speedup(),
+        "fleet" | "--parallel" => fleet(&argv[1..]),
+        "fleet-bench" => fleet_bench(&argv[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, fig4, table1, table2, table3, fig5, fig6, amdahl, tasklimit,
@@ -43,7 +52,7 @@ fn main() {
         other => {
             eprintln!("unknown target `{other}`");
             eprintln!(
-                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit speedup all"
+                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit speedup fleet fleet-bench all"
             );
             std::process::exit(2);
         }
@@ -73,12 +82,21 @@ fn fig1() {
     }
     println!("{:<52} {:>3}", "No answer / no valid data", no_answer);
     // Methodology check (paper: Jaccard agreement > 80% on 20% of data).
-    let answers: Vec<&str> = pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+    let answers: Vec<&str> = pop
+        .iter()
+        .filter_map(|r| r.trend_answer.as_deref())
+        .collect();
     // 20% validation sample, spread across the data.
     let sample: Vec<&str> = answers.iter().step_by(5).copied().collect();
-    let agreement =
-        survey::agreement(&survey::Coder::primary(), &survey::Coder::secondary(), &sample);
-    println!("inter-rater agreement (Jaccard, 20% sample): {:.0}%", agreement * 100.0);
+    let agreement = survey::agreement(
+        &survey::Coder::primary(),
+        &survey::Coder::secondary(),
+        &sample,
+    );
+    println!(
+        "inter-rater agreement (Jaccard, 20% sample): {:.0}%",
+        agreement * 100.0
+    );
 }
 
 fn fig2() {
@@ -145,7 +163,10 @@ fn table1() {
     header("Table 1: case study — web applications");
     println!("{:<22} {:<38} Category / Description", "Name", "URL");
     for w in workloads() {
-        println!("{:<22} {:<38} {} / {}", w.name, w.url, w.category, w.description);
+        println!(
+            "{:<22} {:<38} {} / {}",
+            w.name, w.url, w.category, w.description
+        );
     }
 }
 
@@ -240,7 +261,10 @@ fn fig5() {
     let mut run = ceres_core::analyze(
         &server,
         "index.html",
-        ceres_core::AnalyzeOptions { mode: Mode::Dependence, ..Default::default() },
+        ceres_core::AnalyzeOptions {
+            mode: Mode::Dependence,
+            ..Default::default()
+        },
         Box::new(|_, _| Ok(())),
     )
     .expect("pipeline");
@@ -279,6 +303,115 @@ fn fig6() {
 }
 
 // ---------------------------------------------------------------------
+// Parallel fleet analyzer
+// ---------------------------------------------------------------------
+
+struct FleetFlags {
+    workers: usize,
+    json: Option<String>,
+}
+
+fn parse_fleet_flags(args: &[String]) -> FleetFlags {
+    let mut flags = FleetFlags {
+        workers: ceres_core::fleet::default_workers(),
+        json: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                flags.workers = match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--workers needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--sequential" => {
+                flags.workers = 1;
+                i += 1;
+            }
+            "--json" => {
+                flags.json = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown fleet argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    flags
+}
+
+fn run_fleet_or_die(workers: usize) -> ceres_core::FleetReport {
+    ceres_workloads::run_fleet_report(Mode::Dependence, 1, workers).unwrap_or_else(|e| {
+        eprintln!("fleet analysis failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn fleet(args: &[String]) {
+    let flags = parse_fleet_flags(args);
+    header("Parallel fleet analyzer: all 12 apps, one pipeline per worker");
+    let start = Instant::now();
+    let report = run_fleet_or_die(flags.workers);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{} apps on {} workers in {wall:.2}s wall",
+        report.apps.len(),
+        flags.workers
+    );
+    println!("\n-- Table 2: task durations (virtual-clock ms) --");
+    print!("{}", report.render_table2());
+    println!("\n-- Table 3: dominant loop nests --");
+    print!("{}", report.render_table3());
+    if let Some(path) = &flags.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nJSON report written to {path}");
+    }
+}
+
+fn fleet_bench(args: &[String]) {
+    let flags = parse_fleet_flags(args);
+    header("Fleet speedup: sequential vs parallel analysis (wall clock)");
+    let time_fleet = |workers: usize| -> f64 {
+        let t = Instant::now();
+        let report = run_fleet_or_die(workers);
+        assert_eq!(report.apps.len(), 12);
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    // Warm both paths once (file reads, allocator), then measure.
+    time_fleet(1);
+    let seq_ms = time_fleet(1);
+    let par_ms = time_fleet(flags.workers);
+    let speedup = seq_ms / par_ms;
+    println!(
+        "sequential {seq_ms:.0} ms | parallel({} workers) {par_ms:.0} ms | speedup {speedup:.2}x",
+        flags.workers
+    );
+    if let Some(path) = &flags.json {
+        let json = format!(
+            "{{\"seq_ms\": {seq_ms:.3}, \"par_ms\": {par_ms:.3}, \"workers\": {}, \"speedup\": {speedup:.4}}}\n",
+            flags.workers
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("JSON written to {path}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Sec. 4.2 analyses
 // ---------------------------------------------------------------------
 
@@ -300,7 +433,9 @@ fn amdahl() {
             .sum();
         // Parallel fraction of the *compute* (loop time over active time).
         let denom = run.active_ms.max(run.loops_ms).max(0.001);
-        let p = ((parallel_pct / 100.0) * run.loops_ms / denom).clamp(0.0, 1.0).abs();
+        let p = ((parallel_pct / 100.0) * run.loops_ms / denom)
+            .clamp(0.0, 1.0)
+            .abs();
         let bound = amdahl_bound(p);
         if bound > 3.0 {
             over3 += 1;
@@ -317,7 +452,11 @@ fn amdahl() {
             w.name,
             100.0 * run.loop_fraction(),
             p,
-            if bound.is_infinite() { "inf".to_string() } else { format!("{bound:.1}x") },
+            if bound.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{bound:.1}x")
+            },
         );
     }
     println!("apps with speedup bound > 3x: {over3} (paper: 5)");
@@ -340,7 +479,9 @@ fn tasklimit() {
             .map(|n| n.pct_loop_time)
             .sum();
         let denom = run.active_ms.max(run.loops_ms).max(0.001);
-        let p = ((parallel_pct / 100.0) * run.loops_ms / denom).clamp(0.0, 1.0).abs();
+        let p = ((parallel_pct / 100.0) * run.loops_ms / denom)
+            .clamp(0.0, 1.0)
+            .abs();
         let data_bound = amdahl_bound(p);
         println!(
             "{:<22}{:>7}{:>11}{:>11.2}x{:>11}",

@@ -22,8 +22,17 @@ fn jsceres_analyzes_a_js_file() {
         "acc.js",
         "var acc = { v: 0 };\nvar i;\nfor (i = 0; i < 40; i++) { acc.v += i; }\nconsole.log(acc.v);",
     );
-    let out = jsceres().arg(&file).arg("--mode").arg("dep").output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = jsceres()
+        .arg(&file)
+        .arg("--mode")
+        .arg("dep")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("780"), "{stdout}"); // 0+..+39
     assert!(stdout.contains("-- loop profile --"), "{stdout}");
@@ -76,7 +85,10 @@ fn jsceres_rejects_bad_usage() {
 
 #[test]
 fn jsceres_writes_reports() {
-    let file = write_temp("rep.js", "var x = 0;\nvar i;\nfor (i = 0; i < 4; i++) { x += i; }");
+    let file = write_temp(
+        "rep.js",
+        "var x = 0;\nvar i;\nfor (i = 0; i < 4; i++) { x += i; }",
+    );
     let dir = std::env::temp_dir().join(format!("jsceres-cli-reports-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let out = jsceres()
@@ -87,7 +99,11 @@ fn jsceres_writes_reports() {
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("log.txt").exists());
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_file(file);

@@ -114,7 +114,10 @@ pub struct StaticFeatures {
 pub fn static_features(program: &Program) -> HashMap<LoopId, StaticFeatures> {
     let recursive = recursive_functions(program);
     let mut out = HashMap::new();
-    let mut ctx = WalkCtx { stack: Vec::new(), recursive };
+    let mut ctx = WalkCtx {
+        stack: Vec::new(),
+        recursive,
+    };
     walk_stmts(&program.body, &mut ctx, &mut out);
     out
 }
@@ -136,7 +139,11 @@ fn recursive_functions(program: &Program) -> std::collections::HashSet<String> {
                 }
                 StmtKind::VarDecl(ds) => {
                     for d in ds {
-                        if let Some(Expr { kind: ExprKind::Func { func, .. }, .. }) = &d.init {
+                        if let Some(Expr {
+                            kind: ExprKind::Func { func, .. },
+                            ..
+                        }) = &d.init
+                        {
                             bodies.insert(d.name.clone(), func);
                             collect(&func.body, bodies);
                         }
@@ -231,21 +238,13 @@ struct WalkCtx {
     recursive: std::collections::HashSet<String>,
 }
 
-fn bump(
-    ctx: &WalkCtx,
-    out: &mut HashMap<LoopId, StaticFeatures>,
-    f: impl Fn(&mut StaticFeatures),
-) {
+fn bump(ctx: &WalkCtx, out: &mut HashMap<LoopId, StaticFeatures>, f: impl Fn(&mut StaticFeatures)) {
     for id in &ctx.stack {
         f(out.entry(*id).or_default());
     }
 }
 
-fn walk_stmts(
-    stmts: &[Stmt],
-    ctx: &mut WalkCtx,
-    out: &mut HashMap<LoopId, StaticFeatures>,
-) {
+fn walk_stmts(stmts: &[Stmt], ctx: &mut WalkCtx, out: &mut HashMap<LoopId, StaticFeatures>) {
     for s in stmts {
         walk_stmt(s, ctx, out);
     }
@@ -272,15 +271,29 @@ fn walk_stmt(s: &Stmt, ctx: &mut WalkCtx, out: &mut HashMap<LoopId, StaticFeatur
                 walk_stmts(&c.body, ctx, out);
             }
         }
-        StmtKind::While { loop_id, cond, body }
-        | StmtKind::DoWhile { loop_id, cond, body } => {
+        StmtKind::While {
+            loop_id,
+            cond,
+            body,
+        }
+        | StmtKind::DoWhile {
+            loop_id,
+            cond,
+            body,
+        } => {
             out.entry(*loop_id).or_default();
             walk_expr(cond, ctx, out);
             ctx.stack.push(*loop_id);
             walk_stmt(body, ctx, out);
             ctx.stack.pop();
         }
-        StmtKind::For { loop_id, init, cond, update, body } => {
+        StmtKind::For {
+            loop_id,
+            init,
+            cond,
+            update,
+            body,
+        } => {
             out.entry(*loop_id).or_default();
             match init {
                 Some(ForInit::VarDecl(ds)) => {
@@ -303,7 +316,12 @@ fn walk_stmt(s: &Stmt, ctx: &mut WalkCtx, out: &mut HashMap<LoopId, StaticFeatur
             walk_stmt(body, ctx, out);
             ctx.stack.pop();
         }
-        StmtKind::ForIn { loop_id, object, body, .. } => {
+        StmtKind::ForIn {
+            loop_id,
+            object,
+            body,
+            ..
+        } => {
             out.entry(*loop_id).or_default();
             walk_expr(object, ctx, out);
             ctx.stack.push(*loop_id);
@@ -326,7 +344,11 @@ fn walk_stmt(s: &Stmt, ctx: &mut WalkCtx, out: &mut HashMap<LoopId, StaticFeatur
             // to the enclosing syntactic loops (callbacks defined in loops).
             walk_stmts(&decl.func.body, ctx, out);
         }
-        StmtKind::Try { block, catch, finally } => {
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
             walk_stmts(block, ctx, out);
             if let Some(c) = catch {
                 walk_stmts(&c.body, ctx, out);
@@ -426,7 +448,11 @@ fn blocks_nest(engine: &Engine, w: &Warning) -> bool {
         return false;
     };
     let trips = |id: ceres_ast::LoopId| -> f64 {
-        engine.records.get(&id).map(|r| r.trips.mean()).unwrap_or(0.0)
+        engine
+            .records
+            .get(&id)
+            .map(|r| r.trips.mean())
+            .unwrap_or(0.0)
     };
     let carrier = trips(w.characterization[level].loop_id);
     // The nest's profitable parallelism level: the widest loop anywhere in
@@ -494,8 +520,10 @@ pub fn dependence_difficulty(engine: &Engine, warnings: &[&Warning]) -> Difficul
                 if !blocks_nest(engine, w) {
                     continue;
                 }
-                let all_reduction =
-                    write_ops.get(w.subject.as_str()).map(|(_, r)| *r).unwrap_or(false);
+                let all_reduction = write_ops
+                    .get(w.subject.as_str())
+                    .map(|(_, r)| *r)
+                    .unwrap_or(false);
                 if all_reduction {
                     flow_reduction += 1;
                 } else {
@@ -611,7 +639,9 @@ pub fn classify_nests(
 
     let mut rows = Vec::new();
     for root in roots {
-        let Some(rec) = engine.records.get(&root) else { continue };
+        let Some(rec) = engine.records.get(&root) else {
+            continue;
+        };
         // Nest members: loops whose nest_root is this root.
         let members: Vec<LoopId> = engine
             .nest_root
@@ -623,9 +653,13 @@ pub fn classify_nests(
             .iter()
             .filter_map(|l| engine.records.get(l))
             .any(|r| r.recursion_tainted);
-        let dom = members
-            .iter()
-            .any(|l| engine.dom_by_loop.get(l).map(|t| !t.is_empty()).unwrap_or(false));
+        let dom = members.iter().any(|l| {
+            engine
+                .dom_by_loop
+                .get(l)
+                .map(|t| !t.is_empty())
+                .unwrap_or(false)
+        });
         let warnings = engine.warnings_for_nest(root);
         let dep = dependence_difficulty(engine, &warnings);
         // Merge static features over the nest.
@@ -743,9 +777,24 @@ mod tests {
 
     #[test]
     fn divergence_rules() {
-        let straight = StaticFeatures { branches: 0, body_size: 40, calls: 0, recursive_call: false };
-        let few = StaticFeatures { branches: 2, body_size: 40, calls: 1, recursive_call: false };
-        let heavy = StaticFeatures { branches: 12, body_size: 40, calls: 2, recursive_call: false };
+        let straight = StaticFeatures {
+            branches: 0,
+            body_size: 40,
+            calls: 0,
+            recursive_call: false,
+        };
+        let few = StaticFeatures {
+            branches: 2,
+            body_size: 40,
+            calls: 1,
+            recursive_call: false,
+        };
+        let heavy = StaticFeatures {
+            branches: 12,
+            body_size: 40,
+            calls: 2,
+            recursive_call: false,
+        };
         assert_eq!(divergence(100.0, false, Some(&straight)), Divergence::None);
         assert_eq!(divergence(100.0, false, Some(&few)), Divergence::Little);
         assert_eq!(divergence(100.0, false, Some(&heavy)), Divergence::Yes);
@@ -786,7 +835,11 @@ mod tests {
         assert!((row.pct_loop_time - 100.0).abs() < 1e-9);
         assert_eq!(row.divergence, Divergence::None);
         assert!(!row.dom_access);
-        assert!(row.dependence_difficulty <= Difficulty::Easy, "{:?}", row.dependence_difficulty);
+        assert!(
+            row.dependence_difficulty <= Difficulty::Easy,
+            "{:?}",
+            row.dependence_difficulty
+        );
         assert_eq!(row.parallelization_difficulty, row.dependence_difficulty);
     }
 

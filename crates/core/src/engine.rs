@@ -8,8 +8,8 @@
 //! time via the interpreter's [`Monitor`].
 
 use crate::stack::{
-    characterize_write, empty_stamp, flow_dependence, is_problematic, Characterization, Stamp,
-    StackEntry,
+    characterize_write, empty_stamp, flow_dependence, is_problematic, Characterization, StackEntry,
+    Stamp,
 };
 use crate::welford::Welford;
 use ceres_ast::{LoopId, LoopInfo};
@@ -109,8 +109,7 @@ impl SubjectStats {
 
     fn fold_window(&mut self) {
         if self.ctx_writes > 0 {
-            self.ratio_sum +=
-                (self.ctx_locations.len() as f64 / self.ctx_writes as f64).min(1.0);
+            self.ratio_sum += (self.ctx_locations.len() as f64 / self.ctx_writes as f64).min(1.0);
             self.windows += 1;
         }
         self.ctx_writes = 0;
@@ -280,7 +279,11 @@ impl Engine {
         self.nest_root
             .entry(id)
             .or_insert_with(|| self.stack.first().map(|e| e.loop_id).unwrap_or(id));
-        self.stack.push(StackEntry { loop_id: id, instance, iteration: 0 });
+        self.stack.push(StackEntry {
+            loop_id: id,
+            instance,
+            iteration: 0,
+        });
         self.start_ticks.push(now);
         // Lightweight totals also work in the richer modes so Table 2 can be
         // cross-checked against loop-profile runs.
@@ -345,8 +348,9 @@ impl Engine {
         if !self.recording() {
             return;
         }
-        let stamp =
-            binding_id.and_then(|id| self.binding_stamps.get(&id).cloned()).unwrap_or_else(
+        let stamp = binding_id
+            .and_then(|id| self.binding_stamps.get(&id).cloned())
+            .unwrap_or_else(
                 // Unstamped binding (implicit global, host-provided):
                 // conservatively "created before all loops".
                 empty_stamp,
@@ -367,13 +371,7 @@ impl Engine {
 
     /// Property write: returns whether it was recorded (used by tests).
     #[allow(clippy::too_many_arguments)]
-    fn prop_write(
-        &mut self,
-        obj_id: u64,
-        key: &str,
-        base: Option<(&str, Option<u64>)>,
-        op: &str,
-    ) {
+    fn prop_write(&mut self, obj_id: u64, key: &str, base: Option<(&str, Option<u64>)>, op: &str) {
         if !self.recording() {
             return;
         }
@@ -385,7 +383,11 @@ impl Engine {
         // characterizes through `p`'s per-activation binding (stamped inside
         // the while), not through the particle object (created during
         // setup, before any of the open loops). See DESIGN.md §4.
-        let obj_stamp = self.object_stamps.get(&obj_id).cloned().unwrap_or_else(empty_stamp);
+        let obj_stamp = self
+            .object_stamps
+            .get(&obj_id)
+            .cloned()
+            .unwrap_or_else(empty_stamp);
         let base_stamp = base
             .and_then(|(_, id)| id)
             .and_then(|id| self.binding_stamps.get(&id).cloned());
@@ -401,7 +403,10 @@ impl Engine {
         let c = characterize_write(&eff, &self.stack);
         let root = self.stack[0].loop_id;
         let ctx = self.stack.last().map(|e| (e.loop_id, e.instance));
-        self.subject_stats.entry(subject.clone()).or_default().record(obj_id, key, ctx);
+        self.subject_stats
+            .entry(subject.clone())
+            .or_default()
+            .record(obj_id, key, ctx);
         if is_problematic(&c) {
             self.push_warning(Warning {
                 kind: WarningKind::SharedPropWrite,
@@ -543,7 +548,10 @@ impl Engine {
 
     /// Warnings attributed to the nest rooted at `root`.
     pub fn warnings_for_nest(&self, root: LoopId) -> Vec<&Warning> {
-        self.warnings.iter().filter(|w| w.nest_root == root).collect()
+        self.warnings
+            .iter()
+            .filter(|w| w.nest_root == root)
+            .collect()
     }
 }
 
@@ -665,7 +673,9 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         interp.register_native(hooks::DECLVARS, move |interp, ctx, args| {
             // Stamping bindings copies the loop stack per name.
             interp.clock.tick(2 * args.len() as u64);
-            let Some(scope) = &ctx.caller_scope else { return Ok(Value::Undefined) };
+            let Some(scope) = &ctx.caller_scope else {
+                return Ok(Value::Undefined);
+            };
             let mut eng = eng.borrow_mut();
             for a in args {
                 if let Value::Str(name) = a {
@@ -744,7 +754,8 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             let value = arg(args, 2);
             let base = opt_str(&arg(args, 3));
             record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), "=");
-            eng.borrow_mut().observe_type(&subject_name(base.as_deref(), &key), 0, &value);
+            eng.borrow_mut()
+                .observe_type(&subject_name(base.as_deref(), &key), 0, &value);
             interp.set_property(&obj, &key, value.clone())?;
             Ok(value)
         });
@@ -806,7 +817,12 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
                 // the shared array.
                 if o.is_array() && MUTATING_ARRAY_METHODS.contains(&key.as_str()) {
                     e.task_write(crate::tasks::object_location(o.id()));
-                    e.prop_write(o.id(), "<elements>", base.as_deref().map(|b| (b, None)), "push");
+                    e.prop_write(
+                        o.id(),
+                        "<elements>",
+                        base.as_deref().map(|b| (b, None)),
+                        "push",
+                    );
                 }
             }
             // Resolve the binding id for the base variable (for the
@@ -820,8 +836,9 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
 }
 
 /// Array methods that mutate the receiver's elements.
-const MUTATING_ARRAY_METHODS: &[&str] =
-    &["push", "pop", "shift", "unshift", "splice", "sort", "reverse"];
+const MUTATING_ARRAY_METHODS: &[&str] = &[
+    "push", "pop", "shift", "unshift", "splice", "sort", "reverse",
+];
 
 /// Shared write-recording path for SETPROP/SETPROP2/UPDATE_PROP.
 fn record_prop_write(
@@ -981,7 +998,10 @@ mod tests {
         );
         let eng = eng.borrow();
         assert!(eng.records[&LoopId(1)].recursion_tainted);
-        assert!(eng.warnings.iter().any(|w| w.kind == WarningKind::Recursion));
+        assert!(eng
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::Recursion));
     }
 
     #[test]
@@ -1069,12 +1089,9 @@ while (steps < 3) {
 
         // The induction variable i is recorded as a var write with ++
         // (the `var i = 0` init is a separate "init" warning).
-        assert!(eng
-            .warnings
-            .iter()
-            .any(|w| w.kind == WarningKind::VarWrite
-                && w.subject == "i"
-                && w.op.as_deref() == Some("++")));
+        assert!(eng.warnings.iter().any(|w| w.kind == WarningKind::VarWrite
+            && w.subject == "i"
+            && w.op.as_deref() == Some("++")));
     }
 
     #[test]
@@ -1115,7 +1132,11 @@ while (steps < 3) {
         let stats = eng.subject_stats.get("data[*]").expect("stats for data[*]");
         assert_eq!(stats.writes, 64);
         // one window, 64 writes to 64 distinct locations
-        assert!(stats.disjointness() > 0.9, "disjointness {}", stats.disjointness());
+        assert!(
+            stats.disjointness() > 0.9,
+            "disjointness {}",
+            stats.disjointness()
+        );
         // Conflicting writes to one field: low disjointness.
         let (_interp, eng) = run(
             "var acc = { v: 0 };\n\
@@ -1124,7 +1145,11 @@ while (steps < 3) {
         );
         let eng = eng.borrow();
         let stats = eng.subject_stats.get("acc.v").expect("stats for acc.v");
-        assert!(stats.disjointness() < 0.1, "disjointness {}", stats.disjointness());
+        assert!(
+            stats.disjointness() < 0.1,
+            "disjointness {}",
+            stats.disjointness()
+        );
         // And the read side is a flow dependence.
         assert!(eng
             .warnings
@@ -1141,12 +1166,14 @@ while (steps < 3) {
         );
         let eng = eng.borrow();
         assert!(
+            eng.warnings.iter().any(
+                |w| w.kind == WarningKind::SharedPropWrite && w.subject == "results.<elements>"
+            ),
+            "push not flagged: {:?}",
             eng.warnings
                 .iter()
-                .any(|w| w.kind == WarningKind::SharedPropWrite
-                    && w.subject == "results.<elements>"),
-            "push not flagged: {:?}",
-            eng.warnings.iter().map(|w| (w.kind, w.subject.clone())).collect::<Vec<_>>()
+                .map(|w| (w.kind, w.subject.clone()))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -1178,7 +1205,11 @@ while (steps < 3) {
             Mode::Dependence,
         );
         let eng = eng.borrow();
-        assert!(eng.dom_by_loop.get(&LoopId(1)).map(|t| t.contains("dom")).unwrap_or(false));
+        assert!(eng
+            .dom_by_loop
+            .get(&LoopId(1))
+            .map(|t| t.contains("dom"))
+            .unwrap_or(false));
         assert!(!eng.dom_by_loop.contains_key(&LoopId(2)));
     }
 
@@ -1248,9 +1279,8 @@ mod polymorphism_tests {
         let eng = eng.borrow();
         let poly = eng.polymorphic_subjects();
         assert!(
-            poly.iter().any(|(s, tys)| s == "x"
-                && tys.contains(&"number")
-                && tys.contains(&"string")),
+            poly.iter()
+                .any(|(s, tys)| s == "x" && tys.contains(&"number") && tys.contains(&"string")),
             "{poly:?}"
         );
     }
@@ -1297,19 +1327,16 @@ mod polymorphism_tests {
         let eng = eng.borrow();
         let poly = eng.polymorphic_subjects();
         assert!(
-            poly.iter().any(|(s, tys)| s == "o.v" && tys.contains(&"function")),
+            poly.iter()
+                .any(|(s, tys)| s == "o.v" && tys.contains(&"function")),
             "{poly:?}"
         );
     }
 
     #[test]
     fn writes_outside_loops_are_not_observed() {
-        let (_interp, eng) = run_instrumented(
-            "var a = 1;\na = \"str\";\na = true;",
-            Mode::Dependence,
-            1,
-        )
-        .unwrap();
+        let (_interp, eng) =
+            run_instrumented("var a = 1;\na = \"str\";\na = true;", Mode::Dependence, 1).unwrap();
         let eng = eng.borrow();
         assert!(eng.polymorphic_subjects().is_empty());
     }

@@ -1,0 +1,474 @@
+//! Parallel fleet analyzer: run many applications through the JS-CERES
+//! pipeline concurrently, one isolated pipeline per worker thread.
+//!
+//! The pipeline itself is deliberately single-threaded (the engine hangs
+//! off the interpreter as `Rc<RefCell<_>>`, mirroring a browser page), so
+//! fleet parallelism is *thread-per-app*: each worker pulls a job off a
+//! shared queue, builds its own `WebServer → instrument → Interp → Engine`
+//! stack inside the closure, and reduces the non-`Send` [`AppRun`] down to
+//! a plain-data [`AppReport`] before anything crosses the thread boundary.
+//!
+//! Determinism: the virtual clock is seeded, so analysis results do not
+//! depend on scheduling. The collector slots results by job index, which
+//! makes the merged [`FleetReport`] independent of completion order; the
+//! only nondeterministic fields are `wall_ms`/`worker` (excluded from the
+//! table renderings and zeroed by [`FleetReport::canonical`]).
+
+use crate::classify::NestClassification;
+use crate::pipeline::AppRun;
+use crate::stack::render;
+use ceres_instrument::Mode;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
+/// One unit of fleet work: analyze one application.
+///
+/// The closure receives the worker id and must build (and fully consume)
+/// its own pipeline — nothing non-`Send` may escape it.
+pub struct FleetJob {
+    /// Display name (Table 1 "Name").
+    pub app: String,
+    /// Short identifier for files/CLI.
+    pub slug: String,
+    /// The work itself.
+    pub work: Box<dyn FnOnce(usize) -> Result<AppReport, String> + Send>,
+}
+
+/// One classified loop nest, reduced to plain data (Table 3 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NestReport {
+    /// Loop-header display name, e.g. `for(3)`.
+    pub name: String,
+    pub pct_loop_time: f64,
+    pub instances: u64,
+    /// Mean trips ± stddev, pre-rendered (`"120±5"`).
+    pub trips: String,
+    pub divergence: String,
+    pub dom_access: bool,
+    pub dependence_difficulty: String,
+    pub parallelization_difficulty: String,
+}
+
+/// One dependence warning, reduced to plain data (Fig. 6 style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarningReport {
+    /// Variant name (`VarWrite`, `SharedPropWrite`, ...).
+    pub kind: String,
+    /// Human sentence for the kind.
+    pub detail: String,
+    pub subject: String,
+    /// Rendered per-level characterization (`while(24) ok ok → ...`).
+    pub characterization: String,
+    pub count: u64,
+}
+
+/// Everything one worker reports back about one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppReport {
+    pub app: String,
+    pub slug: String,
+    /// Instrumentation mode the app ran under.
+    pub mode: String,
+    /// Virtual-clock timings (Table 2 columns).
+    pub total_ms: f64,
+    pub active_ms: f64,
+    pub loops_ms: f64,
+    pub loop_pct: f64,
+    /// All classified nests, dominant first (Table 3 applies its coverage
+    /// cutoff at render time).
+    pub nests: Vec<NestReport>,
+    pub warnings: Vec<WarningReport>,
+    /// Real wall-clock the worker spent on this app. Nondeterministic.
+    pub wall_ms: f64,
+    /// Which worker ran the job. Nondeterministic.
+    pub worker: usize,
+}
+
+impl AppReport {
+    /// Reduce a finished [`AppRun`] to plain data. Runs on the worker
+    /// thread, while the engine is still alive.
+    pub fn from_run(app: &str, slug: &str, mode: Mode, run: &AppRun) -> AppReport {
+        let nest_rows = run.nests();
+        let engine = run.engine.borrow();
+        let nests = nest_rows
+            .iter()
+            .map(|n: &NestClassification| NestReport {
+                name: engine
+                    .loops
+                    .get(&n.root)
+                    .map(|l| l.display_name())
+                    .unwrap_or_else(|| format!("{}", n.root)),
+                pct_loop_time: n.pct_loop_time,
+                instances: n.instances,
+                trips: n.trips.display_pm(),
+                divergence: n.divergence.as_str().to_string(),
+                dom_access: n.dom_access,
+                dependence_difficulty: n.dependence_difficulty.as_str().to_string(),
+                parallelization_difficulty: n.parallelization_difficulty.as_str().to_string(),
+            })
+            .collect();
+        let mut warnings: Vec<_> = engine.warnings.iter().collect();
+        warnings.sort_by(|a, b| (a.kind, &a.subject).cmp(&(b.kind, &b.subject)));
+        let warnings = warnings
+            .iter()
+            .map(|w| WarningReport {
+                kind: format!("{:?}", w.kind),
+                detail: w.kind.describe().to_string(),
+                subject: w.subject.clone(),
+                characterization: render(&w.characterization, &engine.loops),
+                count: w.count,
+            })
+            .collect();
+        AppReport {
+            app: app.to_string(),
+            slug: slug.to_string(),
+            mode: format!("{mode:?}"),
+            total_ms: run.total_ms,
+            active_ms: run.active_ms,
+            loops_ms: run.loops_ms,
+            loop_pct: 100.0 * run.loop_fraction(),
+            nests,
+            warnings,
+            wall_ms: 0.0,
+            worker: 0,
+        }
+    }
+
+    /// Copy with the nondeterministic fields zeroed.
+    pub fn canonical(&self) -> AppReport {
+        AppReport {
+            wall_ms: 0.0,
+            worker: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The merged fleet result, app order matching the job order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    pub mode: String,
+    pub scale: u32,
+    /// Worker-pool size used. Nondeterministic across configurations.
+    pub workers: usize,
+    pub apps: Vec<AppReport>,
+}
+
+impl FleetReport {
+    /// Copy with every scheduling-dependent field zeroed; two runs of the
+    /// same fleet must compare equal under this view regardless of worker
+    /// count.
+    pub fn canonical(&self) -> FleetReport {
+        FleetReport {
+            mode: self.mode.clone(),
+            scale: self.scale,
+            workers: 0,
+            apps: self.apps.iter().map(AppReport::canonical).collect(),
+        }
+    }
+
+    /// Table 2 rendering (virtual-clock timings per app).
+    pub fn render_table2(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22}{:>9}{:>9}{:>10}{:>8}\n",
+            "Name", "Total", "Active", "In Loops", "loop%"
+        ));
+        for a in &self.apps {
+            out.push_str(&format!(
+                "{:<22}{:>9.0}{:>9.0}{:>10.0}{:>7.0}%\n",
+                a.app, a.total_ms, a.active_ms, a.loops_ms, a.loop_pct
+            ));
+        }
+        out
+    }
+
+    /// Table 3 rendering: per app, the top nests covering ≥ 2/3 of loop
+    /// time (the paper's inspection protocol).
+    pub fn render_table3(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22}{:>4} {:>7} {:>11}  {:<7} {:<4} {:<10} {:<10}\n",
+            "name", "%", "inst", "trips", "diverg", "DOM", "brk-deps", "parallel"
+        ));
+        for a in &self.apps {
+            let mut covered = 0.0;
+            let mut first = true;
+            for n in &a.nests {
+                if covered >= 200.0 / 3.0 {
+                    break;
+                }
+                covered += n.pct_loop_time;
+                out.push_str(&format!(
+                    "{:<22}{:>4.0} {:>7} {:>11}  {:<7} {:<4} {:<10} {:<10}\n",
+                    if first { a.app.as_str() } else { "" },
+                    n.pct_loop_time,
+                    n.instances,
+                    n.trips,
+                    n.divergence,
+                    if n.dom_access { "yes" } else { "no" },
+                    n.dependence_difficulty,
+                    n.parallelization_difficulty,
+                ));
+                first = false;
+            }
+        }
+        out
+    }
+
+    /// Pretty-printed JSON (the `--json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetReport serializes")
+    }
+}
+
+/// Worker count from `CERES_FLEET_WORKERS`, else the machine parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("CERES_FLEET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run the jobs on a pool of `workers` threads and merge the reports in
+/// job order (independent of completion order). Errors from individual
+/// apps are collected; if any app failed the whole fleet run reports them
+/// together, first job first.
+pub fn run_fleet(jobs: Vec<FleetJob>, workers: usize) -> Result<Vec<AppReport>, String> {
+    let n_jobs = jobs.len();
+    let workers = workers.clamp(1, n_jobs.max(1));
+    let queue: Mutex<VecDeque<(usize, FleetJob)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, String, Result<AppReport, String>)>();
+
+    let mut slots: Vec<Option<(String, Result<AppReport, String>)>> = Vec::new();
+    slots.resize_with(n_jobs, || None);
+
+    std::thread::scope(|s| {
+        for worker_id in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
+                let job = queue.lock().expect("fleet queue poisoned").pop_front();
+                let Some((index, job)) = job else { break };
+                let result = (job.work)(worker_id);
+                if tx.send((index, job.slug, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Collect in completion order; slot by index so the merge is
+        // deterministic.
+        for (index, slug, result) in rx {
+            slots[index] = Some((slug, result));
+        }
+    });
+
+    let mut reports = Vec::with_capacity(n_jobs);
+    let mut errors = Vec::new();
+    for slot in slots {
+        match slot {
+            Some((_, Ok(report))) => reports.push(report),
+            Some((slug, Err(e))) => errors.push(format!("{slug}: {e}")),
+            None => errors.push("worker died before reporting".to_string()),
+        }
+    }
+    if errors.is_empty() {
+        Ok(reports)
+    } else {
+        Err(errors.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn stub_report(i: usize) -> AppReport {
+        AppReport {
+            app: format!("app-{i}"),
+            slug: format!("a{i}"),
+            mode: "Dependence".to_string(),
+            total_ms: 10.0 * i as f64 + 0.5,
+            active_ms: 5.0,
+            loops_ms: 2.5,
+            loop_pct: 25.0,
+            nests: vec![NestReport {
+                name: format!("for({i})"),
+                pct_loop_time: 100.0,
+                instances: 1 + i as u64,
+                trips: "120±5".to_string(),
+                divergence: "low".to_string(),
+                dom_access: i.is_multiple_of(2),
+                dependence_difficulty: "easy".to_string(),
+                parallelization_difficulty: "easy".to_string(),
+            }],
+            warnings: vec![WarningReport {
+                kind: "VarWrite".to_string(),
+                detail: "write to variable declared outside the loop iteration".to_string(),
+                subject: format!("v{i}"),
+                characterization: "for(6) ok dependence".to_string(),
+                count: 3,
+            }],
+            wall_ms: 0.0,
+            worker: 0,
+        }
+    }
+
+    fn stub_jobs(
+        n: usize,
+        delay_for: impl Fn(usize) -> u64 + Clone + Send + 'static,
+    ) -> Vec<FleetJob> {
+        (0..n)
+            .map(|i| {
+                let delay = delay_for.clone();
+                FleetJob {
+                    app: format!("app-{i}"),
+                    slug: format!("a{i}"),
+                    work: Box::new(move |worker| {
+                        std::thread::sleep(Duration::from_millis(delay(i)));
+                        let mut r = stub_report(i);
+                        r.worker = worker;
+                        r.wall_ms = delay(i) as f64;
+                        Ok(r)
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_order_is_job_order_despite_out_of_order_completion() {
+        // Earlier jobs sleep longest, so later jobs finish first on a
+        // multi-worker pool; the merged order must still be job order.
+        let jobs = stub_jobs(6, |i| (6 - i as u64) * 20);
+        let reports = run_fleet(jobs, 4).expect("fleet");
+        let apps: Vec<_> = reports.iter().map(|r| r.app.as_str()).collect();
+        assert_eq!(apps, ["app-0", "app-1", "app-2", "app-3", "app-4", "app-5"]);
+        let workers: std::collections::HashSet<_> = reports.iter().map(|r| r.worker).collect();
+        assert!(
+            workers.len() > 1,
+            "expected multiple workers to participate: {workers:?}"
+        );
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<FleetJob> = (0..4)
+            .map(|i| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                FleetJob {
+                    app: format!("app-{i}"),
+                    slug: format!("a{i}"),
+                    work: Box::new(move |worker| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(40));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        let mut r = stub_report(i);
+                        r.worker = worker;
+                        Ok(r)
+                    }),
+                }
+            })
+            .collect();
+        run_fleet(jobs, 4).expect("fleet");
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "4 jobs of 40ms on 4 workers should overlap, peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn sequential_pool_still_merges_in_order() {
+        let reports = run_fleet(stub_jobs(4, |_| 0), 1).expect("fleet");
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.worker == 0));
+    }
+
+    #[test]
+    fn failures_are_collected_per_app() {
+        let mut jobs = stub_jobs(3, |_| 0);
+        jobs.insert(
+            1,
+            FleetJob {
+                app: "boom".to_string(),
+                slug: "boom".to_string(),
+                work: Box::new(|_| Err("engine exploded".to_string())),
+            },
+        );
+        let err = run_fleet(jobs, 2).expect_err("must fail");
+        assert!(err.contains("boom: engine exploded"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = FleetReport {
+            mode: "Dependence".to_string(),
+            scale: 1,
+            workers: 4,
+            apps: (0..3).map(stub_report).collect(),
+        };
+        let json = report.to_json();
+        let back: FleetReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(report, back);
+        // Compact round trip too.
+        let compact = serde_json::to_string(&report).expect("serializes");
+        let back2: FleetReport = serde_json::from_str(&compact).expect("parses");
+        assert_eq!(report, back2);
+    }
+
+    #[test]
+    fn canonical_zeroes_scheduling_noise() {
+        let mut report = FleetReport {
+            mode: "Dependence".to_string(),
+            scale: 1,
+            workers: 8,
+            apps: vec![stub_report(0)],
+        };
+        report.apps[0].wall_ms = 123.4;
+        report.apps[0].worker = 7;
+        let canon = report.canonical();
+        assert_eq!(canon.workers, 0);
+        assert_eq!(canon.apps[0].wall_ms, 0.0);
+        assert_eq!(canon.apps[0].worker, 0);
+        // Everything else survives.
+        assert_eq!(canon.apps[0].app, "app-0");
+        assert_eq!(canon.apps[0].nests, report.apps[0].nests);
+    }
+
+    #[test]
+    fn renderings_exclude_nondeterministic_fields() {
+        let mk = |worker: usize, wall: f64| {
+            let mut r = FleetReport {
+                mode: "Dependence".to_string(),
+                scale: 1,
+                workers: worker + 1,
+                apps: vec![stub_report(1), stub_report(2)],
+            };
+            for a in &mut r.apps {
+                a.worker = worker;
+                a.wall_ms = wall;
+            }
+            r
+        };
+        let a = mk(0, 1.0);
+        let b = mk(7, 999.0);
+        assert_eq!(a.render_table2(), b.render_table2());
+        assert_eq!(a.render_table3(), b.render_table3());
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod classify;
 pub mod engine;
+pub mod fleet;
 pub mod pipeline;
 pub mod report;
 pub mod stack;
@@ -57,11 +58,14 @@ pub use classify::{
     NestClassification,
 };
 pub use engine::{attach_engine, run_instrumented, Engine, EngineRef, Warning, WarningKind};
+pub use fleet::{
+    default_workers, run_fleet, AppReport, FleetJob, FleetReport, NestReport, WarningReport,
+};
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;
+pub use stack::{characterize_write, flow_dependence, render, Characterization, Flag};
 pub use suggest::{render_suggestions, suggest, Suggestion};
 pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
-pub use stack::{characterize_write, flow_dependence, render, Characterization, Flag};
 pub use welford::Welford;
 
 /// Re-exported so downstream users need only one crate for the common path.

@@ -19,7 +19,9 @@
 
 use crate::classify::{classify_nests, static_features, NestClassification};
 use crate::engine::{attach_engine, EngineRef};
-use crate::report::{render_loop_profile, render_nest_table, render_polymorphism, render_warnings, ReportRepo};
+use crate::report::{
+    render_loop_profile, render_nest_table, render_polymorphism, render_warnings, ReportRepo,
+};
 use ceres_dom::{extract_scripts, splice_scripts, DomHandle};
 use ceres_instrument::{instrument_program, Mode};
 use ceres_interp::{Control, Interp, JsResult, TICKS_PER_MS};
@@ -141,7 +143,9 @@ pub fn analyze(
     let mut steps = Vec::new();
 
     // Step 1: request/response through the proxy.
-    steps.push(format!("1: browser requests {url}; proxy intercepts the response"));
+    steps.push(format!(
+        "1: browser requests {url}; proxy intercepts the response"
+    ));
     let doc = server
         .get(url)
         .ok_or_else(|| Control::Fatal(format!("404: {url} not published")))?;
@@ -153,7 +157,11 @@ pub fn analyze(
         Document::Js(src) => src.clone(),
         Document::Html(html) => {
             let blocks = extract_scripts(html);
-            blocks.iter().map(|b| b.content.as_str()).collect::<Vec<_>>().join("\n")
+            blocks
+                .iter()
+                .map(|b| b.content.as_str())
+                .collect::<Vec<_>>()
+                .join("\n")
         }
     };
 
@@ -188,7 +196,9 @@ pub fn analyze(
     let dom = ceres_dom::install_dom(&mut interp);
     let engine = attach_engine(&mut interp, opts.mode, loops);
     engine.borrow_mut().focus = opts.focus;
-    engine.borrow_mut().begin_task("main", interp.clock.now_ticks());
+    engine
+        .borrow_mut()
+        .begin_task("main", interp.clock.now_ticks());
     let main_result = interp.eval_source(&instrumented);
     engine.borrow_mut().end_task(interp.clock.now_ticks());
     main_result?;
@@ -229,29 +239,31 @@ pub fn publish_report(
     };
     let engine = run.engine.borrow();
     let files = vec![
-        ("timing.txt", format!(
-            "total: {:.1} ms\nactive: {:.1} ms\nin-loops: {:.1} ms\nloop fraction: {:.1}%\n",
-            run.total_ms,
-            run.active_ms,
-            run.loops_ms,
-            100.0 * run.loop_fraction()
-        )),
+        (
+            "timing.txt",
+            format!(
+                "total: {:.1} ms\nactive: {:.1} ms\nin-loops: {:.1} ms\nloop fraction: {:.1}%\n",
+                run.total_ms,
+                run.active_ms,
+                run.loops_ms,
+                100.0 * run.loop_fraction()
+            ),
+        ),
         ("loops.txt", render_loop_profile(&engine)),
         ("warnings.txt", render_warnings(&engine)),
         ("polymorphism.txt", render_polymorphism(&engine)),
         (
             "suggestions.txt",
-            crate::suggest::render_suggestions(
-                &engine,
-                &crate::suggest::suggest(&engine, &nests),
-            ),
+            crate::suggest::render_suggestions(&engine, &crate::suggest::suggest(&engine, &nests)),
         ),
         ("nests.txt", render_nest_table(&engine, &nests)),
         ("source.js", run.source.clone()),
     ];
     let id = repo.commit(app, &files)?;
-    run.steps.push(format!("6: proxy renders reports and commits ({id})"));
-    run.steps.push("7: results pushed to the report repository".to_string());
+    run.steps
+        .push(format!("6: proxy renders reports and commits ({id})"));
+    run.steps
+        .push("7: results pushed to the report repository".to_string());
     Ok(id)
 }
 
@@ -276,12 +288,21 @@ mod tests {
                     .to_string(),
             ),
         );
-        let run = analyze(&server, "app.js", AnalyzeOptions::default(), no_interaction())
-            .expect("pipeline");
+        let run = analyze(
+            &server,
+            "app.js",
+            AnalyzeOptions::default(),
+            no_interaction(),
+        )
+        .expect("pipeline");
         assert_eq!(run.console, vec!["1999000"]);
         assert!(run.total_ms > 0.0);
         assert!(run.loops_ms > 0.0);
-        assert!(run.loop_fraction() > 0.5, "loop fraction {}", run.loop_fraction());
+        assert!(
+            run.loop_fraction() > 0.5,
+            "loop fraction {}",
+            run.loop_fraction()
+        );
         assert_eq!(run.steps.len(), 5);
     }
 
@@ -299,8 +320,13 @@ mod tests {
                     .to_string(),
             ),
         );
-        let run = analyze(&server, "index.html", AnalyzeOptions::default(), no_interaction())
-            .expect("pipeline");
+        let run = analyze(
+            &server,
+            "index.html",
+            AnalyzeOptions::default(),
+            no_interaction(),
+        )
+        .expect("pipeline");
         assert_eq!(run.console, vec!["4950"]);
     }
 
@@ -316,7 +342,7 @@ mod tests {
                    clicks++;\n\
                    setTimeout(function () { console.log(\"late\", clicks); }, 5);\n\
                  });"
-                    .to_string(),
+                .to_string(),
             ),
         );
         let run = analyze(
@@ -336,7 +362,12 @@ mod tests {
     #[test]
     fn missing_document_is_an_error() {
         let server = WebServer::new();
-        let r = analyze(&server, "nope.js", AnalyzeOptions::default(), no_interaction());
+        let r = analyze(
+            &server,
+            "nope.js",
+            AnalyzeOptions::default(),
+            no_interaction(),
+        );
         assert!(matches!(r, Err(Control::Fatal(_))));
     }
 
@@ -358,8 +389,13 @@ mod tests {
                     .to_string(),
             ),
         );
-        let run = analyze(&server, "hot.js", AnalyzeOptions::default(), no_interaction())
-            .expect("pipeline");
+        let run = analyze(
+            &server,
+            "hot.js",
+            AnalyzeOptions::default(),
+            no_interaction(),
+        )
+        .expect("pipeline");
         assert!(run.total_ms > run.loops_ms, "idle time exists");
         assert!(run.loops_ms > 0.0);
         assert!(
@@ -382,7 +418,10 @@ mod tests {
         let mut run = analyze(
             &server,
             "app.js",
-            AnalyzeOptions { mode: Mode::Dependence, ..Default::default() },
+            AnalyzeOptions {
+                mode: Mode::Dependence,
+                ..Default::default()
+            },
             no_interaction(),
         )
         .expect("pipeline");
@@ -391,9 +430,14 @@ mod tests {
         let mut repo = ReportRepo::open(&dir).unwrap();
         let id = publish_report(&mut run, &mut repo, "demo").unwrap();
         assert_eq!(id, "commit-0001");
-        for f in
-            ["timing.txt", "loops.txt", "warnings.txt", "polymorphism.txt", "nests.txt", "source.js"]
-        {
+        for f in [
+            "timing.txt",
+            "loops.txt",
+            "warnings.txt",
+            "polymorphism.txt",
+            "nests.txt",
+            "source.js",
+        ] {
             assert!(dir.join("demo/commit-0001").join(f).exists(), "{f}");
         }
         assert_eq!(run.steps.len(), 7, "all Fig. 5 steps traced");

@@ -34,7 +34,11 @@ pub fn render_loop_profile(engine: &Engine) -> String {
             rec.instances,
             rec.trips.display_pm(),
             time_ms,
-            if rec.recursion_tainted { "  [recursion: results discarded]" } else { "" },
+            if rec.recursion_tainted {
+                "  [recursion: results discarded]"
+            } else {
+                ""
+            },
         ));
     }
     out
@@ -60,10 +64,15 @@ pub fn render_warnings(engine: &Engine) -> String {
                     "warning: {} `{}`{} ({} accesses)\n",
                     w.kind.describe(),
                     w.subject,
-                    w.op.as_deref().map(|o| format!(" via `{o}`")).unwrap_or_default(),
+                    w.op.as_deref()
+                        .map(|o| format!(" via `{o}`"))
+                        .unwrap_or_default(),
                     w.count
                 ));
-                out.push_str(&format!("  {}\n", render(&w.characterization, &engine.loops)));
+                out.push_str(&format!(
+                    "  {}\n",
+                    render(&w.characterization, &engine.loops)
+                ));
             }
         }
     }
@@ -104,7 +113,10 @@ pub fn render_polymorphism(engine: &Engine) -> String {
     }
     let mut out = String::new();
     for (subject, types) in poly {
-        out.push_str(&format!("polymorphic: `{subject}` observed as {}\n", types.join(", ")));
+        out.push_str(&format!(
+            "polymorphic: `{subject}` observed as {}\n",
+            types.join(", ")
+        ));
     }
     out
 }
@@ -129,11 +141,7 @@ impl ReportRepo {
     }
 
     /// Commit a set of named files under `app`; returns the commit id.
-    pub fn commit(
-        &mut self,
-        app: &str,
-        files: &[(&str, String)],
-    ) -> std::io::Result<String> {
+    pub fn commit(&mut self, app: &str, files: &[(&str, String)]) -> std::io::Result<String> {
         self.commits += 1;
         let id = format!("commit-{:04}", self.commits);
         let dir = self.root.join(app).join(&id);
@@ -196,8 +204,12 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let mut repo = ReportRepo::open(&dir).unwrap();
-            let id1 = repo.commit("app-a", &[("report.txt", "hello".into())]).unwrap();
-            let id2 = repo.commit("app-b", &[("report.txt", "world".into())]).unwrap();
+            let id1 = repo
+                .commit("app-a", &[("report.txt", "hello".into())])
+                .unwrap();
+            let id2 = repo
+                .commit("app-b", &[("report.txt", "world".into())])
+                .unwrap();
             assert_eq!(id1, "commit-0001");
             assert_eq!(id2, "commit-0002");
             assert!(dir.join("app-a/commit-0001/report.txt").exists());

@@ -67,7 +67,8 @@ pub type Characterization = Vec<LevelChar>;
 
 /// True when any level carries a dependence (the access is problematic).
 pub fn is_problematic(c: &Characterization) -> bool {
-    c.iter().any(|l| l.instance == Flag::Dependence || l.iteration == Flag::Dependence)
+    c.iter()
+        .any(|l| l.instance == Flag::Dependence || l.iteration == Flag::Dependence)
 }
 
 /// Render a characterization the way the paper prints them:
@@ -166,7 +167,10 @@ pub fn characterize_write(stamp: &[StackEntry], current: &[StackEntry]) -> Chara
 /// instance we are still inside. Writes from before the loop instance (or
 /// from a different instance) are loop inputs, not flow dependencies, and
 /// return `None`.
-pub fn flow_dependence(snapshot: &[StackEntry], current: &[StackEntry]) -> Option<Characterization> {
+pub fn flow_dependence(
+    snapshot: &[StackEntry],
+    current: &[StackEntry],
+) -> Option<Characterization> {
     let mut out = Vec::with_capacity(current.len());
     for (i, cur) in current.iter().enumerate() {
         match snapshot.get(i) {
@@ -208,16 +212,31 @@ mod tests {
     use ceres_ast::Span;
 
     fn entry(id: u32, inst: u64, iter: u64) -> StackEntry {
-        StackEntry { loop_id: LoopId(id), instance: inst, iteration: iter }
+        StackEntry {
+            loop_id: LoopId(id),
+            instance: inst,
+            iteration: iter,
+        }
     }
 
     fn loop_table() -> HashMap<LoopId, LoopInfo> {
         let mut m = HashMap::new();
         m.insert(
             LoopId(1),
-            LoopInfo { id: LoopId(1), kind: "while", span: Span::new(0, 0, 24) },
+            LoopInfo {
+                id: LoopId(1),
+                kind: "while",
+                span: Span::new(0, 0, 24),
+            },
         );
-        m.insert(LoopId(2), LoopInfo { id: LoopId(2), kind: "for", span: Span::new(0, 0, 6) });
+        m.insert(
+            LoopId(2),
+            LoopInfo {
+                id: LoopId(2),
+                kind: "for",
+                span: Span::new(0, 0, 6),
+            },
+        );
         m
     }
 
@@ -231,8 +250,16 @@ mod tests {
         assert_eq!(
             c,
             vec![
-                LevelChar { loop_id: LoopId(1), instance: Flag::Ok, iteration: Flag::Ok },
-                LevelChar { loop_id: LoopId(2), instance: Flag::Ok, iteration: Flag::Dependence },
+                LevelChar {
+                    loop_id: LoopId(1),
+                    instance: Flag::Ok,
+                    iteration: Flag::Ok
+                },
+                LevelChar {
+                    loop_id: LoopId(2),
+                    instance: Flag::Ok,
+                    iteration: Flag::Dependence
+                },
             ]
         );
         assert!(is_problematic(&c));
@@ -249,7 +276,9 @@ mod tests {
         let current = [entry(1, 1, 3), entry(2, 4, 7)];
         let c = characterize_write(&stamp, &current);
         assert!(!is_problematic(&c));
-        assert!(c.iter().all(|l| l.instance == Flag::Ok && l.iteration == Flag::Ok));
+        assert!(c
+            .iter()
+            .all(|l| l.instance == Flag::Ok && l.iteration == Flag::Ok));
     }
 
     #[test]
@@ -289,7 +318,10 @@ mod tests {
             (vec![], vec![entry(1, 1, 0)]),
             (vec![entry(1, 1, 0)], vec![entry(1, 1, 4), entry(2, 2, 2)]),
             (vec![entry(9, 1, 0)], vec![entry(1, 1, 0), entry(2, 1, 1)]),
-            (vec![entry(1, 2, 0)], vec![entry(1, 3, 5), entry(2, 9, 2), entry(3, 1, 0)]),
+            (
+                vec![entry(1, 2, 0)],
+                vec![entry(1, 3, 5), entry(2, 9, 2), entry(3, 1, 0)],
+            ),
         ];
         for (stamp, current) in cases {
             for l in characterize_write(&stamp, &current) {

@@ -40,8 +40,7 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
         match w.kind {
             WarningKind::VarWrite => {
                 let op = w.op.as_deref().unwrap_or("=");
-                if matches!(op, "+=" | "-=" | "*=") && !reductions.contains(&w.subject.as_str())
-                {
+                if matches!(op, "+=" | "-=" | "*=") && !reductions.contains(&w.subject.as_str()) {
                     reductions.push(&w.subject);
                 }
             }
@@ -53,7 +52,11 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
                     .unwrap_or(false);
                 let bucket = if disjoint_write {
                     &mut disjoint
-                } else if w.op.as_deref().map(|o| matches!(o, "+" | "-" | "*")).unwrap_or(false)
+                } else if w
+                    .op
+                    .as_deref()
+                    .map(|o| matches!(o, "+" | "-" | "*"))
+                    .unwrap_or(false)
                 {
                     &mut reductions
                 } else {
@@ -63,10 +66,9 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
                     bucket.push(&w.subject);
                 }
             }
-            WarningKind::FlowRead
-                if !flows.contains(&w.subject.as_str()) => {
-                    flows.push(&w.subject);
-                }
+            WarningKind::FlowRead if !flows.contains(&w.subject.as_str()) => {
+                flows.push(&w.subject);
+            }
             _ => {}
         }
     }
@@ -87,8 +89,7 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
     }
     // Flow reads on subjects whose writes were all compound are already
     // covered by the reduction advice; the rest are real chains.
-    let true_flows: Vec<&&str> =
-        flows.iter().filter(|f| !reductions.contains(*f)).collect();
+    let true_flows: Vec<&&str> = flows.iter().filter(|f| !reductions.contains(*f)).collect();
     if !true_flows.is_empty() {
         advice.push(format!(
             "sequential chain through {} — each iteration reads the previous one's \
@@ -136,21 +137,31 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
     if advice.is_empty() {
         advice.push(match nest.parallelization_difficulty {
             Difficulty::VeryEasy | Difficulty::Easy => {
-                "no problematic accesses — the loop is ready for a parallel operator"
-                    .to_string()
+                "no problematic accesses — the loop is ready for a parallel operator".to_string()
             }
             _ => "no specific advice derived; inspect the warnings manually".to_string(),
         });
     }
-    Suggestion { nest: nest.root, advice }
+    Suggestion {
+        nest: nest.root,
+        advice,
+    }
 }
 
 fn join(items: &[&str]) -> String {
-    items.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+    items
+        .iter()
+        .map(|s| format!("`{s}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn join_refs(items: &[&&str]) -> String {
-    items.iter().map(|s| format!("`{s}`")).collect::<Vec<_>>().join(", ")
+    items
+        .iter()
+        .map(|s| format!("`{s}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Render suggestions for a report file.

@@ -54,7 +54,9 @@ impl TaskRecord {
     /// Bernstein's conditions: tasks conflict on write-write, write-read or
     /// read-write intersections.
     pub fn conflicts_with(&self, other: &TaskRecord) -> bool {
-        self.writes.iter().any(|w| other.writes.contains(w) || other.reads.contains(w))
+        self.writes
+            .iter()
+            .any(|w| other.writes.contains(w) || other.reads.contains(w))
             || other.writes.iter().any(|w| self.reads.contains(w))
     }
 }
@@ -154,10 +156,7 @@ mod tests {
 
     #[test]
     fn read_read_sharing_does_not_conflict() {
-        let s = study_of(vec![
-            task("a", 80, &[4], &[6]),
-            task("b", 80, &[4], &[8]),
-        ]);
+        let s = study_of(vec![task("a", 80, &[4], &[6]), task("b", 80, &[4], &[8])]);
         assert_eq!(s.conflicts, 0);
         assert!((s.speedup_bound() - 2.0).abs() < 1e-12);
     }

@@ -1,9 +1,7 @@
 //! Property tests for the characterization-stack algebra (paper Sec. 3.3).
 
 use ceres_ast::LoopId;
-use ceres_core::stack::{
-    characterize_write, flow_dependence, Flag, StackEntry,
-};
+use ceres_core::stack::{characterize_write, flow_dependence, Flag, StackEntry};
 use proptest::prelude::*;
 
 fn entry_strategy() -> impl Strategy<Value = StackEntry> {

@@ -36,7 +36,12 @@ impl CanvasState {
                 pixels[i + 3] = 255;
             }
         }
-        Rc::new(RefCell::new(CanvasState { width, height, pixels, draw_ops: 0 }))
+        Rc::new(RefCell::new(CanvasState {
+            width,
+            height,
+            pixels,
+            draw_ops: 0,
+        }))
     }
 
     /// Copy out a sub-rectangle as RGBA bytes (clamped to the canvas).
@@ -99,7 +104,13 @@ mod tests {
         let b = CanvasState::new(16, 16);
         assert_eq!(a.borrow().checksum(), b.borrow().checksum());
         // Alpha is opaque everywhere.
-        assert!(a.borrow().pixels.iter().skip(3).step_by(4).all(|&p| p == 255));
+        assert!(a
+            .borrow()
+            .pixels
+            .iter()
+            .skip(3)
+            .step_by(4)
+            .all(|&p| p == 255));
     }
 
     #[test]

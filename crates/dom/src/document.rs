@@ -63,12 +63,20 @@ impl DomHandle {
         let n = handlers.len();
         let monitor = interp.monitor.clone();
         if let Some(m) = &monitor {
-            m.task_begin(&format!("event:{event_type}#{id}"), interp.clock.now_ticks());
+            m.task_begin(
+                &format!("event:{event_type}#{id}"),
+                interp.clock.now_ticks(),
+            );
         }
         let mut result = Ok(());
         for h in handlers {
             result = interp
-                .call_value(&h, Value::Object(target.clone()), &[Value::Object(event.clone())], None)
+                .call_value(
+                    &h,
+                    Value::Object(target.clone()),
+                    &[Value::Object(event.clone())],
+                    None,
+                )
                 .map(|_| ());
             if result.is_err() {
                 break;
@@ -115,7 +123,9 @@ pub fn install_dom(interp: &mut Interp) -> DomHandle {
         canvases: HashMap::new(),
         mutations: 0,
     }));
-    let handle = DomHandle { shared: shared.clone() };
+    let handle = DomHandle {
+        shared: shared.clone(),
+    };
 
     let document = new_object();
     document.set_tag(TAG_DOM);
@@ -176,7 +186,10 @@ pub fn install_dom(interp: &mut Interp) -> DomHandle {
     }
     // `window` is dispatchable like an element (interaction scripts send
     // synthetic "resize"/"keydown"/custom events to it by the id "window").
-    shared.borrow_mut().elements.insert("window".to_string(), window.clone());
+    shared
+        .borrow_mut()
+        .elements
+        .insert("window".to_string(), window.clone());
     interp.register_global("window", Value::Object(window));
 
     handle
@@ -188,7 +201,11 @@ fn element_by_id(shared: &Rc<RefCell<DomShared>>, id: &str) -> ObjRef {
     }
     // Ids that look like canvases get canvas powers; everything else is a
     // generic element. Workloads use ids like "canvas", "scene-canvas".
-    let tag = if id.contains("canvas") { "canvas" } else { "div" };
+    let tag = if id.contains("canvas") {
+        "canvas"
+    } else {
+        "div"
+    };
     new_element(shared, tag, Some(id))
 }
 
@@ -287,7 +304,10 @@ fn new_element(shared: &Rc<RefCell<DomShared>>, tag: &str, id: Option<&str>) -> 
     }
 
     if let Some(id) = id {
-        shared.borrow_mut().elements.insert(id.to_string(), el.clone());
+        shared
+            .borrow_mut()
+            .elements
+            .insert(id.to_string(), el.clone());
     }
     el
 }
@@ -301,7 +321,8 @@ fn install_canvas_element(shared: &Rc<RefCell<DomShared>>, el: &ObjRef) {
         "getContext",
         native("getContext", move |interp, _ctx, args| {
             let kind = ops::to_string(&arg(args, 0));
-            let w = ops::to_number(&el_for_ctx.get_own("width").unwrap_or(Value::Num(64.0))) as usize;
+            let w =
+                ops::to_number(&el_for_ctx.get_own("width").unwrap_or(Value::Num(64.0))) as usize;
             let h =
                 ops::to_number(&el_for_ctx.get_own("height").unwrap_or(Value::Num(64.0))) as usize;
             if kind.starts_with("webgl") {
@@ -339,10 +360,16 @@ pub fn parse_color(s: &str) -> [u8; 4] {
         .or_else(|| s.strip_prefix("rgb("))
         .and_then(|r| r.strip_suffix(')'))
     {
-        let parts: Vec<f64> =
-            inner.split(',').map(|p| p.trim().parse::<f64>().unwrap_or(0.0)).collect();
+        let parts: Vec<f64> = inner
+            .split(',')
+            .map(|p| p.trim().parse::<f64>().unwrap_or(0.0))
+            .collect();
         let c = |i: usize| parts.get(i).copied().unwrap_or(0.0).clamp(0.0, 255.0) as u8;
-        let a = if parts.len() > 3 { (parts[3].clamp(0.0, 1.0) * 255.0) as u8 } else { 255 };
+        let a = if parts.len() > 3 {
+            (parts[3].clamp(0.0, 1.0) * 255.0) as u8
+        } else {
+            255
+        };
         return [c(0), c(1), c(2), a];
     }
     [128, 128, 128, 255]
@@ -553,7 +580,15 @@ fn context_2d(canvas: CanvasRef) -> ObjRef {
             }),
         );
     }
-    for noop in ["save", "restore", "closePath", "translate", "rotate", "scale", "drawImage"] {
+    for noop in [
+        "save",
+        "restore",
+        "closePath",
+        "translate",
+        "rotate",
+        "scale",
+        "drawImage",
+    ] {
         let canvas = canvas.clone();
         ctx.set_prop(
             noop,
@@ -582,10 +617,27 @@ fn webgl_context() -> ObjRef {
     let gl = new_object();
     gl.set_tag(TAG_WEBGL);
     for m in [
-        "createShader", "shaderSource", "compileShader", "createProgram", "attachShader",
-        "linkProgram", "useProgram", "createBuffer", "bindBuffer", "bufferData", "drawArrays",
-        "viewport", "clear", "clearColor", "enable", "getAttribLocation", "getUniformLocation",
-        "uniform1f", "uniform2f", "vertexAttribPointer", "enableVertexAttribArray",
+        "createShader",
+        "shaderSource",
+        "compileShader",
+        "createProgram",
+        "attachShader",
+        "linkProgram",
+        "useProgram",
+        "createBuffer",
+        "bindBuffer",
+        "bufferData",
+        "drawArrays",
+        "viewport",
+        "clear",
+        "clearColor",
+        "enable",
+        "getAttribLocation",
+        "getUniformLocation",
+        "uniform1f",
+        "uniform2f",
+        "vertexAttribPointer",
+        "enableVertexAttribArray",
     ] {
         gl.set_prop(m, native(m, |_interp, _ctx, _args| Ok(Value::Undefined)));
     }
@@ -686,9 +738,13 @@ mod tests {
                  el.addEventListener(\"click\", function (e) { hits.push(e.x * 2); });",
             )
             .unwrap();
-        let n = dom.dispatch(&mut interp, "btn", "click", &[("x", 5.0)]).unwrap();
+        let n = dom
+            .dispatch(&mut interp, "btn", "click", &[("x", 5.0)])
+            .unwrap();
         assert_eq!(n, 2);
-        interp.eval_source("console.log(hits.join(\",\"));").unwrap();
+        interp
+            .eval_source("console.log(hits.join(\",\"));")
+            .unwrap();
         assert_eq!(interp.console, vec!["5,10"]);
         // Unknown id / type are no-ops.
         assert_eq!(dom.dispatch(&mut interp, "nope", "click", &[]).unwrap(), 0);
@@ -725,9 +781,15 @@ mod tests {
             )
             .unwrap();
         let accesses = probe.0.borrow();
-        assert!(accesses.iter().any(|(t, op)| *t == TAG_DOM && op == "getElementById"));
-        assert!(accesses.iter().any(|(t, op)| *t == TAG_DOM && op == "innerHTML"));
-        assert!(accesses.iter().any(|(t, op)| *t == TAG_CANVAS && op == "fillRect"));
+        assert!(accesses
+            .iter()
+            .any(|(t, op)| *t == TAG_DOM && op == "getElementById"));
+        assert!(accesses
+            .iter()
+            .any(|(t, op)| *t == TAG_DOM && op == "innerHTML"));
+        assert!(accesses
+            .iter()
+            .any(|(t, op)| *t == TAG_CANVAS && op == "fillRect"));
     }
 
     #[test]

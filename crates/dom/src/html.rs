@@ -30,18 +30,29 @@ pub fn extract_scripts(html: &str) -> Vec<ScriptBlock> {
     let mut pos = 0;
     while let Some(open_rel) = lower[pos..].find("<script") {
         let open = pos + open_rel;
-        let Some(tag_end_rel) = lower[open..].find('>') else { break };
+        let Some(tag_end_rel) = lower[open..].find('>') else {
+            break;
+        };
         let tag_end = open + tag_end_rel + 1;
         let open_tag = &html[open..tag_end];
         let is_external = open_tag.to_lowercase().contains("src=");
-        let Some(close_rel) = lower[tag_end..].find("</script") else { break };
+        let Some(close_rel) = lower[tag_end..].find("</script") else {
+            break;
+        };
         let close = tag_end + close_rel;
         if !is_external {
             let content = html[tag_end..close].to_string();
             let line = 1 + html[..tag_end].bytes().filter(|&b| b == b'\n').count() as u32;
-            blocks.push(ScriptBlock { content, start: tag_end, end: close, line });
+            blocks.push(ScriptBlock {
+                content,
+                start: tag_end,
+                end: close,
+                line,
+            });
         }
-        let Some(gt_rel) = lower[close..].find('>') else { break };
+        let Some(gt_rel) = lower[close..].find('>') else {
+            break;
+        };
         pos = close + gt_rel + 1;
     }
     blocks
@@ -51,7 +62,11 @@ pub fn extract_scripts(html: &str) -> Vec<ScriptBlock> {
 /// `replacements` (must be same length as `extract_scripts(html)`), giving
 /// the instrumented HTML the proxy sends back to the browser.
 pub fn splice_scripts(html: &str, blocks: &[ScriptBlock], replacements: &[String]) -> String {
-    assert_eq!(blocks.len(), replacements.len(), "one replacement per block");
+    assert_eq!(
+        blocks.len(),
+        replacements.len(),
+        "one replacement per block"
+    );
     let mut out = String::with_capacity(html.len());
     let mut cursor = 0;
     for (block, repl) in blocks.iter().zip(replacements) {

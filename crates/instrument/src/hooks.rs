@@ -48,8 +48,19 @@ pub const MCALL: &str = "__ceres_mcall";
 
 /// All hook names, for tests and for the engine's registration loop.
 pub const ALL_HOOKS: &[&str] = &[
-    LW_ENTER, LW_EXIT, LOOP_ENTER, ITER, LOOP_EXIT, DECLVARS, WRVAR, WRAP, GETPROP, SETPROP,
-    SETPROP2, UPDATE_PROP, MCALL,
+    LW_ENTER,
+    LW_EXIT,
+    LOOP_ENTER,
+    ITER,
+    LOOP_EXIT,
+    DECLVARS,
+    WRVAR,
+    WRAP,
+    GETPROP,
+    SETPROP,
+    SETPROP2,
+    UPDATE_PROP,
+    MCALL,
 ];
 
 #[cfg(test)]

@@ -49,7 +49,9 @@ impl std::fmt::Display for RefactorError {
             RefactorError::BodyBreaksOut => {
                 write!(f, "loop body breaks/continues at the loop's own level")
             }
-            RefactorError::BodyReturns => write!(f, "loop body returns from the enclosing function"),
+            RefactorError::BodyReturns => {
+                write!(f, "loop body returns from the enclosing function")
+            }
         }
     }
 }
@@ -69,11 +71,7 @@ pub fn refactor_loop(program: &Program, target: LoopId) -> Result<Program, Refac
     Ok(Program { body })
 }
 
-fn rewrite_stmt(
-    stmt: &Stmt,
-    target: LoopId,
-    found: &mut Result<(), RefactorError>,
-) -> Stmt {
+fn rewrite_stmt(stmt: &Stmt, target: LoopId, found: &mut Result<(), RefactorError>) -> Stmt {
     if let StmtKind::For { loop_id, .. } = &stmt.kind {
         if *loop_id == target {
             match try_transform(stmt) {
@@ -107,35 +105,55 @@ fn rewrite_stmt(
                 })
                 .collect(),
         ),
-        StmtKind::Return(e) => {
-            StmtKind::Return(e.as_ref().map(|e| rewrite_expr(e, target, found)))
-        }
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| rewrite_expr(e, target, found))),
         StmtKind::Block(ss) => {
             StmtKind::Block(ss.iter().map(|s| rewrite_stmt(s, target, found)).collect())
         }
         StmtKind::If { cond, then, alt } => StmtKind::If {
             cond: rewrite_expr(cond, target, found),
             then: Box::new(rewrite_stmt(then, target, found)),
-            alt: alt.as_ref().map(|a| Box::new(rewrite_stmt(a, target, found))),
+            alt: alt
+                .as_ref()
+                .map(|a| Box::new(rewrite_stmt(a, target, found))),
         },
-        StmtKind::While { loop_id, cond, body } => StmtKind::While {
+        StmtKind::While {
+            loop_id,
+            cond,
+            body,
+        } => StmtKind::While {
             loop_id: *loop_id,
             cond: rewrite_expr(cond, target, found),
             body: Box::new(rewrite_stmt(body, target, found)),
         },
-        StmtKind::DoWhile { loop_id, body, cond } => StmtKind::DoWhile {
+        StmtKind::DoWhile {
+            loop_id,
+            body,
+            cond,
+        } => StmtKind::DoWhile {
             loop_id: *loop_id,
             body: Box::new(rewrite_stmt(body, target, found)),
             cond: rewrite_expr(cond, target, found),
         },
-        StmtKind::For { loop_id, init, cond, update, body } => StmtKind::For {
+        StmtKind::For {
+            loop_id,
+            init,
+            cond,
+            update,
+            body,
+        } => StmtKind::For {
             loop_id: *loop_id,
             init: init.clone(),
             cond: cond.clone(),
             update: update.clone(),
             body: Box::new(rewrite_stmt(body, target, found)),
         },
-        StmtKind::ForIn { loop_id, decl, var, object, body } => StmtKind::ForIn {
+        StmtKind::ForIn {
+            loop_id,
+            decl,
+            var,
+            object,
+            body,
+        } => StmtKind::ForIn {
             loop_id: *loop_id,
             decl: *decl,
             var: var.clone(),
@@ -155,11 +173,22 @@ fn rewrite_stmt(
                 span: decl.func.span,
             },
         }),
-        StmtKind::Try { block, catch, finally } => StmtKind::Try {
-            block: block.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => StmtKind::Try {
+            block: block
+                .iter()
+                .map(|s| rewrite_stmt(s, target, found))
+                .collect(),
             catch: catch.as_ref().map(|c| CatchClause {
                 param: c.param.clone(),
-                body: c.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+                body: c
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
             }),
             finally: finally
                 .as_ref()
@@ -171,7 +200,11 @@ fn rewrite_stmt(
                 .iter()
                 .map(|c| SwitchCase {
                     test: c.test.clone(),
-                    body: c.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+                    body: c
+                        .body
+                        .iter()
+                        .map(|s| rewrite_stmt(s, target, found))
+                        .collect(),
                 })
                 .collect(),
         },
@@ -188,7 +221,11 @@ fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorErro
             name: name.clone(),
             func: Func {
                 params: func.params.clone(),
-                body: func.body.iter().map(|s| rewrite_stmt(s, target, found)).collect(),
+                body: func
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
                 span: func.span,
             },
         },
@@ -205,7 +242,11 @@ fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorErro
             op: *op,
             expr: Box::new(rewrite_expr(inner, target, found)),
         },
-        ExprKind::Update { op, prefix, target: t } => ExprKind::Update {
+        ExprKind::Update {
+            op,
+            prefix,
+            target: t,
+        } => ExprKind::Update {
             op: *op,
             prefix: *prefix,
             target: Box::new(rewrite_expr(t, target, found)),
@@ -220,7 +261,11 @@ fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorErro
             left: Box::new(rewrite_expr(left, target, found)),
             right: Box::new(rewrite_expr(right, target, found)),
         },
-        ExprKind::Assign { op, target: t, value } => ExprKind::Assign {
+        ExprKind::Assign {
+            op,
+            target: t,
+            value,
+        } => ExprKind::Assign {
             op: *op,
             target: Box::new(rewrite_expr(t, target, found)),
             value: Box::new(rewrite_expr(value, target, found)),
@@ -232,11 +277,17 @@ fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorErro
         },
         ExprKind::Call { callee, args } => ExprKind::Call {
             callee: Box::new(rewrite_expr(callee, target, found)),
-            args: args.iter().map(|a| rewrite_expr(a, target, found)).collect(),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, target, found))
+                .collect(),
         },
         ExprKind::New { callee, args } => ExprKind::New {
             callee: Box::new(rewrite_expr(callee, target, found)),
-            args: args.iter().map(|a| rewrite_expr(a, target, found)).collect(),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, target, found))
+                .collect(),
         },
         ExprKind::Member { object, prop } => ExprKind::Member {
             object: Box::new(rewrite_expr(object, target, found)),
@@ -256,7 +307,14 @@ fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), RefactorErro
 
 /// Attempt the canonical transformation of one `for` statement.
 fn try_transform(stmt: &Stmt) -> Result<Stmt, RefactorError> {
-    let StmtKind::For { init, cond, update, body, .. } = &stmt.kind else {
+    let StmtKind::For {
+        init,
+        cond,
+        update,
+        body,
+        ..
+    } = &stmt.kind
+    else {
         return Err(RefactorError::NonCanonicalHeader);
     };
 
@@ -269,7 +327,12 @@ fn try_transform(stmt: &Stmt) -> Result<Stmt, RefactorError> {
             ds[0].name.clone()
         }
         Some(ForInit::Expr(Expr {
-            kind: ExprKind::Assign { op: AssignOp::Assign, target, value },
+            kind:
+                ExprKind::Assign {
+                    op: AssignOp::Assign,
+                    target,
+                    value,
+                },
             ..
         })) if matches!(value.kind, ExprKind::Num(n) if n == 0.0) => match &target.kind {
             ExprKind::Ident(name) => name.clone(),
@@ -280,21 +343,38 @@ fn try_transform(stmt: &Stmt) -> Result<Stmt, RefactorError> {
 
     // `i < N`.
     let bound = match cond {
-        Some(Expr { kind: ExprKind::Binary { op: BinaryOp::Lt, left, right }, .. })
-            if matches!(&left.kind, ExprKind::Ident(n) if *n == var) =>
-        {
-            (**right).clone()
-        }
+        Some(Expr {
+            kind:
+                ExprKind::Binary {
+                    op: BinaryOp::Lt,
+                    left,
+                    right,
+                },
+            ..
+        }) if matches!(&left.kind, ExprKind::Ident(n) if *n == var) => (**right).clone(),
         _ => return Err(RefactorError::NonCanonicalHeader),
     };
 
     // `i++` / `++i` / `i += 1`.
     let canonical_update = match update {
-        Some(Expr { kind: ExprKind::Update { op: UpdateOp::Inc, target, .. }, .. }) => {
+        Some(Expr {
+            kind:
+                ExprKind::Update {
+                    op: UpdateOp::Inc,
+                    target,
+                    ..
+                },
+            ..
+        }) => {
             matches!(&target.kind, ExprKind::Ident(n) if *n == var)
         }
         Some(Expr {
-            kind: ExprKind::Assign { op: AssignOp::Add, target, value },
+            kind:
+                ExprKind::Assign {
+                    op: AssignOp::Add,
+                    target,
+                    value,
+                },
             ..
         }) => {
             matches!(&target.kind, ExprKind::Ident(n) if *n == var)
@@ -321,7 +401,10 @@ fn try_transform(stmt: &Stmt) -> Result<Stmt, RefactorError> {
             span: Span::SYNTHETIC,
         },
     });
-    Ok(build::expr_stmt(build::call("forEachPar", vec![bound, callback])))
+    Ok(build::expr_stmt(build::call(
+        "forEachPar",
+        vec![bound, callback],
+    )))
 }
 
 /// Reject bodies with loop-level `break`/`continue` or function-level
@@ -346,7 +429,11 @@ fn check_body(stmt: &Stmt, depth: u32) -> Result<(), RefactorError> {
         | StmtKind::DoWhile { body, .. }
         | StmtKind::For { body, .. }
         | StmtKind::ForIn { body, .. } => check_body(body, depth + 1),
-        StmtKind::Try { block, catch, finally } => {
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
             block.iter().try_for_each(|s| check_body(s, depth))?;
             if let Some(c) = catch {
                 c.body.iter().try_for_each(|s| check_body(s, depth))?;
@@ -435,7 +522,10 @@ mod tests {
         );
         // continue at the loop's own level
         assert_eq!(
-            refactor("for (var i = 0; i < 8; i++) { if (i % 2) { continue; } f(i); }", 1),
+            refactor(
+                "for (var i = 0; i < 8; i++) { if (i % 2) { continue; } f(i); }",
+                1
+            ),
             Err(RefactorError::BodyBreaksOut)
         );
     }

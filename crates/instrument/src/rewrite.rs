@@ -93,7 +93,9 @@ fn collect_declared(body: &[Stmt], out: &mut Vec<String>) {
                 }
                 stmt(body, out);
             }
-            StmtKind::ForIn { decl, var, body, .. } => {
+            StmtKind::ForIn {
+                decl, var, body, ..
+            } => {
                 if *decl {
                     push(out, var);
                 }
@@ -104,7 +106,11 @@ fn collect_declared(body: &[Stmt], out: &mut Vec<String>) {
                     stmt(s, out);
                 }
             }
-            StmtKind::Try { block, catch, finally } => {
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
                 for s in block {
                     stmt(s, out);
                 }
@@ -161,7 +167,11 @@ impl Rewriter {
                 then: Box::new(self.stmt(then)),
                 alt: alt.as_ref().map(|a| Box::new(self.stmt(a))),
             },
-            StmtKind::While { loop_id, cond, body } => {
+            StmtKind::While {
+                loop_id,
+                cond,
+                body,
+            } => {
                 return self.wrap_loop(
                     *loop_id,
                     Stmt::new(
@@ -174,7 +184,11 @@ impl Rewriter {
                     ),
                 );
             }
-            StmtKind::DoWhile { loop_id, body, cond } => {
+            StmtKind::DoWhile {
+                loop_id,
+                body,
+                cond,
+            } => {
                 return self.wrap_loop(
                     *loop_id,
                     Stmt::new(
@@ -187,7 +201,13 @@ impl Rewriter {
                     ),
                 );
             }
-            StmtKind::For { loop_id, init, cond, update, body } => {
+            StmtKind::For {
+                loop_id,
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 let init = init.as_ref().map(|i| match i {
                     ForInit::VarDecl(ds) => ForInit::VarDecl(self.var_decls(ds)),
                     ForInit::Expr(e) => ForInit::Expr(self.for_init_expr(e)),
@@ -206,7 +226,13 @@ impl Rewriter {
                     ),
                 );
             }
-            StmtKind::ForIn { loop_id, decl, var, object, body } => {
+            StmtKind::ForIn {
+                loop_id,
+                decl,
+                var,
+                object,
+                body,
+            } => {
                 // The loop variable is (re)written each iteration: record it.
                 let extra = if self.tracks_accesses() {
                     Some(build::expr_stmt(build::call(
@@ -234,7 +260,11 @@ impl Rewriter {
             StmtKind::Break => StmtKind::Break,
             StmtKind::Continue => StmtKind::Continue,
             StmtKind::Throw(e) => StmtKind::Throw(self.expr(e)),
-            StmtKind::Try { block, catch, finally } => StmtKind::Try {
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => StmtKind::Try {
                 block: block.iter().map(|s| self.stmt(s)).collect(),
                 catch: catch.as_ref().map(|c| {
                     let mut body: Vec<Stmt> = Vec::with_capacity(c.body.len() + 1);
@@ -246,7 +276,10 @@ impl Rewriter {
                         )));
                     }
                     body.extend(c.body.iter().map(|s| self.stmt(s)));
-                    CatchClause { param: c.param.clone(), body }
+                    CatchClause {
+                        param: c.param.clone(),
+                        body,
+                    }
                 }),
                 finally: finally
                     .as_ref()
@@ -278,17 +311,17 @@ impl Rewriter {
                         // exactly this case), with the value observed.
                         build::call(
                             hooks::WRVAR,
-                            vec![
-                                build::str_lit(&d.name),
-                                build::str_lit("init"),
-                                e,
-                            ],
+                            vec![build::str_lit(&d.name), build::str_lit("init"), e],
                         )
                     } else {
                         e
                     }
                 });
-                VarDeclarator { name: d.name.clone(), init, span: d.span }
+                VarDeclarator {
+                    name: d.name.clone(),
+                    init,
+                    span: d.span,
+                }
             })
             .collect()
     }
@@ -301,10 +334,14 @@ impl Rewriter {
             return self.expr(e);
         }
         match &e.kind {
-            ExprKind::Assign { op: AssignOp::Assign, target, value }
-                if matches!(target.kind, ExprKind::Ident(_)) =>
-            {
-                let ExprKind::Ident(name) = &target.kind else { unreachable!() };
+            ExprKind::Assign {
+                op: AssignOp::Assign,
+                target,
+                value,
+            } if matches!(target.kind, ExprKind::Ident(_)) => {
+                let ExprKind::Ident(name) = &target.kind else {
+                    unreachable!()
+                };
                 Expr::new(
                     ExprKind::Assign {
                         op: AssignOp::Assign,
@@ -321,9 +358,9 @@ impl Rewriter {
                     e.span,
                 )
             }
-            ExprKind::Seq(parts) => build::seq(
-                parts.iter().map(|p| self.for_init_expr(p)).collect(),
-            ),
+            ExprKind::Seq(parts) => {
+                build::seq(parts.iter().map(|p| self.for_init_expr(p)).collect())
+            }
             _ => self.expr(e),
         }
     }
@@ -336,7 +373,11 @@ impl Rewriter {
             }
         }
         body.extend(f.body.iter().map(|s| self.stmt(s)));
-        Func { params: f.params.clone(), body, span: f.span }
+        Func {
+            params: f.params.clone(),
+            body,
+            span: f.span,
+        }
     }
 
     /// Prefix the (block) body with the per-iteration hook, plus an optional
@@ -405,7 +446,10 @@ impl Rewriter {
             },
             ExprKind::Array(els) => ExprKind::Array(els.iter().map(|x| self.expr(x)).collect()),
             ExprKind::Object(props) => ExprKind::Object(
-                props.iter().map(|(k, v)| (k.clone(), self.expr(v))).collect(),
+                props
+                    .iter()
+                    .map(|(k, v)| (k.clone(), self.expr(v)))
+                    .collect(),
             ),
             ExprKind::Unary { op, expr } => ExprKind::Unary {
                 op: *op,
@@ -523,7 +567,10 @@ impl Rewriter {
                 hooks::WRAP,
                 vec![Expr::new(
                     ExprKind::Object(
-                        props.iter().map(|(k, v)| (k.clone(), self.expr(v))).collect(),
+                        props
+                            .iter()
+                            .map(|(k, v)| (k.clone(), self.expr(v)))
+                            .collect(),
                     ),
                     e.span,
                 )],
@@ -538,7 +585,10 @@ impl Rewriter {
             ExprKind::Func { name, func } => build::call(
                 hooks::WRAP,
                 vec![Expr::new(
-                    ExprKind::Func { name: name.clone(), func: self.func(func) },
+                    ExprKind::Func {
+                        name: name.clone(),
+                        func: self.func(func),
+                    },
                     e.span,
                 )],
             ),
@@ -589,7 +639,10 @@ impl Rewriter {
                 }
             }
             // `delete o.p` must keep the member syntactically intact.
-            ExprKind::Unary { op: UnaryOp::Delete, expr: inner } => {
+            ExprKind::Unary {
+                op: UnaryOp::Delete,
+                expr: inner,
+            } => {
                 let inner = match &inner.kind {
                     ExprKind::Member { object, prop } => Expr::new(
                         ExprKind::Member {
@@ -608,16 +661,18 @@ impl Rewriter {
                     _ => self.expr(inner),
                 };
                 Expr::new(
-                    ExprKind::Unary { op: UnaryOp::Delete, expr: Box::new(inner) },
+                    ExprKind::Unary {
+                        op: UnaryOp::Delete,
+                        expr: Box::new(inner),
+                    },
                     e.span,
                 )
             }
             // `typeof x` tolerates undeclared names: leave the operand raw.
-            ExprKind::Unary { op: UnaryOp::TypeOf, expr: inner }
-                if matches!(inner.kind, ExprKind::Ident(_)) =>
-            {
-                e.clone()
-            }
+            ExprKind::Unary {
+                op: UnaryOp::TypeOf,
+                expr: inner,
+            } if matches!(inner.kind, ExprKind::Ident(_)) => e.clone(),
             _ => self.expr_structural(e),
         }
     }
@@ -677,7 +732,14 @@ impl Rewriter {
         if let Some(b) = &base {
             args.push(build::str_lit(b));
         }
-        build::call(if op.binary().is_none() { hooks::SETPROP } else { hooks::SETPROP2 }, args)
+        build::call(
+            if op.binary().is_none() {
+                hooks::SETPROP
+            } else {
+                hooks::SETPROP2
+            },
+            args,
+        )
     }
 
     fn update_prop(
@@ -688,7 +750,12 @@ impl Rewriter {
         prefix: bool,
         base: Option<String>,
     ) -> Expr {
-        let mut args = vec![obj, key, build::num(delta), build::num(if prefix { 1.0 } else { 0.0 })];
+        let mut args = vec![
+            obj,
+            key,
+            build::num(delta),
+            build::num(if prefix { 1.0 } else { 0.0 }),
+        ];
         if let Some(b) = &base {
             args.push(build::str_lit(b));
         }
@@ -743,7 +810,7 @@ mod tests {
     }
 
     #[test]
-    fn instrumented_output_reparses(){
+    fn instrumented_output_reparses() {
         for mode in [Mode::Lightweight, Mode::LoopProfile, Mode::Dependence] {
             let out = instrument(
                 "function f(a) { var t = { x: 1 }; for (var i = 0; i < a.length; i++) { t.x += a[i]; } return t.x; }\n\
@@ -765,15 +832,15 @@ mod tests {
     #[test]
     fn dependence_rewrites_property_writes_with_base_var() {
         let out = instrument("p.vX += p.fX / p.m * dT;", Mode::Dependence);
-        assert!(
-            out.contains("__ceres_setprop2(p, \"vX\", \"+\""),
-            "{out}"
-        );
+        assert!(out.contains("__ceres_setprop2(p, \"vX\", \"+\""), "{out}");
         // Base-variable name is passed as the trailing argument.
         assert!(out.contains(", \"p\")"), "{out}");
         let out = instrument("a.b.c = 1;", Mode::Dependence);
         // Base of the write is `a.b` (not a variable): no trailing name.
-        assert!(out.contains("__ceres_setprop(__ceres_getprop(a, \"b\", \"a\"), \"c\", 1)"), "{out}");
+        assert!(
+            out.contains("__ceres_setprop(__ceres_getprop(a, \"b\", \"a\"), \"c\", 1)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -791,7 +858,10 @@ mod tests {
     #[test]
     fn dependence_method_calls_preserve_receiver() {
         let out = instrument("bodies.push(x); grid[i].step();", Mode::Dependence);
-        assert!(out.contains("__ceres_mcall(bodies, \"push\", \"bodies\", x)"), "{out}");
+        assert!(
+            out.contains("__ceres_mcall(bodies, \"push\", \"bodies\", x)"),
+            "{out}"
+        );
         assert!(
             out.contains("__ceres_mcall(__ceres_getprop(grid, i, \"grid\"), \"step\", null)"),
             "{out}"
@@ -825,8 +895,14 @@ mod tests {
     fn update_expressions() {
         let out = instrument("i++; o.n--; ++arr[k];", Mode::Dependence);
         assert!(out.contains("__ceres_wrvar(\"i\", \"++\"), i++"), "{out}");
-        assert!(out.contains("__ceres_update_prop(o, \"n\", -1, 0, \"o\")"), "{out}");
-        assert!(out.contains("__ceres_update_prop(arr, k, 1, 1, \"arr\")"), "{out}");
+        assert!(
+            out.contains("__ceres_update_prop(o, \"n\", -1, 0, \"o\")"),
+            "{out}"
+        );
+        assert!(
+            out.contains("__ceres_update_prop(arr, k, 1, 1, \"arr\")"),
+            "{out}"
+        );
     }
 
     #[test]

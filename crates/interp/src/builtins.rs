@@ -37,7 +37,11 @@ fn num_arg(args: &[Value], i: usize) -> f64 {
     ops::to_number(&arg(args, i))
 }
 
-fn method(table: &ObjRef, name: &str, f: impl Fn(&mut Interp, &CallCtx, &[Value]) -> JsResult + 'static) {
+fn method(
+    table: &ObjRef,
+    name: &str,
+    f: impl Fn(&mut Interp, &CallCtx, &[Value]) -> JsResult + 'static,
+) {
     table.set_prop(name, native(name, f));
 }
 
@@ -103,7 +107,9 @@ fn install_math(interp: &mut Interp) {
         }
         Ok(Value::Num(m))
     });
-    method(&math, "random", |interp, _, _| Ok(Value::Num(interp.next_random())));
+    method(&math, "random", |interp, _, _| {
+        Ok(Value::Num(interp.next_random()))
+    });
     method(&math, "sign", |_, _, args| {
         let n = num_arg(args, 0);
         Ok(Value::Num(if n.is_nan() {
@@ -116,7 +122,9 @@ fn install_math(interp: &mut Interp) {
             n // preserves ±0
         }))
     });
-    method(&math, "trunc", |_, _, args| Ok(Value::Num(num_arg(args, 0).trunc())));
+    method(&math, "trunc", |_, _, args| {
+        Ok(Value::Num(num_arg(args, 0).trunc()))
+    });
     method(&math, "hypot", |_, _, args| {
         let mut sum = 0.0;
         for a in args {
@@ -125,7 +133,9 @@ fn install_math(interp: &mut Interp) {
         }
         Ok(Value::Num(sum.sqrt()))
     });
-    method(&math, "cbrt", |_, _, args| Ok(Value::Num(num_arg(args, 0).cbrt())));
+    method(&math, "cbrt", |_, _, args| {
+        Ok(Value::Num(num_arg(args, 0).cbrt()))
+    });
 
     interp.register_global("Math", Value::Object(math));
 }
@@ -137,8 +147,10 @@ fn install_math(interp: &mut Interp) {
 fn this_array(interp: &mut Interp, ctx: &CallCtx, method_name: &str) -> JsResult<ObjRef> {
     match ctx.this.as_object() {
         Some(o) if o.is_array() => Ok(o.clone()),
-        _ => interp
-            .throw("TypeError", format!("Array.prototype.{method_name} called on non-array")),
+        _ => interp.throw(
+            "TypeError",
+            format!("Array.prototype.{method_name} called on non-array"),
+        ),
     }
 }
 
@@ -157,12 +169,21 @@ fn install_array(interp: &mut Interp) {
     });
     method(&table, "pop", |interp, ctx, _| {
         let arr = this_array(interp, ctx, "pop")?;
-        Ok(arr.with_array_mut(|v| v.pop()).flatten().unwrap_or(Value::Undefined))
+        Ok(arr
+            .with_array_mut(|v| v.pop())
+            .flatten()
+            .unwrap_or(Value::Undefined))
     });
     method(&table, "shift", |interp, ctx, _| {
         let arr = this_array(interp, ctx, "shift")?;
         Ok(arr
-            .with_array_mut(|v| if v.is_empty() { None } else { Some(v.remove(0)) })
+            .with_array_mut(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            })
             .flatten()
             .unwrap_or(Value::Undefined))
     });
@@ -182,7 +203,9 @@ fn install_array(interp: &mut Interp) {
         let arr = this_array(interp, ctx, "slice")?;
         let len = arr.array_len().unwrap_or(0) as i64;
         let (start, end) = slice_bounds(args, len);
-        let out: Vec<Value> = (start..end).filter_map(|i| arr.array_get(i as usize)).collect();
+        let out: Vec<Value> = (start..end)
+            .filter_map(|i| arr.array_get(i as usize))
+            .collect();
         Ok(Value::Object(new_array(out)))
     });
     method(&table, "splice", |interp, ctx, args| {
@@ -419,7 +442,9 @@ fn install_array(interp: &mut Interp) {
     ctor.set_prop(
         "isArray",
         native("isArray", |_, _, args| {
-            Ok(Value::Bool(matches!(arg(args, 0).as_object(), Some(o) if o.is_array())))
+            Ok(Value::Bool(
+                matches!(arg(args, 0).as_object(), Some(o) if o.is_array()),
+            ))
         }),
     );
     interp.register_global("Array", Value::Object(ctor));
@@ -435,7 +460,11 @@ fn clamp_index(n: f64, len: i64) -> i64 {
 }
 
 fn slice_bounds(args: &[Value], len: i64) -> (i64, i64) {
-    let start = if args.is_empty() { 0 } else { clamp_index(num_arg(args, 0), len) };
+    let start = if args.is_empty() {
+        0
+    } else {
+        clamp_index(num_arg(args, 0), len)
+    };
     let end = if args.len() < 2 || matches!(args[1], Value::Undefined) {
         len
     } else {
@@ -458,7 +487,9 @@ fn install_string(interp: &mut Interp) {
     method(&table, "charAt", |_, ctx, args| {
         let s = this_string(ctx);
         let i = num_arg(args, 0) as usize;
-        Ok(Value::str(s.chars().nth(i).map(|c| c.to_string()).unwrap_or_default()))
+        Ok(Value::str(
+            s.chars().nth(i).map(|c| c.to_string()).unwrap_or_default(),
+        ))
     });
     method(&table, "charCodeAt", |_, ctx, args| {
         let s = this_string(ctx);
@@ -479,7 +510,9 @@ fn install_string(interp: &mut Interp) {
     method(&table, "slice", |_, ctx, args| {
         let s: Vec<char> = this_string(ctx).chars().collect();
         let (start, end) = slice_bounds(args, s.len() as i64);
-        Ok(Value::str(s[start as usize..end as usize].iter().collect::<String>()))
+        Ok(Value::str(
+            s[start as usize..end as usize].iter().collect::<String>(),
+        ))
     });
     method(&table, "substring", |_, ctx, args| {
         let s: Vec<char> = this_string(ctx).chars().collect();
@@ -491,15 +524,23 @@ fn install_string(interp: &mut Interp) {
             (num_arg(args, 1).max(0.0) as i64).min(len)
         };
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        Ok(Value::str(s[lo as usize..hi as usize].iter().collect::<String>()))
+        Ok(Value::str(
+            s[lo as usize..hi as usize].iter().collect::<String>(),
+        ))
     });
     method(&table, "substr", |_, ctx, args| {
         let s: Vec<char> = this_string(ctx).chars().collect();
         let len = s.len() as i64;
         let start = clamp_index(num_arg(args, 0), len);
-        let count = if args.len() < 2 { len - start } else { num_arg(args, 1).max(0.0) as i64 };
+        let count = if args.len() < 2 {
+            len - start
+        } else {
+            num_arg(args, 1).max(0.0) as i64
+        };
         let end = (start + count).min(len);
-        Ok(Value::str(s[start as usize..end as usize].iter().collect::<String>()))
+        Ok(Value::str(
+            s[start as usize..end as usize].iter().collect::<String>(),
+        ))
     });
     method(&table, "split", |_, ctx, args| {
         let s = this_string(ctx);
@@ -517,9 +558,15 @@ fn install_string(interp: &mut Interp) {
         };
         Ok(Value::Object(new_array(parts)))
     });
-    method(&table, "toUpperCase", |_, ctx, _| Ok(Value::str(this_string(ctx).to_uppercase())));
-    method(&table, "toLowerCase", |_, ctx, _| Ok(Value::str(this_string(ctx).to_lowercase())));
-    method(&table, "trim", |_, ctx, _| Ok(Value::str(this_string(ctx).trim())));
+    method(&table, "toUpperCase", |_, ctx, _| {
+        Ok(Value::str(this_string(ctx).to_uppercase()))
+    });
+    method(&table, "toLowerCase", |_, ctx, _| {
+        Ok(Value::str(this_string(ctx).to_lowercase()))
+    });
+    method(&table, "trim", |_, ctx, _| {
+        Ok(Value::str(this_string(ctx).trim()))
+    });
     method(&table, "replace", |_, ctx, args| {
         // String-pattern replace (first occurrence), no regex in the subset.
         let s = this_string(ctx);
@@ -527,7 +574,9 @@ fn install_string(interp: &mut Interp) {
         let rep = ops::to_string(&arg(args, 1));
         Ok(Value::str(s.replacen(&pat, &rep, 1)))
     });
-    method(&table, "toString", |_, ctx, _| Ok(Value::str(this_string(ctx))));
+    method(&table, "toString", |_, ctx, _| {
+        Ok(Value::str(this_string(ctx)))
+    });
 
     // String() conversion + String.fromCharCode.
     let ctor = native_fn(
@@ -592,9 +641,9 @@ fn install_function_methods(interp: &mut Interp) {
     method(&table, "apply", |interp, ctx, args| {
         let this = arg(args, 0);
         let rest: Vec<Value> = match arg(args, 1).as_object() {
-            Some(o) if o.is_array() => {
-                (0..o.array_len().unwrap_or(0)).map(|i| o.array_get(i).unwrap()).collect()
-            }
+            Some(o) if o.is_array() => (0..o.array_len().unwrap_or(0))
+                .map(|i| o.array_get(i).unwrap())
+                .collect(),
             _ => Vec::new(),
         };
         interp.call_value(&ctx.this, this, &rest, ctx.caller_scope.clone())
@@ -608,7 +657,12 @@ fn install_function_methods(interp: &mut Interp) {
         Ok(native("bound", move |interp, inner_ctx, call_args| {
             let mut all = prefix.clone();
             all.extend(call_args.iter().cloned());
-            interp.call_value(&target, bound_this.clone(), &all, inner_ctx.caller_scope.clone())
+            interp.call_value(
+                &target,
+                bound_this.clone(),
+                &all,
+                inner_ctx.caller_scope.clone(),
+            )
         }))
     });
 }
@@ -620,10 +674,12 @@ fn install_function_methods(interp: &mut Interp) {
 fn install_object(interp: &mut Interp) {
     let ctor = native_fn(
         "Object",
-        Rc::new(|_: &mut Interp, _: &CallCtx, args: &[Value]| match arg(args, 0) {
-            Value::Object(o) => Ok(Value::Object(o)),
-            _ => Ok(Value::Object(new_object())),
-        }),
+        Rc::new(
+            |_: &mut Interp, _: &CallCtx, args: &[Value]| match arg(args, 0) {
+                Value::Object(o) => Ok(Value::Object(o)),
+                _ => Ok(Value::Object(new_object())),
+            },
+        ),
     );
     ctor.set_prop(
         "create",
@@ -638,9 +694,9 @@ fn install_object(interp: &mut Interp) {
     ctor.set_prop(
         "keys",
         native("keys", |_, _, args| match arg(args, 0) {
-            Value::Object(o) => {
-                Ok(Value::Object(new_array(o.own_keys().into_iter().map(Value::str).collect())))
-            }
+            Value::Object(o) => Ok(Value::Object(new_array(
+                o.own_keys().into_iter().map(Value::str).collect(),
+            ))),
             _ => Ok(Value::Object(new_array(Vec::new()))),
         }),
     );
@@ -674,7 +730,9 @@ fn install_globals(interp: &mut Interp) {
             None => (false, t.strip_prefix('+').unwrap_or(t)),
         };
         let t = if radix == 16 {
-            t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t)
+            t.strip_prefix("0x")
+                .or_else(|| t.strip_prefix("0X"))
+                .unwrap_or(t)
         } else {
             t
         };
@@ -711,15 +769,20 @@ fn install_globals(interp: &mut Interp) {
     interp.register_native("isFinite", |_, _, args| {
         Ok(Value::Bool(ops::to_number(&arg(args, 0)).is_finite()))
     });
-    interp.register_native("Boolean", |_, _, args| Ok(Value::Bool(arg(args, 0).truthy())));
+    interp.register_native("Boolean", |_, _, args| {
+        Ok(Value::Bool(arg(args, 0).truthy()))
+    });
 
     // console.log / console.error → captured lines.
     let console = new_object();
     console.set_prop(
         "log",
         native("log", |interp, _, args| {
-            let line =
-                args.iter().map(ops::to_string).collect::<Vec<_>>().join(" ");
+            let line = args
+                .iter()
+                .map(ops::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
             interp.console.push(line);
             Ok(Value::Undefined)
         }),
@@ -727,8 +790,11 @@ fn install_globals(interp: &mut Interp) {
     console.set_prop(
         "error",
         native("error", |interp, _, args| {
-            let line =
-                args.iter().map(ops::to_string).collect::<Vec<_>>().join(" ");
+            let line = args
+                .iter()
+                .map(ops::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
             interp.console.push(format!("[error] {line}"));
             Ok(Value::Undefined)
         }),
@@ -750,7 +816,9 @@ fn install_globals(interp: &mut Interp) {
     );
     date.set_prop(
         "now",
-        native("now", |interp, _, _| Ok(Value::Num(interp.clock.now_ms().floor()))),
+        native("now", |interp, _, _| {
+            Ok(Value::Num(interp.clock.now_ms().floor()))
+        }),
     );
     interp.register_global("Date", Value::Object(date));
 
@@ -813,16 +881,25 @@ fn install_globals(interp: &mut Interp) {
     let json = new_object();
     json.set_prop(
         "stringify",
-        native("stringify", |_, _, args| Ok(Value::str(stringify(&arg(args, 0), 0)))),
+        native("stringify", |_, _, args| {
+            Ok(Value::str(stringify(&arg(args, 0), 0)))
+        }),
     );
     interp.register_global("JSON", Value::Object(json));
 
     // Typed arrays as dense arrays of zeros.
-    for name in ["Float32Array", "Float64Array", "Uint8Array", "Uint8ClampedArray", "Int32Array", "Uint32Array"] {
+    for name in [
+        "Float32Array",
+        "Float64Array",
+        "Uint8Array",
+        "Uint8ClampedArray",
+        "Int32Array",
+        "Uint32Array",
+    ] {
         let ctor = native_fn(
             name,
-            Rc::new(|_: &mut Interp, _: &CallCtx, args: &[Value]| {
-                match arg(args, 0) {
+            Rc::new(
+                |_: &mut Interp, _: &CallCtx, args: &[Value]| match arg(args, 0) {
                     Value::Num(n) => {
                         let len = if n >= 0.0 { n as usize } else { 0 };
                         Ok(Value::Object(new_array(vec![Value::Num(0.0); len])))
@@ -838,8 +915,8 @@ fn install_globals(interp: &mut Interp) {
                         Ok(Value::Object(new_array(vals)))
                     }
                     _ => Ok(Value::Object(new_array(Vec::new()))),
-                }
-            }),
+                },
+            ),
         );
         interp.register_global(name, Value::Object(ctor));
     }
@@ -883,5 +960,3 @@ fn stringify(v: &Value, depth: usize) -> String {
         }
     }
 }
-
-

@@ -45,7 +45,10 @@ pub type ScopeRef = Rc<Scope>;
 impl Scope {
     /// The global scope.
     pub fn global() -> ScopeRef {
-        Rc::new(Scope { vars: RefCell::new(HashMap::new()), parent: None })
+        Rc::new(Scope {
+            vars: RefCell::new(HashMap::new()),
+            parent: None,
+        })
     }
 
     /// A child scope (function activation or catch clause).
@@ -63,7 +66,10 @@ impl Scope {
         if let Some(existing) = vars.get(name) {
             return existing.clone();
         }
-        let binding = Rc::new(RefCell::new(Binding { id: next_binding_id(), value }));
+        let binding = Rc::new(RefCell::new(Binding {
+            id: next_binding_id(),
+            value,
+        }));
         vars.insert(name.to_string(), binding.clone());
         binding
     }

@@ -334,7 +334,13 @@ impl Interp {
                 }
                 Ok(())
             }
-            StmtKind::For { init, cond, update, body, .. } => {
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 match init {
                     Some(ForInit::VarDecl(decls)) => {
                         for d in decls {
@@ -368,7 +374,13 @@ impl Interp {
                 }
                 Ok(())
             }
-            StmtKind::ForIn { decl, var, object, body, .. } => {
+            StmtKind::ForIn {
+                decl,
+                var,
+                object,
+                body,
+                ..
+            } => {
                 let obj = self.eval_expr(object, scope)?;
                 let keys = match obj {
                     Value::Object(o) => o.own_keys(),
@@ -403,7 +415,11 @@ impl Interp {
                 let v = self.eval_expr(e, scope)?;
                 Err(Control::Throw(v))
             }
-            StmtKind::Try { block, catch, finally } => {
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
                 let mut outcome: Result<(), Control> = (|| {
                     for s in block {
                         self.eval_stmt(s, scope)?;
@@ -1038,7 +1054,14 @@ impl Interp {
     ) -> u64 {
         self.queue_seq += 1;
         let seq = self.queue_seq;
-        self.queue.push(Scheduled { at, seq, timer_id: seq, period, callback, args });
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            timer_id: seq,
+            period,
+            callback,
+            args,
+        });
         seq
     }
 
@@ -1115,11 +1138,7 @@ fn collect_hoisted<'a>(body: &'a [Stmt], vars: &mut Vec<String>, funcs: &mut Vec
     }
 }
 
-fn collect_hoisted_stmt<'a>(
-    stmt: &'a Stmt,
-    vars: &mut Vec<String>,
-    funcs: &mut Vec<&'a FuncDecl>,
-) {
+fn collect_hoisted_stmt<'a>(stmt: &'a Stmt, vars: &mut Vec<String>, funcs: &mut Vec<&'a FuncDecl>) {
     match &stmt.kind {
         StmtKind::VarDecl(ds) => {
             for d in ds {
@@ -1144,14 +1163,20 @@ fn collect_hoisted_stmt<'a>(
             }
             collect_hoisted_stmt(body, vars, funcs);
         }
-        StmtKind::ForIn { decl, var, body, .. } => {
+        StmtKind::ForIn {
+            decl, var, body, ..
+        } => {
             if *decl {
                 vars.push(var.clone());
             }
             collect_hoisted_stmt(body, vars, funcs);
         }
         StmtKind::Block(stmts) => collect_hoisted(stmts, vars, funcs),
-        StmtKind::Try { block, catch, finally } => {
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
             collect_hoisted(block, vars, funcs);
             if let Some(c) = catch {
                 collect_hoisted(&c.body, vars, funcs);

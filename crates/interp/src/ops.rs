@@ -40,7 +40,9 @@ fn str_to_number(s: &str) -> f64 {
         return 0.0;
     }
     if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
-        return u64::from_str_radix(hex, 16).map(|v| v as f64).unwrap_or(f64::NAN);
+        return u64::from_str_radix(hex, 16)
+            .map(|v| v as f64)
+            .unwrap_or(f64::NAN);
     }
     if t == "Infinity" || t == "+Infinity" {
         return f64::INFINITY;
@@ -69,7 +71,10 @@ pub fn to_string(v: &Value) -> String {
                 .collect::<Vec<_>>()
                 .join(","),
             ObjKind::Function(f) => {
-                format!("function {}() {{ [code] }}", f.name.as_deref().unwrap_or(""))
+                format!(
+                    "function {}() {{ [code] }}",
+                    f.name.as_deref().unwrap_or("")
+                )
             }
             ObjKind::Native { name, .. } => format!("function {name}() {{ [native code] }}"),
             ObjKind::Plain => "[object Object]".to_string(),
@@ -149,7 +154,11 @@ pub fn less_than(a: &Value, b: &Value) -> CmpResult {
     let pa = to_primitive(a);
     let pb = to_primitive(b);
     if let (Value::Str(x), Value::Str(y)) = (&pa, &pb) {
-        return if x < y { CmpResult::True } else { CmpResult::False };
+        return if x < y {
+            CmpResult::True
+        } else {
+            CmpResult::False
+        };
     }
     let (x, y) = (to_number(&pa), to_number(&pb));
     if x.is_nan() || y.is_nan() {
@@ -210,7 +219,10 @@ mod tests {
         assert_eq!(to_string(&js_add(&Value::Num(1.0), &Value::str("a"))), "1a");
         // [1,2] + 3 === "1,23"
         let arr = new_array(vec![Value::Num(1.0), Value::Num(2.0)]);
-        assert_eq!(to_string(&js_add(&Value::Object(arr), &Value::Num(3.0))), "1,23");
+        assert_eq!(
+            to_string(&js_add(&Value::Object(arr), &Value::Num(3.0))),
+            "1,23"
+        );
         // true + 1 === 2
         assert!(matches!(js_add(&Value::Bool(true), &Value::Num(1.0)), Value::Num(n) if n == 2.0));
     }
@@ -224,7 +236,10 @@ mod tests {
         assert!(loose_eq(&Value::Bool(false), &Value::str("0")));
         assert!(!loose_eq(&Value::str("a"), &Value::Num(0.0)));
         let o = new_object();
-        assert!(loose_eq(&Value::Object(o.clone()), &Value::Object(o.clone())));
+        assert!(loose_eq(
+            &Value::Object(o.clone()),
+            &Value::Object(o.clone())
+        ));
         assert!(!loose_eq(&Value::Object(o), &Value::Object(new_object())));
         // [1] == 1
         let arr = new_array(vec![Value::Num(1.0)]);
@@ -235,13 +250,31 @@ mod tests {
 
     #[test]
     fn relational_comparison() {
-        assert_eq!(less_than(&Value::Num(1.0), &Value::Num(2.0)), CmpResult::True);
-        assert_eq!(less_than(&Value::str("a"), &Value::str("b")), CmpResult::True);
-        assert_eq!(less_than(&Value::str("b"), &Value::str("a")), CmpResult::False);
+        assert_eq!(
+            less_than(&Value::Num(1.0), &Value::Num(2.0)),
+            CmpResult::True
+        );
+        assert_eq!(
+            less_than(&Value::str("a"), &Value::str("b")),
+            CmpResult::True
+        );
+        assert_eq!(
+            less_than(&Value::str("b"), &Value::str("a")),
+            CmpResult::False
+        );
         // "10" < "9" lexicographically!
-        assert_eq!(less_than(&Value::str("10"), &Value::str("9")), CmpResult::True);
+        assert_eq!(
+            less_than(&Value::str("10"), &Value::str("9")),
+            CmpResult::True
+        );
         // but "10" < 9 numerically
-        assert_eq!(less_than(&Value::str("10"), &Value::Num(9.0)), CmpResult::False);
-        assert_eq!(less_than(&Value::Num(f64::NAN), &Value::Num(1.0)), CmpResult::Undefined);
+        assert_eq!(
+            less_than(&Value::str("10"), &Value::Num(9.0)),
+            CmpResult::False
+        );
+        assert_eq!(
+            less_than(&Value::Num(f64::NAN), &Value::Num(1.0)),
+            CmpResult::Undefined
+        );
     }
 }

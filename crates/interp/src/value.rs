@@ -315,7 +315,10 @@ pub fn new_array(values: Vec<Value>) -> ObjRef {
 
 /// Convenience: build a native function object.
 pub fn native_fn(name: &str, f: NativeFn) -> ObjRef {
-    ObjRef::new(ObjKind::Native { name: name.to_string(), f })
+    ObjRef::new(ObjKind::Native {
+        name: name.to_string(),
+        f,
+    })
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@ use proptest::prelude::*;
 
 fn eval(src: &str) -> Value {
     let mut interp = Interp::new(1);
-    interp.eval_expr_source(src).unwrap_or_else(|e| panic!("{e:?} for {src}"))
+    interp
+        .eval_expr_source(src)
+        .unwrap_or_else(|e| panic!("{e:?} for {src}"))
 }
 
 fn eval_num(src: &str) -> f64 {

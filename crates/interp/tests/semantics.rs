@@ -230,7 +230,10 @@ fn string_methods() {
          console.log(\"  x  \".trim());\n\
          console.log(String.fromCharCode(72, 105));",
     );
-    assert_eq!(out, vec!["11 e 72", "6 HELLO WORLD Hello", "a-b-c", "x", "Hi"]);
+    assert_eq!(
+        out,
+        vec!["11 e 72", "6 HELLO WORLD Hello", "a-b-c", "x", "Hi"]
+    );
 }
 
 #[test]
@@ -427,9 +430,8 @@ fn string_concat_coercions() {
 
 #[test]
 fn comparison_operators() {
-    let out = logs(
-        "console.log(1 < 2, \"a\" < \"b\", \"10\" < \"9\", 2 >= 2, 1 == \"1\", 1 === \"1\");",
-    );
+    let out =
+        logs("console.log(1 < 2, \"a\" < \"b\", \"10\" < \"9\", 2 >= 2, 1 == \"1\", 1 === \"1\");");
     assert_eq!(out, vec!["true true true true true false"]);
 }
 
@@ -476,7 +478,9 @@ fn clear_timeout_cancels_pending() {
         )
         .unwrap();
     interp.run_events(100).unwrap();
-    interp.eval_source("console.log(fired.join(\",\"));").unwrap();
+    interp
+        .eval_source("console.log(fired.join(\",\"));")
+        .unwrap();
     assert_eq!(interp.console, vec!["b"]);
 }
 

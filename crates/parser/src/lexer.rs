@@ -163,8 +163,8 @@ impl std::error::Error for LexError {}
 /// Multi-character punctuators, longest first so greedy matching is correct.
 const PUNCTS: &[&str] = &[
     ">>>=", "===", "!==", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
-    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "{", "}", "(", ")", "[", "]",
-    ";", ",", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "{", "}", "(", ")", "[", "]", ";",
+    ",", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
 ];
 
 /// Tokenize `source` into a vector ending with an `Eof` token.
@@ -230,10 +230,16 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 if i == hex_start {
-                    return Err(LexError { message: "empty hex literal".into(), line });
+                    return Err(LexError {
+                        message: "empty hex literal".into(),
+                        line,
+                    });
                 }
-                let value = u64::from_str_radix(&source[hex_start..i], 16)
-                    .map_err(|e| LexError { message: format!("bad hex literal: {e}"), line })?;
+                let value =
+                    u64::from_str_radix(&source[hex_start..i], 16).map_err(|e| LexError {
+                        message: format!("bad hex literal: {e}"),
+                        line,
+                    })?;
                 tokens.push(Token {
                     kind: TokenKind::Num(value as f64),
                     span: Span::new(start as u32, i as u32, line),
@@ -262,9 +268,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             let text = &source[start..i];
-            let value: f64 = text
-                .parse()
-                .map_err(|e| LexError { message: format!("bad number `{text}`: {e}"), line })?;
+            let value: f64 = text.parse().map_err(|e| LexError {
+                message: format!("bad number `{text}`: {e}"),
+                line,
+            })?;
             tokens.push(Token {
                 kind: TokenKind::Num(value),
                 span: Span::new(start as u32, i as u32, line),
@@ -390,7 +397,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 continue 'outer;
             }
         }
-        return Err(LexError { message: format!("unexpected character `{}`", c as char), line });
+        return Err(LexError {
+            message: format!("unexpected character `{}`", c as char),
+            line,
+        });
     }
 
     tokens.push(Token {

@@ -45,7 +45,11 @@ pub fn strip_spans(mut p: Program) -> Program {
                     d.span = ceres_ast::Span::SYNTHETIC;
                 }
             }
-            if let StmtKind::For { init: Some(ForInit::VarDecl(ds)), .. } = &mut s.kind {
+            if let StmtKind::For {
+                init: Some(ForInit::VarDecl(ds)),
+                ..
+            } = &mut s.kind
+            {
                 for d in ds {
                     d.span = ceres_ast::Span::SYNTHETIC;
                 }
@@ -81,7 +85,10 @@ mod tests {
         let second = normalize(
             parse_program(&printed).unwrap_or_else(|e| panic!("{e}\nprinted: {printed}")),
         );
-        assert_eq!(first, second, "round-trip mismatch.\nsrc: {src}\nprinted: {printed}");
+        assert_eq!(
+            first, second,
+            "round-trip mismatch.\nsrc: {src}\nprinted: {printed}"
+        );
     }
 
     #[test]
@@ -120,23 +127,55 @@ while (true) {
     fn operator_precedence_shapes() {
         let e = parse_expression("1 + 2 * 3").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinaryOp::Add, right, .. } => {
-                assert!(matches!(right.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+            ExprKind::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    right.kind,
+                    ExprKind::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
         let e = parse_expression("a && b || c && d").unwrap();
-        assert!(matches!(e.kind, ExprKind::Logical { op: LogicalOp::Or, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Logical {
+                op: LogicalOp::Or,
+                ..
+            }
+        ));
         let e = parse_expression("a < b == c").unwrap();
-        assert!(matches!(e.kind, ExprKind::Binary { op: BinaryOp::Eq, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Eq,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn left_associativity() {
         let e = parse_expression("a - b - c").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinaryOp::Sub, left, right } => {
-                assert!(matches!(left.kind, ExprKind::Binary { op: BinaryOp::Sub, .. }));
+            ExprKind::Binary {
+                op: BinaryOp::Sub,
+                left,
+                right,
+            } => {
+                assert!(matches!(
+                    left.kind,
+                    ExprKind::Binary {
+                        op: BinaryOp::Sub,
+                        ..
+                    }
+                ));
                 assert!(matches!(right.kind, ExprKind::Ident(_)));
             }
             other => panic!("unexpected {other:?}"),
@@ -146,7 +185,10 @@ while (true) {
     #[test]
     fn unary_minus_folds_literals() {
         assert!(matches!(parse_expression("-3").unwrap().kind, ExprKind::Num(n) if n == -3.0));
-        assert!(matches!(parse_expression("-x").unwrap().kind, ExprKind::Unary { .. }));
+        assert!(matches!(
+            parse_expression("-x").unwrap().kind,
+            ExprKind::Unary { .. }
+        ));
         // `- -3`: inner folds to Num(-3), outer folds again to Num(3).
         assert!(matches!(parse_expression("- -3").unwrap().kind, ExprKind::Num(n) if n == 3.0));
     }

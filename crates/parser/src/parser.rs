@@ -34,7 +34,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -88,7 +91,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, line: self.peek().span.line }
+        ParseError {
+            message,
+            line: self.peek().span.line,
+        }
     }
 
     fn is_punct(&self, p: &str) -> bool {
@@ -129,7 +135,11 @@ impl Parser {
         if self.is_keyword(k) {
             Ok(self.bump())
         } else {
-            Err(self.err(format!("expected `{}`, found {}", k.as_str(), self.peek().kind)))
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                k.as_str(),
+                self.peek().kind
+            )))
         }
     }
 
@@ -222,7 +232,11 @@ impl Parser {
                 self.expect_punct(")")?;
                 let body = Box::new(self.body_statement()?);
                 Ok(Stmt::new(
-                    StmtKind::While { loop_id: LoopId::UNASSIGNED, cond, body },
+                    StmtKind::While {
+                        loop_id: LoopId::UNASSIGNED,
+                        cond,
+                        body,
+                    },
                     start,
                 ))
             }
@@ -235,7 +249,11 @@ impl Parser {
                 self.expect_punct(")")?;
                 self.expect_punct(";")?;
                 Ok(Stmt::new(
-                    StmtKind::DoWhile { loop_id: LoopId::UNASSIGNED, body, cond },
+                    StmtKind::DoWhile {
+                        loop_id: LoopId::UNASSIGNED,
+                        body,
+                        cond,
+                    },
                     start,
                 ))
             }
@@ -276,7 +294,14 @@ impl Parser {
                 if catch.is_none() && finally.is_none() {
                     return Err(self.err("try requires catch or finally".into()));
                 }
-                Ok(Stmt::new(StmtKind::Try { block, catch, finally }, start))
+                Ok(Stmt::new(
+                    StmtKind::Try {
+                        block,
+                        catch,
+                        finally,
+                    },
+                    start,
+                ))
             }
             Keyword::Switch => {
                 self.bump();
@@ -399,13 +424,27 @@ impl Parser {
     }
 
     fn for_tail(&mut self, start: Span, init: Option<ForInit>) -> Result<Stmt, ParseError> {
-        let cond = if self.is_punct(";") { None } else { Some(self.expression(true)?) };
+        let cond = if self.is_punct(";") {
+            None
+        } else {
+            Some(self.expression(true)?)
+        };
         self.expect_punct(";")?;
-        let update = if self.is_punct(")") { None } else { Some(self.expression(true)?) };
+        let update = if self.is_punct(")") {
+            None
+        } else {
+            Some(self.expression(true)?)
+        };
         self.expect_punct(")")?;
         let body = Box::new(self.body_statement()?);
         Ok(Stmt::new(
-            StmtKind::For { loop_id: LoopId::UNASSIGNED, init, cond, update, body },
+            StmtKind::For {
+                loop_id: LoopId::UNASSIGNED,
+                init,
+                cond,
+                update,
+                body,
+            },
             start,
         ))
     }
@@ -466,7 +505,11 @@ impl Parser {
         }
         self.expect_punct(")")?;
         let body = self.block_body()?;
-        Ok(Func { params, body, span: start })
+        Ok(Func {
+            params,
+            body,
+            span: start,
+        })
     }
 
     // ---------------- expressions ----------------
@@ -509,7 +552,11 @@ impl Parser {
         let value = self.assignment(allow_in)?;
         let span = left.span.to(value.span);
         Ok(Expr::new(
-            ExprKind::Assign { op, target: Box::new(left), value: Box::new(value) },
+            ExprKind::Assign {
+                op,
+                target: Box::new(left),
+                value: Box::new(value),
+            },
             span,
         ))
     }
@@ -524,7 +571,11 @@ impl Parser {
         let alt = self.assignment(allow_in)?;
         let span = cond.span.to(alt.span);
         Ok(Expr::new(
-            ExprKind::Cond { cond: Box::new(cond), then: Box::new(then), alt: Box::new(alt) },
+            ExprKind::Cond {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                alt: Box::new(alt),
+            },
             span,
         ))
     }
@@ -576,11 +627,19 @@ impl Parser {
             let span = left.span.to(right.span);
             left = match op {
                 BinOrLogical::Binary(op) => Expr::new(
-                    ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) },
+                    ExprKind::Binary {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
                     span,
                 ),
                 BinOrLogical::Logical(op) => Expr::new(
-                    ExprKind::Logical { op, left: Box::new(left), right: Box::new(right) },
+                    ExprKind::Logical {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
                     span,
                 ),
             };
@@ -599,7 +658,11 @@ impl Parser {
             TokenKind::Keyword(Keyword::Void) => Some(UnaryOp::Void),
             TokenKind::Keyword(Keyword::Delete) => Some(UnaryOp::Delete),
             TokenKind::Punct("++") | TokenKind::Punct("--") => {
-                let up = if self.is_punct("++") { UpdateOp::Inc } else { UpdateOp::Dec };
+                let up = if self.is_punct("++") {
+                    UpdateOp::Inc
+                } else {
+                    UpdateOp::Dec
+                };
                 self.bump();
                 let target = self.unary(allow_in)?;
                 if !target.is_lvalue() {
@@ -607,7 +670,11 @@ impl Parser {
                 }
                 let span = start.to(target.span);
                 return Ok(Expr::new(
-                    ExprKind::Update { op: up, prefix: true, target: Box::new(target) },
+                    ExprKind::Update {
+                        op: up,
+                        prefix: true,
+                        target: Box::new(target),
+                    },
                     span,
                 ));
             }
@@ -623,7 +690,13 @@ impl Parser {
                     return Ok(Expr::new(ExprKind::Num(-n), span));
                 }
             }
-            return Ok(Expr::new(ExprKind::Unary { op, expr: Box::new(inner) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    expr: Box::new(inner),
+                },
+                span,
+            ));
         }
         self.postfix(allow_in)
     }
@@ -631,14 +704,22 @@ impl Parser {
     fn postfix(&mut self, allow_in: bool) -> Result<Expr, ParseError> {
         let e = self.call_member(allow_in)?;
         if self.is_punct("++") || self.is_punct("--") {
-            let op = if self.is_punct("++") { UpdateOp::Inc } else { UpdateOp::Dec };
+            let op = if self.is_punct("++") {
+                UpdateOp::Inc
+            } else {
+                UpdateOp::Dec
+            };
             if !e.is_lvalue() {
                 return Err(self.err("invalid increment/decrement target".into()));
             }
             let t = self.bump();
             let span = e.span.to(t.span);
             return Ok(Expr::new(
-                ExprKind::Update { op, prefix: false, target: Box::new(e) },
+                ExprKind::Update {
+                    op,
+                    prefix: false,
+                    target: Box::new(e),
+                },
                 span,
             ));
         }
@@ -656,19 +737,34 @@ impl Parser {
             if self.eat_punct(".") {
                 let (prop, span) = self.member_name()?;
                 let full = e.span.to(span);
-                e = Expr::new(ExprKind::Member { object: Box::new(e), prop }, full);
+                e = Expr::new(
+                    ExprKind::Member {
+                        object: Box::new(e),
+                        prop,
+                    },
+                    full,
+                );
             } else if self.eat_punct("[") {
                 let idx = self.expression(true)?;
                 let end = self.expect_punct("]")?.span;
                 let full = e.span.to(end);
                 e = Expr::new(
-                    ExprKind::Index { object: Box::new(e), index: Box::new(idx) },
+                    ExprKind::Index {
+                        object: Box::new(e),
+                        index: Box::new(idx),
+                    },
                     full,
                 );
             } else if self.is_punct("(") {
                 let args = self.arguments()?;
                 let span = e.span;
-                e = Expr::new(ExprKind::Call { callee: Box::new(e), args }, span);
+                e = Expr::new(
+                    ExprKind::Call {
+                        callee: Box::new(e),
+                        args,
+                    },
+                    span,
+                );
             } else {
                 break;
             }
@@ -705,21 +801,40 @@ impl Parser {
             if self.eat_punct(".") {
                 let (prop, span) = self.member_name()?;
                 let full = callee.span.to(span);
-                callee = Expr::new(ExprKind::Member { object: Box::new(callee), prop }, full);
+                callee = Expr::new(
+                    ExprKind::Member {
+                        object: Box::new(callee),
+                        prop,
+                    },
+                    full,
+                );
             } else if self.eat_punct("[") {
                 let idx = self.expression(true)?;
                 let end = self.expect_punct("]")?.span;
                 let full = callee.span.to(end);
                 callee = Expr::new(
-                    ExprKind::Index { object: Box::new(callee), index: Box::new(idx) },
+                    ExprKind::Index {
+                        object: Box::new(callee),
+                        index: Box::new(idx),
+                    },
                     full,
                 );
             } else {
                 break;
             }
         }
-        let args = if self.is_punct("(") { self.arguments()? } else { Vec::new() };
-        Ok(Expr::new(ExprKind::New { callee: Box::new(callee), args }, start))
+        let args = if self.is_punct("(") {
+            self.arguments()?
+        } else {
+            Vec::new()
+        };
+        Ok(Expr::new(
+            ExprKind::New {
+                callee: Box::new(callee),
+                args,
+            },
+            start,
+        ))
     }
 
     fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {

@@ -63,7 +63,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             // Binary
             (binop_strategy(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::synth(
-                ExprKind::Binary { op, left: Box::new(l), right: Box::new(r) }
+                ExprKind::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }
             )),
             // Logical
             (any::<bool>(), inner.clone(), inner.clone()).prop_map(|(and, l, r)| Expr::synth(
@@ -89,22 +93,24 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             })),
             // Conditional
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::synth(
-                ExprKind::Cond { cond: Box::new(c), then: Box::new(t), alt: Box::new(e) }
-            )),
-            // Call with ident callee
-            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(f, args)| Expr::synth(ExprKind::Call {
-                    callee: Box::new(Expr::synth(ExprKind::Ident(f))),
-                    args
-                })
-            ),
-            // Member / index
-            (ident_strategy(), ident_strategy()).prop_map(|(o, p)| Expr::synth(
-                ExprKind::Member {
-                    object: Box::new(Expr::synth(ExprKind::Ident(o))),
-                    prop: p
+                ExprKind::Cond {
+                    cond: Box::new(c),
+                    then: Box::new(t),
+                    alt: Box::new(e)
                 }
             )),
+            // Call with ident callee
+            (ident_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(|(f, args)| {
+                Expr::synth(ExprKind::Call {
+                    callee: Box::new(Expr::synth(ExprKind::Ident(f))),
+                    args,
+                })
+            }),
+            // Member / index
+            (ident_strategy(), ident_strategy()).prop_map(|(o, p)| Expr::synth(ExprKind::Member {
+                object: Box::new(Expr::synth(ExprKind::Ident(o))),
+                prop: p
+            })),
             (ident_strategy(), inner.clone()).prop_map(|(o, i)| Expr::synth(ExprKind::Index {
                 object: Box::new(Expr::synth(ExprKind::Ident(o))),
                 index: Box::new(i)
@@ -120,7 +126,10 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 .prop_map(|els| Expr::synth(ExprKind::Array(els))),
             prop::collection::vec((ident_strategy(), inner.clone()), 0..3).prop_map(|props| {
                 Expr::synth(ExprKind::Object(
-                    props.into_iter().map(|(k, v)| (PropKey::Ident(k), v)).collect(),
+                    props
+                        .into_iter()
+                        .map(|(k, v)| (PropKey::Ident(k), v))
+                        .collect(),
                 ))
             }),
             // Sequence (≥2 elements, as the parser only builds those)
@@ -158,13 +167,16 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
         prop_oneof![
             block.clone(),
             // if / if-else (bodies normalized to blocks)
-            (expr_strategy(), block.clone(), prop::option::of(block.clone())).prop_map(
-                |(c, t, a)| Stmt::synth(StmtKind::If {
+            (
+                expr_strategy(),
+                block.clone(),
+                prop::option::of(block.clone())
+            )
+                .prop_map(|(c, t, a)| Stmt::synth(StmtKind::If {
                     cond: c,
                     then: Box::new(t),
                     alt: a.map(Box::new),
-                })
-            ),
+                })),
             // while
             (expr_strategy(), block.clone()).prop_map(|(c, b)| Stmt::synth(StmtKind::While {
                 loop_id: LoopId::UNASSIGNED,
@@ -185,15 +197,19 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
                     body: Box::new(b),
                 })),
             // for-in
-            (ident_strategy(), expr_strategy(), block.clone(), any::<bool>()).prop_map(
-                |(v, o, b, d)| Stmt::synth(StmtKind::ForIn {
+            (
+                ident_strategy(),
+                expr_strategy(),
+                block.clone(),
+                any::<bool>()
+            )
+                .prop_map(|(v, o, b, d)| Stmt::synth(StmtKind::ForIn {
                     loop_id: LoopId::UNASSIGNED,
                     decl: d,
                     var: v,
                     object: o,
                     body: Box::new(b),
-                })
-            ),
+                })),
             // function declaration
             (
                 ident_strategy(),
@@ -202,7 +218,11 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
             )
                 .prop_map(|(n, params, body)| Stmt::synth(StmtKind::Func(FuncDecl {
                     name: n,
-                    func: Func { params, body, span: ceres_ast::Span::SYNTHETIC },
+                    func: Func {
+                        params,
+                        body,
+                        span: ceres_ast::Span::SYNTHETIC
+                    },
                 }))),
             // try/catch/finally
             (

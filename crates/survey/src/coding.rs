@@ -27,21 +27,46 @@ impl Coder {
         Coder {
             name: "coder-a",
             codebook: vec![
-                (TrendCategory::Games, vec!["game", "gaming", "physics", "multiplayer"]),
+                (
+                    TrendCategory::Games,
+                    vec!["game", "gaming", "physics", "multiplayer"],
+                ),
                 (
                     TrendCategory::PeerToPeerAndSocial,
                     vec!["peer-to-peer", "p2p", "social", "messaging", "sharing"],
                 ),
-                (TrendCategory::DesktopLike, vec!["desktop", "office", " ide "]),
+                (
+                    TrendCategory::DesktopLike,
+                    vec!["desktop", "office", " ide "],
+                ),
                 (
                     TrendCategory::DataProcessing,
-                    vec!["data processing", "analysis", "analytics", "productivity", "big data"],
+                    vec![
+                        "data processing",
+                        "analysis",
+                        "analytics",
+                        "productivity",
+                        "big data",
+                    ],
                 ),
-                (TrendCategory::AudioAndVideo, vec!["audio", "video", "music"]),
-                (TrendCategory::Visualization, vec!["visualization", "charting", "infographic"]),
+                (
+                    TrendCategory::AudioAndVideo,
+                    vec!["audio", "video", "music"],
+                ),
+                (
+                    TrendCategory::Visualization,
+                    vec!["visualization", "charting", "infographic"],
+                ),
                 (
                     TrendCategory::AugmentedReality,
-                    vec!["augmented reality", "ar ", " ar", "voice", "gesture", "recognition"],
+                    vec![
+                        "augmented reality",
+                        "ar ",
+                        " ar",
+                        "voice",
+                        "gesture",
+                        "recognition",
+                    ],
                 ),
             ],
         }
@@ -64,7 +89,10 @@ impl Coder {
                     vec!["data processing", "analysis", "analytics", "productivity"],
                 ),
                 (TrendCategory::AudioAndVideo, vec!["audio", "video"]),
-                (TrendCategory::Visualization, vec!["visualization", "charting"]),
+                (
+                    TrendCategory::Visualization,
+                    vec!["visualization", "charting"],
+                ),
                 (
                     TrendCategory::AugmentedReality,
                     vec!["augmented reality", "voice", "gesture", "recognition"],
@@ -141,8 +169,10 @@ mod tests {
     #[test]
     fn coders_agree_over_80_percent() {
         let pop = generate(2015);
-        let answers: Vec<&str> =
-            pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+        let answers: Vec<&str> = pop
+            .iter()
+            .filter_map(|r| r.trend_answer.as_deref())
+            .collect();
         // Full-population agreement: high but not perfect — the secondary
         // coder misses "physics"-only and "IDE"-only answers.
         let full = agreement(&Coder::primary(), &Coder::secondary(), &answers);

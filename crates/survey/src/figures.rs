@@ -34,7 +34,11 @@ pub fn fig1(pop: &[Respondent], coder: &Coder) -> (Vec<Fig1Row>, usize) {
             Fig1Row {
                 category,
                 count,
-                pct: if total > 0 { 100.0 * count as f64 / total as f64 } else { 0.0 },
+                pct: if total > 0 {
+                    100.0 * count as f64 / total as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
@@ -67,8 +71,12 @@ pub fn fig2(pop: &[Respondent]) -> Vec<Fig2Row> {
     Component::ALL
         .iter()
         .map(|&component| {
-            let mut row =
-                Fig2Row { component, not_an_issue: 0, so_so: 0, bottleneck: 0 };
+            let mut row = Fig2Row {
+                component,
+                not_an_issue: 0,
+                so_so: 0,
+                bottleneck: 0,
+            };
             for r in pop {
                 match r.rating_for(component) {
                     Some(Rating::NotAnIssue) => row.not_an_issue += 1,
@@ -152,14 +160,23 @@ mod tests {
     fn fig2_matches_paper() {
         let pop = generate(2015);
         let rows = fig2(&pop);
-        let loading = rows.iter().find(|r| r.component == Component::ResourceLoading).unwrap();
+        let loading = rows
+            .iter()
+            .find(|r| r.component == Component::ResourceLoading)
+            .unwrap();
         assert!((loading.bottleneck_pct() - 52.0).abs() < 1.0);
-        let crunch = rows.iter().find(|r| r.component == Component::NumberCrunching).unwrap();
+        let crunch = rows
+            .iter()
+            .find(|r| r.component == Component::NumberCrunching)
+            .unwrap();
         assert!((crunch.bottleneck_pct() - 21.0).abs() < 1.0);
         // "Another 40% of respondents do not dismiss number crunching":
         let soso_pct = 100.0 * crunch.so_so as f64 / crunch.total() as f64;
         assert!((soso_pct - 39.0).abs() < 1.5, "{soso_pct}");
-        let css = rows.iter().find(|r| r.component == Component::Styling).unwrap();
+        let css = rows
+            .iter()
+            .find(|r| r.component == Component::Styling)
+            .unwrap();
         assert!((css.bottleneck_pct() - 15.0).abs() < 1.0);
     }
 

@@ -41,7 +41,9 @@ impl TrendCategory {
             TrendCategory::DataProcessing => "Data processing, analysis; productivity",
             TrendCategory::AudioAndVideo => "Audio and Video",
             TrendCategory::Visualization => "Visualization",
-            TrendCategory::AugmentedReality => "Augmented reality; voice, gesture, user recognition",
+            TrendCategory::AugmentedReality => {
+                "Augmented reality; voice, gesture, user recognition"
+            }
         }
     }
 }
@@ -120,7 +122,10 @@ pub struct Respondent {
 
 impl Respondent {
     pub fn rating_for(&self, c: Component) -> Option<Rating> {
-        self.bottlenecks.iter().find(|(cc, _)| *cc == c).map(|(_, r)| *r)
+        self.bottlenecks
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, r)| *r)
     }
 }
 

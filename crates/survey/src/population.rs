@@ -114,7 +114,10 @@ pub fn generate(seed: u64) -> Vec<Respondent> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = RESPONDENTS;
     let mut pop: Vec<Respondent> = (0..n as u32)
-        .map(|id| Respondent { id, ..Default::default() })
+        .map(|id| Respondent {
+            id,
+            ..Default::default()
+        })
         .collect();
 
     // --- Fig. 1: trend answers ---
@@ -130,7 +133,11 @@ pub fn generate(seed: u64) -> Vec<Respondent> {
         }
     }
     // Valid-but-vague answers (coded to no category).
-    let vague = ["more apps in general", "hard to say", "everything will be web"];
+    let vague = [
+        "more apps in general",
+        "hard to say",
+        "everything will be web",
+    ];
     let codable: usize = TREND_COUNTS.iter().map(|(_, c)| c).sum();
     let vague_count = n - TREND_NO_ANSWER - codable;
     for k in 0..vague_count {
@@ -160,8 +167,12 @@ pub fn generate(seed: u64) -> Vec<Respondent> {
     }
 
     // --- Fig. 3 / Fig. 4: scales ---
-    assign_scale(&mut pop, &mut rng, &STYLE_COUNTS, |r, v| r.style_pref = Some(v));
-    assign_scale(&mut pop, &mut rng, &POLY_COUNTS, |r, v| r.poly_pref = Some(v));
+    assign_scale(&mut pop, &mut rng, &STYLE_COUNTS, |r, v| {
+        r.style_pref = Some(v)
+    });
+    assign_scale(&mut pop, &mut rng, &POLY_COUNTS, |r, v| {
+        r.poly_pref = Some(v)
+    });
 
     // --- operator preference ---
     let mut order: Vec<usize> = (0..n).collect();
@@ -238,7 +249,9 @@ mod tests {
         let pop = generate(2015);
         for (component, ni, ss, bn) in BOTTLENECK_COUNTS {
             let count = |rating| {
-                pop.iter().filter(|r| r.rating_for(component) == Some(rating)).count()
+                pop.iter()
+                    .filter(|r| r.rating_for(component) == Some(rating))
+                    .count()
             };
             assert_eq!(count(Rating::NotAnIssue), ni, "{component:?}");
             assert_eq!(count(Rating::SoSo), ss, "{component:?}");
@@ -264,7 +277,10 @@ mod tests {
     #[test]
     fn operator_preference_is_74_percent() {
         let pop = generate(2015);
-        let yes = pop.iter().filter(|r| r.prefers_operators == Some(true)).count();
+        let yes = pop
+            .iter()
+            .filter(|r| r.prefers_operators == Some(true))
+            .count();
         let all = pop.iter().filter(|r| r.prefers_operators.is_some()).count();
         assert_eq!(all, OPERATOR_ANSWERS);
         let pct = 100.0 * yes as f64 / all as f64;
@@ -276,9 +292,8 @@ mod tests {
         let a = generate(7);
         let b = generate(7);
         let c = generate(8);
-        let key = |pop: &[Respondent]| -> Vec<Option<u8>> {
-            pop.iter().map(|r| r.style_pref).collect()
-        };
+        let key =
+            |pop: &[Respondent]| -> Vec<Option<u8>> { pop.iter().map(|r| r.style_pref).collect() };
         assert_eq!(key(&a), key(&b));
         assert_ne!(key(&a), key(&c));
     }

@@ -113,16 +113,16 @@ impl<'a> ser::Serializer for Ser<'a> {
     }
     fn serialize_seq(self, _len: Option<usize>) -> Result<SeqSer<'a>, Error> {
         self.out.push('[');
-        Ok(SeqSer { out: self.out, first: true, close: ']' })
+        Ok(SeqSer {
+            out: self.out,
+            first: true,
+            close: ']',
+        })
     }
     fn serialize_tuple(self, len: usize) -> Result<SeqSer<'a>, Error> {
         self.serialize_seq(Some(len))
     }
-    fn serialize_tuple_struct(
-        self,
-        _name: &'static str,
-        len: usize,
-    ) -> Result<SeqSer<'a>, Error> {
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<SeqSer<'a>, Error> {
         self.serialize_seq(Some(len))
     }
     fn serialize_tuple_variant(
@@ -136,11 +136,19 @@ impl<'a> ser::Serializer for Ser<'a> {
     }
     fn serialize_map(self, _len: Option<usize>) -> Result<SeqSer<'a>, Error> {
         self.out.push('{');
-        Ok(SeqSer { out: self.out, first: true, close: '}' })
+        Ok(SeqSer {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
     }
     fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<SeqSer<'a>, Error> {
         self.out.push('{');
-        Ok(SeqSer { out: self.out, first: true, close: '}' })
+        Ok(SeqSer {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
     }
     fn serialize_struct_variant(
         self,
@@ -150,7 +158,11 @@ impl<'a> ser::Serializer for Ser<'a> {
         _len: usize,
     ) -> Result<SeqSer<'a>, Error> {
         self.out.push('{');
-        Ok(SeqSer { out: self.out, first: true, close: '}' })
+        Ok(SeqSer {
+            out: self.out,
+            first: true,
+            close: '}',
+        })
     }
 }
 

@@ -1,0 +1,65 @@
+//! Fleet driver: fan the 12 registered workloads across the core worker
+//! pool. Lives here (not in ceres-core) because the dependency points
+//! workloads → core; the core pool is workload-agnostic.
+
+use crate::registry::{all, run_workload};
+use ceres_core::fleet::{run_fleet, AppReport, FleetJob, FleetReport};
+use ceres_core::Mode;
+use std::time::Instant;
+
+/// Build one [`FleetJob`] per registered workload, in Table 1 order.
+///
+/// Each job closure constructs its own `WebServer → instrument → Interp →
+/// Engine` pipeline when a worker picks it up — nothing is shared between
+/// apps, so isolation is by construction rather than by locking.
+pub fn fleet_jobs(mode: Mode, scale: u32) -> Vec<FleetJob> {
+    all()
+        .into_iter()
+        .map(|w| {
+            let app = w.name.to_string();
+            let slug = w.slug.to_string();
+            FleetJob {
+                app: app.clone(),
+                slug: slug.clone(),
+                work: Box::new(move |worker| {
+                    let start = Instant::now();
+                    let run = run_workload(&w, mode, scale).map_err(|e| format!("{e:?}"))?;
+                    let mut report = AppReport::from_run(&app, &slug, mode, &run);
+                    report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                    report.worker = worker;
+                    Ok(report)
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Run the whole fleet and merge into a [`FleetReport`].
+///
+/// `workers = 1` is the sequential baseline; the merged report is
+/// byte-identical across worker counts once [`FleetReport::canonical`]
+/// strips the wall-clock/worker-id fields (the analysis itself runs on a
+/// seeded virtual clock and is deterministic).
+pub fn run_fleet_report(mode: Mode, scale: u32, workers: usize) -> Result<FleetReport, String> {
+    let apps = run_fleet(fleet_jobs(mode, scale), workers)?;
+    Ok(FleetReport {
+        mode: format!("{mode:?}"),
+        scale,
+        workers,
+        apps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_jobs_cover_the_registry_in_order() {
+        let jobs = fleet_jobs(Mode::Lightweight, 1);
+        let slugs: Vec<_> = jobs.iter().map(|j| j.slug.clone()).collect();
+        let expect: Vec<_> = all().iter().map(|w| w.slug.to_string()).collect();
+        assert_eq!(slugs, expect);
+        assert_eq!(jobs.len(), 12);
+    }
+}

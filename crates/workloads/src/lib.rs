@@ -6,7 +6,9 @@
 //! to demonstrate that the latent parallelism JS-CERES finds is actually
 //! exploitable (the Sec. 4.2 Amdahl discussion).
 
+pub mod fleet;
 pub mod native;
 pub mod registry;
 
+pub use fleet::{fleet_jobs, run_fleet_report};
 pub use registry::{all, by_slug, run_workload, PaperExpectation, Workload};

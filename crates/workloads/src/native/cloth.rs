@@ -59,15 +59,30 @@ impl Cloth {
                 let i = y * (cols + 1) + x;
                 if x < cols {
                     // Horizontal links: even/odd column = colors 0/1.
-                    links.push(Link { a: i, b: i + 1, rest: SPACING, color: x % 2 });
+                    links.push(Link {
+                        a: i,
+                        b: i + 1,
+                        rest: SPACING,
+                        color: x % 2,
+                    });
                 }
                 if y < rows {
                     // Vertical links: even/odd row = colors 2/3.
-                    links.push(Link { a: i, b: i + (cols + 1), rest: SPACING, color: 2 + y % 2 });
+                    links.push(Link {
+                        a: i,
+                        b: i + (cols + 1),
+                        rest: SPACING,
+                        color: 2 + y % 2,
+                    });
                 }
             }
         }
-        Cloth { cols, rows, points, links }
+        Cloth {
+            cols,
+            rows,
+            points,
+            links,
+        }
     }
 
     /// Verlet integration — the embarrassingly parallel phase.
@@ -235,8 +250,14 @@ mod tests {
         let after_s = seq.strain();
         let after_p = par.strain();
         // Pinned points hold part of the stretch; halving is convergence.
-        assert!(after_s < before * 0.5, "seq relaxation converges: {before} -> {after_s}");
-        assert!(after_p < before * 0.5, "par relaxation converges: {before} -> {after_p}");
+        assert!(
+            after_s < before * 0.5,
+            "seq relaxation converges: {before} -> {after_s}"
+        );
+        assert!(
+            after_p < before * 0.5,
+            "par relaxation converges: {before} -> {after_p}"
+        );
         // Both orders approach the same rest configuration.
         assert!((after_s - after_p).abs() < 0.2, "{after_s} vs {after_p}");
     }

@@ -16,7 +16,10 @@ pub struct Grid {
 
 impl Grid {
     pub fn new(n: usize) -> Grid {
-        Grid { n, cells: vec![0.0; (n + 2) * (n + 2)] }
+        Grid {
+            n,
+            cells: vec![0.0; (n + 2) * (n + 2)],
+        }
     }
 
     /// Deterministic non-trivial contents.
@@ -37,7 +40,11 @@ impl Grid {
     }
 
     pub fn checksum(&self) -> f64 {
-        self.cells.iter().enumerate().map(|(i, v)| v * ((i % 97) as f64 + 1.0)).sum()
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((i % 97) as f64 + 1.0))
+            .sum()
     }
 }
 
@@ -100,7 +107,10 @@ mod tests {
         let mut b = x0.clone();
         lin_solve_seq(&mut a, &x0, 1.0, 4.0, 20);
         lin_solve_par(&mut b, &x0, 1.0, 4.0, 20);
-        assert_eq!(a.cells, b.cells, "Jacobi is deterministic; results must be identical");
+        assert_eq!(
+            a.cells, b.cells,
+            "Jacobi is deterministic; results must be identical"
+        );
     }
 
     #[test]
@@ -117,7 +127,11 @@ mod tests {
         lin_solve_seq(&mut x20, &x0, 1.0, 4.0, 20);
         lin_solve_seq(&mut x21, &x0, 1.0, 4.0, 21);
         let diff = |a: &Grid, b: &Grid| -> f64 {
-            a.cells.iter().zip(&b.cells).map(|(x, y)| (x - y).abs()).sum()
+            a.cells
+                .iter()
+                .zip(&b.cells)
+                .map(|(x, y)| (x - y).abs())
+                .sum()
         };
         assert!(diff(&x20, &x21) < diff(&x5, &x6));
     }

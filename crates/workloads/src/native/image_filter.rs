@@ -28,7 +28,11 @@ impl Image {
                 data[i + 3] = 255;
             }
         }
-        Image { width, height, data }
+        Image {
+            width,
+            height,
+            data,
+        }
     }
 
     pub fn checksum(&self) -> u64 {
@@ -59,7 +63,11 @@ pub fn filter_pixel(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
     // saturation(-20)
     let max = r.max(g).max(b);
     let mul = -0.01 * -20.0;
-    (clamp(r + (max - r) * mul), clamp(g + (max - g) * mul), clamp(b + (max - b) * mul))
+    (
+        clamp(r + (max - r) * mul),
+        clamp(g + (max - g) * mul),
+        clamp(b + (max - b) * mul),
+    )
 }
 
 /// Sequential filter pass.

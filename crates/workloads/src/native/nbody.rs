@@ -100,7 +100,11 @@ pub fn step_par(bodies: &mut [Particle]) -> Com {
         .par_iter_mut()
         .map(|p| {
             integrate(p);
-            Com { x: p.x, y: p.y, m: p.m }
+            Com {
+                x: p.x,
+                y: p.y,
+                m: p.m,
+            }
         })
         .reduce(Com::default, Com::merge)
 }
@@ -160,7 +164,12 @@ mod tests {
         let com_b = step_par(&mut b);
         assert_eq!(a, b, "particle state must match exactly");
         // The com reduction reassociates: tolerate float noise.
-        assert!((com_a.x - com_b.x).abs() < 1e-9, "{} vs {}", com_a.x, com_b.x);
+        assert!(
+            (com_a.x - com_b.x).abs() < 1e-9,
+            "{} vs {}",
+            com_a.x,
+            com_b.x
+        );
         assert!((com_a.y - com_b.y).abs() < 1e-9);
         assert!((com_a.m - com_b.m).abs() < 1e-9);
     }
@@ -179,8 +188,16 @@ mod tests {
 
     #[test]
     fn com_merge_is_mass_weighted() {
-        let a = Com { x: 0.0, y: 0.0, m: 1.0 };
-        let b = Com { x: 10.0, y: 0.0, m: 3.0 };
+        let a = Com {
+            x: 0.0,
+            y: 0.0,
+            m: 1.0,
+        };
+        let b = Com {
+            x: 10.0,
+            y: 0.0,
+            m: 3.0,
+        };
         let m = a.merge(b);
         assert!((m.x - 7.5).abs() < 1e-12);
         assert_eq!(m.m, 4.0);

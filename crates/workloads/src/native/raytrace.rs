@@ -17,9 +17,24 @@ pub struct Sphere {
 /// The JS workload's scene.
 pub fn scene() -> Vec<Sphere> {
     vec![
-        Sphere { c: [0.0, 0.0, 6.0], r: 2.0, color: [255.0, 60.0, 60.0], refl: 0.4 },
-        Sphere { c: [2.5, 1.0, 8.0], r: 1.5, color: [60.0, 255.0, 60.0], refl: 0.3 },
-        Sphere { c: [-2.5, -1.0, 7.0], r: 1.0, color: [60.0, 60.0, 255.0], refl: 0.6 },
+        Sphere {
+            c: [0.0, 0.0, 6.0],
+            r: 2.0,
+            color: [255.0, 60.0, 60.0],
+            refl: 0.4,
+        },
+        Sphere {
+            c: [2.5, 1.0, 8.0],
+            r: 1.5,
+            color: [60.0, 255.0, 60.0],
+            refl: 0.3,
+        },
+        Sphere {
+            c: [-2.5, -1.0, 7.0],
+            r: 1.0,
+            color: [60.0, 60.0, 255.0],
+            refl: 0.6,
+        },
     ]
 }
 
@@ -53,7 +68,11 @@ fn trace(spheres: &[Sphere], o: [f64; 3], d: [f64; 3], depth: u32) -> [f64; 3] {
     };
     let s = spheres[idx];
     let p = [o[0] + d[0] * t, o[1] + d[1] * t, o[2] + d[2] * t];
-    let n = [(p[0] - s.c[0]) / s.r, (p[1] - s.c[1]) / s.r, (p[2] - s.c[2]) / s.r];
+    let n = [
+        (p[0] - s.c[0]) / s.r,
+        (p[1] - s.c[1]) / s.r,
+        (p[2] - s.c[2]) / s.r,
+    ];
     let mut l = [LIGHT[0] - p[0], LIGHT[1] - p[1], LIGHT[2] - p[2]];
     let ll = (l[0] * l[0] + l[1] * l[1] + l[2] * l[2]).sqrt();
     l = [l[0] / ll, l[1] / ll, l[2] / ll];
@@ -65,7 +84,11 @@ fn trace(spheres: &[Sphere], o: [f64; 3], d: [f64; 3], depth: u32) -> [f64; 3] {
     let mut color = [s.color[0] * shade, s.color[1] * shade, s.color[2] * shade];
     if depth < 3 && s.refl > 0.0 {
         let dot = d[0] * n[0] + d[1] * n[1] + d[2] * n[2];
-        let r = [d[0] - 2.0 * dot * n[0], d[1] - 2.0 * dot * n[1], d[2] - 2.0 * dot * n[2]];
+        let r = [
+            d[0] - 2.0 * dot * n[0],
+            d[1] - 2.0 * dot * n[1],
+            d[2] - 2.0 * dot * n[2],
+        ];
         let refl = trace(spheres, p, r, depth + 1);
         for c in 0..3 {
             color[c] = color[c] * (1.0 - s.refl) + refl[c] * s.refl;
@@ -79,7 +102,11 @@ fn pixel(spheres: &[Sphere], w: usize, h: usize, x: usize, y: usize) -> [u8; 3] 
     let dy = (h as f64 / 2.0 - y as f64) / h as f64;
     let len = (dx * dx + dy * dy + 1.0).sqrt();
     let c = trace(spheres, [0.0, 0.0, 0.0], [dx / len, dy / len, 1.0 / len], 0);
-    [c[0].min(255.0) as u8, c[1].min(255.0) as u8, c[2].min(255.0) as u8]
+    [
+        c[0].min(255.0) as u8,
+        c[1].min(255.0) as u8,
+        c[2].min(255.0) as u8,
+    ]
 }
 
 /// Sequential render into an RGB buffer.
@@ -122,7 +149,11 @@ mod tests {
         let img = render_seq(&s, 64, 48);
         // Center pixel hits the big red sphere.
         let c = 3 * (24 * 64 + 32);
-        assert!(img[c] > img[c + 2], "center should be red-dominant: {:?}", &img[c..c + 3]);
+        assert!(
+            img[c] > img[c + 2],
+            "center should be red-dominant: {:?}",
+            &img[c..c + 3]
+        );
         // Top corner is sky (blue-dominant).
         assert!(img[2] > img[0], "corner should be sky: {:?}", &img[0..3]);
     }

@@ -118,7 +118,12 @@ fn interact_harmony(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
 fn interact_ace(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
     // A typing burst: 20 keystrokes on various lines, slow typist.
     for k in 0..20 {
-        dom.dispatch(interp, "window", "keydown", &[("line", (k * 5 % 24) as f64)])?;
+        dom.dispatch(
+            interp,
+            "window",
+            "keydown",
+            &[("line", (k * 5 % 24) as f64)],
+        )?;
         interp.run_events(100)?;
         idle(interp, 120);
     }
@@ -132,7 +137,10 @@ fn interact_myscript(interp: &mut Interp, dom: &DomHandle) -> JsResult<()> {
     // round-trip happens server-side in the real app).
     for c in 0..3 {
         dispatch_n(interp, dom, "ink-pad", "pointermove", 5, |k| {
-            vec![("x", (c * 10 + k * 2) as f64), ("y", (8 + (k % 3) * 3) as f64)]
+            vec![
+                ("x", (c * 10 + k * 2) as f64),
+                ("y", (8 + (k % 3) * 3) as f64),
+            ]
         })?;
         dom.dispatch(interp, "ink-pad", "pointerup", &[])?;
         idle(interp, THINK_LONG * 2);
@@ -386,7 +394,11 @@ pub fn run_workload(w: &Workload, mode: Mode, scale: u32) -> Result<AppRun, cere
     analyze(
         &server,
         "index.html",
-        AnalyzeOptions { mode, seed: 2015, ..Default::default() },
+        AnalyzeOptions {
+            mode,
+            seed: 2015,
+            ..Default::default()
+        },
         Box::new(interaction),
     )
 }
@@ -399,10 +411,14 @@ mod tests {
     fn registry_matches_table1() {
         let ws = all();
         assert_eq!(ws.len(), 12, "Table 1 lists 12 applications");
-        let categories: std::collections::HashSet<_> =
-            ws.iter().map(|w| w.category).collect();
-        for c in ["Games", "Visualization", "User recognition", "Audio and Video", "Productivity"]
-        {
+        let categories: std::collections::HashSet<_> = ws.iter().map(|w| w.category).collect();
+        for c in [
+            "Games",
+            "Visualization",
+            "User recognition",
+            "Audio and Video",
+            "Productivity",
+        ] {
             assert!(categories.contains(c), "missing category {c}");
         }
         // Slugs unique.

@@ -14,10 +14,18 @@ use ceres_core::{publish_report, Mode};
 use ceres_workloads::{by_slug, run_workload};
 
 fn main() {
-    let slug = std::env::args().nth(1).unwrap_or_else(|| "raytracing".to_string());
+    let slug = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "raytracing".to_string());
     let Some(w) = by_slug(&slug) else {
-        eprintln!("unknown workload `{slug}`; try: {}",
-            ceres_workloads::all().iter().map(|w| w.slug).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "unknown workload `{slug}`; try: {}",
+            ceres_workloads::all()
+                .iter()
+                .map(|w| w.slug)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         std::process::exit(2);
     };
     println!("analyzing {} — {} ({})\n", w.name, w.description, w.url);
@@ -25,8 +33,13 @@ fn main() {
     // Step 1 (Sec. 3.1): is it computationally intensive?
     let light = run_workload(&w, Mode::Lightweight, 1).expect("lightweight run");
     println!("stage 1 — lightweight profiling:");
-    println!("  total {:.0} ms, profiler-active {:.0} ms, in loops {:.0} ms ({:.0}%)",
-        light.total_ms, light.active_ms, light.loops_ms, 100.0 * light.loop_fraction());
+    println!(
+        "  total {:.0} ms, profiler-active {:.0} ms, in loops {:.0} ms ({:.0}%)",
+        light.total_ms,
+        light.active_ms,
+        light.loops_ms,
+        100.0 * light.loop_fraction()
+    );
 
     // Step 2 (Sec. 3.2): which loop nests dominate?
     let profile = run_workload(&w, Mode::LoopProfile, 1).expect("loop-profile run");
@@ -34,7 +47,11 @@ fn main() {
     println!("\nstage 2 — loop profiling ({} nests):", nests.len());
     for n in nests.iter().take(3) {
         let eng = profile.engine.borrow();
-        let name = eng.loops.get(&n.root).map(|l| l.display_name()).unwrap_or_default();
+        let name = eng
+            .loops
+            .get(&n.root)
+            .map(|l| l.display_name())
+            .unwrap_or_default();
         println!(
             "  {name}: {:.0}% of loop time, {} instances, trips {}",
             n.pct_loop_time,
@@ -67,7 +84,10 @@ fn main() {
     // Step 4 (Sec. 4): interpret — the Table 3 row.
     let rows = deep.nests();
     println!("\nstage 4 — classification (Table 3 row):");
-    print!("{}", render_nest_table(&deep.engine.borrow(), &rows[..rows.len().min(3)]));
+    print!(
+        "{}",
+        render_nest_table(&deep.engine.borrow(), &rows[..rows.len().min(3)])
+    );
 
     // And push the report, Fig. 5 style.
     let dir = std::env::temp_dir().join("js-ceres-reports");

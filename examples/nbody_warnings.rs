@@ -30,16 +30,27 @@ fn main() {
     let engine = engine.borrow();
     println!("\n-- warnings for the step() loop --");
     for (kind, title) in [
-        (WarningKind::VarWrite, "(a) writes to variables declared outside the iteration"),
-        (WarningKind::SharedPropWrite, "(b) writes to properties of shared objects"),
-        (WarningKind::FlowRead, "(c) reads of properties written in another iteration"),
+        (
+            WarningKind::VarWrite,
+            "(a) writes to variables declared outside the iteration",
+        ),
+        (
+            WarningKind::SharedPropWrite,
+            "(b) writes to properties of shared objects",
+        ),
+        (
+            WarningKind::FlowRead,
+            "(c) reads of properties written in another iteration",
+        ),
     ] {
         println!("{title}:");
         for w in engine.warnings.iter().filter(|w| w.kind == kind) {
             println!(
                 "  `{}`{}: {}",
                 w.subject,
-                w.op.as_deref().map(|o| format!(" (via {o})")).unwrap_or_default(),
+                w.op.as_deref()
+                    .map(|o| format!(" (via {o})"))
+                    .unwrap_or_default(),
                 render(&w.characterization, &engine.loops)
             );
         }

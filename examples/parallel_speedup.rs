@@ -57,9 +57,19 @@ fn main() {
     let (seq_ms, seq_com) = bench(false);
     let (par_ms, par_com) = bench(true);
 
-    println!("  sequential: {seq_ms:>8.2} ms   com = ({:.4}, {:.4})", seq_com.x, seq_com.y);
-    println!("  parallel:   {par_ms:>8.2} ms   com = ({:.4}, {:.4})", par_com.x, par_com.y);
-    println!("  speedup:    {:>8.2}x on {} threads", seq_ms / par_ms, rayon::current_num_threads());
+    println!(
+        "  sequential: {seq_ms:>8.2} ms   com = ({:.4}, {:.4})",
+        seq_com.x, seq_com.y
+    );
+    println!(
+        "  parallel:   {par_ms:>8.2} ms   com = ({:.4}, {:.4})",
+        par_com.x, par_com.y
+    );
+    println!(
+        "  speedup:    {:>8.2}x on {} threads",
+        seq_ms / par_ms,
+        rayon::current_num_threads()
+    );
     assert!((seq_com.x - par_com.x).abs() < 1e-6, "reduction must agree");
 
     println!("\nThe dependence JS-CERES reported (`com` flow) did not block");

@@ -37,15 +37,13 @@ console.log("done", scaled.length);
 
 fn main() {
     // Loop profiling answers "where does the time go?".
-    let (interp, engine) =
-        run_instrumented(APP, Mode::LoopProfile, 42).expect("loop-profile run");
+    let (interp, engine) = run_instrumented(APP, Mode::LoopProfile, 42).expect("loop-profile run");
     println!("console: {:?}", interp.console);
     println!("\n-- loop profile (paper Sec. 3.2) --");
     print!("{}", render_loop_profile(&engine.borrow()));
 
     // Dependence analysis answers "what impedes parallelization?".
-    let (_interp, engine) =
-        run_instrumented(APP, Mode::Dependence, 42).expect("dependence run");
+    let (_interp, engine) = run_instrumented(APP, Mode::Dependence, 42).expect("dependence run");
     println!("\n-- dependence warnings (paper Sec. 3.3) --");
     print!("{}", render_warnings(&engine.borrow()));
 

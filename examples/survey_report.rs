@@ -9,18 +9,29 @@ use ceres_survey as survey;
 
 fn main() {
     let pop = survey::generate(2015);
-    println!("{} respondents (seeded synthetic population, paper marginals)\n", pop.len());
+    println!(
+        "{} respondents (seeded synthetic population, paper marginals)\n",
+        pop.len()
+    );
 
     // Fig. 1 with the coding methodology on display.
     let coder = survey::Coder::primary();
     let (rows, no_answer) = survey::fig1(&pop, &coder);
     println!("Figure 1 — future web application categories:");
     for r in &rows {
-        println!("  {:<52} {:>3} ({:>2.0}%) {}", r.category.label(), r.count, r.pct,
-            survey::bar(r.pct, 24));
+        println!(
+            "  {:<52} {:>3} ({:>2.0}%) {}",
+            r.category.label(),
+            r.count,
+            r.pct,
+            survey::bar(r.pct, 24)
+        );
     }
     println!("  {:<52} {:>3}", "no answer / no valid data", no_answer);
-    let answers: Vec<&str> = pop.iter().filter_map(|r| r.trend_answer.as_deref()).collect();
+    let answers: Vec<&str> = pop
+        .iter()
+        .filter_map(|r| r.trend_answer.as_deref())
+        .collect();
     let sample: Vec<&str> = answers.iter().step_by(5).copied().collect();
     println!(
         "  inter-rater agreement on a 20% sample (Jaccard): {:.0}%\n",
@@ -38,19 +49,28 @@ fn main() {
     }
 
     let f3 = survey::fig3(&pop);
-    println!("\nFigure 3 — functional(1) .. imperative(5) ({} answers):", f3.total());
+    println!(
+        "\nFigure 3 — functional(1) .. imperative(5) ({} answers):",
+        f3.total()
+    );
     for v in 1..=5u8 {
         println!("  {v}: {:>3.0}% {}", f3.pct(v), survey::bar(f3.pct(v), 24));
     }
 
     let f4 = survey::fig4(&pop);
-    println!("\nFigure 4 — monomorphic(1) .. polymorphic(5) ({} answers):", f4.total());
+    println!(
+        "\nFigure 4 — monomorphic(1) .. polymorphic(5) ({} answers):",
+        f4.total()
+    );
     for v in 1..=5u8 {
         println!("  {v}: {:>3.0}% {}", f4.pct(v), survey::bar(f4.pct(v), 24));
     }
 
     // The Sec. 2.3/2.4 headline numbers.
-    let ops_yes = pop.iter().filter(|r| r.prefers_operators == Some(true)).count();
+    let ops_yes = pop
+        .iter()
+        .filter(|r| r.prefers_operators == Some(true))
+        .count();
     let ops_all = pop.iter().filter(|r| r.prefers_operators.is_some()).count();
     let globals = pop.iter().filter(|r| r.global_var_usage.is_some()).count();
     println!("\nheadlines:");

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fleet speedup gate (manual / nightly CI): run the fleet analyzer
+# sequentially and with 4 workers, write BENCH_fleet.json, and fail if the
+# 4-worker speedup falls below 1.5x.
+#
+# The gate only makes sense with real cores to spread across: on a 1-2
+# core machine (small containers, throttled runners) the parallel run
+# cannot win, so the script records the numbers but skips the threshold.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKERS=${FLEET_BENCH_WORKERS:-4}
+OUT=${FLEET_BENCH_OUT:-BENCH_fleet.json}
+MIN_SPEEDUP=${FLEET_BENCH_MIN_SPEEDUP:-1.5}
+
+cargo build --release --bin repro
+target/release/repro fleet-bench --workers "$WORKERS" --json "$OUT"
+cat "$OUT"
+
+cores=$(nproc)
+if [ "$cores" -lt "$WORKERS" ]; then
+    echo "note: only $cores core(s) available for $WORKERS workers — recording numbers, skipping the ${MIN_SPEEDUP}x gate"
+    exit 0
+fi
+
+python3 - "$OUT" "$MIN_SPEEDUP" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+need = float(sys.argv[2])
+got = report["speedup"]
+if got < need:
+    sys.exit(f"FAIL: fleet speedup {got:.2f}x < required {need}x "
+             f"(seq {report['seq_ms']:.0f} ms, par {report['par_ms']:.0f} ms, "
+             f"{report['workers']} workers)")
+print(f"OK: fleet speedup {got:.2f}x >= {need}x")
+EOF

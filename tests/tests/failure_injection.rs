@@ -13,8 +13,7 @@ fn uncaught_throw_inside_loop_unwinds_analysis_stack() {
                for (i = 0; i < 100; i++) {\n\
                  if (i === 7) { throw new Error(\"boom\"); }\n\
                }";
-    let (instrumented, loops) =
-        ceres_instrument::instrument_source(src, Mode::Dependence).unwrap();
+    let (instrumented, loops) = ceres_instrument::instrument_source(src, Mode::Dependence).unwrap();
     let mut interp = Interp::new(1);
     ceres_dom::install_dom(&mut interp);
     let engine = attach_engine(&mut interp, Mode::Dependence, loops);
@@ -67,7 +66,10 @@ fn tick_budget_abort_mid_loop_is_fatal_not_catchable() {
     let engine = attach_engine(&mut interp, Mode::LoopProfile, loops);
     let r = interp.eval_source(&instrumented);
     assert!(matches!(r, Err(Control::Fatal(_))), "{r:?}");
-    assert!(interp.console.is_empty(), "budget abort must not be catchable");
+    assert!(
+        interp.console.is_empty(),
+        "budget abort must not be catchable"
+    );
     // Engine state still inspectable: the loop was entered once and never
     // cleanly exited (the abort is deliberately not maskable by finally).
     let eng = engine.borrow();
@@ -127,8 +129,8 @@ fn loop_recursion_taints_but_does_not_crash() {
 #[test]
 fn empty_and_degenerate_programs() {
     for src in ["", ";", "var x;", "// just a comment\n"] {
-        let (interp, engine) = run_instrumented(src, Mode::Dependence, 1)
-            .unwrap_or_else(|e| panic!("{src:?}: {e:?}"));
+        let (interp, engine) =
+            run_instrumented(src, Mode::Dependence, 1).unwrap_or_else(|e| panic!("{src:?}: {e:?}"));
         assert!(interp.console.is_empty());
         let eng = engine.borrow();
         assert!(eng.warnings.is_empty());

@@ -6,11 +6,7 @@ use ceres_core::{render, Mode, WarningKind};
 
 const NBODY: &str = include_str!("../../examples/js/nbody.js");
 
-fn warnings_for(
-    engine: &ceres_core::Engine,
-    kind: WarningKind,
-    subject: &str,
-) -> Vec<String> {
+fn warnings_for(engine: &ceres_core::Engine, kind: WarningKind, subject: &str) -> Vec<String> {
     engine
         .warnings
         .iter()
@@ -38,7 +34,10 @@ fn fig6_warning_characterizations_match_paper() {
     };
 
     // (a) the write to variable p (line 7 of the paper's figure).
-    expect_shape(&warnings_for(&engine, WarningKind::VarWrite, "p"), "write to p");
+    expect_shape(
+        &warnings_for(&engine, WarningKind::VarWrite, "p"),
+        "write to p",
+    );
 
     // (b) writes to properties vX, vY, x, y of p and x, y, m of com.
     for subject in ["p.vX", "p.vY", "p.x", "p.y", "com.m", "com.x", "com.y"] {
@@ -117,9 +116,10 @@ while (steps < 3) {
             .map(|w| (w.kind, w.subject.clone()))
             .collect::<Vec<_>>()
     );
-    assert!(
-        !engine2.warnings.iter().any(|w| w.kind == WarningKind::VarWrite && w.subject == "p")
-    );
+    assert!(!engine2
+        .warnings
+        .iter()
+        .any(|w| w.kind == WarningKind::VarWrite && w.subject == "p"));
     // …while the warning on com stands (reached through the closure, still
     // shared across the for's iterations).
     assert!(engine2
@@ -161,12 +161,18 @@ fn refactoring_the_fig6_loop_removes_the_p_warnings() {
     plain.eval_source(NBODY).unwrap();
     let (interp, engine) =
         run_instrumented(&refactored, Mode::Dependence, 2015).expect("refactored run");
-    assert_eq!(plain.console, interp.console, "refactoring must not change results");
+    assert_eq!(
+        plain.console, interp.console,
+        "refactoring must not change results"
+    );
 
     // The `p` warnings are gone (per-callback locals)…
     let engine = engine.borrow();
     assert!(
-        !engine.warnings.iter().any(|w| w.kind == WarningKind::VarWrite && w.subject == "p"),
+        !engine
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::VarWrite && w.subject == "p"),
         "refactored p still flagged: {:?}",
         engine
             .warnings
@@ -180,8 +186,5 @@ fn refactoring_the_fig6_loop_removes_the_p_warnings() {
         .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "p.vX"));
     // …while com's sharing across while-iterations still shows (it now
     // characterizes at the while level, since the for loop is gone).
-    assert!(engine
-        .warnings
-        .iter()
-        .any(|w| w.subject.starts_with("com")));
+    assert!(engine.warnings.iter().any(|w| w.subject.starts_with("com")));
 }

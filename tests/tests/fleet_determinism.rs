@@ -1,0 +1,45 @@
+//! The parallel fleet analyzer must be a pure speedup: the merged report
+//! from an N-worker run is byte-identical to the sequential baseline (and
+//! to a second parallel run) once the scheduling-only fields (wall clock,
+//! worker id, pool size) are stripped.
+//!
+//! Full-registry fleet runs are expensive, so the whole comparison lives
+//! in one test: sequential vs 4-worker vs 4-worker-again, over renders
+//! and canonical JSON.
+
+use ceres_core::fleet::FleetReport;
+use ceres_core::Mode;
+use ceres_workloads::run_fleet_report;
+
+#[test]
+fn parallel_fleet_report_is_byte_identical_to_sequential() {
+    let seq = run_fleet_report(Mode::Dependence, 1, 1).expect("sequential fleet");
+    let par = run_fleet_report(Mode::Dependence, 1, 4).expect("parallel fleet");
+    let par2 = run_fleet_report(Mode::Dependence, 1, 4).expect("parallel fleet rerun");
+
+    assert_eq!(seq.apps.len(), 12, "the whole registry runs");
+    assert_eq!(par.workers, 4);
+
+    // Apps come back in registry order regardless of completion order.
+    let order: Vec<_> = par.apps.iter().map(|a| a.slug.as_str()).collect();
+    let registry: Vec<_> = ceres_workloads::all().iter().map(|w| w.slug).collect();
+    assert_eq!(order, registry);
+
+    // The human-readable renderings never contain scheduling noise, so
+    // they must match without any canonicalization.
+    assert_eq!(seq.render_table2(), par.render_table2());
+    assert_eq!(seq.render_table3(), par.render_table3());
+    assert_eq!(par.render_table2(), par2.render_table2());
+
+    // The canonical JSON (wall_ms/worker/workers zeroed) is byte-identical
+    // across worker counts and across runs.
+    let a = seq.canonical().to_json();
+    let b = par.canonical().to_json();
+    let c = par2.canonical().to_json();
+    assert_eq!(a, b, "sequential vs parallel canonical JSON");
+    assert_eq!(b, c, "parallel run-to-run canonical JSON");
+
+    // And the JSON artifact round-trips through the serde layer.
+    let back: FleetReport = serde_json::from_str(&par.to_json()).expect("JSON parses");
+    assert_eq!(back, par);
+}

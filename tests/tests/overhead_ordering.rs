@@ -48,12 +48,18 @@ fn overhead_ordering_matches_paper_staging() {
 
     // Lightweight: "no discernible impact" — under 10% here.
     let light_overhead = light as f64 / plain as f64;
-    assert!(light_overhead < 1.10, "lightweight overhead {light_overhead:.3}");
+    assert!(
+        light_overhead < 1.10,
+        "lightweight overhead {light_overhead:.3}"
+    );
 
     // Loop profiling: "minimal discernible impact" — under 2.5x (the hook
     // fires per iteration of a tight tiny-body loop, the worst case).
     let loop_overhead = loops as f64 / plain as f64;
-    assert!(loop_overhead < 2.5, "loop-profile overhead {loop_overhead:.3}");
+    assert!(
+        loop_overhead < 2.5,
+        "loop-profile overhead {loop_overhead:.3}"
+    );
 
     // Dependence: "very high overhead" — clearly above loop profiling.
     let dep_overhead = dep as f64 / plain as f64;
@@ -66,8 +72,12 @@ fn overhead_ordering_matches_paper_staging() {
 #[test]
 fn all_modes_compute_identical_results() {
     let mut expected = None;
-    for mode in [None, Some(Mode::Lightweight), Some(Mode::LoopProfile), Some(Mode::Dependence)]
-    {
+    for mode in [
+        None,
+        Some(Mode::Lightweight),
+        Some(Mode::LoopProfile),
+        Some(Mode::Dependence),
+    ] {
         let console = match mode {
             None => {
                 let mut interp = Interp::new(42);

@@ -25,7 +25,10 @@ fn fig5_pipeline_produces_reports_on_disk() {
     let mut run = analyze(
         &server,
         "index.html",
-        AnalyzeOptions { mode: Mode::Dependence, ..Default::default() },
+        AnalyzeOptions {
+            mode: Mode::Dependence,
+            ..Default::default()
+        },
         Box::new(|_, _| Ok(())),
     )
     .expect("pipeline");
@@ -37,7 +40,14 @@ fn fig5_pipeline_produces_reports_on_disk() {
     let commit = publish_report(&mut run, &mut repo, "pixel-invert").unwrap();
     assert_eq!(run.steps.len(), 7, "all seven Fig. 5 steps traced");
     let base = dir.join("pixel-invert").join(&commit);
-    for f in ["timing.txt", "loops.txt", "warnings.txt", "polymorphism.txt", "nests.txt", "source.js"] {
+    for f in [
+        "timing.txt",
+        "loops.txt",
+        "warnings.txt",
+        "polymorphism.txt",
+        "nests.txt",
+        "source.js",
+    ] {
         let content = std::fs::read_to_string(base.join(f)).unwrap_or_else(|e| {
             panic!("missing report file {f}: {e}");
         });
@@ -76,7 +86,10 @@ fn focused_analysis_limits_warnings() {
     .expect("pipeline");
     let eng = run.engine.borrow();
     assert!(eng.warnings.iter().any(|w| w.subject == "b.v"));
-    assert!(!eng.warnings.iter().any(|w| w.subject == "a.v"), "focus must exclude loop 1");
+    assert!(
+        !eng.warnings.iter().any(|w| w.subject == "a.v"),
+        "focus must exclude loop 1"
+    );
 }
 
 #[test]
@@ -118,8 +131,7 @@ fn survey_population_varies_by_seed_but_not_marginals() {
     assert_eq!(survey::fig4(&a).counts, survey::fig4(&b).counts);
     let (rows_a, _) = survey::fig1(&a, &survey::Coder::primary());
     let (rows_b, _) = survey::fig1(&b, &survey::Coder::primary());
-    let counts = |rows: &[survey::Fig1Row]| -> Vec<usize> {
-        rows.iter().map(|r| r.count).collect()
-    };
+    let counts =
+        |rows: &[survey::Fig1Row]| -> Vec<usize> { rows.iter().map(|r| r.count).collect() };
     assert_eq!(counts(&rows_a), counts(&rows_b));
 }

@@ -36,7 +36,16 @@ fn spec_strategy() -> impl Strategy<Value = ProgramSpec> {
         (-9i32..10, -9i32..10, 1i32..10),
     )
         .prop_map(
-            |(n, outer, use_object_acc, use_conditional, use_helper_fn, use_push, use_while, coeffs)| {
+            |(
+                n,
+                outer,
+                use_object_acc,
+                use_conditional,
+                use_helper_fn,
+                use_push,
+                use_while,
+                coeffs,
+            )| {
                 ProgramSpec {
                     n,
                     outer,
@@ -52,9 +61,16 @@ fn spec_strategy() -> impl Strategy<Value = ProgramSpec> {
 }
 
 fn render(spec: &ProgramSpec) -> String {
-    let ProgramSpec { n, outer, coeffs: (a, b, c), .. } = *spec;
+    let ProgramSpec {
+        n,
+        outer,
+        coeffs: (a, b, c),
+        ..
+    } = *spec;
     let mut src = String::new();
-    src.push_str(&format!("var n = {n};\nvar data = new Float32Array(n);\nvar out = [];\n"));
+    src.push_str(&format!(
+        "var n = {n};\nvar data = new Float32Array(n);\nvar out = [];\n"
+    ));
     src.push_str("var acc = { total: 0 };\nvar plain = 0;\n");
     if spec.use_helper_fn {
         src.push_str(&format!(

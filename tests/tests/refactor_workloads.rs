@@ -24,7 +24,10 @@ fn loop_at_line(src: &str, line: u32) -> LoopId {
         .unwrap_or_else(|| {
             panic!(
                 "no loop at line {line}; have {:?}",
-                loops.iter().map(|l| (l.id, l.kind, l.span.line)).collect::<Vec<_>>()
+                loops
+                    .iter()
+                    .map(|l| (l.id, l.kind, l.span.line))
+                    .collect::<Vec<_>>()
             )
         })
         .id

@@ -8,8 +8,8 @@ use ceres_workloads::{all, run_workload};
 #[test]
 fn console_output_identical_across_modes() {
     for w in all() {
-        let baseline = run_workload(&w, Mode::Lightweight, 1)
-            .unwrap_or_else(|e| panic!("{}: {e:?}", w.slug));
+        let baseline =
+            run_workload(&w, Mode::Lightweight, 1).unwrap_or_else(|e| panic!("{}: {e:?}", w.slug));
         for mode in [Mode::LoopProfile, Mode::Dependence] {
             let run =
                 run_workload(&w, mode, 1).unwrap_or_else(|e| panic!("{} {mode:?}: {e:?}", w.slug));
@@ -34,11 +34,16 @@ fn canvas_pixels_identical_across_modes() {
             let shared = run.dom.shared.borrow();
             let mut ids: Vec<u64> = shared.canvases.keys().copied().collect();
             ids.sort();
-            let sum: Vec<u64> =
-                ids.iter().map(|id| shared.canvases[id].borrow().checksum()).collect();
+            let sum: Vec<u64> = ids
+                .iter()
+                .map(|id| shared.canvases[id].borrow().checksum())
+                .collect();
             sums.push(sum);
         }
-        assert_eq!(sums[0], sums[1], "{slug}: canvas contents differ across modes");
+        assert_eq!(
+            sums[0], sums[1],
+            "{slug}: canvas contents differ across modes"
+        );
         assert!(
             !sums[0].is_empty(),
             "{slug}: expected at least one canvas to be touched"

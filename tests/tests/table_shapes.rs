@@ -95,17 +95,24 @@ fn table3_dominant_nest_classifications_match_paper() {
 #[test]
 fn table3_signature_rows() {
     // A few rows the paper highlights in the text.
-    let run = run_workload(&ceres_workloads::by_slug("ace").unwrap(), Mode::Dependence, 1)
-        .unwrap();
+    let run = run_workload(
+        &ceres_workloads::by_slug("ace").unwrap(),
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
     let top = &run.nests()[0];
     // "The loops in Ace only execute roughly one iteration on average."
     assert!(top.trips.mean() < 2.0, "ace trips {:.2}", top.trips.mean());
     assert_eq!(top.divergence, ceres_core::Divergence::Yes);
 
     // "The Raytracing algorithm contains variable depth recursion."
-    let run =
-        run_workload(&ceres_workloads::by_slug("raytracing").unwrap(), Mode::Dependence, 1)
-            .unwrap();
+    let run = run_workload(
+        &ceres_workloads::by_slug("raytracing").unwrap(),
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
     let top = &run.nests()[0];
     assert_eq!(top.divergence, ceres_core::Divergence::Yes);
     assert!(top.parallelization_difficulty <= Difficulty::Easy);
@@ -113,11 +120,18 @@ fn table3_signature_rows() {
 
     // "For MyScript, the only client-side expensive loop executes only a
     // few iterations, computing the length of line segments."
-    let run =
-        run_workload(&ceres_workloads::by_slug("myscript").unwrap(), Mode::Dependence, 1)
-            .unwrap();
+    let run = run_workload(
+        &ceres_workloads::by_slug("myscript").unwrap(),
+        Mode::Dependence,
+        1,
+    )
+    .unwrap();
     let top = &run.nests()[0];
-    assert!(top.trips.mean() >= 2.0 && top.trips.mean() <= 8.0, "{}", top.trips.mean());
+    assert!(
+        top.trips.mean() >= 2.0 && top.trips.mean() <= 8.0,
+        "{}",
+        top.trips.mean()
+    );
     assert!(top.dom_access);
 }
 
@@ -137,7 +151,9 @@ fn sec42_parallelizable_and_hard_splits() {
             .map(|n| n.pct_loop_time)
             .sum();
         let denom = run.active_ms.max(run.loops_ms).max(0.001);
-        let p = ((parallel_pct / 100.0) * run.loops_ms / denom).clamp(0.0, 1.0).abs();
+        let p = ((parallel_pct / 100.0) * run.loops_ms / denom)
+            .clamp(0.0, 1.0)
+            .abs();
         if ceres_core::amdahl_bound(p) > 3.0 {
             over3 += 1;
         }
@@ -149,7 +165,10 @@ fn sec42_parallelizable_and_hard_splits() {
             hard += 1;
         }
     }
-    assert!((3..=7).contains(&over3), "apps with >3x bound: {over3}, paper: 5");
+    assert!(
+        (3..=7).contains(&over3),
+        "apps with >3x bound: {over3}, paper: 5"
+    );
     assert_eq!(hard, 5, "apps hard/very hard, paper: 5");
 }
 
@@ -160,8 +179,8 @@ fn no_polymorphic_variables_in_compute_loops() {
     // runtime type observation (our automation of that manual inspection)
     // must agree for every workload.
     for w in all() {
-        let run = run_workload(&w, Mode::Dependence, 1)
-            .unwrap_or_else(|e| panic!("{}: {e:?}", w.slug));
+        let run =
+            run_workload(&w, Mode::Dependence, 1).unwrap_or_else(|e| panic!("{}: {e:?}", w.slug));
         assert!(!run.console.is_empty(), "{}", w.slug);
         assert!(
             !run.console.iter().any(|l| l.contains("TypeError")),
@@ -189,7 +208,11 @@ fn task_parallelism_is_scarce_on_emerging_workloads() {
         let w = by_slug(slug).unwrap();
         let run = run_workload(&w, Mode::Dependence, 1).unwrap();
         let study = run.task_study();
-        assert!(study.tasks >= 2, "{slug}: expected multiple tasks, got {}", study.tasks);
+        assert!(
+            study.tasks >= 2,
+            "{slug}: expected multiple tasks, got {}",
+            study.tasks
+        );
         assert!(
             study.speedup_bound() < 1.5,
             "{slug}: frame chain should bound task parallelism, got {:.2}x",
@@ -198,4 +221,3 @@ fn task_parallelism_is_scarce_on_emerging_workloads() {
         assert!(study.conflicts > 0, "{slug}: frames must conflict");
     }
 }
-

@@ -70,8 +70,10 @@ fn canvas_checksums_stable_across_runs_and_modes() {
             let shared = run.dom.shared.borrow();
             let mut ids: Vec<u64> = shared.canvases.keys().copied().collect();
             ids.sort();
-            let sums: Vec<u64> =
-                ids.iter().map(|id| shared.canvases[id].borrow().checksum()).collect();
+            let sums: Vec<u64> = ids
+                .iter()
+                .map(|id| shared.canvases[id].borrow().checksum())
+                .collect();
             assert!(!sums.is_empty(), "{slug}: no canvas touched under {mode:?}");
             checksums.push(sums);
         }

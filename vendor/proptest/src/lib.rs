@@ -1,0 +1,263 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy-combinator surface this workspace's property
+//! tests use: range/bool/string strategies, `prop_map`/`prop_filter`/
+//! `prop_recursive`, tuple and collection composition, `prop_oneof!`,
+//! and the `proptest!` runner macro. Deliberate departures from
+//! upstream: generation is deterministic per test name (no OS entropy),
+//! and failing cases are reported by panic without shrinking.
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// Runner configuration (`ProptestConfig::with_cases(n)`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generation source (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the test name: stable per-test streams.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased index in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty choice");
+        let bound = bound as u64;
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return (x % bound) as usize;
+            }
+        }
+    }
+}
+
+/// `prop::collection` / `prop::option` namespace, as re-exported by the
+/// upstream prelude.
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Vectors of `element` with length drawn from `len` (half-open).
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `None` or `Some(inner)`, evenly weighted.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Assertions inside `proptest!` bodies. Without shrinking there is no
+/// rejection channel to thread back, so these are the std asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The test-block macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (10i32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0f32..64.0).generate(&mut rng);
+            assert!((0.0..64.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::deterministic("strings");
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "[ -~&&[^\"\\\\]]{0,12}".generate(&mut rng);
+            assert!(t.chars().count() <= 12);
+            assert!(
+                t.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_map_filter_compose() {
+        let mut rng = crate::TestRng::deterministic("compose");
+        let strat = prop_oneof![
+            (0i32..10).prop_map(|n| n * 2),
+            (100i32..110).prop_filter("even", |n| n % 2 == 0),
+        ];
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0);
+            if v < 100 {
+                seen_low = true;
+            } else {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::deterministic("trees");
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 6, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u32..50, b in any::<bool>()) {
+            prop_assert!(a < 50);
+            prop_assert_eq!(b as u32 * 2 / 2, b as u32);
+        }
+
+        #[test]
+        fn vec_and_option_compose(
+            v in prop::collection::vec((0usize..9, Just(1u8)), 0..5),
+            o in prop::option::of(0i64..4),
+        ) {
+            prop_assert!(v.len() < 5);
+            if let Some(x) = o {
+                prop_assert_ne!(x, 9);
+            }
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A generator of values. Object-safe core (`generate`) plus `Sized`-gated
+/// combinators, so `BoxedStrategy` can hold `dyn Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Depth-limited recursion: `recurse` receives the strategy for
+    /// smaller instances. Unrolled into `depth` layers, each a leaf/branch
+    /// union, so generation always terminates at the leaf strategy.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = Union::weighted(vec![(1, leaf.clone()), (2, recurse(strat).boxed())]).boxed();
+        }
+        strat
+    }
+}
+
+/// A shared, clonable, type-erased strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+/// Weighted choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        assert!(!arms.is_empty(), "empty union");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "union weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.index(self.total as usize) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping broke")
+    }
+}
+
+/// `prop::collection::vec`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1);
+        let len = self.len.start + rng.index(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::option::of`.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.index(2) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+#[derive(Debug, Clone)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct AnyI32;
+
+impl Strategy for AnyI32 {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        rng.next_u64() as u32 as i32
+    }
+}
+
+impl Arbitrary for i32 {
+    type Strategy = AnyI32;
+    fn arbitrary() -> AnyI32 {
+        AnyI32
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range {
+    ($ty:ty) => {
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span == 1 {
+                    0
+                } else {
+                    rng.index(span as usize) as i128
+                };
+                (self.start as i128 + off) as $ty
+            }
+        }
+    };
+}
+
+int_range!(i8);
+int_range!(i16);
+int_range!(i32);
+int_range!(i64);
+int_range!(u8);
+int_range!(u16);
+int_range!(u32);
+int_range!(u64);
+int_range!(usize);
+
+macro_rules! float_range {
+    ($ty:ty) => {
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + frac * (self.end as f64 - self.start as f64);
+                let v = v as $ty;
+                // `frac` < 1 keeps v < end in real arithmetic; rounding can
+                // still land on the bound, so fold that edge back.
+                if v >= self.end || v < self.start {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+float_range!(f32);
+float_range!(f64);
+
+// ---------------------------------------------------------------------
+// Strings from character-class patterns
+// ---------------------------------------------------------------------
+
+/// Pattern strategies: `"[class]{m,n}"` (optionally `class&&[^excluded]`),
+/// the regex subset the workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported pattern {self:?}: {e}"));
+        let len = min + rng.index(max - min + 1);
+        (0..len)
+            .map(|_| alphabet[rng.index(alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pos = 0;
+
+    let (included, excluded) = parse_class(&chars, &mut pos)?;
+
+    // {m,n} or {m}
+    if chars.get(pos) != Some(&'{') {
+        return Err("expected `{` after class".into());
+    }
+    pos += 1;
+    let brace_end = chars[pos..]
+        .iter()
+        .position(|&c| c == '}')
+        .ok_or("unterminated `{`")?
+        + pos;
+    let spec: String = chars[pos..brace_end].iter().collect();
+    let (min, max) = match spec.split_once(',') {
+        Some((a, b)) => (
+            a.parse().map_err(|_| "bad min")?,
+            b.parse().map_err(|_| "bad max")?,
+        ),
+        None => {
+            let n = spec.parse().map_err(|_| "bad count")?;
+            (n, n)
+        }
+    };
+    if brace_end + 1 != chars.len() {
+        return Err("trailing pattern text".into());
+    }
+    if min > max {
+        return Err("min > max".into());
+    }
+
+    let alphabet: Vec<char> = included
+        .into_iter()
+        .filter(|c| !excluded.contains(c))
+        .collect();
+    if alphabet.is_empty() && max > 0 {
+        return Err("empty alphabet".into());
+    }
+    Ok((alphabet, min, max))
+}
+
+/// Parse `[...]`, returning (included, excluded) sets. The only nesting
+/// supported is `&&[^...]` — class intersection with a complement, which
+/// subtracts the inner set.
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<(Vec<char>, Vec<char>), String> {
+    if chars.get(*pos) != Some(&'[') {
+        return Err("expected `[`".into());
+    }
+    *pos += 1;
+    let mut included = Vec::new();
+    let mut excluded = Vec::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated `[`".into()),
+            Some(']') => {
+                *pos += 1;
+                return Ok((included, excluded));
+            }
+            Some('&') if chars.get(*pos + 1) == Some(&'&') => {
+                *pos += 2;
+                if chars.get(*pos) != Some(&'[') || chars.get(*pos + 1) != Some(&'^') {
+                    return Err("only `&&[^...]` intersections supported".into());
+                }
+                *pos += 2;
+                let mut inner = Vec::new();
+                loop {
+                    match chars.get(*pos) {
+                        None => return Err("unterminated `[^`".into()),
+                        Some(']') => {
+                            *pos += 1;
+                            break;
+                        }
+                        _ => inner.push(parse_item(chars, pos)?),
+                    }
+                }
+                for set in inner {
+                    excluded.extend(set);
+                }
+            }
+            _ => included.extend(parse_item(chars, pos)?),
+        }
+    }
+}
+
+/// One class item: an escape, a literal, or a `a-z` range.
+fn parse_item(chars: &[char], pos: &mut usize) -> Result<Vec<char>, String> {
+    let lo = parse_char(chars, pos)?;
+    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+        *pos += 1;
+        let hi = parse_char(chars, pos)?;
+        if lo > hi {
+            return Err(format!("inverted range {lo:?}-{hi:?}"));
+        }
+        Ok((lo..=hi).collect())
+    } else {
+        Ok(vec![lo])
+    }
+}
+
+fn parse_char(chars: &[char], pos: &mut usize) -> Result<char, String> {
+    match chars.get(*pos) {
+        None => Err("unexpected end".into()),
+        Some('\\') => {
+            *pos += 1;
+            let c = *chars.get(*pos).ok_or("dangling escape")?;
+            *pos += 1;
+            Ok(match c {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                other => other,
+            })
+        }
+        Some(&c) => {
+            *pos += 1;
+            Ok(c)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($idx:tt $name:ident))+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!((0 A));
+tuple_strategy!((0 A) (1 B));
+tuple_strategy!((0 A) (1 B) (2 C));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E) (5 F));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E) (5 F) (6 G));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E) (5 F) (6 G) (7 H));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E) (5 F) (6 G) (7 H) (8 I));
+tuple_strategy!((0 A) (1 B) (2 C) (3 D) (4 E) (5 F) (6 G) (7 H) (8 I) (9 J));

@@ -1,0 +1,230 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the slice-parallelism surface this workspace uses:
+//! `par_iter` / `par_iter_mut` / `par_chunks_mut` with `enumerate`,
+//! `skip`, `take`, `for_each`, `map` → `collect`/`reduce`. Items are
+//! materialized eagerly into a `Vec` and fanned out over
+//! `std::thread::scope` in contiguous chunks, so ordered adapters keep
+//! their sequential semantics and `collect` preserves input order.
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `items` into at most `parts` contiguous runs, preserving order.
+fn split_chunks<I>(mut items: Vec<I>, parts: usize) -> Vec<Vec<I>> {
+    let len = items.len();
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Split off from the back so each drain is O(chunk), then restore order.
+    for i in (0..parts).rev() {
+        let size = base + usize::from(i < extra);
+        out.push(items.split_off(items.len() - size));
+    }
+    out.reverse();
+    out
+}
+
+/// An ordered, materialized "parallel iterator".
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn skip(self, n: usize) -> ParIter<I> {
+        ParIter {
+            items: self.items.into_iter().skip(n).collect(),
+        }
+    }
+
+    pub fn take(self, n: usize) -> ParIter<I> {
+        ParIter {
+            items: self.items.into_iter().take(n).collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for chunk in split_chunks(self.items, threads) {
+                s.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; evaluation happens at `collect`/`reduce`.
+pub struct ParMap<I: Send, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    fn run<O>(self) -> Vec<O>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+        let f = &self.f;
+        let mut out = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = split_chunks(self.items, threads)
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon stand-in worker panicked"));
+            }
+        });
+        out
+    }
+
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+        C: From<Vec<O>>,
+    {
+        C::from(self.run())
+    }
+
+    pub fn reduce<O, ID, OP>(self, identity: ID, op: OP) -> O
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+        ID: Fn() -> O + Sync,
+        OP: Fn(O, O) -> O + Sync,
+    {
+        // Chunk results merge in input order, matching rayon's guarantee
+        // that `reduce` is ordered for associative `op`.
+        self.run().into_iter().fold(identity(), &op)
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunk_split_preserves_order() {
+        let items: Vec<u32> = (0..10).collect();
+        let chunks = split_chunks(items, 4);
+        assert_eq!(chunks.len(), 4);
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn enumerate_skip_take_window() {
+        let mut v = [0u32; 8];
+        v.par_chunks_mut(2)
+            .enumerate()
+            .skip(1)
+            .take(2)
+            .for_each(|(i, chunk)| {
+                for c in chunk {
+                    *c = i as u32;
+                }
+            });
+        assert_eq!(v, [0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let v: Vec<u64> = (1..=100).collect();
+        let sum = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+}

@@ -1,0 +1,170 @@
+//! Simplified deserialization: types decode from the self-describing
+//! [`RawValue`] tree rather than driving a `Deserializer`/`Visitor` pair.
+//! This is the one deliberate API departure from upstream serde in the
+//! offline stand-in — nothing in this workspace implements a custom
+//! `Deserializer`, so the visitor machinery would be dead weight.
+
+use crate::value::RawValue;
+use std::fmt;
+
+/// Deserialization error with a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+
+    pub fn custom<T: fmt::Display>(m: T) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type decodable from a [`RawValue`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error>;
+}
+
+/// Look up `key` in an object's pair list and decode it. A missing key
+/// decodes as `Null` (so `Option` fields tolerate omission).
+pub fn field<T: Deserialize>(m: &[(String, RawValue)], key: &str) -> Result<T, Error> {
+    let v = m
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&RawValue::Null);
+    T::deserialize_value(v).map_err(|e| Error(format!("in field `{key}`: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($ty:ty, $as:ident) => {
+        impl Deserialize for $ty {
+            fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+                let n = v
+                    .$as()
+                    .ok_or_else(|| Error(format!("expected {}, got {v}", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($ty))))
+            }
+        }
+    };
+}
+
+int_impl!(i8, as_i64);
+int_impl!(i16, as_i64);
+int_impl!(i32, as_i64);
+int_impl!(i64, as_i64);
+int_impl!(isize, as_i64);
+int_impl!(u8, as_u64);
+int_impl!(u16, as_u64);
+int_impl!(u32, as_u64);
+int_impl!(u64, as_u64);
+int_impl!(usize, as_u64);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error(format!("expected bool, got {v}")))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error(format!("expected string, got {v}")))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error(format!("expected string, got {v}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(Error(format!("expected null, got {v}")))
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| Error(format!("expected array, got {v}")))?;
+        items.iter().map(T::deserialize_value).collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($idx:tt $name:ident))+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error(format!("expected array, got {v}")))?;
+                if s.len() != $len {
+                    return Err(Error(format!("expected {}-tuple, got {} elements", $len, s.len())));
+                }
+                Ok(($($name::deserialize_value(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (0 A));
+tuple_impl!(2 => (0 A) (1 B));
+tuple_impl!(3 => (0 A) (1 B) (2 C));
+tuple_impl!(4 => (0 A) (1 B) (2 C) (3 D));

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! subset of serde this workspace uses:
+//!
+//! * [`ser`] — the real serde serialization trait surface (`Serializer`,
+//!   the seven `Serialize*` sub-traits, `ser::Error`), faithful enough that
+//!   hand-written backends (e.g. the survey crate's JSON smoke serializer
+//!   and `serde_json`) compile unchanged against it;
+//! * [`de`] — a *simplified* deserialization model: types decode from the
+//!   self-describing [`value::RawValue`] tree instead of driving a
+//!   `Deserializer`/`Visitor` pair. `serde_json::from_str` parses JSON into
+//!   a `RawValue` and hands it to [`de::Deserialize::deserialize_value`];
+//! * [`value`] — the `RawValue` tree itself (also re-exported by
+//!   `serde_json` as its `Value`);
+//! * the `#[derive(Serialize, Deserialize)]` macros, re-exported from the
+//!   sibling `serde_derive` stand-in.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,170 @@
+//! A self-describing value tree — the simplified deserialization substrate
+//! (and `serde_json`'s `Value`).
+//!
+//! Maps preserve insertion order (a `Vec` of pairs, not a hash map) so
+//! serialize → parse → serialize round trips are byte-stable — the fleet
+//! analyzer's determinism tests rely on that.
+
+use std::fmt;
+
+/// A JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawValue {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<RawValue>),
+    Map(Vec<(String, RawValue)>),
+}
+
+impl RawValue {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RawValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            RawValue::I64(n) => Some(*n),
+            RawValue::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            RawValue::U64(n) => Some(*n),
+            RawValue::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            RawValue::F64(n) => Some(*n),
+            RawValue::I64(n) => Some(*n as f64),
+            RawValue::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            RawValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[RawValue]> {
+        match self {
+            RawValue::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Alias matching `serde_json::Value::as_array`.
+    pub fn as_array(&self) -> Option<&[RawValue]> {
+        self.as_seq()
+    }
+
+    pub fn as_map(&self) -> Option<&[(String, RawValue)]> {
+        match self {
+            RawValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, RawValue::Null)
+    }
+
+    /// Object-key lookup (first match; objects here are ordered pair lists).
+    pub fn get(&self, key: &str) -> Option<&RawValue> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Escape a string into a JSON string literal (without the quotes).
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render an `f64` as JSON: shortest round-trip decimal; non-finite → null.
+pub fn f64_to_json(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Keep floats distinguishable from integers on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &RawValue, out: &mut String) {
+    match v {
+        RawValue::Null => out.push_str("null"),
+        RawValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        RawValue::I64(n) => out.push_str(&n.to_string()),
+        RawValue::U64(n) => out.push_str(&n.to_string()),
+        RawValue::F64(n) => f64_to_json(*n, out),
+        RawValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        RawValue::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        RawValue::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(k, out);
+                out.push_str("\":");
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for RawValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(self, &mut s);
+        f.write_str(&s)
+    }
+}

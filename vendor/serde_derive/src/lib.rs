@@ -1,0 +1,457 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: plain (non-generic) structs — unit,
+//! tuple, and named-field — and enums whose variants are unit, tuple, or
+//! struct-like. Serialization drives the real `serde::ser` trait surface
+//! (externally tagged enums, like upstream serde). Deserialization targets
+//! the simplified `serde::de::Deserialize` trait, which decodes from the
+//! self-describing `serde::value::RawValue` tree that `serde_json` parses
+//! into.
+//!
+//! No `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip attributes (`#[...]`, doc comments included) and visibility
+/// (`pub`, `pub(...)`) starting at `i`; returns the new index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if let Some(TokenTree::Group(_)) = toks.get(i) {
+                    i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the field names of a `{ ... }` named-field group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name =
+            ident_of(&toks[i]).unwrap_or_else(|| panic!("expected field name, got {:?}", toks[i]));
+        names.push(name);
+        i += 1;
+        // expect ':'
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // skip the type: consume until a top-level ',' (angle-bracket aware)
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Count the fields of a `( ... )` tuple group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        // skip the type
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("expected variant name, got {:?}", toks[i]));
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // skip an explicit discriminant if present, then the trailing comma
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while i < toks.len() {
+                    if let TokenTree::Punct(p) = &toks[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected item name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (offline stand-in): generic types are not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    out.parse().expect("serde_derive produced invalid Rust")
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => {
+            format!("serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Fields::Tuple(1) => {
+            format!(
+                "serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+            )
+        }
+        Fields::Tuple(n) => {
+            let mut s = String::new();
+            s.push_str("{ use serde::ser::SerializeTupleStruct as _; ");
+            s.push_str(&format!(
+                "let mut st = serde::ser::Serializer::serialize_tuple_struct(serializer, \"{name}\", {n})?; "
+            ));
+            for k in 0..*n {
+                s.push_str(&format!("st.serialize_field(&self.{k})?; "));
+            }
+            s.push_str("st.end() }");
+            s
+        }
+        Fields::Named(fs) => {
+            let mut s = String::new();
+            s.push_str("{ use serde::ser::SerializeStruct as _; ");
+            s.push_str(&format!(
+                "let mut st = serde::ser::Serializer::serialize_struct(serializer, \"{name}\", {})?; ",
+                fs.len()
+            ));
+            for f in fs {
+                s.push_str(&format!("st.serialize_field(\"{f}\", &self.{f})?; "));
+            }
+            s.push_str("st.end() }");
+            s
+        }
+    };
+    format!(
+        "impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> core::result::Result<S::Ok, S::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vn}\"),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(f0) => serde::ser::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{vn}\", f0),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let mut body = String::new();
+                body.push_str("{ use serde::ser::SerializeTupleVariant as _; ");
+                body.push_str(&format!(
+                    "let mut st = serde::ser::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{vn}\", {n})?; "
+                ));
+                for b in &binders {
+                    body.push_str(&format!("st.serialize_field({b})?; "));
+                }
+                body.push_str("st.end() }");
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {body},\n",
+                    binders.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let mut body = String::new();
+                body.push_str("{ use serde::ser::SerializeStructVariant as _; ");
+                body.push_str(&format!(
+                    "let mut st = serde::ser::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{vn}\", {})?; ",
+                    fs.len()
+                ));
+                for f in fs {
+                    body.push_str(&format!("st.serialize_field(\"{f}\", {f})?; "));
+                }
+                body.push_str("st.end() }");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {body},\n",
+                    fs.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::ser::Serialize for {name} {{\n\
+         fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> core::result::Result<S::Ok, S::Error> {{\n\
+         match self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    out.parse().expect("serde_derive produced invalid Rust")
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(serde::de::Deserialize::deserialize_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let mut s = String::new();
+            s.push_str(&format!(
+                "let s = v.as_seq().ok_or_else(|| serde::de::Error::msg(\"expected array for {name}\"))?; "
+            ));
+            s.push_str(&format!(
+                "if s.len() != {n} {{ return Err(serde::de::Error::msg(\"wrong arity for {name}\")); }} "
+            ));
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("serde::de::Deserialize::deserialize_value(&s[{k}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", elems.join(", ")));
+            s
+        }
+        Fields::Named(fs) => {
+            let mut s = String::new();
+            s.push_str(&format!(
+                "let m = v.as_map().ok_or_else(|| serde::de::Error::msg(\"expected object for {name}\"))?; "
+            ));
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| format!("{f}: serde::de::field(m, \"{f}\")?"))
+                .collect();
+            s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            s
+        }
+    };
+    format!(
+        "impl serde::de::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &serde::value::RawValue) -> core::result::Result<Self, serde::de::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+            }
+            Fields::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => Ok({name}::{vn}(serde::de::Deserialize::deserialize_value(inner)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("serde::de::Deserialize::deserialize_value(&s[{k}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{ let s = inner.as_seq().ok_or_else(|| serde::de::Error::msg(\"expected array for {name}::{vn}\"))?; \
+                     if s.len() != {n} {{ return Err(serde::de::Error::msg(\"wrong arity for {name}::{vn}\")); }} \
+                     Ok({name}::{vn}({})) }},\n",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| format!("{f}: serde::de::field(m, \"{f}\")?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{ let m = inner.as_map().ok_or_else(|| serde::de::Error::msg(\"expected object for {name}::{vn}\"))?; \
+                     Ok({name}::{vn} {{ {} }}) }},\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::de::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &serde::value::RawValue) -> core::result::Result<Self, serde::de::Error> {{\n\
+         match v {{\n\
+           serde::value::RawValue::Str(s) => match s.as_str() {{\n\
+             {unit_arms}\
+             other => Err(serde::de::Error::msg(&format!(\"unknown {name} variant `{{other}}`\"))),\n\
+           }},\n\
+           serde::value::RawValue::Map(entries) if entries.len() == 1 => {{\n\
+             let (tag, inner) = &entries[0];\n\
+             let _ = inner;\n\
+             match tag.as_str() {{\n\
+               {tagged_arms}\
+               other => Err(serde::de::Error::msg(&format!(\"unknown {name} variant `{{other}}`\"))),\n\
+             }}\n\
+           }},\n\
+           _ => Err(serde::de::Error::msg(\"expected string or single-key object for {name}\")),\n\
+         }}\n}}\n}}"
+    )
+}

@@ -1,0 +1,695 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text ↔ [`Value`] ↔ typed data, over the `serde` stand-in crate.
+//! `Value` is `serde::value::RawValue`: an ordered-map value tree, so
+//! object key order survives round trips and rendered reports are
+//! byte-deterministic (the fleet analyzer's regression gate depends on
+//! this).
+
+use serde::ser::{self, Serialize};
+use serde::value::{escape_json, f64_to_json};
+
+pub use serde::de::Deserialize;
+pub use serde::value::RawValue as Value;
+
+/// Serialization/parse error with a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Typed → Value (the one Serializer backend)
+// ---------------------------------------------------------------------
+
+struct ValueSer;
+
+struct SeqBuilder {
+    items: Vec<Value>,
+    /// For tuple/struct variants: wrap the result as `{variant: ...}`.
+    variant: Option<&'static str>,
+}
+
+struct MapBuilder {
+    entries: Vec<(String, Value)>,
+    pending_key: Option<String>,
+    variant: Option<&'static str>,
+}
+
+fn to_value_inner<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value.serialize(ValueSer)
+}
+
+impl ser::Serializer for ValueSer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = SeqBuilder;
+    type SerializeTupleStruct = SeqBuilder;
+    type SerializeTupleVariant = SeqBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeStructVariant = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Value> {
+        Ok(Value::I64(v as i64))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Value> {
+        Ok(Value::I64(v as i64))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Value> {
+        Ok(Value::I64(v as i64))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value> {
+        Ok(Value::I64(v))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Value> {
+        Ok(Value::U64(v as u64))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Value> {
+        Ok(Value::U64(v as u64))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Value> {
+        Ok(Value::U64(v as u64))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value> {
+        Ok(Value::U64(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Value> {
+        Ok(Value::F64(v as f64))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value> {
+        Ok(Value::F64(v))
+    }
+    fn serialize_char(self, v: char) -> Result<Value> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value> {
+        Ok(Value::Seq(
+            v.iter().map(|b| Value::U64(*b as u64)).collect(),
+        ))
+    }
+    fn serialize_none(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value> {
+        to_value_inner(value)
+    }
+    fn serialize_unit(self) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<Value> {
+        Ok(Value::Str(variant.to_string()))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        to_value_inner(value)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value> {
+        Ok(Value::Map(vec![(
+            variant.to_string(),
+            to_value_inner(value)?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqBuilder> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<SeqBuilder> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<SeqBuilder> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            pending_key: None,
+            variant: None,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapBuilder> {
+        self.serialize_map(Some(len))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<MapBuilder> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            pending_key: None,
+            variant: Some(variant),
+        })
+    }
+}
+
+impl SeqBuilder {
+    fn finish(self) -> Value {
+        let seq = Value::Seq(self.items);
+        match self.variant {
+            Some(v) => Value::Map(vec![(v.to_string(), seq)]),
+            None => seq,
+        }
+    }
+}
+
+impl ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        self.items.push(to_value_inner(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeTuple for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl MapBuilder {
+    fn finish(self) -> Value {
+        let map = Value::Map(self.entries);
+        match self.variant {
+            Some(v) => Value::Map(vec![(v.to_string(), map)]),
+            None => map,
+        }
+    }
+}
+
+impl ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        match to_value_inner(key)? {
+            Value::Str(s) => {
+                self.pending_key = Some(s);
+                Ok(())
+            }
+            other => Err(Error(format!("map keys must be strings, got {other}"))),
+        }
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| Error("value before key".into()))?;
+        self.entries.push((key, to_value_inner(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.entries.push((key.to_string(), to_value_inner(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value> {
+        Ok(self.finish())
+    }
+}
+
+impl ser::SerializeStructVariant for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<Value> {
+        Ok(self.finish())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                out.push('"');
+                escape_json(k, out);
+                out.push_str("\": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        Value::F64(n) => f64_to_json(*n, out),
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input is a &str, so this
+                    // is always valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(to_value_inner(value)?.to_string())
+}
+
+/// Serialize a value to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = to_value_inner(value)?;
+    let mut out = String::new();
+    write_pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize a value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    to_value_inner(value)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse(s)?;
+    T::deserialize_value(&v).map_err(Error::from)
+}
+
+/// Decode a [`Value`] tree into a typed value.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    T::deserialize_value(v).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(parse("42").unwrap(), Value::I64(42));
+        assert_eq!(parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let text = r#"{"a":[1,2.5,"x"],"b":{"c":null},"d":false}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".into())
+        );
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<(u32, String)> = vec![(1, "one".into()), (2, "two".into())];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u32, String)> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        let text = to_string(&vec![1.0f64, 0.1, 1e300]).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, vec![1.0, 0.1, 1e300]);
+    }
+
+    #[test]
+    fn pretty_renders_indented() {
+        let v = parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        let mut out = String::new();
+        write_pretty(&v, 0, &mut out);
+        assert_eq!(out, "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+    }
+}
