@@ -15,9 +15,10 @@ fn fleet_speedup(c: &mut Criterion) {
     for workers in [1usize, 2, 4, 8] {
         group.bench_function(&format!("analyze_all/{workers}_workers"), |b| {
             b.iter(|| {
-                let report = run_fleet_report(Mode::Dependence, 1, workers).expect("fleet");
-                assert_eq!(report.apps.len(), 12);
-                report
+                let outcome = run_fleet_report(Mode::Dependence, 1, workers);
+                assert_eq!(outcome.apps.len(), 12);
+                assert!(outcome.all_ok(), "bench expects a clean fleet");
+                outcome
             })
         });
     }

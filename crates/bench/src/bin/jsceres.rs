@@ -19,6 +19,13 @@
 //!                           or the machine parallelism)
 //!   --sequential            shorthand for --workers 1
 //!   --json <file>           also write the merged report as JSON
+//!   --watchdog-ticks <n>    per-app deterministic tick budget
+//!   --watchdog-wall-ms <n>  per-app wall-clock backstop (default 120000)
+//!   --inject <spec>         seeded fault injection, e.g. panic:0.3,hang:0.1
+//!   --inject-seed <n>       fault-plan seed (default 7)
+//!
+//! Exit codes for analyze-all: 0 = every app analyzed, 2 = usage,
+//! 3 = partial success, 4 = no app succeeded.
 //! ```
 //!
 //! The file is served through the in-process proxy pipeline (Fig. 5), run
@@ -48,7 +55,8 @@ fn usage() -> ! {
          \x20              [--seed N] [--max-ticks N] [--report DIR] [--emit-instrumented]\n\
          \x20              [--refactor LOOP_ID]\n\
          \x20      jsceres analyze-all [--mode light|loop|dep] [--scale N] [--workers N]\n\
-         \x20              [--sequential] [--json FILE]"
+         \x20              [--sequential] [--json FILE] [--watchdog-ticks N]\n\
+         \x20              [--watchdog-wall-ms N] [--inject SPEC] [--inject-seed N]"
     );
     std::process::exit(2);
 }
@@ -123,10 +131,14 @@ fn parse_args() -> Options {
 /// `jsceres analyze-all`: fan the registered workloads across the fleet
 /// worker pool and print the merged Table 2/Table 3 renderings.
 fn analyze_all(args: &[String]) {
+    use ceres_core::fleet::{FaultPlan, FaultSpec, FleetPolicy};
     let mut mode = Mode::Dependence;
     let mut scale: u32 = 1;
     let mut workers = ceres_core::fleet::default_workers();
     let mut json: Option<String> = None;
+    let mut policy = FleetPolicy::default();
+    let mut inject: Option<FaultSpec> = None;
+    let mut inject_seed: u64 = 7;
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
         args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -170,6 +182,46 @@ fn analyze_all(args: &[String]) {
                 json = Some(value(args, i, "--json"));
                 i += 2;
             }
+            "--watchdog-ticks" => {
+                policy.tick_budget = match value(args, i, "--watchdog-ticks").parse() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--watchdog-ticks needs an integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--watchdog-wall-ms" => {
+                policy.wall_budget = match value(args, i, "--watchdog-wall-ms").parse() {
+                    Ok(ms) => std::time::Duration::from_millis(ms),
+                    Err(_) => {
+                        eprintln!("--watchdog-wall-ms needs an integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--inject" => {
+                inject = match FaultSpec::parse(&value(args, i, "--inject")) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("--inject: {e}");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--inject-seed" => {
+                inject_seed = match value(args, i, "--inject-seed").parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--inject-seed needs an integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -178,35 +230,39 @@ fn analyze_all(args: &[String]) {
         }
     }
 
+    let faults = inject
+        .filter(|s| !s.is_zero())
+        .map(|s| FaultPlan::new(s, inject_seed));
     let start = std::time::Instant::now();
-    let report = match ceres_workloads::run_fleet_report(mode, scale, workers) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fleet analysis failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    let outcome = ceres_workloads::run_fleet_report_with(mode, scale, workers, &policy, faults);
     let wall = start.elapsed().as_secs_f64();
 
     println!(
-        "-- fleet: {} apps, {} workers, mode {:?}, scale {scale} ({wall:.2}s wall) --\n",
-        report.apps.len(),
+        "-- fleet: {} apps ({} ok, {} failed), {} workers, mode {:?}, scale {scale} ({wall:.2}s wall) --\n",
+        outcome.apps.len(),
+        outcome.succeeded(),
+        outcome.failures().len(),
         workers,
         mode
     );
     println!("-- Table 2: task durations (virtual-clock ms) --");
-    print!("{}", report.render_table2());
+    print!("{}", outcome.render_table2());
     if mode != Mode::Lightweight {
         println!("\n-- Table 3: dominant loop nests --");
-        print!("{}", report.render_table3());
+        print!("{}", outcome.render_table3());
+    }
+    if !outcome.all_ok() {
+        println!("\n-- per-app status --");
+        print!("{}", outcome.render_status());
     }
     if let Some(path) = json {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
+        if let Err(e) = std::fs::write(&path, outcome.to_json()) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
         println!("\nJSON report written to {path}");
     }
+    std::process::exit(outcome.exit_code());
 }
 
 fn main() {

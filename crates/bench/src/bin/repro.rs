@@ -7,8 +7,14 @@
 //!                                   speedup, fleet, fleet-bench, all}
 //!
 //! repro fleet [--workers N] [--sequential] [--json FILE]
-//!     run the 12-app fleet through the parallel analyzer and print the
-//!     merged Table 2/Table 3 (`repro --parallel` is an alias)
+//!             [--watchdog-ticks N] [--watchdog-wall-ms N]
+//!             [--inject SPEC] [--inject-seed N]
+//!     run the 12-app fleet through the fault-tolerant parallel analyzer
+//!     and print the merged Table 2/Table 3 (`repro --parallel` is an
+//!     alias). One crashing/hanging app degrades its own row, never the
+//!     fleet. Exit: 0 = all ok, 3 = partial success, 4 = total failure.
+//!     `--inject panic:0.3,hang:0.1,error:0.2` plus `--inject-seed`
+//!     deterministically injects faults (the CI resilience smoke).
 //! repro fleet-bench [--workers N] [--json FILE]
 //!     time sequential vs parallel fleet analysis, emit speedup JSON
 //! ```
@@ -309,14 +315,26 @@ fn fig6() {
 struct FleetFlags {
     workers: usize,
     json: Option<String>,
+    policy: ceres_core::FleetPolicy,
+    faults: Option<ceres_core::FaultPlan>,
 }
 
 fn parse_fleet_flags(args: &[String]) -> FleetFlags {
     let mut flags = FleetFlags {
         workers: ceres_core::fleet::default_workers(),
         json: None,
+        policy: ceres_core::FleetPolicy::default(),
+        faults: None,
     };
+    let mut inject: Option<ceres_core::FaultSpec> = None;
+    let mut inject_seed: u64 = 7;
     let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--workers" => {
@@ -334,10 +352,45 @@ fn parse_fleet_flags(args: &[String]) -> FleetFlags {
                 i += 1;
             }
             "--json" => {
-                flags.json = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
-                    eprintln!("--json needs a file path");
+                flags.json = Some(value(args, i, "--json"));
+                i += 2;
+            }
+            "--watchdog-ticks" => {
+                flags.policy.tick_budget = value(args, i, "--watchdog-ticks").parse().ok();
+                if flags.policy.tick_budget.is_none() {
+                    eprintln!("--watchdog-ticks needs an integer");
                     std::process::exit(2);
-                }));
+                }
+                i += 2;
+            }
+            "--watchdog-wall-ms" => {
+                flags.policy.wall_budget = match value(args, i, "--watchdog-wall-ms").parse() {
+                    Ok(ms) => std::time::Duration::from_millis(ms),
+                    Err(_) => {
+                        eprintln!("--watchdog-wall-ms needs an integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--inject" => {
+                inject = match ceres_core::FaultSpec::parse(&value(args, i, "--inject")) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("--inject: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--inject-seed" => {
+                inject_seed = match value(args, i, "--inject-seed").parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--inject-seed needs an integer");
+                        std::process::exit(2);
+                    }
+                };
                 i += 2;
             }
             other => {
@@ -346,38 +399,47 @@ fn parse_fleet_flags(args: &[String]) -> FleetFlags {
             }
         }
     }
+    flags.faults = inject
+        .filter(|s| !s.is_zero())
+        .map(|s| ceres_core::FaultPlan::new(s, inject_seed));
     flags
-}
-
-fn run_fleet_or_die(workers: usize) -> ceres_core::FleetReport {
-    ceres_workloads::run_fleet_report(Mode::Dependence, 1, workers).unwrap_or_else(|e| {
-        eprintln!("fleet analysis failed: {e}");
-        std::process::exit(1);
-    })
 }
 
 fn fleet(args: &[String]) {
     let flags = parse_fleet_flags(args);
     header("Parallel fleet analyzer: all 12 apps, one pipeline per worker");
     let start = Instant::now();
-    let report = run_fleet_or_die(flags.workers);
+    let outcome = ceres_workloads::run_fleet_report_with(
+        Mode::Dependence,
+        1,
+        flags.workers,
+        &flags.policy,
+        flags.faults,
+    );
     let wall = start.elapsed().as_secs_f64();
     println!(
-        "{} apps on {} workers in {wall:.2}s wall",
-        report.apps.len(),
+        "{} apps ({} ok, {} failed) on {} workers in {wall:.2}s wall",
+        outcome.apps.len(),
+        outcome.succeeded(),
+        outcome.failures().len(),
         flags.workers
     );
     println!("\n-- Table 2: task durations (virtual-clock ms) --");
-    print!("{}", report.render_table2());
+    print!("{}", outcome.render_table2());
     println!("\n-- Table 3: dominant loop nests --");
-    print!("{}", report.render_table3());
+    print!("{}", outcome.render_table3());
+    if !outcome.all_ok() {
+        println!("\n-- per-app status --");
+        print!("{}", outcome.render_status());
+    }
     if let Some(path) = &flags.json {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+        if let Err(e) = std::fs::write(path, outcome.to_json()) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
         println!("\nJSON report written to {path}");
     }
+    std::process::exit(outcome.exit_code());
 }
 
 fn fleet_bench(args: &[String]) {
@@ -385,8 +447,17 @@ fn fleet_bench(args: &[String]) {
     header("Fleet speedup: sequential vs parallel analysis (wall clock)");
     let time_fleet = |workers: usize| -> f64 {
         let t = Instant::now();
-        let report = run_fleet_or_die(workers);
-        assert_eq!(report.apps.len(), 12);
+        let outcome = ceres_workloads::run_fleet_report(Mode::Dependence, 1, workers);
+        assert_eq!(outcome.apps.len(), 12);
+        assert!(
+            outcome.all_ok(),
+            "fleet bench expects a clean run: {:?}",
+            outcome
+                .failures()
+                .iter()
+                .map(|a| (&a.slug, &a.status))
+                .collect::<Vec<_>>()
+        );
         t.elapsed().as_secs_f64() * 1e3
     };
     // Warm both paths once (file reads, allocator), then measure.

@@ -689,8 +689,17 @@ pub fn classify_nests(
             recursion_tainted: recursion,
         });
     }
-    rows.sort_by(|a, b| b.pct_loop_time.partial_cmp(&a.pct_loop_time).unwrap());
+    rank_nests(&mut rows);
     rows
+}
+
+/// Order nests by descending share of loop time. Uses `f64::total_cmp`, not
+/// `partial_cmp().unwrap()`: a zero-runtime app can yield NaN percentages,
+/// which must rank last in the table, never panic the analyzer. NaN keys
+/// are mapped below every real share so they sink to the bottom.
+pub fn rank_nests(rows: &mut [NestClassification]) {
+    let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+    rows.sort_by(|a, b| key(b.pct_loop_time).total_cmp(&key(a.pct_loop_time)));
 }
 
 // ---------------------------------------------------------------------
@@ -730,6 +739,45 @@ mod tests {
         // >3x requires p > 2/3.
         assert!(amdahl_bound(0.67) > 3.0);
         assert!(amdahl_bound(0.66) < 3.0);
+    }
+
+    #[test]
+    fn rank_nests_handles_nan_shares_without_panicking() {
+        // Regression: ranking used `partial_cmp().unwrap()` and panicked on
+        // NaN percentages; now NaN rows must sink to the bottom instead.
+        let mk = |root: u32, pct: f64| NestClassification {
+            root: LoopId(root),
+            pct_loop_time: pct,
+            instances: 1,
+            trips: Welford::new(),
+            divergence: Divergence::None,
+            dom_access: false,
+            dependence_difficulty: Difficulty::Easy,
+            parallelization_difficulty: Difficulty::Easy,
+            recursion_tainted: false,
+        };
+        let mut rows = vec![mk(1, f64::NAN), mk(2, 10.0), mk(3, 90.0), mk(4, f64::NAN)];
+        rank_nests(&mut rows);
+        assert_eq!(rows[0].pct_loop_time, 90.0);
+        assert_eq!(rows[1].pct_loop_time, 10.0);
+        assert!(rows[2].pct_loop_time.is_nan());
+        assert!(rows[3].pct_loop_time.is_nan());
+    }
+
+    #[test]
+    fn zero_tick_app_classifies_without_panicking() {
+        // An app whose only loop never runs a body spends 0 ticks in loops;
+        // classification (including the ranking sort) must survive that.
+        let (_interp, engine) = run_instrumented(
+            "for (var i = 0; i < 0; i++) { var x = i; }",
+            Mode::Dependence,
+            2015,
+        )
+        .expect("run");
+        let rows = classify_nests(&engine.borrow(), &HashMap::new());
+        for r in &rows {
+            assert!(!r.pct_loop_time.is_nan(), "{r:?}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Parallel fleet analyzer: run many applications through the JS-CERES
-//! pipeline concurrently, one isolated pipeline per worker thread.
+//! pipeline concurrently, one isolated pipeline per worker thread — and
+//! survive the apps that misbehave.
 //!
 //! The pipeline itself is deliberately single-threaded (the engine hangs
 //! off the interpreter as `Rc<RefCell<_>>`, mirroring a browser page), so
@@ -8,11 +9,31 @@
 //! stack inside the closure, and reduces the non-`Send` [`AppRun`] down to
 //! a plain-data [`AppReport`] before anything crosses the thread boundary.
 //!
+//! Fault isolation (the paper's case study only works because JS-CERES
+//! survives 12 messy real-world apps):
+//!
+//! * every attempt runs under `catch_unwind` on its own runner thread, so
+//!   a panicking app is recorded as [`AppStatus::Panicked`] and the rest
+//!   of the fleet keeps going;
+//! * the work queue is poison-proof — a mutex poisoned by a crashing
+//!   worker is recovered, never propagated;
+//! * a per-app watchdog cancels runaways: deterministically via the
+//!   interpreter tick budget ([`FleetPolicy::tick_budget`], surfaced as
+//!   [`JobError::Timeout`]) and as a wall-clock backstop at the fleet
+//!   layer ([`FleetPolicy::wall_budget`], which abandons the runner
+//!   thread);
+//! * transient failures ([`JobError::Transient`]) are retried with
+//!   exponential backoff up to [`FleetPolicy::max_retries`] times.
+//!
+//! The merged [`FleetOutcome`] carries a per-app [`AppStatus`] instead of
+//! being all-or-nothing: one crashing app no longer discards eleven good
+//! reports.
+//!
 //! Determinism: the virtual clock is seeded, so analysis results do not
 //! depend on scheduling. The collector slots results by job index, which
-//! makes the merged [`FleetReport`] independent of completion order; the
+//! makes the merged [`FleetOutcome`] independent of completion order; the
 //! only nondeterministic fields are `wall_ms`/`worker` (excluded from the
-//! table renderings and zeroed by [`FleetReport::canonical`]).
+//! table renderings and zeroed by [`FleetOutcome::canonical`]).
 
 use crate::classify::NestClassification;
 use crate::pipeline::AppRun;
@@ -20,19 +41,82 @@ use crate::stack::render;
 use ceres_instrument::Mode;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::{mpsc, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How one attempt at a job failed. Distinguishing these drives the
+/// supervisor's response: fatal errors are recorded, transient errors are
+/// retried, timeouts mark the app as cancelled by the watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// Permanent failure — retrying would reproduce it.
+    Fatal(String),
+    /// Transient failure — worth retrying with backoff.
+    Transient(String),
+    /// The execution watchdog cancelled the attempt (tick budget or
+    /// in-interpreter wall cap).
+    Timeout(String),
+}
+
+impl JobError {
+    /// Classify a pipeline error: watchdog cancellations become
+    /// [`JobError::Timeout`], everything else is fatal.
+    pub fn from_control(c: &ceres_interp::Control) -> JobError {
+        if c.is_watchdog() {
+            JobError::Timeout(format!("{c:?}"))
+        } else {
+            JobError::Fatal(format!("{c:?}"))
+        }
+    }
+}
+
+/// The work closure: takes (worker id, attempt number starting at 1) and
+/// must build — and fully consume — its own pipeline; nothing non-`Send`
+/// may escape it. `Fn` (not `FnOnce`) because a transiently-failing job is
+/// re-invoked on retry, and `Arc` because a wall-clock-abandoned attempt
+/// keeps its clone alive on the orphaned runner thread.
+pub type JobWork = Arc<dyn Fn(usize, u32) -> Result<AppReport, JobError> + Send + Sync>;
 
 /// One unit of fleet work: analyze one application.
-///
-/// The closure receives the worker id and must build (and fully consume)
-/// its own pipeline — nothing non-`Send` may escape it.
 pub struct FleetJob {
     /// Display name (Table 1 "Name").
     pub app: String,
     /// Short identifier for files/CLI.
     pub slug: String,
     /// The work itself.
-    pub work: Box<dyn FnOnce(usize) -> Result<AppReport, String> + Send>,
+    pub work: JobWork,
+}
+
+/// Supervision knobs for a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetPolicy {
+    /// Deterministic per-attempt budget in virtual interpreter ticks; jobs
+    /// should wire it into `AnalyzeOptions::max_ticks` so a runaway app is
+    /// cancelled at exactly the same virtual instant on every run.
+    /// `None` = unlimited.
+    pub tick_budget: Option<u64>,
+    /// Wall-clock backstop per attempt. If an attempt exceeds it, its
+    /// runner thread is abandoned and the app is marked
+    /// [`AppStatus::TimedOut`]. Catches hangs the tick budget cannot see
+    /// (native code, a missing budget).
+    pub wall_budget: Duration,
+    /// How many times a [`JobError::Transient`] attempt is retried (total
+    /// attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles each retry.
+    pub backoff: Duration,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            tick_budget: None,
+            wall_budget: Duration::from_secs(120),
+            max_retries: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
 }
 
 /// One classified loop nest, reduced to plain data (Table 3 row).
@@ -145,47 +229,161 @@ impl AppReport {
     }
 }
 
-/// The merged fleet result, app order matching the job order.
+/// Terminal status of one app's analysis within a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetReport {
+pub enum AppStatus {
+    /// Analysis completed; the report is present.
+    Ok,
+    /// The job reported an error (after `attempts` tries).
+    Failed { error: String, attempts: u32 },
+    /// The job panicked; the panic payload is recorded.
+    Panicked { message: String },
+    /// The watchdog cancelled a runaway app (tick budget or wall cap).
+    TimedOut { budget: String },
+}
+
+impl AppStatus {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, AppStatus::Ok)
+    }
+
+    /// Short fixed-vocabulary label for table rendering.
+    pub fn label(&self) -> String {
+        match self {
+            AppStatus::Ok => "ok".to_string(),
+            AppStatus::Failed { attempts, .. } => format!("failed({attempts})"),
+            AppStatus::Panicked { .. } => "panicked".to_string(),
+            AppStatus::TimedOut { .. } => "timed-out".to_string(),
+        }
+    }
+
+    /// The failure detail, if any (for the status rendering).
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            AppStatus::Ok => None,
+            AppStatus::Failed { error, .. } => Some(error),
+            AppStatus::Panicked { message } => Some(message),
+            AppStatus::TimedOut { budget } => Some(budget),
+        }
+    }
+}
+
+/// Per-app result slot in a [`FleetOutcome`]. The app/slug are filled when
+/// the job is enqueued, so even an app whose worker vanished is named in
+/// the output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppOutcome {
+    pub app: String,
+    pub slug: String,
+    pub status: AppStatus,
+    /// How many attempts were consumed (1 for a first-try success).
+    pub attempts: u32,
+    /// Present iff `status` is [`AppStatus::Ok`].
+    pub report: Option<AppReport>,
+}
+
+/// The merged fleet result, app order matching the job order. Replaces the
+/// old all-or-nothing `Result<Vec<AppReport>, String>`: every app gets a
+/// status, and partial success is a first-class outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
     pub mode: String,
     pub scale: u32,
     /// Worker-pool size used. Nondeterministic across configurations.
     pub workers: usize,
-    pub apps: Vec<AppReport>,
+    pub apps: Vec<AppOutcome>,
 }
 
-impl FleetReport {
-    /// Copy with every scheduling-dependent field zeroed; two runs of the
-    /// same fleet must compare equal under this view regardless of worker
-    /// count.
-    pub fn canonical(&self) -> FleetReport {
-        FleetReport {
-            mode: self.mode.clone(),
-            scale: self.scale,
-            workers: 0,
-            apps: self.apps.iter().map(AppReport::canonical).collect(),
+impl FleetOutcome {
+    /// Number of apps that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.apps.iter().filter(|a| a.status.is_ok()).count()
+    }
+
+    /// The apps that did not complete.
+    pub fn failures(&self) -> Vec<&AppOutcome> {
+        self.apps.iter().filter(|a| !a.status.is_ok()).collect()
+    }
+
+    pub fn all_ok(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// The successful reports, in job order.
+    pub fn ok_reports(&self) -> Vec<&AppReport> {
+        self.apps.iter().filter_map(|a| a.report.as_ref()).collect()
+    }
+
+    /// Process exit code for CLI drivers: 0 = every app analyzed, 3 =
+    /// partial success (degraded but useful), 4 = nothing succeeded.
+    pub fn exit_code(&self) -> i32 {
+        if self.all_ok() {
+            0
+        } else if self.succeeded() > 0 {
+            3
+        } else {
+            4
         }
     }
 
-    /// Table 2 rendering (virtual-clock timings per app).
+    /// Copy with every scheduling-dependent field zeroed; two runs of the
+    /// same fleet must compare equal under this view regardless of worker
+    /// count.
+    pub fn canonical(&self) -> FleetOutcome {
+        FleetOutcome {
+            mode: self.mode.clone(),
+            scale: self.scale,
+            workers: 0,
+            apps: self
+                .apps
+                .iter()
+                .map(|a| AppOutcome {
+                    app: a.app.clone(),
+                    slug: a.slug.clone(),
+                    status: a.status.clone(),
+                    attempts: a.attempts,
+                    report: a.report.as_ref().map(AppReport::canonical),
+                })
+                .collect(),
+        }
+    }
+
+    /// Table 2 rendering (virtual-clock timings per app), with a status
+    /// column so degraded runs are visible at a glance.
     pub fn render_table2(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<22}{:>9}{:>9}{:>10}{:>8}\n",
-            "Name", "Total", "Active", "In Loops", "loop%"
+            "{:<22}{:>9}{:>9}{:>10}{:>8}  {}\n",
+            "Name", "Total", "Active", "In Loops", "loop%", "Status"
         ));
         for a in &self.apps {
-            out.push_str(&format!(
-                "{:<22}{:>9.0}{:>9.0}{:>10.0}{:>7.0}%\n",
-                a.app, a.total_ms, a.active_ms, a.loops_ms, a.loop_pct
-            ));
+            match &a.report {
+                Some(r) => out.push_str(&format!(
+                    "{:<22}{:>9.0}{:>9.0}{:>10.0}{:>7.0}%  {}\n",
+                    a.app,
+                    r.total_ms,
+                    r.active_ms,
+                    r.loops_ms,
+                    r.loop_pct,
+                    a.status.label()
+                )),
+                None => out.push_str(&format!(
+                    "{:<22}{:>9}{:>9}{:>10}{:>8}  {}\n",
+                    a.app,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    a.status.label()
+                )),
+            }
         }
         out
     }
 
     /// Table 3 rendering: per app, the top nests covering ≥ 2/3 of loop
-    /// time (the paper's inspection protocol).
+    /// time (the paper's inspection protocol). Apps without a report show
+    /// their status instead of rows.
     pub fn render_table3(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -193,9 +391,13 @@ impl FleetReport {
             "name", "%", "inst", "trips", "diverg", "DOM", "brk-deps", "parallel"
         ));
         for a in &self.apps {
+            let Some(report) = &a.report else {
+                out.push_str(&format!("{:<22}<{}>\n", a.app, a.status.label()));
+                continue;
+            };
             let mut covered = 0.0;
             let mut first = true;
-            for n in &a.nests {
+            for n in &report.nests {
                 if covered >= 200.0 / 3.0 {
                     break;
                 }
@@ -217,11 +419,120 @@ impl FleetReport {
         out
     }
 
+    /// One line per app: slug, status, and the failure detail if any.
+    pub fn render_status(&self) -> String {
+        let mut out = String::new();
+        for a in &self.apps {
+            match a.status.detail() {
+                None => out.push_str(&format!("{:<14} {}\n", a.slug, a.status.label())),
+                Some(d) => {
+                    out.push_str(&format!("{:<14} {:<12} {}\n", a.slug, a.status.label(), d))
+                }
+            }
+        }
+        out
+    }
+
     /// Pretty-printed JSON (the `--json` artifact).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FleetReport serializes")
+        serde_json::to_string_pretty(self).expect("FleetOutcome serializes")
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault injection (CI proves degradation is graceful)
+// ---------------------------------------------------------------------
+
+/// Injection rates per fault class, parsed from
+/// `panic:RATE,hang:RATE,error:RATE` (each clause optional).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    pub panic: f64,
+    pub hang: f64,
+    pub error: f64,
+}
+
+impl FaultSpec {
+    /// Parse a `--inject` argument, e.g. `panic:0.3,hang:0.1,error:0.2`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for clause in s.split(',').filter(|c| !c.is_empty()) {
+            let (kind, rate) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("bad inject clause `{clause}` (want kind:rate)"))?;
+            let rate: f64 = rate
+                .parse()
+                .map_err(|_| format!("bad inject rate in `{clause}`"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("inject rate out of [0,1] in `{clause}`"));
+            }
+            match kind {
+                "panic" => spec.panic = rate,
+                "hang" => spec.hang = rate,
+                "error" => spec.error = rate,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.panic == 0.0 && self.hang == 0.0 && self.error == 0.0
+    }
+}
+
+/// The fault classes the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Unwind out of the job (exercises `catch_unwind` isolation).
+    Panic,
+    /// Spin the interpreter until the watchdog budget cancels it.
+    Hang,
+    /// Report a transient error (exercises retry + backoff).
+    Error,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded fault plan: a pure function of (seed, job index, attempt), so a
+/// fleet run under injection is exactly reproducible and a transient
+/// injected error can clear on retry.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub spec: FaultSpec,
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    pub fn new(spec: FaultSpec, seed: u64) -> FaultPlan {
+        FaultPlan { spec, seed }
+    }
+
+    /// Which fault (if any) hits `job_index` on `attempt`.
+    pub fn roll(&self, job_index: usize, attempt: u32) -> Option<Fault> {
+        let h = splitmix64(self.seed ^ splitmix64(((job_index as u64) << 32) | u64::from(attempt)));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.spec.panic {
+            Some(Fault::Panic)
+        } else if u < self.spec.panic + self.spec.hang {
+            Some(Fault::Hang)
+        } else if u < self.spec.panic + self.spec.hang + self.spec.error {
+            Some(Fault::Error)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The supervised worker pool
+// ---------------------------------------------------------------------
 
 /// Worker count from `CERES_FLEET_WORKERS`, else the machine parallelism.
 pub fn default_workers() -> usize {
@@ -236,29 +547,179 @@ pub fn default_workers() -> usize {
         })
 }
 
-/// Run the jobs on a pool of `workers` threads and merge the reports in
-/// job order (independent of completion order). Errors from individual
-/// apps are collected; if any app failed the whole fleet run reports them
-/// together, first job first.
-pub fn run_fleet(jobs: Vec<FleetJob>, workers: usize) -> Result<Vec<AppReport>, String> {
+/// Poison-proof lock: a worker that crashed while holding the queue must
+/// not take the rest of the fleet down with a poisoned-mutex panic.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one supervised attempt produced (internal).
+enum Attempt {
+    Report(Box<AppReport>),
+    Err(JobError),
+    Panicked(String),
+    /// The wall-clock backstop fired; the runner thread was abandoned.
+    HardTimeout,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one attempt on a dedicated runner thread so the wall-clock backstop
+/// can abandon it without losing the worker. The runner catches unwinds;
+/// an abandoned runner's eventual send fails silently (receiver dropped).
+fn run_attempt(work: &JobWork, worker: usize, attempt: u32, slug: &str, wall: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let work = Arc::clone(work);
+    let spawned = std::thread::Builder::new()
+        .name(format!("fleet-{slug}-a{attempt}"))
+        .spawn(move || {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| work(worker, attempt)));
+            let _ = tx.send(r);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => return Attempt::Err(JobError::Transient(format!("cannot spawn runner: {e}"))),
+    };
+    match rx.recv_timeout(wall) {
+        Ok(result) => {
+            let _ = handle.join();
+            match result {
+                Ok(Ok(report)) => Attempt::Report(Box::new(report)),
+                Ok(Err(e)) => Attempt::Err(e),
+                Err(payload) => Attempt::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        Err(_) => Attempt::HardTimeout, // handle dropped: runner abandoned
+    }
+}
+
+/// Supervise one job to a terminal [`AppOutcome`]: retry transient errors
+/// with exponential backoff, classify panics and timeouts, and never let
+/// anything unwind into the worker loop.
+fn run_job(job: &FleetJob, worker: usize, policy: &FleetPolicy) -> AppOutcome {
+    let outcome = |status: AppStatus, attempts: u32, report: Option<AppReport>| AppOutcome {
+        app: job.app.clone(),
+        slug: job.slug.clone(),
+        status,
+        attempts,
+        report,
+    };
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match run_attempt(&job.work, worker, attempt, &job.slug, policy.wall_budget) {
+            Attempt::Report(r) => return outcome(AppStatus::Ok, attempt, Some(*r)),
+            Attempt::Panicked(message) => {
+                return outcome(AppStatus::Panicked { message }, attempt, None)
+            }
+            Attempt::HardTimeout => {
+                return outcome(
+                    AppStatus::TimedOut {
+                        budget: format!(
+                            "wall-clock cap {} ms exceeded; runner abandoned",
+                            policy.wall_budget.as_millis()
+                        ),
+                    },
+                    attempt,
+                    None,
+                )
+            }
+            Attempt::Err(JobError::Timeout(budget)) => {
+                return outcome(AppStatus::TimedOut { budget }, attempt, None)
+            }
+            Attempt::Err(JobError::Fatal(error)) => {
+                return outcome(
+                    AppStatus::Failed {
+                        error,
+                        attempts: attempt,
+                    },
+                    attempt,
+                    None,
+                )
+            }
+            Attempt::Err(JobError::Transient(error)) => {
+                if attempt > policy.max_retries {
+                    return outcome(
+                        AppStatus::Failed {
+                            error,
+                            attempts: attempt,
+                        },
+                        attempt,
+                        None,
+                    );
+                }
+                // Exponential backoff: base, 2×base, 4×base, ...
+                std::thread::sleep(policy.backoff * 2u32.saturating_pow(attempt - 1));
+            }
+        }
+    }
+}
+
+/// Fill terminal outcomes for slots whose worker vanished without
+/// reporting (a runner that died so hard even `catch_unwind` never
+/// returned). The slot carries the app identity from enqueue time, so the
+/// message names the app.
+fn finish_slots(slots: Vec<(String, String, Option<AppOutcome>)>) -> Vec<AppOutcome> {
+    slots
+        .into_iter()
+        .map(|(app, slug, outcome)| match outcome {
+            Some(o) => o,
+            None => AppOutcome {
+                app: app.clone(),
+                slug: slug.clone(),
+                status: AppStatus::Failed {
+                    error: format!("{slug}: worker died before reporting"),
+                    attempts: 0,
+                },
+                attempts: 0,
+                report: None,
+            },
+        })
+        .collect()
+}
+
+/// Run the jobs on a pool of `workers` threads under the default policy.
+pub fn run_fleet(jobs: Vec<FleetJob>, workers: usize) -> Vec<AppOutcome> {
+    run_fleet_with(jobs, workers, &FleetPolicy::default())
+}
+
+/// Run the jobs on a pool of `workers` threads under `policy` and merge
+/// the outcomes in job order (independent of completion order). Individual
+/// app failures — errors, panics, watchdog cancellations — are recorded in
+/// their slot; they never abort the fleet or discard other apps' reports.
+pub fn run_fleet_with(
+    jobs: Vec<FleetJob>,
+    workers: usize,
+    policy: &FleetPolicy,
+) -> Vec<AppOutcome> {
     let n_jobs = jobs.len();
     let workers = workers.clamp(1, n_jobs.max(1));
+    // Slots are pre-named so a vanished worker still yields a named error.
+    let mut slots: Vec<(String, String, Option<AppOutcome>)> = jobs
+        .iter()
+        .map(|j| (j.app.clone(), j.slug.clone(), None))
+        .collect();
     let queue: Mutex<VecDeque<(usize, FleetJob)>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, String, Result<AppReport, String>)>();
-
-    let mut slots: Vec<Option<(String, Result<AppReport, String>)>> = Vec::new();
-    slots.resize_with(n_jobs, || None);
+    let (tx, rx) = mpsc::channel::<(usize, AppOutcome)>();
 
     std::thread::scope(|s| {
         for worker_id in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
             s.spawn(move || loop {
-                let job = queue.lock().expect("fleet queue poisoned").pop_front();
+                let job = relock(queue).pop_front();
                 let Some((index, job)) = job else { break };
-                let result = (job.work)(worker_id);
-                if tx.send((index, job.slug, result)).is_err() {
+                let outcome = run_job(&job, worker_id, policy);
+                if tx.send((index, outcome)).is_err() {
                     break;
                 }
             });
@@ -266,33 +727,18 @@ pub fn run_fleet(jobs: Vec<FleetJob>, workers: usize) -> Result<Vec<AppReport>, 
         drop(tx);
         // Collect in completion order; slot by index so the merge is
         // deterministic.
-        for (index, slug, result) in rx {
-            slots[index] = Some((slug, result));
+        for (index, outcome) in rx {
+            slots[index].2 = Some(outcome);
         }
     });
 
-    let mut reports = Vec::with_capacity(n_jobs);
-    let mut errors = Vec::new();
-    for slot in slots {
-        match slot {
-            Some((_, Ok(report))) => reports.push(report),
-            Some((slug, Err(e))) => errors.push(format!("{slug}: {e}")),
-            None => errors.push("worker died before reporting".to_string()),
-        }
-    }
-    if errors.is_empty() {
-        Ok(reports)
-    } else {
-        Err(errors.join("; "))
-    }
+    finish_slots(slots)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
-    use std::time::Duration;
 
     fn stub_report(i: usize) -> AppReport {
         AppReport {
@@ -325,26 +771,39 @@ mod tests {
         }
     }
 
-    fn stub_jobs(
-        n: usize,
-        delay_for: impl Fn(usize) -> u64 + Clone + Send + 'static,
-    ) -> Vec<FleetJob> {
-        (0..n)
-            .map(|i| {
-                let delay = delay_for.clone();
-                FleetJob {
+    fn stub_job(i: usize, delay_ms: u64) -> FleetJob {
+        FleetJob {
+            app: format!("app-{i}"),
+            slug: format!("a{i}"),
+            work: Arc::new(move |worker, _attempt| {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                let mut r = stub_report(i);
+                r.worker = worker;
+                r.wall_ms = delay_ms as f64;
+                Ok(r)
+            }),
+        }
+    }
+
+    fn stub_jobs(n: usize, delay_for: impl Fn(usize) -> u64) -> Vec<FleetJob> {
+        (0..n).map(|i| stub_job(i, delay_for(i))).collect()
+    }
+
+    fn stub_outcome(n: usize) -> FleetOutcome {
+        FleetOutcome {
+            mode: "Dependence".to_string(),
+            scale: 1,
+            workers: 4,
+            apps: (0..n)
+                .map(|i| AppOutcome {
                     app: format!("app-{i}"),
                     slug: format!("a{i}"),
-                    work: Box::new(move |worker| {
-                        std::thread::sleep(Duration::from_millis(delay(i)));
-                        let mut r = stub_report(i);
-                        r.worker = worker;
-                        r.wall_ms = delay(i) as f64;
-                        Ok(r)
-                    }),
-                }
-            })
-            .collect()
+                    status: AppStatus::Ok,
+                    attempts: 1,
+                    report: Some(stub_report(i)),
+                })
+                .collect(),
+        }
     }
 
     #[test]
@@ -352,10 +811,14 @@ mod tests {
         // Earlier jobs sleep longest, so later jobs finish first on a
         // multi-worker pool; the merged order must still be job order.
         let jobs = stub_jobs(6, |i| (6 - i as u64) * 20);
-        let reports = run_fleet(jobs, 4).expect("fleet");
-        let apps: Vec<_> = reports.iter().map(|r| r.app.as_str()).collect();
+        let outcomes = run_fleet(jobs, 4);
+        let apps: Vec<_> = outcomes.iter().map(|o| o.app.as_str()).collect();
         assert_eq!(apps, ["app-0", "app-1", "app-2", "app-3", "app-4", "app-5"]);
-        let workers: std::collections::HashSet<_> = reports.iter().map(|r| r.worker).collect();
+        assert!(outcomes.iter().all(|o| o.status.is_ok()));
+        let workers: std::collections::HashSet<_> = outcomes
+            .iter()
+            .map(|o| o.report.as_ref().unwrap().worker)
+            .collect();
         assert!(
             workers.len() > 1,
             "expected multiple workers to participate: {workers:?}"
@@ -373,7 +836,7 @@ mod tests {
                 FleetJob {
                     app: format!("app-{i}"),
                     slug: format!("a{i}"),
-                    work: Box::new(move |worker| {
+                    work: Arc::new(move |worker, _attempt| {
                         let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                         peak.fetch_max(now, Ordering::SeqCst);
                         std::thread::sleep(Duration::from_millis(40));
@@ -385,7 +848,8 @@ mod tests {
                 }
             })
             .collect();
-        run_fleet(jobs, 4).expect("fleet");
+        let outcomes = run_fleet(jobs, 4);
+        assert!(outcomes.iter().all(|o| o.status.is_ok()));
         assert!(
             peak.load(Ordering::SeqCst) >= 2,
             "4 jobs of 40ms on 4 workers should overlap, peak {}",
@@ -395,80 +859,338 @@ mod tests {
 
     #[test]
     fn sequential_pool_still_merges_in_order() {
-        let reports = run_fleet(stub_jobs(4, |_| 0), 1).expect("fleet");
-        assert_eq!(reports.len(), 4);
-        assert!(reports.iter().all(|r| r.worker == 0));
+        let outcomes = run_fleet(stub_jobs(4, |_| 0), 1);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes
+            .iter()
+            .all(|o| o.report.as_ref().unwrap().worker == 0));
     }
 
     #[test]
-    fn failures_are_collected_per_app() {
+    fn failures_are_recorded_per_app_without_discarding_the_rest() {
         let mut jobs = stub_jobs(3, |_| 0);
         jobs.insert(
             1,
             FleetJob {
                 app: "boom".to_string(),
                 slug: "boom".to_string(),
-                work: Box::new(|_| Err("engine exploded".to_string())),
+                work: Arc::new(|_, _| Err(JobError::Fatal("engine exploded".to_string()))),
             },
         );
-        let err = run_fleet(jobs, 2).expect_err("must fail");
-        assert!(err.contains("boom: engine exploded"), "{err}");
+        let outcomes = run_fleet(jobs, 2);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(
+            outcomes[1].status,
+            AppStatus::Failed {
+                error: "engine exploded".to_string(),
+                attempts: 1
+            }
+        );
+        assert_eq!(outcomes[1].slug, "boom");
+        // The other three apps all completed.
+        for i in [0usize, 2, 3] {
+            assert!(outcomes[i].status.is_ok(), "slot {i}: {:?}", outcomes[i]);
+            assert!(outcomes[i].report.is_some());
+        }
     }
 
     #[test]
-    fn json_round_trip_preserves_the_report() {
-        let report = FleetReport {
-            mode: "Dependence".to_string(),
-            scale: 1,
-            workers: 4,
-            apps: (0..3).map(stub_report).collect(),
+    fn a_panicking_job_is_contained_and_named() {
+        let mut jobs = stub_jobs(3, |_| 0);
+        jobs.insert(
+            0,
+            FleetJob {
+                app: "krash".to_string(),
+                slug: "krash".to_string(),
+                work: Arc::new(|_, _| panic!("deliberate test panic")),
+            },
+        );
+        let outcomes = run_fleet(jobs, 2);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].slug, "krash");
+        match &outcomes[0].status {
+            AppStatus::Panicked { message } => {
+                assert!(message.contains("deliberate test panic"), "{message}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Queue stayed usable after the panic: every other app completed.
+        assert_eq!(
+            outcomes.iter().filter(|o| o.status.is_ok()).count(),
+            3,
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let job = FleetJob {
+            app: "flaky".to_string(),
+            slug: "flaky".to_string(),
+            work: Arc::new(move |_, attempt| {
+                t2.fetch_add(1, Ordering::SeqCst);
+                if attempt < 3 {
+                    Err(JobError::Transient(format!("flap {attempt}")))
+                } else {
+                    Ok(stub_report(0))
+                }
+            }),
         };
-        let json = report.to_json();
-        let back: FleetReport = serde_json::from_str(&json).expect("parses");
-        assert_eq!(report, back);
+        let policy = FleetPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let outcomes = run_fleet_with(vec![job], 1, &policy);
+        assert!(outcomes[0].status.is_ok(), "{:?}", outcomes[0].status);
+        assert_eq!(outcomes[0].attempts, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let job = FleetJob {
+            app: "hopeless".to_string(),
+            slug: "hopeless".to_string(),
+            work: Arc::new(move |_, _| {
+                t2.fetch_add(1, Ordering::SeqCst);
+                Err(JobError::Transient("still down".to_string()))
+            }),
+        };
+        let policy = FleetPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let outcomes = run_fleet_with(vec![job], 1, &policy);
+        assert_eq!(
+            outcomes[0].status,
+            AppStatus::Failed {
+                error: "still down".to_string(),
+                attempts: 3
+            }
+        );
+        assert_eq!(tries.load(Ordering::SeqCst), 3, "1 try + 2 retries");
+    }
+
+    #[test]
+    fn job_reported_timeout_is_not_retried() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let job = FleetJob {
+            app: "runaway".to_string(),
+            slug: "runaway".to_string(),
+            work: Arc::new(move |_, _| {
+                t2.fetch_add(1, Ordering::SeqCst);
+                Err(JobError::Timeout("tick budget exceeded".to_string()))
+            }),
+        };
+        let outcomes = run_fleet(vec![job], 1);
+        assert_eq!(
+            outcomes[0].status,
+            AppStatus::TimedOut {
+                budget: "tick budget exceeded".to_string()
+            }
+        );
+        assert_eq!(tries.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wall_clock_backstop_abandons_a_hard_hang() {
+        let mut jobs = stub_jobs(2, |_| 0);
+        jobs.push(FleetJob {
+            app: "tarpit".to_string(),
+            slug: "tarpit".to_string(),
+            // A native hang no tick budget can see.
+            work: Arc::new(|_, _| {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(stub_report(9))
+            }),
+        });
+        let policy = FleetPolicy {
+            wall_budget: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let outcomes = run_fleet_with(jobs, 2, &policy);
+        assert_eq!(outcomes.len(), 3);
+        match &outcomes[2].status {
+            AppStatus::TimedOut { budget } => {
+                assert!(budget.contains("wall-clock cap"), "{budget}")
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(outcomes.iter().filter(|o| o.status.is_ok()).count(), 2);
+    }
+
+    #[test]
+    fn vanished_worker_slot_names_the_app() {
+        // The lost-slug regression: a slot whose worker never reported must
+        // still say *which* app it was.
+        let slots = vec![
+            (
+                "app-0".to_string(),
+                "a0".to_string(),
+                Some(AppOutcome {
+                    app: "app-0".to_string(),
+                    slug: "a0".to_string(),
+                    status: AppStatus::Ok,
+                    attempts: 1,
+                    report: Some(stub_report(0)),
+                }),
+            ),
+            ("Ghost App".to_string(), "ghost".to_string(), None),
+        ];
+        let outcomes = finish_slots(slots);
+        assert_eq!(outcomes[1].app, "Ghost App");
+        assert_eq!(outcomes[1].slug, "ghost");
+        match &outcomes[1].status {
+            AppStatus::Failed { error, .. } => {
+                assert!(
+                    error.contains("ghost") && error.contains("worker died before reporting"),
+                    "error must name the app: {error}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_codes_reflect_degradation() {
+        let mut o = stub_outcome(3);
+        assert!(o.all_ok());
+        assert_eq!(o.exit_code(), 0);
+        o.apps[1].status = AppStatus::Panicked {
+            message: "x".to_string(),
+        };
+        o.apps[1].report = None;
+        assert_eq!(o.exit_code(), 3, "partial success");
+        assert_eq!(o.succeeded(), 2);
+        assert_eq!(o.failures().len(), 1);
+        for a in &mut o.apps {
+            a.status = AppStatus::TimedOut {
+                budget: "b".to_string(),
+            };
+            a.report = None;
+        }
+        assert_eq!(o.exit_code(), 4, "total failure");
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::new(FaultSpec::parse("panic:0.3,hang:0.1,error:0.2").unwrap(), 7);
+        for i in 0..64 {
+            for a in 1..4 {
+                assert_eq!(plan.roll(i, a), plan.roll(i, a), "roll must be pure");
+            }
+        }
+        // Over many rolls the empirical rates land near the spec.
+        let n = 10_000usize;
+        let mut counts = [0usize; 3];
+        let mut none = 0usize;
+        for i in 0..n {
+            match plan.roll(i, 1) {
+                Some(Fault::Panic) => counts[0] += 1,
+                Some(Fault::Hang) => counts[1] += 1,
+                Some(Fault::Error) => counts[2] += 1,
+                None => none += 1,
+            }
+        }
+        let close = |got: usize, want: f64| (got as f64 / n as f64 - want).abs() < 0.03;
+        assert!(close(counts[0], 0.3), "panic rate {:?}", counts);
+        assert!(close(counts[1], 0.1), "hang rate {:?}", counts);
+        assert!(close(counts[2], 0.2), "error rate {:?}", counts);
+        assert!(close(none, 0.4), "clean rate {none}");
+        // Different seeds give different plans.
+        let other = FaultPlan::new(plan.spec, 8);
+        assert!(
+            (0..64).any(|i| plan.roll(i, 1) != other.roll(i, 1)),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        assert!(FaultSpec::parse("").unwrap().is_zero());
+        let s = FaultSpec::parse("panic:0.5").unwrap();
+        assert_eq!(s.panic, 0.5);
+        assert_eq!(s.hang, 0.0);
+        assert!(FaultSpec::parse("panic:2.0").is_err());
+        assert!(FaultSpec::parse("panic:x").is_err());
+        assert!(FaultSpec::parse("meteor:0.1").is_err());
+        assert!(FaultSpec::parse("panic").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_outcome() {
+        let mut outcome = stub_outcome(3);
+        outcome.apps[2].status = AppStatus::Failed {
+            error: "engine exploded".to_string(),
+            attempts: 3,
+        };
+        outcome.apps[2].report = None;
+        let json = outcome.to_json();
+        let back: FleetOutcome = serde_json::from_str(&json).expect("parses");
+        assert_eq!(outcome, back);
         // Compact round trip too.
-        let compact = serde_json::to_string(&report).expect("serializes");
-        let back2: FleetReport = serde_json::from_str(&compact).expect("parses");
-        assert_eq!(report, back2);
+        let compact = serde_json::to_string(&outcome).expect("serializes");
+        let back2: FleetOutcome = serde_json::from_str(&compact).expect("parses");
+        assert_eq!(outcome, back2);
     }
 
     #[test]
     fn canonical_zeroes_scheduling_noise() {
-        let mut report = FleetReport {
-            mode: "Dependence".to_string(),
-            scale: 1,
-            workers: 8,
-            apps: vec![stub_report(0)],
-        };
-        report.apps[0].wall_ms = 123.4;
-        report.apps[0].worker = 7;
-        let canon = report.canonical();
+        let mut outcome = stub_outcome(1);
+        outcome.workers = 8;
+        let r = outcome.apps[0].report.as_mut().unwrap();
+        r.wall_ms = 123.4;
+        r.worker = 7;
+        let canon = outcome.canonical();
         assert_eq!(canon.workers, 0);
-        assert_eq!(canon.apps[0].wall_ms, 0.0);
-        assert_eq!(canon.apps[0].worker, 0);
+        let cr = canon.apps[0].report.as_ref().unwrap();
+        assert_eq!(cr.wall_ms, 0.0);
+        assert_eq!(cr.worker, 0);
         // Everything else survives.
         assert_eq!(canon.apps[0].app, "app-0");
-        assert_eq!(canon.apps[0].nests, report.apps[0].nests);
+        assert_eq!(cr.nests, outcome.apps[0].report.as_ref().unwrap().nests);
     }
 
     #[test]
-    fn renderings_exclude_nondeterministic_fields() {
+    fn renderings_exclude_nondeterministic_fields_and_show_status() {
         let mk = |worker: usize, wall: f64| {
-            let mut r = FleetReport {
-                mode: "Dependence".to_string(),
-                scale: 1,
-                workers: worker + 1,
-                apps: vec![stub_report(1), stub_report(2)],
-            };
-            for a in &mut r.apps {
-                a.worker = worker;
-                a.wall_ms = wall;
+            let mut o = stub_outcome(2);
+            o.workers = worker + 1;
+            for a in &mut o.apps {
+                let r = a.report.as_mut().unwrap();
+                r.worker = worker;
+                r.wall_ms = wall;
             }
-            r
+            o.apps[1].status = AppStatus::TimedOut {
+                budget: "tick budget exceeded (9 > 8)".to_string(),
+            };
+            o.apps[1].report = None;
+            o
         };
         let a = mk(0, 1.0);
         let b = mk(7, 999.0);
         assert_eq!(a.render_table2(), b.render_table2());
         assert_eq!(a.render_table3(), b.render_table3());
+        assert!(
+            a.render_table2().contains("timed-out"),
+            "{}",
+            a.render_table2()
+        );
+        assert!(
+            a.render_table3().contains("<timed-out>"),
+            "{}",
+            a.render_table3()
+        );
+        let status = a.render_status();
+        assert!(status.contains("a0"), "{status}");
+        assert!(status.contains("tick budget exceeded"), "{status}");
     }
 }

@@ -59,7 +59,8 @@ pub use classify::{
 };
 pub use engine::{attach_engine, run_instrumented, Engine, EngineRef, Warning, WarningKind};
 pub use fleet::{
-    default_workers, run_fleet, AppReport, FleetJob, FleetReport, NestReport, WarningReport,
+    default_workers, run_fleet, run_fleet_with, AppOutcome, AppReport, AppStatus, Fault, FaultPlan,
+    FaultSpec, FleetJob, FleetOutcome, FleetPolicy, JobError, NestReport, WarningReport,
 };
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;

@@ -117,8 +117,13 @@ pub struct AnalyzeOptions {
     pub focus: Option<ceres_ast::LoopId>,
     /// Cap on processed events (safety for self-rescheduling apps).
     pub max_events: usize,
-    /// Optional tick budget.
+    /// Optional tick budget (deterministic watchdog: the interpreter stops
+    /// with a `watchdog:` fatal once the virtual clock passes it).
     pub max_ticks: Option<u64>,
+    /// Optional wall-clock cap, checked cooperatively at sampling
+    /// granularity inside the interpreter. Nondeterministic backstop for
+    /// apps whose virtual clock advances too slowly to trip `max_ticks`.
+    pub wall_budget: Option<std::time::Duration>,
 }
 
 impl Default for AnalyzeOptions {
@@ -129,6 +134,7 @@ impl Default for AnalyzeOptions {
             focus: None,
             max_events: 10_000,
             max_ticks: None,
+            wall_budget: None,
         }
     }
 }
@@ -193,6 +199,7 @@ pub fn analyze(
     // Step 4: the browser runs the app and the user exercises it.
     let mut interp = Interp::new(opts.seed);
     interp.max_ticks = opts.max_ticks;
+    interp.clock.set_wall_cap(opts.wall_budget);
     let dom = ceres_dom::install_dom(&mut interp);
     let engine = attach_engine(&mut interp, opts.mode, loops);
     engine.borrow_mut().focus = opts.focus;

@@ -58,6 +58,43 @@ proptest! {
     }
 
     #[test]
+    fn merging_split_halves_matches_one_shot(
+        data in prop::collection::vec(-1e3f64..1e3, 0..200),
+        cut in 0usize..200,
+    ) {
+        // The fleet merges per-worker statistics: splitting a sample at any
+        // point, accumulating the halves independently, and merging must be
+        // indistinguishable from one-shot accumulation. The cut may land at
+        // 0 or len, so both empty-left and empty-right merges are covered.
+        let cut = cut.min(data.len());
+        let (a, b) = data.split_at(cut);
+        let mut left = Welford::new();
+        for &x in a {
+            left.add(x);
+        }
+        let mut right = Welford::new();
+        for &x in b {
+            right.add(x);
+        }
+        left.merge(&right);
+
+        let mut one_shot = Welford::new();
+        for &x in &data {
+            one_shot.add(x);
+        }
+        prop_assert_eq!(left.count(), one_shot.count());
+        prop_assert!(
+            (left.mean() - one_shot.mean()).abs() <= 1e-9 * one_shot.mean().abs().max(1.0),
+            "mean {} vs {}", left.mean(), one_shot.mean()
+        );
+        prop_assert!(
+            (left.variance() - one_shot.variance()).abs()
+                <= 1e-9 * one_shot.variance().abs().max(1.0),
+            "variance {} vs {}", left.variance(), one_shot.variance()
+        );
+    }
+
+    #[test]
     fn merge_is_associative_enough(
         chunks in prop::collection::vec(prop::collection::vec(-100f64..100.0, 1..20), 1..8),
     ) {

@@ -397,7 +397,18 @@ fn install_array(interp: &mut Interp) {
         let arr = this_array(interp, ctx, "sort")?;
         let cmp = arg(args, 0);
         let len = arr.array_len().unwrap_or(0);
-        let mut items: Vec<Value> = (0..len).map(|i| arr.array_get(i).unwrap()).collect();
+        // Missing elements (holes in a sparse array, e.g. `[3,,1]`, or
+        // elements a comparator removed out from under us) read as
+        // `undefined` — never panic.
+        let mut items: Vec<Value> = (0..len)
+            .map(|i| arr.array_get(i).unwrap_or(Value::Undefined))
+            .collect();
+        // ES5 SortCompare: undefined elements sort to the end and the
+        // comparator is never called on them. Partition them off first so
+        // a numeric comparator is not fed NaN-producing operands.
+        let undefs = items.len();
+        items.retain(|v| !matches!(v, Value::Undefined));
+        let undefs = undefs - items.len();
         // Insertion sort so the comparator (a JS function) can be called
         // from safe code without aliasing the array borrow.
         for i in 1..items.len() {
@@ -422,6 +433,7 @@ fn install_array(interp: &mut Interp) {
                 }
             }
         }
+        items.extend(std::iter::repeat_n(Value::Undefined, undefs));
         arr.with_array_mut(|v| *v = items);
         Ok(ctx.this.clone())
     });

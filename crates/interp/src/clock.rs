@@ -33,6 +33,13 @@ pub struct Clock {
     /// True while the event loop is idle (between events); idle samples are
     /// never active.
     idle: bool,
+    /// Wall-clock watchdog: real deadline checked at sample granularity so
+    /// the hot `tick` path never calls `Instant::now()`. This is the
+    /// nondeterministic backstop behind the deterministic tick budget — it
+    /// only fires for runaway work that a tick budget was not set for (or
+    /// that burns real time without burning virtual ticks).
+    wall_cap: Option<(std::time::Instant, std::time::Duration)>,
+    wall_tripped: bool,
 }
 
 impl Default for Clock {
@@ -50,7 +57,28 @@ impl Clock {
             active_samples: 0,
             total_samples: 0,
             idle: false,
+            wall_cap: None,
+            wall_tripped: false,
         }
+    }
+
+    /// Arm (or disarm) the wall-clock watchdog: after `cap` of real time,
+    /// [`Clock::wall_tripped`] reports true. The deadline is measured from
+    /// this call. Checked once per sample interval, so resolution is one
+    /// sample (~1 virtual ms), not one tick.
+    pub fn set_wall_cap(&mut self, cap: Option<std::time::Duration>) {
+        self.wall_cap = cap.map(|c| (std::time::Instant::now(), c));
+        self.wall_tripped = false;
+    }
+
+    /// True once real elapsed time has exceeded the armed wall cap.
+    pub fn wall_tripped(&self) -> bool {
+        self.wall_tripped
+    }
+
+    /// The armed wall cap, if any (for error messages).
+    pub fn wall_cap(&self) -> Option<std::time::Duration> {
+        self.wall_cap.map(|(_, c)| c)
     }
 
     /// Current time in ticks.
@@ -95,6 +123,11 @@ impl Clock {
             self.active_samples += 1;
         }
         self.fn_events = 0;
+        if let Some((start, cap)) = self.wall_cap {
+            if !self.wall_tripped && start.elapsed() > cap {
+                self.wall_tripped = true;
+            }
+        }
     }
 
     /// Profiler-reported *active* time in ticks (samples × interval), the
@@ -155,6 +188,32 @@ mod tests {
         c.advance_idle(SAMPLE_INTERVAL * 4);
         assert_eq!(c.active_ticks(), 0);
         assert_eq!(c.total_samples(), 4);
+    }
+
+    #[test]
+    fn wall_cap_trips_at_sample_granularity() {
+        let mut c = Clock::new();
+        // No cap armed: never trips, however long we run.
+        c.tick(SAMPLE_INTERVAL * 3);
+        assert!(!c.wall_tripped());
+        // A zero cap trips at the first sample after arming.
+        c.set_wall_cap(Some(std::time::Duration::ZERO));
+        assert!(!c.wall_tripped(), "not before a sample fires");
+        c.tick(SAMPLE_INTERVAL);
+        assert!(c.wall_tripped());
+        assert_eq!(c.wall_cap(), Some(std::time::Duration::ZERO));
+        // Disarming clears the trip.
+        c.set_wall_cap(None);
+        c.tick(SAMPLE_INTERVAL);
+        assert!(!c.wall_tripped());
+    }
+
+    #[test]
+    fn generous_wall_cap_does_not_trip() {
+        let mut c = Clock::new();
+        c.set_wall_cap(Some(std::time::Duration::from_secs(3600)));
+        c.tick(SAMPLE_INTERVAL * 10);
+        assert!(!c.wall_tripped());
     }
 
     #[test]

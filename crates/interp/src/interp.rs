@@ -48,6 +48,20 @@ impl std::fmt::Debug for Control {
     }
 }
 
+/// Prefix carried by `Control::Fatal` messages raised by the execution
+/// watchdog (tick budget or wall-clock cap). Callers that need to tell a
+/// cancelled runaway apart from a genuine failure match on this via
+/// [`Control::is_watchdog`] instead of string-scraping ad hoc.
+pub const WATCHDOG_PREFIX: &str = "watchdog:";
+
+impl Control {
+    /// Was this error raised by the execution watchdog (budget exhaustion),
+    /// as opposed to a genuine program/analysis failure?
+    pub fn is_watchdog(&self) -> bool {
+        matches!(self, Control::Fatal(m) if m.starts_with(WATCHDOG_PREFIX))
+    }
+}
+
 /// Result of evaluating an expression.
 pub type JsResult<T = Value> = Result<T, Control>;
 
@@ -200,10 +214,17 @@ impl Interp {
         if let Some(max) = self.max_ticks {
             if self.clock.now_ticks() > max {
                 return Err(Control::Fatal(format!(
-                    "tick budget exceeded ({} > {max})",
+                    "{WATCHDOG_PREFIX} tick budget exceeded ({} > {max})",
                     self.clock.now_ticks()
                 )));
             }
+        }
+        if self.clock.wall_tripped() {
+            let cap = self.clock.wall_cap().unwrap_or_default();
+            return Err(Control::Fatal(format!(
+                "{WATCHDOG_PREFIX} wall-clock cap exceeded ({} ms)",
+                cap.as_millis()
+            )));
         }
         Ok(())
     }

@@ -32,7 +32,7 @@ pub mod value;
 
 pub use clock::{Clock, SAMPLE_INTERVAL, TICKS_PER_MS};
 pub use env::{Binding, BindingRef, Scope, ScopeRef};
-pub use interp::{Control, Interp, JsResult, Monitor, MAX_CALL_DEPTH};
+pub use interp::{Control, Interp, JsResult, Monitor, MAX_CALL_DEPTH, WATCHDOG_PREFIX};
 pub use value::{native_fn, new_array, new_object, CallCtx, NativeFn, ObjKind, ObjRef, Value};
 
 /// Convenience: run a source string on a fresh interpreter (seed 42) and

@@ -208,6 +208,23 @@ fn array_methods() {
 }
 
 #[test]
+fn sort_on_sparse_arrays_treats_holes_as_undefined() {
+    // Regression: holes in `[3,,1]` used to panic the sort builtin.
+    // ES5 SortCompare: undefined elements sort to the end, and a
+    // comparator never sees them.
+    let out = logs(
+        "var a = [3, , 1];\n\
+         console.log(a.length);\n\
+         a.sort();\n\
+         console.log(a.join(\"|\"));\n\
+         var b = [3, , 1, , 2];\n\
+         b.sort(function (x, y) { return x - y; });\n\
+         console.log(b.join(\"|\"), b[0], b[4] === undefined);",
+    );
+    assert_eq!(out, vec!["3", "1|3|", "1|2|3|| 1 true"]);
+}
+
+#[test]
 fn array_slice_splice_concat() {
     let out = logs(
         "var a = [0, 1, 2, 3, 4];\n\

@@ -315,6 +315,34 @@ while (true) {
     }
 
     #[test]
+    fn array_elision_reads_as_undefined() {
+        let elems = |src: &str| -> Vec<ExprKind> {
+            let p = parse_program(src).unwrap();
+            match &p.body[0].kind {
+                StmtKind::Expr(e) => match &e.kind {
+                    ExprKind::Assign { value, .. } => match &value.kind {
+                        ExprKind::Array(els) => els.iter().map(|e| e.kind.clone()).collect(),
+                        other => panic!("unexpected {other:?}"),
+                    },
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let els = elems("a = [3, , 1];");
+        assert_eq!(els.len(), 3);
+        assert!(matches!(els[0], ExprKind::Num(n) if n == 3.0));
+        assert!(matches!(els[1], ExprKind::Undefined));
+        assert!(matches!(els[2], ExprKind::Num(n) if n == 1.0));
+        // Leading hole, and `[,]` has length 1 (the trailing comma after a
+        // hole is the hole's separator, not an extra element).
+        assert!(matches!(elems("a = [, 1];")[0], ExprKind::Undefined));
+        assert_eq!(elems("a = [,];").len(), 1);
+        // Holes round-trip (printed as the `undefined` literal).
+        roundtrip("a = [3, , 1];");
+    }
+
+    #[test]
     fn loop_numbering_is_stable_across_roundtrip() {
         let src = "while (a) { for (var i = 0; i < n; i++) { do { f(); } while (g()); } }";
         let (p1, l1) = parse_and_number(src).unwrap();

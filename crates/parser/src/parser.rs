@@ -910,7 +910,14 @@ impl Parser {
                 let mut elems = Vec::new();
                 if !self.is_punct("]") {
                     loop {
-                        elems.push(self.assignment(true)?);
+                        // Elision: a hole (`[3,,1]`) reads as `undefined`,
+                        // consistent with this subset treating `undefined`
+                        // as a literal.
+                        if self.is_punct(",") {
+                            elems.push(Expr::new(ExprKind::Undefined, self.peek().span));
+                        } else {
+                            elems.push(self.assignment(true)?);
+                        }
                         if !self.eat_punct(",") {
                             break;
                         }

@@ -1,29 +1,82 @@
 //! Fleet driver: fan the 12 registered workloads across the core worker
 //! pool. Lives here (not in ceres-core) because the dependency points
 //! workloads → core; the core pool is workload-agnostic.
+//!
+//! This layer also hosts the seeded fault-injection harness: with a
+//! [`FaultPlan`], a job may (deterministically, per job index and attempt)
+//! panic, hang, or report a transient error *before* doing its real work,
+//! so CI can prove the supervisor degrades gracefully instead of taking
+//! the whole case study down.
 
-use crate::registry::{all, run_workload};
-use ceres_core::fleet::{run_fleet, AppReport, FleetJob, FleetReport};
+use crate::registry::{all, run_workload_budgeted};
+use ceres_core::fleet::{
+    run_fleet_with, AppReport, Fault, FaultPlan, FleetJob, FleetOutcome, FleetPolicy, JobError,
+};
 use ceres_core::Mode;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Tick budget used for an injected hang when the policy does not set one:
+/// long enough that no real workload at test scale comes near it, short
+/// enough that the watchdog trips in well under a second.
+const HANG_FALLBACK_TICKS: u64 = 2_000_000;
+
+/// Spin the interpreter on `for(;;){}` under a tick budget. The budget
+/// always trips, so this returns the same `watchdog:` fatal on every run —
+/// an injected hang is deterministic and exercises the *real* cancellation
+/// path rather than a simulated one.
+fn injected_hang(policy: &FleetPolicy) -> JobError {
+    let budget = policy.tick_budget.unwrap_or(HANG_FALLBACK_TICKS);
+    let mut interp = ceres_interp::Interp::new(2015);
+    interp.max_ticks = Some(budget);
+    match interp.eval_source("for (;;) {}") {
+        Err(c) => JobError::from_control(&c),
+        Ok(()) => JobError::Fatal("injected hang terminated without tripping".to_string()),
+    }
+}
 
 /// Build one [`FleetJob`] per registered workload, in Table 1 order.
 ///
 /// Each job closure constructs its own `WebServer → instrument → Interp →
 /// Engine` pipeline when a worker picks it up — nothing is shared between
-/// apps, so isolation is by construction rather than by locking.
-pub fn fleet_jobs(mode: Mode, scale: u32) -> Vec<FleetJob> {
+/// apps, so isolation is by construction rather than by locking. The
+/// policy's budgets are threaded into the pipeline; the fault plan (if
+/// any) is consulted per attempt, so an injected transient error can
+/// clear on retry.
+pub fn fleet_jobs(
+    mode: Mode,
+    scale: u32,
+    policy: &FleetPolicy,
+    faults: Option<FaultPlan>,
+) -> Vec<FleetJob> {
+    let policy = policy.clone();
     all()
         .into_iter()
-        .map(|w| {
+        .enumerate()
+        .map(|(index, w)| {
             let app = w.name.to_string();
             let slug = w.slug.to_string();
+            let policy = policy.clone();
             FleetJob {
                 app: app.clone(),
                 slug: slug.clone(),
-                work: Box::new(move |worker| {
+                work: Arc::new(move |worker, attempt| {
+                    match faults.and_then(|p| p.roll(index, attempt)) {
+                        Some(Fault::Panic) => panic!("injected fault: panic in {slug}"),
+                        Some(Fault::Hang) => return Err(injected_hang(&policy)),
+                        Some(Fault::Error) => {
+                            return Err(JobError::Transient(format!(
+                                "injected fault: transient error in {slug}"
+                            )))
+                        }
+                        None => {}
+                    }
                     let start = Instant::now();
-                    let run = run_workload(&w, mode, scale).map_err(|e| format!("{e:?}"))?;
+                    // Leave headroom under the fleet's hard wall backstop so
+                    // the cooperative in-interpreter cap fires first.
+                    let wall = policy.wall_budget.checked_div(2);
+                    let run = run_workload_budgeted(&w, mode, scale, policy.tick_budget, wall)
+                        .map_err(|c| JobError::from_control(&c))?;
                     let mut report = AppReport::from_run(&app, &slug, mode, &run);
                     report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                     report.worker = worker;
@@ -34,32 +87,87 @@ pub fn fleet_jobs(mode: Mode, scale: u32) -> Vec<FleetJob> {
         .collect()
 }
 
-/// Run the whole fleet and merge into a [`FleetReport`].
+/// Run the whole fleet under the default policy, no injected faults.
 ///
-/// `workers = 1` is the sequential baseline; the merged report is
-/// byte-identical across worker counts once [`FleetReport::canonical`]
+/// `workers = 1` is the sequential baseline; the merged outcome is
+/// byte-identical across worker counts once [`FleetOutcome::canonical`]
 /// strips the wall-clock/worker-id fields (the analysis itself runs on a
 /// seeded virtual clock and is deterministic).
-pub fn run_fleet_report(mode: Mode, scale: u32, workers: usize) -> Result<FleetReport, String> {
-    let apps = run_fleet(fleet_jobs(mode, scale), workers)?;
-    Ok(FleetReport {
+pub fn run_fleet_report(mode: Mode, scale: u32, workers: usize) -> FleetOutcome {
+    run_fleet_report_with(mode, scale, workers, &FleetPolicy::default(), None)
+}
+
+/// Run the whole fleet under `policy`, optionally injecting faults, and
+/// merge into a [`FleetOutcome`]. Never fails as a whole: per-app
+/// breakage lands in that app's status slot.
+pub fn run_fleet_report_with(
+    mode: Mode,
+    scale: u32,
+    workers: usize,
+    policy: &FleetPolicy,
+    faults: Option<FaultPlan>,
+) -> FleetOutcome {
+    let apps = run_fleet_with(fleet_jobs(mode, scale, policy, faults), workers, policy);
+    FleetOutcome {
         mode: format!("{mode:?}"),
         scale,
         workers,
         apps,
-    })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ceres_core::fleet::FaultSpec;
 
     #[test]
     fn fleet_jobs_cover_the_registry_in_order() {
-        let jobs = fleet_jobs(Mode::Lightweight, 1);
+        let jobs = fleet_jobs(Mode::Lightweight, 1, &FleetPolicy::default(), None);
         let slugs: Vec<_> = jobs.iter().map(|j| j.slug.clone()).collect();
         let expect: Vec<_> = all().iter().map(|w| w.slug.to_string()).collect();
         assert_eq!(slugs, expect);
         assert_eq!(jobs.len(), 12);
+    }
+
+    #[test]
+    fn injected_hang_is_a_deterministic_timeout() {
+        let e1 = injected_hang(&FleetPolicy::default());
+        let e2 = injected_hang(&FleetPolicy::default());
+        assert_eq!(e1, e2, "hang must cancel identically on every run");
+        assert!(
+            matches!(e1, JobError::Timeout(_)),
+            "hang must be classified as a watchdog timeout: {e1:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_threads_through_jobs() {
+        // Force a fault on every attempt: all 12 apps must fail, none may
+        // take the fleet down.
+        let spec = FaultSpec::parse("error:1.0").unwrap();
+        let policy = FleetPolicy {
+            max_retries: 1,
+            backoff: std::time::Duration::from_millis(1),
+            ..Default::default()
+        };
+        let outcome = run_fleet_report_with(
+            Mode::Lightweight,
+            1,
+            4,
+            &policy,
+            Some(FaultPlan::new(spec, 1)),
+        );
+        assert_eq!(outcome.apps.len(), 12);
+        assert_eq!(outcome.succeeded(), 0);
+        assert_eq!(outcome.exit_code(), 4);
+        for a in &outcome.apps {
+            assert!(
+                a.status.detail().unwrap_or("").contains("injected fault"),
+                "{:?}",
+                a.status
+            );
+            assert_eq!(a.attempts, 2, "1 try + 1 retry for transient faults");
+        }
     }
 }

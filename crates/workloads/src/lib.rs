@@ -10,5 +10,5 @@ pub mod fleet;
 pub mod native;
 pub mod registry;
 
-pub use fleet::{fleet_jobs, run_fleet_report};
-pub use registry::{all, by_slug, run_workload, PaperExpectation, Workload};
+pub use fleet::{fleet_jobs, run_fleet_report, run_fleet_report_with};
+pub use registry::{all, by_slug, run_workload, run_workload_budgeted, PaperExpectation, Workload};

@@ -382,6 +382,20 @@ pub fn by_slug(slug: &str) -> Option<Workload> {
 /// Run one workload through the pipeline at the given mode and scale
 /// (`scale` multiplies problem sizes via the `SCALE` global; 1 = test size).
 pub fn run_workload(w: &Workload, mode: Mode, scale: u32) -> Result<AppRun, ceres_interp::Control> {
+    run_workload_budgeted(w, mode, scale, None, None)
+}
+
+/// [`run_workload`] under a watchdog: an optional deterministic tick
+/// budget and an optional wall-clock cap, both wired into the pipeline's
+/// [`AnalyzeOptions`] so a runaway app is cancelled from *inside* the
+/// interpreter with a `watchdog:` fatal.
+pub fn run_workload_budgeted(
+    w: &Workload,
+    mode: Mode,
+    scale: u32,
+    max_ticks: Option<u64>,
+    wall_budget: Option<std::time::Duration>,
+) -> Result<AppRun, ceres_interp::Control> {
     let mut server = WebServer::new();
     // Serve as an HTML page with the script inline, exercising the proxy's
     // HTML path end to end.
@@ -397,6 +411,8 @@ pub fn run_workload(w: &Workload, mode: Mode, scale: u32) -> Result<AppRun, cere
         AnalyzeOptions {
             mode,
             seed: 2015,
+            max_ticks,
+            wall_budget,
             ..Default::default()
         },
         Box::new(interaction),

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Fault-injection resilience smoke: run the fleet with seeded injected
+# panics and assert graceful degradation — partial success exit code, every
+# app accounted for in the JSON, failures named per app. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release
+cargo build --release --bins
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== fleet under injected faults (panic:0.3, seed 7) =="
+set +e
+"$BIN/repro" fleet --inject panic:0.3 --inject-seed 7 --workers 4 \
+    --json "$tmp/fleet_faults.json" > "$tmp/fleet_faults.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+    echo "FAIL: expected partial-success exit code 3, got $code" >&2
+    tail -30 "$tmp/fleet_faults.out" >&2
+    exit 1
+fi
+
+# The report must account for all 12 apps: some analyzed, some panicked,
+# each failure carrying its slug and status.
+python3 - "$tmp/fleet_faults.json" <<'EOF'
+import json, sys
+o = json.load(open(sys.argv[1]))
+apps = o["apps"]
+assert len(apps) == 12, f"expected 12 app slots, got {len(apps)}"
+ok = [a for a in apps if a["status"] == "Ok"]
+panicked = [a for a in apps if isinstance(a["status"], dict) and "Panicked" in a["status"]]
+assert ok, "no app survived - injection should leave survivors"
+assert panicked, "no app panicked - injection did not fire"
+assert len(ok) + len(panicked) == 12, f"unexpected statuses: {[a['status'] for a in apps]}"
+for a in ok:
+    assert a["report"] is not None, f"{a['slug']}: Ok without a report"
+for a in panicked:
+    assert a["report"] is None, f"{a['slug']}: Panicked with a report"
+    assert a["slug"] in a["status"]["Panicked"]["message"], \
+        f"panic message must name the app: {a['status']}"
+print(f"OK: {len(ok)} analyzed, {len(panicked)} panicked, all named")
+EOF
+
+grep -q "per-app status" "$tmp/fleet_faults.out" || {
+    echo "FAIL: degraded run printed no per-app status section" >&2
+    exit 1
+}
+grep -q "panicked" "$tmp/fleet_faults.out" || {
+    echo "FAIL: status table does not show the panicked apps" >&2
+    exit 1
+}
+
+# Reproducibility: the same seed must produce the same degradation.
+set +e
+"$BIN/repro" fleet --inject panic:0.3 --inject-seed 7 --workers 2 \
+    --json "$tmp/fleet_faults2.json" > /dev/null 2>&1
+set -e
+python3 - "$tmp/fleet_faults.json" "$tmp/fleet_faults2.json" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+sa = [(x["slug"], json.dumps(x["status"], sort_keys=True)) for x in a["apps"]]
+sb = [(x["slug"], json.dumps(x["status"], sort_keys=True)) for x in b["apps"]]
+assert sa == sb, "statuses differ across runs with the same seed"
+print("OK: statuses identical across worker counts")
+EOF
+
+echo "fault smoke OK"

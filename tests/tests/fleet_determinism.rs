@@ -7,17 +7,18 @@
 //! in one test: sequential vs 4-worker vs 4-worker-again, over renders
 //! and canonical JSON.
 
-use ceres_core::fleet::FleetReport;
+use ceres_core::fleet::FleetOutcome;
 use ceres_core::Mode;
 use ceres_workloads::run_fleet_report;
 
 #[test]
 fn parallel_fleet_report_is_byte_identical_to_sequential() {
-    let seq = run_fleet_report(Mode::Dependence, 1, 1).expect("sequential fleet");
-    let par = run_fleet_report(Mode::Dependence, 1, 4).expect("parallel fleet");
-    let par2 = run_fleet_report(Mode::Dependence, 1, 4).expect("parallel fleet rerun");
+    let seq = run_fleet_report(Mode::Dependence, 1, 1);
+    let par = run_fleet_report(Mode::Dependence, 1, 4);
+    let par2 = run_fleet_report(Mode::Dependence, 1, 4);
 
     assert_eq!(seq.apps.len(), 12, "the whole registry runs");
+    assert!(seq.all_ok() && par.all_ok(), "clean fleet runs");
     assert_eq!(par.workers, 4);
 
     // Apps come back in registry order regardless of completion order.
@@ -40,6 +41,6 @@ fn parallel_fleet_report_is_byte_identical_to_sequential() {
     assert_eq!(b, c, "parallel run-to-run canonical JSON");
 
     // And the JSON artifact round-trips through the serde layer.
-    let back: FleetReport = serde_json::from_str(&par.to_json()).expect("JSON parses");
+    let back: FleetOutcome = serde_json::from_str(&par.to_json()).expect("JSON parses");
     assert_eq!(back, par);
 }

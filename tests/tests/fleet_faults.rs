@@ -1,0 +1,161 @@
+//! Fault isolation acceptance: a fleet where one app panics, one hangs
+//! past the watchdog budget, and one errors must still produce reports for
+//! every remaining app — byte-identical to a sequential run of those apps
+//! alone — with the failures named per app in both the table and the JSON.
+
+use ceres_core::fleet::{
+    run_fleet, run_fleet_with, AppReport, AppStatus, FleetJob, FleetOutcome, FleetPolicy, JobError,
+};
+use ceres_core::Mode;
+use ceres_workloads::{all, run_fleet_report_with, run_workload_budgeted, Workload};
+use std::sync::Arc;
+
+const MODE: Mode = Mode::LoopProfile;
+
+/// A normal fleet job for one workload (what `fleet_jobs` builds, minus
+/// the injection layer — spelled out here so the test controls exactly
+/// which apps misbehave). `max_ticks` exercises the deterministic
+/// watchdog when set low.
+fn job(w: Workload, max_ticks: Option<u64>) -> FleetJob {
+    let app = w.name.to_string();
+    let slug = w.slug.to_string();
+    FleetJob {
+        app: app.clone(),
+        slug: slug.clone(),
+        work: Arc::new(move |worker, _attempt| {
+            let run = run_workload_budgeted(&w, MODE, 1, max_ticks, None)
+                .map_err(|c| JobError::from_control(&c))?;
+            let mut report = AppReport::from_run(&app, &slug, MODE, &run);
+            report.worker = worker;
+            Ok(report)
+        }),
+    }
+}
+
+const PANIC_AT: usize = 1;
+const HANG_AT: usize = 4;
+const ERROR_AT: usize = 7;
+
+#[test]
+fn one_bad_app_per_kind_degrades_only_its_own_row() {
+    // Fleet of all 12 apps with three saboteurs: index 1 panics, index 4
+    // runs under a tick budget far below what its app needs (a hang as the
+    // watchdog sees it), index 7 reports a fatal error.
+    let faulty: Vec<FleetJob> = all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| match i {
+            PANIC_AT => FleetJob {
+                app: w.name.to_string(),
+                slug: w.slug.to_string(),
+                work: Arc::new(|_, _| panic!("synthetic panic for fault-isolation test")),
+            },
+            HANG_AT => job(w, Some(10_000)),
+            ERROR_AT => FleetJob {
+                app: w.name.to_string(),
+                slug: w.slug.to_string(),
+                work: Arc::new(|_, _| Err(JobError::Fatal("synthetic engine failure".to_string()))),
+            },
+            _ => job(w, None),
+        })
+        .collect();
+    let outcomes = run_fleet_with(faulty, 4, &FleetPolicy::default());
+    assert_eq!(outcomes.len(), 12, "every slot reports");
+
+    // The three failures are classified and named.
+    let slugs: Vec<_> = all().iter().map(|w| w.slug.to_string()).collect();
+    assert!(
+        matches!(outcomes[PANIC_AT].status, AppStatus::Panicked { .. }),
+        "{:?}",
+        outcomes[PANIC_AT].status
+    );
+    assert_eq!(outcomes[PANIC_AT].slug, slugs[PANIC_AT]);
+    match &outcomes[HANG_AT].status {
+        AppStatus::TimedOut { budget } => {
+            assert!(budget.contains("watchdog:"), "{budget}")
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert!(
+        matches!(outcomes[ERROR_AT].status, AppStatus::Failed { .. }),
+        "{:?}",
+        outcomes[ERROR_AT].status
+    );
+
+    // Every remaining app completed, byte-identical to a sequential run of
+    // just those apps.
+    let survivors: Vec<FleetJob> = all()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| ![PANIC_AT, HANG_AT, ERROR_AT].contains(i))
+        .map(|(_, w)| job(w, None))
+        .collect();
+    let baseline = run_fleet(survivors, 1);
+    assert_eq!(baseline.len(), 9);
+    assert!(baseline.iter().all(|o| o.status.is_ok()));
+    let mut b = baseline.iter();
+    for (i, o) in outcomes.iter().enumerate() {
+        if [PANIC_AT, HANG_AT, ERROR_AT].contains(&i) {
+            assert!(o.report.is_none());
+            continue;
+        }
+        assert!(o.status.is_ok(), "slot {i}: {:?}", o.status);
+        let seq = b.next().unwrap();
+        let got = serde_json::to_string(&o.report.as_ref().unwrap().canonical()).unwrap();
+        let want = serde_json::to_string(&seq.report.as_ref().unwrap().canonical()).unwrap();
+        assert_eq!(got, want, "slot {i} diverged from its sequential run");
+    }
+
+    // The failures are visible per app in the table and JSON renderings.
+    let outcome = FleetOutcome {
+        mode: format!("{MODE:?}"),
+        scale: 1,
+        workers: 4,
+        apps: outcomes,
+    };
+    assert_eq!(outcome.succeeded(), 9);
+    assert_eq!(outcome.exit_code(), 3, "partial success");
+    let table = outcome.render_table2();
+    for (i, line) in table.lines().skip(1).enumerate() {
+        let label = match i {
+            PANIC_AT => "panicked",
+            HANG_AT => "timed-out",
+            ERROR_AT => "failed(1)",
+            _ => "ok",
+        };
+        assert!(line.ends_with(label), "row {i}: {line}");
+    }
+    let json = outcome.to_json();
+    for (i, needle) in [
+        (PANIC_AT, "Panicked"),
+        (HANG_AT, "TimedOut"),
+        (ERROR_AT, "Failed"),
+    ] {
+        assert!(json.contains(needle), "JSON lacks {needle}");
+        assert!(json.contains(&slugs[i]), "JSON lacks slug {}", slugs[i]);
+    }
+    let status = outcome.render_status();
+    assert!(status.contains(&slugs[PANIC_AT]), "{status}");
+}
+
+#[test]
+fn injected_faults_are_reproducible_run_to_run() {
+    // The CI resilience smoke in library form: same spec + seed, two runs,
+    // identical canonical outcomes (statuses included).
+    let spec = ceres_core::FaultSpec::parse("panic:0.25,error:0.25").unwrap();
+    let policy = FleetPolicy {
+        max_retries: 1,
+        backoff: std::time::Duration::from_millis(1),
+        ..Default::default()
+    };
+    let plan = ceres_core::FaultPlan::new(spec, 7);
+    let a = run_fleet_report_with(Mode::Lightweight, 1, 4, &policy, Some(plan));
+    let b = run_fleet_report_with(Mode::Lightweight, 1, 4, &policy, Some(plan));
+    assert_eq!(a.canonical().to_json(), b.canonical().to_json());
+    assert_eq!(a.apps.len(), 12);
+    // At these rates some apps fail and some survive: the partial-success
+    // path is actually exercised.
+    assert!(a.succeeded() > 0, "some apps must survive");
+    assert!(!a.all_ok(), "some apps must be hit");
+    assert_eq!(a.exit_code(), 3);
+}
