@@ -10,6 +10,9 @@
 //!   --report <dir>          commit a full report under <dir>
 //!   --emit-instrumented     print the rewritten source and exit
 //!   --refactor <loop-id>    print the loop rewritten as forEachPar and exit
+//!   --metrics <file>        write the observability JSON (docs/METRICS.md)
+//!   --trace <file>          write a chrome://tracing span dump
+//!   --deterministic         zero wall-clock fields in --metrics/--trace
 //!
 //! jsceres analyze-all [options]     analyze the whole 12-app fleet
 //!
@@ -23,6 +26,11 @@
 //!   --watchdog-wall-ms <n>  per-app wall-clock backstop (default 120000)
 //!   --inject <spec>         seeded fault injection, e.g. panic:0.3,hang:0.1
 //!   --inject-seed <n>       fault-plan seed (default 7)
+//!   --metrics <file>        write phase spans + counters as versioned JSON
+//!                           (schema: docs/METRICS.md)
+//!   --trace <file>          write a chrome://tracing span dump
+//!   --deterministic         zero wall-clock/scheduling fields so --metrics
+//!                           output is byte-identical across worker counts
 //!
 //! Exit codes for analyze-all: 0 = every app analyzed, 2 = usage,
 //! 3 = partial success, 4 = no app succeeded.
@@ -47,16 +55,21 @@ struct Options {
     report: Option<String>,
     emit_instrumented: bool,
     refactor: Option<u32>,
+    metrics: Option<String>,
+    trace: Option<String>,
+    deterministic: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: jsceres <file.js|file.html> [--mode light|loop|dep] [--focus N]\n\
          \x20              [--seed N] [--max-ticks N] [--report DIR] [--emit-instrumented]\n\
-         \x20              [--refactor LOOP_ID]\n\
+         \x20              [--refactor LOOP_ID] [--metrics FILE] [--trace FILE]\n\
+         \x20              [--deterministic]\n\
          \x20      jsceres analyze-all [--mode light|loop|dep] [--scale N] [--workers N]\n\
          \x20              [--sequential] [--json FILE] [--watchdog-ticks N]\n\
-         \x20              [--watchdog-wall-ms N] [--inject SPEC] [--inject-seed N]"
+         \x20              [--watchdog-wall-ms N] [--inject SPEC] [--inject-seed N]\n\
+         \x20              [--metrics FILE] [--trace FILE] [--deterministic]"
     );
     std::process::exit(2);
 }
@@ -72,6 +85,9 @@ fn parse_args() -> Options {
         report: None,
         emit_instrumented: false,
         refactor: None,
+        metrics: None,
+        trace: None,
+        deterministic: false,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -112,6 +128,9 @@ fn parse_args() -> Options {
                 }
             }
             "--emit-instrumented" => opts.emit_instrumented = true,
+            "--metrics" => opts.metrics = Some(next_value(&mut args, "--metrics")),
+            "--trace" => opts.trace = Some(next_value(&mut args, "--trace")),
+            "--deterministic" => opts.deterministic = true,
             "-h" | "--help" => usage(),
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
@@ -136,6 +155,9 @@ fn analyze_all(args: &[String]) {
     let mut scale: u32 = 1;
     let mut workers = ceres_core::fleet::default_workers();
     let mut json: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut deterministic = false;
     let mut policy = FleetPolicy::default();
     let mut inject: Option<FaultSpec> = None;
     let mut inject_seed: u64 = 7;
@@ -181,6 +203,18 @@ fn analyze_all(args: &[String]) {
             "--json" => {
                 json = Some(value(args, i, "--json"));
                 i += 2;
+            }
+            "--metrics" => {
+                metrics_path = Some(value(args, i, "--metrics"));
+                i += 2;
+            }
+            "--trace" => {
+                trace_path = Some(value(args, i, "--trace"));
+                i += 2;
+            }
+            "--deterministic" => {
+                deterministic = true;
+                i += 1;
             }
             "--watchdog-ticks" => {
                 policy.tick_budget = match value(args, i, "--watchdog-ticks").parse() {
@@ -261,6 +295,23 @@ fn analyze_all(args: &[String]) {
             std::process::exit(1);
         }
         println!("\nJSON report written to {path}");
+    }
+    if metrics_path.is_some() || trace_path.is_some() {
+        let metrics = ceres_core::FleetMetrics::from_outcome(&outcome, &policy, deterministic);
+        if let Some(path) = metrics_path {
+            if let Err(e) = std::fs::write(&path, metrics.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("metrics written to {path} (schema docs/METRICS.md)");
+        }
+        if let Some(path) = trace_path {
+            if let Err(e) = std::fs::write(&path, ceres_core::chrome_trace(&metrics)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("chrome trace written to {path} (open in chrome://tracing)");
+        }
     }
     std::process::exit(outcome.exit_code());
 }
@@ -430,6 +481,36 @@ fn main() {
         match publish_report(&mut run, &mut repo, &app) {
             Ok(commit) => println!("\nreport committed as {commit} under {dir}"),
             Err(e) => eprintln!("report failed: {e}"),
+        }
+    }
+
+    // Emitted last so the obs record includes the report phase if
+    // --report ran.
+    if opts.metrics.is_some() || opts.trace.is_some() {
+        let app = std::path::Path::new(&opts.file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("app");
+        let metrics = ceres_core::FleetMetrics::single(
+            app,
+            app,
+            &format!("{:?}", opts.mode),
+            &run.obs,
+            opts.deterministic,
+        );
+        if let Some(path) = &opts.metrics {
+            if let Err(e) = std::fs::write(path, metrics.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("\nmetrics written to {path} (schema docs/METRICS.md)");
+        }
+        if let Some(path) = &opts.trace {
+            if let Err(e) = std::fs::write(path, ceres_core::chrome_trace(&metrics)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("chrome trace written to {path} (open in chrome://tracing)");
         }
     }
 }

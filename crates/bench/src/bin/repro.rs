@@ -4,19 +4,28 @@
 //! ```text
 //! repro <target>    where target ∈ {fig1, fig2, fig3, fig4, fig5, fig6,
 //!                                   table1, table2, table3, amdahl,
-//!                                   speedup, fleet, fleet-bench, all}
+//!                                   overhead, speedup, fleet,
+//!                                   fleet-bench, all}
 //!
 //! repro fleet [--workers N] [--sequential] [--json FILE]
 //!             [--watchdog-ticks N] [--watchdog-wall-ms N]
 //!             [--inject SPEC] [--inject-seed N]
+//!             [--metrics FILE] [--trace FILE] [--deterministic]
 //!     run the 12-app fleet through the fault-tolerant parallel analyzer
 //!     and print the merged Table 2/Table 3 (`repro --parallel` is an
 //!     alias). One crashing/hanging app degrades its own row, never the
 //!     fleet. Exit: 0 = all ok, 3 = partial success, 4 = total failure.
 //!     `--inject panic:0.3,hang:0.1,error:0.2` plus `--inject-seed`
 //!     deterministically injects faults (the CI resilience smoke).
+//!     `--metrics` writes the versioned observability JSON (see
+//!     docs/METRICS.md), `--trace` a chrome://tracing span dump, and
+//!     `--deterministic` zeroes the wall-clock/scheduling fields so the
+//!     metrics are byte-identical across worker counts.
 //! repro fleet-bench [--workers N] [--json FILE]
 //!     time sequential vs parallel fleet analysis, emit speedup JSON
+//! repro overhead
+//!     Sec. 3.4 instrumentation-overhead ledger: per-app virtual-clock
+//!     ticks under each mode and the slowdown vs the lightweight baseline
 //! ```
 //!
 //! Absolute numbers come from the virtual clock / this machine; the claim
@@ -43,13 +52,14 @@ fn main() {
         "table3" => table3(),
         "amdahl" => amdahl(),
         "tasklimit" => tasklimit(),
+        "overhead" => overhead(),
         "speedup" => speedup(),
         "fleet" | "--parallel" => fleet(&argv[1..]),
         "fleet-bench" => fleet_bench(&argv[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, fig4, table1, table2, table3, fig5, fig6, amdahl, tasklimit,
-                speedup,
+                overhead, speedup,
             ] {
                 f();
                 println!();
@@ -58,7 +68,7 @@ fn main() {
         other => {
             eprintln!("unknown target `{other}`");
             eprintln!(
-                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit speedup fleet fleet-bench all"
+                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit overhead speedup fleet fleet-bench all"
             );
             std::process::exit(2);
         }
@@ -315,6 +325,9 @@ fn fig6() {
 struct FleetFlags {
     workers: usize,
     json: Option<String>,
+    metrics: Option<String>,
+    trace: Option<String>,
+    deterministic: bool,
     policy: ceres_core::FleetPolicy,
     faults: Option<ceres_core::FaultPlan>,
 }
@@ -323,6 +336,9 @@ fn parse_fleet_flags(args: &[String]) -> FleetFlags {
     let mut flags = FleetFlags {
         workers: ceres_core::fleet::default_workers(),
         json: None,
+        metrics: None,
+        trace: None,
+        deterministic: false,
         policy: ceres_core::FleetPolicy::default(),
         faults: None,
     };
@@ -354,6 +370,18 @@ fn parse_fleet_flags(args: &[String]) -> FleetFlags {
             "--json" => {
                 flags.json = Some(value(args, i, "--json"));
                 i += 2;
+            }
+            "--metrics" => {
+                flags.metrics = Some(value(args, i, "--metrics"));
+                i += 2;
+            }
+            "--trace" => {
+                flags.trace = Some(value(args, i, "--trace"));
+                i += 2;
+            }
+            "--deterministic" => {
+                flags.deterministic = true;
+                i += 1;
             }
             "--watchdog-ticks" => {
                 flags.policy.tick_budget = value(args, i, "--watchdog-ticks").parse().ok();
@@ -439,7 +467,34 @@ fn fleet(args: &[String]) {
         }
         println!("\nJSON report written to {path}");
     }
+    if flags.metrics.is_some() || flags.trace.is_some() {
+        let metrics =
+            ceres_core::FleetMetrics::from_outcome(&outcome, &flags.policy, flags.deterministic);
+        if let Some(path) = &flags.metrics {
+            if let Err(e) = std::fs::write(path, metrics.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("metrics written to {path} (schema docs/METRICS.md)");
+        }
+        if let Some(path) = &flags.trace {
+            if let Err(e) = std::fs::write(path, ceres_core::chrome_trace(&metrics)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("chrome trace written to {path} (open in chrome://tracing)");
+        }
+    }
     std::process::exit(outcome.exit_code());
+}
+
+/// Sec. 3.4: the cost of watching. Per-app virtual-clock readings under
+/// each instrumentation mode; slowdowns are relative to the lightweight
+/// baseline and fully deterministic.
+fn overhead() {
+    header("Sec. 3.4: instrumentation overhead (virtual-clock ticks)");
+    let rows = ceres_workloads::overhead_ledger(1);
+    print!("{}", ceres_workloads::render_overhead(&rows));
 }
 
 fn fleet_bench(args: &[String]) {

@@ -129,3 +129,107 @@ fn repro_rejects_unknown_target() {
     let out = repro().arg("bogus").output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn repro_overhead_prints_the_ledger_with_the_paper_ordering() {
+    let out = repro().arg("overhead").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("instrumentation overhead"), "{stdout}");
+    assert!(stdout.contains("geomean"), "{stdout}");
+    // All 12 apps get a row.
+    for name in ["HAAR.js", "CamanJS", "D3.js"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    // The geomean row ends with the two slowdown factors; dependence must
+    // exceed loop profiling.
+    let geomean = stdout
+        .lines()
+        .find(|l| l.starts_with("geomean"))
+        .expect("geomean row");
+    let factors: Vec<f64> = geomean
+        .split_whitespace()
+        .skip(1)
+        .map(|f| f.parse().expect("slowdown factor"))
+        .collect();
+    assert_eq!(factors.len(), 2, "{geomean}");
+    assert!(
+        factors[1] > factors[0] && factors[0] >= 1.0,
+        "dependence {} must out-cost loop profiling {}",
+        factors[1],
+        factors[0]
+    );
+}
+
+#[test]
+fn jsceres_single_file_metrics_and_trace() {
+    let file = write_temp(
+        "obs.js",
+        "var t = 0;\nvar i;\nfor (i = 0; i < 30; i++) { t += i; }\nconsole.log(t);",
+    );
+    let metrics = write_temp("obs-metrics.json", "");
+    let trace = write_temp("obs-trace.json", "");
+    let out = jsceres()
+        .arg(&file)
+        .arg("--mode")
+        .arg("dep")
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--deterministic")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("\"schema_version\": 1"), "{doc}");
+    assert!(doc.contains("\"phase\": \"interp\""), "{doc}");
+    assert!(doc.contains("\"deterministic\": true"), "{doc}");
+    // Deterministic: wall fields zeroed.
+    assert!(doc.contains("\"wall_ms\": 0.0"), "{doc}");
+    let tr = std::fs::read_to_string(&trace).unwrap();
+    assert!(tr.starts_with('['), "{tr}");
+    assert!(tr.contains("\"ph\":\"X\""), "{tr}");
+    for f in [file, metrics, trace] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn analyze_all_metrics_json_is_deterministic_across_worker_counts() {
+    let run = |workers: &str| -> String {
+        let path = write_temp(&format!("fleet-metrics-{workers}.json"), "");
+        let out = jsceres()
+            .arg("analyze-all")
+            .arg("--mode")
+            .arg("light")
+            .arg("--workers")
+            .arg(workers)
+            .arg("--metrics")
+            .arg(&path)
+            .arg("--deterministic")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(path);
+        doc
+    };
+    let seq = run("1");
+    let par = run("6");
+    assert_eq!(seq, par, "deterministic metrics must not see the pool size");
+    assert!(seq.contains("\"schema_version\": 1"), "{seq}");
+    assert!(seq.contains("\"totals\""), "{seq}");
+}

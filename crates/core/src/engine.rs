@@ -142,6 +142,13 @@ pub struct Engine {
     /// Loop id → source info (kind, line), from the instrumentation pass.
     pub loops: HashMap<LoopId, LoopInfo>,
 
+    // --- observability (ceres_core::obs) ---
+    /// Per-hook invocation counts for this run.
+    pub tally: hooks::HookTally,
+    /// Pushes onto the characterization stack (loop entries, including
+    /// recursive re-entries).
+    pub stack_pushes: u64,
+
     // --- characterization stack ---
     stack: Vec<StackEntry>,
     start_ticks: Vec<u64>,
@@ -195,6 +202,8 @@ impl Engine {
         Engine {
             mode,
             loops: loops.into_iter().map(|l| (l.id, l)).collect(),
+            tally: hooks::HookTally::new(),
+            stack_pushes: 0,
             stack: Vec::new(),
             start_ticks: Vec::new(),
             instance_counters: HashMap::new(),
@@ -284,6 +293,7 @@ impl Engine {
             instance,
             iteration: 0,
         });
+        self.stack_pushes += 1;
         self.start_ticks.push(now);
         // Lightweight totals also work in the richer modes so Table 2 can be
         // cross-checked against loop-profile runs.
@@ -621,20 +631,31 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         _ => None,
     };
 
+    // Tally indices are resolved once here; each hook then bumps its
+    // counter with a single array add (the obs layer must not perturb the
+    // overhead ledger it measures).
+    let idx = hooks::hook_index;
+
     // --- lightweight ---
     {
         let eng = engine.clone();
+        let i = idx(hooks::LW_ENTER);
         interp.register_native(hooks::LW_ENTER, move |interp, _ctx, _args| {
             let now = interp.clock.now_ticks();
-            eng.borrow_mut().lw_enter(now);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
+            e.lw_enter(now);
             Ok(Value::Undefined)
         });
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::LW_EXIT);
         interp.register_native(hooks::LW_EXIT, move |interp, _ctx, _args| {
             let now = interp.clock.now_ticks();
-            eng.borrow_mut().lw_exit(now);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
+            e.lw_exit(now);
             Ok(Value::Undefined)
         });
     }
@@ -642,27 +663,36 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     // --- loop profiling ---
     {
         let eng = engine.clone();
+        let i = idx(hooks::LOOP_ENTER);
         interp.register_native(hooks::LOOP_ENTER, move |interp, _ctx, args| {
             let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
             let now = interp.clock.now_ticks();
-            eng.borrow_mut().loop_enter(id, now);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
+            e.loop_enter(id, now);
             Ok(Value::Undefined)
         });
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::ITER);
         interp.register_native(hooks::ITER, move |_interp, _ctx, args| {
             let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
-            eng.borrow_mut().iter(id);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
+            e.iter(id);
             Ok(Value::Undefined)
         });
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::LOOP_EXIT);
         interp.register_native(hooks::LOOP_EXIT, move |interp, _ctx, args| {
             let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
             let now = interp.clock.now_ticks();
-            eng.borrow_mut().loop_exit(id, now);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
+            e.loop_exit(id, now);
             Ok(Value::Undefined)
         });
     }
@@ -670,9 +700,11 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     // --- dependence ---
     {
         let eng = engine.clone();
+        let i = idx(hooks::DECLVARS);
         interp.register_native(hooks::DECLVARS, move |interp, ctx, args| {
             // Stamping bindings copies the loop stack per name.
             interp.clock.tick(2 * args.len() as u64);
+            eng.borrow_mut().tally.bump(i);
             let Some(scope) = &ctx.caller_scope else {
                 return Ok(Value::Undefined);
             };
@@ -690,9 +722,11 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::WRVAR);
         interp.register_native(hooks::WRVAR, move |interp, ctx, args| {
             // Scope lookup + stamp diff against the current stack.
             interp.clock.tick(8);
+            eng.borrow_mut().tally.bump(i);
             let name = key_of(&arg(args, 0));
             let op = opt_str(&arg(args, 1)).unwrap_or_else(|| "=".to_string());
             let binding_id = ctx
@@ -718,37 +752,45 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::WRAP);
         interp.register_native(hooks::WRAP, move |interp, _ctx, args| {
             // The Proxy wrap: snapshot the loop stack for the new object.
             interp.clock.tick(4);
             let v = arg(args, 0);
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
             if let Value::Object(o) = &v {
-                eng.borrow_mut().stamp_object(o.id());
+                e.stamp_object(o.id());
             }
             Ok(v)
         });
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::GETPROP);
         interp.register_native(hooks::GETPROP, move |interp, _ctx, args| {
             // Snapshot lookup + flow-dependence diff.
             interp.clock.tick(6);
             let obj = arg(args, 0);
             let key = key_of(&arg(args, 1));
             let base = opt_str(&arg(args, 2));
+            let mut e = eng.borrow_mut();
+            e.tally.bump(i);
             if let Value::Object(o) = &obj {
-                let mut e = eng.borrow_mut();
                 e.task_read(crate::tasks::object_location(o.id()));
                 e.prop_read(o.id(), &key, base.as_deref());
             }
+            drop(e);
             interp.get_property(&obj, &key)
         });
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::SETPROP);
         interp.register_native(hooks::SETPROP, move |interp, ctx, args| {
             // Effective-stamp diff, WAW check, snapshot update.
             interp.clock.tick(10);
+            eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
             let key = key_of(&arg(args, 1));
             let value = arg(args, 2);
@@ -762,9 +804,11 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::SETPROP2);
         interp.register_native(hooks::SETPROP2, move |interp, ctx, args| {
             // Read check + write check + compound evaluation.
             interp.clock.tick(14);
+            eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
             let key = key_of(&arg(args, 1));
             let op = key_of(&arg(args, 2));
@@ -783,8 +827,10 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::UPDATE_PROP);
         interp.register_native(hooks::UPDATE_PROP, move |interp, ctx, args| {
             interp.clock.tick(12);
+            eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
             let key = key_of(&arg(args, 1));
             let delta = ops::to_number(&arg(args, 2));
@@ -802,8 +848,10 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     }
     {
         let eng = engine.clone();
+        let i = idx(hooks::MCALL);
         interp.register_native(hooks::MCALL, move |interp, ctx, args| {
             interp.clock.tick(8);
+            eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
             let key = key_of(&arg(args, 1));
             let base = opt_str(&arg(args, 2));

@@ -32,8 +32,11 @@
 //! Determinism: the virtual clock is seeded, so analysis results do not
 //! depend on scheduling. The collector slots results by job index, which
 //! makes the merged [`FleetOutcome`] independent of completion order; the
-//! only nondeterministic fields are `wall_ms`/`worker` (excluded from the
-//! table renderings and zeroed by [`FleetOutcome::canonical`]).
+//! only nondeterministic fields are `wall_ms`/`worker` and the wall-clock
+//! half of the observability record (excluded from the table renderings
+//! and zeroed by [`FleetOutcome::canonical`]).
+
+#![deny(missing_docs)]
 
 use crate::classify::NestClassification;
 use crate::pipeline::AppRun;
@@ -124,13 +127,19 @@ impl Default for FleetPolicy {
 pub struct NestReport {
     /// Loop-header display name, e.g. `for(3)`.
     pub name: String,
+    /// Share of total in-loop time spent in this nest, as a percentage.
     pub pct_loop_time: f64,
+    /// How many times the nest was entered.
     pub instances: u64,
     /// Mean trips ± stddev, pre-rendered (`"120±5"`).
     pub trips: String,
+    /// Trip-count divergence bucket (`low` / `high`), pre-rendered.
     pub divergence: String,
+    /// Whether any iteration touched the DOM.
     pub dom_access: bool,
+    /// Dependence-breaking difficulty bucket (Table 3 "brk-deps").
     pub dependence_difficulty: String,
+    /// Overall parallelization difficulty bucket (Table 3 "parallel").
     pub parallelization_difficulty: String,
 }
 
@@ -141,28 +150,40 @@ pub struct WarningReport {
     pub kind: String,
     /// Human sentence for the kind.
     pub detail: String,
+    /// What the warning is about (variable or property name).
     pub subject: String,
     /// Rendered per-level characterization (`while(24) ok ok → ...`).
     pub characterization: String,
+    /// How many dynamic occurrences were deduplicated into this row.
     pub count: u64,
 }
 
 /// Everything one worker reports back about one application.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppReport {
+    /// Display name (Table 1 "Name").
     pub app: String,
+    /// Short identifier for files/CLI.
     pub slug: String,
     /// Instrumentation mode the app ran under.
     pub mode: String,
-    /// Virtual-clock timings (Table 2 columns).
+    /// Virtual-clock total time (Table 2 "Total"), in simulated ms.
     pub total_ms: f64,
+    /// Simulated-profiler active time (Table 2 "Active"), in simulated ms.
     pub active_ms: f64,
+    /// Time with ≥1 loop open (Table 2 "In Loops"), in simulated ms.
     pub loops_ms: f64,
+    /// `loops_ms / total_ms`, as a percentage.
     pub loop_pct: f64,
     /// All classified nests, dominant first (Table 3 applies its coverage
     /// cutoff at render time).
     pub nests: Vec<NestReport>,
+    /// Deduplicated dependence warnings (Fig. 6 style).
     pub warnings: Vec<WarningReport>,
+    /// Phase spans and event counters for the run (see [`crate::obs`]).
+    /// Tick-denominated fields are deterministic; wall fields are zeroed
+    /// by [`AppReport::canonical`].
+    pub obs: crate::obs::RunObs,
     /// Real wall-clock the worker spent on this app. Nondeterministic.
     pub wall_ms: f64,
     /// Which worker ran the job. Nondeterministic.
@@ -173,7 +194,9 @@ impl AppReport {
     /// Reduce a finished [`AppRun`] to plain data. Runs on the worker
     /// thread, while the engine is still alive.
     pub fn from_run(app: &str, slug: &str, mode: Mode, run: &AppRun) -> AppReport {
+        let analyze_start = std::time::Instant::now();
         let nest_rows = run.nests();
+        let analyze_us = analyze_start.elapsed().as_micros() as u64;
         let engine = run.engine.borrow();
         let nests = nest_rows
             .iter()
@@ -204,6 +227,8 @@ impl AppReport {
                 count: w.count,
             })
             .collect();
+        let mut obs = run.obs.clone();
+        obs.push_post_phase("analyze", analyze_us);
         AppReport {
             app: app.to_string(),
             slug: slug.to_string(),
@@ -214,6 +239,7 @@ impl AppReport {
             loop_pct: 100.0 * run.loop_fraction(),
             nests,
             warnings,
+            obs,
             wall_ms: 0.0,
             worker: 0,
         }
@@ -222,6 +248,7 @@ impl AppReport {
     /// Copy with the nondeterministic fields zeroed.
     pub fn canonical(&self) -> AppReport {
         AppReport {
+            obs: self.obs.canonical(),
             wall_ms: 0.0,
             worker: 0,
             ..self.clone()
@@ -235,14 +262,26 @@ pub enum AppStatus {
     /// Analysis completed; the report is present.
     Ok,
     /// The job reported an error (after `attempts` tries).
-    Failed { error: String, attempts: u32 },
+    Failed {
+        /// The final error message.
+        error: String,
+        /// How many attempts were consumed before giving up.
+        attempts: u32,
+    },
     /// The job panicked; the panic payload is recorded.
-    Panicked { message: String },
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// The watchdog cancelled a runaway app (tick budget or wall cap).
-    TimedOut { budget: String },
+    TimedOut {
+        /// Which budget fired, human-readable.
+        budget: String,
+    },
 }
 
 impl AppStatus {
+    /// Whether the app completed successfully.
     pub fn is_ok(&self) -> bool {
         matches!(self, AppStatus::Ok)
     }
@@ -273,8 +312,11 @@ impl AppStatus {
 /// the output.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppOutcome {
+    /// Display name (Table 1 "Name").
     pub app: String,
+    /// Short identifier for files/CLI.
     pub slug: String,
+    /// Terminal status of the app's analysis.
     pub status: AppStatus,
     /// How many attempts were consumed (1 for a first-try success).
     pub attempts: u32,
@@ -287,10 +329,13 @@ pub struct AppOutcome {
 /// status, and partial success is a first-class outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetOutcome {
+    /// Instrumentation mode every job ran under.
     pub mode: String,
+    /// Workload scale factor the jobs were built with.
     pub scale: u32,
     /// Worker-pool size used. Nondeterministic across configurations.
     pub workers: usize,
+    /// Per-app results, in job order.
     pub apps: Vec<AppOutcome>,
 }
 
@@ -305,6 +350,7 @@ impl FleetOutcome {
         self.apps.iter().filter(|a| !a.status.is_ok()).collect()
     }
 
+    /// Whether every app completed successfully.
     pub fn all_ok(&self) -> bool {
         self.failures().is_empty()
     }
@@ -447,8 +493,11 @@ impl FleetOutcome {
 /// `panic:RATE,hang:RATE,error:RATE` (each clause optional).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FaultSpec {
+    /// Probability an attempt panics.
     pub panic: f64,
+    /// Probability an attempt hangs until the watchdog fires.
     pub hang: f64,
+    /// Probability an attempt reports a transient error.
     pub error: f64,
 }
 
@@ -476,6 +525,7 @@ impl FaultSpec {
         Ok(spec)
     }
 
+    /// Whether no fault class has a nonzero rate (injection disabled).
     pub fn is_zero(&self) -> bool {
         self.panic == 0.0 && self.hang == 0.0 && self.error == 0.0
     }
@@ -505,11 +555,14 @@ fn splitmix64(mut x: u64) -> u64 {
 /// injected error can clear on retry.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
+    /// Injection rates per fault class.
     pub spec: FaultSpec,
+    /// Seed mixing into every roll.
     pub seed: u64,
 }
 
 impl FaultPlan {
+    /// Build a plan from a spec and a seed.
     pub fn new(spec: FaultSpec, seed: u64) -> FaultPlan {
         FaultPlan { spec, seed }
     }
@@ -766,6 +819,7 @@ mod tests {
                 characterization: "for(6) ok dependence".to_string(),
                 count: 3,
             }],
+            obs: crate::obs::RunObs::default(),
             wall_ms: 0.0,
             worker: 0,
         }

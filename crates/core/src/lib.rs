@@ -26,7 +26,10 @@
 //! * [`engine`] — hook runtime wiring the instrumentation to the analysis;
 //! * [`classify`] — Table 3 columns 5–8 and the Amdahl model;
 //! * [`report`] — paper-style rendering + the local "github" repo;
-//! * [`pipeline`] — the Fig. 5 proxy dataflow, end to end.
+//! * [`pipeline`] — the Fig. 5 proxy dataflow, end to end;
+//! * [`fleet`] — the fault-tolerant thread-per-app fleet supervisor;
+//! * [`obs`] — phase-stamped tracing, counters, and the versioned
+//!   `--metrics`/`--trace` surfaces.
 //!
 //! ```
 //! use ceres_core::engine::run_instrumented;
@@ -46,6 +49,7 @@
 pub mod classify;
 pub mod engine;
 pub mod fleet;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod stack;
@@ -61,6 +65,9 @@ pub use engine::{attach_engine, run_instrumented, Engine, EngineRef, Warning, Wa
 pub use fleet::{
     default_workers, run_fleet, run_fleet_with, AppOutcome, AppReport, AppStatus, Fault, FaultPlan,
     FaultSpec, FleetJob, FleetOutcome, FleetPolicy, JobError, NestReport, WarningReport,
+};
+pub use obs::{
+    chrome_trace, AppMetrics, Counters, FleetMetrics, PhaseSpan, RunObs, METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;

@@ -76,6 +76,8 @@ pub struct AppRun {
     /// The combined, *uninstrumented* JavaScript the app ran (loop ids in
     /// reports refer to this source).
     pub source: String,
+    /// Phase spans and event counters for the run (see [`crate::obs`]).
+    pub obs: crate::obs::RunObs,
 }
 
 impl AppRun {
@@ -147,6 +149,7 @@ pub fn analyze(
     interaction: Interaction<'_>,
 ) -> Result<AppRun, Control> {
     let mut steps = Vec::new();
+    let mut recorder = crate::obs::SpanRecorder::new();
 
     // Step 1: request/response through the proxy.
     steps.push(format!(
@@ -171,10 +174,15 @@ pub fn analyze(
         }
     };
 
-    // Step 2: instrument.
+    // Step 2: instrument. The virtual clock only runs while JavaScript
+    // executes, so the parse/rewrite spans carry wall time but a zero-width
+    // tick range.
+    let parse_start = recorder.now_us();
     let mut program = ceres_parser::parse_program(&combined_source)
         .map_err(|e| Control::Fatal(format!("parse error in {url}: {e}")))?;
     let loops = ceres_ast::assign_loop_ids(&mut program);
+    recorder.record("parse", 0, 0, parse_start);
+    let rewrite_start = recorder.now_us();
     let instrumented = ceres_ast::program_to_source(&instrument_program(&program, opts.mode));
     steps.push(format!(
         "2: proxy instruments the JavaScript ({:?} mode, {} loops found)",
@@ -195,8 +203,10 @@ pub fn analyze(
         }
     }
     steps.push("3: proxy sends the instrumented document to the browser".to_string());
+    recorder.record("rewrite", 0, 0, rewrite_start);
 
     // Step 4: the browser runs the app and the user exercises it.
+    let interp_start = recorder.now_us();
     let mut interp = Interp::new(opts.seed);
     interp.max_ticks = opts.max_ticks;
     interp.clock.set_wall_cap(opts.wall_budget);
@@ -212,12 +222,38 @@ pub fn analyze(
     interaction(&mut interp, &dom)?;
     interp.run_events(opts.max_events)?;
     steps.push("4: user exercises the app; instrumentation gathers results".to_string());
+    recorder.record("interp", 0, interp.clock.now_ticks(), interp_start);
 
     // Step 5: results come back from the page.
     let total_ms = interp.clock.now_ms();
     let active_ms = interp.clock.active_ms();
     let loops_ms = engine.borrow().lw_loop_ticks as f64 / TICKS_PER_MS as f64;
     steps.push("5: browser sends analysis results back through the proxy".to_string());
+
+    let counters = {
+        let e = engine.borrow();
+        crate::obs::Counters {
+            interp_ticks: interp.clock.now_ticks(),
+            samples: interp.clock.total_samples(),
+            events: interp.events_processed,
+            hook_calls: e.tally.total(),
+            hooks: e
+                .tally
+                .nonzero()
+                .into_iter()
+                .map(|(name, n)| (name.to_string(), n))
+                .collect(),
+            stack_pushes: e.stack_pushes,
+            warnings: e.warnings.len() as u64,
+            retries: 0,
+            watchdog_arms: 0,
+        }
+    };
+    let obs = crate::obs::RunObs {
+        spans: recorder.into_spans(),
+        counters,
+        wall_start_us: 0,
+    };
 
     Ok(AppRun {
         total_ms,
@@ -228,6 +264,7 @@ pub fn analyze(
         console: interp.console.clone(),
         steps,
         source: combined_source,
+        obs,
     })
 }
 
@@ -238,6 +275,7 @@ pub fn publish_report(
     repo: &mut ReportRepo,
     app: &str,
 ) -> std::io::Result<String> {
+    let report_start = std::time::Instant::now();
     let engine = run.engine.borrow();
     let nests = {
         // classify needs the engine borrow dropped inside run.nests()
@@ -271,6 +309,9 @@ pub fn publish_report(
         .push(format!("6: proxy renders reports and commits ({id})"));
     run.steps
         .push("7: results pushed to the report repository".to_string());
+    drop(engine);
+    run.obs
+        .push_post_phase("report", report_start.elapsed().as_micros() as u64);
     Ok(id)
 }
 

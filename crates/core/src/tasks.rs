@@ -1,7 +1,7 @@
 //! Task-parallelism limit study — the Fortuna et al. baseline.
 //!
 //! The paper's related work (Sec. 6) contrasts its *data*-parallelism
-//! findings with Fortuna et al. [20], "A limit study of JavaScript
+//! findings with Fortuna et al. \[20\], "A limit study of JavaScript
 //! parallelism" (IISWC '10), which found speedups of 2.2–45× (avg 8.9×)
 //! coming mostly from *independent tasks* rather than loops. This module
 //! implements that style of limit study over our runs so the two views can

@@ -1,6 +1,6 @@
 //! Imperative-to-functional loop refactoring (paper Sec. 5.3 / 5.5).
 //!
-//! "Refactoring tools [23] that can transform imperative iteration into
+//! "Refactoring tools \[23\] that can transform imperative iteration into
 //! functional style could make these loops amenable to parallelism via
 //! libraries with parallel operators such as RiverTrail." This module is
 //! that transform for the canonical counted loop:

@@ -125,6 +125,9 @@ pub struct Interp {
     pub console: Vec<String>,
     /// Optional tick budget; exceeding it aborts with `Control::Fatal`.
     pub max_ticks: Option<u64>,
+    /// Events drained from the queue by [`Interp::run_events`] over the
+    /// interpreter's lifetime (timers and dispatched callbacks).
+    pub events_processed: u64,
     /// Analysis observer (set by `ceres-core`, used by `ceres-dom`).
     pub monitor: Option<Rc<dyn Monitor>>,
     pub(crate) queue: BinaryHeap<Scheduled>,
@@ -149,6 +152,7 @@ impl Interp {
             clock: Clock::new(),
             console: Vec::new(),
             max_ticks: None,
+            events_processed: 0,
             monitor: None,
             queue: BinaryHeap::new(),
             queue_seq: 0,
@@ -1141,6 +1145,7 @@ impl Interp {
             }
             r?;
             ran += 1;
+            self.events_processed += 1;
         }
         Ok(ran)
     }

@@ -50,6 +50,9 @@ pub fn fleet_jobs(
     faults: Option<FaultPlan>,
 ) -> Vec<FleetJob> {
     let policy = policy.clone();
+    // Shared epoch so every app's obs record is stamped with its offset
+    // from the start of the fleet, letting a chrome trace show occupancy.
+    let epoch = Instant::now();
     all()
         .into_iter()
         .enumerate()
@@ -80,6 +83,7 @@ pub fn fleet_jobs(
                     let mut report = AppReport::from_run(&app, &slug, mode, &run);
                     report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                     report.worker = worker;
+                    report.obs.wall_start_us = start.duration_since(epoch).as_micros() as u64;
                     Ok(report)
                 }),
             }

@@ -8,7 +8,9 @@
 
 pub mod fleet;
 pub mod native;
+pub mod overhead;
 pub mod registry;
 
 pub use fleet::{fleet_jobs, run_fleet_report, run_fleet_report_with};
+pub use overhead::{overhead_ledger, render_overhead, OverheadRow};
 pub use registry::{all, by_slug, run_workload, run_workload_budgeted, PaperExpectation, Workload};

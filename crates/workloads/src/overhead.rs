@@ -1,0 +1,207 @@
+//! Instrumentation-overhead ledger (paper Sec. 3.4).
+//!
+//! The paper reports that dependence instrumentation slows applications
+//! down far more than loop profiling, which in turn costs more than the
+//! lightweight call-tracking mode. This module reproduces that ledger on
+//! the virtual clock: each workload runs once per mode, and the slowdown
+//! is the ratio of final virtual-clock readings. Because every hook
+//! charges a fixed tick price (see `ceres_instrument::hooks`), the ratios
+//! are exactly reproducible — no wall-clock noise.
+//!
+//! Rendered by `repro overhead`.
+
+use crate::registry::{all, run_workload};
+use ceres_core::Mode;
+
+/// Per-app overhead measurements: final virtual-clock readings under each
+/// of the three instrumentation modes, in ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Display name (Table 1 "Name").
+    pub app: String,
+    /// Short identifier for files/CLI.
+    pub slug: String,
+    /// Ticks under [`Mode::Lightweight`] (the baseline).
+    pub light_ticks: u64,
+    /// Ticks under [`Mode::LoopProfile`].
+    pub loop_ticks: u64,
+    /// Ticks under [`Mode::Dependence`].
+    pub dep_ticks: u64,
+}
+
+impl OverheadRow {
+    /// Loop-profiling slowdown relative to lightweight (×).
+    pub fn loop_slowdown(&self) -> f64 {
+        ratio(self.loop_ticks, self.light_ticks)
+    }
+
+    /// Dependence-instrumentation slowdown relative to lightweight (×).
+    pub fn dep_slowdown(&self) -> f64 {
+        ratio(self.dep_ticks, self.light_ticks)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Run every registered workload under all three modes and collect the
+/// per-app tick readings. Errors in one app skip its row rather than
+/// aborting the ledger (mirroring the fleet's partial-success stance).
+pub fn overhead_ledger(scale: u32) -> Vec<OverheadRow> {
+    all()
+        .iter()
+        .filter_map(|w| {
+            let ticks = |mode: Mode| -> Option<u64> {
+                run_workload(w, mode, scale)
+                    .ok()
+                    .map(|run| run.obs.counters.interp_ticks)
+            };
+            Some(OverheadRow {
+                app: w.name.to_string(),
+                slug: w.slug.to_string(),
+                light_ticks: ticks(Mode::Lightweight)?,
+                loop_ticks: ticks(Mode::LoopProfile)?,
+                dep_ticks: ticks(Mode::Dependence)?,
+            })
+        })
+        .collect()
+}
+
+/// Sec. 3.4 table: per-app ticks under each mode and the slowdown factors
+/// relative to the lightweight baseline, with a geometric-mean summary
+/// row. Entirely tick-denominated, so the output is deterministic.
+pub fn render_overhead(rows: &[OverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22}{:>12}{:>12}{:>12}{:>9}{:>9}\n",
+        "Name", "light", "loop-prof", "depend", "loop x", "dep x"
+    ));
+    let mut loop_log_sum = 0.0;
+    let mut dep_log_sum = 0.0;
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22}{:>12}{:>12}{:>12}{:>9.2}{:>9.2}\n",
+            r.app,
+            r.light_ticks,
+            r.loop_ticks,
+            r.dep_ticks,
+            r.loop_slowdown(),
+            r.dep_slowdown(),
+        ));
+        loop_log_sum += r.loop_slowdown().max(f64::MIN_POSITIVE).ln();
+        dep_log_sum += r.dep_slowdown().max(f64::MIN_POSITIVE).ln();
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        out.push_str(&format!(
+            "{:<22}{:>12}{:>12}{:>12}{:>9.2}{:>9.2}\n",
+            "geomean",
+            "",
+            "",
+            "",
+            (loop_log_sum / n).exp(),
+            (dep_log_sum / n).exp(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdowns_are_ratios_over_the_lightweight_baseline() {
+        let r = OverheadRow {
+            app: "X".to_string(),
+            slug: "x".to_string(),
+            light_ticks: 100,
+            loop_ticks: 150,
+            dep_ticks: 400,
+        };
+        assert!((r.loop_slowdown() - 1.5).abs() < 1e-12);
+        assert!((r.dep_slowdown() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let r = OverheadRow {
+            app: "X".to_string(),
+            slug: "x".to_string(),
+            light_ticks: 0,
+            loop_ticks: 5,
+            dep_ticks: 9,
+        };
+        assert_eq!(r.loop_slowdown(), 0.0);
+        assert_eq!(r.dep_slowdown(), 0.0);
+    }
+
+    #[test]
+    fn ledger_reproduces_the_paper_overhead_ordering() {
+        // Sec. 3.4: dependence instrumentation is by far the most
+        // expensive mode; loop profiling costs more than lightweight.
+        let rows = overhead_ledger(1);
+        assert_eq!(rows.len(), 12, "every app must produce a row");
+        for r in &rows {
+            assert!(
+                r.dep_ticks > r.loop_ticks && r.loop_ticks >= r.light_ticks,
+                "{}: expected dep > loop >= light, got {} / {} / {}",
+                r.slug,
+                r.dep_ticks,
+                r.loop_ticks,
+                r.light_ticks
+            );
+        }
+        // The aggregate gap is large: dependence's overhead *above the
+        // baseline* should dwarf loop-profiling's on the geometric mean.
+        let n = rows.len() as f64;
+        let geo = |f: &dyn Fn(&OverheadRow) -> f64| {
+            (rows.iter().map(|r| f(r).ln()).sum::<f64>() / n).exp()
+        };
+        let loop_x = geo(&|r| r.loop_slowdown());
+        let dep_x = geo(&|r| r.dep_slowdown());
+        assert!(
+            dep_x - 1.0 > 5.0 * (loop_x - 1.0),
+            "dependence geomean {dep_x:.2}x vs loop-profiling {loop_x:.2}x"
+        );
+    }
+
+    #[test]
+    fn ledger_is_deterministic() {
+        let a = overhead_ledger(1);
+        let b = overhead_ledger(1);
+        assert_eq!(a, b, "tick readings must not vary across runs");
+        assert_eq!(render_overhead(&a), render_overhead(&b));
+    }
+
+    #[test]
+    fn rendering_includes_every_app_and_a_geomean() {
+        let rows = vec![
+            OverheadRow {
+                app: "A".to_string(),
+                slug: "a".to_string(),
+                light_ticks: 10,
+                loop_ticks: 20,
+                dep_ticks: 80,
+            },
+            OverheadRow {
+                app: "B".to_string(),
+                slug: "b".to_string(),
+                light_ticks: 10,
+                loop_ticks: 10,
+                dep_ticks: 40,
+            },
+        ];
+        let table = render_overhead(&rows);
+        assert!(table.contains("A"), "{table}");
+        assert!(table.contains("geomean"), "{table}");
+        // geomean of 2.0 and 1.0 is sqrt(2) ≈ 1.41; of 8 and 4 is ~5.66.
+        assert!(table.contains("1.41"), "{table}");
+        assert!(table.contains("5.66"), "{table}");
+    }
+}

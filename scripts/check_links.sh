@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline markdown link checker: every *relative* link and image target in
+# the repo's documentation must exist in the tree. External http(s) links
+# and pure anchors are skipped (CI has no business depending on the
+# network being up).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md)
+
+fail=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Inline links/images: [text](target) — strip titles and anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $f -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$f" | sed -E 's/^\]\(//; s/\)$//; s/ "[^"]*"$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check failed"
+  exit 1
+fi
+echo "link check ok: ${#files[@]} files scanned"

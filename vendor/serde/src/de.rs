@@ -150,6 +150,38 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| Error(format!("expected object, got {v}")))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize, H: Default + std::hash::BuildHasher> Deserialize
+    for std::collections::HashMap<String, V, H>
+{
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| Error(format!("expected object, got {v}")))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for RawValue {
+    fn deserialize_value(v: &RawValue) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! tuple_impl {
     ($len:expr => $(($idx:tt $name:ident))+) => {
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
