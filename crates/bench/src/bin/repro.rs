@@ -23,6 +23,13 @@
 //!     metrics are byte-identical across worker counts.
 //! repro fleet-bench [--workers N] [--json FILE]
 //!     time sequential vs parallel fleet analysis, emit speedup JSON
+//! repro bench [--json BENCH_<n>.json] [--baseline FILE] [--label S]
+//!             [--scale N] [--reps N]
+//!     perf-trajectory harness: the 12-app fleet under all three modes,
+//!     best-of-reps wall time + deterministic virtual-clock ticks +
+//!     per-phase spans, with the Sec. 3.4 geomean slowdown per mode.
+//!     `--baseline` embeds a previous BENCH_*.json so one artifact holds
+//!     the before/after pair (see docs/PERFORMANCE.md)
 //! repro overhead
 //!     Sec. 3.4 instrumentation-overhead ledger: per-app virtual-clock
 //!     ticks under each mode and the slowdown vs the lightweight baseline
@@ -56,6 +63,7 @@ fn main() {
         "speedup" => speedup(),
         "fleet" | "--parallel" => fleet(&argv[1..]),
         "fleet-bench" => fleet_bench(&argv[1..]),
+        "bench" => bench(&argv[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, fig4, table1, table2, table3, fig5, fig6, amdahl, tasklimit,
@@ -68,7 +76,7 @@ fn main() {
         other => {
             eprintln!("unknown target `{other}`");
             eprintln!(
-                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit overhead speedup fleet fleet-bench all"
+                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit overhead speedup fleet fleet-bench bench all"
             );
             std::process::exit(2);
         }
@@ -534,6 +542,91 @@ fn fleet_bench(args: &[String]) {
             std::process::exit(1);
         }
         println!("JSON written to {path}");
+    }
+}
+
+/// The recorded perf trajectory: run the 12-app fleet under all three
+/// modes, best-of-`reps` wall time plus deterministic tick readings, and
+/// write the versioned `BENCH_<n>.json` artifact. With `--baseline FILE`
+/// the previous report is embedded so one file carries the before/after
+/// pair and the headline dependence-mode speedup. See
+/// `docs/PERFORMANCE.md` for the playbook.
+fn bench(args: &[String]) {
+    let mut json: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut label = "current".to_string();
+    let mut scale: u32 = 1;
+    let mut reps: u32 = 3;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = Some(value(args, i, "--json"));
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = Some(value(args, i, "--baseline"));
+                i += 2;
+            }
+            "--label" => {
+                label = value(args, i, "--label");
+                i += 2;
+            }
+            "--scale" => {
+                scale = match value(args, i, "--scale").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--scale needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--reps" => {
+                reps = match value(args, i, "--reps").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--reps needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown bench argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    header("Fleet benchmark: 12 apps x 3 modes (wall + virtual clock)");
+    let entry = ceres_workloads::run_bench(&label, scale, reps);
+    let report = match &baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let base = ceres_workloads::BenchReport::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            ceres_workloads::BenchReport::with_baseline(base, entry)
+        }
+        None => ceres_workloads::BenchReport::single(entry),
+    };
+    print!("{}", ceres_workloads::render_bench(&report));
+    if let Some(path) = &json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench JSON written to {path}");
     }
 }
 

@@ -504,8 +504,7 @@ pub fn dependence_difficulty(engine: &Engine, warnings: &[&Warning]) -> Difficul
             }
             WarningKind::SharedPropWrite => {
                 let disjoint = engine
-                    .subject_stats
-                    .get(&w.subject)
+                    .subject_stats_for(&w.subject)
                     .map(|s| s.disjointness() >= 0.8)
                     .unwrap_or(false);
                 if disjoint {
@@ -562,8 +561,7 @@ pub fn difficulty_explain(engine: &Engine, warnings: &[&Warning]) -> String {
     for w in warnings {
         let blocking = blocks_nest(engine, w);
         let disjoint = engine
-            .subject_stats
-            .get(&w.subject)
+            .subject_stats_for(&w.subject)
             .map(|s| s.disjointness())
             .unwrap_or(-1.0);
         out.push_str(&format!(

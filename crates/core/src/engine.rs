@@ -6,16 +6,37 @@
 //! dependence hooks maintain stamps, snapshots and warnings; tagged host
 //! objects (DOM/Canvas/WebGL) are attributed to the loops open at access
 //! time via the interpreter's [`Monitor`].
+//!
+//! # Hot-path design (see `docs/PERFORMANCE.md`)
+//!
+//! The dependence hooks fire per property access, so everything they touch
+//! is keyed by interned [`Sym`]s and small `Copy` ids rather than owned
+//! strings:
+//!
+//! * loop stamps live in an interned table (`stamps`); side tables store
+//!   `u32` stamp ids, and the stamp for the current stack is built at most
+//!   once per stack mutation instead of once per write;
+//! * accesses are recorded as fixed-size [`hooks::AccessEvent`]s in a
+//!   batch buffer and drained at ordering barriers (loop enter/iter/exit,
+//!   task begin/end, buffer full) — hook closures only append;
+//! * characterizations are computed as per-loop bitsets ([`CharBits`]) and
+//!   expanded into rendered [`Characterization`]s only when a *new*
+//!   deduplicated warning is materialized.
 
 use crate::stack::{
-    characterize_write, empty_stamp, flow_dependence, is_problematic, Characterization, StackEntry,
-    Stamp,
+    characterize_write, characterize_write_bits, empty_stamp, flow_dependence,
+    flow_dependence_bits, is_problematic, CharBits, Characterization, StackEntry, Stamp,
+    CHAR_BITS_MAX_DEPTH,
 };
 use crate::welford::Welford;
 use ceres_ast::{LoopId, LoopInfo};
-use ceres_instrument::{hooks, Mode};
+use ceres_instrument::{
+    hooks::{self, AccessEvent, AccessKind},
+    Mode,
+};
+use ceres_interp::intern::{self, FxHashMap, FxHashSet, Sym};
 use ceres_interp::{ops, CallCtx, Interp, JsResult, Monitor, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// Per-syntactic-loop statistics (paper Sec. 3.2).
@@ -86,7 +107,7 @@ pub struct SubjectStats {
     /// Innermost (loop, instance) the current window belongs to.
     ctx: Option<(LoopId, u64)>,
     ctx_writes: u64,
-    ctx_locations: HashSet<(u64, String)>,
+    ctx_locations: FxHashSet<(u64, Sym)>,
     /// Sum of per-instance disjointness ratios and window count.
     ratio_sum: f64,
     windows: u64,
@@ -95,7 +116,7 @@ pub struct SubjectStats {
 const KEYSET_CAP: usize = 4096;
 
 impl SubjectStats {
-    fn record(&mut self, obj_id: u64, key: &str, ctx: Option<(LoopId, u64)>) {
+    fn record(&mut self, obj_id: u64, key: Sym, ctx: Option<(LoopId, u64)>) {
         self.writes += 1;
         if self.ctx != ctx {
             self.fold_window();
@@ -103,7 +124,7 @@ impl SubjectStats {
         }
         self.ctx_writes += 1;
         if self.ctx_locations.len() < KEYSET_CAP {
-            self.ctx_locations.insert((obj_id, key.to_string()));
+            self.ctx_locations.insert((obj_id, key));
         }
     }
 
@@ -152,7 +173,7 @@ pub struct Engine {
     // --- characterization stack ---
     stack: Vec<StackEntry>,
     start_ticks: Vec<u64>,
-    instance_counters: HashMap<LoopId, u64>,
+    instance_counters: FxHashMap<LoopId, u64>,
 
     // --- loop profiling ---
     pub records: HashMap<LoopId, LoopRecord>,
@@ -169,21 +190,34 @@ pub struct Engine {
     /// Restrict recording to nests containing this loop (the paper's
     /// "focus on a specific loop").
     pub focus: Option<LoopId>,
-    binding_stamps: HashMap<u64, Stamp>,
-    object_stamps: HashMap<u64, Stamp>,
-    write_snapshots: HashMap<(u64, String), Stamp>,
+    /// Interned loop-stack stamps. Entry 0 is the empty stamp; events and
+    /// all side tables refer to stamps by `u32` index.
+    stamps: Vec<Stamp>,
+    /// Cached id of the stamp for the *current* stack, invalidated on
+    /// every stack mutation — one stamp allocation per stack epoch, not
+    /// one per access.
+    cur_stamp: Option<u32>,
+    /// Batched access events, drained at ordering barriers.
+    pending: Vec<AccessEvent>,
+    binding_stamps: FxHashMap<u64, u32>,
+    object_stamps: FxHashMap<u64, u32>,
+    write_snapshots: FxHashMap<(u64, Sym), u32>,
     pub warnings: Vec<Warning>,
-    warning_index: HashMap<(WarningKind, String, String), usize>,
-    // key: (kind, subject|op, rendered characterization)
-    pub subject_stats: HashMap<String, SubjectStats>,
+    /// (kind, subject, op) → indices of materialized warnings with that
+    /// key; candidates are distinguished by characterization (usually 1).
+    warning_index: FxHashMap<(WarningKind, Sym, Sym), Vec<usize>>,
+    /// (base, key) → composed subject (`p.vX`, `data[*]`) cache, so the
+    /// `format!` runs once per distinct pair, not per access.
+    subject_cache: FxHashMap<(Sym, Sym), Sym>,
+    pub subject_stats: FxHashMap<Sym, SubjectStats>,
 
     // --- runtime type observation (paper Sec. 2.4 / 4.2) ---
-    /// (display name, binding id) → set of runtime types written *inside
+    /// (subject, binding id) → set of runtime types written *inside
     /// loops*. Keyed per binding so unrelated locals that share a name in
     /// different functions don't alias; a key with more than one type
     /// (ignoring undefined/null, per the paper's definition) is
     /// polymorphic. Property subjects use binding id 0.
-    pub observed_types: HashMap<(String, u64), BTreeSet<&'static str>>,
+    pub observed_types: FxHashMap<(Sym, u64), BTreeSet<&'static str>>,
 
     // --- task-parallelism limit study (Fortuna et al. baseline) ---
     /// Completed tasks in execution order.
@@ -206,20 +240,24 @@ impl Engine {
             stack_pushes: 0,
             stack: Vec::new(),
             start_ticks: Vec::new(),
-            instance_counters: HashMap::new(),
+            instance_counters: FxHashMap::default(),
             records: HashMap::new(),
             nest_root: HashMap::new(),
             lw_open: 0,
             lw_start: 0,
             lw_loop_ticks: 0,
             focus: None,
-            binding_stamps: HashMap::new(),
-            object_stamps: HashMap::new(),
-            write_snapshots: HashMap::new(),
+            stamps: vec![empty_stamp()],
+            cur_stamp: Some(0),
+            pending: Vec::with_capacity(hooks::EVENT_BATCH),
+            binding_stamps: FxHashMap::default(),
+            object_stamps: FxHashMap::default(),
+            write_snapshots: FxHashMap::default(),
             warnings: Vec::new(),
-            warning_index: HashMap::new(),
-            subject_stats: HashMap::new(),
-            observed_types: HashMap::new(),
+            warning_index: FxHashMap::default(),
+            subject_cache: FxHashMap::default(),
+            subject_stats: FxHashMap::default(),
+            observed_types: FxHashMap::default(),
             tasks: Vec::new(),
             task_depth: 0,
             dom_by_loop: HashMap::new(),
@@ -227,20 +265,83 @@ impl Engine {
         }
     }
 
-    /// Current stack as a stamp.
-    fn stamp(&self) -> Stamp {
-        Rc::from(self.stack.as_slice())
+    /// Id of the stamp for the current stack, building (and caching) the
+    /// table entry on first use after a stack mutation.
+    pub fn current_stamp_id(&mut self) -> u32 {
+        if self.stack.is_empty() {
+            return 0;
+        }
+        if let Some(id) = self.cur_stamp {
+            return id;
+        }
+        let id = self.stamps.len() as u32;
+        self.stamps.push(Rc::from(self.stack.as_slice()));
+        self.cur_stamp = Some(id);
+        id
     }
 
-    /// Is dependence recording active right now (inside a loop; inside the
-    /// focused nest when a focus is set)?
-    fn recording(&self) -> bool {
-        if self.stack.is_empty() {
+    /// Was dependence recording active for an access under `entries`
+    /// (inside a loop; inside the focused nest when a focus is set)?
+    fn recording_at(&self, entries: &[StackEntry]) -> bool {
+        if entries.is_empty() {
             return false;
         }
         match self.focus {
             None => true,
-            Some(f) => self.stack.iter().any(|e| e.loop_id == f),
+            Some(f) => entries.iter().any(|e| e.loop_id == f),
+        }
+    }
+
+    // ---------------- event batching ----------------
+
+    /// Append a recorded access; drains automatically when the batch
+    /// fills. Hook closures must not do analysis work themselves.
+    pub fn push_event(&mut self, ev: AccessEvent) {
+        self.pending.push(ev);
+        if self.pending.len() >= hooks::EVENT_BATCH {
+            self.flush_events();
+        }
+    }
+
+    /// Drain every buffered access event in FIFO order. Called at every
+    /// ordering barrier (loop hooks, task begin/end) and at the end of a
+    /// run; events carry their access-time stamp id so late processing
+    /// characterizes against the right loop stack.
+    pub fn flush_events(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.pending);
+        for ev in events.drain(..) {
+            self.process_event(&ev);
+        }
+        // Hand the (empty) buffer back to keep its allocation warm.
+        self.pending = events;
+    }
+
+    fn process_event(&mut self, ev: &AccessEvent) {
+        match ev.kind {
+            AccessKind::BindingStamp => {
+                self.binding_stamps.insert(ev.target, ev.stamp);
+            }
+            AccessKind::ObjStamp => {
+                self.object_stamps.insert(ev.target, ev.stamp);
+            }
+            AccessKind::VarWrite => {
+                if ev.binding != 0 {
+                    self.task_write(crate::tasks::binding_location(ev.binding));
+                }
+                self.var_write(ev);
+            }
+            AccessKind::PropRead => {
+                self.task_read(crate::tasks::object_location(ev.target));
+                self.prop_read(ev);
+            }
+            AccessKind::PropReadCompound => self.prop_read(ev),
+            AccessKind::PropWrite => {
+                self.task_write(crate::tasks::object_location(ev.target));
+                self.prop_write(ev);
+            }
         }
     }
 
@@ -263,24 +364,25 @@ impl Engine {
     }
 
     fn loop_enter(&mut self, id: LoopId, now: u64) {
+        self.flush_events();
         // Recursion detection (paper Sec. 3.3): same syntactic loop opened
         // again before it closed.
         if self.stack.iter().any(|e| e.loop_id == id) {
             let root = self.stack.first().map(|e| e.loop_id).unwrap_or(id);
             self.records.entry(id).or_default().recursion_tainted = true;
             self.records.entry(root).or_default().recursion_tainted = true;
-            self.push_warning(Warning {
-                kind: WarningKind::Recursion,
-                subject: self
-                    .loops
-                    .get(&id)
-                    .map(|l| l.display_name())
-                    .unwrap_or_else(|| format!("{id}")),
-                characterization: Vec::new(),
-                op: None,
-                nest_root: root,
-                count: 1,
-            });
+            let name = self
+                .loops
+                .get(&id)
+                .map(|l| l.display_name())
+                .unwrap_or_else(|| format!("{id}"));
+            self.push_warning_vec(
+                WarningKind::Recursion,
+                intern::intern(&name),
+                Sym::NONE,
+                Vec::new(),
+                root,
+            );
         }
         let counter = self.instance_counters.entry(id).or_insert(0);
         *counter += 1;
@@ -293,6 +395,7 @@ impl Engine {
             instance,
             iteration: 0,
         });
+        self.cur_stamp = None;
         self.stack_pushes += 1;
         self.start_ticks.push(now);
         // Lightweight totals also work in the richer modes so Table 2 can be
@@ -301,17 +404,21 @@ impl Engine {
     }
 
     fn iter(&mut self, id: LoopId) {
+        self.flush_events();
         // The hook sits at the top of the loop body, so the innermost open
         // loop is (in well-formed programs) the one being iterated. Scan
         // from the top for robustness under recursion taint.
         if let Some(e) = self.stack.iter_mut().rev().find(|e| e.loop_id == id) {
             e.iteration += 1;
+            self.cur_stamp = None;
         }
     }
 
     fn loop_exit(&mut self, id: LoopId, now: u64) {
+        self.flush_events();
         // Pop until we find the entry (robust under abnormal unwinding).
         while let Some(top) = self.stack.pop() {
+            self.cur_stamp = None;
             let start = self.start_ticks.pop().unwrap_or(now);
             let rec = self.records.entry(top.loop_id).or_default();
             rec.instances += 1;
@@ -324,68 +431,135 @@ impl Engine {
         }
     }
 
-    // ---------------- dependence hooks ----------------
+    // ---------------- dependence processing ----------------
 
-    fn stamp_binding(&mut self, binding_id: u64) {
-        self.binding_stamps.insert(binding_id, self.stamp());
+    /// Compose (and cache) a warning subject: `p.vX`, `data[*]`, `com.x`,
+    /// or `*.x` when the base expression was not a variable. Numeric keys
+    /// collapse to `[*]` so index sweeps produce one subject.
+    fn subject_sym(&mut self, base: Sym, key: Sym) -> Sym {
+        if let Some(&s) = self.subject_cache.get(&(base, key)) {
+            return s;
+        }
+        let base_str: Rc<str> = if base.is_none() {
+            Rc::from("*")
+        } else {
+            intern::resolve(base)
+        };
+        let s = if key.is_numeric() {
+            intern::intern(&format!("{base_str}[*]"))
+        } else {
+            intern::intern(&format!("{base_str}.{}", intern::resolve(key)))
+        };
+        self.subject_cache.insert((base, key), s);
+        s
     }
 
-    fn stamp_object(&mut self, obj_id: u64) {
-        self.object_stamps.insert(obj_id, self.stamp());
+    /// Entries of the stamp table entry `id`.
+    fn stamp_entries(&self, id: u32) -> Stamp {
+        self.stamps[id as usize].clone()
     }
 
-    fn push_warning(&mut self, w: Warning) {
-        let render_key: String = w
-            .characterization
-            .iter()
-            .map(|l| format!("{}:{:?}{:?}", l.loop_id, l.instance, l.iteration))
-            .collect();
-        let key = (
-            w.kind,
-            format!("{}|{}", w.subject, w.op.as_deref().unwrap_or("")),
-            render_key,
-        );
-        match self.warning_index.get(&key) {
-            Some(&i) => self.warnings[i].count += w.count,
-            None => {
-                self.warning_index.insert(key, self.warnings.len());
-                self.warnings.push(w);
+    /// Deduplicate-or-materialize a warning from its compact form. The
+    /// dedup key is (kind, subject, op) plus the characterization, which
+    /// is compared level-by-level against candidates without allocating.
+    fn push_warning_bits(
+        &mut self,
+        kind: WarningKind,
+        subject: Sym,
+        op: Sym,
+        bits: CharBits,
+        cur: &[StackEntry],
+        root: LoopId,
+    ) {
+        let key = (kind, subject, op);
+        if let Some(cands) = self.warning_index.get(&key) {
+            for &i in cands {
+                if bits.matches(&self.warnings[i].characterization, cur) {
+                    self.warnings[i].count += 1;
+                    return;
+                }
+            }
+        }
+        let w = Warning {
+            kind,
+            subject: intern::resolve(subject).to_string(),
+            characterization: bits.expand(cur),
+            op: op.is_some().then(|| intern::resolve(op).to_string()),
+            nest_root: root,
+            count: 1,
+        };
+        self.warning_index
+            .entry(key)
+            .or_default()
+            .push(self.warnings.len());
+        self.warnings.push(w);
+    }
+
+    /// [`Engine::push_warning_bits`] for already-materialized
+    /// characterizations (recursion warnings, >64-deep stacks).
+    fn push_warning_vec(
+        &mut self,
+        kind: WarningKind,
+        subject: Sym,
+        op: Sym,
+        c: Characterization,
+        root: LoopId,
+    ) {
+        let key = (kind, subject, op);
+        if let Some(cands) = self.warning_index.get(&key) {
+            for &i in cands {
+                if self.warnings[i].characterization == c {
+                    self.warnings[i].count += 1;
+                    return;
+                }
+            }
+        }
+        let w = Warning {
+            kind,
+            subject: intern::resolve(subject).to_string(),
+            characterization: c,
+            op: op.is_some().then(|| intern::resolve(op).to_string()),
+            nest_root: root,
+            count: 1,
+        };
+        self.warning_index
+            .entry(key)
+            .or_default()
+            .push(self.warnings.len());
+        self.warnings.push(w);
+    }
+
+    fn var_write(&mut self, ev: &AccessEvent) {
+        let cur = self.stamp_entries(ev.stamp);
+        if !self.recording_at(&cur) {
+            return;
+        }
+        // Unstamped binding (implicit global, host-provided):
+        // conservatively "created before all loops" (the empty stamp).
+        let stamp = match self.binding_stamps.get(&ev.binding) {
+            Some(&sid) if ev.binding != 0 => self.stamp_entries(sid),
+            _ => self.stamp_entries(0),
+        };
+        let root = cur[0].loop_id;
+        if cur.len() <= CHAR_BITS_MAX_DEPTH {
+            let bits = characterize_write_bits(&stamp, &cur);
+            if bits.problematic() {
+                self.push_warning_bits(WarningKind::VarWrite, ev.key, ev.op, bits, &cur, root);
+            }
+        } else {
+            let c = characterize_write(&stamp, &cur);
+            if is_problematic(&c) {
+                self.push_warning_vec(WarningKind::VarWrite, ev.key, ev.op, c, root);
             }
         }
     }
 
-    fn var_write(&mut self, binding_id: Option<u64>, name: &str, op: &str) {
-        if !self.recording() {
+    fn prop_write(&mut self, ev: &AccessEvent) {
+        let cur = self.stamp_entries(ev.stamp);
+        if !self.recording_at(&cur) {
             return;
         }
-        let stamp = binding_id
-            .and_then(|id| self.binding_stamps.get(&id).cloned())
-            .unwrap_or_else(
-                // Unstamped binding (implicit global, host-provided):
-                // conservatively "created before all loops".
-                empty_stamp,
-            );
-        let c = characterize_write(&stamp, &self.stack);
-        if is_problematic(&c) {
-            let root = self.stack[0].loop_id;
-            self.push_warning(Warning {
-                kind: WarningKind::VarWrite,
-                subject: name.to_string(),
-                characterization: c,
-                op: Some(op.to_string()),
-                nest_root: root,
-                count: 1,
-            });
-        }
-    }
-
-    /// Property write: returns whether it was recorded (used by tests).
-    #[allow(clippy::too_many_arguments)]
-    fn prop_write(&mut self, obj_id: u64, key: &str, base: Option<(&str, Option<u64>)>, op: &str) {
-        if !self.recording() {
-            return;
-        }
-        let subject = subject_name(base.map(|b| b.0), key);
+        let subject = self.subject_sym(ev.base, ev.key);
         // Effective stamp: of the object's creation stamp and the base
         // variable's binding stamp, take the one matching the *current*
         // stack deeper — i.e. the freshest context the location is reachable
@@ -393,82 +567,98 @@ impl Engine {
         // characterizes through `p`'s per-activation binding (stamped inside
         // the while), not through the particle object (created during
         // setup, before any of the open loops). See DESIGN.md §4.
-        let obj_stamp = self
-            .object_stamps
-            .get(&obj_id)
-            .cloned()
-            .unwrap_or_else(empty_stamp);
-        let base_stamp = base
-            .and_then(|(_, id)| id)
-            .and_then(|id| self.binding_stamps.get(&id).cloned());
+        let obj_stamp = match self.object_stamps.get(&ev.target) {
+            Some(&sid) => self.stamp_entries(sid),
+            None => self.stamp_entries(0),
+        };
+        let base_stamp = if ev.binding != 0 {
+            self.binding_stamps
+                .get(&ev.binding)
+                .map(|&sid| self.stamp_entries(sid))
+        } else {
+            None
+        };
         let eff = match base_stamp {
-            Some(b)
-                if matched_prefix_len(&b, &self.stack)
-                    > matched_prefix_len(&obj_stamp, &self.stack) =>
-            {
-                b
-            }
+            Some(b) if matched_prefix_len(&b, &cur) > matched_prefix_len(&obj_stamp, &cur) => b,
             _ => obj_stamp,
         };
-        let c = characterize_write(&eff, &self.stack);
-        let root = self.stack[0].loop_id;
-        let ctx = self.stack.last().map(|e| (e.loop_id, e.instance));
+        let root = cur[0].loop_id;
+        let ctx = cur.last().map(|e| (e.loop_id, e.instance));
         self.subject_stats
-            .entry(subject.clone())
+            .entry(subject)
             .or_default()
-            .record(obj_id, key, ctx);
-        if is_problematic(&c) {
-            self.push_warning(Warning {
-                kind: WarningKind::SharedPropWrite,
-                subject: subject.clone(),
-                characterization: c,
-                op: Some(op.to_string()),
-                nest_root: root,
-                count: 1,
-            });
-        }
+            .record(ev.target, ev.key, ctx);
         // Output-dependence evidence: same location written in another
         // iteration we are still inside of.
-        let snap_key = (obj_id, key.to_string());
-        if let Some(prev) = self.write_snapshots.get(&snap_key) {
-            if let Some(c) = flow_dependence(prev, &self.stack) {
-                self.push_warning(Warning {
-                    kind: WarningKind::WawWrite,
+        let prev = self
+            .write_snapshots
+            .get(&(ev.target, ev.key))
+            .map(|&p| self.stamp_entries(p));
+        if cur.len() <= CHAR_BITS_MAX_DEPTH {
+            let bits = characterize_write_bits(&eff, &cur);
+            if bits.problematic() {
+                self.push_warning_bits(
+                    WarningKind::SharedPropWrite,
                     subject,
-                    characterization: c,
-                    op: None,
-                    nest_root: root,
-                    count: 1,
-                });
+                    ev.op,
+                    bits,
+                    &cur,
+                    root,
+                );
+            }
+            if let Some(prev) = prev {
+                if let Some(bits) = flow_dependence_bits(&prev, &cur) {
+                    self.push_warning_bits(
+                        WarningKind::WawWrite,
+                        subject,
+                        Sym::NONE,
+                        bits,
+                        &cur,
+                        root,
+                    );
+                }
+            }
+        } else {
+            let c = characterize_write(&eff, &cur);
+            if is_problematic(&c) {
+                self.push_warning_vec(WarningKind::SharedPropWrite, subject, ev.op, c, root);
+            }
+            if let Some(prev) = prev {
+                if let Some(c) = flow_dependence(&prev, &cur) {
+                    self.push_warning_vec(WarningKind::WawWrite, subject, Sym::NONE, c, root);
+                }
             }
         }
-        self.write_snapshots.insert(snap_key, self.stamp());
+        self.write_snapshots.insert((ev.target, ev.key), ev.stamp);
     }
 
-    fn prop_read(&mut self, obj_id: u64, key: &str, base: Option<&str>) {
-        if !self.recording() {
+    fn prop_read(&mut self, ev: &AccessEvent) {
+        let cur = self.stamp_entries(ev.stamp);
+        if !self.recording_at(&cur) {
             return;
         }
-        let snap_key = (obj_id, key.to_string());
-        if let Some(snapshot) = self.write_snapshots.get(&snap_key) {
-            if let Some(c) = flow_dependence(snapshot, &self.stack) {
-                let root = self.stack[0].loop_id;
-                self.push_warning(Warning {
-                    kind: WarningKind::FlowRead,
-                    subject: subject_name(base, key),
-                    characterization: c,
-                    op: None,
-                    nest_root: root,
-                    count: 1,
-                });
+        let Some(&snap) = self.write_snapshots.get(&(ev.target, ev.key)) else {
+            return;
+        };
+        let snapshot = self.stamp_entries(snap);
+        let root = cur[0].loop_id;
+        if cur.len() <= CHAR_BITS_MAX_DEPTH {
+            if let Some(bits) = flow_dependence_bits(&snapshot, &cur) {
+                let subject = self.subject_sym(ev.base, ev.key);
+                self.push_warning_bits(WarningKind::FlowRead, subject, Sym::NONE, bits, &cur, root);
             }
+        } else if let Some(c) = flow_dependence(&snapshot, &cur) {
+            let subject = self.subject_sym(ev.base, ev.key);
+            self.push_warning_vec(WarningKind::FlowRead, subject, Sym::NONE, c, root);
         }
     }
 
     /// Record the runtime type written to `subject` (only inside loops —
     /// the paper inspects "polymorphic variable accesses … within the
-    /// computationally-intensive loops").
-    fn observe_type(&mut self, subject: &str, binding: u64, value: &Value) {
+    /// computationally-intensive loops"). Called synchronously from the
+    /// hooks: type observation is a set insert, insensitive to batching
+    /// order.
+    fn observe_type(&mut self, subject: Sym, binding: u64, value: &Value) {
         if self.stack.is_empty() {
             return;
         }
@@ -479,7 +669,7 @@ impl Engine {
             v => v.type_of(),
         };
         self.observed_types
-            .entry((subject.to_string(), binding))
+            .entry((subject, binding))
             .or_default()
             .insert(ty);
     }
@@ -490,15 +680,27 @@ impl Engine {
             .observed_types
             .iter()
             .filter(|(_, tys)| tys.len() > 1)
-            .map(|((s, _), tys)| (s.clone(), tys.iter().copied().collect()))
+            .map(|((s, _), tys)| {
+                (
+                    intern::resolve(*s).to_string(),
+                    tys.iter().copied().collect(),
+                )
+            })
             .collect();
         out.sort();
         out.dedup();
         out
     }
 
+    /// Key-diversity statistics for a rendered subject (`data[*]`,
+    /// `com.x`), as the classifier and reports refer to subjects by text.
+    pub fn subject_stats_for(&self, subject: &str) -> Option<&SubjectStats> {
+        self.subject_stats.get(&intern::intern(subject))
+    }
+
     /// Open a task (nested opens fold into the outermost).
     pub fn begin_task(&mut self, label: &str, now_ticks: u64) {
+        self.flush_events();
         self.task_depth += 1;
         if self.task_depth == 1 {
             self.tasks.push(crate::tasks::TaskRecord {
@@ -513,6 +715,7 @@ impl Engine {
 
     /// Close the innermost task.
     pub fn end_task(&mut self, now_ticks: u64) {
+        self.flush_events();
         if self.task_depth > 0 {
             self.task_depth -= 1;
             if self.task_depth == 0 {
@@ -577,15 +780,22 @@ fn matched_prefix_len(stamp: &[StackEntry], current: &[StackEntry]) -> usize {
         .count()
 }
 
-/// Compose a warning subject: `p.vX`, `data[*]`, `com.x`, or `*.x` when the
-/// base expression was not a variable. Numeric keys collapse to `[*]` so
-/// index sweeps produce one subject.
-fn subject_name(base: Option<&str>, key: &str) -> String {
-    let base = base.unwrap_or("*");
-    if key.parse::<f64>().is_ok() {
-        format!("{base}[*]")
-    } else {
-        format!("{base}.{key}")
+/// Intern a property-key value: numbers take the inline fast path (no
+/// allocation for array indices), strings reuse their `Rc` allocation.
+fn sym_of_key(v: &Value) -> Sym {
+    match v {
+        Value::Num(n) => Sym::from_f64(*n).unwrap_or_else(|| intern::intern(&ops::to_string(v))),
+        Value::Str(s) => intern::intern_rc(s),
+        other => intern::intern(&ops::to_string(other)),
+    }
+}
+
+/// Intern an optional base-variable name argument ([`Sym::NONE`] when the
+/// rewriter passed `null`).
+fn opt_sym(v: &Value) -> Sym {
+    match v {
+        Value::Str(s) => intern::intern_rc(s),
+        _ => Sym::NONE,
     }
 }
 
@@ -625,11 +835,16 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
     interp.monitor = Some(Rc::new(EngineMonitor(engine.clone())));
 
     let arg = |args: &[Value], i: usize| args.get(i).cloned().unwrap_or(Value::Undefined);
-    let key_of = |v: &Value| ops::to_string(v);
-    let opt_str = |v: &Value| match v {
-        Value::Str(s) => Some(s.to_string()),
-        _ => None,
-    };
+
+    // Hot-path symbols interned once at registration time.
+    let eq_sym = intern::intern("=");
+    let inc_sym = intern::intern("++");
+    let push_sym = intern::intern("push");
+    let elements_sym = intern::intern("<elements>");
+    let mutating_syms: Rc<[Sym]> = MUTATING_ARRAY_METHODS
+        .iter()
+        .map(|m| intern::intern(m))
+        .collect();
 
     // Tally indices are resolved once here; each hook then bumps its
     // counter with a single array add (the obs layer must not perturb the
@@ -708,12 +923,21 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             let Some(scope) = &ctx.caller_scope else {
                 return Ok(Value::Undefined);
             };
-            let mut eng = eng.borrow_mut();
+            let mut e = eng.borrow_mut();
+            let stamp = e.current_stamp_id();
             for a in args {
                 if let Value::Str(name) = a {
-                    if let Some(b) = scope.lookup(name) {
+                    if let Some(b) = scope.lookup_sym(intern::intern_rc(name)) {
                         let id = b.borrow().id;
-                        eng.stamp_binding(id);
+                        e.push_event(AccessEvent {
+                            kind: AccessKind::BindingStamp,
+                            target: id,
+                            binding: 0,
+                            key: Sym::NONE,
+                            base: Sym::NONE,
+                            op: Sym::NONE,
+                            stamp,
+                        });
                     }
                 }
             }
@@ -724,27 +948,36 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         let eng = engine.clone();
         let i = idx(hooks::WRVAR);
         interp.register_native(hooks::WRVAR, move |interp, ctx, args| {
-            // Scope lookup + stamp diff against the current stack.
+            // Scope lookup + queued stamp diff against the current stack.
             interp.clock.tick(8);
-            eng.borrow_mut().tally.bump(i);
-            let name = key_of(&arg(args, 0));
-            let op = opt_str(&arg(args, 1)).unwrap_or_else(|| "=".to_string());
+            let name = sym_of_key(&arg(args, 0));
+            let op = match &arg(args, 1) {
+                Value::Str(s) => intern::intern_rc(s),
+                _ => eq_sym,
+            };
             let binding_id = ctx
                 .caller_scope
                 .as_ref()
-                .and_then(|s| s.lookup(&name))
+                .and_then(|s| s.lookup_sym(name))
                 .map(|b| b.borrow().id);
             let mut e = eng.borrow_mut();
-            if let Some(id) = binding_id {
-                e.task_write(crate::tasks::binding_location(id));
-            }
-            e.var_write(binding_id, &name, &op);
+            e.tally.bump(i);
+            let stamp = e.current_stamp_id();
+            e.push_event(AccessEvent {
+                kind: AccessKind::VarWrite,
+                target: 0,
+                binding: binding_id.unwrap_or(0),
+                key: name,
+                base: Sym::NONE,
+                op,
+                stamp,
+            });
             // When the rewriter threads the assigned value through the
             // hook (3-argument form), observe its runtime type and pass
             // it along unchanged.
             if args.len() > 2 {
                 let value = arg(args, 2);
-                e.observe_type(&name, binding_id.unwrap_or(0), &value);
+                e.observe_type(name, binding_id.unwrap_or(0), &value);
                 return Ok(value);
             }
             Ok(Value::Undefined)
@@ -760,7 +993,16 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             let mut e = eng.borrow_mut();
             e.tally.bump(i);
             if let Value::Object(o) = &v {
-                e.stamp_object(o.id());
+                let stamp = e.current_stamp_id();
+                e.push_event(AccessEvent {
+                    kind: AccessKind::ObjStamp,
+                    target: o.id(),
+                    binding: 0,
+                    key: Sym::NONE,
+                    base: Sym::NONE,
+                    op: Sym::NONE,
+                    stamp,
+                });
             }
             Ok(v)
         });
@@ -769,36 +1011,48 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         let eng = engine.clone();
         let i = idx(hooks::GETPROP);
         interp.register_native(hooks::GETPROP, move |interp, _ctx, args| {
-            // Snapshot lookup + flow-dependence diff.
+            // Snapshot lookup + queued flow-dependence diff.
             interp.clock.tick(6);
             let obj = arg(args, 0);
-            let key = key_of(&arg(args, 1));
-            let base = opt_str(&arg(args, 2));
-            let mut e = eng.borrow_mut();
-            e.tally.bump(i);
-            if let Value::Object(o) = &obj {
-                e.task_read(crate::tasks::object_location(o.id()));
-                e.prop_read(o.id(), &key, base.as_deref());
+            let key = sym_of_key(&arg(args, 1));
+            let base = opt_sym(&arg(args, 2));
+            {
+                let mut e = eng.borrow_mut();
+                e.tally.bump(i);
+                if let Value::Object(o) = &obj {
+                    let stamp = e.current_stamp_id();
+                    e.push_event(AccessEvent {
+                        kind: AccessKind::PropRead,
+                        target: o.id(),
+                        binding: 0,
+                        key,
+                        base,
+                        op: Sym::NONE,
+                        stamp,
+                    });
+                }
             }
-            drop(e);
-            interp.get_property(&obj, &key)
+            get_prop_fast(interp, &obj, key)
         });
     }
     {
         let eng = engine.clone();
         let i = idx(hooks::SETPROP);
         interp.register_native(hooks::SETPROP, move |interp, ctx, args| {
-            // Effective-stamp diff, WAW check, snapshot update.
+            // Effective-stamp diff, WAW check, snapshot update — queued.
             interp.clock.tick(10);
             eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
-            let key = key_of(&arg(args, 1));
+            let key = sym_of_key(&arg(args, 1));
             let value = arg(args, 2);
-            let base = opt_str(&arg(args, 3));
-            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), "=");
-            eng.borrow_mut()
-                .observe_type(&subject_name(base.as_deref(), &key), 0, &value);
-            interp.set_property(&obj, &key, value.clone())?;
+            let base = opt_sym(&arg(args, 3));
+            record_prop_write(&eng, ctx, &obj, key, base, eq_sym);
+            {
+                let mut e = eng.borrow_mut();
+                let subject = e.subject_sym(base, key);
+                e.observe_type(subject, 0, &value);
+            }
+            set_prop_fast(interp, &obj, key, value.clone())?;
             Ok(value)
         });
     }
@@ -810,18 +1064,16 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             interp.clock.tick(14);
             eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
-            let key = key_of(&arg(args, 1));
-            let op = key_of(&arg(args, 2));
+            let key = sym_of_key(&arg(args, 1));
+            let op = sym_of_key(&arg(args, 2));
             let value = arg(args, 3);
-            let base = opt_str(&arg(args, 4));
+            let base = opt_sym(&arg(args, 4));
             // Compound assignment reads the old value first.
-            if let Value::Object(o) = &obj {
-                eng.borrow_mut().prop_read(o.id(), &key, base.as_deref());
-            }
-            let old = interp.get_property(&obj, &key)?;
-            let new = apply_binop(&op, &old, &value);
-            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), &op);
-            interp.set_property(&obj, &key, new.clone())?;
+            record_prop_read(&eng, &obj, key, base);
+            let old = get_prop_fast(interp, &obj, key)?;
+            let new = apply_binop(&intern::resolve(op), &old, &value);
+            record_prop_write(&eng, ctx, &obj, key, base, op);
+            set_prop_fast(interp, &obj, key, new.clone())?;
             Ok(new)
         });
     }
@@ -832,50 +1084,57 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             interp.clock.tick(12);
             eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
-            let key = key_of(&arg(args, 1));
+            let key = sym_of_key(&arg(args, 1));
             let delta = ops::to_number(&arg(args, 2));
             let prefix = ops::to_number(&arg(args, 3)) != 0.0;
-            let base = opt_str(&arg(args, 4));
-            if let Value::Object(o) = &obj {
-                eng.borrow_mut().prop_read(o.id(), &key, base.as_deref());
-            }
-            let old = ops::to_number(&interp.get_property(&obj, &key)?);
+            let base = opt_sym(&arg(args, 4));
+            record_prop_read(&eng, &obj, key, base);
+            let old = ops::to_number(&get_prop_fast(interp, &obj, key)?);
             let new = old + delta;
-            record_prop_write(&eng, ctx, &obj, &key, base.as_deref(), "++");
-            interp.set_property(&obj, &key, Value::Num(new))?;
+            record_prop_write(&eng, ctx, &obj, key, base, inc_sym);
+            set_prop_fast(interp, &obj, key, Value::Num(new))?;
             Ok(Value::Num(if prefix { new } else { old }))
         });
     }
     {
         let eng = engine.clone();
         let i = idx(hooks::MCALL);
+        let mutating = mutating_syms.clone();
         interp.register_native(hooks::MCALL, move |interp, ctx, args| {
             interp.clock.tick(8);
             eng.borrow_mut().tally.bump(i);
             let obj = arg(args, 0);
-            let key = key_of(&arg(args, 1));
-            let base = opt_str(&arg(args, 2));
+            let key = sym_of_key(&arg(args, 1));
+            let base = opt_sym(&arg(args, 2));
             let call_args: Vec<Value> = args.iter().skip(3).cloned().collect();
             if let Value::Object(o) = &obj {
                 let mut e = eng.borrow_mut();
-                e.task_read(crate::tasks::object_location(o.id()));
-                e.prop_read(o.id(), &key, base.as_deref());
+                let stamp = e.current_stamp_id();
+                e.push_event(AccessEvent {
+                    kind: AccessKind::PropRead,
+                    target: o.id(),
+                    binding: 0,
+                    key,
+                    base,
+                    op: Sym::NONE,
+                    stamp,
+                });
                 // Array-mutating methods are element writes in disguise:
                 // `results.push(x)` inside a loop is an output dependence on
                 // the shared array.
-                if o.is_array() && MUTATING_ARRAY_METHODS.contains(&key.as_str()) {
-                    e.task_write(crate::tasks::object_location(o.id()));
-                    e.prop_write(
-                        o.id(),
-                        "<elements>",
-                        base.as_deref().map(|b| (b, None)),
-                        "push",
-                    );
+                if o.is_array() && mutating.contains(&key) {
+                    e.push_event(AccessEvent {
+                        kind: AccessKind::PropWrite,
+                        target: o.id(),
+                        binding: 0,
+                        key: elements_sym,
+                        base,
+                        op: push_sym,
+                        stamp,
+                    });
                 }
             }
-            // Resolve the binding id for the base variable (for the
-            // effective-stamp refinement) before calling out.
-            let f = interp.get_property(&obj, &key)?;
+            let f = get_prop_fast(interp, &obj, key)?;
             interp.call_value(&f, obj, &call_args, ctx.caller_scope.clone())
         });
     }
@@ -888,27 +1147,70 @@ const MUTATING_ARRAY_METHODS: &[&str] = &[
     "push", "pop", "shift", "unshift", "splice", "sort", "reverse",
 ];
 
-/// Shared write-recording path for SETPROP/SETPROP2/UPDATE_PROP.
-fn record_prop_write(
-    eng: &EngineRef,
-    ctx: &CallCtx,
-    obj: &Value,
-    key: &str,
-    base: Option<&str>,
-    op: &str,
-) {
+/// `obj[key]` through the interpreter, with an allocation-free fast path
+/// for inline-numeric keys on untagged arrays (tagged objects must go
+/// through [`Interp::get_property`] so the DOM monitor sees the access).
+fn get_prop_fast(interp: &mut Interp, obj: &Value, key: Sym) -> JsResult {
+    if let (Value::Object(o), Some(i)) = (obj, key.as_index()) {
+        if o.tag().is_none() && o.is_array() {
+            return Ok(o.array_get(i as usize).unwrap_or(Value::Undefined));
+        }
+    }
+    interp.get_property(obj, &intern::resolve(key))
+}
+
+/// `obj[key] = value` counterpart of [`get_prop_fast`].
+fn set_prop_fast(interp: &mut Interp, obj: &Value, key: Sym, value: Value) -> JsResult<()> {
+    if let (Value::Object(o), Some(i)) = (obj, key.as_index()) {
+        if o.tag().is_none() && o.is_array() {
+            o.array_set(i as usize, value);
+            return Ok(());
+        }
+    }
+    interp.set_property(obj, &intern::resolve(key), value)
+}
+
+/// Queue the read half of a compound property access.
+fn record_prop_read(eng: &EngineRef, obj: &Value, key: Sym, base: Sym) {
     let Value::Object(o) = obj else { return };
-    let base_with_id = base.map(|name| {
-        let id = ctx
-            .caller_scope
-            .as_ref()
-            .and_then(|s| s.lookup(name))
-            .map(|b| b.borrow().id);
-        (name, id)
-    });
     let mut e = eng.borrow_mut();
-    e.task_write(crate::tasks::object_location(o.id()));
-    e.prop_write(o.id(), key, base_with_id, op);
+    let stamp = e.current_stamp_id();
+    e.push_event(AccessEvent {
+        kind: AccessKind::PropReadCompound,
+        target: o.id(),
+        binding: 0,
+        key,
+        base,
+        op: Sym::NONE,
+        stamp,
+    });
+}
+
+/// Shared write-recording path for SETPROP/SETPROP2/UPDATE_PROP: resolve
+/// the base variable's binding id (for the effective-stamp refinement)
+/// and queue the write event.
+fn record_prop_write(eng: &EngineRef, ctx: &CallCtx, obj: &Value, key: Sym, base: Sym, op: Sym) {
+    let Value::Object(o) = obj else { return };
+    let binding = if base.is_some() {
+        ctx.caller_scope
+            .as_ref()
+            .and_then(|s| s.lookup_sym(base))
+            .map(|b| b.borrow().id)
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let mut e = eng.borrow_mut();
+    let stamp = e.current_stamp_id();
+    e.push_event(AccessEvent {
+        kind: AccessKind::PropWrite,
+        target: o.id(),
+        binding,
+        key,
+        base,
+        op,
+        stamp,
+    });
 }
 
 /// Evaluate `old op value` for compound property assignment.
@@ -938,7 +1240,9 @@ pub fn run_instrumented(source: &str, mode: Mode, seed: u64) -> JsResult<(Interp
     let mut interp = Interp::new(seed);
     ceres_dom::install_dom(&mut interp);
     let engine = attach_engine(&mut interp, mode, loops);
-    interp.eval_source(&instrumented)?;
+    let result = interp.eval_source(&instrumented);
+    engine.borrow_mut().flush_events();
+    result?;
     Ok((interp, engine))
 }
 
@@ -1177,7 +1481,7 @@ while (steps < 3) {
             Mode::Dependence,
         );
         let eng = eng.borrow();
-        let stats = eng.subject_stats.get("data[*]").expect("stats for data[*]");
+        let stats = eng.subject_stats_for("data[*]").expect("stats for data[*]");
         assert_eq!(stats.writes, 64);
         // one window, 64 writes to 64 distinct locations
         assert!(
@@ -1192,7 +1496,7 @@ while (steps < 3) {
             Mode::Dependence,
         );
         let eng = eng.borrow();
-        let stats = eng.subject_stats.get("acc.v").expect("stats for acc.v");
+        let stats = eng.subject_stats_for("acc.v").expect("stats for acc.v");
         assert!(
             stats.disjointness() < 0.1,
             "disjointness {}",
@@ -1239,6 +1543,7 @@ while (steps < 3) {
         let engine = attach_engine(&mut interp, Mode::Dependence, loops);
         engine.borrow_mut().focus = Some(LoopId(2));
         interp.eval_source(&instrumented).unwrap();
+        engine.borrow_mut().flush_events();
         let eng = engine.borrow();
         assert!(eng.warnings.iter().any(|w| w.subject == "b.v"));
         assert!(!eng.warnings.iter().any(|w| w.subject == "a.v"));
@@ -1279,6 +1584,33 @@ while (steps < 3) {
     }
 
     #[test]
+    fn events_drain_on_batch_overflow_mid_iteration() {
+        // One iteration performs far more accesses than EVENT_BATCH; the
+        // forced drain must preserve per-access stamps and dedup counts.
+        let n = hooks::EVENT_BATCH * 3;
+        let src = format!(
+            "var g = 0;\n\
+             var o = {{ v: 0 }};\n\
+             for (var i = 0; i < 2; i++) {{\n\
+               var j = 0;\n\
+               while (j < {n}) {{ g = j; o.v = j; j++; }}\n\
+             }}"
+        );
+        let (_interp, eng) = run(&src, Mode::Dependence);
+        let eng = eng.borrow();
+        let g = eng
+            .warnings
+            .iter()
+            .find(|w| w.kind == WarningKind::VarWrite && w.subject == "g")
+            .expect("g flagged");
+        assert_eq!(g.count, 2 * n as u64);
+        assert!(eng
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::SharedPropWrite && w.subject == "o.v"));
+    }
+
+    #[test]
     fn mcall_preserves_receiver_semantics() {
         let (interp, _eng) = run(
             "var counter = { n: 0, bump: function () { this.n += 1; return this.n; } };\n\
@@ -1311,6 +1643,7 @@ while (steps < 3) {
 mod polymorphism_tests {
     use crate::engine::run_instrumented;
     use ceres_instrument::Mode;
+    use ceres_interp::intern;
 
     #[test]
     fn polymorphic_variable_in_loop_is_detected() {
@@ -1354,7 +1687,7 @@ mod polymorphism_tests {
         let n_types: Vec<usize> = eng
             .observed_types
             .iter()
-            .filter(|((name, _), _)| name == "n")
+            .filter(|((name, _), _)| &*intern::resolve(*name) == "n")
             .map(|(_, tys)| tys.len())
             .collect();
         assert_eq!(n_types, vec![1]);

@@ -71,10 +71,17 @@ pub use obs::{
 };
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;
-pub use stack::{characterize_write, flow_dependence, render, Characterization, Flag};
+pub use stack::{
+    characterize_write, characterize_write_bits, flow_dependence, flow_dependence_bits, render,
+    CharBits, Characterization, Flag,
+};
 pub use suggest::{render_suggestions, suggest, Suggestion};
 pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
 pub use welford::Welford;
 
 /// Re-exported so downstream users need only one crate for the common path.
 pub use ceres_instrument::Mode;
+
+/// The symbol table the hot path is keyed on — re-exported so analysis
+/// consumers can write `ceres_core::intern::Sym` (see `docs/PERFORMANCE.md`).
+pub use ceres_interp::intern;

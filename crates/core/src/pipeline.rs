@@ -221,6 +221,7 @@ pub fn analyze(
     main_result?;
     interaction(&mut interp, &dom)?;
     interp.run_events(opts.max_events)?;
+    engine.borrow_mut().flush_events();
     steps.push("4: user exercises the app; instrumentation gathers results".to_string());
     recorder.record("interp", 0, interp.clock.now_ticks(), interp_start);
 

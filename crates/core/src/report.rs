@@ -52,7 +52,21 @@ pub fn render_warnings(engine: &Engine) -> String {
         return out;
     }
     let mut warnings: Vec<_> = engine.warnings.iter().collect();
-    warnings.sort_by(|a, b| (a.kind, &a.subject).cmp(&(b.kind, &b.subject)));
+    // Full total order: (kind, subject) alone leaves ties — the same
+    // subject flagged in two nests, or via two write ops — to insertion
+    // order, which depends on runtime event order rather than anything a
+    // reader can predict. Sort the remaining dimensions explicitly
+    // (nest-root LoopId, op, rendered characterization) so a report is a
+    // pure function of the warning *set*.
+    warnings.sort_by_cached_key(|w| {
+        (
+            w.kind,
+            w.subject.clone(),
+            w.nest_root,
+            w.op.clone(),
+            render(&w.characterization, &engine.loops),
+        )
+    });
     for w in warnings {
         match w.kind {
             WarningKind::Recursion => {
@@ -196,6 +210,43 @@ mod tests {
         assert!(s.contains("warning:"), "{s}");
         assert!(s.contains("acc.v"), "{s}");
         assert!(s.contains("ok dependence"), "{s}");
+    }
+
+    #[test]
+    fn warning_order_is_independent_of_insertion_order() {
+        use crate::engine::{Engine, Warning, WarningKind};
+        use crate::stack::{Flag, LevelChar};
+        use ceres_ast::LoopId;
+
+        // Two warnings that tie on (kind, subject): same accumulator
+        // flagged in two separate nests. Under the old sort the report
+        // order was whatever order the runtime produced them in.
+        let mk = |root: u32| Warning {
+            kind: WarningKind::VarWrite,
+            subject: "g".to_string(),
+            characterization: vec![LevelChar {
+                loop_id: LoopId(root),
+                instance: Flag::Ok,
+                iteration: Flag::Dependence,
+            }],
+            op: Some("=".to_string()),
+            nest_root: LoopId(root),
+            count: 1,
+        };
+        let render_with = |order: [u32; 2]| {
+            let mut eng = Engine::new(Mode::Dependence, vec![]);
+            for r in order {
+                eng.warnings.push(mk(r));
+            }
+            render_warnings(&eng)
+        };
+        let forward = render_with([1, 2]);
+        let reversed = render_with([2, 1]);
+        assert_eq!(forward, reversed, "report must not depend on event order");
+        // And the explicit tie-break is the nest-root LoopId.
+        let first = forward.find("L1 ").expect("loop 1 rendered");
+        let second = forward.find("L2 ").expect("loop 2 rendered");
+        assert!(first < second, "{forward}");
     }
 
     #[test]

@@ -206,6 +206,143 @@ pub fn flow_dependence(
     None
 }
 
+// ----------------------------------------------------------------------
+// Compact characterizations (per-loop bitsets)
+// ----------------------------------------------------------------------
+
+/// Deepest loop stack the bitset representation covers. The engine falls
+/// back to the `Vec`-based functions beyond this (recursion can re-enter
+/// the same loop and grow the stack arbitrarily); in practice every
+/// workload stays far below it.
+pub const CHAR_BITS_MAX_DEPTH: usize = 64;
+
+/// A characterization packed into per-loop bitsets: bit `i` of
+/// `inst`/`iter` is set when level `i` (outermost-first) carries an
+/// instance/iteration dependence. The loop ids are implicit — always the
+/// ids of the current stack the access was characterized against — so a
+/// whole characterization is 20 `Copy` bytes and "is this problematic?"
+/// is one OR. Only when a *new* warning is materialized does the engine
+/// [`CharBits::expand`] this back into the rendered [`Characterization`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharBits {
+    /// Number of levels (= depth of the current stack at the access).
+    pub depth: u32,
+    /// Instance-dependence bits, bit `i` = level `i`.
+    pub inst: u64,
+    /// Iteration-dependence bits, bit `i` = level `i`.
+    pub iter: u64,
+}
+
+impl CharBits {
+    /// True when any level carries a dependence (cf. [`is_problematic`]).
+    #[inline]
+    pub fn problematic(self) -> bool {
+        (self.inst | self.iter) != 0
+    }
+
+    /// Materialize the full characterization, taking loop ids from the
+    /// stack the access was characterized against.
+    pub fn expand(self, current: &[StackEntry]) -> Characterization {
+        current
+            .iter()
+            .take(self.depth as usize)
+            .enumerate()
+            .map(|(i, e)| LevelChar {
+                loop_id: e.loop_id,
+                instance: if self.inst >> i & 1 == 1 {
+                    Flag::Dependence
+                } else {
+                    Flag::Ok
+                },
+                iteration: if self.iter >> i & 1 == 1 {
+                    Flag::Dependence
+                } else {
+                    Flag::Ok
+                },
+            })
+            .collect()
+    }
+
+    /// Does an already-materialized characterization equal this one (same
+    /// loop ids, same flags)? Used for warning dedup without allocating.
+    pub fn matches(self, c: &Characterization, current: &[StackEntry]) -> bool {
+        if c.len() != self.depth as usize {
+            return false;
+        }
+        c.iter().enumerate().all(|(i, l)| {
+            l.loop_id == current[i].loop_id
+                && (l.instance == Flag::Dependence) == (self.inst >> i & 1 == 1)
+                && (l.iteration == Flag::Dependence) == (self.iter >> i & 1 == 1)
+        })
+    }
+}
+
+/// Bitset variant of [`characterize_write`] — identical classification,
+/// no allocation. Caller must ensure `current.len() <= CHAR_BITS_MAX_DEPTH`.
+pub fn characterize_write_bits(stamp: &[StackEntry], current: &[StackEntry]) -> CharBits {
+    debug_assert!(current.len() <= CHAR_BITS_MAX_DEPTH);
+    let mut bits = CharBits {
+        depth: current.len() as u32,
+        inst: 0,
+        iter: 0,
+    };
+    let mut broken = false;
+    for (i, cur) in current.iter().enumerate() {
+        if broken {
+            bits.inst |= 1 << i;
+            bits.iter |= 1 << i;
+            continue;
+        }
+        match stamp.get(i) {
+            Some(st) if st.loop_id == cur.loop_id && st.instance == cur.instance => {
+                if st.iteration != cur.iteration {
+                    bits.iter |= 1 << i;
+                    broken = true;
+                }
+            }
+            Some(_) => {
+                bits.inst |= 1 << i;
+                bits.iter |= 1 << i;
+                broken = true;
+            }
+            None => {
+                if i == 0 {
+                    bits.inst |= 1 << i;
+                }
+                bits.iter |= 1 << i;
+                broken = true;
+            }
+        }
+    }
+    bits
+}
+
+/// Bitset variant of [`flow_dependence`] — identical classification, no
+/// allocation. Caller must ensure `current.len() <= CHAR_BITS_MAX_DEPTH`.
+pub fn flow_dependence_bits(snapshot: &[StackEntry], current: &[StackEntry]) -> Option<CharBits> {
+    debug_assert!(current.len() <= CHAR_BITS_MAX_DEPTH);
+    for (i, cur) in current.iter().enumerate() {
+        match snapshot.get(i) {
+            Some(st) if st.loop_id == cur.loop_id && st.instance == cur.instance => {
+                if st.iteration != cur.iteration {
+                    let mut bits = CharBits {
+                        depth: current.len() as u32,
+                        inst: 0,
+                        iter: 1 << i,
+                    };
+                    for deeper in i + 1..current.len() {
+                        bits.inst |= 1 << deeper;
+                        bits.iter |= 1 << deeper;
+                    }
+                    return Some(bits);
+                }
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +510,70 @@ mod tests {
         let snapshot = [entry(1, 1, 3), entry(2, 4, 7)];
         let current = [entry(1, 1, 3)];
         assert!(flow_dependence(&snapshot, &current).is_none());
+    }
+
+    /// Stamp/current shapes covering every branch of both algorithms.
+    fn bit_cases() -> Vec<(Vec<StackEntry>, Vec<StackEntry>)> {
+        vec![
+            (vec![], vec![]),
+            (vec![], vec![entry(1, 1, 0)]),
+            (vec![], vec![entry(1, 1, 3), entry(2, 4, 7)]),
+            (vec![entry(1, 1, 3)], vec![entry(1, 1, 3), entry(2, 4, 7)]),
+            (
+                vec![entry(1, 1, 3), entry(2, 4, 7)],
+                vec![entry(1, 1, 3), entry(2, 4, 7)],
+            ),
+            (vec![entry(1, 1, 2)], vec![entry(1, 1, 5), entry(2, 4, 0)]),
+            (vec![entry(1, 1, 2)], vec![entry(1, 2, 0)]),
+            (vec![entry(9, 1, 0)], vec![entry(1, 1, 0), entry(2, 1, 1)]),
+            (
+                vec![entry(1, 1, 3), entry(2, 4, 6)],
+                vec![entry(1, 1, 3), entry(2, 4, 7)],
+            ),
+            (
+                vec![entry(1, 1, 2), entry(2, 3, 9)],
+                vec![entry(1, 1, 3), entry(2, 4, 0)],
+            ),
+            (vec![entry(1, 1, 3), entry(2, 4, 7)], vec![entry(1, 1, 3)]),
+        ]
+    }
+
+    #[test]
+    fn char_bits_mirror_characterize_write() {
+        for (stamp, current) in bit_cases() {
+            let full = characterize_write(&stamp, &current);
+            let bits = characterize_write_bits(&stamp, &current);
+            assert_eq!(bits.expand(&current), full, "{stamp:?} vs {current:?}");
+            assert_eq!(bits.problematic(), is_problematic(&full));
+            assert!(bits.matches(&full, &current));
+        }
+    }
+
+    #[test]
+    fn flow_bits_mirror_flow_dependence() {
+        for (snapshot, current) in bit_cases() {
+            let full = flow_dependence(&snapshot, &current);
+            let bits = flow_dependence_bits(&snapshot, &current);
+            match (full, bits) {
+                (None, None) => {}
+                (Some(f), Some(b)) => {
+                    assert_eq!(b.expand(&current), f, "{snapshot:?} vs {current:?}");
+                    assert!(b.problematic());
+                }
+                (f, b) => panic!("diverged on {snapshot:?} vs {current:?}: {f:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn char_bits_detect_mismatched_materializations() {
+        let stamp = [entry(1, 1, 3)];
+        let current = [entry(1, 1, 3), entry(2, 4, 7)];
+        let bits = characterize_write_bits(&stamp, &current);
+        let mut other = characterize_write(&stamp, &current);
+        other[1].iteration = Flag::Ok;
+        assert!(!bits.matches(&other, &current));
+        let shallow = vec![other[0]];
+        assert!(!bits.matches(&shallow, &current));
     }
 }

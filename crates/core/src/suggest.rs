@@ -46,8 +46,7 @@ fn suggest_nest(engine: &Engine, nest: &NestClassification) -> Suggestion {
             }
             WarningKind::SharedPropWrite => {
                 let disjoint_write = engine
-                    .subject_stats
-                    .get(&w.subject)
+                    .subject_stats_for(&w.subject)
                     .map(|s| s.disjointness() >= 0.8)
                     .unwrap_or(false);
                 let bucket = if disjoint_write {

@@ -707,7 +707,7 @@ fn install_object(interp: &mut Interp) {
         "keys",
         native("keys", |_, _, args| match arg(args, 0) {
             Value::Object(o) => Ok(Value::Object(new_array(
-                o.own_keys().into_iter().map(Value::str).collect(),
+                o.own_keys().into_iter().map(Value::Str).collect(),
             ))),
             _ => Ok(Value::Object(new_array(Vec::new()))),
         }),

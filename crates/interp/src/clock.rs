@@ -49,6 +49,7 @@ impl Default for Clock {
 }
 
 impl Clock {
+    /// A clock at tick zero.
     pub fn new() -> Clock {
         Clock {
             now: 0,

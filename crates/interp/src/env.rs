@@ -9,17 +9,20 @@
 //! Every [`Binding`] carries a unique id so the dependence analysis can
 //! stamp bindings with the loop context at creation time.
 
+use crate::intern::{intern, FxHashMap, Sym};
 use crate::value::Value;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A variable binding.
 pub struct Binding {
+    /// Unique id, used by the dependence analysis as the location key.
     pub id: u64,
+    /// Current value.
     pub value: Value,
 }
 
+/// Shared handle to one binding.
 pub type BindingRef = Rc<RefCell<Binding>>;
 
 thread_local! {
@@ -35,18 +38,23 @@ fn next_binding_id() -> u64 {
 }
 
 /// One lexical scope (function activation, global, or catch clause).
+///
+/// Variables are keyed by interned [`Sym`] so a chain walk costs one
+/// cheap `u32` hash per level instead of re-hashing the name's bytes with
+/// SipHash at every ancestor (the pre-intern hot-path cost).
 pub struct Scope {
-    vars: RefCell<HashMap<String, BindingRef>>,
+    vars: RefCell<FxHashMap<Sym, BindingRef>>,
     parent: Option<ScopeRef>,
 }
 
+/// Shared handle to one scope.
 pub type ScopeRef = Rc<Scope>;
 
 impl Scope {
     /// The global scope.
     pub fn global() -> ScopeRef {
         Rc::new(Scope {
-            vars: RefCell::new(HashMap::new()),
+            vars: RefCell::new(FxHashMap::default()),
             parent: None,
         })
     }
@@ -54,7 +62,7 @@ impl Scope {
     /// A child scope (function activation or catch clause).
     pub fn child(parent: &ScopeRef) -> ScopeRef {
         Rc::new(Scope {
-            vars: RefCell::new(HashMap::new()),
+            vars: RefCell::new(FxHashMap::default()),
             parent: Some(parent.clone()),
         })
     }
@@ -62,25 +70,35 @@ impl Scope {
     /// Declare a variable in *this* scope. Redeclaring keeps the existing
     /// binding (ES5 `var x; var x;` semantics) and returns it.
     pub fn declare(&self, name: &str, value: Value) -> BindingRef {
+        self.declare_sym(intern(name), value)
+    }
+
+    /// [`Scope::declare`] with a pre-interned name.
+    pub fn declare_sym(&self, name: Sym, value: Value) -> BindingRef {
         let mut vars = self.vars.borrow_mut();
-        if let Some(existing) = vars.get(name) {
+        if let Some(existing) = vars.get(&name) {
             return existing.clone();
         }
         let binding = Rc::new(RefCell::new(Binding {
             id: next_binding_id(),
             value,
         }));
-        vars.insert(name.to_string(), binding.clone());
+        vars.insert(name, binding.clone());
         binding
     }
 
     /// Find the binding for `name`, walking up the scope chain.
     pub fn lookup(&self, name: &str) -> Option<BindingRef> {
-        if let Some(b) = self.vars.borrow().get(name) {
+        self.lookup_sym(intern(name))
+    }
+
+    /// [`Scope::lookup`] with a pre-interned name.
+    pub fn lookup_sym(&self, name: Sym) -> Option<BindingRef> {
+        if let Some(b) = self.vars.borrow().get(&name) {
             return Some(b.clone());
         }
         match &self.parent {
-            Some(p) => p.lookup(name),
+            Some(p) => p.lookup_sym(name),
             None => None,
         }
     }
@@ -90,11 +108,21 @@ impl Scope {
         self.lookup(name).map(|b| b.borrow().value.clone())
     }
 
+    /// [`Scope::get`] with a pre-interned name.
+    pub fn get_sym(&self, name: Sym) -> Option<Value> {
+        self.lookup_sym(name).map(|b| b.borrow().value.clone())
+    }
+
     /// Assign to an existing binding; returns `false` when `name` is
     /// undeclared anywhere in the chain (the interpreter then creates an
     /// implicit global, as sloppy-mode JS does).
     pub fn set(&self, name: &str, value: Value) -> bool {
-        match self.lookup(name) {
+        self.set_sym(intern(name), value)
+    }
+
+    /// [`Scope::set`] with a pre-interned name.
+    pub fn set_sym(&self, name: Sym, value: Value) -> bool {
+        match self.lookup_sym(name) {
             Some(b) => {
                 b.borrow_mut().value = value;
                 true
@@ -105,7 +133,7 @@ impl Scope {
 
     /// Is `name` declared in this scope itself (not a parent)?
     pub fn declares_locally(&self, name: &str) -> bool {
-        self.vars.borrow().contains_key(name)
+        self.vars.borrow().contains_key(&intern(name))
     }
 }
 

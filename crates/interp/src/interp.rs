@@ -28,9 +28,13 @@ use std::rc::Rc;
 
 /// Non-local control flow.
 pub enum Control {
+    /// `return` unwinding to the nearest call.
     Return(Value),
+    /// `break` unwinding to the nearest loop.
     Break,
+    /// `continue` unwinding to the nearest loop head.
     Continue,
+    /// A thrown value unwinding to the nearest `try`.
     Throw(Value),
     /// Uncatchable: tick budget exhausted, stack overflow, internal error.
     Fatal(String),
@@ -119,7 +123,9 @@ pub const MAX_CALL_DEPTH: usize = 96;
 
 /// The interpreter.
 pub struct Interp {
+    /// The global scope.
     pub global: ScopeRef,
+    /// The virtual clock every evaluation step charges.
     pub clock: Clock,
     /// Captured `console.log` lines.
     pub console: Vec<String>,
@@ -300,6 +306,7 @@ impl Interp {
     // Statements
     // ------------------------------------------------------------------
 
+    /// Execute one statement in `scope`.
     pub fn eval_stmt(&mut self, stmt: &Stmt, scope: &ScopeRef) -> Result<(), Control> {
         self.charge(1)?;
         match &stmt.kind {
@@ -416,7 +423,7 @@ impl Interp {
                     scope.declare(var, Value::Undefined);
                 }
                 for key in keys {
-                    let kv = Value::str(&key);
+                    let kv = Value::Str(key.clone());
                     if !scope.set(var, kv.clone()) {
                         scope.declare(var, kv);
                     }
@@ -510,6 +517,7 @@ impl Interp {
     // Expressions
     // ------------------------------------------------------------------
 
+    /// Evaluate one expression in `scope`.
     pub fn eval_expr(&mut self, expr: &Expr, scope: &ScopeRef) -> JsResult {
         self.charge(1)?;
         match &expr.kind {
@@ -645,6 +653,11 @@ impl Interp {
             ExprKind::Index { object, index } => {
                 let obj = self.eval_expr(object, scope)?;
                 let idx = self.eval_expr(index, scope)?;
+                if let Some(i) = Self::array_index(&obj, &idx) {
+                    if let Value::Object(o) = &obj {
+                        return Ok(o.array_get(i).unwrap_or(Value::Undefined));
+                    }
+                }
                 let key = ops::to_string(&idx);
                 self.get_property(&obj, &key)
             }
@@ -723,6 +736,12 @@ impl Interp {
             ExprKind::Index { object, index } => {
                 let obj = self.eval_expr(object, scope)?;
                 let idx = self.eval_expr(index, scope)?;
+                if let Some(i) = Self::array_index(&obj, &idx) {
+                    if let Value::Object(o) = &obj {
+                        o.array_set(i, value);
+                        return Ok(());
+                    }
+                }
                 let key = ops::to_string(&idx);
                 self.set_property(&obj, &key, value)
             }
@@ -800,6 +819,30 @@ impl Interp {
     // ------------------------------------------------------------------
     // Property access
     // ------------------------------------------------------------------
+
+    /// Allocation-free fast path for `arr[i]`: a non-negative integer
+    /// index on an *untagged* array — the dominant access shape in the
+    /// paper's workloads (N-body bodies, pixel buffers, sort keys).
+    /// Returns `None` whenever the slow string-keyed path must run to
+    /// preserve semantics: DOM-tagged objects (the monitor must see the
+    /// access), fractional/negative/huge indices, or non-arrays.
+    #[inline]
+    fn array_index(obj: &Value, idx: &Value) -> Option<usize> {
+        let (Value::Object(o), Value::Num(n)) = (obj, idx) else {
+            return None;
+        };
+        if o.tag().is_some() || !o.is_array() {
+            return None;
+        }
+        if *n == 0.0 {
+            return Some(0); // JS prints both zeros as "0"
+        }
+        if n.fract() == 0.0 && *n > 0.0 && *n < u32::MAX as f64 {
+            Some(*n as usize)
+        } else {
+            None
+        }
+    }
 
     /// `obj[key]` with full JS semantics (arrays, strings, proto chain,
     /// method tables for primitives).
@@ -934,8 +977,15 @@ impl Interp {
             ExprKind::Index { object, index } => {
                 let obj = self.eval_expr(object, scope)?;
                 let idx = self.eval_expr(index, scope)?;
-                let key = ops::to_string(&idx);
-                let f = self.get_property(&obj, &key)?;
+                let f = if let Some(i) = Self::array_index(&obj, &idx) {
+                    match &obj {
+                        Value::Object(o) => o.array_get(i).unwrap_or(Value::Undefined),
+                        _ => Value::Undefined,
+                    }
+                } else {
+                    let key = ops::to_string(&idx);
+                    self.get_property(&obj, &key)?
+                };
                 (f, obj)
             }
             _ => (self.eval_expr(callee, scope)?, Value::Undefined),

@@ -22,16 +22,23 @@
 //! * [`interp`] — the evaluator, host-function registry and event loop;
 //! * [`builtins`] — `Math` (seeded random), arrays, strings, timers, etc.
 //! * [`ops`] — ES5 coercion and operator semantics.
+//! * [`mod@intern`] — the `Sym` symbol table and fast hashing that keep the
+//!   dependence-analysis hot path allocation-free (see
+//!   `docs/PERFORMANCE.md`).
+
+#![deny(missing_docs)]
 
 pub mod builtins;
 pub mod clock;
 pub mod env;
+pub mod intern;
 pub mod interp;
 pub mod ops;
 pub mod value;
 
 pub use clock::{Clock, SAMPLE_INTERVAL, TICKS_PER_MS};
 pub use env::{Binding, BindingRef, Scope, ScopeRef};
+pub use intern::{intern, resolve, FxHashMap, FxHashSet, Sym};
 pub use interp::{Control, Interp, JsResult, Monitor, MAX_CALL_DEPTH, WATCHDOG_PREFIX};
 pub use value::{native_fn, new_array, new_object, CallCtx, NativeFn, ObjKind, ObjRef, Value};
 

@@ -143,7 +143,9 @@ pub fn loose_eq(a: &Value, b: &Value) -> bool {
 /// Result of a relational comparison.
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
 pub enum CmpResult {
+    /// The comparison holds.
     True,
+    /// The comparison does not hold.
     False,
     /// NaN involved: every relational operator yields false.
     Undefined,

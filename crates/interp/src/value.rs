@@ -6,24 +6,31 @@
 //! this replaces the ES `Proxy` wrapping the paper's tool used (Sec. 3.3).
 
 use crate::env::ScopeRef;
+use crate::intern::{intern, resolve, FxHashMap, Sym};
 use crate::interp::{Interp, JsResult};
 use ceres_ast::ast::Func;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A JavaScript value.
 #[derive(Clone)]
 pub enum Value {
+    /// `undefined`.
     Undefined,
+    /// `null`.
     Null,
+    /// A boolean primitive.
     Bool(bool),
+    /// An IEEE-754 double, as all JS numbers are.
     Num(f64),
+    /// An immutable, cheaply-cloned string primitive.
     Str(Rc<str>),
+    /// A reference into the object heap.
     Object(ObjRef),
 }
 
 impl Value {
+    /// Build a `Value::Str` from any string-ish input.
     pub fn str<S: AsRef<str>>(s: S) -> Value {
         Value::Str(Rc::from(s.as_ref()))
     }
@@ -57,6 +64,7 @@ impl Value {
         }
     }
 
+    /// The object reference, if this value is one.
     pub fn as_object(&self) -> Option<&ObjRef> {
         match self {
             Value::Object(o) => Some(o),
@@ -114,23 +122,35 @@ pub enum ObjKind {
     /// Interpreted function (closure).
     Function(JsFunction),
     /// Host function implemented in Rust.
-    Native { name: String, f: NativeFn },
+    Native {
+        /// Diagnostic name (shown in stringification and errors).
+        name: String,
+        /// The Rust implementation.
+        f: NativeFn,
+    },
 }
 
 /// An interpreted function: AST + captured environment.
 pub struct JsFunction {
+    /// Function name, when declared or inferred.
     pub name: Option<String>,
+    /// The parsed function body and parameters.
     pub func: Rc<Func>,
+    /// The environment captured at definition (closure scope).
     pub env: ScopeRef,
 }
 
 /// Object payload.
 pub struct Obj {
+    /// What the object is (plain, array, function, native).
     pub kind: ObjKind,
-    /// Named properties, with `key_order` preserving insertion order for
-    /// `for-in` and `Object.keys`.
-    pub props: HashMap<String, Value>,
-    pub key_order: Vec<String>,
+    /// Named properties, keyed by interned [`Sym`] so the hot property
+    /// path never hashes key bytes twice; `key_order` preserves insertion
+    /// order for `for-in` and `Object.keys`.
+    pub props: FxHashMap<Sym, Value>,
+    /// Insertion order of `props` keys.
+    pub key_order: Vec<Sym>,
+    /// Prototype link (`[[Prototype]]`).
     pub proto: Option<ObjRef>,
     /// Free-form tag used by `ceres-dom` to mark DOM/Canvas objects so the
     /// analysis can classify accesses (Table 3, "DOM access" column).
@@ -138,20 +158,34 @@ pub struct Obj {
 }
 
 impl Obj {
+    /// Own (non-prototype) property by string key.
     pub fn get_own(&self, key: &str) -> Option<Value> {
-        self.props.get(key).cloned()
+        self.get_own_sym(intern(key))
     }
 
+    /// [`Obj::get_own`] with a pre-interned key.
+    pub fn get_own_sym(&self, key: Sym) -> Option<Value> {
+        self.props.get(&key).cloned()
+    }
+
+    /// Set an own property by string key, preserving insertion order.
     pub fn set_prop(&mut self, key: &str, value: Value) {
-        if !self.props.contains_key(key) {
-            self.key_order.push(key.to_string());
-        }
-        self.props.insert(key.to_string(), value);
+        self.set_prop_sym(intern(key), value);
     }
 
+    /// [`Obj::set_prop`] with a pre-interned key.
+    pub fn set_prop_sym(&mut self, key: Sym, value: Value) {
+        if !self.props.contains_key(&key) {
+            self.key_order.push(key);
+        }
+        self.props.insert(key, value);
+    }
+
+    /// `delete obj.key`: remove an own property; true if it existed.
     pub fn delete_prop(&mut self, key: &str) -> bool {
-        if self.props.remove(key).is_some() {
-            self.key_order.retain(|k| k != key);
+        let key = intern(key);
+        if self.props.remove(&key).is_some() {
+            self.key_order.retain(|k| *k != key);
             true
         } else {
             false
@@ -171,6 +205,7 @@ thread_local! {
 }
 
 impl ObjRef {
+    /// Allocate a fresh object with a unique heap id.
     pub fn new(kind: ObjKind) -> ObjRef {
         let id = NEXT_OBJ_ID.with(|c| {
             let id = c.get();
@@ -181,7 +216,7 @@ impl ObjRef {
             id,
             inner: Rc::new(RefCell::new(Obj {
                 kind,
-                props: HashMap::new(),
+                props: FxHashMap::default(),
                 key_order: Vec::new(),
                 proto: None,
                 tag: None,
@@ -194,14 +229,17 @@ impl ObjRef {
         self.id
     }
 
+    /// Immutable borrow of the payload.
     pub fn borrow(&self) -> std::cell::Ref<'_, Obj> {
         self.inner.borrow()
     }
 
+    /// Mutable borrow of the payload.
     pub fn borrow_mut(&self) -> std::cell::RefMut<'_, Obj> {
         self.inner.borrow_mut()
     }
 
+    /// Is this a function (interpreted or native)?
     pub fn is_callable(&self) -> bool {
         matches!(
             self.inner.borrow().kind,
@@ -209,6 +247,7 @@ impl ObjRef {
         )
     }
 
+    /// Is this an array object?
     pub fn is_array(&self) -> bool {
         matches!(self.inner.borrow().kind, ObjKind::Array(_))
     }
@@ -261,14 +300,17 @@ impl ObjRef {
         self.inner.borrow().tag
     }
 
+    /// Tag the object as host-provided (DOM/Canvas attribution).
     pub fn set_tag(&self, tag: &'static str) {
         self.inner.borrow_mut().tag = Some(tag);
     }
 
+    /// The prototype link.
     pub fn proto(&self) -> Option<ObjRef> {
         self.inner.borrow().proto.clone()
     }
 
+    /// Replace the prototype link.
     pub fn set_proto(&self, proto: Option<ObjRef>) {
         self.inner.borrow_mut().proto = proto;
     }
@@ -278,21 +320,32 @@ impl ObjRef {
         self.inner.borrow().get_own(key)
     }
 
+    /// [`ObjRef::get_own`] with a pre-interned key.
+    pub fn get_own_sym(&self, key: Sym) -> Option<Value> {
+        self.inner.borrow().get_own_sym(key)
+    }
+
     /// Set an own named property.
     pub fn set_prop(&self, key: &str, value: Value) {
         self.inner.borrow_mut().set_prop(key, value);
     }
 
+    /// [`ObjRef::set_prop`] with a pre-interned key.
+    pub fn set_prop_sym(&self, key: Sym, value: Value) {
+        self.inner.borrow_mut().set_prop_sym(key, value);
+    }
+
     /// Own enumerable keys in insertion order; for arrays, indices first.
-    pub fn own_keys(&self) -> Vec<String> {
+    /// Table-backed keys are `Rc` clones (no byte copies).
+    pub fn own_keys(&self) -> Vec<Rc<str>> {
         let obj = self.inner.borrow();
         let mut keys = Vec::new();
         if let ObjKind::Array(v) = &obj.kind {
             for i in 0..v.len() {
-                keys.push(i.to_string());
+                keys.push(Rc::from(i.to_string().as_str()));
             }
         }
-        keys.extend(obj.key_order.iter().cloned());
+        keys.extend(obj.key_order.iter().map(|k| resolve(*k)));
         keys
     }
 }
@@ -372,11 +425,15 @@ mod tests {
         assert!(matches!(a.array_get(3), Some(Value::Num(n)) if n == 4.0));
     }
 
+    fn keys(o: &ObjRef) -> Vec<String> {
+        o.own_keys().iter().map(|k| k.to_string()).collect()
+    }
+
     #[test]
     fn own_keys_arrays_then_props() {
         let a = new_array(vec![Value::Num(1.0), Value::Num(2.0)]);
         a.set_prop("name", Value::str("xs"));
-        assert_eq!(a.own_keys(), vec!["0", "1", "name"]);
+        assert_eq!(keys(&a), vec!["0", "1", "name"]);
     }
 
     #[test]
@@ -385,9 +442,9 @@ mod tests {
         o.set_prop("b", Value::Num(1.0));
         o.set_prop("a", Value::Num(2.0));
         o.set_prop("b", Value::Num(3.0)); // overwrite keeps position
-        assert_eq!(o.own_keys(), vec!["b", "a"]);
+        assert_eq!(keys(&o), vec!["b", "a"]);
         assert!(o.borrow_mut().delete_prop("b"));
-        assert_eq!(o.own_keys(), vec!["a"]);
+        assert_eq!(keys(&o), vec!["a"]);
         assert!(!o.borrow_mut().delete_prop("zzz"));
     }
 }

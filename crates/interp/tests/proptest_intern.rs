@@ -1,0 +1,96 @@
+//! Property tests for the `intern` symbol table: every JS property key —
+//! unicode, numeric-looking, empty, enormous — must round-trip through a
+//! `Sym` exactly, and the numeric fast paths must agree with the string
+//! slow path.
+
+use ceres_interp::intern::{intern, resolve, Sym};
+use proptest::prelude::*;
+
+/// Keys a JS program can actually produce: identifiers, unicode, numeric
+/// strings (canonical and not), and arbitrary garbage.
+fn any_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // identifier-ish keys, including empty (the vendored pattern
+        // strategy supports exactly one `[class]{m,n}` term)
+        "[a-zA-Z0-9_$]{0,12}",
+        // unicode keys: Greek, CJK, combining-friendly latin, spaces
+        "[a-z0-9αβγδ木水火ümïé .]{0,12}",
+        // canonical array indices
+        (0u32..u32::MAX).prop_map(|n| n.to_string()),
+        // non-canonical numerics: leading zeros, signs, fractions
+        (0u32..100_000u32).prop_map(|n| format!("0{n}")),
+        (0u32..100_000u32).prop_map(|n| format!("-{n}")),
+        (0u32..100_000u32).prop_map(|n| format!("+{n}")),
+        ((0u32..10_000u32), (0u32..10_000u32)).prop_map(|(a, b)| format!("{a}.{b}")),
+        // huge integers beyond the inline range
+        (0x8000_0000u64..u64::MAX).prop_map(|n| n.to_string()),
+    ]
+}
+
+/// f64s covering every inline-gate branch: canonical indices, negatives,
+/// fractions, and values beyond the inline range.
+fn js_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u32..u32::MAX).prop_map(|n| n as f64),
+        (-1_000_000i64..1_000_000).prop_map(|n| n as f64),
+        (-1_000_000i64..1_000_000).prop_map(|n| n as f64 / 64.0),
+        (0x8000_0000u64..u64::MAX).prop_map(|n| n as f64),
+    ]
+}
+
+proptest! {
+    /// resolve(intern(s)) == s, for every key shape.
+    #[test]
+    fn sym_round_trips_any_key(s in any_key()) {
+        let sym = intern(&s);
+        prop_assert_eq!(&*resolve(sym), s.as_str());
+    }
+
+    /// Interning is stable: the same text always yields the same Sym, and
+    /// equal Syms mean equal text.
+    #[test]
+    fn interning_is_stable_and_injective(a in any_key(), b in any_key()) {
+        let sa = intern(&a);
+        let sb = intern(&b);
+        prop_assert_eq!(sa, intern(&a));
+        prop_assert_eq!(sa == sb, a == b, "{:?} vs {:?}", a, b);
+    }
+
+    /// The numeric fast path agrees with interning the decimal text: for
+    /// any f64 that is a canonical array index, `Sym::from_f64` and
+    /// `intern(&n.to_string())` are the same symbol.
+    #[test]
+    fn inline_numbers_unify_with_their_decimal_strings(n in 0u32..0x7FFF_FFFEu32) {
+        let from_num = Sym::from_f64(n as f64).expect("in inline range");
+        let from_str = intern(&n.to_string());
+        prop_assert_eq!(from_num, from_str);
+        prop_assert_eq!(&*resolve(from_num), n.to_string().as_str());
+        prop_assert!(from_num.is_numeric());
+    }
+
+    /// `is_numeric` matches the engine's `[*]`-collapse predicate
+    /// (`key.parse::<f64>().is_ok()`) for every key shape, so subjects
+    /// render identically to the pre-interning engine.
+    #[test]
+    fn is_numeric_matches_parse_predicate(s in any_key()) {
+        let sym = intern(&s);
+        prop_assert_eq!(
+            sym.is_numeric(),
+            s.parse::<f64>().is_ok(),
+            "key {:?}", s
+        );
+    }
+
+    /// Fractional, negative, and out-of-range numbers never take the
+    /// inline path (they must go through the string table to keep
+    /// `resolve` exact), while canonical indices always do.
+    #[test]
+    fn inline_gate_matches_canonical_index_rule(n in js_float()) {
+        if let Some(sym) = Sym::from_f64(n) {
+            // Inline only for canonical indices: value round-trips.
+            prop_assert_eq!(sym.as_index().unwrap() as f64, if n == 0.0 { 0.0 } else { n });
+        } else {
+            prop_assert!(n != n.trunc() || !(0.0..=0x7FFF_FFFEu32 as f64).contains(&n));
+        }
+    }
+}

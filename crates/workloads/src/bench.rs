@@ -1,0 +1,402 @@
+//! Fleet benchmark harness behind `repro bench` — the repo's recorded
+//! perf trajectory.
+//!
+//! The paper's measurement lesson (Sec. 3.4) is that dependence
+//! instrumentation dominates cost; the causal-profiling literature adds
+//! that perf claims need a *reproducible harness*, not ad-hoc timings.
+//! This module is that harness: it runs the full 12-app fleet under each
+//! of the three instrumentation modes and records, per mode,
+//!
+//! * the **wall time** of one sequential fleet pass (best of `reps`,
+//!   after a warmup pass — machine-dependent, the number optimizations
+//!   move);
+//! * the **virtual-clock ticks** summed over the fleet (deterministic —
+//!   the number optimizations must *not* move);
+//! * the tick-denominated **geometric-mean slowdown** vs the lightweight
+//!   baseline (the Sec. 3.4 ledger, per mode);
+//! * aggregated per-phase costs from the `obs` spans
+//!   (`parse → rewrite → interp → analyze → report`).
+//!
+//! Reports are versioned JSON (`BENCH_<n>.json`). A run may embed a
+//! previous report as its baseline (`repro bench --baseline FILE`), so a
+//! single artifact carries the before/after pair and the headline
+//! dependence-mode speedup — every PR appends a comparable datapoint.
+//! See `docs/PERFORMANCE.md` for the playbook.
+
+use crate::fleet::run_fleet_report;
+use ceres_core::fleet::FleetOutcome;
+use ceres_core::obs::PHASES;
+use ceres_core::Mode;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` layout. Bump on any breaking change and
+/// update `docs/PERFORMANCE.md` alongside.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The three instrumentation modes, in ledger order (lightweight first:
+/// it is the slowdown baseline).
+const MODES: &[Mode] = &[Mode::Lightweight, Mode::LoopProfile, Mode::Dependence];
+
+/// Aggregated cost of one pipeline phase, summed over the 12 apps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase name; one of [`ceres_core::obs::PHASES`].
+    pub phase: String,
+    /// Virtual-clock ticks the phase consumed, fleet-wide. Deterministic.
+    pub ticks: u64,
+    /// Wall time the phase consumed in the measured pass, fleet-wide, in
+    /// microseconds. Machine-dependent.
+    pub wall_us: u64,
+}
+
+/// One mode's measurements over the whole fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeBench {
+    /// Mode name (`Debug` rendering: `Lightweight`, `LoopProfile`,
+    /// `Dependence`).
+    pub mode: String,
+    /// Wall time of one sequential fleet pass, best of `reps`, in
+    /// milliseconds. Machine-dependent; the optimization target.
+    pub wall_ms: f64,
+    /// Virtual-clock ticks summed over the 12 apps. Deterministic; must
+    /// be invariant under pure perf work.
+    pub total_ticks: u64,
+    /// Tick-denominated geometric mean of per-app slowdown vs the
+    /// lightweight baseline (1.0 for lightweight itself). Deterministic.
+    pub geomean_slowdown: f64,
+    /// Per-phase aggregates from the measured pass, in [`PHASES`] order.
+    pub phases: Vec<PhaseCost>,
+}
+
+/// One harness run: all three modes at one scale, under one label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Caller-chosen label (e.g. `pre-intern-baseline`, `current`).
+    pub label: String,
+    /// Workload problem-size multiplier.
+    pub scale: u32,
+    /// Timed repetitions per mode (after one untimed warmup).
+    pub reps: u32,
+    /// Per-mode measurements, in Lightweight / LoopProfile / Dependence order.
+    pub modes: Vec<ModeBench>,
+}
+
+impl BenchEntry {
+    /// The measurements for `mode` (`Debug` name), if present.
+    pub fn mode(&self, mode: &str) -> Option<&ModeBench> {
+        self.modes.iter().find(|m| m.mode == mode)
+    }
+}
+
+/// The versioned `BENCH_*.json` document: a baseline-first sequence of
+/// entries plus the headline comparison between the newest entry and the
+/// first (the recorded baseline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Entries in chronological order; `entries[0]` is the baseline.
+    pub entries: Vec<BenchEntry>,
+    /// Dependence-mode wall speedup of the last entry over the first
+    /// (`baseline.wall_ms / current.wall_ms`); `null` with one entry.
+    pub dep_wall_speedup_vs_baseline: Option<f64>,
+}
+
+impl BenchReport {
+    /// Wrap a single entry (no baseline to compare against).
+    pub fn single(entry: BenchEntry) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            entries: vec![entry],
+            dep_wall_speedup_vs_baseline: None,
+        }
+    }
+
+    /// Append `entry` to a prior report and recompute the headline
+    /// dependence-mode wall speedup of `entry` vs the report's first
+    /// entry.
+    pub fn with_baseline(mut baseline: BenchReport, entry: BenchEntry) -> BenchReport {
+        baseline.entries.push(entry);
+        baseline.dep_wall_speedup_vs_baseline = dep_speedup(&baseline.entries);
+        baseline.schema_version = BENCH_SCHEMA_VERSION;
+        baseline
+    }
+
+    /// Pretty-printed JSON, trailing newline included (the `BENCH_*.json`
+    /// artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("BenchReport serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a previously written report.
+    pub fn from_json(json: &str) -> Result<BenchReport, String> {
+        let report: BenchReport = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if report.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema version {} != supported {}",
+                report.schema_version, BENCH_SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Dependence-mode wall speedup of the last entry over the first, when
+/// both measured that mode.
+fn dep_speedup(entries: &[BenchEntry]) -> Option<f64> {
+    let first = entries.first()?.mode("Dependence")?;
+    let last = entries.last()?.mode("Dependence")?;
+    if first.wall_ms <= 0.0 || last.wall_ms <= 0.0 {
+        return None;
+    }
+    Some(first.wall_ms / last.wall_ms)
+}
+
+/// Per-app deterministic tick readings of one fleet outcome, in registry
+/// order. Panics if any app failed — a bench over a broken fleet would
+/// record garbage.
+fn app_ticks(outcome: &FleetOutcome) -> Vec<u64> {
+    outcome
+        .apps
+        .iter()
+        .map(|a| {
+            a.report
+                .as_ref()
+                .unwrap_or_else(|| panic!("bench expects a clean fleet, {} failed", a.slug))
+                .obs
+                .counters
+                .interp_ticks
+        })
+        .collect()
+}
+
+/// Sum the per-phase span costs over every app of an outcome, in
+/// [`PHASES`] order.
+fn phase_costs(outcome: &FleetOutcome) -> Vec<PhaseCost> {
+    PHASES
+        .iter()
+        .map(|phase| {
+            let mut ticks = 0;
+            let mut wall_us = 0;
+            for a in &outcome.apps {
+                if let Some(r) = &a.report {
+                    for s in &r.obs.spans {
+                        if s.phase == *phase {
+                            ticks += s.ticks();
+                            wall_us += s.wall_us;
+                        }
+                    }
+                }
+            }
+            PhaseCost {
+                phase: phase.to_string(),
+                ticks,
+                wall_us,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of element-wise `num[i] / den[i]` ratios.
+fn geomean_ratio(num: &[u64], den: &[u64]) -> f64 {
+    if num.is_empty() || num.len() != den.len() {
+        return 0.0;
+    }
+    let log_sum: f64 = num
+        .iter()
+        .zip(den)
+        .map(|(n, d)| {
+            if *d == 0 {
+                0.0
+            } else {
+                (*n as f64 / *d as f64).max(f64::MIN_POSITIVE).ln()
+            }
+        })
+        .sum();
+    (log_sum / num.len() as f64).exp()
+}
+
+/// Run the harness: one warmup plus `reps` timed sequential fleet passes
+/// per mode, keeping the best wall time and the (deterministic) tick
+/// readings. `reps` is clamped to ≥ 1.
+pub fn run_bench(label: &str, scale: u32, reps: u32) -> BenchEntry {
+    let reps = reps.max(1);
+    let mut light_ticks: Vec<u64> = Vec::new();
+    let mut modes = Vec::new();
+    for &mode in MODES {
+        // Warmup: touches lazy statics, file cache, allocator arenas.
+        run_fleet_report(mode, scale, 1);
+        let mut best_ms = f64::INFINITY;
+        let mut best: Option<FleetOutcome> = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let outcome = run_fleet_report(mode, scale, 1);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if ms < best_ms {
+                best_ms = ms;
+                best = Some(outcome);
+            }
+        }
+        let outcome = best.expect("reps >= 1");
+        let ticks = app_ticks(&outcome);
+        if matches!(mode, Mode::Lightweight) {
+            light_ticks = ticks.clone();
+        }
+        modes.push(ModeBench {
+            mode: format!("{mode:?}"),
+            wall_ms: best_ms,
+            total_ticks: ticks.iter().sum(),
+            geomean_slowdown: geomean_ratio(&ticks, &light_ticks),
+            phases: phase_costs(&outcome),
+        });
+    }
+    BenchEntry {
+        label: label.to_string(),
+        scale,
+        reps,
+        modes,
+    }
+}
+
+/// Terminal rendering of a report: one block per entry, one row per mode,
+/// plus the headline baseline comparison when present.
+pub fn render_bench(report: &BenchReport) -> String {
+    let mut out = String::new();
+    for e in &report.entries {
+        out.push_str(&format!(
+            "[{}] scale={} reps={}\n{:<14}{:>12}{:>16}{:>12}\n",
+            e.label, e.scale, e.reps, "mode", "wall ms", "ticks", "geomean x"
+        ));
+        for m in &e.modes {
+            out.push_str(&format!(
+                "{:<14}{:>12.1}{:>16}{:>12.2}\n",
+                m.mode, m.wall_ms, m.total_ticks, m.geomean_slowdown
+            ));
+        }
+    }
+    if let Some(x) = report.dep_wall_speedup_vs_baseline {
+        out.push_str(&format!(
+            "dependence-mode wall speedup vs baseline ({} -> {}): {x:.2}x\n",
+            report
+                .entries
+                .first()
+                .map(|e| e.label.as_str())
+                .unwrap_or("?"),
+            report
+                .entries
+                .last()
+                .map(|e| e.label.as_str())
+                .unwrap_or("?"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mode_bench(mode: &str, wall_ms: f64, ticks: u64) -> ModeBench {
+        ModeBench {
+            mode: mode.to_string(),
+            wall_ms,
+            total_ticks: ticks,
+            geomean_slowdown: 1.0,
+            phases: Vec::new(),
+        }
+    }
+
+    fn entry(label: &str, dep_wall: f64) -> BenchEntry {
+        BenchEntry {
+            label: label.to_string(),
+            scale: 1,
+            reps: 3,
+            modes: vec![
+                mode_bench("Lightweight", 10.0, 100),
+                mode_bench("LoopProfile", 15.0, 150),
+                mode_bench("Dependence", dep_wall, 400),
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_reports_dependence_wall_speedup() {
+        let base = BenchReport::single(entry("before", 30.0));
+        let merged = BenchReport::with_baseline(base, entry("after", 20.0));
+        assert_eq!(merged.entries.len(), 2);
+        let x = merged.dep_wall_speedup_vs_baseline.expect("speedup");
+        assert!((x - 1.5).abs() < 1e-9, "{x}");
+        let rendered = render_bench(&merged);
+        assert!(rendered.contains("before"), "{rendered}");
+        assert!(rendered.contains("1.50x"), "{rendered}");
+    }
+
+    #[test]
+    fn single_entry_has_no_speedup() {
+        let r = BenchReport::single(entry("only", 30.0));
+        assert_eq!(r.dep_wall_speedup_vs_baseline, None);
+        assert_eq!(r.schema_version, BENCH_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let base = BenchReport::single(entry("before", 30.0));
+        let merged = BenchReport::with_baseline(base, entry("after", 20.0));
+        let back = BenchReport::from_json(&merged.to_json()).expect("parses");
+        assert_eq!(merged, back);
+    }
+
+    #[test]
+    fn schema_version_is_checked_on_parse() {
+        let mut r = BenchReport::single(entry("x", 1.0));
+        r.schema_version = 999;
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(BenchReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn geomean_ratio_matches_hand_computation() {
+        // ratios 2.0 and 8.0 → geomean 4.0
+        let x = geomean_ratio(&[20, 80], &[10, 10]);
+        assert!((x - 4.0).abs() < 1e-12, "{x}");
+        assert_eq!(geomean_ratio(&[], &[]), 0.0);
+        // zero denominators are treated as ratio 1 rather than poisoning
+        // the mean.
+        let y = geomean_ratio(&[5, 40], &[0, 10]);
+        assert!((y - 2.0).abs() < 1e-12, "{y}");
+    }
+
+    #[test]
+    fn harness_measures_all_modes_deterministically() {
+        // Tick fields must be reproducible run over run; wall time is not
+        // asserted (machine noise). reps=1 keeps the test quick.
+        let a = run_bench("a", 1, 1);
+        let b = run_bench("b", 1, 1);
+        assert_eq!(a.modes.len(), 3);
+        for (ma, mb) in a.modes.iter().zip(&b.modes) {
+            assert_eq!(ma.mode, mb.mode);
+            assert_eq!(ma.total_ticks, mb.total_ticks);
+            assert!((ma.geomean_slowdown - mb.geomean_slowdown).abs() < 1e-12);
+            let ticks_a: Vec<_> = ma
+                .phases
+                .iter()
+                .map(|p| (p.phase.clone(), p.ticks))
+                .collect();
+            let ticks_b: Vec<_> = mb
+                .phases
+                .iter()
+                .map(|p| (p.phase.clone(), p.ticks))
+                .collect();
+            assert_eq!(ticks_a, ticks_b);
+        }
+        // The Sec. 3.4 ordering holds on the geomean.
+        let dep = a.mode("Dependence").unwrap().geomean_slowdown;
+        let lp = a.mode("LoopProfile").unwrap().geomean_slowdown;
+        let lw = a.mode("Lightweight").unwrap().geomean_slowdown;
+        assert!((lw - 1.0).abs() < 1e-12);
+        assert!(dep > lp && lp >= 1.0, "dep {dep} loop {lp}");
+    }
+}

@@ -6,11 +6,13 @@
 //! to demonstrate that the latent parallelism JS-CERES finds is actually
 //! exploitable (the Sec. 4.2 Amdahl discussion).
 
+pub mod bench;
 pub mod fleet;
 pub mod native;
 pub mod overhead;
 pub mod registry;
 
+pub use bench::{render_bench, run_bench, BenchEntry, BenchReport, ModeBench, PhaseCost};
 pub use fleet::{fleet_jobs, run_fleet_report, run_fleet_report_with};
 pub use overhead::{overhead_ledger, render_overhead, OverheadRow};
 pub use registry::{all, by_slug, run_workload, run_workload_budgeted, PaperExpectation, Workload};

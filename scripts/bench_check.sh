@@ -1,29 +1,73 @@
 #!/usr/bin/env bash
-# Fleet speedup gate (manual / nightly CI): run the fleet analyzer
-# sequentially and with 4 workers, write BENCH_fleet.json, and fail if the
-# 4-worker speedup falls below 1.5x.
+# Benchmark gates. Two modes:
 #
-# The gate only makes sense with real cores to spread across: on a 1-2
-# core machine (small containers, throttled runners) the parallel run
-# cannot win, so the script records the numbers but skips the threshold.
+#   bench_check.sh overhead   (default)
+#       Run `repro bench` against the committed baseline (BENCH_0004.json)
+#       and fail if the dependence-mode overhead geomean regresses by more
+#       than 10%. The geomean is virtual-clock-denominated, so the gate is
+#       deterministic and safe on throttled CI runners; wall times are
+#       recorded in the artifact for humans but never gated on.
+#
+#   bench_check.sh fleet
+#       Fleet parallel-speedup gate (nightly CI): run the fleet analyzer
+#       sequentially and with 4 workers, write BENCH_fleet.json, and fail
+#       if the 4-worker speedup falls below 1.5x. Only enforced when the
+#       machine has enough real cores to spread across.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-WORKERS=${FLEET_BENCH_WORKERS:-4}
-OUT=${FLEET_BENCH_OUT:-BENCH_fleet.json}
-MIN_SPEEDUP=${FLEET_BENCH_MIN_SPEEDUP:-1.5}
+MODE=${1:-overhead}
 
-cargo build --release --bin repro
-target/release/repro fleet-bench --workers "$WORKERS" --json "$OUT"
-cat "$OUT"
+case "$MODE" in
+overhead)
+    BASELINE=${BENCH_BASELINE:-BENCH_0004.json}
+    OUT=${BENCH_OUT:-BENCH_ci.json}
+    MAX_REGRESSION=${BENCH_MAX_REGRESSION:-1.10}
 
-cores=$(nproc)
-if [ "$cores" -lt "$WORKERS" ]; then
-    echo "note: only $cores core(s) available for $WORKERS workers — recording numbers, skipping the ${MIN_SPEEDUP}x gate"
-    exit 0
-fi
+    cargo build --release --bin repro
+    target/release/repro bench --json "$OUT" --baseline "$BASELINE" --label ci
 
-python3 - "$OUT" "$MIN_SPEEDUP" <<'EOF'
+    python3 - "$OUT" "$MAX_REGRESSION" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+limit = float(sys.argv[2])
+entries = report["entries"]
+if len(entries) < 2:
+    sys.exit("FAIL: bench report has no baseline entry to compare against")
+
+def dep_geomean(entry):
+    for m in entry["modes"]:
+        if m["mode"] == "Dependence":
+            return m["geomean_slowdown"]
+    sys.exit(f"FAIL: entry {entry['label']!r} has no Dependence mode")
+
+base, cur = entries[0], entries[-1]
+b, c = dep_geomean(base), dep_geomean(cur)
+ratio = c / b
+print(f"dependence overhead geomean: baseline[{base['label']}]={b:.4f}x "
+      f"current[{cur['label']}]={c:.4f}x (ratio {ratio:.3f})")
+if ratio > limit:
+    sys.exit(f"FAIL: overhead geomean regressed {ratio:.3f}x > allowed {limit}x")
+print(f"OK: within the {limit}x regression budget")
+EOF
+    ;;
+
+fleet)
+    WORKERS=${FLEET_BENCH_WORKERS:-4}
+    OUT=${FLEET_BENCH_OUT:-BENCH_fleet.json}
+    MIN_SPEEDUP=${FLEET_BENCH_MIN_SPEEDUP:-1.5}
+
+    cargo build --release --bin repro
+    target/release/repro fleet-bench --workers "$WORKERS" --json "$OUT"
+    cat "$OUT"
+
+    cores=$(nproc)
+    if [ "$cores" -lt "$WORKERS" ]; then
+        echo "note: only $cores core(s) available for $WORKERS workers — recording numbers, skipping the ${MIN_SPEEDUP}x gate"
+        exit 0
+    fi
+
+    python3 - "$OUT" "$MIN_SPEEDUP" <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
 need = float(sys.argv[2])
@@ -34,3 +78,10 @@ if got < need:
              f"{report['workers']} workers)")
 print(f"OK: fleet speedup {got:.2f}x >= {need}x")
 EOF
+    ;;
+
+*)
+    echo "usage: bench_check.sh [overhead|fleet]" >&2
+    exit 2
+    ;;
+esac
