@@ -22,10 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 let run = analyze(
                     &server,
                     "app.js",
-                    AnalyzeOptions {
-                        mode,
-                        ..Default::default()
-                    },
+                    AnalyzeOptions::builder().mode(mode).build(),
                     Box::new(|_, _| Ok(())),
                 )
                 .unwrap();
@@ -48,11 +45,10 @@ fn bench_pipeline(c: &mut Criterion) {
                 let run = analyze(
                     &server,
                     "app.js",
-                    AnalyzeOptions {
-                        mode: Mode::Dependence,
-                        focus,
-                        ..Default::default()
-                    },
+                    AnalyzeOptions::builder()
+                        .mode(Mode::Dependence)
+                        .focus(focus)
+                        .build(),
                     Box::new(|_, _| Ok(())),
                 )
                 .unwrap();

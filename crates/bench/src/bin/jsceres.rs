@@ -98,12 +98,10 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--mode" => {
-                opts.mode = match next_value(&mut args, "--mode").as_str() {
-                    "light" | "lightweight" => Mode::Lightweight,
-                    "loop" | "profile" => Mode::LoopProfile,
-                    "dep" | "dependence" => Mode::Dependence,
-                    other => {
-                        eprintln!("unknown mode `{other}`");
+                opts.mode = match ceres_core::parse_mode(&next_value(&mut args, "--mode")) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("{e}");
                         usage();
                     }
                 };
@@ -150,123 +148,20 @@ fn parse_args() -> Options {
 /// `jsceres analyze-all`: fan the registered workloads across the fleet
 /// worker pool and print the merged Table 2/Table 3 renderings.
 fn analyze_all(args: &[String]) {
-    use ceres_core::fleet::{FaultPlan, FaultSpec, FleetPolicy};
-    let mut mode = Mode::Dependence;
-    let mut scale: u32 = 1;
-    let mut workers = ceres_core::fleet::default_workers();
-    let mut json: Option<String> = None;
-    let mut metrics_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
-    let mut deterministic = false;
-    let mut policy = FleetPolicy::default();
-    let mut inject: Option<FaultSpec> = None;
-    let mut inject_seed: u64 = 7;
-    let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
-            usage();
-        })
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--mode" => {
-                mode = match value(args, i, "--mode").as_str() {
-                    "light" | "lightweight" => Mode::Lightweight,
-                    "loop" | "profile" => Mode::LoopProfile,
-                    "dep" | "dependence" => Mode::Dependence,
-                    other => {
-                        eprintln!("unknown mode `{other}`");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--scale" => {
-                scale = value(args, i, "--scale").parse().unwrap_or(1);
-                i += 2;
-            }
-            "--workers" => {
-                workers = match value(args, i, "--workers").parse() {
-                    Ok(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--workers needs a positive integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--sequential" => {
-                workers = 1;
-                i += 1;
-            }
-            "--json" => {
-                json = Some(value(args, i, "--json"));
-                i += 2;
-            }
-            "--metrics" => {
-                metrics_path = Some(value(args, i, "--metrics"));
-                i += 2;
-            }
-            "--trace" => {
-                trace_path = Some(value(args, i, "--trace"));
-                i += 2;
-            }
-            "--deterministic" => {
-                deterministic = true;
-                i += 1;
-            }
-            "--watchdog-ticks" => {
-                policy.tick_budget = match value(args, i, "--watchdog-ticks").parse() {
-                    Ok(n) => Some(n),
-                    Err(_) => {
-                        eprintln!("--watchdog-ticks needs an integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--watchdog-wall-ms" => {
-                policy.wall_budget = match value(args, i, "--watchdog-wall-ms").parse() {
-                    Ok(ms) => std::time::Duration::from_millis(ms),
-                    Err(_) => {
-                        eprintln!("--watchdog-wall-ms needs an integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--inject" => {
-                inject = match FaultSpec::parse(&value(args, i, "--inject")) {
-                    Ok(s) => Some(s),
-                    Err(e) => {
-                        eprintln!("--inject: {e}");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--inject-seed" => {
-                inject_seed = match value(args, i, "--inject-seed").parse() {
-                    Ok(n) => n,
-                    Err(_) => {
-                        eprintln!("--inject-seed needs an integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "-h" | "--help" => usage(),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                usage();
-            }
-        }
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        usage();
     }
+    let flags = match ceres_bench::parse_fleet_args(args, ceres_bench::FleetArgs::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    let (mode, scale, workers) = (flags.mode, flags.scale, flags.workers);
+    let (json, metrics_path, trace_path) = (flags.json, flags.metrics, flags.trace);
+    let (deterministic, policy, faults) = (flags.deterministic, flags.policy, flags.faults);
 
-    let faults = inject
-        .filter(|s| !s.is_zero())
-        .map(|s| FaultPlan::new(s, inject_seed));
     let start = std::time::Instant::now();
     let outcome = ceres_workloads::run_fleet_report_with(mode, scale, workers, &policy, faults);
     let wall = start.elapsed().as_secs_f64();
@@ -402,13 +297,12 @@ fn main() {
     let run = analyze(
         &server,
         &opts.file,
-        AnalyzeOptions {
-            mode: opts.mode,
-            seed: opts.seed,
-            focus: opts.focus.map(ceres_ast::LoopId),
-            max_ticks: opts.max_ticks,
-            ..Default::default()
-        },
+        AnalyzeOptions::builder()
+            .mode(opts.mode)
+            .seed(opts.seed)
+            .focus(opts.focus.map(ceres_ast::LoopId))
+            .max_ticks(opts.max_ticks)
+            .build(),
         Box::new(|_, _| Ok(())),
     );
     let mut run = match run {

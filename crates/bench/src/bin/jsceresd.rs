@@ -1,0 +1,142 @@
+//! `jsceresd` — the persistent JS-CERES analysis service.
+//!
+//! ```text
+//! jsceresd [options]
+//!
+//!   --addr HOST:PORT        listen address (default 127.0.0.1:7015;
+//!                           port 0 picks a free port)
+//!   --workers <n>           job worker threads (default 2)
+//!   --queue-cap <n>         bounded job-queue capacity (default 64)
+//!   --cache-cap <n>         result-cache capacity, entries (default 256)
+//!   --mode light|loop|dep   default mode for requests that omit `mode`
+//!                           (default: loop)
+//!   --seed <n>              default seed (default 2015)
+//!   --watchdog-ticks <n>    per-job deterministic tick budget
+//!   --watchdog-wall-ms <n>  per-job wall-clock backstop (default 120000)
+//!   --deterministic         accepted for CLI symmetry; the daemon always
+//!                           serves canonical (deterministic) payloads
+//! ```
+//!
+//! Protocol: line-delimited JSON over TCP — see `docs/SERVING.md`. One
+//! request per line, one response line per request. Requests name either
+//! a registry workload (`{"app":"nbody"}` — any slug from
+//! `jsceres analyze-all`) or inline source (`{"source":"var x = 1;"}`),
+//! plus the analysis options of the `AnalyzeOptions` builder. Results
+//! are content-addressed: a repeated request is served byte-identically
+//! from the cache without re-entering the interpreter.
+//!
+//! The daemon prints `listening on ADDR` once ready and exits 0 after a
+//! client sends `{"op":"shutdown"}` and the drain completes.
+
+use ceres_core::serve::{serve, ServeConfig};
+use ceres_core::Mode;
+use ceres_workloads::registry_resolver;
+use std::net::TcpListener;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jsceresd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
+         \x20               [--mode light|loop|dep] [--seed N] [--watchdog-ticks N]\n\
+         \x20               [--watchdog-wall-ms N] [--deterministic]"
+    );
+    std::process::exit(2);
+}
+
+struct DaemonOptions {
+    addr: String,
+    config: ServeConfig,
+}
+
+fn parse_args() -> DaemonOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        usage();
+    }
+    let mut addr = "127.0.0.1:7015".to_string();
+    let mut config = ServeConfig::default();
+    // The shared parser owns the flags it knows; the daemon peels off its
+    // own (--addr/--queue-cap/--cache-cap) first.
+    let mut rest = Vec::new();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage();
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = value(&args, i, "--addr");
+                i += 2;
+            }
+            "--queue-cap" => {
+                config.queue_capacity = match value(&args, i, "--queue-cap").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--queue-cap needs a positive integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            "--cache-cap" => {
+                config.cache_capacity = match value(&args, i, "--cache-cap").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--cache-cap needs a positive integer");
+                        usage();
+                    }
+                };
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let defaults = ceres_bench::FleetArgs {
+        mode: Mode::LoopProfile,
+        workers: 2,
+        ..Default::default()
+    };
+    let flags = match ceres_bench::parse_fleet_args(&rest, defaults) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+        }
+    };
+    config.workers = flags.workers;
+    config.policy = flags.policy;
+    config.default_mode = flags.mode;
+    config.default_seed = flags.seed;
+    DaemonOptions { addr, config }
+}
+
+fn main() {
+    let opts = parse_args();
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    let policy = opts.config.policy.clone();
+    let handle = serve(listener, opts.config, registry_resolver(policy));
+    println!("listening on {}", handle.local_addr());
+    // Make the line visible to pipes/scripts immediately.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let counters = handle.join();
+    eprintln!(
+        "drained: {} requests ({} hits, {} misses), {} jobs ok, {} failed",
+        counters.requests,
+        counters.cache_hits,
+        counters.cache_misses,
+        counters.jobs_ok,
+        counters.jobs_failed
+    );
+}

@@ -285,10 +285,9 @@ fn fig5() {
     let mut run = ceres_core::analyze(
         &server,
         "index.html",
-        ceres_core::AnalyzeOptions {
-            mode: Mode::Dependence,
-            ..Default::default()
-        },
+        ceres_core::AnalyzeOptions::builder()
+            .mode(Mode::Dependence)
+            .build(),
         Box::new(|_, _| Ok(())),
     )
     .expect("pipeline");
@@ -330,115 +329,16 @@ fn fig6() {
 // Parallel fleet analyzer
 // ---------------------------------------------------------------------
 
-struct FleetFlags {
-    workers: usize,
-    json: Option<String>,
-    metrics: Option<String>,
-    trace: Option<String>,
-    deterministic: bool,
-    policy: ceres_core::FleetPolicy,
-    faults: Option<ceres_core::FaultPlan>,
-}
-
-fn parse_fleet_flags(args: &[String]) -> FleetFlags {
-    let mut flags = FleetFlags {
-        workers: ceres_core::fleet::default_workers(),
-        json: None,
-        metrics: None,
-        trace: None,
-        deterministic: false,
-        policy: ceres_core::FleetPolicy::default(),
-        faults: None,
-    };
-    let mut inject: Option<ceres_core::FaultSpec> = None;
-    let mut inject_seed: u64 = 7;
-    let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
+/// Parse the shared fleet flag set (see `ceres_bench::args`), exiting
+/// with the usage code on error.
+fn parse_fleet_flags(args: &[String]) -> ceres_bench::FleetArgs {
+    match ceres_bench::parse_fleet_args(args, ceres_bench::FleetArgs::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
-        })
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--workers" => {
-                flags.workers = match args.get(i + 1).and_then(|v| v.parse().ok()) {
-                    Some(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--workers needs a positive integer");
-                        std::process::exit(2);
-                    }
-                };
-                i += 2;
-            }
-            "--sequential" => {
-                flags.workers = 1;
-                i += 1;
-            }
-            "--json" => {
-                flags.json = Some(value(args, i, "--json"));
-                i += 2;
-            }
-            "--metrics" => {
-                flags.metrics = Some(value(args, i, "--metrics"));
-                i += 2;
-            }
-            "--trace" => {
-                flags.trace = Some(value(args, i, "--trace"));
-                i += 2;
-            }
-            "--deterministic" => {
-                flags.deterministic = true;
-                i += 1;
-            }
-            "--watchdog-ticks" => {
-                flags.policy.tick_budget = value(args, i, "--watchdog-ticks").parse().ok();
-                if flags.policy.tick_budget.is_none() {
-                    eprintln!("--watchdog-ticks needs an integer");
-                    std::process::exit(2);
-                }
-                i += 2;
-            }
-            "--watchdog-wall-ms" => {
-                flags.policy.wall_budget = match value(args, i, "--watchdog-wall-ms").parse() {
-                    Ok(ms) => std::time::Duration::from_millis(ms),
-                    Err(_) => {
-                        eprintln!("--watchdog-wall-ms needs an integer");
-                        std::process::exit(2);
-                    }
-                };
-                i += 2;
-            }
-            "--inject" => {
-                inject = match ceres_core::FaultSpec::parse(&value(args, i, "--inject")) {
-                    Ok(s) => Some(s),
-                    Err(e) => {
-                        eprintln!("--inject: {e}");
-                        std::process::exit(2);
-                    }
-                };
-                i += 2;
-            }
-            "--inject-seed" => {
-                inject_seed = match value(args, i, "--inject-seed").parse() {
-                    Ok(n) => n,
-                    Err(_) => {
-                        eprintln!("--inject-seed needs an integer");
-                        std::process::exit(2);
-                    }
-                };
-                i += 2;
-            }
-            other => {
-                eprintln!("unknown fleet argument `{other}`");
-                std::process::exit(2);
-            }
         }
     }
-    flags.faults = inject
-        .filter(|s| !s.is_zero())
-        .map(|s| ceres_core::FaultPlan::new(s, inject_seed));
-    flags
 }
 
 fn fleet(args: &[String]) {
@@ -446,8 +346,8 @@ fn fleet(args: &[String]) {
     header("Parallel fleet analyzer: all 12 apps, one pipeline per worker");
     let start = Instant::now();
     let outcome = ceres_workloads::run_fleet_report_with(
-        Mode::Dependence,
-        1,
+        flags.mode,
+        flags.scale,
         flags.workers,
         &flags.policy,
         flags.faults,

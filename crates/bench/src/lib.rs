@@ -9,6 +9,10 @@
 //!   front-end throughput (`parser_throughput`), survey processing
 //!   (`survey_benches`), and the full pipeline (`pipeline_benches`).
 
+pub mod args;
+
+pub use args::{parse_fleet_args, FleetArgs};
+
 /// A small fixed JS program used by the overhead and pipeline benches: a
 /// loop nest with both disjoint and accumulating accesses.
 pub const BENCH_PROGRAM: &str = "\

@@ -1,4 +1,4 @@
-//! Smoke tests for the `jsceres` and `repro` binaries.
+//! Smoke tests for the `jsceres`, `repro`, and `jsceresd` binaries.
 
 use std::process::Command;
 
@@ -232,4 +232,59 @@ fn analyze_all_metrics_json_is_deterministic_across_worker_counts() {
     assert_eq!(seq, par, "deterministic metrics must not see the pool size");
     assert!(seq.contains("\"schema_version\": 1"), "{seq}");
     assert!(seq.contains("\"totals\""), "{seq}");
+}
+
+#[test]
+fn jsceresd_serves_caches_and_drains() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_jsceresd"))
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The daemon prints `listening on ADDR` once the socket is bound.
+    let mut stdout = BufReader::new(daemon.stdout.take().unwrap());
+    let mut ready = String::new();
+    stdout.read_line(&mut ready).unwrap();
+    let addr = ready
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+        .to_string();
+
+    let roundtrip = |line: &str| -> String {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+
+    let src =
+        r#"{"id":"s1","source":"var n = 0; for (var i = 0; i < 9; i++) { n += i; }","mode":"dep"}"#;
+    let cold = roundtrip(src);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    let warm = roundtrip(src);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+
+    let stats = roundtrip(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+
+    // Shutdown drains and the process exits 0 with a summary on stderr.
+    let bye = roundtrip(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let out = daemon.wait_with_output().unwrap();
+    assert!(out.status.success(), "daemon must exit 0 after drain");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drained:"), "{stderr}");
 }

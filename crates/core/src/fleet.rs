@@ -324,11 +324,21 @@ pub struct AppOutcome {
     pub report: Option<AppReport>,
 }
 
+/// Version of the externally consumed result envelope: the
+/// [`FleetOutcome`] JSON (`--json`) and the `jsceresd` wire protocol.
+/// Mirrors [`crate::obs::METRICS_SCHEMA_VERSION`], which versions the
+/// *metrics* payload nested inside; this constant versions the envelope
+/// around reports and statuses. Bump on any breaking change to either
+/// surface.
+pub const API_SCHEMA_VERSION: u32 = 1;
+
 /// The merged fleet result, app order matching the job order. Replaces the
 /// old all-or-nothing `Result<Vec<AppReport>, String>`: every app gets a
 /// status, and partial success is a first-class outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetOutcome {
+    /// Envelope schema version ([`API_SCHEMA_VERSION`] at construction).
+    pub api_schema_version: u32,
     /// Instrumentation mode every job ran under.
     pub mode: String,
     /// Workload scale factor the jobs were built with.
@@ -340,6 +350,17 @@ pub struct FleetOutcome {
 }
 
 impl FleetOutcome {
+    /// Assemble an outcome, stamping the current [`API_SCHEMA_VERSION`].
+    pub fn new(mode: String, scale: u32, workers: usize, apps: Vec<AppOutcome>) -> FleetOutcome {
+        FleetOutcome {
+            api_schema_version: API_SCHEMA_VERSION,
+            mode,
+            scale,
+            workers,
+            apps,
+        }
+    }
+
     /// Number of apps that completed successfully.
     pub fn succeeded(&self) -> usize {
         self.apps.iter().filter(|a| a.status.is_ok()).count()
@@ -377,6 +398,7 @@ impl FleetOutcome {
     /// count.
     pub fn canonical(&self) -> FleetOutcome {
         FleetOutcome {
+            api_schema_version: self.api_schema_version,
             mode: self.mode.clone(),
             scale: self.scale,
             workers: 0,
@@ -656,8 +678,11 @@ fn run_attempt(work: &JobWork, worker: usize, attempt: u32, slug: &str, wall: Du
 
 /// Supervise one job to a terminal [`AppOutcome`]: retry transient errors
 /// with exponential backoff, classify panics and timeouts, and never let
-/// anything unwind into the worker loop.
-fn run_job(job: &FleetJob, worker: usize, policy: &FleetPolicy) -> AppOutcome {
+/// anything unwind into the caller. This is the single-job entry point the
+/// fleet workers use internally; `jsceresd` calls it directly so every
+/// served request gets the same watchdog/retry/isolation treatment as a
+/// fleet run.
+pub fn supervise(job: &FleetJob, worker: usize, policy: &FleetPolicy) -> AppOutcome {
     let outcome = |status: AppStatus, attempts: u32, report: Option<AppReport>| AppOutcome {
         app: job.app.clone(),
         slug: job.slug.clone(),
@@ -771,7 +796,7 @@ pub fn run_fleet_with(
             s.spawn(move || loop {
                 let job = relock(queue).pop_front();
                 let Some((index, job)) = job else { break };
-                let outcome = run_job(&job, worker_id, policy);
+                let outcome = supervise(&job, worker_id, policy);
                 if tx.send((index, outcome)).is_err() {
                     break;
                 }
@@ -844,11 +869,11 @@ mod tests {
     }
 
     fn stub_outcome(n: usize) -> FleetOutcome {
-        FleetOutcome {
-            mode: "Dependence".to_string(),
-            scale: 1,
-            workers: 4,
-            apps: (0..n)
+        FleetOutcome::new(
+            "Dependence".to_string(),
+            1,
+            4,
+            (0..n)
                 .map(|i| AppOutcome {
                     app: format!("app-{i}"),
                     slug: format!("a{i}"),
@@ -857,7 +882,7 @@ mod tests {
                     report: Some(stub_report(i)),
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

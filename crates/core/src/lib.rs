@@ -46,31 +46,37 @@
 //! assert!(engine.warnings.iter().any(|w| w.subject == "total"));
 //! ```
 
+pub mod cache;
 pub mod classify;
 pub mod engine;
 pub mod fleet;
 pub mod obs;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 pub mod stack;
 pub mod suggest;
 pub mod tasks;
 pub mod welford;
 
+pub use cache::{sha256, sha256_hex, CacheKey, CacheStats, ResultCache};
 pub use classify::{
     amdahl_bound, amdahl_speedup, classify_nests, static_features, Difficulty, Divergence,
     NestClassification,
 };
 pub use engine::{attach_engine, run_instrumented, Engine, EngineRef, Warning, WarningKind};
 pub use fleet::{
-    default_workers, run_fleet, run_fleet_with, AppOutcome, AppReport, AppStatus, Fault, FaultPlan,
-    FaultSpec, FleetJob, FleetOutcome, FleetPolicy, JobError, NestReport, WarningReport,
+    default_workers, run_fleet, run_fleet_with, supervise, AppOutcome, AppReport, AppStatus, Fault,
+    FaultPlan, FaultSpec, FleetJob, FleetOutcome, FleetPolicy, JobError, NestReport, WarningReport,
+    API_SCHEMA_VERSION,
 };
 pub use obs::{
-    chrome_trace, AppMetrics, Counters, FleetMetrics, PhaseSpan, RunObs, METRICS_SCHEMA_VERSION,
+    chrome_trace, AppMetrics, Counters, FleetMetrics, PhaseSpan, RunObs, ServeCounters,
+    METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;
+pub use serve::{parse_mode, serve, AnalysisRequest, ServeConfig, ServerHandle};
 pub use stack::{
     characterize_write, characterize_write_bits, flow_dependence, flow_dependence_bits, render,
     CharBits, Characterization, Flag,

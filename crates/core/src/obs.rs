@@ -417,6 +417,38 @@ pub fn chrome_trace(metrics: &FleetMetrics) -> String {
     format!("[\n{}\n]\n", events.join(",\n"))
 }
 
+/// Serving-layer counters for `jsceresd` (see [`mod@crate::serve`]): cache
+/// traffic, queue pressure, and the cumulative interpreter-tick odometer
+/// that proves warm hits never re-enter the interpreter. Kept separate
+/// from [`Counters`] on purpose — `Counters` is part of the byte-pinned
+/// per-run metrics schema, while this struct describes one *process*
+/// serving many runs and is surfaced only through the daemon's `stats`
+/// op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Analysis requests accepted (cache hits included).
+    pub requests: u64,
+    /// Requests answered from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Requests that had to run the pipeline.
+    pub cache_misses: u64,
+    /// Cache entries evicted to respect the capacity bound.
+    pub cache_evictions: u64,
+    /// Requests rejected because the bounded job queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests rejected because the daemon was draining.
+    pub rejected_draining: u64,
+    /// Peak instantaneous depth of the job queue.
+    pub queue_peak_depth: u64,
+    /// Jobs that completed with [`crate::fleet::AppStatus::Ok`].
+    pub jobs_ok: u64,
+    /// Jobs that ended in any non-`Ok` status.
+    pub jobs_failed: u64,
+    /// Cumulative virtual interpreter ticks spent across all served jobs.
+    /// Unchanged across a warm hit — the zero-new-ticks proof.
+    pub interp_ticks: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,11 +545,11 @@ mod tests {
             report.wall_ms = 123.0;
             report.worker = 3;
         }
-        FleetOutcome {
-            mode: "Dependence".to_string(),
-            scale: 1,
-            workers: if deterministic_noise { 8 } else { 1 },
-            apps: vec![
+        FleetOutcome::new(
+            "Dependence".to_string(),
+            1,
+            if deterministic_noise { 8 } else { 1 },
+            vec![
                 AppOutcome {
                     app: "N-body".to_string(),
                     slug: "nbody".to_string(),
@@ -536,7 +568,7 @@ mod tests {
                     report: None,
                 },
             ],
-        }
+        )
     }
 
     #[test]

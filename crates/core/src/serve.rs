@@ -1,0 +1,919 @@
+//! `jsceresd`: the persistent analysis service.
+//!
+//! Four PRs in, every analysis was still a one-shot CLI invocation that
+//! re-parsed, re-instrumented, and re-interpreted from scratch. This
+//! module turns the pipeline into a long-running server — std-only
+//! (`std::net` + the same thread-per-worker pattern the fleet uses, no
+//! async runtime) — with three load-bearing properties:
+//!
+//! 1. **A stable wire surface.** Clients send one line-delimited JSON
+//!    [`AnalysisRequest`] per request over TCP; every response line is a
+//!    JSON envelope stamped with [`crate::fleet::API_SCHEMA_VERSION`].
+//!    The request fields map 1:1 onto the [`AnalyzeOptions`] builder, so the
+//!    daemon, `jsceres`, and `repro fleet` all speak the same options
+//!    vocabulary.
+//! 2. **A content-addressed result cache.** Each analyze request is keyed
+//!    by [`crate::cache::CacheKey`] — SHA-256 of the canonical source ×
+//!    mode × seed × focus × budgets — and a warm hit returns the stored
+//!    report + metrics **byte-identically** without re-entering the
+//!    interpreter (the `stats` op exposes a cumulative interp-tick
+//!    odometer precisely so tests can prove a hit added zero ticks).
+//! 3. **Supervised execution.** Every cache miss becomes a
+//!    [`FleetJob`] pushed onto a *bounded* queue (full ⇒ immediate
+//!    `queue full` rejection, not unbounded memory) and run through
+//!    [`crate::fleet::supervise`] — the same retry/watchdog/panic
+//!    isolation the fleet gives batch runs.
+//!
+//! Shutdown is a graceful drain: a `shutdown` op (or
+//! [`ServerHandle::shutdown`]) stops the accept loop and rejects new
+//! analyze requests, but every job already queued or in flight runs to
+//! completion and its client gets its response before the workers exit.
+//!
+//! Responses always use the canonical (deterministic) view of reports and
+//! metrics: a content-addressed cache makes wall-clock noise observable
+//! (a warm hit would otherwise return some *other* run's timings), so the
+//! served artifact is defined to be the part that is a pure function of
+//! the request. See `docs/SERVING.md` for the protocol reference.
+
+#![deny(missing_docs)]
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::fleet::{
+    supervise, AppOutcome, AppReport, FleetJob, FleetPolicy, JobError, JobWork, API_SCHEMA_VERSION,
+};
+use crate::obs::{FleetMetrics, ServeCounters};
+use crate::pipeline::{analyze, AnalyzeOptions, Document, WebServer};
+use ceres_instrument::Mode;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Tick budget for an injected hang when the policy does not set one
+/// (mirrors the fleet harness): long enough for any real request, short
+/// enough that the watchdog trips quickly.
+const HANG_FALLBACK_TICKS: u64 = 2_000_000;
+
+/// How often an idle connection handler wakes up to check for drain.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+/// One request line. Every field is optional on the wire; `op` defaults
+/// to `"analyze"` and the analysis fields default per [`ServeConfig`].
+/// The analysis fields mirror the [`AnalyzeOptions`] builder one-to-one.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnalysisRequest {
+    /// `"analyze"` (default), `"ping"`, `"stats"`, or `"shutdown"`.
+    pub op: Option<String>,
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<String>,
+    /// Registry workload slug to analyze (mutually exclusive with
+    /// `source`).
+    pub app: Option<String>,
+    /// Raw JavaScript (or HTML with inline scripts) to analyze.
+    pub source: Option<String>,
+    /// Instrumentation mode: `lightweight`, `loop-profile`, `dependence`.
+    pub mode: Option<String>,
+    /// Virtual-clock seed.
+    pub seed: Option<u64>,
+    /// Dependence-mode focus loop id.
+    pub focus: Option<u32>,
+    /// Event-processing cap.
+    pub max_events: Option<u64>,
+    /// Deterministic watchdog tick budget.
+    pub max_ticks: Option<u64>,
+    /// Registry workload scale factor.
+    pub scale: Option<u32>,
+    /// Fault to inject into this request's job (`panic`, `hang`, or
+    /// `error`), exercising the supervisor; injected requests are never
+    /// cached.
+    pub inject: Option<String>,
+}
+
+/// Parse a mode name as accepted on the CLI and the wire. The single
+/// source of truth — the shared bin args module delegates here.
+pub fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "light" | "lightweight" | "lw" => Ok(Mode::Lightweight),
+        "loop" | "loops" | "profile" | "loop-profile" => Ok(Mode::LoopProfile),
+        "dep" | "deps" | "dependence" => Ok(Mode::Dependence),
+        other => Err(format!(
+            "unknown mode `{other}` (want lightweight|loop-profile|dependence)"
+        )),
+    }
+}
+
+/// Minimal JSON string escaping for hand-assembled envelope fields.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Assemble a response envelope around a payload fragment. The fragment
+/// (everything after `cached`) is exactly what the cache stores, so a
+/// warm hit is byte-identical in every field that describes the result;
+/// only `id` and `cached` — which describe the *request* — may differ.
+fn envelope(id: &str, ok: bool, cached: bool, fragment: &str) -> String {
+    format!(
+        "{{\"schema\":{API_SCHEMA_VERSION},\"id\":\"{}\",\"ok\":{ok},\"cached\":{cached},{fragment}}}",
+        json_escape(id)
+    )
+}
+
+/// An error response line (bad request, queue full, draining, ...).
+fn error_line(id: &str, error: &str) -> String {
+    envelope(
+        id,
+        false,
+        false,
+        &format!("\"error\":\"{}\"", json_escape(error)),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Request resolution
+// ---------------------------------------------------------------------
+
+/// A request resolved to runnable work plus its cache identity.
+pub struct ResolvedJob {
+    /// Display name for the report.
+    pub app: String,
+    /// Short identifier.
+    pub slug: String,
+    /// Canonical source text — the content half of the [`CacheKey`]. For
+    /// registry apps this is the full generated HTML page (scale baked
+    /// in), so registry and inline requests for the same program share an
+    /// entry.
+    pub source: String,
+    /// The supervised work closure.
+    pub work: JobWork,
+    /// Whether an `Ok` result may be stored. Fault-injected requests are
+    /// not cacheable: their `attempts` count differs from a clean run, so
+    /// storing them would leak injection artifacts into clean hits.
+    pub cacheable: bool,
+}
+
+/// Maps a request to a [`ResolvedJob`]. The daemon supplies one that
+/// knows the workload registry; [`source_resolver`] handles raw-source
+/// requests only (`ceres-core` cannot depend on the workloads crate).
+pub type Resolver =
+    Arc<dyn Fn(&AnalysisRequest, &AnalyzeOptions) -> Result<ResolvedJob, String> + Send + Sync>;
+
+/// Build the supervised work closure for analyzing raw source text: its
+/// own `WebServer → instrument → Interp → Engine` stack per attempt,
+/// exactly like a fleet job. Sources starting with `<` are served as
+/// HTML (inline scripts extracted); anything else as plain JavaScript.
+pub fn source_work(app: String, slug: String, source: String, opts: AnalyzeOptions) -> JobWork {
+    Arc::new(move |worker, _attempt| {
+        let start = std::time::Instant::now();
+        let mut server = WebServer::new();
+        let doc = if source.trim_start().starts_with('<') {
+            Document::Html(source.clone())
+        } else {
+            Document::Js(source.clone())
+        };
+        server.publish("request.html", doc);
+        let run = analyze(
+            &server,
+            "request.html",
+            opts.clone(),
+            Box::new(|_, _| Ok(())),
+        )
+        .map_err(|c| JobError::from_control(&c))?;
+        let mut report = AppReport::from_run(&app, &slug, opts.mode, &run);
+        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.worker = worker;
+        Ok(report)
+    })
+}
+
+/// Wrap `inner` with an injected fault (`panic` | `hang` | `error`),
+/// mirroring the fleet's seeded harness: `panic` unwinds every attempt,
+/// `hang` spins the interpreter until the tick watchdog fires, `error`
+/// reports a transient failure on the first attempt and then lets the
+/// real work run — exercising panic isolation, watchdog cancellation,
+/// and retry respectively.
+pub fn inject_fault(
+    kind: &str,
+    slug: &str,
+    policy: &FleetPolicy,
+    inner: JobWork,
+) -> Result<JobWork, String> {
+    let slug = slug.to_string();
+    let budget = policy.tick_budget.unwrap_or(HANG_FALLBACK_TICKS);
+    match kind {
+        "panic" => Ok(Arc::new(move |_, _| {
+            panic!("injected fault: panic in {slug}")
+        })),
+        "hang" => Ok(Arc::new(move |_, _| {
+            let mut interp = ceres_interp::Interp::new(2015);
+            interp.max_ticks = Some(budget);
+            match interp.eval_source("for (;;) {}") {
+                Err(c) => Err(JobError::from_control(&c)),
+                Ok(()) => Err(JobError::Fatal(
+                    "injected hang terminated without tripping".to_string(),
+                )),
+            }
+        })),
+        "error" => Ok(Arc::new(move |worker, attempt| {
+            if attempt == 1 {
+                Err(JobError::Transient(format!(
+                    "injected fault: transient error in {slug}"
+                )))
+            } else {
+                inner(worker, attempt)
+            }
+        })),
+        other => Err(format!(
+            "unknown inject kind `{other}` (want panic|hang|error)"
+        )),
+    }
+}
+
+/// A resolver for raw-source requests only (no workload registry):
+/// rejects `app` requests. Used by core tests; the daemon layers the
+/// registry on top of the same [`source_work`]/[`inject_fault`] pieces.
+pub fn source_resolver(policy: FleetPolicy) -> Resolver {
+    Arc::new(move |req, opts| {
+        if req.app.is_some() {
+            return Err("this server has no workload registry; send `source`".to_string());
+        }
+        let source = req
+            .source
+            .clone()
+            .ok_or_else(|| "request needs `app` or `source`".to_string())?;
+        let slug = "inline".to_string();
+        let mut work = source_work(
+            "inline".to_string(),
+            slug.clone(),
+            source.clone(),
+            opts.clone(),
+        );
+        let cacheable = req.inject.is_none();
+        if let Some(kind) = &req.inject {
+            work = inject_fault(kind, &slug, &policy, work)?;
+        }
+        Ok(ResolvedJob {
+            app: "inline".to_string(),
+            slug,
+            source,
+            work,
+            cacheable,
+        })
+    })
+}
+
+/// Build [`AnalyzeOptions`] from a request plus the server defaults.
+/// Exposed so the daemon's resolver and the server core agree on exactly
+/// one mapping (and tests can construct the matching [`CacheKey`]).
+pub fn request_options(
+    req: &AnalysisRequest,
+    config: &ServeConfig,
+) -> Result<AnalyzeOptions, String> {
+    let mode = match &req.mode {
+        Some(m) => parse_mode(m)?,
+        None => config.default_mode,
+    };
+    let mut b = AnalyzeOptions::builder()
+        .mode(mode)
+        .seed(req.seed.unwrap_or(config.default_seed))
+        .focus(req.focus.map(ceres_ast::LoopId))
+        .max_ticks(req.max_ticks.or(config.policy.tick_budget))
+        .wall_budget(config.policy.wall_budget.checked_div(2));
+    if let Some(me) = req.max_events {
+        b = b.max_events(me as usize);
+    }
+    Ok(b.build())
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// Server knobs. `Default` gives a loopback-friendly test configuration;
+/// the daemon overrides from its flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queued jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects immediately.
+    pub queue_capacity: usize,
+    /// Result-cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// Supervision policy for every served job.
+    pub policy: FleetPolicy,
+    /// Mode used when a request omits `mode`.
+    pub default_mode: Mode,
+    /// Seed used when a request omits `seed`.
+    pub default_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            policy: FleetPolicy::default(),
+            default_mode: Mode::LoopProfile,
+            default_seed: 2015,
+        }
+    }
+}
+
+/// One queued unit of work: the supervised job, where to store the
+/// result, and where to send the response fragment.
+struct QueuedJob {
+    job: FleetJob,
+    key: CacheKey,
+    cacheable: bool,
+    reply: mpsc::Sender<(bool, String)>,
+}
+
+/// Queue state under the mutex: jobs plus the open/draining latch.
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    /// False once drain begins: workers exit when the queue is empty.
+    open: bool,
+}
+
+/// Everything shared between the accept loop, connection handlers, and
+/// workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: Mutex<ResultCache>,
+    counters: Mutex<ServeCounters>,
+    draining: AtomicBool,
+    config: ServeConfig,
+    resolver: Resolver,
+    addr: SocketAddr,
+}
+
+/// Poison-proof lock (a panicking thread must not wedge the server).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn bump(&self, f: impl FnOnce(&mut ServeCounters)) {
+        f(&mut relock(&self.counters));
+    }
+
+    /// Build the result fragment for a finished job. `Ok` outcomes carry
+    /// the canonical report + deterministic single-run metrics; failures
+    /// carry the status label and detail. Compact JSON throughout — the
+    /// protocol is line-delimited.
+    fn result_fragment(&self, key: &CacheKey, outcome: &AppOutcome) -> (bool, String) {
+        let head = format!(
+            "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
+            key.fingerprint(),
+            json_escape(&outcome.app),
+            json_escape(&outcome.slug),
+            json_escape(&outcome.status.label()),
+            outcome.attempts,
+        );
+        match &outcome.report {
+            Some(report) => {
+                let canonical = report.canonical();
+                let metrics = FleetMetrics::single(
+                    &canonical.app,
+                    &canonical.slug,
+                    &canonical.mode,
+                    &canonical.obs,
+                    true,
+                );
+                let report_json = serde_json::to_string(&canonical).expect("AppReport serializes");
+                let metrics_json =
+                    serde_json::to_string(&metrics).expect("FleetMetrics serializes");
+                (
+                    true,
+                    format!("{head},\"report\":{report_json},\"metrics\":{metrics_json}"),
+                )
+            }
+            None => {
+                let detail = outcome.status.detail().unwrap_or("");
+                (
+                    false,
+                    format!("{head},\"error\":\"{}\"", json_escape(detail)),
+                )
+            }
+        }
+    }
+}
+
+/// Handle to a running server: the bound address plus the threads to
+/// join. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] or send a `shutdown` op.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn counters(&self) -> ServeCounters {
+        *relock(&self.shared.counters)
+    }
+
+    /// Begin a graceful drain and wait for it to complete: stop
+    /// accepting, reject new analyze requests, finish everything queued
+    /// or in flight, then join all threads.
+    pub fn shutdown(mut self) {
+        begin_drain(&self.shared);
+        self.join_threads();
+    }
+
+    /// Wait until a client-initiated `shutdown` op drains the server.
+    pub fn join(mut self) -> ServeCounters {
+        self.join_threads();
+        *relock(&self.shared.counters)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flip the server into draining mode: latch the flag, close the queue
+/// (workers exit once it is empty), and poke the accept loop awake with
+/// a throwaway self-connection.
+fn begin_drain(shared: &Arc<Shared>) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    {
+        let mut q = relock(&shared.queue);
+        q.open = false;
+    }
+    shared.available.notify_all();
+    // Unblock `accept()`; the loop re-checks `draining` per connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Start serving on `listener` (bind it yourself; `127.0.0.1:0` works
+/// for tests). Spawns the accept loop and `config.workers` job workers,
+/// then returns immediately.
+pub fn serve(listener: TcpListener, config: ServeConfig, resolver: Resolver) -> ServerHandle {
+    let addr = listener.local_addr().expect("listener has a local addr");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(QueueState {
+            jobs: VecDeque::new(),
+            open: true,
+        }),
+        available: Condvar::new(),
+        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+        counters: Mutex::new(ServeCounters::default()),
+        draining: AtomicBool::new(false),
+        config: config.clone(),
+        resolver,
+        addr,
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|worker_id| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("jsceresd-worker-{worker_id}"))
+                .spawn(move || worker_loop(&shared, worker_id))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("jsceresd-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn accept loop")
+    };
+
+    ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("jsceresd-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared))
+        {
+            handlers.push(h);
+        }
+    }
+    // Drain: wait for every connection handler to write its last
+    // response and hang up (their read loops poll `draining`).
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
+    loop {
+        let item = {
+            let mut q = relock(&shared.queue);
+            loop {
+                if let Some(item) = q.jobs.pop_front() {
+                    break Some(item);
+                }
+                if !q.open {
+                    break None;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(item) = item else { break };
+        let outcome = supervise(&item.job, worker_id, &shared.config.policy);
+        let ticks = outcome
+            .report
+            .as_ref()
+            .map(|r| r.obs.counters.interp_ticks)
+            .unwrap_or(0);
+        let (ok, fragment) = shared.result_fragment(&item.key, &outcome);
+        let fragment = if ok && item.cacheable {
+            // First-writer-wins: concurrent cold misses on the same key
+            // converge on one stored byte sequence.
+            relock(&shared.cache).insert_or_get(&item.key, fragment)
+        } else {
+            fragment
+        };
+        shared.bump(|c| {
+            c.interp_ticks += ticks;
+            if ok {
+                c.jobs_ok += 1;
+            } else {
+                c.jobs_failed += 1;
+            }
+        });
+        let _ = item.reply.send((ok, fragment));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll: once draining, stop waiting for more input.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(line.trim(), shared);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Dispatch one request line to one response line.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+    let req: AnalysisRequest = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => return error_line("", &format!("bad request: {e}")),
+    };
+    let id = req.id.clone().unwrap_or_default();
+    match req.op.as_deref().unwrap_or("analyze") {
+        "ping" => envelope(&id, true, false, "\"op\":\"ping\""),
+        "stats" => stats_line(&id, shared),
+        "shutdown" => {
+            begin_drain(shared);
+            envelope(&id, true, false, "\"op\":\"shutdown\",\"draining\":true")
+        }
+        "analyze" => handle_analyze(&req, &id, shared),
+        other => error_line(&id, &format!("unknown op `{other}`")),
+    }
+}
+
+fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
+    let counters = *relock(&shared.counters);
+    let cache = relock(&shared.cache).stats();
+    let queue_depth = relock(&shared.queue).jobs.len();
+    let counters_json = serde_json::to_string(&counters).expect("ServeCounters serializes");
+    envelope(
+        id,
+        true,
+        false,
+        &format!(
+            "\"op\":\"stats\",\"counters\":{counters_json},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{},\"capacity\":{}}},\
+             \"queue_depth\":{queue_depth},\"workers\":{},\"draining\":{}",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.len,
+            cache.capacity,
+            shared.config.workers,
+            shared.draining.load(Ordering::SeqCst),
+        ),
+    )
+}
+
+fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> String {
+    let opts = match request_options(req, &shared.config) {
+        Ok(o) => o,
+        Err(e) => return error_line(id, &e),
+    };
+    let resolved = match (shared.resolver)(req, &opts) {
+        Ok(r) => r,
+        Err(e) => return error_line(id, &e),
+    };
+    shared.bump(|c| c.requests += 1);
+    let key = CacheKey::of(&resolved.source, &opts, req.scale.unwrap_or(1));
+
+    // Fault-injected requests bypass the cache in both directions: a hit
+    // would skip the very supervisor path the injection exists to
+    // exercise, and storing the result would leak injection artifacts.
+    if resolved.cacheable {
+        if let Some(fragment) = relock(&shared.cache).lookup(&key) {
+            shared.bump(|c| c.cache_hits += 1);
+            return envelope(id, true, true, &fragment);
+        }
+        shared.bump(|c| c.cache_misses += 1);
+    }
+
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.bump(|c| c.rejected_draining += 1);
+        return error_line(id, "draining: not accepting new work");
+    }
+
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = relock(&shared.queue);
+        if !q.open {
+            drop(q);
+            shared.bump(|c| c.rejected_draining += 1);
+            return error_line(id, "draining: not accepting new work");
+        }
+        if q.jobs.len() >= shared.config.queue_capacity {
+            drop(q);
+            shared.bump(|c| c.rejected_queue_full += 1);
+            return error_line(id, "queue full: retry later");
+        }
+        q.jobs.push_back(QueuedJob {
+            job: FleetJob {
+                app: resolved.app,
+                slug: resolved.slug,
+                work: resolved.work,
+            },
+            key,
+            cacheable: resolved.cacheable,
+            reply: tx,
+        });
+        let depth = q.jobs.len() as u64;
+        drop(q);
+        shared.bump(|c| c.queue_peak_depth = c.queue_peak_depth.max(depth));
+    }
+    shared.available.notify_one();
+
+    match rx.recv() {
+        Ok((ok, fragment)) => envelope(id, ok, false, &fragment),
+        Err(_) => error_line(id, "worker exited before finishing the job"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn start(config: ServeConfig) -> ServerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let policy = config.policy.clone();
+        serve(listener, config, source_resolver(policy))
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response");
+        response.trim_end().to_string()
+    }
+
+    #[test]
+    fn ping_and_unknown_op() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+        let pong = roundtrip(addr, r#"{"op":"ping","id":"p1"}"#);
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+        assert!(pong.contains("\"id\":\"p1\""), "{pong}");
+        assert!(
+            pong.contains(&format!("\"schema\":{API_SCHEMA_VERSION}")),
+            "{pong}"
+        );
+        let bad = roundtrip(addr, r#"{"op":"never"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_not_a_crash() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+        let resp = roundtrip(addr, "this is not json");
+        assert!(resp.contains("bad request"), "{resp}");
+        // The server is still alive.
+        let pong = roundtrip(addr, r#"{"op":"ping"}"#);
+        assert!(pong.contains("\"ok\":true"), "{pong}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn warm_hit_is_byte_identical_and_adds_no_ticks() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+        let req = r#"{"id":"c","source":"var t = 0; for (var i = 0; i < 8; i++) { t += i; }","mode":"dependence","seed":7}"#;
+        let cold = roundtrip(addr, req);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(cold.contains("\"cached\":false"), "{cold}");
+        let ticks_after_cold = server.counters().interp_ticks;
+        assert!(ticks_after_cold > 0, "cold run must interpret");
+
+        let warm = roundtrip(addr, req);
+        assert!(warm.contains("\"cached\":true"), "{warm}");
+        // Byte-identity of everything after the request-specific prefix.
+        let tail = |s: &str| s[s.find("\"key\":").expect("key field")..].to_string();
+        assert_eq!(tail(&cold), tail(&warm), "payload must be byte-identical");
+        assert_eq!(
+            server.counters().interp_ticks,
+            ticks_after_cold,
+            "warm hit must not re-enter the interpreter"
+        );
+        assert_eq!(server.counters().cache_hits, 1);
+        assert_eq!(server.counters().cache_misses, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn different_options_miss_the_cache() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+        let a = roundtrip(addr, r#"{"source":"var x = 1;","mode":"dependence"}"#);
+        let b = roundtrip(addr, r#"{"source":"var x = 1;","mode":"loop-profile"}"#);
+        let c = roundtrip(
+            addr,
+            r#"{"source":"var x = 1;","mode":"dependence","seed":9}"#,
+        );
+        for r in [&a, &b, &c] {
+            assert!(r.contains("\"cached\":false"), "{r}");
+        }
+        assert_eq!(server.counters().cache_misses, 3);
+        assert_eq!(server.counters().cache_hits, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_faults_exercise_the_supervisor_and_skip_the_cache() {
+        let mut config = ServeConfig::default();
+        config.policy.backoff = Duration::from_millis(1);
+        let server = start(config);
+        let addr = server.local_addr();
+
+        // A panic is contained and reported, not fatal to the server.
+        let p = roundtrip(addr, r#"{"source":"var x;","inject":"panic"}"#);
+        assert!(p.contains("\"status\":\"panicked\""), "{p}");
+        assert!(p.contains("\"ok\":false"), "{p}");
+
+        // A transient error clears on retry; the result is real but must
+        // not be cached (attempts differ from a clean run).
+        let e = roundtrip(addr, r#"{"source":"var x;","inject":"error"}"#);
+        assert!(e.contains("\"status\":\"ok\""), "{e}");
+        assert!(e.contains("\"attempts\":2"), "{e}");
+        let clean = roundtrip(addr, r#"{"source":"var x;"}"#);
+        assert!(
+            clean.contains("\"cached\":false"),
+            "injected result leaked: {clean}"
+        );
+        assert!(clean.contains("\"attempts\":1"), "{clean}");
+
+        // And the reverse leak: a warm cache entry must not short-circuit
+        // a later injected request — the fault has to actually run.
+        let e2 = roundtrip(addr, r#"{"source":"var x;","inject":"error"}"#);
+        assert!(e2.contains("\"cached\":false"), "{e2}");
+        assert!(e2.contains("\"attempts\":2"), "{e2}");
+
+        assert_eq!(server.counters().jobs_failed, 1);
+        assert_eq!(server.counters().jobs_ok, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_converge_on_one_payload() {
+        let server = start(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let req = r#"{"source":"var s = 0; for (var i = 0; i < 5; i++) { s += i; }","mode":"dependence"}"#;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let req = req.to_string();
+                std::thread::spawn(move || roundtrip(addr, &req))
+            })
+            .collect();
+        let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let tail = |s: &str| s[s.find("\"key\":").expect("key field")..].to_string();
+        let first = tail(&responses[0]);
+        for r in &responses {
+            assert!(r.contains("\"ok\":true"), "{r}");
+            assert_eq!(tail(r), first, "all clients must see identical payloads");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work_and_rejects_new() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+
+        // Park a slow-ish job, then shut down while it may still be
+        // queued or running; its client must still get a real response.
+        let slow = std::thread::spawn(move || {
+            roundtrip(
+                addr,
+                r#"{"id":"slow","source":"var t = 0; for (var i = 0; i < 2000; i++) { t += i; }"}"#,
+            )
+        });
+        // Give the slow request a moment to enqueue before draining.
+        std::thread::sleep(Duration::from_millis(50));
+        let bye = roundtrip(addr, r#"{"op":"shutdown"}"#);
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+
+        let slow_response = slow.join().unwrap();
+        assert!(
+            slow_response.contains("\"ok\":true") || slow_response.contains("draining"),
+            "in-flight client must get a definitive answer: {slow_response}"
+        );
+        let counters = server.join();
+        // New connections are refused or reset after the drain; either
+        // way the server threads have all exited by now.
+        assert!(counters.requests >= 1);
+    }
+}

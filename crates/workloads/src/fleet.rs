@@ -112,12 +112,7 @@ pub fn run_fleet_report_with(
     faults: Option<FaultPlan>,
 ) -> FleetOutcome {
     let apps = run_fleet_with(fleet_jobs(mode, scale, policy, faults), workers, policy);
-    FleetOutcome {
-        mode: format!("{mode:?}"),
-        scale,
-        workers,
-        apps,
-    }
+    FleetOutcome::new(format!("{mode:?}"), scale, workers, apps)
 }
 
 #[cfg(test)]

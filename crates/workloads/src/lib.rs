@@ -11,8 +11,12 @@ pub mod fleet;
 pub mod native;
 pub mod overhead;
 pub mod registry;
+pub mod serve;
 
 pub use bench::{render_bench, run_bench, BenchEntry, BenchReport, ModeBench, PhaseCost};
 pub use fleet::{fleet_jobs, run_fleet_report, run_fleet_report_with};
 pub use overhead::{overhead_ledger, render_overhead, OverheadRow};
-pub use registry::{all, by_slug, run_workload, run_workload_budgeted, PaperExpectation, Workload};
+pub use registry::{
+    all, by_slug, run_workload, run_workload_budgeted, workload_html, PaperExpectation, Workload,
+};
+pub use serve::registry_resolver;

@@ -399,23 +399,29 @@ pub fn run_workload_budgeted(
     let mut server = WebServer::new();
     // Serve as an HTML page with the script inline, exercising the proxy's
     // HTML path end to end.
-    let html = format!(
-        "<html><body><canvas id=\"main-canvas\"></canvas>\n<script>\nvar SCALE = {scale};\n{}\n</script></body></html>",
-        w.source
-    );
-    server.publish("index.html", Document::Html(html));
+    server.publish("index.html", Document::Html(workload_html(w, scale)));
     let interaction = w.interaction;
     analyze(
         &server,
         "index.html",
-        AnalyzeOptions {
-            mode,
-            seed: 2015,
-            max_ticks,
-            wall_budget,
-            ..Default::default()
-        },
+        AnalyzeOptions::builder()
+            .mode(mode)
+            .seed(2015)
+            .max_ticks(max_ticks)
+            .wall_budget(wall_budget)
+            .build(),
         Box::new(interaction),
+    )
+}
+
+/// The canonical HTML document a workload is served as, at a given scale.
+/// This is the *content identity* of a registry app: the daemon's
+/// content-addressed cache keys registry requests on the digest of exactly
+/// this string (see `ceres_core::cache`).
+pub fn workload_html(w: &Workload, scale: u32) -> String {
+    format!(
+        "<html><body><canvas id=\"main-canvas\"></canvas>\n<script>\nvar SCALE = {scale};\n{}\n</script></body></html>",
+        w.source
     )
 }
 

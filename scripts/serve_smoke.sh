@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# jsceresd serving smoke: start the daemon, hit it with concurrent
+# clients (registry app, inline source, repeats, one fault-injected),
+# assert the content-addressed cache actually hit, then shut down and
+# require a clean drain (exit 0). Run from anywhere; needs only python3
+# and the release binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release
+cargo build --release --bins
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+
+echo "== jsceresd serve smoke =="
+"$BIN/jsceresd" --addr 127.0.0.1:0 --workers 2 \
+    > "$tmp/daemon.out" 2> "$tmp/daemon.err" &
+daemon_pid=$!
+
+# Wait for the ready line (the daemon prints it once the socket is bound).
+for _ in $(seq 1 50); do
+    grep -q "^listening on " "$tmp/daemon.out" 2>/dev/null && break
+    kill -0 "$daemon_pid" 2>/dev/null || {
+        echo "FAIL: daemon died before binding" >&2
+        cat "$tmp/daemon.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(sed -n 's/^listening on //p' "$tmp/daemon.out" | head -1)
+[ -n "$addr" ] || { echo "FAIL: no ready line" >&2; exit 1; }
+echo "daemon up at $addr (pid $daemon_pid)"
+
+# Concurrent clients: a registry app twice (second must hit the cache),
+# inline source twice, and one fault-injected request that must be
+# supervised (retried) rather than cached.
+python3 - "$addr" "$tmp" <<'EOF'
+import json, socket, sys, threading
+
+addr, tmp = sys.argv[1], sys.argv[2]
+host, port = addr.rsplit(":", 1)
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+# Warm the cache serially first so the repeats below must hit.
+app = '{"id":"warm","app":"haar","mode":"light"}'
+cold = rpc(app)
+assert cold["ok"] and not cold["cached"], cold
+
+requests = [
+    ('{"id":"r1","app":"haar","mode":"light"}', True),
+    ('{"id":"r2","app":"haar","mode":"light"}', True),
+    ('{"id":"r3","source":"var s = 0; for (var i = 0; i < 7; i++) { s += i; }","mode":"dep"}', None),
+    ('{"id":"r4","app":"haar","mode":"light","inject":"error"}', False),
+]
+results = [None] * len(requests)
+def worker(i, line):
+    results[i] = rpc(line)
+threads = [threading.Thread(target=worker, args=(i, line))
+           for i, (line, _) in enumerate(requests)]
+for t in threads: t.start()
+for t in threads: t.join()
+
+for (line, want_cached), r in zip(requests, results):
+    assert r["ok"], f"{line} -> {r}"
+    if want_cached is not None:
+        assert r["cached"] == want_cached, f"{line} -> {r}"
+
+# The injected request must have gone through the supervisor's retry
+# path (transient error on attempt 1), never the cache.
+injected = results[3]
+assert injected["attempts"] == 2, f"fault not supervised: {injected}"
+
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["cache_hits"] > 0, f"no cache hits: {stats}"
+assert c["jobs_failed"] == 0, f"unexpected failures: {stats}"
+assert c["requests"] >= 5, stats
+print(f"OK: {c['requests']} requests, {c['cache_hits']} cache hits, "
+      f"{c['jobs_ok']} jobs ok, injected request supervised in "
+      f"{injected['attempts']} attempts")
+
+bye = rpc('{"op":"shutdown"}')
+assert bye["ok"], bye
+EOF
+
+# Clean drain: exit 0 and a drained summary on stderr.
+code=0
+wait "$daemon_pid" || code=$?
+daemon_pid=
+if [ "$code" -ne 0 ]; then
+    echo "FAIL: daemon exited $code after shutdown" >&2
+    cat "$tmp/daemon.err" >&2
+    exit 1
+fi
+grep -q "^drained:" "$tmp/daemon.err" || {
+    echo "FAIL: no drained summary" >&2
+    cat "$tmp/daemon.err" >&2
+    exit 1
+}
+sed -n 's/^/daemon: /p' "$tmp/daemon.err"
+
+echo "serve smoke OK"

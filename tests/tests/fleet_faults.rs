@@ -107,12 +107,7 @@ fn one_bad_app_per_kind_degrades_only_its_own_row() {
     }
 
     // The failures are visible per app in the table and JSON renderings.
-    let outcome = FleetOutcome {
-        mode: format!("{MODE:?}"),
-        scale: 1,
-        workers: 4,
-        apps: outcomes,
-    };
+    let outcome = FleetOutcome::new(format!("{MODE:?}"), 1, 4, outcomes);
     assert_eq!(outcome.succeeded(), 9);
     assert_eq!(outcome.exit_code(), 3, "partial success");
     let table = outcome.render_table2();

@@ -25,10 +25,7 @@ fn fig5_pipeline_produces_reports_on_disk() {
     let mut run = analyze(
         &server,
         "index.html",
-        AnalyzeOptions {
-            mode: Mode::Dependence,
-            ..Default::default()
-        },
+        AnalyzeOptions::builder().mode(Mode::Dependence).build(),
         Box::new(|_, _| Ok(())),
     )
     .expect("pipeline");
@@ -76,11 +73,10 @@ fn focused_analysis_limits_warnings() {
     let run = analyze(
         &server,
         "app.js",
-        AnalyzeOptions {
-            mode: Mode::Dependence,
-            focus: Some(ceres_ast::LoopId(2)),
-            ..Default::default()
-        },
+        AnalyzeOptions::builder()
+            .mode(Mode::Dependence)
+            .focus(Some(ceres_ast::LoopId(2)))
+            .build(),
         Box::new(|_, _| Ok(())),
     )
     .expect("pipeline");

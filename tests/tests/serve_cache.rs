@@ -1,0 +1,215 @@
+//! Integration tests for the `jsceresd` serving surface: the versioned
+//! wire envelope (golden-pinned), content-addressed cache-key hygiene
+//! across the registry, warm-hit byte-identity through the real
+//! workload resolver, and cross-instance determinism of canonical
+//! payloads.
+//!
+//! Regenerate the envelope golden with
+//! `CERES_REGEN_GOLDENS=1 cargo test -p ceres-integration-tests --test serve_cache`
+//! only when an intentional protocol or analysis change lands (and say
+//! so in the commit).
+
+use ceres_core::fleet::{FleetOutcome, API_SCHEMA_VERSION};
+use ceres_core::{serve, AnalyzeOptions, CacheKey, Mode, ServeConfig, ServerHandle};
+use ceres_workloads::{registry_resolver, workload_html};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+const ENVELOPE_GOLDEN: &str = include_str!("../golden/serve_envelope.json");
+
+fn start(config: ServeConfig) -> ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let policy = config.policy.clone();
+    serve(listener, config, registry_resolver(policy))
+}
+
+fn roundtrip(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response");
+    response.trim_end().to_string()
+}
+
+/// Everything after the request-specific prefix (`id`/`cached` differ
+/// between cold and warm by design; the result payload must not).
+fn payload_tail(response: &str) -> &str {
+    let at = response.find("\"key\":").expect("key field in response");
+    &response[at..]
+}
+
+// ---------------------------------------------------------------------
+// Versioned envelope
+
+/// The exact response line for a fixed inline-source request, pinned
+/// byte-for-byte. Any change to the envelope shape, the schema stamp,
+/// the cache-key derivation, or the canonical report/metrics payload
+/// shows up as a diff here rather than as silent wire drift.
+#[test]
+fn serve_envelope_is_byte_identical_to_golden() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let req = r#"{"id":"golden","source":"var t = 0; for (var i = 0; i < 6; i++) { t += i; }","mode":"dep","seed":2015}"#;
+    let got = roundtrip(addr, req);
+    server.shutdown();
+
+    if std::env::var("CERES_REGEN_GOLDENS").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/serve_envelope.json");
+        std::fs::write(path, format!("{got}\n")).expect("regen golden");
+        return;
+    }
+    assert!(
+        got.starts_with(&format!("{{\"schema\":{API_SCHEMA_VERSION},")),
+        "envelope must lead with the schema version: {got}"
+    );
+    assert_eq!(
+        got,
+        ENVELOPE_GOLDEN.trim_end(),
+        "wire envelope drifted from tests/golden/serve_envelope.json"
+    );
+}
+
+/// The fleet `--json` artifact leads with the same stamped version.
+#[test]
+fn fleet_outcome_json_is_versioned() {
+    let outcome = FleetOutcome::new("Dependence".to_string(), 1, 1, Vec::new());
+    let json = outcome.to_json();
+    let want = format!("{{\n  \"api_schema_version\": {API_SCHEMA_VERSION},");
+    assert!(
+        json.starts_with(&want),
+        "fleet JSON must lead with api_schema_version: {json}"
+    );
+    assert_eq!(outcome.canonical().api_schema_version, API_SCHEMA_VERSION);
+}
+
+// ---------------------------------------------------------------------
+// Cache-key hygiene
+
+/// Distinct `(source, mode, seed, focus, scale)` tuples must never share
+/// a fingerprint — across every registry workload and across every
+/// option axis for a fixed source.
+#[test]
+fn cache_keys_never_collide_across_workloads_and_options() {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut keys = 0usize;
+    let mut claim = |key: CacheKey| {
+        keys += 1;
+        assert!(
+            seen.insert(key.fingerprint()),
+            "fingerprint collision for {}",
+            key.canonical()
+        );
+    };
+
+    // Every registry app at two scales.
+    for w in ceres_workloads::all() {
+        for scale in [1u32, 2] {
+            let source = workload_html(&w, scale);
+            let opts = AnalyzeOptions::builder()
+                .mode(Mode::Dependence)
+                .seed(2015)
+                .build();
+            claim(CacheKey::of(&source, &opts, scale));
+        }
+    }
+
+    // One fixed source across the option axes.
+    let source = "var x = 1;";
+    for mode in [Mode::Lightweight, Mode::LoopProfile, Mode::Dependence] {
+        for seed in [2015u64, 7] {
+            for focus in [None, Some(1u32), Some(2)] {
+                let opts = AnalyzeOptions::builder()
+                    .mode(mode)
+                    .seed(seed)
+                    .focus(focus.map(ceres_ast::LoopId))
+                    .build();
+                claim(CacheKey::of(source, &opts, 1));
+            }
+        }
+    }
+    assert_eq!(seen.len(), keys, "every tuple must be distinct");
+
+    // Wall-clock budgets are scheduling policy, not content: they must
+    // NOT split the cache.
+    let a = AnalyzeOptions::builder().mode(Mode::Dependence).build();
+    let b = AnalyzeOptions::builder()
+        .mode(Mode::Dependence)
+        .wall_budget(Some(std::time::Duration::from_secs(5)))
+        .build();
+    assert_eq!(
+        CacheKey::of(source, &a, 1).fingerprint(),
+        CacheKey::of(source, &b, 1).fingerprint(),
+        "wall budget must not be part of the content address"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Warm hits through the registry resolver
+
+/// A repeated `{"app":...}` request is served from the cache
+/// byte-identically without re-entering the interpreter.
+#[test]
+fn registry_app_warm_hit_is_byte_identical_with_zero_new_ticks() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let req = r#"{"id":"a1","app":"haar","mode":"light"}"#;
+
+    let cold = roundtrip(addr, req);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    assert!(cold.contains("\"slug\":\"haar\""), "{cold}");
+    let ticks_after_cold = server.counters().interp_ticks;
+    assert!(ticks_after_cold > 0, "cold run must interpret");
+
+    let warm = roundtrip(addr, r#"{"id":"a2","app":"haar","mode":"light"}"#);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(
+        payload_tail(&cold),
+        payload_tail(&warm),
+        "warm payload must be byte-identical"
+    );
+    assert_eq!(
+        server.counters().interp_ticks,
+        ticks_after_cold,
+        "warm hit must not re-enter the interpreter"
+    );
+    assert_eq!(server.counters().cache_hits, 1);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Cross-instance determinism
+
+/// Canonical payloads are a function of the request alone: concurrent
+/// clients against two *separate* daemon instances (separate caches,
+/// separate worker pools) converge on one payload.
+#[test]
+fn concurrent_clients_and_instances_agree_on_canonical_payloads() {
+    let a = start(ServeConfig::default());
+    let b = start(ServeConfig::default());
+    let req = r#"{"source":"var s = 0; for (var i = 0; i < 12; i++) { s += i * i; }","mode":"dependence","seed":2015}"#;
+
+    let mut handles = Vec::new();
+    for addr in [a.local_addr(), b.local_addr()] {
+        for _ in 0..3 {
+            let req = req.to_string();
+            handles.push(std::thread::spawn(move || roundtrip(addr, &req)));
+        }
+    }
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let tails: HashSet<&str> = responses.iter().map(|r| payload_tail(r)).collect();
+    assert_eq!(
+        tails.len(),
+        1,
+        "all clients on all instances must see one canonical payload"
+    );
+    for r in &responses {
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    a.shutdown();
+    b.shutdown();
+}
