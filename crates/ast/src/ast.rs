@@ -513,17 +513,37 @@ pub fn number_to_string(n: f64) -> String {
         // JS prints both zeros as "0".
         return "0".to_string();
     }
-    if n.fract() == 0.0 && n.abs() < 1e21 {
-        format!("{}", n as i64)
-    } else {
-        let s = format!("{}", n);
-        s
-    }
+    // Rust's `Display` prints the shortest decimal that round-trips and
+    // never switches to exponent notation, which matches ES5 `ToString`
+    // across the whole integral range below 1e21. Casting through i64, as
+    // this once did, saturates at 2^63 so String(1e19) printed as
+    // 9223372036854775807.
+    format!("{}", n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn number_to_string_matches_js() {
+        assert_eq!(number_to_string(3.0), "3");
+        assert_eq!(number_to_string(3.5), "3.5");
+        assert_eq!(number_to_string(-0.0), "0");
+        assert_eq!(number_to_string(f64::NAN), "NaN");
+        assert_eq!(number_to_string(f64::INFINITY), "Infinity");
+        assert_eq!(number_to_string(f64::NEG_INFINITY), "-Infinity");
+        // Integral values in [2^63, 1e21) print their decimal expansion —
+        // the old i64 cast saturated these to 9223372036854775807.
+        assert_eq!(number_to_string(1e19), "10000000000000000000");
+        assert_eq!(number_to_string(-1e19), "-10000000000000000000");
+        assert_eq!(number_to_string(1e20), "100000000000000000000");
+        // 2^63: shortest round-trip digits, exactly what V8 prints.
+        assert_eq!(
+            number_to_string(9_223_372_036_854_775_808.0),
+            "9223372036854776000"
+        );
+    }
 
     #[test]
     fn loop_id_display_and_sentinel() {

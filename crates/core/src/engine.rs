@@ -197,8 +197,6 @@ pub struct Engine {
     /// every stack mutation — one stamp allocation per stack epoch, not
     /// one per access.
     cur_stamp: Option<u32>,
-    /// Batched access events, drained at ordering barriers.
-    pending: Vec<AccessEvent>,
     binding_stamps: FxHashMap<u64, u32>,
     object_stamps: FxHashMap<u64, u32>,
     write_snapshots: FxHashMap<(u64, Sym), u32>,
@@ -249,7 +247,6 @@ impl Engine {
             focus: None,
             stamps: vec![empty_stamp()],
             cur_stamp: Some(0),
-            pending: Vec::with_capacity(hooks::EVENT_BATCH),
             binding_stamps: FxHashMap::default(),
             object_stamps: FxHashMap::default(),
             write_snapshots: FxHashMap::default(),
@@ -294,30 +291,20 @@ impl Engine {
 
     // ---------------- event batching ----------------
 
-    /// Append a recorded access; drains automatically when the batch
-    /// fills. Hook closures must not do analysis work themselves.
+    /// Record one access. Events are processed synchronously: every event
+    /// carries its access-time stamp id and the analysis maps it touches
+    /// are mutated only by events (in program order) and by the loop/task
+    /// hooks, which were already ordering barriers — so immediate
+    /// processing is observably identical to the batch-and-drain scheme
+    /// this replaces, minus the queue round-trip per access.
     pub fn push_event(&mut self, ev: AccessEvent) {
-        self.pending.push(ev);
-        if self.pending.len() >= hooks::EVENT_BATCH {
-            self.flush_events();
-        }
+        self.process_event(&ev);
     }
 
-    /// Drain every buffered access event in FIFO order. Called at every
-    /// ordering barrier (loop hooks, task begin/end) and at the end of a
-    /// run; events carry their access-time stamp id so late processing
-    /// characterizes against the right loop stack.
-    pub fn flush_events(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let mut events = std::mem::take(&mut self.pending);
-        for ev in events.drain(..) {
-            self.process_event(&ev);
-        }
-        // Hand the (empty) buffer back to keep its allocation warm.
-        self.pending = events;
-    }
+    /// Former batch-drain barrier; processing is synchronous now, so the
+    /// barrier call sites (loop hooks, task begin/end, end of run) have
+    /// nothing left to drain.
+    pub fn flush_events(&mut self) {}
 
     fn process_event(&mut self, ev: &AccessEvent) {
         match ev.kind {
@@ -589,11 +576,17 @@ impl Engine {
             .or_default()
             .record(ev.target, ev.key, ctx);
         // Output-dependence evidence: same location written in another
-        // iteration we are still inside of.
-        let prev = self
-            .write_snapshots
-            .get(&(ev.target, ev.key))
-            .map(|&p| self.stamp_entries(p));
+        // iteration we are still inside of. One table probe both fetches
+        // the previous write's stamp and records this one.
+        let prev = match self.write_snapshots.entry((ev.target, ev.key)) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                Some(self.stamps[std::mem::replace(o.get_mut(), ev.stamp) as usize].clone())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(ev.stamp);
+                None
+            }
+        };
         if cur.len() <= CHAR_BITS_MAX_DEPTH {
             let bits = characterize_write_bits(&eff, &cur);
             if bits.problematic() {
@@ -629,7 +622,6 @@ impl Engine {
                 }
             }
         }
-        self.write_snapshots.insert((ev.target, ev.key), ev.stamp);
     }
 
     fn prop_read(&mut self, ev: &AccessEvent) {
@@ -892,7 +884,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         let eng = engine.clone();
         let i = idx(hooks::ITER);
         interp.register_native(hooks::ITER, move |_interp, _ctx, args| {
-            let id = LoopId(ops::to_number(&arg(args, 0)) as u32);
+            let id = LoopId(ops::to_number(args.first().unwrap_or(&Value::Undefined)) as u32);
             let mut e = eng.borrow_mut();
             e.tally.bump(i);
             e.iter(id);
@@ -950,9 +942,9 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         interp.register_native(hooks::WRVAR, move |interp, ctx, args| {
             // Scope lookup + queued stamp diff against the current stack.
             interp.clock.tick(8);
-            let name = sym_of_key(&arg(args, 0));
-            let op = match &arg(args, 1) {
-                Value::Str(s) => intern::intern_rc(s),
+            let name = sym_of_key(args.first().unwrap_or(&Value::Undefined));
+            let op = match args.get(1) {
+                Some(Value::Str(s)) => intern::intern_rc(s),
                 _ => eq_sym,
             };
             let binding_id = ctx
@@ -975,10 +967,9 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             // When the rewriter threads the assigned value through the
             // hook (3-argument form), observe its runtime type and pass
             // it along unchanged.
-            if args.len() > 2 {
-                let value = arg(args, 2);
-                e.observe_type(name, binding_id.unwrap_or(0), &value);
-                return Ok(value);
+            if let Some(value) = args.get(2) {
+                e.observe_type(name, binding_id.unwrap_or(0), value);
+                return Ok(value.clone());
             }
             Ok(Value::Undefined)
         });
@@ -1013,13 +1004,13 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
         interp.register_native(hooks::GETPROP, move |interp, _ctx, args| {
             // Snapshot lookup + queued flow-dependence diff.
             interp.clock.tick(6);
-            let obj = arg(args, 0);
-            let key = sym_of_key(&arg(args, 1));
-            let base = opt_sym(&arg(args, 2));
+            let obj = args.first().unwrap_or(&Value::Undefined);
+            let key = sym_of_key(args.get(1).unwrap_or(&Value::Undefined));
+            let base = opt_sym(args.get(2).unwrap_or(&Value::Undefined));
             {
                 let mut e = eng.borrow_mut();
                 e.tally.bump(i);
-                if let Value::Object(o) = &obj {
+                if let Value::Object(o) = obj {
                     let stamp = e.current_stamp_id();
                     e.push_event(AccessEvent {
                         kind: AccessKind::PropRead,
@@ -1032,7 +1023,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
                     });
                 }
             }
-            get_prop_fast(interp, &obj, key)
+            get_prop_fast(interp, obj, key)
         });
     }
     {
@@ -1042,17 +1033,12 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             // Effective-stamp diff, WAW check, snapshot update — queued.
             interp.clock.tick(10);
             eng.borrow_mut().tally.bump(i);
-            let obj = arg(args, 0);
-            let key = sym_of_key(&arg(args, 1));
+            let obj = args.first().unwrap_or(&Value::Undefined);
+            let key = sym_of_key(args.get(1).unwrap_or(&Value::Undefined));
             let value = arg(args, 2);
-            let base = opt_sym(&arg(args, 3));
-            record_prop_write(&eng, ctx, &obj, key, base, eq_sym);
-            {
-                let mut e = eng.borrow_mut();
-                let subject = e.subject_sym(base, key);
-                e.observe_type(subject, 0, &value);
-            }
-            set_prop_fast(interp, &obj, key, value.clone())?;
+            let base = opt_sym(args.get(3).unwrap_or(&Value::Undefined));
+            record_prop_write(&eng, ctx, obj, key, base, eq_sym, Some(&value));
+            set_prop_fast(interp, obj, key, value.clone())?;
             Ok(value)
         });
     }
@@ -1072,7 +1058,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             record_prop_read(&eng, &obj, key, base);
             let old = get_prop_fast(interp, &obj, key)?;
             let new = apply_binop(&intern::resolve(op), &old, &value);
-            record_prop_write(&eng, ctx, &obj, key, base, op);
+            record_prop_write(&eng, ctx, &obj, key, base, op, None);
             set_prop_fast(interp, &obj, key, new.clone())?;
             Ok(new)
         });
@@ -1091,7 +1077,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             record_prop_read(&eng, &obj, key, base);
             let old = ops::to_number(&get_prop_fast(interp, &obj, key)?);
             let new = old + delta;
-            record_prop_write(&eng, ctx, &obj, key, base, inc_sym);
+            record_prop_write(&eng, ctx, &obj, key, base, inc_sym, None);
             set_prop_fast(interp, &obj, key, Value::Num(new))?;
             Ok(Value::Num(if prefix { new } else { old }))
         });
@@ -1106,7 +1092,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
             let obj = arg(args, 0);
             let key = sym_of_key(&arg(args, 1));
             let base = opt_sym(&arg(args, 2));
-            let call_args: Vec<Value> = args.iter().skip(3).cloned().collect();
+            let call_args = if args.len() > 3 { &args[3..] } else { &[][..] };
             if let Value::Object(o) = &obj {
                 let mut e = eng.borrow_mut();
                 let stamp = e.current_stamp_id();
@@ -1135,7 +1121,7 @@ pub fn attach_engine(interp: &mut Interp, mode: Mode, loops: Vec<LoopInfo>) -> E
                 }
             }
             let f = get_prop_fast(interp, &obj, key)?;
-            interp.call_value(&f, obj, &call_args, ctx.caller_scope.clone())
+            interp.call_value(&f, obj, call_args, ctx.caller_scope.clone())
         });
     }
 
@@ -1156,7 +1142,7 @@ fn get_prop_fast(interp: &mut Interp, obj: &Value, key: Sym) -> JsResult {
             return Ok(o.array_get(i as usize).unwrap_or(Value::Undefined));
         }
     }
-    interp.get_property(obj, &intern::resolve(key))
+    interp.get_property_sym(obj, key)
 }
 
 /// `obj[key] = value` counterpart of [`get_prop_fast`].
@@ -1167,7 +1153,7 @@ fn set_prop_fast(interp: &mut Interp, obj: &Value, key: Sym, value: Value) -> Js
             return Ok(());
         }
     }
-    interp.set_property(obj, &intern::resolve(key), value)
+    interp.set_property_sym(obj, key, value)
 }
 
 /// Queue the read half of a compound property access.
@@ -1189,7 +1175,15 @@ fn record_prop_read(eng: &EngineRef, obj: &Value, key: Sym, base: Sym) {
 /// Shared write-recording path for SETPROP/SETPROP2/UPDATE_PROP: resolve
 /// the base variable's binding id (for the effective-stamp refinement)
 /// and queue the write event.
-fn record_prop_write(eng: &EngineRef, ctx: &CallCtx, obj: &Value, key: Sym, base: Sym, op: Sym) {
+fn record_prop_write(
+    eng: &EngineRef,
+    ctx: &CallCtx,
+    obj: &Value,
+    key: Sym,
+    base: Sym,
+    op: Sym,
+    observe: Option<&Value>,
+) {
     let Value::Object(o) = obj else { return };
     let binding = if base.is_some() {
         ctx.caller_scope
@@ -1211,6 +1205,12 @@ fn record_prop_write(eng: &EngineRef, ctx: &CallCtx, obj: &Value, key: Sym, base
         op,
         stamp,
     });
+    // `__ceres_setprop` threads the assigned value through for type
+    // observation; folding it here keeps the hook to one engine borrow.
+    if let Some(value) = observe {
+        let subject = e.subject_sym(base, key);
+        e.observe_type(subject, 0, value);
+    }
 }
 
 /// Evaluate `old op value` for compound property assignment.

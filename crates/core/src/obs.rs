@@ -172,9 +172,19 @@ impl RunObs {
 
     /// Copy with every wall-clock (nondeterministic) field zeroed; the
     /// remaining fields are pure functions of the seeded virtual clock.
+    ///
+    /// Sub-spans (dotted names like `interp.compile`) are dropped: they
+    /// measure wall time only, so a zeroed copy carries no information,
+    /// and the canonical span list is pinned to the 5-phase schema by the
+    /// deterministic-metrics goldens.
     pub fn canonical(&self) -> RunObs {
         RunObs {
-            spans: self.spans.iter().map(PhaseSpan::canonical).collect(),
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| PHASES.contains(&s.phase.as_str()))
+                .map(PhaseSpan::canonical)
+                .collect(),
             counters: self.counters.clone(),
             wall_start_us: 0,
         }
@@ -212,6 +222,28 @@ impl SpanRecorder {
     /// reading) to now, spanning the given virtual-clock tick range.
     pub fn record(&mut self, phase: &str, start_ticks: u64, end_ticks: u64, wall_start_us: u64) {
         let wall_us = self.now_us().saturating_sub(wall_start_us);
+        self.spans.push(PhaseSpan {
+            phase: phase.to_string(),
+            start_ticks,
+            end_ticks,
+            wall_start_us,
+            wall_us,
+        });
+    }
+
+    /// Record a sub-span whose duration was measured elsewhere (e.g. the
+    /// interpreter's own bytecode-lowering stopwatch). Unlike
+    /// [`Self::record`] the wall duration is supplied, not read off this
+    /// recorder's clock, so the sub-span can be filed under its parent
+    /// phase's start offset.
+    pub fn record_measured(
+        &mut self,
+        phase: &str,
+        start_ticks: u64,
+        end_ticks: u64,
+        wall_start_us: u64,
+        wall_us: u64,
+    ) {
         self.spans.push(PhaseSpan {
             phase: phase.to_string(),
             start_ticks,
@@ -499,6 +531,16 @@ mod tests {
             .all(|s| s.wall_start_us == 0 && s.wall_us == 0));
         assert_eq!(c.span("interp").unwrap().ticks(), 9000);
         assert_eq!(c.counters.hook_calls, 30);
+    }
+
+    #[test]
+    fn canonical_drops_wall_only_sub_spans() {
+        let mut obs = obs_fixture();
+        obs.spans.push(span("interp.compile", 0, 0, 200, 55));
+        let c = obs.canonical();
+        assert!(c.span("interp.compile").is_none());
+        let phases: Vec<_> = c.spans.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(phases, ["parse", "rewrite", "interp"]);
     }
 
     #[test]

@@ -303,6 +303,14 @@ pub fn analyze(
     interp.run_events(opts.max_events)?;
     engine.borrow_mut().flush_events();
     steps.push("4: user exercises the app; instrumentation gathers results".to_string());
+    // Wall-only sub-span: time the VM backend spent lowering the AST to
+    // bytecode, filed inside the interp window. Sub-spans are dropped from
+    // the canonical (deterministic) view, so the 5-phase schema is
+    // unchanged; recorded before "interp" so phase chaining still picks up
+    // the interp span's end as the latest wall point.
+    if interp.backend == ceres_interp::Backend::Vm {
+        recorder.record_measured("interp.compile", 0, 0, interp_start, interp.compile_us);
+    }
     recorder.record("interp", 0, interp.clock.now_ticks(), interp_start);
 
     // Step 5: results come back from the page.

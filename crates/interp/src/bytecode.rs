@@ -1,0 +1,311 @@
+//! The bytecode instruction set and compiled-module containers.
+//!
+//! `compile.rs` lowers a parsed [`Program`](ceres_ast::ast::Program) into a
+//! [`Module`] of [`Chunk`]s — one per function body plus one for the
+//! top-level program — and `vm.rs` executes them in a flat dispatch loop.
+//!
+//! Design constraints (see `docs/ARCHITECTURE.md`):
+//!
+//! * **Instructions are `Copy` and fixed-width** (16 bytes: an 8-byte
+//!   payload — at most an `f64` or two `u32`s — plus discriminant and
+//!   padding), so the dispatch loop reads them by value out of a dense
+//!   `Vec` with no pointer chasing.
+//! * **Names are pre-interned.** Variable accesses carry a [`Sym`] resolved
+//!   at compile time, plus a per-chunk *slot* index into the frame's inline
+//!   binding cache (see `vm.rs`). String property keys and diagnostic
+//!   strings live in the chunk's constant pool.
+//! * **Tick fidelity.** [`Insn::Tick`] replays the tree-walker's per-node
+//!   `charge(1)` calls — the compiler merges consecutive node-entry charges
+//!   into one instruction, and the VM still charges them one at a time so
+//!   watchdog messages fire at the exact same tick.
+//! * **Unwind tables, not Rust recursion.** `break`/`continue`/`return`/
+//!   `throw` are single instructions; the VM walks a runtime handler stack
+//!   (pushed by the `Push*` instructions) to find the target, rather than
+//!   unwinding nested Rust frames with `?`.
+
+use crate::intern::Sym;
+use ceres_ast::ast::{BinaryOp, Func, UnaryOp};
+use std::rc::Rc;
+
+/// A compiled program: chunk 0 is the top-level script, the rest are
+/// function bodies in compilation (reservation) order.
+pub struct Module {
+    /// All chunks; [`Insn::MakeClosure`] and hoisted-function prologues
+    /// reference them by index.
+    pub chunks: Vec<Chunk>,
+}
+
+/// One compiled function body (or the top-level program).
+pub struct Chunk {
+    /// Function name, when declared or inferred (diagnostics, `f.name`).
+    pub name: Option<String>,
+    /// The source AST of the function. Kept so mixed-backend calls and
+    /// `f.length` keep working — the VM never walks it.
+    pub func: Option<Rc<Func>>,
+    /// Parameter names in declaration order.
+    pub params: Vec<Sym>,
+    /// Hoisted `var` names in source (tree-walk) order.
+    pub hoisted_vars: Vec<Sym>,
+    /// Hoisted function declarations: `(binding name, chunk index)` in
+    /// source order. Closures are constructed at frame entry.
+    pub hoisted_funcs: Vec<(Sym, u32)>,
+    /// The instruction stream. Always ends with [`Insn::End`].
+    pub code: Vec<Insn>,
+    /// String constant pool (property keys, literals, callee diagnostics).
+    pub strs: Vec<Rc<str>>,
+    /// Number of distinct variable-cache slots referenced by the code.
+    pub num_slots: u32,
+    /// Pre-interned `"this"` (used by the frame prologue).
+    pub sym_this: Sym,
+    /// Pre-interned `"arguments"` (used by the frame prologue).
+    pub sym_arguments: Sym,
+}
+
+/// One bytecode instruction.
+///
+/// Stack-effect notation in the comments: `[a][b] -> [c]` pops `b` then `a`
+/// and pushes `c` (leftmost is deepest).
+#[derive(Clone, Copy, Debug)]
+pub enum Insn {
+    /// Charge `n` virtual-clock ticks, one at a time (budget checks and
+    /// watchdog messages must observe every intermediate tick).
+    Tick(u32),
+
+    // -- pushes ---------------------------------------------------------
+    /// Push a number literal.
+    Num(f64),
+    /// Push string constant `strs[idx]`.
+    Str(u32),
+    /// Push `undefined`.
+    PushUndef,
+    /// Push `null`.
+    PushNull,
+    /// Push a boolean.
+    PushBool(bool),
+    /// Push `this` (the frame's `this` binding; `undefined` at top level).
+    LoadThis {
+        /// Binding-cache slot for the `this` lookup.
+        slot: u32,
+    },
+
+    // -- stack shuffling -------------------------------------------------
+    /// `[v] ->` discard.
+    Pop,
+    /// `[v] -> [v][v]`.
+    Dup,
+
+    // -- variables -------------------------------------------------------
+    /// Push the variable's value; throws `ReferenceError` when undeclared.
+    LoadVar {
+        /// Interned variable name.
+        sym: Sym,
+        /// Binding-cache slot.
+        slot: u32,
+    },
+    /// `[v] ->` assign; creates an implicit *global* when undeclared
+    /// (sloppy-mode assignment).
+    StoreVar {
+        /// Interned variable name.
+        sym: Sym,
+        /// Binding-cache slot.
+        slot: u32,
+    },
+    /// `[v] ->` assign; declares in the *current* scope when undeclared
+    /// (`var` initializers, for-in loop variables).
+    StoreDecl {
+        /// Interned variable name.
+        sym: Sym,
+        /// Binding-cache slot.
+        slot: u32,
+    },
+    /// Push `typeof ident` — tolerates undeclared names.
+    TypeofVar {
+        /// Interned variable name.
+        sym: Sym,
+        /// Binding-cache slot.
+        slot: u32,
+    },
+
+    // -- literals / allocation -------------------------------------------
+    /// `[e0]…[en-1] -> [arr]` collect `n` elements into a new array.
+    MakeArray(u32),
+    /// `-> [obj]` allocate an empty object (before its property values are
+    /// evaluated, matching tree-walk object-id order).
+    MakeObject,
+    /// `[obj][v] -> [obj]` raw own-property write with the interned key
+    /// (object literals; bypasses monitor and array length magic).
+    SetOwnProp(Sym),
+    /// `-> [f]` construct a closure over `chunks[idx]` in the current scope.
+    MakeClosure(u32),
+
+    // -- operators -------------------------------------------------------
+    /// `[v] -> [op v]` (Neg/Plus/Not/BitNot/TypeOf/Void; never Delete).
+    Unary(UnaryOp),
+    /// `[l][r] -> [l op r]` (never In/InstanceOf).
+    Binary(BinaryOp),
+    /// `[l][r] -> [bool]` `instanceof` with callable check.
+    InstanceOf,
+    /// `[l][r] -> [bool]` `in` (throws on non-object right side).
+    InOp,
+    /// `[v] -> [result][new]` shared update-expression core: coerce,
+    /// add/subtract 1, push the expression result then the value to store.
+    IncDec {
+        /// `++` vs `--`.
+        inc: bool,
+        /// Prefix (`++x`, result = new) vs postfix (`x++`, result = old).
+        prefix: bool,
+    },
+
+    // -- property access -------------------------------------------------
+    /// `[obj] -> [v]` `obj.key` with the interned key.
+    GetProp(Sym),
+    /// `[v][obj] -> [v]` `obj.key = v`, pushes the stored value back.
+    SetProp(Sym),
+    /// `[obj][idx] -> [v]` `obj[idx]` with the untagged-array fast path.
+    GetIndex,
+    /// `[v][obj][idx] -> [v]` `obj[idx] = v`.
+    SetIndex,
+    /// `[obj] -> [f][obj]` method-call callee: property lookup that keeps
+    /// the receiver for `this`.
+    GetMethod(Sym),
+    /// `[obj][idx] -> [f][obj]` computed method-call callee.
+    GetIndexMethod,
+    /// `[obj] -> [bool]` `delete obj.key`.
+    DeleteProp(Sym),
+    /// `[obj][idx] -> [bool]` `delete obj[idx]`.
+    DeleteIndex,
+    /// `[v] -> [false]` `delete` of a non-member (sloppy no-op).
+    DeleteOther,
+
+    // -- calls -----------------------------------------------------------
+    /// `[f][this][a0]…[an-1] -> [ret]`. `src` indexes the callee's source
+    /// text in `strs` for "x is not a function" diagnostics.
+    Call {
+        /// Argument count.
+        argc: u16,
+        /// Constant-pool index of the callee source text.
+        src: u32,
+    },
+    /// `[a0]…[an-1] -> [ret]`: call the registered instrumentation hook
+    /// native `sym` (`__ceres_*`) directly, bypassing the scope-chain
+    /// lookup a `LoadVar` + [`Insn::Call`] pair would do per call site.
+    /// Only emitted when the compiled program never binds or assigns a
+    /// `__ceres_`-prefixed name, so the global native registration is the
+    /// unique binding the name can resolve to.
+    CallHook {
+        /// Interned hook name.
+        sym: Sym,
+        /// Argument count.
+        argc: u16,
+    },
+    /// `[f][a0]…[an-1] -> [obj]` constructor call.
+    New {
+        /// Argument count.
+        argc: u16,
+    },
+
+    // -- jumps -----------------------------------------------------------
+    /// Unconditional jump to `pc`.
+    Jump(u32),
+    /// `[v] ->` jump when falsy.
+    JumpIfFalse(u32),
+    /// `[v] ->` jump when truthy.
+    JumpIfTrue(u32),
+    /// Peek; jump when falsy *keeping* the value (`&&` short-circuit).
+    JumpIfFalsePeek(u32),
+    /// Peek; jump when truthy *keeping* the value (`||` short-circuit).
+    JumpIfTruePeek(u32),
+    /// `[disc][test] -> [disc]` or jump: switch-case comparison. On strict
+    /// equality pops both and jumps to the case body; otherwise pops only
+    /// the test value and falls through to the next test.
+    CaseEq(u32),
+
+    // -- handler stack (unwind tables) ------------------------------------
+    /// Arm a loop: `break` resumes at `break_pc`, `continue` at
+    /// `continue_pc`.
+    PushLoop {
+        /// Unwind target for `break` (after the loop).
+        break_pc: u32,
+        /// Unwind target for `continue` (loop update/condition).
+        continue_pc: u32,
+    },
+    /// Arm a switch: `break` resumes at `break_pc`.
+    PushSwitch {
+        /// Unwind target for `break` (after the switch).
+        break_pc: u32,
+    },
+    /// Arm a catch clause at `pc`; the unwinder pushes a one-binding scope
+    /// declaring `param` to the thrown value.
+    PushCatch {
+        /// Start of the catch body.
+        pc: u32,
+        /// Interned catch parameter name.
+        param: Sym,
+    },
+    /// Arm a finally block starting at `pc` (just after
+    /// [`Insn::EnterFinally`]).
+    PushFinally {
+        /// Start of the finally body.
+        pc: u32,
+    },
+    /// Disarm the innermost handler (normal completion of its region).
+    PopHandler,
+    /// Normal entry into a finally body: disarm its handler and record "no
+    /// pending action", then fall through.
+    EnterFinally,
+    /// End of a finally body: resume the pending action captured when the
+    /// block was entered (none after normal entry).
+    EndFinally,
+    /// Leave a catch-clause scope.
+    PopScope,
+
+    // -- for-in ----------------------------------------------------------
+    /// `[obj] ->` snapshot own keys and (for `for (var k in …)` with an
+    /// undeclared variable) declare the loop variable.
+    ForInInit {
+        /// Interned loop-variable name.
+        sym: Sym,
+        /// Was the loop variable written `for (var k in …)`?
+        decl: bool,
+    },
+    /// Loop head: bind the next key to `sym`, or pop the iterator and jump
+    /// to `end` when exhausted.
+    ForInNext {
+        /// Interned loop-variable name.
+        sym: Sym,
+        /// Jump target once keys run out (loop-handler pop).
+        end: u32,
+    },
+    /// Drop the innermost key iterator (`break` out of a `for-in`, where
+    /// the unwinder keeps the iterator the loop handler was armed inside).
+    ForInDrop,
+
+    // -- abrupt completions ----------------------------------------------
+    /// `[v] ->` unwind with `return v`.
+    Return,
+    /// Unwind with `break`.
+    Break,
+    /// Unwind with `continue`.
+    Continue,
+    /// `[v] ->` unwind with `throw v`.
+    Throw,
+    /// `[v] ->` invalid assignment target: throw `SyntaxError` (after the
+    /// right-hand side was evaluated, as the tree-walker does).
+    InvalidTarget,
+    /// End of chunk: return `undefined` from the frame.
+    End,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insns_are_small_and_copy() {
+        // The dispatch loop copies instructions out of the stream; keep
+        // them register-friendly.
+        assert!(std::mem::size_of::<Insn>() <= 16);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Insn>();
+    }
+}

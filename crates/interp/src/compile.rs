@@ -1,0 +1,857 @@
+//! AST → bytecode lowering.
+//!
+//! The contract with the tree-walker is *observational identity*: the same
+//! virtual-clock tick sequence (every `eval_stmt`/`eval_expr` entry charge,
+//! in the same order), the same binding/object-id allocation order, the
+//! same evaluation order for every subexpression, and the same error
+//! values. The comments on each lowering cite the tree-walk behavior they
+//! replicate; `interp.rs` is the normative reference.
+//!
+//! Consecutive node-entry charges with nothing observable between them are
+//! merged into one [`Insn::Tick`] (the VM still charges them one at a
+//! time). Pending ticks are flushed before any real instruction and before
+//! every jump target, so a tick never migrates across a control-flow edge.
+
+use crate::bytecode::{Chunk, Insn, Module};
+use crate::intern::{intern, FxHashMap, Sym};
+use ceres_ast::ast::*;
+use std::rc::Rc;
+
+/// Compile a whole program (including every nested function) to a module.
+/// Chunk 0 is the top-level script.
+pub fn compile_program(program: &Program) -> Module {
+    let mut c = Compiler {
+        chunks: Vec::new(),
+        hook_spec: !binds_hook_name(&program.body),
+    };
+    c.compile_chunk(None, None, &[], &program.body);
+    Module { chunks: c.chunks }
+}
+
+struct Compiler {
+    chunks: Vec<Chunk>,
+    /// Lower `__ceres_*(…)` calls to [`Insn::CallHook`]. True unless the
+    /// program itself binds a name in the reserved hook namespace (then
+    /// scope-chain resolution must stay fully general).
+    hook_spec: bool,
+}
+
+/// Is `name` in the namespace reserved for instrumentation hooks?
+fn is_hook_name(name: &str) -> bool {
+    name.starts_with("__ceres_")
+}
+
+/// Does any statement bind (declare, shadow, or assign) a `__ceres_*`
+/// name? Instrumented programs never do — the rewriter owns that prefix —
+/// so this scan is what licenses the [`Insn::CallHook`] fast path.
+fn binds_hook_name(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(binds_in_stmt)
+}
+
+fn binds_in_func(f: &Func) -> bool {
+    f.params.iter().any(|p| is_hook_name(p)) || binds_hook_name(&f.body)
+}
+
+fn binds_in_decls(ds: &[VarDeclarator]) -> bool {
+    ds.iter()
+        .any(|d| is_hook_name(&d.name) || d.init.as_ref().is_some_and(binds_in_expr))
+}
+
+fn binds_in_stmt(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Expr(e) | StmtKind::Throw(e) => binds_in_expr(e),
+        StmtKind::VarDecl(ds) => binds_in_decls(ds),
+        StmtKind::Func(fd) => is_hook_name(&fd.name) || binds_in_func(&fd.func),
+        StmtKind::Return(e) => e.as_ref().is_some_and(binds_in_expr),
+        StmtKind::If { cond, then, alt } => {
+            binds_in_expr(cond) || binds_in_stmt(then) || alt.as_deref().is_some_and(binds_in_stmt)
+        }
+        StmtKind::While { cond, body, .. } => binds_in_expr(cond) || binds_in_stmt(body),
+        StmtKind::DoWhile { body, cond, .. } => binds_in_stmt(body) || binds_in_expr(cond),
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            (match init {
+                Some(ForInit::VarDecl(ds)) => binds_in_decls(ds),
+                Some(ForInit::Expr(e)) => binds_in_expr(e),
+                None => false,
+            }) || cond.as_ref().is_some_and(binds_in_expr)
+                || update.as_ref().is_some_and(binds_in_expr)
+                || binds_in_stmt(body)
+        }
+        StmtKind::ForIn {
+            var, object, body, ..
+        } => is_hook_name(var) || binds_in_expr(object) || binds_in_stmt(body),
+        StmtKind::Block(b) => binds_hook_name(b),
+        StmtKind::Break | StmtKind::Continue | StmtKind::Empty => false,
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
+            binds_hook_name(block)
+                || catch
+                    .as_ref()
+                    .is_some_and(|c| is_hook_name(&c.param) || binds_hook_name(&c.body))
+                || finally.as_ref().is_some_and(|f| binds_hook_name(f))
+        }
+        StmtKind::Switch { disc, cases } => {
+            binds_in_expr(disc)
+                || cases
+                    .iter()
+                    .any(|c| c.test.as_ref().is_some_and(binds_in_expr) || binds_hook_name(&c.body))
+        }
+    }
+}
+
+fn binds_in_expr(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Num(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::Undefined
+        | ExprKind::This
+        | ExprKind::Ident(_) => false,
+        ExprKind::Array(es) | ExprKind::Seq(es) => es.iter().any(binds_in_expr),
+        ExprKind::Object(ps) => ps.iter().any(|(_, v)| binds_in_expr(v)),
+        ExprKind::Func { name, func } => {
+            name.as_deref().is_some_and(is_hook_name) || binds_in_func(func)
+        }
+        ExprKind::Unary { expr, .. } => binds_in_expr(expr),
+        ExprKind::Update { target, .. } => {
+            matches!(&target.kind, ExprKind::Ident(n) if is_hook_name(n)) || binds_in_expr(target)
+        }
+        ExprKind::Binary { left, right, .. } | ExprKind::Logical { left, right, .. } => {
+            binds_in_expr(left) || binds_in_expr(right)
+        }
+        ExprKind::Assign { target, value, .. } => {
+            matches!(&target.kind, ExprKind::Ident(n) if is_hook_name(n))
+                || binds_in_expr(target)
+                || binds_in_expr(value)
+        }
+        ExprKind::Cond { cond, then, alt } => {
+            binds_in_expr(cond) || binds_in_expr(then) || binds_in_expr(alt)
+        }
+        ExprKind::Call { callee, args } | ExprKind::New { callee, args } => {
+            binds_in_expr(callee) || args.iter().any(binds_in_expr)
+        }
+        ExprKind::Member { object, .. } => binds_in_expr(object),
+        ExprKind::Index { object, index } => binds_in_expr(object) || binds_in_expr(index),
+    }
+}
+
+/// Per-chunk emission state.
+struct Ctx {
+    code: Vec<Insn>,
+    strs: Vec<Rc<str>>,
+    str_map: FxHashMap<Rc<str>, u32>,
+    slots: FxHashMap<Sym, u32>,
+    /// Node-entry charges not yet emitted.
+    pending_ticks: u32,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        Ctx {
+            code: Vec::new(),
+            strs: Vec::new(),
+            str_map: FxHashMap::default(),
+            slots: FxHashMap::default(),
+            pending_ticks: 0,
+        }
+    }
+
+    /// Record one node-entry `charge(1)`.
+    fn tick(&mut self) {
+        self.pending_ticks += 1;
+    }
+
+    fn flush_ticks(&mut self) {
+        if self.pending_ticks > 0 {
+            self.code.push(Insn::Tick(self.pending_ticks));
+            self.pending_ticks = 0;
+        }
+    }
+
+    /// Emit a real instruction (flushes pending ticks first).
+    fn emit(&mut self, i: Insn) {
+        self.flush_ticks();
+        self.code.push(i);
+    }
+
+    /// Current pc as a jump target (flushes so the target is stable).
+    fn here(&mut self) -> u32 {
+        self.flush_ticks();
+        self.code.len() as u32
+    }
+
+    /// Emit `i` and return its index for later patching.
+    fn emit_patchable(&mut self, i: Insn) -> usize {
+        self.flush_ticks();
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    /// Patch the single jump-target operand of the instruction at `at`.
+    fn patch(&mut self, at: usize, pc: u32) {
+        match &mut self.code[at] {
+            Insn::Jump(t)
+            | Insn::JumpIfFalse(t)
+            | Insn::JumpIfTrue(t)
+            | Insn::JumpIfFalsePeek(t)
+            | Insn::JumpIfTruePeek(t)
+            | Insn::CaseEq(t)
+            | Insn::PushSwitch { break_pc: t }
+            | Insn::PushCatch { pc: t, .. }
+            | Insn::PushFinally { pc: t }
+            | Insn::ForInNext { end: t, .. } => *t = pc,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn patch_loop(&mut self, at: usize, brk: u32, cont: u32) {
+        match &mut self.code[at] {
+            Insn::PushLoop {
+                break_pc,
+                continue_pc,
+            } => {
+                *break_pc = brk;
+                *continue_pc = cont;
+            }
+            other => unreachable!("patching non-loop {other:?}"),
+        }
+    }
+
+    /// Intern a string in the chunk constant pool.
+    fn str_const(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.str_map.get(s) {
+            return i;
+        }
+        let rc: Rc<str> = Rc::from(s);
+        let i = self.strs.len() as u32;
+        self.strs.push(rc.clone());
+        self.str_map.insert(rc, i);
+        i
+    }
+
+    /// Binding-cache slot for a variable name.
+    fn slot(&mut self, sym: Sym) -> u32 {
+        let next = self.slots.len() as u32;
+        *self.slots.entry(sym).or_insert(next)
+    }
+}
+
+impl Compiler {
+    /// Compile one function body (or the program when `func` is `None`)
+    /// into a fresh chunk; returns its index.
+    fn compile_chunk(
+        &mut self,
+        name: Option<String>,
+        func: Option<&Func>,
+        params: &[String],
+        body: &[Stmt],
+    ) -> u32 {
+        let idx = self.chunks.len() as u32;
+        // Reserve the slot so nested functions get later indices, matching
+        // a pre-order numbering.
+        self.chunks.push(Chunk {
+            name: None,
+            func: None,
+            params: Vec::new(),
+            hoisted_vars: Vec::new(),
+            hoisted_funcs: Vec::new(),
+            code: Vec::new(),
+            strs: Vec::new(),
+            num_slots: 0,
+            sym_this: Sym::NONE,
+            sym_arguments: Sym::NONE,
+        });
+
+        // Hoisting mirrors `collect_hoisted`: vars in source order, then
+        // function declarations (closures built at frame entry).
+        let (vars, funcs) = crate::interp::hoisted_of(body);
+        let hoisted_vars: Vec<Sym> = vars.iter().map(|v| intern(v)).collect();
+        let mut hoisted_funcs = Vec::with_capacity(funcs.len());
+        for decl in &funcs {
+            let f_idx = self.compile_chunk(
+                Some(decl.name.clone()),
+                Some(&decl.func),
+                &decl.func.params,
+                &decl.func.body,
+            );
+            hoisted_funcs.push((intern(&decl.name), f_idx));
+        }
+
+        let mut ctx = Ctx::new();
+        for s in body {
+            self.stmt(&mut ctx, s);
+        }
+        ctx.emit(Insn::End);
+
+        let chunk = &mut self.chunks[idx as usize];
+        chunk.name = name;
+        chunk.func = func.map(|f| Rc::new(f.clone()));
+        chunk.params = params.iter().map(|p| intern(p)).collect();
+        chunk.hoisted_vars = hoisted_vars;
+        chunk.hoisted_funcs = hoisted_funcs;
+        chunk.code = ctx.code;
+        chunk.strs = ctx.strs;
+        chunk.num_slots = ctx.slots.len() as u32;
+        chunk.sym_this = intern("this");
+        chunk.sym_arguments = intern("arguments");
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, ctx: &mut Ctx, s: &Stmt) {
+        ctx.tick(); // eval_stmt entry charge
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                self.expr(ctx, e);
+                ctx.emit(Insn::Pop);
+            }
+            StmtKind::VarDecl(decls) => {
+                for d in decls {
+                    if let Some(init) = &d.init {
+                        self.expr(ctx, init);
+                        let sym = intern(&d.name);
+                        let slot = ctx.slot(sym);
+                        ctx.emit(Insn::StoreDecl { sym, slot });
+                    }
+                }
+            }
+            StmtKind::Func(_) => {} // handled at hoist time; tick only
+            StmtKind::Return(e) => {
+                match e {
+                    Some(e) => self.expr(ctx, e),
+                    None => ctx.emit(Insn::PushUndef),
+                }
+                ctx.emit(Insn::Return);
+            }
+            StmtKind::If { cond, then, alt } => {
+                self.expr(ctx, cond);
+                let jf = ctx.emit_patchable(Insn::JumpIfFalse(0));
+                self.stmt(ctx, then);
+                match alt {
+                    Some(alt) => {
+                        let jend = ctx.emit_patchable(Insn::Jump(0));
+                        let l_alt = ctx.here();
+                        ctx.patch(jf, l_alt);
+                        self.stmt(ctx, alt);
+                        let l_end = ctx.here();
+                        ctx.patch(jend, l_end);
+                    }
+                    None => {
+                        let l_end = ctx.here();
+                        ctx.patch(jf, l_end);
+                    }
+                }
+            }
+            StmtKind::While { cond, body, .. } => {
+                let pl = ctx.emit_patchable(Insn::PushLoop {
+                    break_pc: 0,
+                    continue_pc: 0,
+                });
+                let head = ctx.here();
+                self.expr(ctx, cond);
+                let jf = ctx.emit_patchable(Insn::JumpIfFalse(0));
+                self.stmt(ctx, body);
+                ctx.emit(Insn::Jump(head));
+                let l_pop = ctx.here();
+                ctx.emit(Insn::PopHandler);
+                let after = ctx.here();
+                ctx.patch(jf, l_pop);
+                ctx.patch_loop(pl, after, head);
+            }
+            StmtKind::DoWhile { body, cond, .. } => {
+                let pl = ctx.emit_patchable(Insn::PushLoop {
+                    break_pc: 0,
+                    continue_pc: 0,
+                });
+                let head = ctx.here();
+                self.stmt(ctx, body);
+                let cont = ctx.here();
+                self.expr(ctx, cond);
+                ctx.emit(Insn::JumpIfTrue(head));
+                ctx.emit(Insn::PopHandler);
+                let after = ctx.here();
+                ctx.patch_loop(pl, after, cont);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
+                match init {
+                    Some(ForInit::VarDecl(decls)) => {
+                        for d in decls {
+                            if let Some(e) = &d.init {
+                                self.expr(ctx, e);
+                                let sym = intern(&d.name);
+                                let slot = ctx.slot(sym);
+                                ctx.emit(Insn::StoreDecl { sym, slot });
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => {
+                        self.expr(ctx, e);
+                        ctx.emit(Insn::Pop);
+                    }
+                    None => {}
+                }
+                let pl = ctx.emit_patchable(Insn::PushLoop {
+                    break_pc: 0,
+                    continue_pc: 0,
+                });
+                let head = ctx.here();
+                let jf = cond.as_ref().map(|c| {
+                    self.expr(ctx, c);
+                    ctx.emit_patchable(Insn::JumpIfFalse(0))
+                });
+                self.stmt(ctx, body);
+                let cont = ctx.here();
+                if let Some(u) = update {
+                    self.expr(ctx, u);
+                    ctx.emit(Insn::Pop);
+                }
+                ctx.emit(Insn::Jump(head));
+                let l_pop = ctx.here();
+                ctx.emit(Insn::PopHandler);
+                let after = ctx.here();
+                if let Some(jf) = jf {
+                    ctx.patch(jf, l_pop);
+                }
+                ctx.patch_loop(pl, after, cont);
+            }
+            StmtKind::ForIn {
+                decl,
+                var,
+                object,
+                body,
+                ..
+            } => {
+                let sym = intern(var);
+                self.expr(ctx, object);
+                ctx.emit(Insn::ForInInit { sym, decl: *decl });
+                // The loop handler is armed *after* the iterator exists, so
+                // `continue` (which truncates to the armed depth) keeps it;
+                // `break` lands on ForInDrop to discard it.
+                let pl = ctx.emit_patchable(Insn::PushLoop {
+                    break_pc: 0,
+                    continue_pc: 0,
+                });
+                let head = ctx.here();
+                let fin = ctx.emit_patchable(Insn::ForInNext { sym, end: 0 });
+                self.stmt(ctx, body);
+                ctx.emit(Insn::Jump(head));
+                let l_end = ctx.here();
+                ctx.emit(Insn::PopHandler);
+                let jend = ctx.emit_patchable(Insn::Jump(0));
+                let l_brk = ctx.here();
+                ctx.emit(Insn::ForInDrop);
+                let after = ctx.here();
+                ctx.patch(fin, l_end);
+                ctx.patch(jend, after);
+                ctx.patch_loop(pl, l_brk, head);
+            }
+            StmtKind::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(ctx, s);
+                }
+            }
+            StmtKind::Break => ctx.emit(Insn::Break),
+            StmtKind::Continue => ctx.emit(Insn::Continue),
+            StmtKind::Throw(e) => {
+                self.expr(ctx, e);
+                ctx.emit(Insn::Throw);
+            }
+            StmtKind::Try {
+                block,
+                catch,
+                finally,
+            } => {
+                let pf = finally
+                    .as_ref()
+                    .map(|_| ctx.emit_patchable(Insn::PushFinally { pc: 0 }));
+                let pcatch = catch.as_ref().map(|c| {
+                    ctx.emit_patchable(Insn::PushCatch {
+                        pc: 0,
+                        param: intern(&c.param),
+                    })
+                });
+                for s in block {
+                    self.stmt(ctx, s);
+                }
+                if let (Some(pcatch), Some(c)) = (pcatch, catch.as_ref()) {
+                    ctx.emit(Insn::PopHandler);
+                    let jend = ctx.emit_patchable(Insn::Jump(0));
+                    let l_catch = ctx.here();
+                    ctx.patch(pcatch, l_catch);
+                    for s in &c.body {
+                        self.stmt(ctx, s);
+                    }
+                    ctx.emit(Insn::PopScope);
+                    let l_end = ctx.here();
+                    ctx.patch(jend, l_end);
+                }
+                if let (Some(pf), Some(f)) = (pf, finally.as_ref()) {
+                    ctx.emit(Insn::EnterFinally);
+                    let l_fin = ctx.here();
+                    ctx.patch(pf, l_fin);
+                    for s in f {
+                        self.stmt(ctx, s);
+                    }
+                    ctx.emit(Insn::EndFinally);
+                }
+            }
+            StmtKind::Switch { disc, cases } => {
+                let ps = ctx.emit_patchable(Insn::PushSwitch { break_pc: 0 });
+                self.expr(ctx, disc);
+                // All tests evaluate (until a match) before any body runs.
+                let mut case_jumps: Vec<(usize, usize)> = Vec::new(); // (case idx, patch at)
+                for (i, case) in cases.iter().enumerate() {
+                    if let Some(t) = &case.test {
+                        self.expr(ctx, t);
+                        let at = ctx.emit_patchable(Insn::CaseEq(0));
+                        case_jumps.push((i, at));
+                    }
+                }
+                ctx.emit(Insn::Pop); // no test matched: discard discriminant
+                let default = cases.iter().position(|c| c.test.is_none());
+                let jdef = ctx.emit_patchable(Insn::Jump(0));
+                if let Some(di) = default {
+                    case_jumps.push((di, jdef));
+                }
+                let mut body_pcs = Vec::with_capacity(cases.len());
+                for case in cases {
+                    body_pcs.push(ctx.here());
+                    for s in &case.body {
+                        self.stmt(ctx, s);
+                    }
+                    // fall through to the next case body
+                }
+                let l_pop = ctx.here();
+                ctx.emit(Insn::PopHandler);
+                let after = ctx.here();
+                for (i, at) in case_jumps {
+                    ctx.patch(at, body_pcs[i]);
+                }
+                if default.is_none() {
+                    ctx.patch(jdef, l_pop);
+                }
+                ctx.patch(ps, after);
+            }
+            StmtKind::Empty => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, ctx: &mut Ctx, e: &Expr) {
+        ctx.tick(); // eval_expr entry charge
+        match &e.kind {
+            ExprKind::Num(n) => ctx.emit(Insn::Num(*n)),
+            ExprKind::Str(s) => {
+                let i = ctx.str_const(s);
+                ctx.emit(Insn::Str(i));
+            }
+            ExprKind::Bool(b) => ctx.emit(Insn::PushBool(*b)),
+            ExprKind::Null => ctx.emit(Insn::PushNull),
+            ExprKind::Undefined => ctx.emit(Insn::PushUndef),
+            ExprKind::This => {
+                let slot = ctx.slot(intern("this"));
+                ctx.emit(Insn::LoadThis { slot });
+            }
+            ExprKind::Ident(name) => {
+                let sym = intern(name);
+                let slot = ctx.slot(sym);
+                ctx.emit(Insn::LoadVar { sym, slot });
+            }
+            ExprKind::Array(elems) => {
+                for el in elems {
+                    self.expr(ctx, el);
+                }
+                // Array allocated *after* its elements (tree-walk id order).
+                ctx.emit(Insn::MakeArray(elems.len() as u32));
+            }
+            ExprKind::Object(props) => {
+                // Object allocated *before* its values (tree-walk id order).
+                ctx.emit(Insn::MakeObject);
+                for (key, value) in props {
+                    self.expr(ctx, value);
+                    let k = intern(&key.as_name());
+                    ctx.emit(Insn::SetOwnProp(k));
+                }
+            }
+            ExprKind::Func { name, func } => {
+                let idx = self.compile_chunk(name.clone(), Some(func), &func.params, &func.body);
+                ctx.emit(Insn::MakeClosure(idx));
+            }
+            ExprKind::Unary { op, expr: inner } => match op {
+                // `typeof ident` tolerates undeclared names and charges
+                // only the Unary node.
+                UnaryOp::TypeOf if matches!(&inner.kind, ExprKind::Ident(_)) => {
+                    let ExprKind::Ident(name) = &inner.kind else {
+                        unreachable!()
+                    };
+                    let sym = intern(name);
+                    let slot = ctx.slot(sym);
+                    ctx.emit(Insn::TypeofVar { sym, slot });
+                }
+                // `delete` dispatches on the target shape without charging
+                // the Member/Index node itself (see `eval_delete`).
+                UnaryOp::Delete => match &inner.kind {
+                    ExprKind::Member { object, prop } => {
+                        self.expr(ctx, object);
+                        let k = intern(prop);
+                        ctx.emit(Insn::DeleteProp(k));
+                    }
+                    ExprKind::Index { object, index } => {
+                        self.expr(ctx, object);
+                        self.expr(ctx, index);
+                        ctx.emit(Insn::DeleteIndex);
+                    }
+                    _ => {
+                        self.expr(ctx, inner);
+                        ctx.emit(Insn::DeleteOther);
+                    }
+                },
+                _ => {
+                    self.expr(ctx, inner);
+                    ctx.emit(Insn::Unary(*op));
+                }
+            },
+            ExprKind::Update { op, prefix, target } => {
+                let inc = matches!(op, UpdateOp::Inc);
+                let prefix = *prefix;
+                match &target.kind {
+                    // eval_lvalue_read(Ident) reads without charging.
+                    ExprKind::Ident(name) => {
+                        let sym = intern(name);
+                        let slot = ctx.slot(sym);
+                        ctx.emit(Insn::LoadVar { sym, slot });
+                        ctx.emit(Insn::IncDec { inc, prefix });
+                        ctx.emit(Insn::StoreVar { sym, slot });
+                    }
+                    // Member/Index targets evaluate the object (and index)
+                    // twice: once reading via eval_expr (which charges the
+                    // node), once writing via assign_to (which does not).
+                    ExprKind::Member { object, prop } => {
+                        ctx.tick(); // Member node charge from the lvalue read
+                        self.expr(ctx, object);
+                        let k = intern(prop);
+                        ctx.emit(Insn::GetProp(k));
+                        ctx.emit(Insn::IncDec { inc, prefix });
+                        self.expr(ctx, object);
+                        ctx.emit(Insn::SetProp(k));
+                        ctx.emit(Insn::Pop);
+                    }
+                    ExprKind::Index { object, index } => {
+                        ctx.tick(); // Index node charge from the lvalue read
+                        self.expr(ctx, object);
+                        self.expr(ctx, index);
+                        ctx.emit(Insn::GetIndex);
+                        ctx.emit(Insn::IncDec { inc, prefix });
+                        self.expr(ctx, object);
+                        self.expr(ctx, index);
+                        ctx.emit(Insn::SetIndex);
+                        ctx.emit(Insn::Pop);
+                    }
+                    _ => {
+                        // Read evaluates the target, then assign_to throws.
+                        self.expr(ctx, target);
+                        ctx.emit(Insn::InvalidTarget);
+                    }
+                }
+            }
+            ExprKind::Binary { op, left, right } => {
+                self.expr(ctx, left);
+                self.expr(ctx, right);
+                match op {
+                    BinaryOp::InstanceOf => ctx.emit(Insn::InstanceOf),
+                    BinaryOp::In => ctx.emit(Insn::InOp),
+                    _ => ctx.emit(Insn::Binary(*op)),
+                }
+            }
+            ExprKind::Logical { op, left, right } => {
+                self.expr(ctx, left);
+                let j = ctx.emit_patchable(match op {
+                    LogicalOp::And => Insn::JumpIfFalsePeek(0),
+                    LogicalOp::Or => Insn::JumpIfTruePeek(0),
+                });
+                ctx.emit(Insn::Pop);
+                self.expr(ctx, right);
+                let end = ctx.here();
+                ctx.patch(j, end);
+            }
+            ExprKind::Assign { op, target, value } => match op.binary() {
+                None => match &target.kind {
+                    ExprKind::Ident(name) => {
+                        self.expr(ctx, value);
+                        let sym = intern(name);
+                        let slot = ctx.slot(sym);
+                        ctx.emit(Insn::Dup);
+                        ctx.emit(Insn::StoreVar { sym, slot });
+                    }
+                    // assign_to evaluates the target object *after* the
+                    // value, without charging the Member/Index node.
+                    ExprKind::Member { object, prop } => {
+                        self.expr(ctx, value);
+                        self.expr(ctx, object);
+                        let k = intern(prop);
+                        ctx.emit(Insn::SetProp(k));
+                    }
+                    ExprKind::Index { object, index } => {
+                        self.expr(ctx, value);
+                        self.expr(ctx, object);
+                        self.expr(ctx, index);
+                        ctx.emit(Insn::SetIndex);
+                    }
+                    _ => {
+                        self.expr(ctx, value);
+                        ctx.emit(Insn::InvalidTarget);
+                    }
+                },
+                Some(bop) => {
+                    match &target.kind {
+                        ExprKind::Ident(name) => {
+                            let sym = intern(name);
+                            let slot = ctx.slot(sym);
+                            ctx.emit(Insn::LoadVar { sym, slot });
+                            self.expr(ctx, value);
+                            ctx.emit(Insn::Binary(bop));
+                            ctx.emit(Insn::Dup);
+                            ctx.emit(Insn::StoreVar { sym, slot });
+                        }
+                        ExprKind::Member { object, prop } => {
+                            ctx.tick(); // Member node charge from lvalue read
+                            self.expr(ctx, object);
+                            let k = intern(prop);
+                            ctx.emit(Insn::GetProp(k));
+                            self.expr(ctx, value);
+                            ctx.emit(Insn::Binary(bop));
+                            self.expr(ctx, object);
+                            ctx.emit(Insn::SetProp(k));
+                        }
+                        ExprKind::Index { object, index } => {
+                            ctx.tick(); // Index node charge from lvalue read
+                            self.expr(ctx, object);
+                            self.expr(ctx, index);
+                            ctx.emit(Insn::GetIndex);
+                            self.expr(ctx, value);
+                            ctx.emit(Insn::Binary(bop));
+                            self.expr(ctx, object);
+                            self.expr(ctx, index);
+                            ctx.emit(Insn::SetIndex);
+                        }
+                        _ => {
+                            self.expr(ctx, target); // lvalue read charges
+                            self.expr(ctx, value);
+                            ctx.emit(Insn::Binary(bop));
+                            ctx.emit(Insn::InvalidTarget);
+                        }
+                    }
+                }
+            },
+            ExprKind::Cond { cond, then, alt } => {
+                self.expr(ctx, cond);
+                let jf = ctx.emit_patchable(Insn::JumpIfFalse(0));
+                self.expr(ctx, then);
+                let jend = ctx.emit_patchable(Insn::Jump(0));
+                let l_alt = ctx.here();
+                ctx.patch(jf, l_alt);
+                self.expr(ctx, alt);
+                let l_end = ctx.here();
+                ctx.patch(jend, l_end);
+            }
+            ExprKind::Call { callee, args } => {
+                // Instrumentation callouts bind directly to the registered
+                // native. Tick parity with the generic lowering: the callee
+                // Ident's node-entry charge is kept; `LoadVar`/`PushUndef`
+                // carry no charges of their own.
+                if self.hook_spec {
+                    if let ExprKind::Ident(name) = &callee.kind {
+                        if is_hook_name(name) {
+                            ctx.tick(); // callee Ident node entry charge
+                            for a in args {
+                                self.expr(ctx, a);
+                            }
+                            ctx.emit(Insn::CallHook {
+                                sym: intern(name),
+                                argc: args.len() as u16,
+                            });
+                            return;
+                        }
+                    }
+                }
+                // Method calls compute the receiver; the Member/Index node
+                // of the callee itself is *not* charged (see eval_call).
+                match &callee.kind {
+                    ExprKind::Member { object, prop } => {
+                        self.expr(ctx, object);
+                        let k = intern(prop);
+                        ctx.emit(Insn::GetMethod(k));
+                    }
+                    ExprKind::Index { object, index } => {
+                        self.expr(ctx, object);
+                        self.expr(ctx, index);
+                        ctx.emit(Insn::GetIndexMethod);
+                    }
+                    _ => {
+                        self.expr(ctx, callee);
+                        ctx.emit(Insn::PushUndef);
+                    }
+                }
+                for a in args {
+                    self.expr(ctx, a);
+                }
+                let src = ctx.str_const(&ceres_ast::expr_to_source(callee));
+                ctx.emit(Insn::Call {
+                    argc: args.len() as u16,
+                    src,
+                });
+            }
+            ExprKind::New { callee, args } => {
+                self.expr(ctx, callee);
+                for a in args {
+                    self.expr(ctx, a);
+                }
+                ctx.emit(Insn::New {
+                    argc: args.len() as u16,
+                });
+            }
+            ExprKind::Member { object, prop } => {
+                self.expr(ctx, object);
+                let k = intern(prop);
+                ctx.emit(Insn::GetProp(k));
+            }
+            ExprKind::Index { object, index } => {
+                self.expr(ctx, object);
+                self.expr(ctx, index);
+                ctx.emit(Insn::GetIndex);
+            }
+            ExprKind::Seq(exprs) => match exprs.split_last() {
+                None => ctx.emit(Insn::PushUndef),
+                Some((last, init)) => {
+                    for e in init {
+                        self.expr(ctx, e);
+                        ctx.emit(Insn::Pop);
+                    }
+                    self.expr(ctx, last);
+                }
+            },
+        }
+    }
+}

@@ -18,13 +18,51 @@
 
 use crate::clock::Clock;
 use crate::env::{Scope, ScopeRef};
+use crate::intern::{self, Sym};
 use crate::ops;
 use crate::value::{
-    native_fn, new_array, new_object, CallCtx, JsFunction, NativeFn, ObjKind, ObjRef, Value,
+    native_fn, new_array, new_object, CallCtx, CompiledFn, JsFunction, NativeFn, ObjKind, ObjRef,
+    Value,
 };
 use ceres_ast::ast::*;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+
+/// Which evaluator executes programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The original recursive tree-walker.
+    Tree,
+    /// The bytecode compiler + flat dispatch loop (`vm.rs`). Observably
+    /// identical to [`Backend::Tree`] — same tick sequence, same heap and
+    /// binding ids, same hook order — but without per-node recursion.
+    Vm,
+}
+
+thread_local! {
+    static BACKEND_OVERRIDE: std::cell::Cell<Option<Backend>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Override the backend new interpreters on *this thread* default to.
+/// `None` restores the environment-driven default. Intended for in-process
+/// equivalence tests; cross-process selection uses `CERES_INTERP_BACKEND`.
+pub fn set_default_backend(b: Option<Backend>) {
+    BACKEND_OVERRIDE.with(|c| c.set(b));
+}
+
+/// The backend a fresh [`Interp`] starts on: the thread-local override if
+/// set, else `CERES_INTERP_BACKEND` (`tree` selects the tree-walker),
+/// else the VM.
+pub fn default_backend() -> Backend {
+    if let Some(b) = BACKEND_OVERRIDE.with(|c| c.get()) {
+        return b;
+    }
+    match std::env::var("CERES_INTERP_BACKEND") {
+        Ok(s) if s.eq_ignore_ascii_case("tree") => Backend::Tree,
+        _ => Backend::Vm,
+    }
+}
 
 /// Non-local control flow.
 pub enum Control {
@@ -136,6 +174,11 @@ pub struct Interp {
     pub events_processed: u64,
     /// Analysis observer (set by `ceres-core`, used by `ceres-dom`).
     pub monitor: Option<Rc<dyn Monitor>>,
+    /// Which evaluator [`Interp::eval_program`] uses.
+    pub backend: Backend,
+    /// Wall time spent lowering ASTs to bytecode, in microseconds
+    /// (surfaced by the pipeline as the `interp.compile` sub-span).
+    pub compile_us: u64,
     pub(crate) queue: BinaryHeap<Scheduled>,
     pub(crate) queue_seq: u64,
     pub(crate) cancelled_timers: std::collections::HashSet<u64>,
@@ -146,12 +189,29 @@ pub struct Interp {
     string_methods: ObjRef,
     number_methods: ObjRef,
     function_methods: ObjRef,
+    /// Pre-interned property names the hot access paths compare against.
+    sym_length: Sym,
+    sym_name: Sym,
+    /// Natives registered under the reserved `__ceres_*` instrumentation
+    /// namespace, addressable by [`crate::bytecode::Insn::CallHook`]
+    /// without a scope-chain walk.
+    pub(crate) hook_natives: intern::FxHashMap<Sym, crate::value::NativeFn>,
+    /// Allocation-registry mark taken at construction; `Drop` sweeps every
+    /// object allocated since to break `Rc` cycles (closure env ↔ scope).
+    heap_mark: usize,
+}
+
+impl Drop for Interp {
+    fn drop(&mut self) {
+        crate::value::heap_sweep(self.heap_mark);
+    }
 }
 
 impl Interp {
     /// Create an interpreter with all standard builtins installed and the
     /// RNG seeded to `seed` (deterministic `Math.random`).
     pub fn new(seed: u64) -> Interp {
+        let heap_mark = crate::value::heap_mark();
         let global = Scope::global();
         let mut interp = Interp {
             global,
@@ -160,6 +220,8 @@ impl Interp {
             max_ticks: None,
             events_processed: 0,
             monitor: None,
+            backend: default_backend(),
+            compile_us: 0,
             queue: BinaryHeap::new(),
             queue_seq: 0,
             cancelled_timers: std::collections::HashSet::new(),
@@ -169,6 +231,10 @@ impl Interp {
             string_methods: new_object(),
             number_methods: new_object(),
             function_methods: new_object(),
+            sym_length: intern::intern("length"),
+            sym_name: intern::intern("name"),
+            hook_natives: intern::FxHashMap::default(),
+            heap_mark,
         };
         crate::builtins::install(&mut interp);
         interp
@@ -191,8 +257,15 @@ impl Interp {
         name: &str,
         f: impl Fn(&mut Interp, &CallCtx, &[Value]) -> JsResult + 'static,
     ) {
-        let obj = native_fn(name, Rc::new(f));
+        let nf: crate::value::NativeFn = Rc::new(f);
+        let obj = native_fn(name, nf.clone());
         self.global.declare(name, Value::Object(obj));
+        // Hook natives are additionally indexed for `Insn::CallHook`;
+        // re-registration replaces the entry, so the map always mirrors
+        // the live global binding.
+        if name.starts_with("__ceres_") {
+            self.hook_natives.insert(intern::intern(name), nf);
+        }
     }
 
     /// Register a global value.
@@ -218,8 +291,39 @@ impl Interp {
         Err(Control::Throw(Value::Object(obj)))
     }
 
+    /// Charge `n` ticks at once — the VM's batched form of `n` consecutive
+    /// [`Interp::charge`]`(1)` calls with no observable work in between.
+    /// Sampling is handled inside [`Clock::tick`] at the exact same tick
+    /// boundaries; a tick-budget trip lands on `max + 1`, the tick where
+    /// the one-at-a-time walk would have tripped, so the watchdog message
+    /// and the post-mortem clock reading are identical.
     #[inline]
-    fn charge(&mut self, n: u64) -> Result<(), Control> {
+    pub(crate) fn charge_n(&mut self, n: u64) -> Result<(), Control> {
+        if let Some(max) = self.max_ticks {
+            let now = self.clock.now_ticks();
+            if now + n > max {
+                // First tick the one-at-a-time walk trips on: `max + 1`
+                // normally, or the very next tick when the clock is already
+                // past the budget (a caller kept dispatching after a trip).
+                self.clock.tick(if now >= max { 1 } else { max + 1 - now });
+                return Err(Control::Fatal(format!(
+                    "{WATCHDOG_PREFIX} tick budget exceeded ({} > {max})",
+                    self.clock.now_ticks()
+                )));
+            }
+        }
+        self.clock.tick(n);
+        if self.clock.wall_tripped() {
+            let cap = self.clock.wall_cap().unwrap_or_default();
+            return Err(Control::Fatal(format!(
+                "{WATCHDOG_PREFIX} wall-clock cap exceeded ({} ms)",
+                cap.as_millis()
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn charge(&mut self, n: u64) -> Result<(), Control> {
         self.clock.tick(n);
         if let Some(max) = self.max_ticks {
             if self.clock.now_ticks() > max {
@@ -251,8 +355,12 @@ impl Interp {
         self.eval_program(&program)
     }
 
-    /// Hoist and run an already-parsed program in the global scope.
+    /// Hoist and run an already-parsed program in the global scope, on
+    /// whichever backend [`Interp::backend`] selects.
     pub fn eval_program(&mut self, program: &Program) -> JsResult<()> {
+        if self.backend == Backend::Vm {
+            return self.vm_eval_program(program);
+        }
         let scope = self.global.clone();
         self.hoist_into(&program.body, &scope)?;
         for stmt in &program.body {
@@ -294,6 +402,7 @@ impl Interp {
             name,
             func: Rc::new(func.clone()),
             env: scope.clone(),
+            code: None,
         }));
         // Every function gets a fresh `prototype` object for `new`.
         let proto = new_object();
@@ -749,7 +858,7 @@ impl Interp {
         }
     }
 
-    fn binary_op(&mut self, op: BinaryOp, l: &Value, r: &Value) -> JsResult {
+    pub(crate) fn binary_op(&mut self, op: BinaryOp, l: &Value, r: &Value) -> JsResult {
         use ops::CmpResult::*;
         Ok(match op {
             BinaryOp::Add => ops::js_add(l, r),
@@ -775,7 +884,7 @@ impl Interp {
         })
     }
 
-    fn instance_of(&mut self, l: &Value, r: &Value) -> JsResult {
+    pub(crate) fn instance_of(&mut self, l: &Value, r: &Value) -> JsResult {
         let ctor = match r.as_object() {
             Some(o) if o.is_callable() => o.clone(),
             _ => return self.throw("TypeError", "right-hand side of instanceof is not callable"),
@@ -794,7 +903,7 @@ impl Interp {
         Ok(Value::Bool(false))
     }
 
-    fn has_property(&self, obj: &ObjRef, key: &str) -> bool {
+    pub(crate) fn has_property(&self, obj: &ObjRef, key: &str) -> bool {
         if obj.is_array() {
             if let Ok(i) = key.parse::<usize>() {
                 return i < obj.array_len().unwrap_or(0);
@@ -827,7 +936,7 @@ impl Interp {
     /// preserve semantics: DOM-tagged objects (the monitor must see the
     /// access), fractional/negative/huge indices, or non-arrays.
     #[inline]
-    fn array_index(obj: &Value, idx: &Value) -> Option<usize> {
+    pub(crate) fn array_index(obj: &Value, idx: &Value) -> Option<usize> {
         let (Value::Object(o), Value::Num(n)) = (obj, idx) else {
             return None;
         };
@@ -847,38 +956,45 @@ impl Interp {
     /// `obj[key]` with full JS semantics (arrays, strings, proto chain,
     /// method tables for primitives).
     pub fn get_property(&mut self, obj: &Value, key: &str) -> JsResult {
+        self.get_property_sym(obj, intern::intern(key))
+    }
+
+    /// [`Interp::get_property`] with a pre-interned key — the VM's hot
+    /// path. Objects store properties `Sym`-keyed, so this never hashes
+    /// the key bytes; numeric keys ride the inline-`Sym` encoding.
+    pub fn get_property_sym(&mut self, obj: &Value, key: Sym) -> JsResult {
         if let Some(m) = &self.monitor {
             if let Value::Object(o) = obj {
                 if let Some(tag) = o.tag() {
-                    m.clone().host_access(tag, key);
+                    m.clone().host_access(tag, &intern::resolve(key));
                 }
             }
         }
         match obj {
             Value::Object(o) => {
                 if o.is_array() {
-                    if key == "length" {
+                    if key == self.sym_length {
                         return Ok(Value::Num(o.array_len().unwrap_or(0) as f64));
                     }
-                    if let Ok(i) = key.parse::<usize>() {
+                    if let Some(i) = sym_usize(key) {
                         return Ok(o.array_get(i).unwrap_or(Value::Undefined));
                     }
-                    if let Some(v) = o.get_own(key) {
+                    if let Some(v) = o.get_own_sym(key) {
                         return Ok(v);
                     }
-                    if let Some(m) = self.array_methods.get_own(key) {
+                    if let Some(m) = self.array_methods.get_own_sym(key) {
                         return Ok(m);
                     }
                     return Ok(Value::Undefined);
                 }
                 if o.is_callable() {
-                    if let Some(v) = o.get_own(key) {
+                    if let Some(v) = o.get_own_sym(key) {
                         return Ok(v);
                     }
-                    if let Some(m) = self.function_methods.get_own(key) {
+                    if let Some(m) = self.function_methods.get_own_sym(key) {
                         return Ok(m);
                     }
-                    if key == "name" {
+                    if key == self.sym_name {
                         let name = match &o.borrow().kind {
                             ObjKind::Function(f) => f.name.clone().unwrap_or_default(),
                             ObjKind::Native { name, .. } => name.clone(),
@@ -886,7 +1002,7 @@ impl Interp {
                         };
                         return Ok(Value::str(name));
                     }
-                    if key == "length" {
+                    if key == self.sym_length {
                         if let ObjKind::Function(f) = &o.borrow().kind {
                             return Ok(Value::Num(f.func.params.len() as f64));
                         }
@@ -895,12 +1011,12 @@ impl Interp {
                     return Ok(Value::Undefined);
                 }
                 // Plain object: own, then proto chain.
-                if let Some(v) = o.get_own(key) {
+                if let Some(v) = o.get_own_sym(key) {
                     return Ok(v);
                 }
                 let mut cur = o.proto();
                 while let Some(p) = cur {
-                    if let Some(v) = p.get_own(key) {
+                    if let Some(v) = p.get_own_sym(key) {
                         return Ok(v);
                     }
                     cur = p.proto();
@@ -908,56 +1024,75 @@ impl Interp {
                 Ok(Value::Undefined)
             }
             Value::Str(s) => {
-                if key == "length" {
+                if key == self.sym_length {
                     return Ok(Value::Num(s.chars().count() as f64));
                 }
-                if let Ok(i) = key.parse::<usize>() {
+                if let Some(i) = sym_usize(key) {
                     return Ok(match s.chars().nth(i) {
                         Some(c) => Value::str(c.to_string()),
                         None => Value::Undefined,
                     });
                 }
-                Ok(self.string_methods.get_own(key).unwrap_or(Value::Undefined))
+                Ok(self
+                    .string_methods
+                    .get_own_sym(key)
+                    .unwrap_or(Value::Undefined))
             }
-            Value::Num(_) => Ok(self.number_methods.get_own(key).unwrap_or(Value::Undefined)),
+            Value::Num(_) => Ok(self
+                .number_methods
+                .get_own_sym(key)
+                .unwrap_or(Value::Undefined)),
             Value::Bool(_) => Ok(Value::Undefined),
             Value::Undefined | Value::Null => self.throw(
                 "TypeError",
-                format!("cannot read property '{key}' of {}", obj.type_of()),
+                format!(
+                    "cannot read property '{}' of {}",
+                    intern::resolve(key),
+                    obj.type_of()
+                ),
             ),
         }
     }
 
     /// `obj[key] = value`.
     pub fn set_property(&mut self, obj: &Value, key: &str, value: Value) -> JsResult<()> {
+        self.set_property_sym(obj, intern::intern(key), value)
+    }
+
+    /// [`Interp::set_property`] with a pre-interned key.
+    pub fn set_property_sym(&mut self, obj: &Value, key: Sym, value: Value) -> JsResult<()> {
         if let Some(m) = &self.monitor {
             if let Value::Object(o) = obj {
                 if let Some(tag) = o.tag() {
-                    m.clone().host_access(tag, key);
+                    m.clone().host_access(tag, &intern::resolve(key));
                 }
             }
         }
         match obj {
             Value::Object(o) => {
                 if o.is_array() {
-                    if key == "length" {
+                    if key == self.sym_length {
                         let n = ops::to_number(&value).max(0.0) as usize;
                         o.with_array_mut(|v| v.resize(n, Value::Undefined));
                         return Ok(());
                     }
-                    if let Ok(i) = key.parse::<usize>() {
+                    if let Some(i) = sym_usize(key) {
                         o.array_set(i, value);
                         return Ok(());
                     }
                 }
-                o.set_prop(key, value);
+                o.set_prop_sym(key, value);
                 Ok(())
             }
             // Property writes on primitives silently no-op (sloppy mode).
             Value::Str(_) | Value::Num(_) | Value::Bool(_) => Ok(()),
             Value::Undefined | Value::Null => self.throw(
                 "TypeError",
-                format!("cannot set property '{key}' of {}", obj.type_of()),
+                format!(
+                    "cannot set property '{}' of {}",
+                    intern::resolve(key),
+                    obj.type_of()
+                ),
             ),
         }
     }
@@ -999,17 +1134,26 @@ impl Interp {
     }
 
     fn describe_callee_error(&self, c: Control, callee: &Expr) -> Control {
-        // Improve "not a function" messages with the source callee.
+        self.rewrite_not_a_function(c, || ceres_ast::expr_to_source(callee))
+    }
+
+    /// Improve bare "not a function" errors with the callee's source text.
+    /// `name` is lazy because rendering it costs an allocation the
+    /// non-error path never pays.
+    pub(crate) fn rewrite_not_a_function(
+        &self,
+        c: Control,
+        name: impl FnOnce() -> String,
+    ) -> Control {
         if let Control::Throw(Value::Object(o)) = &c {
-            {
-                if matches!(o.get_own("message"), Some(Value::Str(ref s)) if &**s == "not a function")
-                {
-                    let name = ceres_ast::expr_to_source(callee);
-                    let obj = new_object();
-                    obj.set_prop("name", Value::str("TypeError"));
-                    obj.set_prop("message", Value::str(format!("{name} is not a function")));
-                    return Control::Throw(Value::Object(obj));
-                }
+            if matches!(o.get_own("message"), Some(Value::Str(ref s)) if &**s == "not a function") {
+                let obj = new_object();
+                obj.set_prop("name", Value::str("TypeError"));
+                obj.set_prop(
+                    "message",
+                    Value::str(format!("{} is not a function", name())),
+                );
+                return Control::Throw(Value::Object(obj));
             }
         }
         c
@@ -1029,13 +1173,13 @@ impl Interp {
             _ => return self.throw("TypeError", "not a function"),
         };
         enum Kind {
-            Js(Rc<Func>, ScopeRef, Option<String>),
+            Js(Rc<Func>, ScopeRef, Option<CompiledFn>),
             Native(NativeFn),
         }
         let kind = {
             let b = obj.borrow();
             match &b.kind {
-                ObjKind::Function(jf) => Kind::Js(jf.func.clone(), jf.env.clone(), jf.name.clone()),
+                ObjKind::Function(jf) => Kind::Js(jf.func.clone(), jf.env.clone(), jf.code.clone()),
                 ObjKind::Native { f, .. } => Kind::Native(f.clone()),
                 _ => unreachable!("checked is_callable"),
             }
@@ -1048,20 +1192,26 @@ impl Interp {
                 self.clock.fn_boundary();
                 r
             }
-            Kind::Js(func, env, _name) => {
+            Kind::Js(func, env, code) => {
                 if self.call_depth >= MAX_CALL_DEPTH {
                     return self.throw("RangeError", "maximum call stack size exceeded");
                 }
                 self.call_depth += 1;
                 self.clock.fn_boundary();
-                let result = self.call_js(&func, &env, this, args);
+                let result = match &code {
+                    // Compiled closures run on the VM; AST-only closures
+                    // take the tree-walker, so the two backends interoperate
+                    // within one heap.
+                    Some(code) => self.vm_call(code, &env, this, args),
+                    None => match self.call_js(&func, &env, this, args) {
+                        Ok(()) => Ok(Value::Undefined),
+                        Err(Control::Return(v)) => Ok(v),
+                        Err(other) => Err(other),
+                    },
+                };
                 self.clock.fn_boundary();
                 self.call_depth -= 1;
-                match result {
-                    Ok(()) => Ok(Value::Undefined),
-                    Err(Control::Return(v)) => Ok(v),
-                    Err(other) => Err(other),
-                }
+                result
             }
         }
     }
@@ -1204,6 +1354,29 @@ impl Interp {
     pub fn pending_events(&self) -> usize {
         self.queue.len()
     }
+}
+
+/// The `key.parse::<usize>()` the string-keyed property paths used to
+/// apply, lifted to `Sym`: inline-numeric symbols answer without touching
+/// the string table, everything else falls back to parsing the resolved
+/// text (so non-canonical spellings like `"007"` or `"+7"` still index,
+/// exactly as before).
+#[inline]
+pub(crate) fn sym_usize(key: Sym) -> Option<usize> {
+    if let Some(i) = key.as_index() {
+        return Some(i as usize);
+    }
+    intern::resolve(key).parse::<usize>().ok()
+}
+
+/// Hoisted `var` names (source order) and function declarations of a body
+/// — the same sets `hoist_into` declares, exposed for the bytecode
+/// compiler so both backends build identical frame prologues.
+pub(crate) fn hoisted_of(body: &[Stmt]) -> (Vec<String>, Vec<&FuncDecl>) {
+    let mut vars = Vec::new();
+    let mut funcs = Vec::new();
+    collect_hoisted(body, &mut vars, &mut funcs);
+    (vars, funcs)
 }
 
 /// Collect hoisted `var` names and function declarations from a body,

@@ -29,17 +29,23 @@
 #![deny(missing_docs)]
 
 pub mod builtins;
+pub mod bytecode;
 pub mod clock;
+pub mod compile;
 pub mod env;
 pub mod intern;
 pub mod interp;
 pub mod ops;
 pub mod value;
+pub mod vm;
 
 pub use clock::{Clock, SAMPLE_INTERVAL, TICKS_PER_MS};
 pub use env::{Binding, BindingRef, Scope, ScopeRef};
 pub use intern::{intern, resolve, FxHashMap, FxHashSet, Sym};
-pub use interp::{Control, Interp, JsResult, Monitor, MAX_CALL_DEPTH, WATCHDOG_PREFIX};
+pub use interp::{
+    set_default_backend, Backend, Control, Interp, JsResult, Monitor, MAX_CALL_DEPTH,
+    WATCHDOG_PREFIX,
+};
 pub use value::{native_fn, new_array, new_object, CallCtx, NativeFn, ObjKind, ObjRef, Value};
 
 /// Convenience: run a source string on a fresh interpreter (seed 42) and

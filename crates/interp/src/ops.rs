@@ -40,9 +40,7 @@ fn str_to_number(s: &str) -> f64 {
         return 0.0;
     }
     if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
-        return u64::from_str_radix(hex, 16)
-            .map(|v| v as f64)
-            .unwrap_or(f64::NAN);
+        return parse_hex(hex);
     }
     if t == "Infinity" || t == "+Infinity" {
         return f64::INFINITY;
@@ -50,7 +48,79 @@ fn str_to_number(s: &str) -> f64 {
     if t == "-Infinity" {
         return f64::NEG_INFINITY;
     }
+    // Rust's float parser accepts "inf", "+infinity", "nan", … (any case) —
+    // all NaN under JS `Number()`, which only admits the exact-case
+    // "Infinity" spellings handled above plus StrDecimalLiteral shapes.
+    if !is_decimal_literal(t) {
+        return f64::NAN;
+    }
     t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// ES5 `StrDecimalLiteral`: `sign? (digits ('.' digits?)? | '.' digits)`
+/// with an optional `e`/`E` `sign? digits` exponent. At least one mantissa
+/// digit is required.
+fn is_decimal_literal(t: &str) -> bool {
+    let b = t.as_bytes();
+    let mut i = 0;
+    if matches!(b.first(), Some(b'+') | Some(b'-')) {
+        i += 1;
+    }
+    let mut mantissa_digits = 0;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+        mantissa_digits += 1;
+    }
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+            mantissa_digits += 1;
+        }
+    }
+    if mantissa_digits == 0 {
+        return false;
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        let mut exp_digits = 0;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+            exp_digits += 1;
+        }
+        if exp_digits == 0 {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+/// `HexIntegerLiteral` digits after the `0x` prefix: no sign, no length
+/// limit. JS parses hex literals wider than u64 by rounding to the nearest
+/// double, so past 16 digits accumulate digit-by-digit in f64 instead of
+/// bailing to NaN through `u64::from_str_radix`.
+fn parse_hex(hex: &str) -> f64 {
+    // Explicit digit check first: `from_str_radix` tolerates a leading `+`,
+    // which JS hex literals do not.
+    if hex.is_empty() || !hex.bytes().all(|c| c.is_ascii_hexdigit()) {
+        return f64::NAN;
+    }
+    if let Ok(v) = u64::from_str_radix(hex, 16) {
+        return v as f64;
+    }
+    let mut v = 0.0f64;
+    for c in hex.bytes() {
+        let d = match c {
+            b'0'..=b'9' => c - b'0',
+            b'a'..=b'f' => c - b'a' + 10,
+            _ => c - b'A' + 10,
+        };
+        v = v * 16.0 + d as f64;
+    }
+    v
 }
 
 /// `ToString`.
@@ -90,14 +160,25 @@ pub fn to_primitive(v: &Value) -> Value {
     }
 }
 
+/// ES5 9.5/9.6 shared core: `sign(n) * floor(abs(n))` reduced mod 2^32.
+///
+/// Must stay in floating point the whole way: casting through i64 (as this
+/// once did) saturates at ±2^63, so `ToInt32(1e300)` came out as -1 instead
+/// of the modular 0. `f64::rem_euclid` computes an exact remainder, and
+/// every double with magnitude ≥ 2^84 is already an exact multiple of 2^32,
+/// so the result is always an exact integer in [0, 2^32).
+fn modulo_u32(n: f64) -> u32 {
+    const TWO_32: f64 = 4_294_967_296.0;
+    n.trunc().rem_euclid(TWO_32) as u32
+}
+
 /// `ToInt32` (for bitwise ops and `>>`/`<<`).
 pub fn to_int32(v: &Value) -> i32 {
     let n = to_number(v);
     if !n.is_finite() || n == 0.0 {
         return 0;
     }
-    let m = n.trunc() as i64;
-    (m & 0xFFFF_FFFF) as u32 as i32
+    modulo_u32(n) as i32
 }
 
 /// `ToUint32` (for `>>>`).
@@ -106,8 +187,7 @@ pub fn to_uint32(v: &Value) -> u32 {
     if !n.is_finite() || n == 0.0 {
         return 0;
     }
-    let m = n.trunc() as i64;
-    (m & 0xFFFF_FFFF) as u32
+    modulo_u32(n)
 }
 
 /// The `+` operator: string concatenation when either primitive is a string.
@@ -212,6 +292,77 @@ mod tests {
         assert_eq!(to_int32(&Value::Num(2147483648.0)), -2147483648); // 2^31
         assert_eq!(to_int32(&Value::Num(f64::NAN)), 0);
         assert_eq!(to_uint32(&Value::Num(-1.0)), 4294967295);
+    }
+
+    #[test]
+    fn int32_modular_beyond_2_63() {
+        // These saturated through `as i64` before the rem_euclid fix:
+        // to_int32(1e300) returned -1 instead of the ES5 modular 0.
+        let two_63 = 9_223_372_036_854_775_808.0; // 2^63, exactly representable
+        assert_eq!(to_int32(&Value::Num(1e300)), 0);
+        assert_eq!(to_int32(&Value::Num(-1e300)), 0);
+        assert_eq!(to_int32(&Value::Num(two_63)), 0);
+        assert_eq!(to_int32(&Value::Num(two_63 + 4096.0)), 4096);
+        assert_eq!(to_uint32(&Value::Num(1e300)), 0);
+        assert_eq!(to_uint32(&Value::Num(-1e300)), 0);
+        assert_eq!(to_uint32(&Value::Num(two_63)), 0);
+        assert_eq!(to_uint32(&Value::Num(two_63 + 4096.0)), 4096);
+        // Negative values still reduce modularly, not symmetrically.
+        assert_eq!(to_int32(&Value::Num(-2_147_483_649.0)), 2_147_483_647);
+        assert_eq!(to_uint32(&Value::Num(-4_294_967_295.0)), 1);
+    }
+
+    #[test]
+    fn string_coercion_rejects_rust_isms() {
+        // Accepted by Rust's f64 parser, NaN under JS Number().
+        for s in [
+            "inf",
+            "+inf",
+            "-inf",
+            "infinity",
+            "+Infinityy",
+            "INFINITY",
+            "nan",
+            "NaN",
+            "-NaN",
+            "1e",
+            "e5",
+            ".",
+            "+",
+            "-",
+            "1.2.3",
+            "0x",
+            "0x+10",
+            "0xg",
+            "4x",
+        ] {
+            assert!(to_number(&Value::str(s)).is_nan(), "{s:?} must be NaN");
+        }
+        assert_eq!(to_number(&Value::str("  Infinity ")), f64::INFINITY);
+        assert_eq!(to_number(&Value::str(".5")), 0.5);
+        assert_eq!(to_number(&Value::str("5.")), 5.0);
+        assert_eq!(to_number(&Value::str("+5e2")), 500.0);
+        assert_eq!(to_number(&Value::str("-1E-2")), -0.01);
+        // Hex wider than u64 rounds to a double like JS instead of NaN.
+        let big = format!("0x1{}", "0".repeat(20)); // 16^20 = 2^80
+        assert_eq!(to_number(&Value::str(&big)), (2f64).powi(80));
+        assert_eq!(
+            to_number(&Value::str("0xFFFFFFFFFFFFFFFF")), // u64::MAX still exact-path
+            18_446_744_073_709_551_615u64 as f64
+        );
+    }
+
+    #[test]
+    fn to_string_integral_beyond_i64() {
+        // Saturated to "9223372036854775807" before the formatting fix.
+        assert_eq!(to_string(&Value::Num(1e19)), "10000000000000000000");
+        assert_eq!(to_string(&Value::Num(-1e19)), "-10000000000000000000");
+        assert_eq!(to_string(&Value::Num(1e20)), "100000000000000000000");
+        // 2^63 prints its shortest round-trip digits, as V8 does.
+        assert_eq!(
+            to_string(&Value::Num(9_223_372_036_854_775_808.0)),
+            "9223372036854776000"
+        );
     }
 
     #[test]

@@ -138,6 +138,23 @@ pub struct JsFunction {
     pub func: Rc<Func>,
     /// The environment captured at definition (closure scope).
     pub env: ScopeRef,
+    /// Compiled bytecode, when the function was created by the VM backend.
+    /// `None` means calls fall back to the tree-walker.
+    pub code: Option<CompiledFn>,
+}
+
+/// A handle to one compiled function body inside its module.
+///
+/// Closures created by the same `eval_program` share one
+/// [`Module`](crate::bytecode::Module)
+/// (`Rc`), so building a closure does not clone its AST the way the
+/// tree-walker's `make_function` does.
+#[derive(Clone)]
+pub struct CompiledFn {
+    /// The module the chunk lives in.
+    pub module: Rc<crate::bytecode::Module>,
+    /// Chunk index within the module.
+    pub chunk: u32,
 }
 
 /// Object payload.
@@ -183,7 +200,11 @@ impl Obj {
 
     /// `delete obj.key`: remove an own property; true if it existed.
     pub fn delete_prop(&mut self, key: &str) -> bool {
-        let key = intern(key);
+        self.delete_prop_sym(intern(key))
+    }
+
+    /// [`Obj::delete_prop`] with a pre-interned key.
+    pub fn delete_prop_sym(&mut self, key: Sym) -> bool {
         if self.props.remove(&key).is_some() {
             self.key_order.retain(|k| *k != key);
             true
@@ -202,6 +223,47 @@ pub struct ObjRef {
 
 thread_local! {
     static NEXT_OBJ_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
+    /// Weak handles to every live allocation on this thread, in allocation
+    /// order. [`Interp`] records the length at construction and sweeps its
+    /// suffix on drop — see [`heap_sweep`].
+    static OBJ_REGISTRY: RefCell<Vec<std::rc::Weak<RefCell<Obj>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Current length of this thread's allocation registry. An [`Interp`] takes
+/// a mark at construction so [`heap_sweep`] can tear down exactly the
+/// objects allocated during its lifetime.
+pub(crate) fn heap_mark() -> usize {
+    OBJ_REGISTRY.with(|r| r.borrow().len())
+}
+
+/// Break reference cycles in every object allocated at or after `mark`.
+///
+/// The object graph is full of `Rc` cycles — a closure's [`JsFunction::env`]
+/// keeps the scope that holds the closure's own binding alive, and plain
+/// objects freely point at each other — so dropping an [`Interp`] would leak
+/// its entire heap (~tens of MB per dependence-mode app run). Emptying each
+/// still-live object (properties, prototype, and `kind`, which drops the
+/// captured environment of functions) makes the graph acyclic so the normal
+/// `Rc` reclamation frees it. Swept objects remain valid, empty, plain
+/// objects: analysis side tables keyed by object id are unaffected.
+pub(crate) fn heap_sweep(mark: usize) {
+    let tail = OBJ_REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        let at = mark.min(reg.len());
+        reg.split_off(at)
+    });
+    for weak in tail {
+        if let Some(obj) = weak.upgrade() {
+            // `try_borrow_mut`: if we are unwinding from a panic that held a
+            // borrow, skip the object rather than aborting in drop.
+            if let Ok(mut o) = obj.try_borrow_mut() {
+                o.kind = ObjKind::Plain;
+                o.props.clear();
+                o.key_order.clear();
+                o.proto = None;
+            }
+        }
+    }
 }
 
 impl ObjRef {
@@ -212,16 +274,15 @@ impl ObjRef {
             c.set(id + 1);
             id
         });
-        ObjRef {
-            id,
-            inner: Rc::new(RefCell::new(Obj {
-                kind,
-                props: FxHashMap::default(),
-                key_order: Vec::new(),
-                proto: None,
-                tag: None,
-            })),
-        }
+        let inner = Rc::new(RefCell::new(Obj {
+            kind,
+            props: FxHashMap::default(),
+            key_order: Vec::new(),
+            proto: None,
+            tag: None,
+        }));
+        OBJ_REGISTRY.with(|r| r.borrow_mut().push(Rc::downgrade(&inner)));
+        ObjRef { id, inner }
     }
 
     /// Unique, never-reused object id. Keys for analysis side tables.

@@ -3,7 +3,7 @@
 use ceres_interp::{ops, run_source, Control, Interp, Value, TICKS_PER_MS};
 
 fn logs(src: &str) -> Vec<String> {
-    run_source(src).console
+    std::mem::take(&mut run_source(src).console)
 }
 
 fn eval_num(src: &str) -> f64 {

@@ -2,7 +2,7 @@
 # Benchmark gates. Two modes:
 #
 #   bench_check.sh overhead   (default)
-#       Run `repro bench` against the committed baseline (BENCH_0004.json)
+#       Run `repro bench` against the committed baseline (BENCH_0007.json)
 #       and fail if the dependence-mode overhead geomean regresses by more
 #       than 10%. The geomean is virtual-clock-denominated, so the gate is
 #       deterministic and safe on throttled CI runners; wall times are
@@ -13,6 +13,14 @@
 #       sequentially and with 4 workers, write BENCH_fleet.json, and fail
 #       if the 4-worker speedup falls below 1.5x. Only enforced when the
 #       machine has enough real cores to spread across.
+#
+#   bench_check.sh vm-equivalence
+#       Backend-equivalence gate: run the sequential fleet twice — once on
+#       the tree-walking interpreter (CERES_INTERP_BACKEND=tree) and once
+#       on the default bytecode VM — and fail unless the analysis reports
+#       are byte-for-byte identical after dropping the two fields that are
+#       allowed to differ: wall-clock timings (nondeterministic) and the
+#       VM-only `interp.compile` phase span.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +28,7 @@ MODE=${1:-overhead}
 
 case "$MODE" in
 overhead)
-    BASELINE=${BENCH_BASELINE:-BENCH_0004.json}
+    BASELINE=${BENCH_BASELINE:-BENCH_0007.json}
     OUT=${BENCH_OUT:-BENCH_ci.json}
     MAX_REGRESSION=${BENCH_MAX_REGRESSION:-1.10}
 
@@ -80,8 +88,47 @@ print(f"OK: fleet speedup {got:.2f}x >= {need}x")
 EOF
     ;;
 
+vm-equivalence)
+    OUT_DIR=$(mktemp -d)
+    trap 'rm -rf "$OUT_DIR"' EXIT
+
+    cargo build --release --bin repro
+    echo "== fleet on the bytecode VM (default backend) =="
+    target/release/repro fleet --sequential --json "$OUT_DIR/vm.json" > /dev/null
+    echo "== fleet on the tree-walker (CERES_INTERP_BACKEND=tree) =="
+    CERES_INTERP_BACKEND=tree \
+        target/release/repro fleet --sequential --json "$OUT_DIR/tree.json" > /dev/null
+
+    python3 - "$OUT_DIR/vm.json" "$OUT_DIR/tree.json" <<'EOF'
+import json, sys
+
+def normalize(o):
+    """Drop wall-clock fields and the VM-only interp.compile span; every
+    other byte of the report must match across backends."""
+    if isinstance(o, dict):
+        return {k: normalize(v) for k, v in o.items() if "wall" not in k}
+    if isinstance(o, list):
+        return [normalize(x) for x in o
+                if not (isinstance(x, dict) and x.get("phase") == "interp.compile")]
+    return o
+
+vm, tree = (normalize(json.load(open(p))) for p in sys.argv[1:3])
+a = json.dumps(vm, indent=1, sort_keys=True)
+b = json.dumps(tree, indent=1, sort_keys=True)
+if a != b:
+    import difflib
+    diff = list(difflib.unified_diff(
+        b.splitlines(), a.splitlines(), "tree", "vm", lineterm=""))
+    print("\n".join(diff[:80]), file=sys.stderr)
+    sys.exit("FAIL: VM and tree-walker fleet reports diverge "
+             f"({len(diff)} diff lines, first 80 above)")
+print(f"OK: VM and tree-walker reports identical ({len(a.splitlines())} "
+      "normalized lines; only wall timings and the interp.compile span differ)")
+EOF
+    ;;
+
 *)
-    echo "usage: bench_check.sh [overhead|fleet]" >&2
+    echo "usage: bench_check.sh [overhead|fleet|vm-equivalence]" >&2
     exit 2
     ;;
 esac

@@ -68,13 +68,25 @@ fn non_deterministic_metrics_carry_wall_time_but_identical_ticks() {
         .apps
         .iter()
         .any(|x| x.spans.iter().any(|s| s.wall_us > 0)));
+    // ...and carries wall-only sub-spans (e.g. `interp.compile`) that the
+    // canonical view drops...
+    assert!(live
+        .apps
+        .iter()
+        .all(|x| x.spans.iter().any(|s| s.phase == "interp.compile")));
+    assert!(det
+        .apps
+        .iter()
+        .all(|x| x.spans.iter().all(|s| !s.phase.contains('.'))));
     // ...but the tick-denominated half agrees exactly with the
-    // deterministic view.
+    // deterministic view (sub-spans are wall-only, so compare the
+    // canonical phases).
     for (l, d) in live.apps.iter().zip(&det.apps) {
         assert_eq!(l.counters, d.counters, "{}", l.slug);
         let lt: Vec<_> = l
             .spans
             .iter()
+            .filter(|s| !s.phase.contains('.'))
             .map(|s| (s.start_ticks, s.end_ticks))
             .collect();
         let dt: Vec<_> = d

@@ -82,9 +82,9 @@ fn all_modes_compute_identical_results() {
             None => {
                 let mut interp = Interp::new(42);
                 interp.eval_source(PROGRAM).unwrap();
-                interp.console
+                std::mem::take(&mut interp.console)
             }
-            Some(m) => run_instrumented(PROGRAM, m, 42).unwrap().0.console,
+            Some(m) => run_instrumented(PROGRAM, m, 42).unwrap().0.console.clone(),
         };
         match &expected {
             None => expected = Some(console),

@@ -12,7 +12,7 @@ fn console_of(src: &str) -> Vec<String> {
     ceres_dom::install_dom(&mut interp);
     interp.eval_source(src).unwrap_or_else(|e| panic!("{e:?}"));
     interp.run_events(10_000).unwrap();
-    interp.console
+    std::mem::take(&mut interp.console)
 }
 
 /// Find a loop id by source line in a workload.

@@ -1,0 +1,308 @@
+//! Differential tests: the bytecode VM backend must be observationally
+//! identical to the reference tree-walking evaluator — same console
+//! output, same error messages, and the *same virtual-clock tick count*
+//! (the analysis results are tick-denominated, so a VM that runs the
+//! right program on the wrong clock would silently skew every table).
+//!
+//! Backends are selected per-interpreter via
+//! [`ceres_interp::set_default_backend`], which `Interp::new` snapshots,
+//! so both variants can run side by side in one process.
+
+use ceres_core::engine::run_instrumented;
+use ceres_core::Mode;
+use ceres_interp::ops::{to_int32, to_number, to_uint32};
+use ceres_interp::{set_default_backend, Backend, Interp, Value};
+use proptest::prelude::*;
+
+/// Build an interpreter pinned to `backend` (the thread-local override is
+/// cleared again immediately — `Interp::new` snapshots it).
+fn interp_on(backend: Backend, seed: u64) -> Interp {
+    set_default_backend(Some(backend));
+    let interp = Interp::new(seed);
+    set_default_backend(None);
+    interp
+}
+
+/// Run `src` on both backends; return `(console, ticks, error-debug)`.
+fn run_both(src: &str) -> [(Vec<String>, u64, Option<String>); 2] {
+    [Backend::Tree, Backend::Vm].map(|b| {
+        let mut interp = interp_on(b, 42);
+        let err = interp.eval_source(src).err().map(|c| format!("{c:?}"));
+        (interp.console.clone(), interp.clock.now_ticks(), err)
+    })
+}
+
+fn assert_equivalent(src: &str) {
+    let [tree, vm] = run_both(src);
+    assert_eq!(tree.0, vm.0, "console diverged on:\n{src}");
+    assert_eq!(tree.2, vm.2, "completion diverged on:\n{src}");
+    assert_eq!(
+        tree.1, vm.1,
+        "virtual clock diverged (tree={} vm={}) on:\n{src}",
+        tree.1, vm.1
+    );
+}
+
+#[test]
+fn control_flow_battery_matches_tree_walker() {
+    for src in [
+        // Loops, break/continue, nested.
+        "var s = 0;\nfor (var i = 0; i < 10; i++) {\n  if (i === 3) { continue; }\n  if (i === 7) { break; }\n  for (var j = 0; j < i; j++) { s += j; }\n}\nconsole.log(s);",
+        // do-while and while with compound updates.
+        "var n = 0, k = 1;\ndo { k *= 2; n++; } while (k < 100);\nwhile (n > 0) { n -= 2; }\nconsole.log(k, n);",
+        // try/catch/finally ordering, finally overriding a return.
+        "function f() {\n  try { throw { message: 'boom' }; }\n  catch (e) { console.log('caught', e.message); return 1; }\n  finally { console.log('finally'); }\n}\nfunction g() {\n  try { return 'a'; } finally { return 'b'; }\n}\nconsole.log(f(), g());",
+        // Exception unwinding across call frames, with finally on the way.
+        "function deep(n) {\n  try {\n    if (n === 0) { throw new Error('bottom'); }\n    deep(n - 1);\n  } finally { console.log('unwind', n); }\n}\ntry { deep(3); } catch (e) { console.log('top', e.message); }",
+        // Switch: fallthrough, default in the middle, break.
+        "function pick(x) {\n  var out = '';\n  switch (x) {\n    case 1: out += 'a';\n    case 2: out += 'b'; break;\n    default: out += 'd';\n    case 3: out += 'c';\n  }\n  return out;\n}\nconsole.log(pick(1), pick(2), pick(3), pick(9));",
+        // for-in over objects and (sparse-ish) arrays, with delete.
+        "var o = { a: 1, b: 2, c: 3 };\ndelete o.b;\nvar keys = [];\nfor (var k in o) { keys.push(k); }\nvar arr = [10, 20, 30];\nfor (var idx in arr) { keys.push(idx); }\nconsole.log(keys.join(','));",
+        // break out of for-in (iterator teardown path).
+        "var o = { a: 1, b: 2, c: 3 };\nvar seen = 0;\nfor (var k in o) { seen++; if (seen === 2) { break; } }\nconsole.log(seen);",
+        // Closures, counters, shadowing.
+        "function counter() {\n  var n = 0;\n  return function () { n++; return n; };\n}\nvar c1 = counter(), c2 = counter();\nc1(); c1();\nconsole.log(c1(), c2());",
+        // Prototypes, new, instanceof, this.
+        "function Point(x, y) { this.x = x; this.y = y; }\nPoint.prototype.norm = function () { return this.x * this.x + this.y * this.y; };\nvar p = new Point(3, 4);\nconsole.log(p.norm(), p instanceof Point, 'x' in p);",
+        // typeof on undeclared names, delete on members/elements.
+        "console.log(typeof missing, typeof 1, typeof undefined);\nvar a = [1, 2, 3];\ndelete a[1];\nconsole.log(a[1], a.length);",
+        // Coercion-heavy expressions (the numeric-semantics sweep).
+        "console.log(1 + '2', '3' * '4', '0x10' | 0, ' 12 ' - 2, [] + {}, +'1e3');\nconsole.log((4294967296 + 5) | 0, (-7) >>> 0, 1 / 0, -1 / 0, 0 / 0);",
+        // Logical short-circuit, comma, conditional: evaluation order.
+        "var log = [];\nfunction t(x) { log.push(x); return x; }\nt(1) && t(2);\nt(0) && t(3);\nt(0) || t(4);\nvar v = (t(5), t(6));\nvar w = t(7) ? t(8) : t(9);\nconsole.log(log.join(''), v, w);",
+        // Update/compound assignment on identifiers, members, elements.
+        "var o = { n: 1 }, a = [1, 2], i = 0;\no.n += 2; a[i] *= 5; a[i++] -= 1;\nvar pre = ++o.n, post = a[0]++;\nconsole.log(o.n, a[0], a[1], i, pre, post);",
+        // Callee error message rewriting ("X is not a function").
+        "var obj = { f: 1 };\ntry { obj.f(); } catch (e) { console.log(e.message); }\ntry { missingFn(); } catch (e) { console.log(e.message); }",
+        // Higher-order array builtins driving JS callbacks from natives.
+        "var xs = [1, 2, 3, 4];\nvar ys = xs.map(function (x) { return x * x; }).filter(function (x) { return x % 2 === 0; });\nvar sum = ys.reduce(function (a, b) { return a + b; }, 0);\nxs.forEach(function (x) { sum += x; });\nconsole.log(ys.join('+'), sum);",
+        // Recursion with var hoisting and arguments.
+        "function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\nfunction count() { return arguments.length + arguments[0]; }\nconsole.log(fib(12), count(10, 20, 30));",
+    ] {
+        assert_equivalent(src);
+    }
+}
+
+#[test]
+fn timers_and_events_match_tree_walker() {
+    let src = "var order = [];\n\
+               setTimeout(function () { order.push('b'); }, 5);\n\
+               setTimeout(function () { order.push('a'); order.push(String(Date.now() >= 0)); }, 1);\n\
+               order.push('sync');\n\
+               setTimeout(function () { console.log(order.join(',')); }, 10);";
+    let results = [Backend::Tree, Backend::Vm].map(|b| {
+        let mut interp = interp_on(b, 42);
+        interp.eval_source(src).expect("main script");
+        interp.run_events(64).expect("event loop");
+        (interp.console.clone(), interp.clock.now_ticks())
+    });
+    assert_eq!(results[0], results[1], "event-loop run diverged");
+}
+
+#[test]
+fn watchdog_trips_at_identical_tick() {
+    let src = "var i = 0;\nwhile (true) { i++; }\n";
+    let errs = [Backend::Tree, Backend::Vm].map(|b| {
+        let mut interp = interp_on(b, 42);
+        interp.max_ticks = Some(5_000);
+        format!("{:?}", interp.eval_source(src).unwrap_err())
+    });
+    assert!(
+        errs[0].contains("watchdog"),
+        "expected watchdog: {}",
+        errs[0]
+    );
+    assert_eq!(errs[0], errs[1], "watchdog tick / message diverged");
+}
+
+#[test]
+fn watchdog_unwinds_through_finally_identically() {
+    // The reference evaluator enters `finally` even while unwinding a
+    // fatal (watchdog) abort — where the very first charge inside the
+    // finally body re-trips the watchdog. The VM's unwind tables must
+    // reproduce that exact dance: same (empty) console, same fatal
+    // message, same final tick.
+    let src = "var i = 0;\ntry {\n  while (true) { i++; }\n} finally { console.log('finally ran', i > 0); }\n";
+    let results = [Backend::Tree, Backend::Vm].map(|b| {
+        let mut interp = interp_on(b, 42);
+        interp.max_ticks = Some(5_000);
+        let err = format!("{:?}", interp.eval_source(src).unwrap_err());
+        (interp.console.clone(), err, interp.clock.now_ticks())
+    });
+    assert!(
+        results[0].1.contains("watchdog"),
+        "expected fatal: {:?}",
+        results[0]
+    );
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn instrumented_runs_fire_identical_hook_streams() {
+    // The analysis hooks must fire in the same order with the same
+    // payloads: identical tallies, stack accounting, and loop records.
+    let src = "var data = [];\nfor (var i = 0; i < 16; i++) { data[i] = i; }\n\
+               var acc = { total: 0 };\n\
+               for (var t = 0; t < 3; t++) {\n\
+                 for (var j = 0; j < 16; j++) { acc.total += data[j] * 2; }\n\
+               }\nconsole.log(acc.total);";
+    for mode in [Mode::Lightweight, Mode::LoopProfile, Mode::Dependence] {
+        let results = [Backend::Tree, Backend::Vm].map(|b| {
+            set_default_backend(Some(b));
+            let out = run_instrumented(src, mode, 7);
+            set_default_backend(None);
+            let (interp, engine) = out.unwrap_or_else(|e| panic!("{mode:?} on {b:?}: {e:?}"));
+            let eng = engine.borrow();
+            let mut records: Vec<_> = eng
+                .records
+                .iter()
+                .map(|(id, r)| (*id, r.instances, r.trips.total().to_bits()))
+                .collect();
+            records.sort();
+            (
+                interp.console.clone(),
+                interp.clock.now_ticks(),
+                eng.tally.total(),
+                eng.stack_pushes,
+                records,
+            )
+        });
+        assert_eq!(results[0], results[1], "{mode:?} instrumentation diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ExprSpec {
+    seeds: Vec<i32>,
+    use_helper: bool,
+    use_try: bool,
+    use_switch: bool,
+    loop_n: usize,
+    divisor: i32,
+}
+
+fn expr_spec() -> impl Strategy<Value = ExprSpec> {
+    (
+        prop::collection::vec(-999i32..1000, 3..8),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..12,
+        1i32..7,
+    )
+        .prop_map(
+            |(seeds, use_helper, use_try, use_switch, loop_n, divisor)| ExprSpec {
+                seeds,
+                use_helper,
+                use_try,
+                use_switch,
+                loop_n,
+                divisor,
+            },
+        )
+}
+
+fn render_expr_program(spec: &ExprSpec) -> String {
+    let mut src = String::new();
+    src.push_str("var vals = [");
+    let seeds: Vec<String> = spec.seeds.iter().map(|s| s.to_string()).collect();
+    src.push_str(&seeds.join(", "));
+    src.push_str("];\nvar acc = 0;\nvar obj = { hits: 0 };\n");
+    if spec.use_helper {
+        src.push_str("function step(x, i) { return (x * 3 - i) | 0; }\n");
+    }
+    let d = spec.divisor;
+    src.push_str(&format!("for (var t = 0; t < {}; t++) {{\n", spec.loop_n));
+    src.push_str("  for (var i = 0; i < vals.length; i++) {\n");
+    if spec.use_helper {
+        src.push_str("    var v = step(vals[i], i);\n");
+    } else {
+        src.push_str("    var v = (vals[i] * 3 - i) | 0;\n");
+    }
+    if spec.use_try {
+        src.push_str(&format!(
+            "    try {{ if (v % {d} === 0) {{ throw {{ v: v }}; }} acc += v; }}\n    catch (e) {{ obj.hits++; acc -= e.v; }}\n    finally {{ acc = acc | 0; }}\n"
+        ));
+    } else {
+        src.push_str(&format!(
+            "    if (v % {d} === 0) {{ obj.hits++; acc -= v; }} else {{ acc += v; }}\n"
+        ));
+    }
+    if spec.use_switch {
+        src.push_str(&format!(
+            "    switch (((v % {d}) + {d}) % {d}) {{ case 0: acc += 1; break; case 1: acc += 2; default: acc += 3; }}\n"
+        ));
+    }
+    src.push_str("  }\n}\n");
+    src.push_str("console.log(acc, obj.hits, String(acc / 7), vals.join('|'));\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tree and VM agree — output *and* tick count — on generated
+    /// expression programs mixing arithmetic, exceptions, and switches.
+    #[test]
+    fn generated_programs_run_identically_on_both_backends(spec in expr_spec()) {
+        let src = render_expr_program(&spec);
+        let [tree, vm] = run_both(&src);
+        prop_assert_eq!(&tree.2, &None::<String>, "tree run failed\n{}", &src);
+        prop_assert_eq!(&tree.0, &vm.0, "console diverged\n{}", &src);
+        prop_assert_eq!(tree.1, vm.1, "tick count diverged\n{}", &src);
+    }
+
+    /// ES5 ToString(ToNumber(s)) round-trip: printing any finite double
+    /// and reading it back is exact (shortest-round-trip printing), with
+    /// `-0` collapsing to `+0` (ES5 ToString drops the sign of zero).
+    #[test]
+    fn number_to_string_to_number_round_trips(bits in 0u64..u64::MAX) {
+        let x = f64::from_bits(bits);
+        if !x.is_finite() {
+            continue; // body runs inside the case loop; skip NaN/Inf bit patterns
+        }
+        let printed = ceres_ast::number_to_string(x);
+        let back = to_number(&Value::str(&printed));
+        if x == 0.0 {
+            prop_assert_eq!(back, 0.0);
+            prop_assert!(back.is_sign_positive(), "-0 must print as \"0\"");
+        } else {
+            prop_assert_eq!(back, x, "{} reparsed as {}", printed, back);
+        }
+    }
+
+    /// ToInt32/ToUint32 are the mod-2^32 reductions of any integral
+    /// double, related by a plain sign cast.
+    #[test]
+    fn to_int32_is_mod_2_pow_32(v in -(1i64 << 53)..(1i64 << 53), k in -4i64..5) {
+        let shifted = v as f64 + (k as f64) * 4294967296.0;
+        if shifted.abs() > 9007199254740991.0 {
+            continue; // would round: no longer integral
+        }
+        let n = Value::Num(shifted);
+        let expected = (v.rem_euclid(1 << 32)) as u32;
+        prop_assert_eq!(to_uint32(&n), expected);
+        prop_assert_eq!(to_int32(&n), expected as i32);
+        prop_assert_eq!(to_int32(&n) as u32, to_uint32(&n));
+    }
+
+    /// String round-trip through the interpreter itself: `String(x)`
+    /// then `Number(...)` inside a generated program gives `x` back, on
+    /// both backends, matching the host-side coercion functions.
+    #[test]
+    fn interp_level_numeric_round_trip(m in -9007199254740991i64..9007199254740992i64) {
+        let x = m as f64;
+        let src = format!(
+            "var s = String({x});\nvar back = Number(s);\nconsole.log(s, back === {x});"
+        );
+        let [tree, vm] = run_both(&src);
+        prop_assert_eq!(&tree.0, &vm.0);
+        prop_assert_eq!(tree.1, vm.1);
+        let expected = format!("{} true", ceres_ast::number_to_string(x));
+        prop_assert_eq!(&vm.0[..], &[expected][..]);
+    }
+}
