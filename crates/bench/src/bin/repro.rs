@@ -33,6 +33,17 @@
 //! repro overhead
 //!     Sec. 3.4 instrumentation-overhead ledger: per-app virtual-clock
 //!     ticks under each mode and the slowdown vs the lightweight baseline
+//! repro whatif [--workers N[,N...]] [--json FILE]
+//!     TASKPROF-style what-if profiler: per app, the ranked counterfactual
+//!     table — which `ok` nest removes the most virtual-clock ticks at
+//!     each worker count, with the Sec. 4.2 Amdahl bound per nest. The
+//!     `<-par` marker is the nest `repro parallel-bench` executes.
+//! repro parallel-bench [--workers N] [--scale N] [--json FILE]
+//!     close the loop: rewrite each app's top-ranked `ok` nest into
+//!     fork-join form, execute on 1 and on N workers, verify byte-identical
+//!     output, and print predicted vs measured speedup against the paper's
+//!     Table-3/Amdahl expectations (see docs/PARALLELIZE.md). Exit 1 if any
+//!     parallelized app fails the equivalence gate.
 //! ```
 //!
 //! Absolute numbers come from the virtual clock / this machine; the claim
@@ -64,19 +75,26 @@ fn main() {
         "fleet" | "--parallel" => fleet(&argv[1..]),
         "fleet-bench" => fleet_bench(&argv[1..]),
         "bench" => bench(&argv[1..]),
+        "whatif" => whatif_cmd(&argv[1..]),
+        "parallel-bench" => parallel_bench_cmd(&argv[1..]),
         "all" => {
             for f in [
                 fig1, fig2, fig3, fig4, table1, table2, table3, fig5, fig6, amdahl, tasklimit,
-                overhead, speedup,
+                overhead,
             ] {
                 f();
                 println!();
             }
+            whatif_cmd(&[]);
+            println!();
+            parallel_bench_cmd(&[]);
+            println!();
+            speedup();
         }
         other => {
             eprintln!("unknown target `{other}`");
             eprintln!(
-                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit overhead speedup fleet fleet-bench bench all"
+                "targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 amdahl tasklimit overhead speedup fleet fleet-bench bench whatif parallel-bench all"
             );
             std::process::exit(2);
         }
@@ -527,6 +545,140 @@ fn bench(args: &[String]) {
             std::process::exit(1);
         }
         println!("bench JSON written to {path}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// What-if profiler & fork-join closed loop (docs/PARALLELIZE.md)
+// ---------------------------------------------------------------------
+
+/// `repro whatif [--workers N[,N...]] [--json FILE]` — the ranked
+/// counterfactual tables for all 12 apps.
+fn whatif_cmd(args: &[String]) {
+    let mut workers: Vec<usize> = ceres_core::whatif::DEFAULT_WORKERS.to_vec();
+    let mut json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--workers needs a value (e.g. 4 or 2,4,8)");
+                    std::process::exit(2);
+                });
+                workers = v
+                    .split(',')
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            eprintln!("--workers needs positive integers, got `{s}`");
+                            std::process::exit(2);
+                        }
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--json" => {
+                json = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown whatif argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    header("What-if profiler: counterfactual speedup per loop nest");
+    let fleet = ceres_workloads::whatif_fleet(1, &workers);
+    let mut json_rows = Vec::new();
+    for app in &fleet {
+        match &app.report {
+            Ok(report) => {
+                print!("{}", ceres_core::render_whatif(&app.app, report));
+                if json.is_some() {
+                    json_rows.push(format!(
+                        "{{\"app\": {}, \"slug\": {}, \"report\": {}}}",
+                        serde_json::to_string(&app.app).unwrap(),
+                        serde_json::to_string(&app.slug).unwrap(),
+                        serde_json::to_string(report).unwrap()
+                    ));
+                }
+            }
+            Err(e) => println!("{}: analysis failed: {e}", app.app),
+        }
+        println!();
+    }
+    if let Some(path) = &json {
+        let body = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("JSON written to {path}");
+    }
+}
+
+/// `repro parallel-bench [--workers N] [--scale N] [--json FILE]` — the
+/// predicted-vs-measured Table-3 reproduction.
+fn parallel_bench_cmd(args: &[String]) {
+    let mut workers: usize = 4;
+    let mut scale: u32 = 1;
+    let mut json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |flag: &str| -> String {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--workers" => {
+                workers = match value("--workers").parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--workers needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--scale" => {
+                scale = match value("--scale").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--scale needs a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--json" => {
+                json = Some(value("--json"));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown parallel-bench argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    header("Fork-join closed loop: predicted vs measured speedup");
+    let report = ceres_workloads::parallel_bench(scale, workers);
+    print!("{}", ceres_workloads::render_parallel_bench(&report));
+    if let Some(path) = &json {
+        let body = serde_json::to_string_pretty(&report).expect("serialize") + "\n";
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("JSON written to {path}");
+    }
+    // An app that parallelized but failed byte-identity is a gate failure.
+    if report.rows.iter().any(|r| r.equivalent == Some(false)) {
+        std::process::exit(1);
     }
 }
 

@@ -51,6 +51,7 @@ pub mod classify;
 pub mod engine;
 pub mod fleet;
 pub mod obs;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
@@ -58,6 +59,7 @@ pub mod stack;
 pub mod suggest;
 pub mod tasks;
 pub mod welford;
+pub mod whatif;
 
 pub use cache::{sha256, sha256_hex, CacheKey, CacheStats, ResultCache};
 pub use classify::{
@@ -74,6 +76,9 @@ pub use obs::{
     chrome_trace, AppMetrics, Counters, FleetMetrics, PhaseSpan, RunObs, ServeCounters,
     METRICS_SCHEMA_VERSION,
 };
+pub use parallel::{
+    equivalence, run_parallel, EquivalenceReport, ParallelError, ParallelRunOutput, ParallelSpec,
+};
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;
 pub use serve::{parse_mode, serve, AnalysisRequest, ServeConfig, ServerHandle};
@@ -84,9 +89,16 @@ pub use stack::{
 pub use suggest::{render_suggestions, suggest, Suggestion};
 pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
 pub use welford::Welford;
+pub use whatif::{
+    predicted_speedup, predicted_speedup_capped, render_whatif, whatif, NestPrediction,
+    WhatIfReport, WHATIF_SCHEMA_VERSION,
+};
 
 /// Re-exported so downstream users need only one crate for the common path.
 pub use ceres_instrument::Mode;
+
+/// Loop identity, re-exported for [`ParallelSpec::target`] consumers.
+pub use ceres_ast::LoopId;
 
 /// The symbol table the hot path is keyed on — re-exported so analysis
 /// consumers can write `ceres_core::intern::Sym` (see `docs/PERFORMANCE.md`).

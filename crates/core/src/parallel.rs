@@ -1,0 +1,1477 @@
+//! Fork-join parallel execution of one `ok` loop nest, with a deterministic
+//! merge and byte-identity equivalence checking (ROADMAP item 4).
+//!
+//! This is the execution half of the auto-parallelization pipeline: the
+//! what-if profiler ([`mod@crate::whatif`]) predicts which nest is worth
+//! parallelizing and by how much; this module actually runs it on W
+//! workers and measures what the prediction claimed.
+//!
+//! # Execution model
+//!
+//! The interpreter's values are `Rc`-based and cannot cross threads, so we
+//! do not share a heap. Instead every worker is a **replica**: each of the
+//! W OS threads builds its own fresh [`Interp`] (same seed, same budgets,
+//! same DOM) and runs the *whole* gated program — the transform from
+//! [`ceres_instrument::parallelize`] has rewritten the target loop so that
+//! every iteration's body executes only on the worker that owns it
+//! (round-robin: worker k owns iteration c iff `c % W == k`):
+//!
+//! ```text
+//! __ceres_par_enter(ID);                 // snapshot globals, start clock window
+//! for (var i = 0; i < N; i++) {
+//!   if (__ceres_par_iter(ID)) { body }   // true on the owner only
+//! }
+//! __ceres_par_exit(ID);                  // join barrier: merge + resync
+//! ```
+//!
+//! Everything outside gated bodies executes identically on every replica
+//! (same seed ⇒ same RNG, virtual clock ⇒ same timer schedule), so the
+//! replicas stay in lock-step except for the owned loop bodies — which is
+//! exactly the state the join has to reconcile.
+//!
+//! # The join barrier
+//!
+//! At `__ceres_par_exit` each worker diffs the reachable global state
+//! against its `__ceres_par_enter` snapshot, producing a list of
+//! `DiffOp` writes (plain data, `Send`). Workers rendezvous on a
+//! [`std::sync::Condvar`] barrier; the last arriver checks the rounds for
+//! divergence (identical trip counts, RNG state, canvas pixels, DOM
+//! mutation counts, no console growth), checks the write sets for
+//! conflicts (two workers writing different values to the same path), and
+//! publishes the merged op list. Every worker then applies every worker's
+//! ops in worker order — each replica converges to the same merged state.
+//!
+//! # Virtual-clock resynchronization
+//!
+//! Replicas must leave the barrier with **identical virtual clocks**, or
+//! timers registered after the loop would fire in different orders. Let
+//! `t_0..t_{N-1}` be a worker's clock at each gate call and `t_N` at the
+//! exit hook, so `d_c = t_{c+1} - t_c` is what iteration `c` cost locally.
+//! An un-owned iteration costs a constant `h` (header update + condition +
+//! gate call; the runtime verifies all un-owned `d_c` are equal). A
+//! worker's *owned extra* is `E_k = Σ_owned (d_c - h)` — the body work it
+//! actually did. Exchanging `(Δ_k = t_N - t_enter, E_k)` at the barrier,
+//! every worker computes the shared sequential part `S = Δ_k - E_k`
+//! (which must agree across workers — checked) and resynchronizes to
+//!
+//! ```text
+//! t_enter + S + Σ_k E_k
+//! ```
+//!
+//! — the tick the loop would have reached on **one** worker. Total ticks
+//! are therefore identical to the 1-worker run of the same gated program,
+//! and everything downstream (timers, sampling budget, watchdog) behaves
+//! identically. The parallelism win is recorded on the side: per instance
+//! the critical path is `S + max_k E_k`, so the run banks
+//! `Σ_k E_k - max_k E_k` *saved* ticks ([`ParallelRunOutput::par_saved_ticks`]),
+//! and the measured speedup is `final_ticks / (final_ticks - saved)`.
+//!
+//! # Equivalence gate
+//!
+//! [`equivalence`] compares two runs (canonically: the same gated program
+//! on 1 worker and on W workers) for byte-identity of console output,
+//! canonical global-state render, canvas checksums, DOM mutation count,
+//! final virtual clock, and drained event count. The fleet-wide contract
+//! lives in `docs/PARALLELIZE.md`; `scripts/bench_check.sh
+//! parallel-equivalence` enforces it in CI.
+
+use ceres_dom::DomHandle;
+use ceres_instrument::parallelize::{
+    parallelize_loop, ParallelizeError, PAR_ENTER, PAR_EXIT, PAR_ITER,
+};
+use ceres_interp::{Control, Interp, JsResult, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Objects deeper than this snapshot as [`Snap::Opaque`]; a gated body
+/// mutating state this deep is refused at the barrier (the diff reports
+/// an unmergeable change) rather than silently dropped.
+const SNAP_DEPTH: u32 = 24;
+
+/// How long a worker waits at the join barrier before declaring the run
+/// wedged. Generous: peers may be executing large owned bodies.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Specification of one parallel (or 1-worker control) run.
+#[derive(Clone)]
+pub struct ParallelSpec {
+    /// Combined uninstrumented JavaScript (same text `analyze` ran, so
+    /// [`ceres_ast::LoopId`]s line up with the analysis reports).
+    pub source: String,
+    /// Loop to rewrite into fork-join form; `None` runs the program
+    /// unmodified (the ungated control used to measure gate overhead).
+    pub target: Option<ceres_ast::LoopId>,
+    /// Worker count (`>= 1`). `1` is the sequential control arm of the
+    /// equivalence gate: same gating, same accounting, no parallelism.
+    pub workers: usize,
+    /// Interpreter RNG seed (the pipeline uses 2015).
+    pub seed: u64,
+    /// Event-drain budget, as in [`crate::AnalyzeOptions`].
+    pub max_events: usize,
+    /// Virtual-clock watchdog budget.
+    pub max_ticks: Option<u64>,
+    /// Wall-clock backstop.
+    pub wall_budget: Option<Duration>,
+    /// Post-load interaction driver (plain `fn` so it is `Send`); the
+    /// registry workloads expose exactly this shape.
+    pub interaction: Option<fn(&mut Interp, &DomHandle) -> JsResult<()>>,
+}
+
+/// Why a parallel run failed. Refusals are first-class results: the
+/// driver records them per app instead of crashing the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// The static transform refused the loop (see
+    /// [`ceres_instrument::parallelize`] for the preconditions).
+    Parallelize(ParallelizeError),
+    /// The source did not parse.
+    Parse(String),
+    /// A worker's JavaScript execution failed.
+    Js(String),
+    /// Workers disagreed at a barrier or in final output — the loop was
+    /// not actually safe to parallelize (or the clock algebra was
+    /// violated); the sequential result stands.
+    Diverged(String),
+    /// Two workers wrote different values to the same global path.
+    WriteConflict(String),
+    /// A gated body created or changed state the merge cannot represent
+    /// (functions, host objects, structures past the depth cap).
+    Unmergeable(String),
+    /// A peer worker failed first; this worker was unwound.
+    Poisoned(String),
+    /// A worker thread panicked or could not be joined.
+    Thread(String),
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Parallelize(e) => write!(f, "refused: {e}"),
+            ParallelError::Parse(e) => write!(f, "parse error: {e}"),
+            ParallelError::Js(e) => write!(f, "js error: {e}"),
+            ParallelError::Diverged(e) => write!(f, "workers diverged: {e}"),
+            ParallelError::WriteConflict(e) => write!(f, "write conflict: {e}"),
+            ParallelError::Unmergeable(e) => write!(f, "unmergeable state: {e}"),
+            ParallelError::Poisoned(e) => write!(f, "aborted by peer failure: {e}"),
+            ParallelError::Thread(e) => write!(f, "worker thread failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+/// Everything observable about one run, for the equivalence gate and the
+/// bench report. All fields are plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelRunOutput {
+    /// Worker count the run used.
+    pub workers: usize,
+    /// Captured console output.
+    pub console: Vec<String>,
+    /// Canonical text render of the reachable (non-builtin) global state.
+    pub state_render: String,
+    /// SHA-256 of [`ParallelRunOutput::state_render`].
+    pub state_digest: String,
+    /// Per-canvas pixel checksums, sorted by canvas object id.
+    pub canvas: Vec<(u64, u64)>,
+    /// Total DOM mutations performed.
+    pub dom_mutations: u64,
+    /// Final virtual clock (identical across worker counts by the resync
+    /// contract).
+    pub final_ticks: u64,
+    /// Events drained from the queue.
+    pub events: u64,
+    /// Gated-loop instances executed.
+    pub instances: u64,
+    /// Total gated iterations across all instances.
+    pub par_iterations: u64,
+    /// Virtual ticks the fork-join actually removed from the critical
+    /// path: `Σ_instances (Σ_k E_k - max_k E_k)`. Zero when `workers == 1`.
+    pub par_saved_ticks: u64,
+    /// Join barriers crossed (== instances when `workers > 1`).
+    pub rounds: u64,
+    /// Diff ops merged across all barriers.
+    pub merged_ops: u64,
+    /// Real wall time of the whole run (not gated on, informational).
+    pub wall_ms: f64,
+}
+
+impl ParallelRunOutput {
+    /// Measured critical-path speedup of this run relative to the same
+    /// gated program on one worker: `final / (final - saved)`.
+    pub fn measured_speedup(&self) -> f64 {
+        let t = self.final_ticks as f64;
+        let saved = self.par_saved_ticks as f64;
+        if t <= saved || t == 0.0 {
+            1.0
+        } else {
+            t / (t - saved)
+        }
+    }
+}
+
+/// Result of [`equivalence`]: field-by-field comparison of two runs.
+#[derive(Debug, Clone)]
+pub struct EquivalenceReport {
+    /// True when every compared field was byte-identical.
+    pub identical: bool,
+    /// Human-readable description of each differing field.
+    pub diffs: Vec<String>,
+}
+
+/// Compare two runs for byte-identity of everything a user of the app
+/// could observe (plus the virtual clock, which the resync contract pins).
+pub fn equivalence(seq: &ParallelRunOutput, par: &ParallelRunOutput) -> EquivalenceReport {
+    let mut diffs = Vec::new();
+    if seq.console != par.console {
+        diffs.push(format!(
+            "console differs: {} vs {} lines",
+            seq.console.len(),
+            par.console.len()
+        ));
+    }
+    if seq.state_render != par.state_render {
+        diffs.push(format!(
+            "global state differs: digest {} vs {}",
+            seq.state_digest, par.state_digest
+        ));
+    }
+    if seq.canvas != par.canvas {
+        diffs.push(format!(
+            "canvas checksums differ: {:?} vs {:?}",
+            seq.canvas, par.canvas
+        ));
+    }
+    if seq.dom_mutations != par.dom_mutations {
+        diffs.push(format!(
+            "dom mutations differ: {} vs {}",
+            seq.dom_mutations, par.dom_mutations
+        ));
+    }
+    if seq.final_ticks != par.final_ticks {
+        diffs.push(format!(
+            "final virtual clock differs: {} vs {} ticks",
+            seq.final_ticks, par.final_ticks
+        ));
+    }
+    if seq.events != par.events {
+        diffs.push(format!(
+            "events drained differ: {} vs {}",
+            seq.events, par.events
+        ));
+    }
+    EquivalenceReport {
+        identical: diffs.is_empty(),
+        diffs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State snapshots and diffs
+// ---------------------------------------------------------------------------
+
+/// One path segment into the global state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Seg {
+    /// Property of an object (or extra property of an array). The first
+    /// segment of every path is the global variable name.
+    Key(String),
+    /// Array element.
+    Idx(usize),
+}
+
+impl std::fmt::Display for Seg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Seg::Key(k) => write!(f, ".{k}"),
+            Seg::Idx(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A scalar a gated body may write; `Num` keeps raw bits so `-0` and NaN
+/// compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scalar {
+    Undefined,
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+impl Scalar {
+    fn to_value(&self) -> Value {
+        match self {
+            Scalar::Undefined => Value::Undefined,
+            Scalar::Null => Value::Null,
+            Scalar::Bool(b) => Value::Bool(*b),
+            Scalar::Num(bits) => Value::Num(f64::from_bits(*bits)),
+            Scalar::Str(s) => Value::str(s.as_str()),
+        }
+    }
+}
+
+/// One write a worker performed inside a gated body, as plain `Send` data
+/// replayable on any replica. Paths come out of the diff parent-first, at
+/// most one op per path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DiffOp {
+    path: Vec<Seg>,
+    kind: OpKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OpKind {
+    /// Write a scalar at the path.
+    Set(Scalar),
+    /// Replace the path with a fresh empty object (children follow).
+    MkObj,
+    /// Replace the path with a fresh empty array (elements follow).
+    MkArr,
+    /// Shrink the array at the path to this length.
+    Truncate(usize),
+    /// Delete the named property of the object at the path.
+    DelKey(String),
+}
+
+impl DiffOp {
+    fn path_key(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for seg in &self.path {
+            let _ = write!(s, "{seg}");
+        }
+        if let OpKind::DelKey(k) = &self.kind {
+            let _ = write!(s, ".{k}");
+        }
+        s
+    }
+}
+
+/// Snapshot of one reachable value. Structural, id-free: two replicas
+/// that computed the same data snapshot equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Snap {
+    Scalar(Scalar),
+    /// Elements by index, plus any non-index own properties.
+    Arr(Vec<Snap>, Vec<(String, Snap)>),
+    /// Own properties in deterministic insertion order.
+    Obj(Vec<(String, Snap)>),
+    /// Functions, host-tagged objects, cycles, and depth-capped values:
+    /// compared for presence, refused if a body changes them.
+    Opaque(&'static str),
+}
+
+fn snap_value(v: &Value, depth: u32, visiting: &mut HashSet<u64>) -> Snap {
+    match v {
+        Value::Undefined => Snap::Scalar(Scalar::Undefined),
+        Value::Null => Snap::Scalar(Scalar::Null),
+        Value::Bool(b) => Snap::Scalar(Scalar::Bool(*b)),
+        Value::Num(n) => Snap::Scalar(Scalar::Num(n.to_bits())),
+        Value::Str(s) => Snap::Scalar(Scalar::Str(s.to_string())),
+        Value::Object(o) => {
+            if o.is_callable() {
+                return Snap::Opaque("function");
+            }
+            if let Some(tag) = o.tag() {
+                return Snap::Opaque(tag);
+            }
+            if depth == 0 {
+                return Snap::Opaque("depth-capped");
+            }
+            if !visiting.insert(o.id()) {
+                return Snap::Opaque("cycle");
+            }
+            let snap = if let Some(len) = o.array_len() {
+                let els = (0..len)
+                    .map(|i| {
+                        snap_value(
+                            &o.array_get(i).unwrap_or(Value::Undefined),
+                            depth - 1,
+                            visiting,
+                        )
+                    })
+                    .collect();
+                let props = o
+                    .own_keys()
+                    .into_iter()
+                    .filter(|k| !matches!(k.parse::<usize>(), Ok(i) if i < len))
+                    .filter_map(|k| {
+                        o.get_own(&k)
+                            .map(|v| (k.to_string(), snap_value(&v, depth - 1, visiting)))
+                    })
+                    .collect();
+                Snap::Arr(els, props)
+            } else {
+                Snap::Obj(
+                    o.own_keys()
+                        .into_iter()
+                        .filter_map(|k| {
+                            o.get_own(&k)
+                                .map(|v| (k.to_string(), snap_value(&v, depth - 1, visiting)))
+                        })
+                        .collect(),
+                )
+            };
+            visiting.remove(&o.id());
+            snap
+        }
+    }
+}
+
+/// Snapshot every global the *program* created (baseline = builtins, DOM,
+/// hooks — recorded before `eval`). Keyed and ordered by name.
+fn snapshot_globals(interp: &Interp, baseline: &HashSet<String>) -> BTreeMap<String, Snap> {
+    let mut visiting = HashSet::new();
+    interp
+        .global
+        .local_names()
+        .into_iter()
+        .filter(|n| !baseline.contains(n))
+        .map(|n| {
+            let v = interp.global.get(&n).unwrap_or(Value::Undefined);
+            let s = snap_value(&v, SNAP_DEPTH, &mut visiting);
+            (n, s)
+        })
+        .collect()
+}
+
+/// Canonical text render of a snapshot, for digests and diffs in error
+/// messages.
+fn render_snapshot(snap: &BTreeMap<String, Snap>) -> String {
+    fn render(s: &Snap, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match s {
+            Snap::Scalar(Scalar::Undefined) => out.push_str("undefined"),
+            Snap::Scalar(Scalar::Null) => out.push_str("null"),
+            Snap::Scalar(Scalar::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+            Snap::Scalar(Scalar::Num(bits)) => {
+                let f = f64::from_bits(*bits);
+                out.push_str(&format!("{f:?}"));
+            }
+            Snap::Scalar(Scalar::Str(st)) => out.push_str(&format!("{st:?}")),
+            Snap::Opaque(tag) => out.push_str(&format!("<{tag}>")),
+            Snap::Arr(els, props) => {
+                out.push_str("[\n");
+                for e in els {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    render(e, out, indent + 1);
+                    out.push_str(",\n");
+                }
+                for (k, v) in props {
+                    out.push_str(&pad);
+                    out.push_str(&format!("  .{k}: "));
+                    render(v, out, indent + 1);
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Snap::Obj(props) => {
+                out.push_str("{\n");
+                for (k, v) in props {
+                    out.push_str(&pad);
+                    out.push_str(&format!("  {k}: "));
+                    render(v, out, indent + 1);
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    for (name, s) in snap {
+        out.push_str(name);
+        out.push_str(" = ");
+        render(s, &mut out, 0);
+        out.push('\n');
+    }
+    out
+}
+
+/// Diff a worker's post-instance state against its snapshot. Fails when
+/// the body changed something the merge cannot represent.
+fn diff_globals(
+    old: &BTreeMap<String, Snap>,
+    new: &BTreeMap<String, Snap>,
+) -> Result<Vec<DiffOp>, String> {
+    let mut ops = Vec::new();
+    for (name, new_snap) in new {
+        let mut path = vec![Seg::Key(name.clone())];
+        diff_snap(old.get(name), new_snap, &mut path, &mut ops)?;
+    }
+    // Globals never disappear (vars are not deletable), so removed roots
+    // would mean the walker itself diverged:
+    for name in old.keys() {
+        if !new.contains_key(name) {
+            return Err(format!("global `{name}` vanished during a gated instance"));
+        }
+    }
+    Ok(ops)
+}
+
+fn diff_snap(
+    old: Option<&Snap>,
+    new: &Snap,
+    path: &mut Vec<Seg>,
+    ops: &mut Vec<DiffOp>,
+) -> Result<(), String> {
+    if old == Some(new) {
+        return Ok(());
+    }
+    let path_str = || path.iter().map(|s| s.to_string()).collect::<String>();
+    match new {
+        Snap::Scalar(s) => {
+            // A fresh array slot (or fresh root) holding `undefined` is a
+            // hole from growth, not a write: skipping it keeps workers'
+            // write sets disjoint when they fill alternating slots.
+            if old.is_none() && *s == Scalar::Undefined {
+                return Ok(());
+            }
+            ops.push(DiffOp {
+                path: path.clone(),
+                kind: OpKind::Set(s.clone()),
+            });
+            Ok(())
+        }
+        Snap::Opaque(tag) => Err(format!(
+            "body created or changed an unmergeable value ({tag}) at {}",
+            path_str()
+        )),
+        Snap::Arr(els, props) => {
+            let (old_els, old_props) = match old {
+                Some(Snap::Arr(e, p)) => (Some(e), Some(p)),
+                _ => {
+                    ops.push(DiffOp {
+                        path: path.clone(),
+                        kind: OpKind::MkArr,
+                    });
+                    (None, None)
+                }
+            };
+            if let Some(oe) = old_els {
+                if els.len() < oe.len() {
+                    ops.push(DiffOp {
+                        path: path.clone(),
+                        kind: OpKind::Truncate(els.len()),
+                    });
+                }
+            }
+            for (i, el) in els.iter().enumerate() {
+                let old_el = old_els.and_then(|oe| oe.get(i));
+                path.push(Seg::Idx(i));
+                diff_snap(old_el, el, path, ops)?;
+                path.pop();
+            }
+            diff_props(old_props.map(|p| p.as_slice()), props, path, ops)
+        }
+        Snap::Obj(props) => {
+            let old_props = match old {
+                Some(Snap::Obj(p)) => Some(p),
+                _ => {
+                    ops.push(DiffOp {
+                        path: path.clone(),
+                        kind: OpKind::MkObj,
+                    });
+                    None
+                }
+            };
+            diff_props(old_props.map(|p| p.as_slice()), props, path, ops)
+        }
+    }
+}
+
+fn diff_props(
+    old: Option<&[(String, Snap)]>,
+    new: &[(String, Snap)],
+    path: &mut Vec<Seg>,
+    ops: &mut Vec<DiffOp>,
+) -> Result<(), String> {
+    let old_map: HashMap<&str, &Snap> = old
+        .map(|o| o.iter().map(|(k, v)| (k.as_str(), v)).collect())
+        .unwrap_or_default();
+    let new_keys: HashSet<&str> = new.iter().map(|(k, _)| k.as_str()).collect();
+    if let Some(old) = old {
+        for (k, _) in old {
+            if !new_keys.contains(k.as_str()) {
+                ops.push(DiffOp {
+                    path: path.clone(),
+                    kind: OpKind::DelKey(k.clone()),
+                });
+            }
+        }
+    }
+    for (k, v) in new {
+        path.push(Seg::Key(k.clone()));
+        diff_snap(old_map.get(k.as_str()).copied(), v, path, ops)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+/// Replay one op against this replica's live state.
+fn apply_op(interp: &Interp, op: &DiffOp) -> Result<(), String> {
+    let Some(Seg::Key(root)) = op.path.first() else {
+        return Err("diff op with empty path".to_string());
+    };
+    // Resolve the container the final segment addresses.
+    if op.path.len() == 1 {
+        match &op.kind {
+            OpKind::Set(s) => {
+                if !interp.global.set(root, s.to_value()) {
+                    interp.global.declare(root, s.to_value());
+                }
+                return Ok(());
+            }
+            OpKind::MkObj => {
+                let v = Value::Object(ceres_interp::new_object());
+                if !interp.global.set(root, v.clone()) {
+                    interp.global.declare(root, v);
+                }
+                return Ok(());
+            }
+            OpKind::MkArr => {
+                let v = Value::Object(ceres_interp::new_array(Vec::new()));
+                if !interp.global.set(root, v.clone()) {
+                    interp.global.declare(root, v);
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+    }
+    let mut cur = interp
+        .global
+        .get(root)
+        .ok_or_else(|| format!("merge path root `{root}` missing"))?;
+    // For Truncate the path addresses the array itself; everything else
+    // addresses a slot inside the value at path[..len-1].
+    let walk_to = match op.kind {
+        OpKind::Truncate(_) | OpKind::DelKey(_) => op.path.len(),
+        _ => op.path.len() - 1,
+    };
+    for seg in &op.path[1..walk_to] {
+        let obj = match &cur {
+            Value::Object(o) => o.clone(),
+            _ => {
+                return Err(format!(
+                    "merge path {} traverses a non-object",
+                    op.path_key()
+                ))
+            }
+        };
+        cur = match seg {
+            Seg::Key(k) => obj.get_own(k).unwrap_or(Value::Undefined),
+            Seg::Idx(i) => obj.array_get(*i).unwrap_or(Value::Undefined),
+        };
+    }
+    let container = match &cur {
+        Value::Object(o) => o.clone(),
+        _ => return Err(format!("merge path {} ends in a non-object", op.path_key())),
+    };
+    match &op.kind {
+        OpKind::Truncate(n) => {
+            container
+                .with_array_mut(|v| v.truncate(*n))
+                .ok_or_else(|| format!("truncate target {} is not an array", op.path_key()))?;
+        }
+        OpKind::DelKey(k) => {
+            container.borrow_mut().delete_prop(k);
+        }
+        OpKind::Set(_) | OpKind::MkObj | OpKind::MkArr => {
+            let value = match &op.kind {
+                OpKind::Set(s) => s.to_value(),
+                OpKind::MkObj => Value::Object(ceres_interp::new_object()),
+                _ => Value::Object(ceres_interp::new_array(Vec::new())),
+            };
+            match op.path.last().unwrap() {
+                Seg::Key(k) => container.set_prop(k, value),
+                Seg::Idx(i) => {
+                    if container.array_len().is_some() {
+                        container.array_set(*i, value);
+                    } else {
+                        container.set_prop(&i.to_string(), value);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The join barrier
+// ---------------------------------------------------------------------------
+
+/// What one worker brings to a join barrier.
+#[derive(Debug, Clone)]
+struct WorkerRound {
+    enter_ticks: u64,
+    exit_ticks: u64,
+    iters: u64,
+    /// `Σ (d_c - h)` over owned iterations `0..N-2` (the last iteration's
+    /// segment runs to the exit hook over a different code path and is
+    /// settled at the barrier via `last_cost`). `None` when the worker
+    /// owned every gate-to-gate iteration (small trip counts) — then
+    /// derived from the peers' shared `S` instead.
+    pre_extra: Option<u64>,
+    /// Does this worker own iteration `N-1`?
+    owns_last: bool,
+    /// `t_exit - t_{N-1}`: the exit edge, plus the last body if owned.
+    last_cost: u64,
+    console_grew: bool,
+    rng_state: u64,
+    canvas: Vec<(u64, u64)>,
+    mutations: u64,
+    ops: Vec<DiffOp>,
+}
+
+/// What the barrier publishes back to every worker.
+struct RoundResult {
+    /// Resync target: `enter + S + Σ E_k`.
+    target_ticks: u64,
+    /// `Σ E_k - max E_k` — ticks removed from the critical path.
+    saved: u64,
+    /// All workers' ops, in worker order.
+    merged: Vec<Vec<DiffOp>>,
+}
+
+struct RoundState {
+    round: u64,
+    arrived: usize,
+    slots: Vec<Option<WorkerRound>>,
+    published: Option<Arc<RoundResult>>,
+    poison: Option<ParallelError>,
+}
+
+/// Condvar rendezvous shared by the workers. Any failure poisons it so
+/// peers unwind instead of deadlocking.
+struct Coordinator {
+    workers: usize,
+    inner: Mutex<RoundState>,
+    cv: Condvar,
+}
+
+impl Coordinator {
+    fn new(workers: usize) -> Coordinator {
+        Coordinator {
+            workers,
+            inner: Mutex::new(RoundState {
+                round: 0,
+                arrived: 0,
+                slots: vec![None; workers],
+                published: None,
+                poison: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn poison(&self, err: ParallelError) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.poison.is_none() {
+            g.poison = Some(err);
+        }
+        self.cv.notify_all();
+    }
+
+    fn rendezvous(&self, wid: usize, data: WorkerRound) -> Result<Arc<RoundResult>, ParallelError> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = &g.poison {
+            return Err(ParallelError::Poisoned(p.to_string()));
+        }
+        g.slots[wid] = Some(data);
+        g.arrived += 1;
+        if g.arrived == self.workers {
+            let rounds: Vec<WorkerRound> = g.slots.iter_mut().map(|s| s.take().unwrap()).collect();
+            g.arrived = 0;
+            match merge_round(&rounds) {
+                Ok(res) => {
+                    let res = Arc::new(res);
+                    g.published = Some(res.clone());
+                    g.round += 1;
+                    self.cv.notify_all();
+                    Ok(res)
+                }
+                Err(e) => {
+                    g.poison = Some(e.clone());
+                    self.cv.notify_all();
+                    Err(e)
+                }
+            }
+        } else {
+            let my_round = g.round;
+            while g.round == my_round && g.poison.is_none() {
+                let (guard, timeout) = self
+                    .cv
+                    .wait_timeout(g, BARRIER_TIMEOUT)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+                if timeout.timed_out() && g.round == my_round && g.poison.is_none() {
+                    let err = ParallelError::Diverged(format!(
+                        "worker {wid} timed out at the join barrier after {}s",
+                        BARRIER_TIMEOUT.as_secs()
+                    ));
+                    g.poison = Some(err.clone());
+                    self.cv.notify_all();
+                    return Err(err);
+                }
+            }
+            if let Some(p) = &g.poison {
+                return Err(ParallelError::Poisoned(p.to_string()));
+            }
+            Ok(g.published.clone().expect("published round"))
+        }
+    }
+}
+
+/// The barrier math + divergence and conflict checks, run once per round
+/// by the last worker to arrive.
+fn merge_round(rounds: &[WorkerRound]) -> Result<RoundResult, ParallelError> {
+    let first = &rounds[0];
+    for (k, r) in rounds.iter().enumerate() {
+        if r.enter_ticks != first.enter_ticks {
+            return Err(ParallelError::Diverged(format!(
+                "workers entered the instance at different ticks ({} vs {} on worker {k})",
+                first.enter_ticks, r.enter_ticks
+            )));
+        }
+        if r.iters != first.iters {
+            return Err(ParallelError::Diverged(format!(
+                "trip count differs: worker 0 saw {}, worker {k} saw {}",
+                first.iters, r.iters
+            )));
+        }
+        if r.console_grew {
+            return Err(ParallelError::Diverged(format!(
+                "worker {k} produced console output inside a gated body"
+            )));
+        }
+        if r.rng_state != first.rng_state {
+            return Err(ParallelError::Diverged(format!(
+                "seeded RNG drawn inside a gated body (worker {k} state differs)"
+            )));
+        }
+        if r.canvas != first.canvas {
+            return Err(ParallelError::Diverged(format!(
+                "canvas pixels differ on worker {k} at the barrier"
+            )));
+        }
+        if r.mutations != first.mutations {
+            return Err(ParallelError::Diverged(format!(
+                "DOM mutation counts differ on worker {k} at the barrier"
+            )));
+        }
+    }
+
+    // Shared sequential part S = Δ_k - E_k, which every worker with a
+    // known E must agree on. The last iteration's segment runs through
+    // the loop-exit edge (a different code path than gate-to-gate), so
+    // its constant cost `e` is recovered from the workers that do *not*
+    // own iteration N-1 and the owner's body extra is `last_cost - e`.
+    let (target, saved) = if rounds.len() == 1 {
+        (first.exit_ticks, 0)
+    } else {
+        // Exit-edge constant `e` (meaningful only when the loop iterated).
+        let mut exit_edge: Option<u64> = None;
+        if first.iters > 0 {
+            for (k, r) in rounds.iter().enumerate() {
+                if !r.owns_last {
+                    match exit_edge {
+                        None => exit_edge = Some(r.last_cost),
+                        Some(e) if e != r.last_cost => {
+                            return Err(ParallelError::Diverged(format!(
+                                "exit-edge cost not constant ({e} vs {} ticks on worker {k})",
+                                r.last_cost
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Full owned extra E_k where locally computable.
+        let mut extras: Vec<Option<u64>> = Vec::with_capacity(rounds.len());
+        for (k, r) in rounds.iter().enumerate() {
+            let last_extra = if r.owns_last {
+                let e = exit_edge.ok_or_else(|| {
+                    ParallelError::Diverged("every worker claims the last iteration".to_string())
+                })?;
+                Some(r.last_cost.checked_sub(e).ok_or_else(|| {
+                    ParallelError::Diverged(format!(
+                        "worker {k}'s last-iteration segment undercuts the exit edge"
+                    ))
+                })?)
+            } else {
+                Some(0)
+            };
+            extras.push(match (r.pre_extra, last_extra) {
+                (Some(p), Some(l)) => Some(p + l),
+                _ => None,
+            });
+        }
+        let mut s: Option<u64> = None;
+        for (k, r) in rounds.iter().enumerate() {
+            if let Some(e) = extras[k] {
+                let delta = r.exit_ticks - r.enter_ticks;
+                let sk = delta.checked_sub(e).ok_or_else(|| {
+                    ParallelError::Diverged(format!(
+                        "worker {k} accounted more owned ticks than its instance took"
+                    ))
+                })?;
+                match s {
+                    None => s = Some(sk),
+                    Some(prev) if prev != sk => {
+                        return Err(ParallelError::Diverged(format!(
+                            "sequential part disagrees across workers ({prev} vs {sk} ticks on worker {k}) — un-owned iteration cost was not constant"
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let s = s.ok_or_else(|| {
+            ParallelError::Diverged(
+                "no worker could separate its owned work from the shared header cost".to_string(),
+            )
+        })?;
+        let extras: Vec<u64> = rounds
+            .iter()
+            .zip(&extras)
+            .map(|(r, e)| e.unwrap_or_else(|| (r.exit_ticks - r.enter_ticks).saturating_sub(s)))
+            .collect();
+        let sum: u64 = extras.iter().sum();
+        let max = extras.iter().copied().max().unwrap_or(0);
+        (first.enter_ticks + s + sum, sum - max)
+    };
+
+    // Write-conflict check: the diff emits at most one op per path, so two
+    // workers touching the same path must have written identical ops.
+    let mut writes: HashMap<String, (usize, &DiffOp)> = HashMap::new();
+    for (k, r) in rounds.iter().enumerate() {
+        for op in &r.ops {
+            let key = op.path_key();
+            if let Some((prev_k, prev_op)) = writes.get(&key) {
+                if *prev_op != op {
+                    return Err(ParallelError::WriteConflict(format!(
+                        "workers {prev_k} and {k} wrote different values to `{key}`"
+                    )));
+                }
+            } else {
+                writes.insert(key, (k, op));
+            }
+        }
+    }
+
+    Ok(RoundResult {
+        target_ticks: target,
+        saved,
+        merged: rounds.iter().map(|r| r.ops.clone()).collect(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker execution
+// ---------------------------------------------------------------------------
+
+/// Per-worker mutable state the three hooks share.
+struct ParState {
+    wid: usize,
+    workers: usize,
+    baseline: HashSet<String>,
+    active: Option<ActiveInstance>,
+    instances: u64,
+    iterations: u64,
+    saved: u64,
+    rounds: u64,
+    merged_ops: u64,
+}
+
+struct ActiveInstance {
+    enter_ticks: u64,
+    last_gate: u64,
+    iter_index: u64,
+    /// The constant un-owned iteration cost `h`, once observed.
+    header_cost: Option<u64>,
+    /// `d_c` for each owned iteration (resolved against `h` at exit).
+    owned_costs: Vec<u64>,
+    console_len: usize,
+    snapshot: BTreeMap<String, Snap>,
+}
+
+fn fatal(coord: &Coordinator, err: ParallelError) -> Control {
+    coord.poison(err.clone());
+    Control::Fatal(format!("__ceres_par: {err}"))
+}
+
+/// Install the three `__ceres_par_*` natives on a worker's interpreter.
+fn install_par_hooks(
+    interp: &mut Interp,
+    state: Rc<RefCell<ParState>>,
+    coord: Arc<Coordinator>,
+    dom: DomHandle,
+) {
+    {
+        let state = state.clone();
+        let coord = coord.clone();
+        interp.register_native(PAR_ENTER, move |interp, _ctx, _args| {
+            let mut st = state.borrow_mut();
+            if st.active.is_some() {
+                return Err(fatal(
+                    &coord,
+                    ParallelError::Diverged(
+                        "nested parallel instance: __ceres_par_enter while one is active"
+                            .to_string(),
+                    ),
+                ));
+            }
+            let now = interp.clock.now_ticks();
+            let snapshot = snapshot_globals(interp, &st.baseline);
+            st.active = Some(ActiveInstance {
+                enter_ticks: now,
+                last_gate: now,
+                iter_index: 0,
+                header_cost: None,
+                owned_costs: Vec::new(),
+                console_len: interp.console.len(),
+                snapshot,
+            });
+            Ok(Value::Undefined)
+        });
+    }
+    {
+        let state = state.clone();
+        let coord = coord.clone();
+        interp.register_native(PAR_ITER, move |interp, _ctx, _args| {
+            let mut st = state.borrow_mut();
+            let (wid, workers) = (st.wid, st.workers);
+            let Some(act) = st.active.as_mut() else {
+                return Err(fatal(
+                    &coord,
+                    ParallelError::Diverged(
+                        "__ceres_par_iter outside an active instance".to_string(),
+                    ),
+                ));
+            };
+            let now = interp.clock.now_ticks();
+            if act.iter_index > 0 {
+                let d = now - act.last_gate;
+                let idx = act.iter_index - 1;
+                if let Err(e) = settle_iteration(act, idx, d, wid, workers) {
+                    return Err(fatal(&coord, e));
+                }
+            }
+            act.last_gate = now;
+            let owned = (act.iter_index as usize) % workers == wid;
+            act.iter_index += 1;
+            if owned {
+                st.iterations += 1;
+            }
+            Ok(Value::Bool(owned))
+        });
+    }
+    {
+        interp.register_native(PAR_EXIT, move |interp, _ctx, _args| {
+            let mut st = state.borrow_mut();
+            let (wid, workers) = (st.wid, st.workers);
+            let Some(act) = st.active.take() else {
+                return Err(fatal(
+                    &coord,
+                    ParallelError::Diverged(
+                        "__ceres_par_exit outside an active instance".to_string(),
+                    ),
+                ));
+            };
+            let now = interp.clock.now_ticks();
+            // The segment from the last gate to here crosses the loop-exit
+            // edge — a different code path than gate-to-gate — so it is
+            // settled at the barrier (see `merge_round`), not against `h`.
+            let last_cost = now - act.last_gate;
+            let owns_last = act.iter_index > 0 && ((act.iter_index - 1) as usize) % workers == wid;
+            // E'_k over gate-to-gate iterations: known when the header cost
+            // was observed (some iteration was un-owned) or when nothing
+            // was owned.
+            let pre_extra = if act.owned_costs.is_empty() {
+                Some(0)
+            } else {
+                act.header_cost.map(|h| {
+                    act.owned_costs
+                        .iter()
+                        .map(|d| d.saturating_sub(h))
+                        .sum::<u64>()
+                })
+            };
+            let after = snapshot_globals(interp, &st.baseline);
+            let ops = match diff_globals(&act.snapshot, &after) {
+                Ok(ops) => ops,
+                Err(e) => return Err(fatal(&coord, ParallelError::Unmergeable(e))),
+            };
+            let round = WorkerRound {
+                enter_ticks: act.enter_ticks,
+                exit_ticks: now,
+                iters: act.iter_index,
+                pre_extra,
+                owns_last,
+                last_cost,
+                console_grew: interp.console.len() != act.console_len,
+                rng_state: interp.rng_state(),
+                canvas: canvas_checksums(&dom),
+                mutations: dom.mutations(),
+                ops,
+            };
+            let result = match coord.rendezvous(wid, round) {
+                Ok(r) => r,
+                Err(e) => return Err(fatal(&coord, e)),
+            };
+            for worker_ops in &result.merged {
+                for op in worker_ops {
+                    st.merged_ops += 1;
+                    if let Err(e) = apply_op(interp, op) {
+                        return Err(fatal(&coord, ParallelError::Unmergeable(e)));
+                    }
+                }
+            }
+            let now = interp.clock.now_ticks();
+            if result.target_ticks < now {
+                return Err(fatal(
+                    &coord,
+                    ParallelError::Diverged(format!(
+                        "resync target {} behind worker {wid} clock {now}",
+                        result.target_ticks
+                    )),
+                ));
+            }
+            interp.clock.tick(result.target_ticks - now);
+            st.instances += 1;
+            st.rounds += 1;
+            st.saved += result.saved;
+            Ok(Value::Undefined)
+        });
+    }
+}
+
+/// Account one finished iteration's measured cost `d`.
+fn settle_iteration(
+    act: &mut ActiveInstance,
+    iter: u64,
+    d: u64,
+    wid: usize,
+    workers: usize,
+) -> Result<(), ParallelError> {
+    let owned = (iter as usize) % workers == wid;
+    if owned {
+        act.owned_costs.push(d);
+    } else {
+        match act.header_cost {
+            None => act.header_cost = Some(d),
+            Some(h) if h != d => {
+                return Err(ParallelError::Diverged(format!(
+                    "un-owned iteration cost not constant ({h} vs {d} ticks at iteration {iter}) — loop header observes body effects"
+                )));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn canvas_checksums(dom: &DomHandle) -> Vec<(u64, u64)> {
+    let shared = dom.shared.borrow();
+    let mut sums: Vec<(u64, u64)> = shared
+        .canvases
+        .iter()
+        .map(|(id, c)| (*id, c.borrow().checksum()))
+        .collect();
+    sums.sort_unstable();
+    sums
+}
+
+/// One worker: build a replica, run the gated program to completion, and
+/// report everything observable.
+fn worker_run(
+    spec: &ParallelSpec,
+    gated_source: &str,
+    wid: usize,
+    coord: Arc<Coordinator>,
+) -> Result<ParallelRunOutput, ParallelError> {
+    let wall_start = std::time::Instant::now();
+    let mut interp = Interp::new(spec.seed);
+    interp.max_ticks = spec.max_ticks;
+    interp.clock.set_wall_cap(spec.wall_budget);
+    let dom = ceres_dom::install_dom(&mut interp);
+    let state = Rc::new(RefCell::new(ParState {
+        wid,
+        workers: spec.workers,
+        baseline: HashSet::new(),
+        active: None,
+        instances: 0,
+        iterations: 0,
+        saved: 0,
+        rounds: 0,
+        merged_ops: 0,
+    }));
+    install_par_hooks(&mut interp, state.clone(), coord.clone(), dom.clone());
+    // Baseline: every name bound before the program runs is host-provided
+    // and excluded from snapshots.
+    state.borrow_mut().baseline = interp.global.local_names().into_iter().collect();
+
+    let js = |coord: &Coordinator, c: Control| -> ParallelError {
+        let err = match c {
+            Control::Fatal(m) if m.starts_with("__ceres_par: ") => {
+                // A hook already poisoned with the precise error; keep it.
+                return match coord
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .poison
+                    .clone()
+                {
+                    Some(e) => e,
+                    None => ParallelError::Js(m),
+                };
+            }
+            Control::Fatal(m) => ParallelError::Js(m),
+            Control::Throw(v) => ParallelError::Js(format!("uncaught throw: {}", v.type_of())),
+            other => ParallelError::Js(format!("abnormal completion: {other:?}")),
+        };
+        coord.poison(err.clone());
+        err
+    };
+
+    if let Err(c) = interp.eval_source(gated_source) {
+        return Err(js(&coord, c));
+    }
+    if let Some(interaction) = spec.interaction {
+        if let Err(c) = interaction(&mut interp, &dom) {
+            return Err(js(&coord, c));
+        }
+    }
+    if let Err(c) = interp.run_events(spec.max_events) {
+        return Err(js(&coord, c));
+    }
+    if state.borrow().active.is_some() {
+        let err = ParallelError::Diverged("run ended inside an open parallel instance".to_string());
+        coord.poison(err.clone());
+        return Err(err);
+    }
+
+    let st = state.borrow();
+    let final_snap = snapshot_globals(&interp, &st.baseline);
+    let state_render = render_snapshot(&final_snap);
+    let state_digest = crate::cache::sha256_hex(state_render.as_bytes());
+    Ok(ParallelRunOutput {
+        workers: spec.workers,
+        console: interp.console.clone(),
+        state_render,
+        state_digest,
+        canvas: canvas_checksums(&dom),
+        dom_mutations: dom.mutations(),
+        final_ticks: interp.clock.now_ticks(),
+        events: interp.events_processed,
+        instances: st.instances,
+        par_iterations: st.iterations,
+        par_saved_ticks: st.saved,
+        rounds: st.rounds,
+        merged_ops: st.merged_ops,
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Run `spec.source` with `spec.target` rewritten into fork-join form on
+/// `spec.workers` replicas and return the (verified-identical) output.
+///
+/// With `target: None` the program runs unmodified on one replica — the
+/// ungated control arm for measuring gate overhead.
+pub fn run_parallel(spec: &ParallelSpec) -> Result<ParallelRunOutput, ParallelError> {
+    assert!(spec.workers >= 1, "run_parallel needs at least one worker");
+    let mut program = ceres_parser::parse_program(&spec.source)
+        .map_err(|e| ParallelError::Parse(e.to_string()))?;
+    ceres_ast::assign_loop_ids(&mut program);
+    let gated = match spec.target {
+        Some(target) => {
+            let rewritten =
+                parallelize_loop(&program, target).map_err(ParallelError::Parallelize)?;
+            ceres_ast::program_to_source(&rewritten)
+        }
+        None => ceres_ast::program_to_source(&program),
+    };
+
+    let coord = Arc::new(Coordinator::new(spec.workers));
+    // Every worker runs in a *fresh* OS thread (including worker 0 and the
+    // workers == 1 case) so thread-local id counters start from the same
+    // point on every replica and across repeated runs.
+    let handles: Vec<_> = (0..spec.workers)
+        .map(|wid| {
+            let spec = spec.clone();
+            let gated = gated.clone();
+            let coord = coord.clone();
+            std::thread::Builder::new()
+                .name(format!("ceres-par-{wid}"))
+                .spawn(move || worker_run(&spec, &gated, wid, coord))
+                .map_err(|e| ParallelError::Thread(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut outputs = Vec::with_capacity(spec.workers);
+    let mut first_err: Option<ParallelError> = None;
+    for (wid, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(out)) => outputs.push(out),
+            Ok(Err(e)) => {
+                // Prefer the root-cause error over peers' Poisoned echoes.
+                let replace = match (&first_err, &e) {
+                    (None, _) => true,
+                    (Some(ParallelError::Poisoned(_)), other)
+                        if !matches!(other, ParallelError::Poisoned(_)) =>
+                    {
+                        true
+                    }
+                    _ => false,
+                };
+                if replace {
+                    first_err = Some(e);
+                }
+            }
+            Err(_) => {
+                coord.poison(ParallelError::Thread(format!("worker {wid} panicked")));
+                if first_err.is_none() {
+                    first_err = Some(ParallelError::Thread(format!("worker {wid} panicked")));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // Replicas must agree on *everything* observable.
+    let first = &outputs[0];
+    for (wid, out) in outputs.iter().enumerate().skip(1) {
+        let rep = equivalence(first, out);
+        if !rep.identical {
+            return Err(ParallelError::Diverged(format!(
+                "worker {wid} finished with different output than worker 0: {}",
+                rep.diffs.join("; ")
+            )));
+        }
+    }
+    Ok(outputs.into_iter().next().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(source: &str, target: Option<u32>, workers: usize) -> ParallelSpec {
+        ParallelSpec {
+            source: source.to_string(),
+            target: target.map(ceres_ast::LoopId),
+            workers,
+            seed: 2015,
+            max_events: 1000,
+            max_ticks: None,
+            wall_budget: Some(Duration::from_secs(30)),
+            interaction: None,
+        }
+    }
+
+    /// Map-style loop with per-iteration scratch in a function activation
+    /// (the idiom real apps use; top-level `var` scratch would hoist to
+    /// the global scope, where the leftover value is a genuine per-worker
+    /// difference the merge refuses). `work`'s inner loop gets id 1, the
+    /// parallelized outer loop id 2.
+    const MAP_LOOP: &str = "var out = [];\nfunction work(i) { var acc = 0; for (var j = 0; j < 50; j++) { acc = acc + i * j; } return acc; }\nfor (var i = 0; i < 64; i++) { out[i] = work(i); }";
+    const MAP_TARGET: u32 = 2;
+
+    #[test]
+    fn gated_matches_ungated_semantics() {
+        let plain = run_parallel(&spec(MAP_LOOP, None, 1)).unwrap();
+        let gated = run_parallel(&spec(MAP_LOOP, Some(MAP_TARGET), 1)).unwrap();
+        assert_eq!(plain.state_render, gated.state_render);
+        assert_eq!(plain.console, gated.console);
+        // Gating costs ticks (the hook calls), so clocks legitimately
+        // differ between the plain and gated programs.
+        assert!(gated.final_ticks > plain.final_ticks);
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let seq = run_parallel(&spec(MAP_LOOP, Some(MAP_TARGET), 1)).unwrap();
+        for workers in [2, 3, 4] {
+            let par = run_parallel(&spec(MAP_LOOP, Some(MAP_TARGET), workers)).unwrap();
+            let rep = equivalence(&seq, &par);
+            assert!(rep.identical, "workers={workers}: {:?}", rep.diffs);
+            assert!(par.par_saved_ticks > 0, "workers={workers} saved nothing");
+            assert!(par.measured_speedup() > 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_workers() {
+        let s2 = run_parallel(&spec(MAP_LOOP, Some(MAP_TARGET), 2)).unwrap();
+        let s4 = run_parallel(&spec(MAP_LOOP, Some(MAP_TARGET), 4)).unwrap();
+        assert!(
+            s4.measured_speedup() > s2.measured_speedup(),
+            "2w={} 4w={}",
+            s2.measured_speedup(),
+            s4.measured_speedup()
+        );
+    }
+
+    #[test]
+    fn cross_iteration_dependence_is_a_write_conflict() {
+        // Every iteration writes the same accumulator: workers produce
+        // different values for `total` and the merge must refuse.
+        let src = "var total = 0;\nfor (var i = 0; i < 16; i++) { total = total + i; }";
+        let seq = run_parallel(&spec(src, Some(1), 1)).unwrap();
+        assert!(
+            seq.state_render.contains("total = 120"),
+            "{}",
+            seq.state_render
+        );
+        let err = run_parallel(&spec(src, Some(1), 2)).unwrap_err();
+        assert!(
+            matches!(err, ParallelError::WriteConflict(_)),
+            "expected a write conflict, got: {err}"
+        );
+    }
+
+    #[test]
+    fn impure_loop_is_refused_statically() {
+        let src = "for (var i = 0; i < 8; i++) { console.log(i); }";
+        let err = run_parallel(&spec(src, Some(1), 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            ParallelError::Parallelize(ParallelizeError::ImpureBody(_))
+        ));
+    }
+
+    #[test]
+    fn object_graph_writes_merge() {
+        let src = "var rows = [];\nfor (var i = 0; i < 12; i++) { rows[i] = { idx: i, sq: i * i, tags: [i, i + 1] }; }";
+        let seq = run_parallel(&spec(src, Some(1), 1)).unwrap();
+        let par = run_parallel(&spec(src, Some(1), 3)).unwrap();
+        assert!(equivalence(&seq, &par).identical);
+        assert!(par.state_render.contains("sq: 121"), "{}", par.state_render);
+    }
+
+    #[test]
+    fn timers_after_the_loop_fire_identically() {
+        let src = "var out = [];\nfunction work(i) { var a = 0; for (var j = 0; j < 40; j++) { a = a + j; } return a + i; }\nfor (var i = 0; i < 32; i++) { out[i] = work(i); }\nvar late = 0;\nsetTimeout(function () { late = out[31]; }, 5);";
+        let seq = run_parallel(&spec(src, Some(2), 1)).unwrap();
+        let par = run_parallel(&spec(src, Some(2), 4)).unwrap();
+        let rep = equivalence(&seq, &par);
+        assert!(rep.identical, "{:?}", rep.diffs);
+        assert!(
+            par.state_render.contains("late = 811"),
+            "{}",
+            par.state_render
+        );
+    }
+}

@@ -25,9 +25,11 @@
 //! because every loop is wrapped in `try { … } finally { exit() }`.
 
 pub mod hooks;
+pub mod parallelize;
 pub mod refactor;
 pub mod rewrite;
 
 pub use hooks::*;
+pub use parallelize::{parallelize_loop, ParallelizeError, PAR_ENTER, PAR_EXIT, PAR_ITER};
 pub use refactor::{refactor_loop, RefactorError};
 pub use rewrite::{instrument_program, instrument_source, Mode};

@@ -1,0 +1,876 @@
+//! Fork-join parallelization of one `ok` loop nest (ROADMAP item 4).
+//!
+//! Where [`crate::refactor`] rewrites a counted loop into functional style
+//! (`forEachPar`) to *remove* a dependence warning, this pass rewrites the
+//! loop for actual parallel execution on the multi-worker backend in
+//! `ceres_core::parallel`. The divide/execute shape follows the japaric
+//! `parallel.rs` fork-join idiom (SNIPPETS.md §1): the iteration space is
+//! divided among W workers, each executes its share, and a deterministic
+//! join merges the results.
+//!
+//! The rewrite is deliberately minimal — three host hooks around and inside
+//! an otherwise untouched loop:
+//!
+//! ```text
+//! for (var i = 0; i < N; i++) { body }
+//! ⇒
+//! __ceres_par_enter(ID);
+//! for (var i = 0; i < N; i++) {
+//!   if (__ceres_par_iter(ID)) { body }
+//! }
+//! __ceres_par_exit(ID);
+//! ```
+//!
+//! Every worker runs the whole program and evaluates the loop header for
+//! every iteration (that is the sequential fraction); `__ceres_par_iter`
+//! answers "does this worker own this iteration" (round-robin), so loop
+//! bodies — where the nest's time is spent — execute on exactly one worker.
+//! `__ceres_par_enter`/`__ceres_par_exit` bracket each *instance* of the
+//! loop: the exit hook is the join barrier where workers exchange the
+//! global-state writes their bodies performed, verify they agree, and
+//! resynchronize their virtual clocks (see `ceres_core::parallel` for the
+//! merge contract).
+//!
+//! # Safety preconditions (static)
+//!
+//! The transform refuses loops whose shape it cannot prove safe; the
+//! runtime adds its own checks (write conflicts, trip-count divergence,
+//! state it cannot merge), so these are the *necessary* conditions, not a
+//! proof. Documented in `docs/PARALLELIZE.md`:
+//!
+//! * canonical counted header `for (var i = 0; i < N; i++)` (or the
+//!   `i = 0` / `i += 1` spellings) — workers must agree on the iteration
+//!   space without observing body effects;
+//! * no `break` or `return` at the loop's own level (`continue` is fine:
+//!   it stays inside the gated body);
+//! * the body must not assign the induction variable;
+//! * the body must not perform unmergeable side effects the runtime cannot
+//!   replicate across workers: console output, timer/listener registration,
+//!   clock reads, seeded-RNG draws, or DOM access (checked by identifier;
+//!   the dependence engine's `ok` characterization already excludes
+//!   DOM-heavy nests).
+
+use ceres_ast::ast::*;
+use ceres_ast::build;
+
+/// Host hook: `(loop_id)` — one instance of the parallel loop begins
+/// (snapshot point for the join's state diff).
+pub const PAR_ENTER: &str = "__ceres_par_enter";
+/// Host hook: `(loop_id) -> bool` — called once per iteration by every
+/// worker; true when this worker owns the iteration.
+pub const PAR_ITER: &str = "__ceres_par_iter";
+/// Host hook: `(loop_id)` — instance ends: join barrier, merge, clock
+/// resync.
+pub const PAR_EXIT: &str = "__ceres_par_exit";
+
+/// Identifiers whose appearance inside a candidate body makes the rewrite
+/// unsafe: their effects are per-worker and the join cannot merge them.
+/// (`random` catches `Math.random`; `document`/`window` catch DOM access
+/// that the difficulty classifier should already have excluded.)
+const IMPURE_NAMES: &[&str] = &[
+    "console",
+    "setTimeout",
+    "setInterval",
+    "clearTimeout",
+    "clearInterval",
+    "requestAnimationFrame",
+    "addEventListener",
+    "performance",
+    "Date",
+    "random",
+    "document",
+    "window",
+    "alert",
+];
+
+/// Why a loop was refused parallelization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelizeError {
+    /// No loop with the requested id.
+    NoSuchLoop,
+    /// Header is not the canonical counted form.
+    NonCanonicalHeader,
+    /// Body `break`s at the loop's own level (workers would disagree on
+    /// the trip count).
+    BodyBreaksOut,
+    /// Body `return`s from the enclosing function (same disagreement, via
+    /// early exit).
+    BodyReturns,
+    /// Body assigns the induction variable — iteration spaces diverge.
+    WritesInductionVar(String),
+    /// Body mentions an identifier whose effects the join cannot merge.
+    ImpureBody(String),
+}
+
+impl std::fmt::Display for ParallelizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelizeError::NoSuchLoop => write!(f, "no loop with that id"),
+            ParallelizeError::NonCanonicalHeader => {
+                write!(f, "loop header is not `for (var i = 0; i < N; i++)`")
+            }
+            ParallelizeError::BodyBreaksOut => {
+                write!(f, "loop body breaks at the loop's own level")
+            }
+            ParallelizeError::BodyReturns => {
+                write!(f, "loop body returns from the enclosing function")
+            }
+            ParallelizeError::WritesInductionVar(v) => {
+                write!(f, "loop body assigns the induction variable `{v}`")
+            }
+            ParallelizeError::ImpureBody(name) => {
+                write!(f, "loop body uses `{name}`, whose effects cannot be merged")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelizeError {}
+
+/// Rewrite the loop `target` into fork-join gated form throughout
+/// `program`. The original is untouched; all other loops are preserved
+/// verbatim.
+pub fn parallelize_loop(program: &Program, target: LoopId) -> Result<Program, ParallelizeError> {
+    let mut found = Err(ParallelizeError::NoSuchLoop);
+    let body = program
+        .body
+        .iter()
+        .map(|s| rewrite_stmt(s, target, &mut found))
+        .collect();
+    found?;
+    Ok(Program { body })
+}
+
+fn rewrite_stmt(stmt: &Stmt, target: LoopId, found: &mut Result<(), ParallelizeError>) -> Stmt {
+    if let StmtKind::For { loop_id, .. } = &stmt.kind {
+        if *loop_id == target {
+            match try_transform(stmt, target) {
+                Ok(new_stmt) => {
+                    *found = Ok(());
+                    return new_stmt;
+                }
+                Err(e) => {
+                    *found = Err(e);
+                    return stmt.clone();
+                }
+            }
+        }
+    } else if stmt.kind.loop_id() == Some(target) {
+        *found = Err(ParallelizeError::NonCanonicalHeader);
+        return stmt.clone();
+    }
+    let kind = match &stmt.kind {
+        StmtKind::Expr(e) => StmtKind::Expr(rewrite_expr(e, target, found)),
+        StmtKind::VarDecl(ds) => StmtKind::VarDecl(
+            ds.iter()
+                .map(|d| VarDeclarator {
+                    name: d.name.clone(),
+                    init: d.init.as_ref().map(|e| rewrite_expr(e, target, found)),
+                    span: d.span,
+                })
+                .collect(),
+        ),
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| rewrite_expr(e, target, found))),
+        StmtKind::Block(ss) => {
+            StmtKind::Block(ss.iter().map(|s| rewrite_stmt(s, target, found)).collect())
+        }
+        StmtKind::If { cond, then, alt } => StmtKind::If {
+            cond: rewrite_expr(cond, target, found),
+            then: Box::new(rewrite_stmt(then, target, found)),
+            alt: alt
+                .as_ref()
+                .map(|a| Box::new(rewrite_stmt(a, target, found))),
+        },
+        StmtKind::While {
+            loop_id,
+            cond,
+            body,
+        } => StmtKind::While {
+            loop_id: *loop_id,
+            cond: rewrite_expr(cond, target, found),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::DoWhile {
+            loop_id,
+            body,
+            cond,
+        } => StmtKind::DoWhile {
+            loop_id: *loop_id,
+            body: Box::new(rewrite_stmt(body, target, found)),
+            cond: rewrite_expr(cond, target, found),
+        },
+        StmtKind::For {
+            loop_id,
+            init,
+            cond,
+            update,
+            body,
+        } => StmtKind::For {
+            loop_id: *loop_id,
+            init: init.clone(),
+            cond: cond.clone(),
+            update: update.clone(),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::ForIn {
+            loop_id,
+            decl,
+            var,
+            object,
+            body,
+        } => StmtKind::ForIn {
+            loop_id: *loop_id,
+            decl: *decl,
+            var: var.clone(),
+            object: rewrite_expr(object, target, found),
+            body: Box::new(rewrite_stmt(body, target, found)),
+        },
+        StmtKind::Func(decl) => StmtKind::Func(FuncDecl {
+            name: decl.name.clone(),
+            func: Func {
+                params: decl.func.params.clone(),
+                body: decl
+                    .func
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
+                span: decl.func.span,
+            },
+        }),
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => StmtKind::Try {
+            block: block
+                .iter()
+                .map(|s| rewrite_stmt(s, target, found))
+                .collect(),
+            catch: catch.as_ref().map(|c| CatchClause {
+                param: c.param.clone(),
+                body: c
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
+            }),
+            finally: finally
+                .as_ref()
+                .map(|f| f.iter().map(|s| rewrite_stmt(s, target, found)).collect()),
+        },
+        StmtKind::Switch { disc, cases } => StmtKind::Switch {
+            disc: rewrite_expr(disc, target, found),
+            cases: cases
+                .iter()
+                .map(|c| SwitchCase {
+                    test: c.test.as_ref().map(|t| rewrite_expr(t, target, found)),
+                    body: c
+                        .body
+                        .iter()
+                        .map(|s| rewrite_stmt(s, target, found))
+                        .collect(),
+                })
+                .collect(),
+        },
+        other => other.clone(),
+    };
+    Stmt::new(kind, stmt.span)
+}
+
+/// Walk an expression, rewriting loops inside any function-expression
+/// bodies it contains.
+fn rewrite_expr(expr: &Expr, target: LoopId, found: &mut Result<(), ParallelizeError>) -> Expr {
+    let kind = match &expr.kind {
+        ExprKind::Func { name, func } => ExprKind::Func {
+            name: name.clone(),
+            func: Func {
+                params: func.params.clone(),
+                body: func
+                    .body
+                    .iter()
+                    .map(|s| rewrite_stmt(s, target, found))
+                    .collect(),
+                span: func.span,
+            },
+        },
+        ExprKind::Array(els) => {
+            ExprKind::Array(els.iter().map(|e| rewrite_expr(e, target, found)).collect())
+        }
+        ExprKind::Object(props) => ExprKind::Object(
+            props
+                .iter()
+                .map(|(k, v)| (k.clone(), rewrite_expr(v, target, found)))
+                .collect(),
+        ),
+        ExprKind::Unary { op, expr: inner } => ExprKind::Unary {
+            op: *op,
+            expr: Box::new(rewrite_expr(inner, target, found)),
+        },
+        ExprKind::Update {
+            op,
+            prefix,
+            target: t,
+        } => ExprKind::Update {
+            op: *op,
+            prefix: *prefix,
+            target: Box::new(rewrite_expr(t, target, found)),
+        },
+        ExprKind::Binary { op, left, right } => ExprKind::Binary {
+            op: *op,
+            left: Box::new(rewrite_expr(left, target, found)),
+            right: Box::new(rewrite_expr(right, target, found)),
+        },
+        ExprKind::Logical { op, left, right } => ExprKind::Logical {
+            op: *op,
+            left: Box::new(rewrite_expr(left, target, found)),
+            right: Box::new(rewrite_expr(right, target, found)),
+        },
+        ExprKind::Assign {
+            op,
+            target: t,
+            value,
+        } => ExprKind::Assign {
+            op: *op,
+            target: Box::new(rewrite_expr(t, target, found)),
+            value: Box::new(rewrite_expr(value, target, found)),
+        },
+        ExprKind::Cond { cond, then, alt } => ExprKind::Cond {
+            cond: Box::new(rewrite_expr(cond, target, found)),
+            then: Box::new(rewrite_expr(then, target, found)),
+            alt: Box::new(rewrite_expr(alt, target, found)),
+        },
+        ExprKind::Call { callee, args } => ExprKind::Call {
+            callee: Box::new(rewrite_expr(callee, target, found)),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, target, found))
+                .collect(),
+        },
+        ExprKind::New { callee, args } => ExprKind::New {
+            callee: Box::new(rewrite_expr(callee, target, found)),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, target, found))
+                .collect(),
+        },
+        ExprKind::Member { object, prop } => ExprKind::Member {
+            object: Box::new(rewrite_expr(object, target, found)),
+            prop: prop.clone(),
+        },
+        ExprKind::Index { object, index } => ExprKind::Index {
+            object: Box::new(rewrite_expr(object, target, found)),
+            index: Box::new(rewrite_expr(index, target, found)),
+        },
+        ExprKind::Seq(es) => {
+            ExprKind::Seq(es.iter().map(|e| rewrite_expr(e, target, found)).collect())
+        }
+        other => other.clone(),
+    };
+    Expr::new(kind, expr.span)
+}
+
+/// Attempt the gated transformation of one `for` statement.
+fn try_transform(stmt: &Stmt, target: LoopId) -> Result<Stmt, ParallelizeError> {
+    let StmtKind::For {
+        loop_id,
+        init,
+        cond,
+        update,
+        body,
+    } = &stmt.kind
+    else {
+        return Err(ParallelizeError::NonCanonicalHeader);
+    };
+
+    let var = canonical_header(init, cond, update)?;
+    check_body(body, &var, 0)?;
+
+    // if (__ceres_par_iter(ID)) { body }
+    let gated_body = Stmt::new(
+        StmtKind::If {
+            cond: build::call(PAR_ITER, vec![build::num(target.0 as f64)]),
+            then: Box::new(body.as_ref().clone()),
+            alt: None,
+        },
+        body.span,
+    );
+    let gated_loop = Stmt::new(
+        StmtKind::For {
+            loop_id: *loop_id,
+            init: init.clone(),
+            cond: cond.clone(),
+            update: update.clone(),
+            body: Box::new(gated_body),
+        },
+        stmt.span,
+    );
+    Ok(build::block(vec![
+        build::expr_stmt(build::call(PAR_ENTER, vec![build::num(target.0 as f64)])),
+        gated_loop,
+        build::expr_stmt(build::call(PAR_EXIT, vec![build::num(target.0 as f64)])),
+    ]))
+}
+
+/// Check the counted header and return the induction variable.
+///
+/// Ownership is assigned by iteration *ordinal* (the gate counts entries),
+/// not by induction-variable value, and the header runs identically in
+/// every replica — so the header does not need the textbook
+/// `(var i = 0; i < N; i++)` shape. What it does need:
+///
+/// * one identifiable induction variable, bound by the init clause (if
+///   present) and advanced by the update clause, so the body scan can
+///   refuse writes to it;
+/// * a real condition (a `for (;;)` has no trip count to agree on);
+/// * clauses free of the impure names ([`IMPURE_NAMES`]) — a header that
+///   consults the clock or the DOM has no business being replicated.
+///
+/// Everything subtler — a body write that feeds the condition, say — is
+/// caught at run time by the barrier's trip-count and state divergence
+/// checks, which refuse rather than corrupt.
+fn canonical_header(
+    init: &Option<ForInit>,
+    cond: &Option<Expr>,
+    update: &Option<Expr>,
+) -> Result<String, ParallelizeError> {
+    let init_var = match init {
+        Some(ForInit::VarDecl(ds)) if ds.len() == 1 => {
+            if let Some(e) = &ds[0].init {
+                check_expr(e, &ds[0].name)?;
+            }
+            Some(ds[0].name.clone())
+        }
+        Some(ForInit::Expr(Expr {
+            kind:
+                ExprKind::Assign {
+                    op: AssignOp::Assign,
+                    target,
+                    value,
+                },
+            ..
+        })) => match &target.kind {
+            ExprKind::Ident(name) => {
+                check_expr(value, name)?;
+                Some(name.clone())
+            }
+            _ => return Err(ParallelizeError::NonCanonicalHeader),
+        },
+        None => None,
+        _ => return Err(ParallelizeError::NonCanonicalHeader),
+    };
+
+    let var = match update {
+        Some(Expr {
+            kind: ExprKind::Update { target, .. },
+            ..
+        }) => match &target.kind {
+            ExprKind::Ident(name) => name.clone(),
+            _ => return Err(ParallelizeError::NonCanonicalHeader),
+        },
+        Some(Expr {
+            kind: ExprKind::Assign { target, value, .. },
+            ..
+        }) => match &target.kind {
+            ExprKind::Ident(name) => {
+                // `i += step` / `i = i + step`: the RHS may read `i`
+                // freely but must not write it again or touch impure
+                // names.
+                check_expr(value, name)?;
+                name.clone()
+            }
+            _ => return Err(ParallelizeError::NonCanonicalHeader),
+        },
+        _ => return Err(ParallelizeError::NonCanonicalHeader),
+    };
+    if let Some(iv) = &init_var {
+        if *iv != var {
+            return Err(ParallelizeError::NonCanonicalHeader);
+        }
+    }
+
+    match cond {
+        Some(c) => check_expr(c, &var)?,
+        None => return Err(ParallelizeError::NonCanonicalHeader),
+    }
+    Ok(var)
+}
+
+/// Reject bodies the runtime join cannot handle. `depth` counts nested
+/// loops (their own `break` is fine); nested functions keep being scanned
+/// for impure names (they run as part of the body) but own their returns.
+fn check_body(stmt: &Stmt, induction: &str, depth: u32) -> Result<(), ParallelizeError> {
+    match &stmt.kind {
+        StmtKind::Break => {
+            if depth == 0 {
+                Err(ParallelizeError::BodyBreaksOut)
+            } else {
+                Ok(())
+            }
+        }
+        StmtKind::Continue => Ok(()),
+        StmtKind::Return(e) => {
+            e.as_ref().map_or(Ok(()), |e| check_expr(e, induction))?;
+            Err(ParallelizeError::BodyReturns)
+        }
+        StmtKind::Expr(e) => check_expr(e, induction),
+        StmtKind::VarDecl(ds) => ds
+            .iter()
+            .try_for_each(|d| d.init.as_ref().map_or(Ok(()), |e| check_expr(e, induction))),
+        StmtKind::Block(ss) => ss.iter().try_for_each(|s| check_body(s, induction, depth)),
+        StmtKind::If { cond, then, alt } => {
+            check_expr(cond, induction)?;
+            check_body(then, induction, depth)?;
+            alt.as_ref()
+                .map_or(Ok(()), |a| check_body(a, induction, depth))
+        }
+        StmtKind::While { cond, body, .. } => {
+            check_expr(cond, induction)?;
+            check_body(body, induction, depth + 1)
+        }
+        StmtKind::DoWhile { body, cond, .. } => {
+            check_body(body, induction, depth + 1)?;
+            check_expr(cond, induction)
+        }
+        StmtKind::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            match init {
+                Some(ForInit::VarDecl(ds)) => ds.iter().try_for_each(|d| {
+                    d.init.as_ref().map_or(Ok(()), |e| check_expr(e, induction))
+                })?,
+                Some(ForInit::Expr(e)) => check_expr(e, induction)?,
+                None => {}
+            }
+            cond.as_ref().map_or(Ok(()), |c| check_expr(c, induction))?;
+            update
+                .as_ref()
+                .map_or(Ok(()), |u| check_expr(u, induction))?;
+            check_body(body, induction, depth + 1)
+        }
+        StmtKind::ForIn {
+            var, object, body, ..
+        } => {
+            if var == induction {
+                return Err(ParallelizeError::WritesInductionVar(var.clone()));
+            }
+            check_expr(object, induction)?;
+            check_body(body, induction, depth + 1)
+        }
+        StmtKind::Throw(e) => check_expr(e, induction),
+        StmtKind::Try {
+            block,
+            catch,
+            finally,
+        } => {
+            block
+                .iter()
+                .try_for_each(|s| check_body(s, induction, depth))?;
+            if let Some(c) = catch {
+                c.body
+                    .iter()
+                    .try_for_each(|s| check_body(s, induction, depth))?;
+            }
+            if let Some(f) = finally {
+                f.iter().try_for_each(|s| check_body(s, induction, depth))?;
+            }
+            Ok(())
+        }
+        StmtKind::Switch { disc, cases } => {
+            check_expr(disc, induction)?;
+            // `break` inside a switch belongs to the switch.
+            cases.iter().try_for_each(|c| {
+                c.test
+                    .as_ref()
+                    .map_or(Ok(()), |t| check_expr(t, induction))?;
+                c.body
+                    .iter()
+                    .try_for_each(|s| check_body(s, induction, depth + 1))
+            })
+        }
+        // Function declarations in the body: scanned for impure names and
+        // induction writes (they execute as part of the body when called),
+        // but their own `return`s are theirs.
+        StmtKind::Func(decl) => decl
+            .func
+            .body
+            .iter()
+            .try_for_each(|s| check_body_in_fn(s, induction)),
+        StmtKind::Empty => Ok(()),
+    }
+}
+
+/// [`check_body`] inside a nested function: `return`/`break` are local to
+/// the function, but impure names and induction-variable writes still
+/// disqualify the loop.
+fn check_body_in_fn(stmt: &Stmt, induction: &str) -> Result<(), ParallelizeError> {
+    match &stmt.kind {
+        StmtKind::Break | StmtKind::Continue => Ok(()),
+        StmtKind::Return(e) => e.as_ref().map_or(Ok(()), |e| check_expr(e, induction)),
+        other => {
+            // Delegate to check_body at depth 1 (so loop-level break checks
+            // never fire) for everything else.
+            let s = Stmt::new(other.clone(), stmt.span);
+            check_body(&s, induction, 1)
+        }
+    }
+}
+
+/// Expression scan: impure identifiers/properties and induction writes.
+fn check_expr(expr: &Expr, induction: &str) -> Result<(), ParallelizeError> {
+    match &expr.kind {
+        ExprKind::Ident(name) => {
+            if IMPURE_NAMES.contains(&name.as_str()) {
+                return Err(ParallelizeError::ImpureBody(name.clone()));
+            }
+            Ok(())
+        }
+        ExprKind::Member { object, prop } => {
+            if IMPURE_NAMES.contains(&prop.as_str()) {
+                return Err(ParallelizeError::ImpureBody(prop.clone()));
+            }
+            check_expr(object, induction)
+        }
+        ExprKind::Index { object, index } => {
+            check_expr(object, induction)?;
+            check_expr(index, induction)
+        }
+        ExprKind::Assign { target, value, .. } => {
+            if let ExprKind::Ident(name) = &target.kind {
+                if name == induction {
+                    return Err(ParallelizeError::WritesInductionVar(name.clone()));
+                }
+            }
+            check_expr(target, induction)?;
+            check_expr(value, induction)
+        }
+        ExprKind::Update { target, .. } => {
+            if let ExprKind::Ident(name) = &target.kind {
+                if name == induction {
+                    return Err(ParallelizeError::WritesInductionVar(name.clone()));
+                }
+            }
+            check_expr(target, induction)
+        }
+        ExprKind::Unary { expr: inner, .. } => check_expr(inner, induction),
+        ExprKind::Binary { left, right, .. } | ExprKind::Logical { left, right, .. } => {
+            check_expr(left, induction)?;
+            check_expr(right, induction)
+        }
+        ExprKind::Cond { cond, then, alt } => {
+            check_expr(cond, induction)?;
+            check_expr(then, induction)?;
+            check_expr(alt, induction)
+        }
+        ExprKind::Call { callee, args } | ExprKind::New { callee, args } => {
+            check_expr(callee, induction)?;
+            args.iter().try_for_each(|a| check_expr(a, induction))
+        }
+        ExprKind::Array(els) => els.iter().try_for_each(|e| check_expr(e, induction)),
+        ExprKind::Object(props) => props.iter().try_for_each(|(_, v)| check_expr(v, induction)),
+        ExprKind::Seq(es) => es.iter().try_for_each(|e| check_expr(e, induction)),
+        ExprKind::Func { func, .. } => func
+            .body
+            .iter()
+            .try_for_each(|s| check_body_in_fn(s, induction)),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_parser::parse_and_number;
+
+    fn parallelize(src: &str, id: u32) -> Result<String, ParallelizeError> {
+        let (program, _) = parse_and_number(src).unwrap();
+        parallelize_loop(&program, LoopId(id)).map(|p| ceres_ast::program_to_source(&p))
+    }
+
+    #[test]
+    fn canonical_loop_is_gated() {
+        let out = parallelize(
+            "var out = [];\nfor (var i = 0; i < 8; i++) { out[i] = i * 2; }",
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("__ceres_par_enter(1)"), "{out}");
+        assert!(out.contains("if (__ceres_par_iter(1)) {"), "{out}");
+        assert!(out.contains("out[i] = i * 2;"), "{out}");
+        assert!(out.contains("__ceres_par_exit(1)"), "{out}");
+        // The loop header survives verbatim.
+        assert!(out.contains("for (var i = 0; i < 8; i++)"), "{out}");
+    }
+
+    #[test]
+    fn gated_output_reparses() {
+        let out = parallelize(
+            "function f(n) { var a = []; for (var i = 0; i < n; i++) { a[i] = i; } return a; }\nf(4);",
+            1,
+        )
+        .unwrap();
+        ceres_parser::parse_program(&out).unwrap();
+    }
+
+    #[test]
+    fn inner_nest_loops_survive_untouched() {
+        let out = parallelize(
+            "for (var i = 0; i < 4; i++) { for (var j = 0; j < 4; j++) { g(i, j); } }",
+            1,
+        )
+        .unwrap();
+        assert!(out.contains("__ceres_par_iter(1)"), "{out}");
+        assert!(!out.contains("__ceres_par_iter(2)"), "{out}");
+        assert!(out.contains("for (var j = 0; j < 4; j++)"), "{out}");
+    }
+
+    #[test]
+    fn continue_is_allowed_break_is_not() {
+        assert!(parallelize(
+            "for (var i = 0; i < 8; i++) { if (i % 2) { continue; } f(i); }",
+            1
+        )
+        .is_ok());
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; i++) { if (i === 3) { break; } }", 1),
+            Err(ParallelizeError::BodyBreaksOut)
+        );
+    }
+
+    #[test]
+    fn non_canonical_headers_are_refused() {
+        // No condition: no trip count for the replicas to agree on.
+        assert_eq!(
+            parallelize("for (var i = 0; ; i++) { f(i); }", 1),
+            Err(ParallelizeError::NonCanonicalHeader)
+        );
+        // No update clause: no induction variable to protect.
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; ) { f(i); }", 1),
+            Err(ParallelizeError::NonCanonicalHeader)
+        );
+        // Init and update disagree about the induction variable.
+        assert_eq!(
+            parallelize("for (var i = 0; j < 8; j++) { f(j); }", 1),
+            Err(ParallelizeError::NonCanonicalHeader)
+        );
+        assert_eq!(
+            parallelize("while (x) { f(); }", 1),
+            Err(ParallelizeError::NonCanonicalHeader)
+        );
+        assert_eq!(
+            parallelize("for (var k in o) { f(k); }", 1),
+            Err(ParallelizeError::NonCanonicalHeader)
+        );
+        // An impure header is refused outright.
+        assert_eq!(
+            parallelize(
+                "for (var i = 0; i < a.length; i += Math.random()) { f(i); }",
+                1
+            ),
+            Err(ParallelizeError::ImpureBody("random".to_string()))
+        );
+    }
+
+    #[test]
+    fn relaxed_headers_are_accepted() {
+        // Nonzero start, <=, strided and compound updates, assignment
+        // init, and compound conditions all gate fine: ownership is by
+        // iteration ordinal, not induction value.
+        for src in [
+            "for (var i = 1; i <= 8; i++) { f(i); }",
+            "for (var y = 0; y + 4 < h; y += 2) { f(y); }",
+            "for (s = 1; s <= 2; s++) { f(s); }",
+            "for (var i = n - 1; i >= 0; i--) { f(i); }",
+            "for (var q = 0; q < o.queue.length; q = q + 1) { f(q); }",
+        ] {
+            let out = parallelize(src, 1).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert!(out.contains("__ceres_par_iter(1)"), "{src}: {out}");
+        }
+    }
+
+    #[test]
+    fn induction_writes_are_refused() {
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; i++) { i = i + 2; }", 1),
+            Err(ParallelizeError::WritesInductionVar("i".to_string()))
+        );
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; i++) { i++; }", 1),
+            Err(ParallelizeError::WritesInductionVar("i".to_string()))
+        );
+    }
+
+    #[test]
+    fn impure_bodies_are_refused() {
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; i++) { console.log(i); }", 1),
+            Err(ParallelizeError::ImpureBody("console".to_string()))
+        );
+        assert_eq!(
+            parallelize(
+                "for (var i = 0; i < 8; i++) { setTimeout(function () { f(i); }, 0); }",
+                1
+            ),
+            Err(ParallelizeError::ImpureBody("setTimeout".to_string()))
+        );
+        assert_eq!(
+            parallelize("for (var i = 0; i < 8; i++) { a[i] = Math.random(); }", 1),
+            Err(ParallelizeError::ImpureBody("random".to_string()))
+        );
+        assert_eq!(
+            parallelize(
+                "for (var i = 0; i < 8; i++) { document.getElementById(\"x\"); }",
+                1
+            ),
+            Err(ParallelizeError::ImpureBody("document".to_string()))
+        );
+    }
+
+    #[test]
+    fn impure_names_inside_nested_callbacks_are_caught() {
+        assert_eq!(
+            parallelize(
+                "for (var i = 0; i < 8; i++) { a.forEach(function (x) { console.log(x); }); }",
+                1
+            ),
+            Err(ParallelizeError::ImpureBody("console".to_string()))
+        );
+    }
+
+    #[test]
+    fn returns_refused_at_loop_level_allowed_in_nested_fn() {
+        assert_eq!(
+            parallelize(
+                "function f() { for (var i = 0; i < 8; i++) { return i; } }",
+                1
+            ),
+            Err(ParallelizeError::BodyReturns)
+        );
+        assert!(parallelize(
+            "for (var i = 0; i < 8; i++) { a[i] = (function (x) { return x * 2; })(i); }",
+            1
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn missing_loop_reports() {
+        assert_eq!(parallelize("f();", 1), Err(ParallelizeError::NoSuchLoop));
+    }
+
+    #[test]
+    fn inner_loop_of_a_nest_can_be_targeted() {
+        let out = parallelize(
+            "var t;\nfor (t = 0; t < 3; t += 1) {\n  for (var i = 0; i < 8; i++) { g(t, i); }\n}",
+            2,
+        )
+        .unwrap();
+        assert!(out.contains("__ceres_par_enter(2)"), "{out}");
+        assert!(out.contains("for (t = 0"), "outer untouched: {out}");
+    }
+}

@@ -135,6 +135,21 @@ impl Scope {
     pub fn declares_locally(&self, name: &str) -> bool {
         self.vars.borrow().contains_key(&intern(name))
     }
+
+    /// Names of every binding declared in *this* scope (not parents),
+    /// sorted lexicographically so callers iterate deterministically
+    /// regardless of hash-map order. Used by the parallel backend to walk
+    /// the global state for its snapshot/diff/merge cycle.
+    pub fn local_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .vars
+            .borrow()
+            .keys()
+            .map(|s| crate::intern::resolve(*s).to_string())
+            .collect();
+        names.sort();
+        names
+    }
 }
 
 #[cfg(test)]

@@ -251,6 +251,14 @@ impl Interp {
         (r >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// Current seeded-RNG state. Two runs that started from the same seed
+    /// and made the same `Math.random()` draws report the same state; the
+    /// parallel backend compares it across workers at join barriers to
+    /// detect RNG draws inside a gated loop body.
+    pub fn rng_state(&self) -> u64 {
+        self.rng
+    }
+
     /// Register a global native function.
     pub fn register_native(
         &mut self,

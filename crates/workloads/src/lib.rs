@@ -10,12 +10,17 @@ pub mod bench;
 pub mod fleet;
 pub mod native;
 pub mod overhead;
+pub mod parallel;
 pub mod registry;
 pub mod serve;
 
 pub use bench::{render_bench, run_bench, BenchEntry, BenchReport, ModeBench, PhaseCost};
 pub use fleet::{fleet_jobs, run_fleet_report, run_fleet_report_with};
 pub use overhead::{overhead_ledger, render_overhead, OverheadRow};
+pub use parallel::{
+    bench_workload, parallel_bench, render_parallel_bench, whatif_fleet, AppWhatIf,
+    ParallelBenchReport, ParallelBenchRow, PREDICTION_ERROR_BOUND,
+};
 pub use registry::{
     all, by_slug, run_workload, run_workload_budgeted, workload_html, PaperExpectation, Workload,
 };

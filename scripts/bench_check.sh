@@ -21,6 +21,16 @@
 #       are byte-for-byte identical after dropping the two fields that are
 #       allowed to differ: wall-clock timings (nondeterministic) and the
 #       VM-only `interp.compile` phase span.
+#
+#   bench_check.sh parallel-equivalence
+#       Fork-join equivalence gate: run `repro parallel-bench` over all 12
+#       apps and fail unless (a) every app either parallelized with
+#       byte-identical output or was explicitly refused — no third state;
+#       (b) at least PAR_MIN_APPS (default 5) apps parallelized; (c) of
+#       the apps the paper bounds above 3x, at least PAR_MIN_WITHIN
+#       (default 5) have what-if predictions within the documented error
+#       bound of the measured speedup (docs/PARALLELIZE.md). All gated
+#       quantities are virtual-clock-denominated and deterministic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +43,15 @@ overhead)
     MAX_REGRESSION=${BENCH_MAX_REGRESSION:-1.10}
 
     cargo build --release --bin repro
+
+    if [ ! -f "$BASELINE" ]; then
+        echo "note: no recorded baseline at $BASELINE — running the bench ungated."
+        echo "      Record one first (then commit it) with:"
+        echo "      target/release/repro bench --json $BASELINE --label baseline"
+        target/release/repro bench --json "$OUT" --label ci
+        exit 0
+    fi
+
     target/release/repro bench --json "$OUT" --baseline "$BASELINE" --label ci
 
     python3 - "$OUT" "$MAX_REGRESSION" <<'EOF'
@@ -127,8 +146,44 @@ print(f"OK: VM and tree-walker reports identical ({len(a.splitlines())} "
 EOF
     ;;
 
+parallel-equivalence)
+    WORKERS=${PAR_BENCH_WORKERS:-4}
+    OUT=${PAR_BENCH_OUT:-BENCH_parallel.json}
+    MIN_APPS=${PAR_MIN_APPS:-5}
+    MIN_WITHIN=${PAR_MIN_WITHIN:-5}
+
+    cargo build --release --bin repro
+    target/release/repro parallel-bench --workers "$WORKERS" --json "$OUT"
+
+    python3 - "$OUT" "$MIN_APPS" "$MIN_WITHIN" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+min_apps, min_within = int(sys.argv[2]), int(sys.argv[3])
+bad = [r for r in report["rows"]
+       if not (r["outcome"] == "parallelized" or r["outcome"].startswith("refused:"))]
+if bad:
+    for r in bad:
+        print(f"FAIL: {r['slug']}: unexpected outcome {r['outcome']!r}", file=sys.stderr)
+    sys.exit("FAIL: an app neither parallelized byte-identically nor was refused")
+par = [r for r in report["rows"] if r["equivalent"] is True]
+print(f"{len(par)} of {len(report['rows'])} apps parallelized byte-identically "
+      f"on {report['workers']} workers: {', '.join(r['slug'] for r in par)}")
+if len(par) < min_apps:
+    sys.exit(f"FAIL: only {len(par)} apps parallelized < required {min_apps}")
+over = [r for r in report["rows"] if r["paper_over_3x"]]
+within = [r for r in over if r["within_bound"] is True]
+print(f"{len(within)} of the paper's {len(over)} >3x apps predicted within "
+      f"the {report['error_bound']:.0%} error bound: "
+      f"{', '.join(r['slug'] for r in within)}")
+if len(within) < min_within:
+    sys.exit(f"FAIL: only {len(within)} >3x apps within the error bound "
+             f"< required {min_within}")
+print("OK: fork-join equivalence + prediction gates hold")
+EOF
+    ;;
+
 *)
-    echo "usage: bench_check.sh [overhead|fleet|vm-equivalence]" >&2
+    echo "usage: bench_check.sh [overhead|fleet|vm-equivalence|parallel-equivalence]" >&2
     exit 2
     ;;
 esac

@@ -6,7 +6,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md)
+files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md PAPER.md PAPERS.md docs/*.md)
+
+# Guard against the glob silently matching nothing after a docs/ reshuffle.
+for must in docs/ARCHITECTURE.md docs/METRICS.md docs/PARALLELIZE.md; do
+  if [ ! -f "$must" ]; then
+    echo "MISSING: $must (expected by the documentation map)"
+    exit 1
+  fi
+done
 
 fail=0
 for f in "${files[@]}"; do

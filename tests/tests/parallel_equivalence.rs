@@ -1,0 +1,186 @@
+//! Differential tests for the fork-join parallel executor: a gated loop
+//! run on W workers must be *byte-identical* to the same gated program on
+//! one worker — same console, same global-state render, same canvas
+//! checksums, same final virtual clock — for every worker count, or the
+//! run must be refused outright. There is no third outcome: the
+//! equivalence gate ([`ceres_core::equivalence`]) is the contract the
+//! auto-parallelizer ships under (docs/PARALLELIZE.md).
+
+use ceres_core::{equivalence, run_parallel, LoopId, ParallelError, ParallelSpec};
+use proptest::prelude::*;
+
+/// Spec for an embarrassingly-parallel map with function-local scratch
+/// (the real-app idiom: `var` temporaries live in a callee's activation,
+/// not the global scope).
+fn map_spec(n: u64, inner: u64, target: Option<u32>, workers: usize) -> ParallelSpec {
+    ParallelSpec {
+        source: format!(
+            "var out = [];\n\
+             function work(i) {{\n\
+               var acc = 0;\n\
+               for (var j = 0; j < {inner}; j++) {{ acc = acc + i * j + (acc % 7); }}\n\
+               return acc;\n\
+             }}\n\
+             for (var i = 0; i < {n}; i++) {{ out[i] = work(i); }}\n\
+             var done = out.length;"
+        ),
+        target: target.map(LoopId),
+        workers,
+        seed: 2015,
+        max_events: 1000,
+        max_ticks: None,
+        wall_budget: Some(std::time::Duration::from_secs(60)),
+        interaction: None,
+    }
+    // LoopId 1 is `work`'s inner loop (numbered first in source order);
+    // the map loop is LoopId 2.
+}
+
+const MAP_TARGET: u32 = 2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Byte-identity across arbitrary worker counts and loop sizes,
+    /// including W > trip count (some workers own nothing).
+    #[test]
+    fn parallel_is_byte_identical_across_worker_counts(
+        n in 1u64..40,
+        inner in 1u64..30,
+        workers in 2usize..7,
+    ) {
+        let seq = run_parallel(&map_spec(n, inner, Some(MAP_TARGET), 1)).unwrap();
+        let par = run_parallel(&map_spec(n, inner, Some(MAP_TARGET), workers)).unwrap();
+        let eq = equivalence(&seq, &par);
+        prop_assert!(eq.identical, "n={n} inner={inner} W={workers}: {:?}", eq.diffs);
+        prop_assert_eq!(seq.final_ticks, par.final_ticks);
+        prop_assert_eq!(&seq.state_digest, &par.state_digest);
+        // The gated program must also match the ungated one semantically
+        // (clock aside — gating costs ticks).
+        let plain = run_parallel(&map_spec(n, inner, None, 1)).unwrap();
+        prop_assert_eq!(&plain.state_render, &seq.state_render);
+        prop_assert_eq!(&plain.console, &seq.console);
+    }
+}
+
+/// Cross-iteration accumulation through a global is a genuine dependence:
+/// the runtime must refuse (write conflict), never emit a wrong answer.
+#[test]
+fn accumulator_dependence_is_refused_not_corrupted() {
+    let spec = |workers| ParallelSpec {
+        source: "var total = 0;\n\
+                 for (var i = 0; i < 30; i++) { total = total + i; }\n\
+                 var after = total * 2;"
+            .to_string(),
+        target: Some(LoopId(1)),
+        workers,
+        seed: 2015,
+        max_events: 1000,
+        max_ticks: None,
+        wall_budget: Some(std::time::Duration::from_secs(60)),
+        interaction: None,
+    };
+    // Sequential gated run works and computes the right sum.
+    let seq = run_parallel(&spec(1)).unwrap();
+    assert!(
+        seq.state_render.contains("total = 435"),
+        "{}",
+        seq.state_render
+    );
+    // Parallel run is refused.
+    match run_parallel(&spec(3)) {
+        Err(ParallelError::WriteConflict(msg)) => {
+            assert!(msg.contains("total"), "{msg}");
+        }
+        other => panic!("expected a write conflict, got {other:?}"),
+    }
+}
+
+/// A not-ok nest shape — the transform's static preconditions — is
+/// refused before any thread spawns.
+#[test]
+fn not_ok_nests_are_refused_statically() {
+    let refusal = |source: &str, target: u32| {
+        run_parallel(&ParallelSpec {
+            source: source.to_string(),
+            target: Some(LoopId(target)),
+            workers: 2,
+            seed: 2015,
+            max_events: 1000,
+            max_ticks: None,
+            wall_budget: Some(std::time::Duration::from_secs(60)),
+            interaction: None,
+        })
+        .unwrap_err()
+    };
+    // Impure body: console inside the loop.
+    match refusal("for (var i = 0; i < 8; i++) { console.log(i); }", 1) {
+        ParallelError::Parallelize(e) => assert!(e.to_string().contains("console"), "{e}"),
+        other => panic!("expected static refusal, got {other:?}"),
+    }
+    // Loop-level break.
+    match refusal("for (var i = 0; i < 8; i++) { if (i === 3) { break; } }", 1) {
+        ParallelError::Parallelize(e) => assert!(e.to_string().contains("break"), "{e}"),
+        other => panic!("expected static refusal, got {other:?}"),
+    }
+    // No such loop id.
+    match refusal("for (var i = 0; i < 8; i++) { }", 99) {
+        ParallelError::Parallelize(_) => {}
+        other => panic!("expected static refusal, got {other:?}"),
+    }
+}
+
+/// Relaxed headers (nonzero start, stride, `<=`) still verify end to end.
+#[test]
+fn strided_header_parallelizes_byte_identically() {
+    let spec = |workers| {
+        ParallelSpec {
+        source: "var out = [];\n\
+                 function cell(y) { var s = 0; for (var j = 0; j < 25; j++) { s = s + y * j; } return s; }\n\
+                 for (var y = 1; y <= 20; y += 2) { out[y] = cell(y); }\n\
+                 var done = 1;"
+            .to_string(),
+        target: Some(LoopId(2)),
+        workers,
+        seed: 2015,
+        max_events: 1000,
+        max_ticks: None,
+        wall_budget: Some(std::time::Duration::from_secs(60)),
+        interaction: None,
+    }
+    };
+    let seq = run_parallel(&spec(1)).unwrap();
+    let par = run_parallel(&spec(4)).unwrap();
+    let eq = equivalence(&seq, &par);
+    assert!(eq.identical, "{:?}", eq.diffs);
+    assert!(par.par_saved_ticks > 0, "expected a critical-path win");
+}
+
+/// Timers scheduled inside the run still fire at identical virtual times
+/// after the join (the clock-resync contract).
+#[test]
+fn events_after_the_join_are_identical() {
+    let spec = |workers| {
+        ParallelSpec {
+        source: "var out = [];\n\
+                 function work(i) { var a = 0; for (var j = 0; j < 20; j++) { a = a + i + j; } return a; }\n\
+                 var late = 0;\n\
+                 setTimeout(function () { late = out[15] + 1; }, 5);\n\
+                 for (var i = 0; i < 16; i++) { out[i] = work(i); }\n"
+            .to_string(),
+        target: Some(LoopId(2)),
+        workers,
+        seed: 2015,
+        max_events: 1000,
+        max_ticks: None,
+        wall_budget: Some(std::time::Duration::from_secs(60)),
+        interaction: None,
+    }
+    };
+    let seq = run_parallel(&spec(1)).unwrap();
+    let par = run_parallel(&spec(3)).unwrap();
+    assert_eq!(seq.events, par.events);
+    let eq = equivalence(&seq, &par);
+    assert!(eq.identical, "{:?}", eq.diffs);
+    assert!(seq.state_render.contains("late ="), "{}", seq.state_render);
+}
