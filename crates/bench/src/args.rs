@@ -168,6 +168,101 @@ pub fn parse_fleet_args(args: &[String], defaults: FleetArgs) -> Result<FleetArg
     Ok(flags)
 }
 
+/// The `jsceresd`-only flag set, peeled off *before* the shared fleet
+/// flags: serving topology (address, queue/cache bounds, shard count),
+/// persistence directories, and backend selection. Everything the shared
+/// parser recognizes passes through in `rest`. All flags are documented
+/// operator-facing in `docs/OPERATIONS.md`.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonArgs {
+    /// `--addr HOST:PORT` (default `127.0.0.1:7015`; port 0 picks one).
+    pub addr: String,
+    /// `--worker`: run as an analysis worker process over stdin/stdout
+    /// instead of a TCP daemon (spawned by the supervisor, not by hand).
+    pub worker: bool,
+    /// `--in-process`: run jobs on in-process threads instead of worker
+    /// processes (the pre-supervisor behavior; loses crash isolation).
+    pub in_process: bool,
+    /// `--queue-cap N`: in-memory job-ring bound (overflow spills).
+    pub queue_capacity: Option<usize>,
+    /// `--cache-cap N`: result-cache capacity in entries, all shards.
+    pub cache_capacity: Option<usize>,
+    /// `--cache-shards N`: number of cache shards.
+    pub cache_shards: Option<usize>,
+    /// `--cache-dir DIR`: persist the result cache here across restarts.
+    pub cache_dir: Option<String>,
+    /// `--spill-dir DIR`: keep the overflow queue here; the backlog
+    /// survives restarts and is replayed on start.
+    pub spill_dir: Option<String>,
+    /// Unrecognized (shared fleet) flags, for [`parse_fleet_args`].
+    pub rest: Vec<String>,
+}
+
+/// Peel the daemon-only flags out of `args`; pass `DaemonArgs::rest` on
+/// to [`parse_fleet_args`] for the shared set.
+pub fn parse_daemon_args(args: &[String]) -> Result<DaemonArgs, String> {
+    let mut d = DaemonArgs {
+        addr: "127.0.0.1:7015".to_string(),
+        ..DaemonArgs::default()
+    };
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let positive = |v: &str, flag: &str| -> Result<usize, String> {
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("{flag} needs a positive integer (got `{v}`)")),
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                d.addr = value(args, i, "--addr")?;
+                i += 2;
+            }
+            "--worker" => {
+                d.worker = true;
+                i += 1;
+            }
+            "--in-process" => {
+                d.in_process = true;
+                i += 1;
+            }
+            "--queue-cap" => {
+                d.queue_capacity = Some(positive(&value(args, i, "--queue-cap")?, "--queue-cap")?);
+                i += 2;
+            }
+            "--cache-cap" => {
+                d.cache_capacity = Some(positive(&value(args, i, "--cache-cap")?, "--cache-cap")?);
+                i += 2;
+            }
+            "--cache-shards" => {
+                d.cache_shards = Some(positive(
+                    &value(args, i, "--cache-shards")?,
+                    "--cache-shards",
+                )?);
+                i += 2;
+            }
+            "--cache-dir" => {
+                d.cache_dir = Some(value(args, i, "--cache-dir")?);
+                i += 2;
+            }
+            "--spill-dir" => {
+                d.spill_dir = Some(value(args, i, "--spill-dir")?);
+                i += 2;
+            }
+            _ => {
+                d.rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok(d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +373,53 @@ mod tests {
     fn zero_rate_inject_disables_the_plan() {
         let f = parse_fleet_args(&sv(&["--inject", "panic:0.0"]), FleetArgs::default()).unwrap();
         assert!(f.faults.is_none());
+    }
+
+    #[test]
+    fn daemon_flags_peel_off_and_pass_the_rest_through() {
+        let d = parse_daemon_args(&sv(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--queue-cap",
+            "16",
+            "--cache-cap",
+            "512",
+            "--cache-shards",
+            "4",
+            "--cache-dir",
+            "/tmp/ceres-cache",
+            "--spill-dir",
+            "/tmp/ceres-spill",
+            "--in-process",
+            "--mode",
+            "dep",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(d.addr, "0.0.0.0:9000");
+        assert_eq!(d.queue_capacity, Some(16));
+        assert_eq!(d.cache_capacity, Some(512));
+        assert_eq!(d.cache_shards, Some(4));
+        assert_eq!(d.cache_dir.as_deref(), Some("/tmp/ceres-cache"));
+        assert_eq!(d.spill_dir.as_deref(), Some("/tmp/ceres-spill"));
+        assert!(d.in_process);
+        assert!(!d.worker);
+        assert_eq!(d.rest, sv(&["--mode", "dep", "--seed", "9"]));
+        let f = parse_fleet_args(&d.rest, FleetArgs::default()).unwrap();
+        assert_eq!(f.mode, Mode::Dependence);
+        assert_eq!(f.seed, 9);
+    }
+
+    #[test]
+    fn daemon_flag_errors_name_the_flag() {
+        for bad in [
+            sv(&["--queue-cap", "0"]),
+            sv(&["--cache-shards", "banana"]),
+            sv(&["--cache-dir"]),
+        ] {
+            let e = parse_daemon_args(&bad).unwrap_err();
+            assert!(!e.is_empty(), "{bad:?}");
+        }
     }
 }

@@ -5,9 +5,20 @@
 //!
 //!   --addr HOST:PORT        listen address (default 127.0.0.1:7015;
 //!                           port 0 picks a free port)
-//!   --workers <n>           job worker threads (default 2)
-//!   --queue-cap <n>         bounded job-queue capacity (default 64)
+//!   --workers <n>           analysis worker processes (default 2)
+//!   --in-process            run jobs on in-process threads instead of
+//!                           worker processes (no crash isolation)
+//!   --worker                run as a worker process over stdin/stdout
+//!                           (spawned by the supervisor, not by hand)
+//!   --queue-cap <n>         in-memory job-ring capacity (default 64);
+//!                           overflow spills to disk, FIFO order kept
+//!   --spill-dir <dir>       keep the spill queue here; the backlog
+//!                           survives restarts and is replayed on start
+//!                           (default: ephemeral temp dir)
 //!   --cache-cap <n>         result-cache capacity, entries (default 256)
+//!   --cache-shards <n>      cache shard count (default 8)
+//!   --cache-dir <dir>       persist the result cache here across
+//!                           restarts (default: memory-only)
 //!   --mode light|loop|dep   default mode for requests that omit `mode`
 //!                           (default: loop)
 //!   --seed <n>              default seed (default 2015)
@@ -25,17 +36,29 @@
 //! are content-addressed: a repeated request is served byte-identically
 //! from the cache without re-entering the interpreter.
 //!
+//! By default the daemon re-executes itself `--workers` times in
+//! `--worker` mode and runs every job in one of those processes; a
+//! worker crash costs one job and a supervised restart, never the
+//! daemon. Deployment, failure drills, and the full lifecycle are in
+//! `docs/OPERATIONS.md`.
+//!
 //! The daemon prints `listening on ADDR` once ready and exits 0 after a
-//! client sends `{"op":"shutdown"}` and the drain completes.
+//! client sends `{"op":"shutdown"}` (or SIGTERM/SIGINT arrives) and the
+//! drain completes.
 
 use ceres_core::serve::{serve, ServeConfig};
+use ceres_core::supervisor::{worker_serve_stdio, WorkerSpec};
 use ceres_core::Mode;
 use ceres_workloads::registry_resolver;
 use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: jsceresd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
+        "usage: jsceresd [--addr HOST:PORT] [--workers N] [--in-process] [--worker]\n\
+         \x20               [--queue-cap N] [--spill-dir DIR]\n\
+         \x20               [--cache-cap N] [--cache-shards N] [--cache-dir DIR]\n\
          \x20               [--mode light|loop|dep] [--seed N] [--watchdog-ticks N]\n\
          \x20               [--watchdog-wall-ms N] [--deterministic]"
     );
@@ -44,6 +67,8 @@ fn usage() -> ! {
 
 struct DaemonOptions {
     addr: String,
+    worker: bool,
+    in_process: bool,
     config: ServeConfig,
 }
 
@@ -52,71 +77,141 @@ fn parse_args() -> DaemonOptions {
     if args.iter().any(|a| a == "-h" || a == "--help") {
         usage();
     }
-    let mut addr = "127.0.0.1:7015".to_string();
-    let mut config = ServeConfig::default();
-    // The shared parser owns the flags it knows; the daemon peels off its
-    // own (--addr/--queue-cap/--cache-cap) first.
-    let mut rest = Vec::new();
-    let mut i = 0;
-    let value = |args: &[String], i: usize, flag: &str| -> String {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("{flag} needs a value");
+    let daemon = match ceres_bench::parse_daemon_args(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
             usage();
-        })
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--addr" => {
-                addr = value(&args, i, "--addr");
-                i += 2;
-            }
-            "--queue-cap" => {
-                config.queue_capacity = match value(&args, i, "--queue-cap").parse() {
-                    Ok(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--queue-cap needs a positive integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            "--cache-cap" => {
-                config.cache_capacity = match value(&args, i, "--cache-cap").parse() {
-                    Ok(n) if n > 0 => n,
-                    _ => {
-                        eprintln!("--cache-cap needs a positive integer");
-                        usage();
-                    }
-                };
-                i += 2;
-            }
-            _ => {
-                rest.push(args[i].clone());
-                i += 1;
-            }
         }
-    }
+    };
     let defaults = ceres_bench::FleetArgs {
         mode: Mode::LoopProfile,
         workers: 2,
         ..Default::default()
     };
-    let flags = match ceres_bench::parse_fleet_args(&rest, defaults) {
+    let flags = match ceres_bench::parse_fleet_args(&daemon.rest, defaults) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}");
             usage();
         }
     };
-    config.workers = flags.workers;
-    config.policy = flags.policy;
-    config.default_mode = flags.mode;
-    config.default_seed = flags.seed;
-    DaemonOptions { addr, config }
+    let mut config = ServeConfig {
+        workers: flags.workers,
+        policy: flags.policy,
+        default_mode: flags.mode,
+        default_seed: flags.seed,
+        ..ServeConfig::default()
+    };
+    if let Some(n) = daemon.queue_capacity {
+        config.queue_capacity = n;
+    }
+    if let Some(n) = daemon.cache_capacity {
+        config.cache_capacity = n;
+    }
+    if let Some(n) = daemon.cache_shards {
+        config.cache_shards = n;
+    }
+    config.cache_dir = daemon.cache_dir.map(PathBuf::from);
+    config.spill_dir = daemon.spill_dir.map(PathBuf::from);
+    DaemonOptions {
+        addr: daemon.addr,
+        worker: daemon.worker,
+        in_process: daemon.in_process,
+        config,
+    }
 }
 
+/// The argument vector for spawning ourselves as a worker: `--worker`
+/// plus the resolved serve defaults, so a worker computes identical
+/// options (and cache keys) for any job line even though the supervisor
+/// already makes every option explicit.
+fn worker_args(config: &ServeConfig) -> Vec<String> {
+    let mut args = vec![
+        "--worker".to_string(),
+        "--mode".to_string(),
+        ceres_core::mode_wire_name(config.default_mode).to_string(),
+        "--seed".to_string(),
+        config.default_seed.to_string(),
+        "--watchdog-wall-ms".to_string(),
+        config.policy.wall_budget.as_millis().to_string(),
+    ];
+    if let Some(t) = config.policy.tick_budget {
+        args.push("--watchdog-ticks".to_string());
+        args.push(t.to_string());
+    }
+    args
+}
+
+/// SIGTERM/SIGINT → graceful drain, with no libc dependency: a raw
+/// `signal(2)` registration that flips an atomic, watched by a thread
+/// that triggers the drain. (`signal` is fine here — the handler only
+/// stores a relaxed atomic.)
+#[cfg(unix)]
+fn install_signal_drain(drain: ceres_core::DrainHandle) {
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    std::thread::Builder::new()
+        .name("jsceresd-signal".to_string())
+        .spawn(move || loop {
+            if SIGNALED.load(Ordering::Relaxed) {
+                eprintln!("jsceresd: signal received; draining");
+                drain.request_drain();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
+        .expect("spawn signal watcher");
+}
+
+#[cfg(not(unix))]
+fn install_signal_drain(_drain: ceres_core::DrainHandle) {}
+
 fn main() {
-    let opts = parse_args();
+    let mut opts = parse_args();
+    let policy = opts.config.policy.clone();
+
+    if opts.worker {
+        // Worker mode: serve stdin→stdout job lines until the supervisor
+        // closes our stdin. Exit codes: 0 on clean EOF, 1 on pipe error.
+        let resolver = registry_resolver(policy);
+        match worker_serve_stdio(&opts.config, &resolver) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("jsceresd --worker: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !opts.in_process {
+        match std::env::current_exe() {
+            Ok(exe) => {
+                opts.config.worker_spec = Some(WorkerSpec {
+                    args: worker_args(&opts.config),
+                    program: exe,
+                });
+            }
+            Err(e) => {
+                eprintln!(
+                    "jsceresd: cannot locate own binary for worker processes ({e}); \
+                     falling back to in-process execution"
+                );
+            }
+        }
+    }
+
     let listener = match TcpListener::bind(&opts.addr) {
         Ok(l) => l,
         Err(e) => {
@@ -124,19 +219,34 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let policy = opts.config.policy.clone();
+    let backend = if opts.config.worker_spec.is_some() {
+        "process"
+    } else {
+        "in-process"
+    };
+    let workers = opts.config.workers;
     let handle = serve(listener, opts.config, registry_resolver(policy));
+    install_signal_drain(handle.drain_handle());
+    eprintln!(
+        "jsceresd: pid {} serving with {workers} {backend} worker(s)",
+        std::process::id()
+    );
     println!("listening on {}", handle.local_addr());
     // Make the line visible to pipes/scripts immediately.
     use std::io::Write;
     let _ = std::io::stdout().flush();
     let counters = handle.join();
     eprintln!(
-        "drained: {} requests ({} hits, {} misses), {} jobs ok, {} failed",
+        "drained: {} requests ({} hits, {} misses), {} jobs ok, {} failed, \
+         {} spilled, {} replayed, {} flushed, {} worker restarts",
         counters.requests,
         counters.cache_hits,
         counters.cache_misses,
         counters.jobs_ok,
-        counters.jobs_failed
+        counters.jobs_failed,
+        counters.jobs_spilled,
+        counters.spill_replayed,
+        counters.jobs_flushed_on_drain,
+        counters.worker_restarts
     );
 }

@@ -11,7 +11,7 @@
 
 pub mod args;
 
-pub use args::{parse_fleet_args, FleetArgs};
+pub use args::{parse_daemon_args, parse_fleet_args, DaemonArgs, FleetArgs};
 
 /// A small fixed JS program used by the overhead and pipeline benches: a
 /// loop nest with both disjoint and accumulating accesses.

@@ -288,3 +288,48 @@ fn jsceresd_serves_caches_and_drains() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("drained:"), "{stderr}");
 }
+
+/// `jsceresd --worker` speaks the stdin/stdout job protocol: one job
+/// line in, one `{"ok":..,"ticks":..,"fragment":..}` line out, clean
+/// exit 0 on stdin EOF. This is the exact process the supervisor spawns.
+#[test]
+fn jsceresd_worker_mode_answers_jobs_over_stdio() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let mut worker = Command::new(env!("CARGO_BIN_EXE_jsceresd"))
+        .arg("--worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let mut stdin = worker.stdin.take().unwrap();
+    let mut stdout = BufReader::new(worker.stdout.take().unwrap());
+    stdin
+        .write_all(
+            b"{\"source\":\"var n = 0; for (var i = 0; i < 5; i++) { n += i; }\",\"mode\":\"dependence\",\"seed\":2015}\n",
+        )
+        .unwrap();
+    stdin.flush().unwrap();
+
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"ticks\":"), "{line}");
+    assert!(line.contains("\\\"status\\\":\\\"ok\\\""), "{line}");
+
+    // A second job on the same worker still works (the loop persists)...
+    stdin.write_all(b"{\"app\":\"haar\",\"mode\":\"light\"}\n").unwrap();
+    stdin.flush().unwrap();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("haar"), "{line}");
+
+    // ...and EOF on stdin is a clean exit.
+    drop(stdin);
+    let status = worker.wait().unwrap();
+    assert!(status.success(), "worker must exit 0 on stdin EOF");
+}

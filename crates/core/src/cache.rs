@@ -270,6 +270,44 @@ impl ResultCache {
         payload
     }
 
+    /// Whether a fingerprint is currently stored (no traffic counted).
+    pub fn contains_fingerprint(&self, fingerprint: &str) -> bool {
+        self.entries.contains_key(fingerprint)
+    }
+
+    /// Insert by precomputed fingerprint — the shard-file replay path.
+    /// Follows the exact bounded FIFO discipline of [`Self::insert_or_get`]
+    /// so replaying an append-only log reproduces the final in-memory
+    /// state the writer had.
+    pub fn insert_raw(&mut self, fingerprint: String, payload: String) {
+        if self.entries.contains_key(&fingerprint) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(fingerprint.clone(), payload);
+        self.order.push_back(fingerprint);
+    }
+
+    /// Live entries in insertion order (for shard-file compaction).
+    pub fn iter_in_order(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.order
+            .iter()
+            .filter_map(move |fp| self.entries.get(fp).map(|p| (fp, p)))
+    }
+
+    /// Zero the traffic counters (hits/misses/evictions) — used after a
+    /// persistence replay so stats describe this process's clients only.
+    pub fn reset_traffic(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
     /// Current counters snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -280,6 +318,237 @@ impl ResultCache {
             capacity: self.capacity,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded, persistent cache
+// ---------------------------------------------------------------------
+
+/// Stats for a [`ShardedCache`]: the aggregate view plus per-shard
+/// traffic and the persistence counters (surfaced through the daemon's
+/// `stats` op; schema documented in `docs/METRICS.md`).
+#[derive(Debug, Clone)]
+pub struct ShardedCacheStats {
+    /// Aggregate across all shards.
+    pub total: CacheStats,
+    /// Per-shard traffic, indexed by shard id.
+    pub shards: Vec<CacheStats>,
+    /// Entries replayed from shard files at open time.
+    pub loaded: u64,
+    /// Entries whose checksum or framing failed during load (truncated
+    /// write-through tail, or on-disk corruption) — skipped, not served.
+    pub load_corrupt: u64,
+    /// Entries written through to shard files over this process lifetime.
+    pub persisted: u64,
+    /// True when a cache directory is configured (write-through on).
+    pub persistent: bool,
+}
+
+/// State guarded by one shard's lock: the bounded FIFO cache plus the
+/// shard's write-through file handle (when persistence is on).
+#[derive(Debug)]
+struct Shard {
+    cache: ResultCache,
+    file: Option<std::fs::File>,
+    persisted: u64,
+}
+
+/// A hash-sharded [`ResultCache`]: keys are routed to one of N shards by
+/// the leading bits of their fingerprint, each shard has its own lock and
+/// its own FIFO eviction window, and — when a cache directory is
+/// configured — its own append-only write-through file.
+///
+/// Persistence is what makes warm starts real: on open, every shard file
+/// is replayed through the same bounded insert path (so the reloaded
+/// state is exactly what the FIFO window would have held), entries are
+/// verified against their stored SHA-256, and the file is compacted to
+/// the live set. Content addressing makes this trivially safe: a key's
+/// payload is a pure function of the key, so a reloaded entry is
+/// byte-identical to what a fresh run would produce — the property the
+/// serve-layer goldens pin.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<std::sync::Mutex<Shard>>,
+    dir: Option<std::path::PathBuf>,
+    loaded: u64,
+    load_corrupt: u64,
+}
+
+fn relock_shard(m: &std::sync::Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    m.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ShardedCache {
+    /// Build a cache of `capacity` total entries split over `shards`
+    /// shards (each shard gets `ceil(capacity / shards)`). With a `dir`,
+    /// shard files `shard-NN.log` are loaded (and compacted) now and
+    /// written through on every insert.
+    pub fn open(
+        capacity: usize,
+        shards: usize,
+        dir: Option<&std::path::Path>,
+    ) -> std::io::Result<ShardedCache> {
+        let n = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(n);
+        if let Some(d) = dir {
+            std::fs::create_dir_all(d)?;
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut loaded = 0u64;
+        let mut load_corrupt = 0u64;
+        for id in 0..n {
+            let mut cache = ResultCache::new(per_shard);
+            let file = match dir {
+                Some(d) => {
+                    let path = d.join(format!("shard-{id:02}.log"));
+                    let (l, c) = load_shard_file(&path, &mut cache);
+                    loaded += l;
+                    load_corrupt += c;
+                    compact_shard_file(&path, &cache)?;
+                    Some(
+                        std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(&path)?,
+                    )
+                }
+                None => None,
+            };
+            // Loading must not count as traffic: hits/misses describe
+            // this process's clients, not the replay.
+            cache.reset_traffic();
+            out.push(std::sync::Mutex::new(Shard {
+                cache,
+                file,
+                persisted: 0,
+            }));
+        }
+        Ok(ShardedCache {
+            shards: out,
+            dir: dir.map(|d| d.to_path_buf()),
+            loaded,
+            load_corrupt,
+        })
+    }
+
+    /// Which shard a fingerprint routes to (leading 8 hex chars, mod N).
+    pub fn shard_of(&self, fingerprint: &str) -> usize {
+        let head = u64::from_str_radix(fingerprint.get(..8).unwrap_or("0"), 16).unwrap_or(0);
+        (head as usize) % self.shards.len()
+    }
+
+    /// Look up a key, locking only its shard.
+    pub fn lookup(&self, key: &CacheKey) -> Option<String> {
+        let fp = key.fingerprint();
+        let shard = &self.shards[self.shard_of(&fp)];
+        relock_shard(shard).cache.lookup(key)
+    }
+
+    /// Store `payload` under `key` unless present (first-writer-wins),
+    /// returning the canonical stored payload. Fresh inserts are written
+    /// through to the shard file before this returns.
+    pub fn insert_or_get(&self, key: &CacheKey, payload: String) -> String {
+        let fp = key.fingerprint();
+        let shard = &self.shards[self.shard_of(&fp)];
+        let mut s = relock_shard(shard);
+        let fresh = !s.cache.contains_fingerprint(&fp);
+        let stored = s.cache.insert_or_get(key, payload);
+        if fresh {
+            if let Some(file) = s.file.as_mut() {
+                use std::io::Write;
+                let line = format!("{fp}\t{}\t{stored}\n", sha256_hex(stored.as_bytes()));
+                if file.write_all(line.as_bytes()).and_then(|_| file.flush()).is_ok() {
+                    s.persisted += 1;
+                }
+            }
+        }
+        stored
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate + per-shard stats snapshot.
+    pub fn stats(&self) -> ShardedCacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            len: 0,
+            capacity: 0,
+        };
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut persisted = 0u64;
+        for shard in &self.shards {
+            let s = relock_shard(shard);
+            let st = s.cache.stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+            total.len += st.len;
+            total.capacity += st.capacity;
+            persisted += s.persisted;
+            shards.push(st);
+        }
+        ShardedCacheStats {
+            total,
+            shards,
+            loaded: self.loaded,
+            load_corrupt: self.load_corrupt,
+            persisted,
+            persistent: self.dir.is_some(),
+        }
+    }
+}
+
+/// Replay one shard file through `cache`, verifying each entry's
+/// checksum. Returns `(loaded, corrupt)`. Damage is treated as a suffix:
+/// parsing stops at the first bad line (write-through appends are
+/// sequential, so a torn write can only be the tail).
+fn load_shard_file(path: &std::path::Path, cache: &mut ResultCache) -> (u64, u64) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (0, 0);
+    };
+    let mut loaded = 0u64;
+    let mut corrupt = 0u64;
+    for line in text.lines() {
+        let parsed = (|| {
+            let (fp, rest) = line.split_once('\t')?;
+            let (digest, payload) = rest.split_once('\t')?;
+            if digest != sha256_hex(payload.as_bytes()) {
+                return None;
+            }
+            Some((fp.to_string(), payload.to_string()))
+        })();
+        match parsed {
+            Some((fp, payload)) => {
+                cache.insert_raw(fp, payload);
+                loaded += 1;
+            }
+            None => {
+                corrupt += 1;
+                break;
+            }
+        }
+    }
+    (loaded, corrupt)
+}
+
+/// Rewrite a shard file to exactly the live entries in insertion order
+/// (drops evicted and corrupt records accumulated in the append-only
+/// log).
+fn compact_shard_file(path: &std::path::Path, cache: &ResultCache) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("log.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    for (fp, payload) in cache.iter_in_order() {
+        writeln!(f, "{fp}\t{}\t{payload}", sha256_hex(payload.as_bytes()))?;
+    }
+    f.flush()?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -390,6 +659,119 @@ mod tests {
         // cold) must converge on the stored bytes.
         assert_eq!(cache.insert_or_get(&k, "second".to_string()), "first");
         assert_eq!(cache.lookup(&k).as_deref(), Some("first"));
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ceres-cache-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sharded_cache_routes_by_fingerprint_and_spreads() {
+        let cache = ShardedCache::open(256, 8, None).unwrap();
+        let mut used = std::collections::HashSet::new();
+        for i in 0..64 {
+            let k = key(&format!("var x = {i};"), Mode::Dependence, 2015, None);
+            let shard = cache.shard_of(&k.fingerprint());
+            assert!(shard < 8);
+            used.insert(shard);
+            cache.insert_or_get(&k, format!("payload-{i}"));
+        }
+        assert!(
+            used.len() > 4,
+            "64 distinct keys should spread over most of 8 shards, got {used:?}"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.total.len, 64);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.len).sum::<usize>(),
+            stats.total.len,
+            "per-shard occupancy must sum to the aggregate"
+        );
+        // Routing is stable: the same key always lands on the same shard.
+        let k = key("var x = 0;", Mode::Dependence, 2015, None);
+        assert_eq!(
+            cache.shard_of(&k.fingerprint()),
+            cache.shard_of(&k.fingerprint())
+        );
+    }
+
+    #[test]
+    fn sharded_cache_persists_and_reloads_byte_identically() {
+        let dir = tmpdir("persist");
+        let keys: Vec<CacheKey> = (0..12)
+            .map(|i| key(&format!("var p = {i};"), Mode::Dependence, 2015, None))
+            .collect();
+        {
+            let cache = ShardedCache::open(64, 4, Some(&dir)).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                cache.insert_or_get(k, format!("{{\"payload\":\"entry-{i}\"}}"));
+            }
+            assert_eq!(cache.stats().persisted, 12);
+        }
+        let cache = ShardedCache::open(64, 4, Some(&dir)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.loaded, 12, "{stats:?}");
+        assert_eq!(stats.load_corrupt, 0);
+        assert!(stats.persistent);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(
+                cache.lookup(k).as_deref(),
+                Some(format!("{{\"payload\":\"entry-{i}\"}}").as_str()),
+                "reloaded payload must be byte-identical"
+            );
+        }
+        // The replay itself must not count as client traffic.
+        assert_eq!(cache.stats().total.hits, 12, "only our lookups count");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_reload_replays_the_fifo_window() {
+        // More inserts than capacity: the reloaded state must equal the
+        // writer's final FIFO window, not the full historical log.
+        let dir = tmpdir("fifo-window");
+        let keys: Vec<CacheKey> = (0..10)
+            .map(|i| key(&format!("var w = {i};"), Mode::Dependence, 2015, None))
+            .collect();
+        {
+            let cache = ShardedCache::open(4, 1, Some(&dir)).unwrap();
+            for (i, k) in keys.iter().enumerate() {
+                cache.insert_or_get(k, format!("w-{i}"));
+            }
+            assert_eq!(cache.stats().total.len, 4);
+        }
+        let cache = ShardedCache::open(4, 1, Some(&dir)).unwrap();
+        assert_eq!(cache.stats().total.len, 4);
+        for (i, k) in keys.iter().enumerate() {
+            let want = if i >= 6 { Some(format!("w-{i}")) } else { None };
+            assert_eq!(cache.lookup(k), want, "entry {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_shard_line_is_skipped_not_served() {
+        let dir = tmpdir("corrupt");
+        let k1 = key("var c = 1;", Mode::Dependence, 2015, None);
+        let k2 = key("var c = 2;", Mode::Dependence, 2015, None);
+        {
+            let cache = ShardedCache::open(16, 1, Some(&dir)).unwrap();
+            cache.insert_or_get(&k1, "good".into());
+            cache.insert_or_get(&k2, "tampered".into());
+        }
+        let path = dir.join("shard-00.log");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("tampered", "EVILJUNK")).unwrap();
+        let cache = ShardedCache::open(16, 1, Some(&dir)).unwrap();
+        assert_eq!(cache.stats().load_corrupt, 1);
+        assert_eq!(cache.lookup(&k1).as_deref(), Some("good"));
+        assert_eq!(cache.lookup(&k2), None, "corrupt entry must re-run");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

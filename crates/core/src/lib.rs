@@ -28,6 +28,11 @@
 //! * [`report`] — paper-style rendering + the local "github" repo;
 //! * [`pipeline`] — the Fig. 5 proxy dataflow, end to end;
 //! * [`fleet`] — the fault-tolerant thread-per-app fleet supervisor;
+//! * [`mod@serve`] — the `jsceresd` serving core (sharded persistent cache,
+//!   spill-to-disk admission, graceful drain);
+//! * [`supervisor`] — process-isolated analysis workers with supervised
+//!   restart;
+//! * [`spill`] — the crash-safe disk-backed overflow queue;
 //! * [`obs`] — phase-stamped tracing, counters, and the versioned
 //!   `--metrics`/`--trace` surfaces.
 //!
@@ -55,13 +60,17 @@ pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
+pub mod spill;
 pub mod stack;
 pub mod suggest;
+pub mod supervisor;
 pub mod tasks;
 pub mod welford;
 pub mod whatif;
 
-pub use cache::{sha256, sha256_hex, CacheKey, CacheStats, ResultCache};
+pub use cache::{
+    sha256, sha256_hex, CacheKey, CacheStats, ResultCache, ShardedCache, ShardedCacheStats,
+};
 pub use classify::{
     amdahl_bound, amdahl_speedup, classify_nests, static_features, Difficulty, Divergence,
     NestClassification,
@@ -81,12 +90,19 @@ pub use parallel::{
 };
 pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
 pub use report::ReportRepo;
-pub use serve::{parse_mode, serve, AnalysisRequest, ServeConfig, ServerHandle};
+pub use serve::{
+    mode_wire_name, parse_mode, request_wire_json, serve, AnalysisRequest, DrainHandle,
+    ServeConfig, ServerHandle, SERVE_STATS_SCHEMA,
+};
+pub use spill::{ephemeral_dir, SpillQueue, SpillStats};
 pub use stack::{
     characterize_write, characterize_write_bits, flow_dependence, flow_dependence_bits, render,
     CharBits, Characterization, Flag,
 };
 pub use suggest::{render_suggestions, suggest, Suggestion};
+pub use supervisor::{
+    worker_serve_stdio, SlotOutcome, WorkerResponse, WorkerSlot, WorkerSpec,
+};
 pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
 pub use welford::Welford;
 pub use whatif::{

@@ -479,6 +479,20 @@ pub struct ServeCounters {
     /// Cumulative virtual interpreter ticks spent across all served jobs.
     /// Unchanged across a warm hit — the zero-new-ticks proof.
     pub interp_ticks: u64,
+    /// Worker *processes* restarted by the supervisor after a crash
+    /// (always 0 on the in-process backend).
+    pub worker_restarts: u64,
+    /// Jobs admitted past the in-memory ring into the on-disk spill
+    /// queue.
+    pub jobs_spilled: u64,
+    /// Spilled jobs recovered from a persistent spill directory at
+    /// startup and re-executed.
+    pub spill_replayed: u64,
+    /// Peak instantaneous depth of the on-disk spill queue.
+    pub spill_peak_depth: u64,
+    /// Queued-but-unstarted jobs flushed to the spill file at drain time
+    /// (the never-silently-dropped guarantee).
+    pub jobs_flushed_on_drain: u64,
 }
 
 #[cfg(test)]

@@ -1,53 +1,68 @@
 //! `jsceresd`: the persistent analysis service.
 //!
-//! Four PRs in, every analysis was still a one-shot CLI invocation that
-//! re-parsed, re-instrumented, and re-interpreted from scratch. This
-//! module turns the pipeline into a long-running server — std-only
-//! (`std::net` + the same thread-per-worker pattern the fleet uses, no
-//! async runtime) — with three load-bearing properties:
+//! Five PRs in, the daemon was a *single process* with a bounded
+//! in-memory queue: a segfault-class failure killed it, a burst past the
+//! queue bound rejected jobs, and a restart lost the entire result
+//! cache. This module is the serving core of the multi-process redesign
+//! (see `docs/OPERATIONS.md` for the operator's view):
 //!
 //! 1. **A stable wire surface.** Clients send one line-delimited JSON
 //!    [`AnalysisRequest`] per request over TCP; every response line is a
 //!    JSON envelope stamped with [`crate::fleet::API_SCHEMA_VERSION`].
-//!    The request fields map 1:1 onto the [`AnalyzeOptions`] builder, so the
-//!    daemon, `jsceres`, and `repro fleet` all speak the same options
-//!    vocabulary.
-//! 2. **A content-addressed result cache.** Each analyze request is keyed
-//!    by [`crate::cache::CacheKey`] — SHA-256 of the canonical source ×
-//!    mode × seed × focus × budgets — and a warm hit returns the stored
-//!    report + metrics **byte-identically** without re-entering the
-//!    interpreter (the `stats` op exposes a cumulative interp-tick
-//!    odometer precisely so tests can prove a hit added zero ticks).
-//! 3. **Supervised execution.** Every cache miss becomes a
-//!    [`FleetJob`] pushed onto a *bounded* queue (full ⇒ immediate
-//!    `queue full` rejection, not unbounded memory) and run through
-//!    [`crate::fleet::supervise`] — the same retry/watchdog/panic
-//!    isolation the fleet gives batch runs.
+//!    The request fields map 1:1 onto the [`AnalyzeOptions`] builder, so
+//!    the daemon, `jsceres`, and `repro fleet` all speak the same
+//!    options vocabulary. The envelope bytes are unchanged from the
+//!    single-process design and stay golden-pinned.
+//! 2. **A sharded, persistent, content-addressed result cache.** Each
+//!    analyze request is keyed by [`crate::cache::CacheKey`]; keys route
+//!    to one of N [`ShardedCache`] shards (per-shard locks, per-shard
+//!    FIFO eviction), and — with a cache directory configured — every
+//!    insert is written through to a shard file and reloaded on the next
+//!    start, so a restarted daemon serves warm hits **byte-identically**
+//!    with zero new interpreter ticks.
+//! 3. **Process-isolated execution.** With a
+//!    [`crate::supervisor::WorkerSpec`] configured (the `jsceresd`
+//!    default), each worker thread owns one worker *process*
+//!    (`jsceresd --worker`); a crash costs one job, the supervisor
+//!    restarts the worker with bounded backoff, and the daemon keeps
+//!    serving. Without a spec (library/test default) jobs run on
+//!    in-process threads exactly as before.
+//! 4. **Spill-to-disk admission.** The in-memory ring holds up to
+//!    `queue_capacity` jobs; overflow is appended to a crash-safe
+//!    [`SpillQueue`] segment file and drained strictly FIFO behind the
+//!    ring, so bursts queue on disk instead of being rejected.
 //!
 //! Shutdown is a graceful drain: a `shutdown` op (or
-//! [`ServerHandle::shutdown`]) stops the accept loop and rejects new
-//! analyze requests, but every job already queued or in flight runs to
-//! completion and its client gets its response before the workers exit.
+//! [`ServerHandle::shutdown`], or SIGTERM via
+//! [`ServerHandle::request_drain`]) stops the accept loop and rejects
+//! new analyze requests; jobs already *running* complete and answer
+//! their clients, while the queued tail is flushed to the spill file —
+//! never silently dropped — and those clients get an explicit
+//! `draining` response telling them to retry after restart.
 //!
-//! Responses always use the canonical (deterministic) view of reports and
-//! metrics: a content-addressed cache makes wall-clock noise observable
-//! (a warm hit would otherwise return some *other* run's timings), so the
-//! served artifact is defined to be the part that is a pure function of
-//! the request. See `docs/SERVING.md` for the protocol reference.
+//! Responses always use the canonical (deterministic) view of reports
+//! and metrics: a content-addressed cache makes wall-clock noise
+//! observable (a warm hit would otherwise return some *other* run's
+//! timings), so the served artifact is defined to be the part that is a
+//! pure function of the request. See `docs/SERVING.md` for the protocol
+//! reference and `docs/OPERATIONS.md` for deployment.
 
 #![deny(missing_docs)]
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheKey, ShardedCache};
 use crate::fleet::{
     supervise, AppOutcome, AppReport, FleetJob, FleetPolicy, JobError, JobWork, API_SCHEMA_VERSION,
 };
 use crate::obs::{FleetMetrics, ServeCounters};
 use crate::pipeline::{analyze, AnalyzeOptions, Document, WebServer};
+use crate::spill::SpillQueue;
+use crate::supervisor::{SlotOutcome, WorkerSlot, WorkerSpec};
 use ceres_instrument::Mode;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
@@ -59,6 +74,12 @@ const HANG_FALLBACK_TICKS: u64 = 2_000_000;
 
 /// How often an idle connection handler wakes up to check for drain.
 const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Version stamp of the `stats` op payload (see `docs/METRICS.md`).
+/// Bumped to 2 when serving went multi-process: spill, shard, and
+/// worker-restart fields joined the payload. The *analyze* envelope is
+/// deliberately unchanged (still [`API_SCHEMA_VERSION`]).
+pub const SERVE_STATS_SCHEMA: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Wire protocol
@@ -90,9 +111,9 @@ pub struct AnalysisRequest {
     pub max_ticks: Option<u64>,
     /// Registry workload scale factor.
     pub scale: Option<u32>,
-    /// Fault to inject into this request's job (`panic`, `hang`, or
-    /// `error`), exercising the supervisor; injected requests are never
-    /// cached.
+    /// Fault to inject into this request's job (`panic`, `hang`, `error`,
+    /// or — process-worker backend only — `crash`), exercising the
+    /// supervisor; injected requests are never cached.
     pub inject: Option<String>,
 }
 
@@ -109,8 +130,17 @@ pub fn parse_mode(s: &str) -> Result<Mode, String> {
     }
 }
 
+/// The canonical wire spelling of a mode (parseable by [`parse_mode`]).
+pub fn mode_wire_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Lightweight => "lightweight",
+        Mode::LoopProfile => "loop-profile",
+        Mode::Dependence => "dependence",
+    }
+}
+
 /// Minimal JSON string escaping for hand-assembled envelope fields.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -124,6 +154,40 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Render a request as a self-contained single-line job spec: the
+/// analysis options are written out *explicitly* from the resolved
+/// `opts` (not the raw request), so a worker process — or a replay after
+/// restart — computes the identical [`CacheKey`] regardless of its own
+/// defaults. This is both the spill-queue payload and the
+/// supervisor→worker job line. Only fields that are present are
+/// emitted, so the output round-trips through the ordinary
+/// [`AnalysisRequest`] parser.
+pub fn request_wire_json(req: &AnalysisRequest, opts: &AnalyzeOptions) -> String {
+    let mut parts = Vec::with_capacity(8);
+    if let Some(app) = &req.app {
+        parts.push(format!("\"app\":\"{}\"", json_escape(app)));
+    }
+    if let Some(src) = &req.source {
+        parts.push(format!("\"source\":\"{}\"", json_escape(src)));
+    }
+    parts.push(format!("\"mode\":\"{}\"", mode_wire_name(opts.mode)));
+    parts.push(format!("\"seed\":{}", opts.seed));
+    if let Some(f) = opts.focus {
+        parts.push(format!("\"focus\":{}", f.0));
+    }
+    parts.push(format!("\"max_events\":{}", opts.max_events));
+    if let Some(t) = opts.max_ticks {
+        parts.push(format!("\"max_ticks\":{t}"));
+    }
+    if let Some(s) = req.scale {
+        parts.push(format!("\"scale\":{s}"));
+    }
+    if let Some(i) = &req.inject {
+        parts.push(format!("\"inject\":\"{}\"", json_escape(i)));
+    }
+    format!("{{{}}}", parts.join(","))
 }
 
 /// Assemble a response envelope around a payload fragment. The fragment
@@ -145,6 +209,12 @@ fn error_line(id: &str, error: &str) -> String {
         false,
         &format!("\"error\":\"{}\"", json_escape(error)),
     )
+}
+
+/// An error payload *fragment* (for replies routed through the job
+/// queue, which the connection handler wraps in an envelope itself).
+fn error_fragment(error: &str) -> String {
+    format!("\"error\":\"{}\"", json_escape(error))
 }
 
 // ---------------------------------------------------------------------
@@ -204,12 +274,16 @@ pub fn source_work(app: String, slug: String, source: String, opts: AnalyzeOptio
     })
 }
 
-/// Wrap `inner` with an injected fault (`panic` | `hang` | `error`),
-/// mirroring the fleet's seeded harness: `panic` unwinds every attempt,
-/// `hang` spins the interpreter until the tick watchdog fires, `error`
-/// reports a transient failure on the first attempt and then lets the
-/// real work run — exercising panic isolation, watchdog cancellation,
-/// and retry respectively.
+/// Wrap `inner` with an injected fault (`panic` | `hang` | `error` |
+/// `crash`), mirroring the fleet's seeded harness: `panic` unwinds every
+/// attempt, `hang` spins the interpreter until the tick watchdog fires,
+/// `error` reports a transient failure on the first attempt and then
+/// lets the real work run — exercising panic isolation, watchdog
+/// cancellation, and retry respectively. `crash` aborts the worker
+/// *process* and therefore only bites under the process backend (a
+/// worker process calls `abort` before reaching this closure); on the
+/// in-process backend the closure below fails the job cleanly instead
+/// of taking the daemon down.
 pub fn inject_fault(
     kind: &str,
     slug: &str,
@@ -241,8 +315,15 @@ pub fn inject_fault(
                 inner(worker, attempt)
             }
         })),
+        "crash" => Ok(Arc::new(move |_, _| {
+            Err(JobError::Fatal(format!(
+                "injected fault: crash in {slug} requires the process-worker \
+                 backend (in-process jobs fail cleanly instead of aborting \
+                 the daemon)"
+            )))
+        })),
         other => Err(format!(
-            "unknown inject kind `{other}` (want panic|hang|error)"
+            "unknown inject kind `{other}` (want panic|hang|error|crash)"
         )),
     }
 }
@@ -303,20 +384,77 @@ pub fn request_options(
     Ok(b.build())
 }
 
+/// Build the result fragment for a finished job. `Ok` outcomes carry
+/// the canonical report + deterministic single-run metrics; failures
+/// carry the status label and detail. Compact JSON throughout — the
+/// protocol is line-delimited. Shared verbatim by the in-process
+/// backend and [`crate::supervisor::worker_serve_stdio`], which is what
+/// keeps envelopes byte-identical across execution backends.
+pub fn result_fragment(key: &CacheKey, outcome: &AppOutcome) -> (bool, String) {
+    let head = format!(
+        "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
+        key.fingerprint(),
+        json_escape(&outcome.app),
+        json_escape(&outcome.slug),
+        json_escape(&outcome.status.label()),
+        outcome.attempts,
+    );
+    match &outcome.report {
+        Some(report) => {
+            let canonical = report.canonical();
+            let metrics = FleetMetrics::single(
+                &canonical.app,
+                &canonical.slug,
+                &canonical.mode,
+                &canonical.obs,
+                true,
+            );
+            let report_json = serde_json::to_string(&canonical).expect("AppReport serializes");
+            let metrics_json = serde_json::to_string(&metrics).expect("FleetMetrics serializes");
+            (
+                true,
+                format!("{head},\"report\":{report_json},\"metrics\":{metrics_json}"),
+            )
+        }
+        None => {
+            let detail = outcome.status.detail().unwrap_or("");
+            (
+                false,
+                format!("{head},\"error\":\"{}\"", json_escape(detail)),
+            )
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // The server
 // ---------------------------------------------------------------------
 
-/// Server knobs. `Default` gives a loopback-friendly test configuration;
-/// the daemon overrides from its flags.
+/// Server knobs. `Default` gives a loopback-friendly test configuration
+/// (in-process workers, ephemeral spill, memory-only cache); the daemon
+/// overrides from its flags.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing queued jobs.
+    /// Worker slots executing queued jobs (threads, or — with
+    /// [`ServeConfig::worker_spec`] set — worker processes, one per
+    /// slot).
     pub workers: usize,
-    /// Bounded job-queue capacity; a full queue rejects immediately.
+    /// In-memory job-ring capacity; overflow spills to disk.
     pub queue_capacity: usize,
-    /// Result-cache capacity, in entries.
+    /// Result-cache capacity, in entries (split across shards).
     pub cache_capacity: usize,
+    /// Number of cache shards (each with its own lock and FIFO window).
+    pub cache_shards: usize,
+    /// Cache persistence directory. `Some` ⇒ write-through shard files
+    /// + load-on-start; `None` ⇒ memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Spill-queue directory. `Some` ⇒ the backlog survives restarts
+    /// (and is replayed on start); `None` ⇒ an ephemeral per-process
+    /// temp directory, deleted on clean shutdown.
+    pub spill_dir: Option<PathBuf>,
+    /// How to spawn worker processes. `Some` ⇒ process-isolated
+    /// execution with supervised restart; `None` ⇒ in-process threads.
+    pub worker_spec: Option<WorkerSpec>,
     /// Supervision policy for every served job.
     pub policy: FleetPolicy,
     /// Mode used when a request omits `mode`.
@@ -331,6 +469,10 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
+            cache_shards: 8,
+            cache_dir: None,
+            spill_dir: None,
+            worker_spec: None,
             policy: FleetPolicy::default(),
             default_mode: Mode::LoopProfile,
             default_seed: 2015,
@@ -338,19 +480,26 @@ impl Default for ServeConfig {
     }
 }
 
-/// One queued unit of work: the supervised job, where to store the
-/// result, and where to send the response fragment.
+/// One queued unit of work: a self-contained wire-format job spec (also
+/// the spill payload), its cache identity, and where to send the
+/// response fragment. Replayed spill jobs have no reply channel — their
+/// results go to the cache only.
 struct QueuedJob {
-    job: FleetJob,
-    key: CacheKey,
-    cacheable: bool,
-    reply: mpsc::Sender<(bool, String)>,
+    wire: String,
+    reply: Option<mpsc::Sender<(bool, String)>>,
 }
 
-/// Queue state under the mutex: jobs plus the open/draining latch.
+/// Queue state under the mutex: the bounded in-memory ring, the
+/// disk-backed overflow, reply channels for spilled jobs (keyed by spill
+/// seq), and the open/draining latch.
 struct QueueState {
-    jobs: VecDeque<QueuedJob>,
-    /// False once drain begins: workers exit when the queue is empty.
+    memory: VecDeque<QueuedJob>,
+    spill: Option<SpillQueue>,
+    /// True when the spill directory was operator-chosen (backlog
+    /// survives restarts); false for the ephemeral default.
+    spill_persistent: bool,
+    waiters: HashMap<u64, mpsc::Sender<(bool, String)>>,
+    /// False once drain begins: workers exit when the ring is empty.
     open: bool,
 }
 
@@ -359,7 +508,7 @@ struct QueueState {
 struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
-    cache: Mutex<ResultCache>,
+    cache: ShardedCache,
     counters: Mutex<ServeCounters>,
     draining: AtomicBool,
     config: ServeConfig,
@@ -376,47 +525,6 @@ impl Shared {
     fn bump(&self, f: impl FnOnce(&mut ServeCounters)) {
         f(&mut relock(&self.counters));
     }
-
-    /// Build the result fragment for a finished job. `Ok` outcomes carry
-    /// the canonical report + deterministic single-run metrics; failures
-    /// carry the status label and detail. Compact JSON throughout — the
-    /// protocol is line-delimited.
-    fn result_fragment(&self, key: &CacheKey, outcome: &AppOutcome) -> (bool, String) {
-        let head = format!(
-            "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\"status\":\"{}\",\"attempts\":{}",
-            key.fingerprint(),
-            json_escape(&outcome.app),
-            json_escape(&outcome.slug),
-            json_escape(&outcome.status.label()),
-            outcome.attempts,
-        );
-        match &outcome.report {
-            Some(report) => {
-                let canonical = report.canonical();
-                let metrics = FleetMetrics::single(
-                    &canonical.app,
-                    &canonical.slug,
-                    &canonical.mode,
-                    &canonical.obs,
-                    true,
-                );
-                let report_json = serde_json::to_string(&canonical).expect("AppReport serializes");
-                let metrics_json =
-                    serde_json::to_string(&metrics).expect("FleetMetrics serializes");
-                (
-                    true,
-                    format!("{head},\"report\":{report_json},\"metrics\":{metrics_json}"),
-                )
-            }
-            None => {
-                let detail = outcome.status.detail().unwrap_or("");
-                (
-                    false,
-                    format!("{head},\"error\":\"{}\"", json_escape(detail)),
-                )
-            }
-        }
-    }
 }
 
 /// Handle to a running server: the bound address plus the threads to
@@ -426,6 +534,22 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A cheap, cloneable, `Send` drain trigger split off a
+/// [`ServerHandle`], for signal watchers and other threads that must be
+/// able to start a graceful drain while the main thread blocks in
+/// [`ServerHandle::join`].
+#[derive(Clone)]
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Begin a graceful drain (idempotent; returns immediately).
+    pub fn request_drain(&self) {
+        begin_drain(&self.shared);
+    }
 }
 
 impl ServerHandle {
@@ -439,15 +563,29 @@ impl ServerHandle {
         *relock(&self.shared.counters)
     }
 
+    /// Begin a graceful drain without blocking (safe from a signal
+    /// watcher thread); pair with [`ServerHandle::join`].
+    pub fn request_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Split off a cloneable [`DrainHandle`] for another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Begin a graceful drain and wait for it to complete: stop
-    /// accepting, reject new analyze requests, finish everything queued
-    /// or in flight, then join all threads.
+    /// accepting, reject new analyze requests, finish in-flight work,
+    /// flush the queued tail to the spill file, then join all threads.
     pub fn shutdown(mut self) {
         begin_drain(&self.shared);
         self.join_threads();
     }
 
-    /// Wait until a client-initiated `shutdown` op drains the server.
+    /// Wait until a client-initiated `shutdown` op (or
+    /// [`ServerHandle::request_drain`]) drains the server.
     pub fn join(mut self) -> ServeCounters {
         self.join_threads();
         *relock(&self.shared.counters)
@@ -463,35 +601,113 @@ impl ServerHandle {
     }
 }
 
-/// Flip the server into draining mode: latch the flag, close the queue
-/// (workers exit once it is empty), and poke the accept loop awake with
-/// a throwaway self-connection.
+/// Flip the server into draining mode: latch the flag, close the queue,
+/// flush the unstarted tail to the spill file (answering those clients
+/// explicitly — accepted jobs are never silently dropped), and poke the
+/// accept loop awake with a throwaway self-connection.
 fn begin_drain(shared: &Arc<Shared>) {
     if shared.draining.swap(true, Ordering::SeqCst) {
         return; // already draining
     }
+    let mut flushed = 0u64;
     {
         let mut q = relock(&shared.queue);
         q.open = false;
+        let persistent = q.spill_persistent;
+        let tail: Vec<QueuedJob> = q.memory.drain(..).collect();
+        for job in tail {
+            let persisted = match q.spill.as_mut() {
+                Some(spill) => spill.push(&job.wire).is_ok(),
+                None => false,
+            };
+            if persisted {
+                flushed += 1;
+            }
+            if let Some(reply) = job.reply {
+                let _ = reply.send((false, drain_flush_fragment(persisted && persistent)));
+            }
+        }
+        // Jobs already spilled stay in the segment file; answer their
+        // waiting clients the same way.
+        let waiters: Vec<_> = q.waiters.drain().collect();
+        for (_seq, reply) in waiters {
+            let _ = reply.send((false, drain_flush_fragment(persistent)));
+        }
     }
+    shared.bump(|c| c.jobs_flushed_on_drain += flushed);
     shared.available.notify_all();
     // Unblock `accept()`; the loop re-checks `draining` per connection.
     let _ = TcpStream::connect(shared.addr);
 }
 
+/// The explicit answer a queued-but-unstarted client gets at drain time.
+fn drain_flush_fragment(persisted: bool) -> String {
+    if persisted {
+        error_fragment(
+            "draining: job flushed to the spill queue; it will run after \
+             restart — retry then for a cache hit",
+        )
+    } else {
+        error_fragment("draining: job not started; retry")
+    }
+}
+
 /// Start serving on `listener` (bind it yourself; `127.0.0.1:0` works
 /// for tests). Spawns the accept loop and `config.workers` job workers,
-/// then returns immediately.
+/// then returns immediately. A persistent spill directory with a
+/// backlog is replayed immediately: those jobs run and their results
+/// land in the cache, so the clients that lost them can retry into warm
+/// hits.
 pub fn serve(listener: TcpListener, config: ServeConfig, resolver: Resolver) -> ServerHandle {
     let addr = listener.local_addr().expect("listener has a local addr");
+    let cache = ShardedCache::open(
+        config.cache_capacity,
+        config.cache_shards,
+        config.cache_dir.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!(
+            "jsceresd: cache dir {} unusable ({e}); falling back to memory-only cache",
+            config
+                .cache_dir
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+        ShardedCache::open(config.cache_capacity, config.cache_shards, None)
+            .expect("memory-only cache cannot fail")
+    });
+    let spill_persistent = config.spill_dir.is_some();
+    let spill_path = config
+        .spill_dir
+        .clone()
+        .unwrap_or_else(|| crate::spill::ephemeral_dir("spill"));
+    let spill = match SpillQueue::open(&spill_path, !spill_persistent) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!(
+                "jsceresd: spill dir {} unusable ({e}); falling back to reject-at-bound admission",
+                spill_path.display()
+            );
+            None
+        }
+    };
+    let replayed = spill.as_ref().map(|s| s.stats().replayed).unwrap_or(0);
+
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueState {
-            jobs: VecDeque::new(),
+            memory: VecDeque::new(),
+            spill,
+            spill_persistent,
+            waiters: HashMap::new(),
             open: true,
         }),
         available: Condvar::new(),
-        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-        counters: Mutex::new(ServeCounters::default()),
+        cache,
+        counters: Mutex::new(ServeCounters {
+            spill_replayed: replayed,
+            ..ServeCounters::default()
+        }),
         draining: AtomicBool::new(false),
         config: config.clone(),
         resolver,
@@ -515,6 +731,11 @@ pub fn serve(listener: TcpListener, config: ServeConfig, resolver: Resolver) -> 
             .spawn(move || accept_loop(listener, &shared))
             .expect("spawn accept loop")
     };
+
+    // If a replayed backlog is waiting, wake the workers for it.
+    if replayed > 0 {
+        shared.available.notify_all();
+    }
 
     ServerHandle {
         shared,
@@ -545,37 +766,67 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
+/// Pull the next job: the in-memory ring first, then the spill file
+/// (strict FIFO — arrivals go to the spill whenever it is non-empty, so
+/// ring-then-spill pop order preserves admission order).
+fn next_job(shared: &Arc<Shared>) -> Option<QueuedJob> {
+    let mut q = relock(&shared.queue);
     loop {
-        let item = {
-            let mut q = relock(&shared.queue);
-            loop {
-                if let Some(item) = q.jobs.pop_front() {
-                    break Some(item);
-                }
-                if !q.open {
-                    break None;
-                }
-                q = shared
-                    .available
-                    .wait(q)
-                    .unwrap_or_else(PoisonError::into_inner);
+        if let Some(job) = q.memory.pop_front() {
+            return Some(job);
+        }
+        if !q.open {
+            return None;
+        }
+        if let Some(spill) = q.spill.as_mut() {
+            if let Some((seq, wire)) = spill.pop() {
+                let reply = q.waiters.remove(&seq);
+                return Some(QueuedJob { wire, reply });
             }
-        };
-        let Some(item) = item else { break };
-        let outcome = supervise(&item.job, worker_id, &shared.config.policy);
-        let ticks = outcome
-            .report
-            .as_ref()
-            .map(|r| r.obs.counters.interp_ticks)
-            .unwrap_or(0);
-        let (ok, fragment) = shared.result_fragment(&item.key, &outcome);
-        let fragment = if ok && item.cacheable {
-            // First-writer-wins: concurrent cold misses on the same key
-            // converge on one stored byte sequence.
-            relock(&shared.cache).insert_or_get(&item.key, fragment)
-        } else {
-            fragment
+        }
+        q = shared
+            .available
+            .wait(q)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Parse + resolve a queued wire spec back into runnable work. (The
+/// spec was validated at admission; failures here are replay-era drift,
+/// e.g. a registry app renamed between restarts.)
+struct PreparedJob {
+    key: CacheKey,
+    cacheable: bool,
+    job: FleetJob,
+}
+
+fn prepare_job(shared: &Arc<Shared>, wire: &str) -> Result<PreparedJob, String> {
+    let req: AnalysisRequest =
+        serde_json::from_str(wire).map_err(|e| format!("bad queued job spec: {e}"))?;
+    let opts = request_options(&req, &shared.config)?;
+    let resolved = (shared.resolver)(&req, &opts)?;
+    let key = CacheKey::of(&resolved.source, &opts, req.scale.unwrap_or(1));
+    Ok(PreparedJob {
+        key,
+        cacheable: resolved.cacheable,
+        job: FleetJob {
+            app: resolved.app,
+            slug: resolved.slug,
+            work: resolved.work,
+        },
+    })
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
+    let mut slot = shared
+        .config
+        .worker_spec
+        .clone()
+        .map(WorkerSlot::new);
+    while let Some(item) = next_job(shared) {
+        let (ok, fragment, ticks) = match prepare_job(shared, &item.wire) {
+            Ok(prepared) => execute_job(shared, worker_id, slot.as_mut(), &prepared, &item.wire),
+            Err(e) => (false, error_fragment(&e), 0),
         };
         shared.bump(|c| {
             c.interp_ticks += ticks;
@@ -585,8 +836,83 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
                 c.jobs_failed += 1;
             }
         });
-        let _ = item.reply.send((ok, fragment));
+        if let Some(reply) = item.reply {
+            let _ = reply.send((ok, fragment));
+        }
     }
+    if let Some(s) = slot.as_mut() {
+        s.shutdown();
+    }
+}
+
+/// Run one prepared job on this worker's backend and return
+/// `(ok, fragment, ticks)` with the fragment already deduplicated
+/// through the cache (first-writer-wins) when cacheable.
+fn execute_job(
+    shared: &Arc<Shared>,
+    worker_id: usize,
+    slot: Option<&mut WorkerSlot>,
+    prepared: &PreparedJob,
+    wire: &str,
+) -> (bool, String, u64) {
+    let (ok, fragment, ticks) = match slot {
+        // Process backend: ship the job line to this slot's worker
+        // process; a dead worker is restarted with bounded backoff.
+        Some(slot) => {
+            let (outcome, restarts) = slot.run(wire);
+            if restarts > 0 {
+                shared.bump(|c| c.worker_restarts += restarts);
+            }
+            match outcome {
+                SlotOutcome::Done(resp) => (resp.ok, resp.fragment, resp.ticks),
+                SlotOutcome::Crashed { attempts } => (
+                    false,
+                    format!(
+                        "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\
+                         \"status\":\"worker-crashed\",\"attempts\":{attempts},\
+                         \"error\":\"worker process died while running this job; \
+                         a fresh worker was started\"",
+                        prepared.key.fingerprint(),
+                        json_escape(&prepared.job.app),
+                        json_escape(&prepared.job.slug),
+                    ),
+                    0,
+                ),
+                SlotOutcome::Unavailable(e) => (
+                    false,
+                    format!(
+                        "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\
+                         \"status\":\"failed\",\"attempts\":0,\"error\":\"{}\"",
+                        prepared.key.fingerprint(),
+                        json_escape(&prepared.job.app),
+                        json_escape(&prepared.job.slug),
+                        json_escape(&e),
+                    ),
+                    0,
+                ),
+            }
+        }
+        // In-process backend: the original thread-pool path.
+        None => {
+            let outcome = supervise(&prepared.job, worker_id, &shared.config.policy);
+            let ticks = outcome
+                .report
+                .as_ref()
+                .map(|r| r.obs.counters.interp_ticks)
+                .unwrap_or(0);
+            let (ok, fragment) = result_fragment(&prepared.key, &outcome);
+            (ok, fragment, ticks)
+        }
+    };
+    let fragment = if ok && prepared.cacheable {
+        // First-writer-wins: concurrent cold misses on the same key
+        // converge on one stored byte sequence (and, with persistence
+        // on, one write-through line).
+        shared.cache.insert_or_get(&prepared.key, fragment)
+    } else {
+        fragment
+    };
+    (ok, fragment, ticks)
 }
 
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
@@ -648,23 +974,64 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
 }
 
 fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
-    let counters = *relock(&shared.counters);
-    let cache = relock(&shared.cache).stats();
-    let queue_depth = relock(&shared.queue).jobs.len();
+    let cache = shared.cache.stats();
+    let mut counters = *relock(&shared.counters);
+    // The eviction odometer lives in the cache shards; mirror the
+    // aggregate into the counters snapshot for one-stop scraping.
+    counters.cache_evictions = cache.total.evictions;
+    let (queue_depth, spill) = {
+        let q = relock(&shared.queue);
+        (
+            q.memory.len(),
+            q.spill.as_ref().map(|s| s.stats()),
+        )
+    };
     let counters_json = serde_json::to_string(&counters).expect("ServeCounters serializes");
+    let per_shard = cache
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{}}}",
+                s.hits, s.misses, s.evictions, s.len
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let spill_json = match spill {
+        Some(s) => format!(
+            "{{\"depth\":{},\"pushed\":{},\"replayed\":{},\"corrupt\":{},\"peak_depth\":{}}}",
+            s.depth, s.pushed, s.replayed, s.corrupt, s.peak_depth
+        ),
+        None => "null".to_string(),
+    };
+    let backend = if shared.config.worker_spec.is_some() {
+        "process"
+    } else {
+        "in-process"
+    };
     envelope(
         id,
         true,
         false,
         &format!(
-            "\"op\":\"stats\",\"counters\":{counters_json},\
-             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{},\"capacity\":{}}},\
-             \"queue_depth\":{queue_depth},\"workers\":{},\"draining\":{}",
-            cache.hits,
-            cache.misses,
-            cache.evictions,
-            cache.len,
-            cache.capacity,
+            "\"op\":\"stats\",\"stats_schema\":{SERVE_STATS_SCHEMA},\
+             \"counters\":{counters_json},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{},\"capacity\":{},\
+             \"shards\":{},\"persistent\":{},\"loaded\":{},\"load_corrupt\":{},\"persisted\":{},\
+             \"per_shard\":[{per_shard}]}},\
+             \"queue_depth\":{queue_depth},\"spill\":{spill_json},\
+             \"workers\":{},\"backend\":\"{backend}\",\"draining\":{}",
+            cache.total.hits,
+            cache.total.misses,
+            cache.total.evictions,
+            cache.total.len,
+            cache.total.capacity,
+            cache.shards.len(),
+            cache.persistent,
+            cache.loaded,
+            cache.load_corrupt,
+            cache.persisted,
             shared.config.workers,
             shared.draining.load(Ordering::SeqCst),
         ),
@@ -687,7 +1054,7 @@ fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> Stri
     // would skip the very supervisor path the injection exists to
     // exercise, and storing the result would leak injection artifacts.
     if resolved.cacheable {
-        if let Some(fragment) = relock(&shared.cache).lookup(&key) {
+        if let Some(fragment) = shared.cache.lookup(&key) {
             shared.bump(|c| c.cache_hits += 1);
             return envelope(id, true, true, &fragment);
         }
@@ -699,6 +1066,7 @@ fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> Stri
         return error_line(id, "draining: not accepting new work");
     }
 
+    let wire = request_wire_json(req, &opts);
     let (tx, rx) = mpsc::channel();
     {
         let mut q = relock(&shared.queue);
@@ -707,24 +1075,46 @@ fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> Stri
             shared.bump(|c| c.rejected_draining += 1);
             return error_line(id, "draining: not accepting new work");
         }
-        if q.jobs.len() >= shared.config.queue_capacity {
+        // Strict FIFO admission: once anything is on disk, new arrivals
+        // queue behind it.
+        let spill_busy = q.spill.as_ref().map(|s| !s.is_empty()).unwrap_or(false);
+        if q.memory.len() >= shared.config.queue_capacity || spill_busy {
+            let pushed = q
+                .spill
+                .as_mut()
+                .map(|spill| spill.push(&wire).map(|seq| (seq, spill.len() as u64)));
+            match pushed {
+                Some(Ok((seq, depth))) => {
+                    q.waiters.insert(seq, tx);
+                    drop(q);
+                    shared.bump(|c| {
+                        c.jobs_spilled += 1;
+                        c.spill_peak_depth = c.spill_peak_depth.max(depth);
+                    });
+                }
+                Some(Err(e)) => {
+                    drop(q);
+                    shared.bump(|c| c.rejected_queue_full += 1);
+                    return error_line(
+                        id,
+                        &format!("queue full and spill write failed ({e}): retry later"),
+                    );
+                }
+                None => {
+                    drop(q);
+                    shared.bump(|c| c.rejected_queue_full += 1);
+                    return error_line(id, "queue full: retry later");
+                }
+            }
+        } else {
+            q.memory.push_back(QueuedJob {
+                wire,
+                reply: Some(tx),
+            });
+            let depth = q.memory.len() as u64;
             drop(q);
-            shared.bump(|c| c.rejected_queue_full += 1);
-            return error_line(id, "queue full: retry later");
+            shared.bump(|c| c.queue_peak_depth = c.queue_peak_depth.max(depth));
         }
-        q.jobs.push_back(QueuedJob {
-            job: FleetJob {
-                app: resolved.app,
-                slug: resolved.slug,
-                work: resolved.work,
-            },
-            key,
-            cacheable: resolved.cacheable,
-            reply: tx,
-        });
-        let depth = q.jobs.len() as u64;
-        drop(q);
-        shared.bump(|c| c.queue_peak_depth = c.queue_peak_depth.max(depth));
     }
     shared.available.notify_one();
 
@@ -859,7 +1249,13 @@ mod tests {
         assert!(e2.contains("\"cached\":false"), "{e2}");
         assert!(e2.contains("\"attempts\":2"), "{e2}");
 
-        assert_eq!(server.counters().jobs_failed, 1);
+        // `crash` on the in-process backend fails the job cleanly
+        // instead of aborting the daemon.
+        let c = roundtrip(addr, r#"{"source":"var x;","inject":"crash"}"#);
+        assert!(c.contains("\"ok\":false"), "{c}");
+        assert!(c.contains("process-worker"), "{c}");
+
+        assert_eq!(server.counters().jobs_failed, 2);
         assert_eq!(server.counters().jobs_ok, 3);
         server.shutdown();
     }
@@ -889,12 +1285,71 @@ mod tests {
     }
 
     #[test]
+    fn overflow_spills_to_disk_and_every_client_still_gets_its_answer() {
+        // A 1-worker, 2-slot ring with a burst of 8 jobs: at least some
+        // must overflow to the spill file, and every client must still
+        // get a real (non-rejected) response.
+        let server = start(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                // Distinct sources: no cache short-circuits.
+                let req = format!(
+                    r#"{{"id":"burst-{i}","source":"var b{i} = 0; for (var i = 0; i < {n}; i++) {{ b{i} += i; }}","mode":"dependence"}}"#,
+                    n = 50 + i
+                );
+                std::thread::spawn(move || roundtrip(addr, &req))
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert!(r.contains("\"ok\":true"), "{r}");
+            assert!(!r.contains("queue full"), "spill must absorb bursts: {r}");
+        }
+        let c = server.counters();
+        assert!(
+            c.jobs_spilled > 0,
+            "burst of 8 into a ring of 2 must spill: {c:?}"
+        );
+        assert_eq!(c.jobs_ok, 8);
+        assert_eq!(c.rejected_queue_full, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_the_v2_schema_with_spill_and_shards() {
+        let server = start(ServeConfig::default());
+        let addr = server.local_addr();
+        let stats = roundtrip(addr, r#"{"op":"stats","id":"s"}"#);
+        assert!(
+            stats.contains(&format!("\"stats_schema\":{SERVE_STATS_SCHEMA}")),
+            "{stats}"
+        );
+        for field in [
+            "\"worker_restarts\":0",
+            "\"jobs_spilled\":0",
+            "\"spill\":{\"depth\":0",
+            "\"per_shard\":[",
+            "\"backend\":\"in-process\"",
+        ] {
+            assert!(stats.contains(field), "missing {field}: {stats}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn shutdown_drains_in_flight_work_and_rejects_new() {
         let server = start(ServeConfig::default());
         let addr = server.local_addr();
 
         // Park a slow-ish job, then shut down while it may still be
-        // queued or running; its client must still get a real response.
+        // queued or running; its client must still get a definitive
+        // answer (a result if it was in flight, an explicit drain notice
+        // if it was still queued — never silence).
         let slow = std::thread::spawn(move || {
             roundtrip(
                 addr,
@@ -915,5 +1370,30 @@ mod tests {
         // New connections are refused or reset after the drain; either
         // way the server threads have all exited by now.
         assert!(counters.requests >= 1);
+    }
+
+    #[test]
+    fn request_wire_json_round_trips_and_pins_options() {
+        let config = ServeConfig::default();
+        let req: AnalysisRequest = serde_json::from_str(
+            r#"{"id":"x","source":"var q = 1;","mode":"dep","scale":2,"inject":"error"}"#,
+        )
+        .unwrap();
+        let opts = request_options(&req, &config).unwrap();
+        let wire = request_wire_json(&req, &opts);
+        // The wire spec drops request-identity fields and makes every
+        // option explicit.
+        assert!(!wire.contains("\"id\""), "{wire}");
+        assert!(wire.contains("\"mode\":\"dependence\""), "{wire}");
+        assert!(wire.contains(&format!("\"seed\":{}", config.default_seed)), "{wire}");
+        assert!(wire.contains("\"scale\":2"), "{wire}");
+        assert!(wire.contains("\"inject\":\"error\""), "{wire}");
+        // And it round-trips through the ordinary request parser onto
+        // the same cache key.
+        let parsed: AnalysisRequest = serde_json::from_str(&wire).unwrap();
+        let opts2 = request_options(&parsed, &config).unwrap();
+        let k1 = CacheKey::of("var q = 1;", &opts, req.scale.unwrap_or(1));
+        let k2 = CacheKey::of("var q = 1;", &opts2, parsed.scale.unwrap_or(1));
+        assert_eq!(k1.fingerprint(), k2.fingerprint());
     }
 }

@@ -1,0 +1,428 @@
+//! Worker *process* supervision for `jsceresd`.
+//!
+//! Through PR 5 the daemon ran every job on an in-process thread pool:
+//! `catch_unwind` contains a Rust panic, but a segfault-class failure
+//! (stack overflow in native code, an `abort`, an OOM kill) takes the
+//! whole daemon — and its queue, cache, and every connected client —
+//! down with it. The Servo experience report (arXiv:1505.07383) names
+//! the fix: make the **process** the isolation boundary. This module
+//! implements it:
+//!
+//! * [`WorkerSpec`] describes how to start one analysis worker — in
+//!   production, `jsceresd --worker …`, the daemon re-executing itself.
+//! * [`worker_serve_stdio`] is the worker side: a loop that reads one
+//!   line-JSON job per line on stdin, runs it through the same
+//!   [`crate::fleet::supervise`] machinery a fleet job gets (so retry,
+//!   tick watchdog, and panic containment still work *inside* the
+//!   worker), and writes one [`WorkerResponse`] line on stdout.
+//! * [`WorkerSlot`] is the supervisor side: each serve worker thread
+//!   owns one slot, which owns (at most) one child process. A child
+//!   that dies mid-job costs exactly that job: the slot reaps it,
+//!   respawns with bounded exponential backoff, retries the job once on
+//!   the fresh child, and otherwise fails the job cleanly while the
+//!   daemon keeps serving.
+//!
+//! The worker protocol deliberately reuses the public wire vocabulary:
+//! the job line is a normal [`crate::serve::AnalysisRequest`] (with the
+//! options already resolved to explicit values by the supervisor, so a
+//! worker's own defaults can never skew the cache key), and the
+//! response fragment is built by the same code path the in-process
+//! backend uses — which is what keeps cold envelopes byte-identical
+//! across backends and golden-pinned.
+
+#![deny(missing_docs)]
+
+use crate::serve::{request_options, result_fragment, AnalysisRequest, Resolver, ServeConfig};
+use crate::cache::CacheKey;
+use crate::fleet::{supervise, FleetJob};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// How a worker process is started.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Executable to spawn (normally `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments — normally `--worker` plus the resolved serve defaults,
+    /// so the child computes identical options (and cache keys) for
+    /// every job.
+    pub args: Vec<String>,
+}
+
+/// One line of worker stdout: the finished job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerResponse {
+    /// Whether the job produced a report.
+    pub ok: bool,
+    /// Interpreter ticks this job spent (0 for failures without reports).
+    pub ticks: u64,
+    /// The response payload fragment — exactly what the in-process
+    /// backend's fragment builder produces, so the supervisor can cache
+    /// and forward it unchanged.
+    pub fragment: String,
+}
+
+/// Base respawn backoff after a worker crash; doubles per consecutive
+/// crash up to [`MAX_BACKOFF`], and resets after a successful job.
+const BASE_BACKOFF: Duration = Duration::from_millis(50);
+/// Backoff ceiling — a crash-looping worker never locks the slot out for
+/// more than this per respawn.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+/// Spawn attempts per job before declaring the slot unavailable.
+const SPAWN_TRIES: u32 = 3;
+/// Job attempts across worker crashes: the job is retried once on a
+/// fresh worker, then failed cleanly.
+const JOB_TRIES: u32 = 2;
+
+/// A live child process with its pipe pair.
+struct WorkerChild {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerChild {
+    fn spawn(spec: &WorkerSpec) -> std::io::Result<WorkerChild> {
+        let mut child = Command::new(&spec.program)
+            .args(&spec.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // stderr inherits: worker panics and watchdog chatter land in
+            // the daemon's stderr where the operator can see them.
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(WorkerChild {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// Send one job line and block for the response line. Any I/O error
+    /// (including EOF — the child died) is a crash signal to the slot.
+    fn send(&mut self, wire: &str) -> std::io::Result<WorkerResponse> {
+        self.stdin.write_all(wire.as_bytes())?;
+        self.stdin.write_all(b"\n")?;
+        self.stdin.flush()?;
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker process closed stdout mid-job",
+            ));
+        }
+        serde_json::from_str(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad worker response: {e}"),
+            )
+        })
+    }
+
+    /// OS pid (for logs and the ops manual's kill-a-worker drills).
+    fn id(&self) -> u32 {
+        self.child.id()
+    }
+}
+
+impl Drop for WorkerChild {
+    fn drop(&mut self) {
+        // Closing stdin asks the worker loop to exit; give it a moment,
+        // then make sure it is gone and reaped either way.
+        let _ = self.stdin.flush();
+        for _ in 0..20 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The result of asking a slot to run one job.
+#[derive(Debug)]
+pub enum SlotOutcome {
+    /// The worker answered.
+    Done(WorkerResponse),
+    /// The worker process died on every attempt; the job failed but the
+    /// daemon (and the slot, after respawn) keep going.
+    Crashed {
+        /// Job attempts consumed (each on a fresh worker).
+        attempts: u32,
+    },
+    /// The worker binary cannot be spawned at all (missing binary, fork
+    /// failure). The job fails; admission stays up.
+    Unavailable(String),
+}
+
+/// Supervisor-side handle owned by one serve worker thread: at most one
+/// child process, plus the restart bookkeeping.
+pub struct WorkerSlot {
+    spec: WorkerSpec,
+    child: Option<WorkerChild>,
+    consecutive_crashes: u32,
+    restarts: u64,
+}
+
+impl WorkerSlot {
+    /// A slot for `spec`; the child is spawned lazily on the first job.
+    pub fn new(spec: WorkerSpec) -> WorkerSlot {
+        WorkerSlot {
+            spec,
+            child: None,
+            consecutive_crashes: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Total worker respawns this slot has performed.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Current child pid, if one is running.
+    pub fn child_id(&self) -> Option<u32> {
+        self.child.as_ref().map(WorkerChild::id)
+    }
+
+    fn backoff(&self) -> Duration {
+        let shift = self.consecutive_crashes.saturating_sub(1).min(6);
+        MAX_BACKOFF.min(BASE_BACKOFF * (1u32 << shift))
+    }
+
+    fn ensure_child(&mut self) -> Result<(), String> {
+        if self.child.is_some() {
+            return Ok(());
+        }
+        let mut last_err = String::new();
+        for attempt in 0..SPAWN_TRIES {
+            match WorkerChild::spawn(&self.spec) {
+                Ok(c) => {
+                    self.child = Some(c);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    if attempt + 1 < SPAWN_TRIES {
+                        std::thread::sleep(BASE_BACKOFF * (attempt + 1));
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "cannot spawn worker `{}`: {last_err}",
+            self.spec.program.display()
+        ))
+    }
+
+    /// Run one job (a wire-format request line). Returns the outcome plus
+    /// the number of worker restarts this call performed — the caller
+    /// feeds that into the `worker_restarts` counter.
+    pub fn run(&mut self, wire: &str) -> (SlotOutcome, u64) {
+        let mut restarts_this_call = 0u64;
+        for attempt in 1..=JOB_TRIES {
+            if let Err(e) = self.ensure_child() {
+                return (SlotOutcome::Unavailable(e), restarts_this_call);
+            }
+            let child = self.child.as_mut().expect("ensured child");
+            match child.send(wire) {
+                Ok(resp) => {
+                    self.consecutive_crashes = 0;
+                    return (SlotOutcome::Done(resp), restarts_this_call);
+                }
+                Err(_) => {
+                    // The child died (or broke protocol) mid-job: reap
+                    // it, back off boundedly, and either retry the job on
+                    // a fresh worker or fail it cleanly.
+                    self.child = None;
+                    self.consecutive_crashes += 1;
+                    self.restarts += 1;
+                    restarts_this_call += 1;
+                    if attempt < JOB_TRIES {
+                        std::thread::sleep(self.backoff());
+                    }
+                }
+            }
+        }
+        (
+            SlotOutcome::Crashed {
+                attempts: JOB_TRIES,
+            },
+            restarts_this_call,
+        )
+    }
+
+    /// Drop the child (graceful: stdin EOF, then kill as a last resort).
+    pub fn shutdown(&mut self) {
+        self.child = None;
+    }
+}
+
+/// The worker side of the protocol: serve jobs from stdin to stdout
+/// until EOF. This is what `jsceresd --worker` runs. Each job line is an
+/// [`AnalysisRequest`] with options already made explicit by the
+/// supervisor; each response line is a [`WorkerResponse`].
+///
+/// Inside the worker, jobs still run under [`supervise`] — the tick
+/// watchdog, wall backstop, transient-error retry, and `catch_unwind`
+/// all apply — so the *process* boundary is reserved for the failures
+/// those cannot contain. `inject:"crash"` aborts the worker process on
+/// purpose (the supervised-crash drill used by tests and
+/// `scripts/serve_smoke.sh`).
+pub fn worker_serve_stdio(config: &ServeConfig, resolver: &Resolver) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stdin.lock().read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // supervisor closed our stdin: clean exit
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = run_one_job(trimmed, config, resolver);
+        stdout.write_all(response.as_bytes())?;
+        stdout.write_all(b"\n")?;
+        stdout.flush()?;
+    }
+}
+
+/// Run one job line and render the worker response line.
+fn run_one_job(wire: &str, config: &ServeConfig, resolver: &Resolver) -> String {
+    let req: AnalysisRequest = match serde_json::from_str(wire) {
+        Ok(r) => r,
+        Err(e) => return worker_error_line(&format!("bad worker job line: {e}")),
+    };
+    if req.inject.as_deref() == Some("crash") {
+        // The one fault `supervise` cannot contain, on purpose: die the
+        // way a segfaulting worker would, so the supervisor's restart
+        // path gets exercised by something real.
+        eprintln!("worker: injected crash — aborting (pid {})", std::process::id());
+        std::process::abort();
+    }
+    let opts = match request_options(&req, config) {
+        Ok(o) => o,
+        Err(e) => return worker_error_line(&e),
+    };
+    let resolved = match (resolver)(&req, &opts) {
+        Ok(r) => r,
+        Err(e) => return worker_error_line(&e),
+    };
+    let key = CacheKey::of(&resolved.source, &opts, req.scale.unwrap_or(1));
+    let job = FleetJob {
+        app: resolved.app,
+        slug: resolved.slug,
+        work: resolved.work,
+    };
+    let outcome = supervise(&job, 0, &config.policy);
+    let ticks = outcome
+        .report
+        .as_ref()
+        .map(|r| r.obs.counters.interp_ticks)
+        .unwrap_or(0);
+    let (ok, fragment) = result_fragment(&key, &outcome);
+    render_worker_response(ok, ticks, &fragment)
+}
+
+/// Hand-assembled [`WorkerResponse`] line (all fields always present, so
+/// the supervisor-side serde parse never sees an optional).
+fn render_worker_response(ok: bool, ticks: u64, fragment: &str) -> String {
+    format!(
+        "{{\"ok\":{ok},\"ticks\":{ticks},\"fragment\":\"{}\"}}",
+        crate::serve::json_escape(fragment)
+    )
+}
+
+fn worker_error_line(error: &str) -> String {
+    let fragment = format!(
+        "\"key\":\"\",\"app\":\"\",\"slug\":\"\",\"status\":\"failed\",\"attempts\":0,\"error\":\"{}\"",
+        crate::serve::json_escape(error)
+    );
+    render_worker_response(false, 0, &fragment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_failure_is_reported_not_fatal() {
+        let mut slot = WorkerSlot::new(WorkerSpec {
+            program: PathBuf::from("/nonexistent/jsceresd-worker-binary"),
+            args: vec!["--worker".to_string()],
+        });
+        let (outcome, restarts) = slot.run("{}");
+        match outcome {
+            SlotOutcome::Unavailable(e) => assert!(e.contains("cannot spawn"), "{e}"),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert_eq!(restarts, 0, "spawn failures are not restarts");
+    }
+
+    #[test]
+    fn crashing_command_burns_job_attempts_and_counts_restarts() {
+        // `false` exits immediately: every send sees EOF ⇒ crash path.
+        let mut slot = WorkerSlot::new(WorkerSpec {
+            program: PathBuf::from("/bin/false"),
+            args: vec![],
+        });
+        let (outcome, restarts) = slot.run("{\"op\":\"analyze\"}");
+        match outcome {
+            SlotOutcome::Crashed { attempts } => assert_eq!(attempts, JOB_TRIES),
+            other => panic!("expected Crashed, got {other:?}"),
+        }
+        assert_eq!(restarts, JOB_TRIES as u64);
+        assert_eq!(slot.restarts(), JOB_TRIES as u64);
+        // The slot recovers for the next job (fresh spawn attempt).
+        let (outcome2, _) = slot.run("{}");
+        assert!(matches!(outcome2, SlotOutcome::Crashed { .. }));
+    }
+
+    #[test]
+    fn echo_protocol_roundtrip_through_a_real_child() {
+        // `cat` speaks the protocol trivially: echoes the job line back.
+        // A WorkerResponse-shaped job line therefore parses as the
+        // response — proving the pipe plumbing end to end.
+        let mut slot = WorkerSlot::new(WorkerSpec {
+            program: PathBuf::from("/bin/cat"),
+            args: vec![],
+        });
+        let wire = r#"{"ok":true,"ticks":7,"fragment":"echoed"}"#;
+        let (outcome, restarts) = slot.run(wire);
+        match outcome {
+            SlotOutcome::Done(resp) => {
+                assert!(resp.ok);
+                assert_eq!(resp.ticks, 7);
+                assert_eq!(resp.fragment, "echoed");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(restarts, 0);
+        assert!(slot.child_id().is_some());
+        slot.shutdown();
+        assert!(slot.child_id().is_none());
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let mut slot = WorkerSlot::new(WorkerSpec {
+            program: PathBuf::from("/bin/false"),
+            args: vec![],
+        });
+        slot.consecutive_crashes = 40;
+        assert_eq!(slot.backoff(), MAX_BACKOFF);
+        slot.consecutive_crashes = 1;
+        assert_eq!(slot.backoff(), BASE_BACKOFF);
+    }
+}

@@ -9,12 +9,29 @@ cd "$(dirname "$0")/.."
 files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md PAPER.md PAPERS.md docs/*.md)
 
 # Guard against the glob silently matching nothing after a docs/ reshuffle.
-for must in docs/ARCHITECTURE.md docs/METRICS.md docs/PARALLELIZE.md; do
+for must in docs/ARCHITECTURE.md docs/METRICS.md docs/PARALLELIZE.md \
+            docs/OPERATIONS.md docs/SERVING.md; do
   if [ ! -f "$must" ]; then
     echo "MISSING: $must (expected by the documentation map)"
     exit 1
   fi
 done
+
+# The serving docs must cross-link both directions: an operator landing
+# on any one of README, OPERATIONS, or SERVING can reach the others.
+require_link() {
+  if ! grep -qF "$2" "$1"; then
+    echo "MISSING CROSS-LINK: $1 must link to $2"
+    exit 1
+  fi
+}
+require_link README.md "docs/OPERATIONS.md"
+require_link README.md "docs/SERVING.md"
+require_link DESIGN.md "docs/OPERATIONS.md"
+require_link docs/OPERATIONS.md "SERVING.md"
+require_link docs/OPERATIONS.md "../README.md"
+require_link docs/SERVING.md "OPERATIONS.md"
+require_link docs/METRICS.md "OPERATIONS.md"
 
 fail=0
 for f in "${files[@]}"; do

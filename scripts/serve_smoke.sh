@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# jsceresd serving smoke: start the daemon, hit it with concurrent
-# clients (registry app, inline source, repeats, one fault-injected),
-# assert the content-addressed cache actually hit, then shut down and
-# require a clean drain (exit 0). Run from anywhere; needs only python3
-# and the release binaries.
+# jsceresd serving smoke, multi-process edition: start the daemon with 3
+# worker processes and persistence dirs, hit it with concurrent clients
+# (registry app, inline source, repeats, one fault-injected), assert the
+# content-addressed cache actually hit, crash one worker mid-run (both an
+# injected abort and a raw kill -9) and require the supervisor to restart
+# it with every non-killed job succeeding, then shut down cleanly and
+# restart to prove the persisted cache serves a warm hit with zero new
+# interpreter ticks. Run from anywhere; needs only python3 and the
+# release binaries. The operator-facing story is docs/OPERATIONS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,32 +17,35 @@ cargo build --release --bins
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
 
-echo "== jsceresd serve smoke =="
-"$BIN/jsceresd" --addr 127.0.0.1:0 --workers 2 \
-    > "$tmp/daemon.out" 2> "$tmp/daemon.err" &
-daemon_pid=$!
+start_daemon() { # out-file err-file
+    "$BIN/jsceresd" --addr 127.0.0.1:0 --workers 3 \
+        --cache-dir "$tmp/cache" --spill-dir "$tmp/spill" \
+        > "$1" 2> "$2" &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q "^listening on " "$1" 2>/dev/null && break
+        kill -0 "$daemon_pid" 2>/dev/null || {
+            echo "FAIL: daemon died before binding" >&2
+            cat "$2" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$1" | head -1)
+    [ -n "$addr" ] || { echo "FAIL: no ready line" >&2; exit 1; }
+}
 
-# Wait for the ready line (the daemon prints it once the socket is bound).
-for _ in $(seq 1 50); do
-    grep -q "^listening on " "$tmp/daemon.out" 2>/dev/null && break
-    kill -0 "$daemon_pid" 2>/dev/null || {
-        echo "FAIL: daemon died before binding" >&2
-        cat "$tmp/daemon.err" >&2
-        exit 1
-    }
-    sleep 0.1
-done
-addr=$(sed -n 's/^listening on //p' "$tmp/daemon.out" | head -1)
-[ -n "$addr" ] || { echo "FAIL: no ready line" >&2; exit 1; }
+echo "== jsceresd serve smoke (cold start, 3 worker processes) =="
+start_daemon "$tmp/daemon.out" "$tmp/daemon.err"
 echo "daemon up at $addr (pid $daemon_pid)"
 
-# Concurrent clients: a registry app twice (second must hit the cache),
-# inline source twice, and one fault-injected request that must be
-# supervised (retried) rather than cached.
-python3 - "$addr" "$tmp" <<'EOF'
+# Phase 1 — cache behavior under concurrency, plus the supervised-retry
+# fault drill (same checks as the single-process era: the wire surface
+# must not have drifted).
+python3 - "$addr" <<'EOF'
 import json, socket, sys, threading
 
-addr, tmp = sys.argv[1], sys.argv[2]
+addr = sys.argv[1]
 host, port = addr.rsplit(":", 1)
 
 def rpc(line):
@@ -53,8 +60,7 @@ def rpc(line):
     return json.loads(buf)
 
 # Warm the cache serially first so the repeats below must hit.
-app = '{"id":"warm","app":"haar","mode":"light"}'
-cold = rpc(app)
+cold = rpc('{"id":"warm","app":"haar","mode":"light"}')
 assert cold["ok"] and not cold["cached"], cold
 
 requests = [
@@ -82,19 +88,130 @@ injected = results[3]
 assert injected["attempts"] == 2, f"fault not supervised: {injected}"
 
 stats = rpc('{"op":"stats"}')
+assert stats["stats_schema"] == 2, stats
+assert stats["backend"] == "process", stats
 c = stats["counters"]
 assert c["cache_hits"] > 0, f"no cache hits: {stats}"
 assert c["jobs_failed"] == 0, f"unexpected failures: {stats}"
 assert c["requests"] >= 5, stats
-print(f"OK: {c['requests']} requests, {c['cache_hits']} cache hits, "
+print(f"OK phase 1: {c['requests']} requests, {c['cache_hits']} cache hits, "
       f"{c['jobs_ok']} jobs ok, injected request supervised in "
       f"{injected['attempts']} attempts")
-
-bye = rpc('{"op":"shutdown"}')
-assert bye["ok"], bye
 EOF
 
-# Clean drain: exit 0 and a drained summary on stderr.
+# Phase 2 — crash a worker process mid-run, twice over: an injected
+# abort racing three real jobs, then a raw kill -9 of a live worker.
+# The supervisor must report the restarts and every non-killed job must
+# succeed.
+workers_before=$(pgrep -P "$daemon_pid" | head -3 | tr '\n' ' ')
+echo "worker pids: $workers_before"
+victim=$(pgrep -P "$daemon_pid" | head -1)
+python3 - "$addr" <<'EOF'
+import json, socket, sys, threading
+
+addr = sys.argv[1]
+host, port = addr.rsplit(":", 1)
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+# An injected crash aborts its worker process mid-job while three real
+# jobs run on the other workers.
+jobs = [
+    '{"id":"j1","source":"var a = 0; for (var i = 0; i < 40; i++) { a += i; }","mode":"dep"}',
+    '{"id":"j2","source":"var b = 0; for (var i = 0; i < 41; i++) { b += i; }","mode":"dep"}',
+    '{"id":"j3","source":"var c = 0; for (var i = 0; i < 42; i++) { c += i; }","mode":"dep"}',
+]
+results = [None] * len(jobs)
+def worker(i, line):
+    results[i] = rpc(line)
+threads = [threading.Thread(target=worker, args=(i, line))
+           for i, line in enumerate(jobs)]
+for t in threads: t.start()
+crash = rpc('{"id":"boom","source":"var x = 1;","inject":"crash"}')
+for t in threads: t.join()
+
+assert not crash["ok"] and crash["status"] == "worker-crashed", crash
+for line, r in zip(jobs, results):
+    assert r["ok"], f"non-killed job must survive the crash: {line} -> {r}"
+
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["worker_restarts"] >= 1, f"restart not reported: {stats}"
+assert c["jobs_failed"] == 1, f"only the crashed job may fail: {stats}"
+print(f"OK phase 2a: injected crash -> {c['worker_restarts']} worker "
+      f"restart(s), {c['jobs_ok']} jobs ok, {c['jobs_failed']} failed")
+EOF
+
+if [ -n "${victim:-}" ]; then
+    kill -9 "$victim" 2>/dev/null || true
+    echo "killed worker pid $victim"
+    python3 - "$addr" <<'EOF'
+import json, socket, sys, threading
+
+addr = sys.argv[1]
+host, port = addr.rsplit(":", 1)
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+# Enough jobs that every worker slot (including the killed one) gets
+# work: the dead worker is detected on dispatch, restarted, and the job
+# retried on the fresh process — so every client still succeeds.
+jobs = ['{"id":"k%d","source":"var k%d = 0; for (var i = 0; i < %d; i++) { k%d += i; }","mode":"dep"}'
+        % (i, i, 50 + i, i) for i in range(6)]
+results = [None] * len(jobs)
+def worker(i, line):
+    results[i] = rpc(line)
+threads = [threading.Thread(target=worker, args=(i, line))
+           for i, line in enumerate(jobs)]
+for t in threads: t.start()
+for t in threads: t.join()
+for line, r in zip(jobs, results):
+    assert r["ok"], f"job must survive a kill -9'd worker: {line} -> {r}"
+
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["worker_restarts"] >= 2, f"kill -9 restart not reported: {stats}"
+assert c["jobs_failed"] == 1, f"a kill during idle must cost no jobs: {stats}"
+print(f"OK phase 2b: kill -9 -> {c['worker_restarts']} total restart(s), "
+      f"all {len(jobs)} jobs ok")
+EOF
+fi
+
+python3 - "$addr" <<'EOF'
+import json, socket, sys
+addr = sys.argv[1]
+host, port = addr.rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=120) as s:
+    s.sendall(b'{"op":"shutdown"}\n')
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+assert json.loads(buf)["ok"]
+EOF
+
+# Clean drain despite the crashes: exit 0, a drained summary that
+# reports the worker restarts.
 code=0
 wait "$daemon_pid" || code=$?
 daemon_pid=
@@ -108,6 +225,57 @@ grep -q "^drained:" "$tmp/daemon.err" || {
     cat "$tmp/daemon.err" >&2
     exit 1
 }
-sed -n 's/^/daemon: /p' "$tmp/daemon.err"
+grep -qE "drained:.* [1-9][0-9]* worker restarts" "$tmp/daemon.err" || {
+    echo "FAIL: drained summary must report the worker restarts" >&2
+    cat "$tmp/daemon.err" >&2
+    exit 1
+}
+sed -n 's/^drained/daemon: drained/p' "$tmp/daemon.err"
+
+# Phase 3 — warm start: a fresh daemon on the same --cache-dir must
+# serve the phase-1 entry as a cache hit without a single interpreter
+# tick.
+echo "== warm start from persisted cache =="
+start_daemon "$tmp/daemon2.out" "$tmp/daemon2.err"
+echo "daemon up at $addr (pid $daemon_pid)"
+python3 - "$addr" <<'EOF'
+import json, socket, sys
+
+addr = sys.argv[1]
+host, port = addr.rsplit(":", 1)
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+warm = rpc('{"id":"restart","app":"haar","mode":"light"}')
+assert warm["ok"] and warm["cached"], f"warm start must hit the persisted cache: {warm}"
+
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["interp_ticks"] == 0, f"warm-start hit must cost zero ticks: {stats}"
+assert stats["cache"]["loaded"] > 0, f"no entries loaded from disk: {stats}"
+print(f"OK phase 3: warm hit from {stats['cache']['loaded']} persisted "
+      f"entries, 0 new interpreter ticks")
+
+bye = rpc('{"op":"shutdown"}')
+assert bye["ok"], bye
+EOF
+
+code=0
+wait "$daemon_pid" || code=$?
+daemon_pid=
+if [ "$code" -ne 0 ]; then
+    echo "FAIL: restarted daemon exited $code" >&2
+    cat "$tmp/daemon2.err" >&2
+    exit 1
+fi
 
 echo "serve smoke OK"

@@ -1,0 +1,22 @@
+//! Test-only analysis worker: `jsceresd --worker` minus the daemon.
+//!
+//! Integration tests spawn this binary as the supervisor's worker
+//! process (`WorkerSpec { program: env!("CARGO_BIN_EXE_serve-worker-harness"), .. }`)
+//! because Cargo only exposes `CARGO_BIN_EXE_*` paths for bins of the
+//! package under test. It runs the exact same loop as the production
+//! worker — [`ceres_core::supervisor::worker_serve_stdio`] over the
+//! workload-registry resolver with default serve options — so crash
+//! drills and byte-identity checks exercise the real code path.
+
+use ceres_core::serve::ServeConfig;
+use ceres_core::supervisor::worker_serve_stdio;
+use ceres_workloads::registry_resolver;
+
+fn main() {
+    let config = ServeConfig::default();
+    let resolver = registry_resolver(config.policy.clone());
+    if let Err(e) = worker_serve_stdio(&config, &resolver) {
+        eprintln!("serve-worker-harness: {e}");
+        std::process::exit(1);
+    }
+}

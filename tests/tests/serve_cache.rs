@@ -182,6 +182,140 @@ fn registry_app_warm_hit_is_byte_identical_with_zero_new_ticks() {
 }
 
 // ---------------------------------------------------------------------
+// Sharding and persistence
+
+/// A fresh scratch directory (std-only; no tempfile crate).
+fn tmpdir(label: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ceres-serve-cache-test-{label}-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+/// Distinct requests route across the cache shards, and the per-shard
+/// accounting in the `stats` op sums to the totals.
+#[test]
+fn distinct_requests_spread_across_cache_shards() {
+    let server = start(ServeConfig {
+        cache_shards: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    for i in 0..12 {
+        let r = roundtrip(
+            addr,
+            &format!(r#"{{"source":"var s{i} = {i};","mode":"light"}}"#),
+        );
+        assert!(r.contains("\"ok\":true"), "{r}");
+    }
+    let stats = roundtrip(addr, r#"{"op":"stats","id":"s"}"#);
+    let v: serde_json::Value = serde_json::from_str(&stats).expect("stats parses");
+    let cache = v.get("cache").expect("cache object");
+    let field = |obj: &serde_json::Value, name: &str| -> u64 {
+        obj.get(name)
+            .and_then(|x| x.as_u64())
+            .unwrap_or_else(|| panic!("missing {name}: {stats}"))
+    };
+    assert_eq!(field(cache, "shards"), 4, "{stats}");
+    assert_eq!(field(cache, "len"), 12, "{stats}");
+    let shards = cache
+        .get("per_shard")
+        .and_then(|x| x.as_array())
+        .expect("per_shard array")
+        .clone();
+    assert_eq!(shards.len(), 4);
+    let len_sum: u64 = shards.iter().map(|s| field(s, "len")).sum();
+    assert_eq!(len_sum, 12, "shard lens must sum to the total: {stats}");
+    let populated = shards.iter().filter(|s| field(s, "len") > 0).count();
+    assert!(
+        populated >= 2,
+        "12 distinct keys must not all hash to one of 4 shards: {stats}"
+    );
+    server.shutdown();
+}
+
+/// Cache persistence across daemon restarts: a payload produced before a
+/// restart is served after it byte-identically, from disk, with zero new
+/// interpreter ticks — the warm-start acceptance criterion.
+#[test]
+fn persisted_cache_survives_restart_byte_identically_with_zero_ticks() {
+    let cache_dir = tmpdir("persist-reload");
+    let config = ServeConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let req = r#"{"id":"p1","app":"haar","mode":"light"}"#;
+
+    // First life: one cold run, written through to the shard files.
+    let server = start(config.clone());
+    let cold = roundtrip(server.local_addr(), req);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    server.shutdown();
+
+    // Second life: the entry must come back from disk — cached, byte-
+    // identical, and without a single new interpreter tick.
+    let server2 = start(config);
+    let warm = roundtrip(server2.local_addr(), r#"{"id":"p2","app":"haar","mode":"light"}"#);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(
+        payload_tail(&cold),
+        payload_tail(&warm),
+        "persisted payload must be byte-identical across restarts"
+    );
+    let counters = server2.counters();
+    assert_eq!(
+        counters.interp_ticks, 0,
+        "a warm-start hit must not enter the interpreter: {counters:?}"
+    );
+    assert_eq!(counters.cache_hits, 1, "{counters:?}");
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Corruption in one persisted shard line must not poison the daemon:
+/// damaged entries are skipped on load and simply re-run cold.
+#[test]
+fn corrupt_persisted_shard_lines_are_skipped_not_served() {
+    let cache_dir = tmpdir("corrupt-shard");
+    let config = ServeConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let req = r#"{"id":"k1","app":"haar","mode":"light"}"#;
+    let server = start(config.clone());
+    let cold = roundtrip(server.local_addr(), req);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    server.shutdown();
+
+    // Flip bytes in every persisted payload.
+    for entry in std::fs::read_dir(&cache_dir).expect("read cache dir") {
+        let path = entry.expect("entry").path();
+        let data = std::fs::read_to_string(&path).expect("read shard");
+        if !data.is_empty() {
+            // Every stored fragment starts with `"key":...` — damaging it
+            // breaks the per-line checksum.
+            std::fs::write(&path, data.replace("\"key\"", "\"kXy\"")).expect("corrupt shard");
+        }
+    }
+
+    let server2 = start(config);
+    let after = roundtrip(server2.local_addr(), req);
+    assert!(
+        after.contains("\"cached\":false"),
+        "a corrupt entry must be dropped, not served: {after}"
+    );
+    assert!(after.contains("\"ok\":true"), "{after}");
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+// ---------------------------------------------------------------------
 // Cross-instance determinism
 
 /// Canonical payloads are a function of the request alone: concurrent
