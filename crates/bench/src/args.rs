@@ -185,6 +185,9 @@ pub struct DaemonArgs {
     pub in_process: bool,
     /// `--queue-cap N`: in-memory job-ring bound (overflow spills).
     pub queue_capacity: Option<usize>,
+    /// `--parse-workers N`: parse-stage threads (the pipeline front
+    /// half; interp slots are `--workers`).
+    pub parse_workers: Option<usize>,
     /// `--cache-cap N`: result-cache capacity in entries, all shards.
     pub cache_capacity: Option<usize>,
     /// `--cache-shards N`: number of cache shards.
@@ -233,6 +236,13 @@ pub fn parse_daemon_args(args: &[String]) -> Result<DaemonArgs, String> {
             }
             "--queue-cap" => {
                 d.queue_capacity = Some(positive(&value(args, i, "--queue-cap")?, "--queue-cap")?);
+                i += 2;
+            }
+            "--parse-workers" => {
+                d.parse_workers = Some(positive(
+                    &value(args, i, "--parse-workers")?,
+                    "--parse-workers",
+                )?);
                 i += 2;
             }
             "--cache-cap" => {

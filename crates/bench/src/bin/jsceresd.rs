@@ -6,6 +6,9 @@
 //!   --addr HOST:PORT        listen address (default 127.0.0.1:7015;
 //!                           port 0 picks a free port)
 //!   --workers <n>           analysis worker processes (default 2)
+//!   --parse-workers <n>     parse-stage threads: the pipeline front
+//!                           half, overlapping one job's parse with
+//!                           another's interp (default 2)
 //!   --in-process            run jobs on in-process threads instead of
 //!                           worker processes (no crash isolation)
 //!   --worker                run as a worker process over stdin/stdout
@@ -29,7 +32,10 @@
 //! ```
 //!
 //! Protocol: line-delimited JSON over TCP — see `docs/SERVING.md`. One
-//! request per line, one response line per request. Requests name either
+//! request per line; one response line per request by default, or — with
+//! `"stream":true` — a schema-2 frame sequence (`accepted`, per-phase
+//! `phase` frames, an early `partial` timing row, then the terminal
+//! `result`/`error`). Requests name either
 //! a registry workload (`{"app":"nbody"}` — any slug from
 //! `jsceres analyze-all`) or inline source (`{"source":"var x = 1;"}`),
 //! plus the analysis options of the `AnalyzeOptions` builder. Results
@@ -56,7 +62,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: jsceresd [--addr HOST:PORT] [--workers N] [--in-process] [--worker]\n\
+        "usage: jsceresd [--addr HOST:PORT] [--workers N] [--parse-workers N]\n\
+         \x20               [--in-process] [--worker]\n\
          \x20               [--queue-cap N] [--spill-dir DIR]\n\
          \x20               [--cache-cap N] [--cache-shards N] [--cache-dir DIR]\n\
          \x20               [--mode light|loop|dep] [--seed N] [--watchdog-ticks N]\n\
@@ -105,6 +112,9 @@ fn parse_args() -> DaemonOptions {
     };
     if let Some(n) = daemon.queue_capacity {
         config.queue_capacity = n;
+    }
+    if let Some(n) = daemon.parse_workers {
+        config.parse_workers = n;
     }
     if let Some(n) = daemon.cache_capacity {
         config.cache_capacity = n;

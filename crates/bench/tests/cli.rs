@@ -321,7 +321,9 @@ fn jsceresd_worker_mode_answers_jobs_over_stdio() {
     assert!(line.contains("\\\"status\\\":\\\"ok\\\""), "{line}");
 
     // A second job on the same worker still works (the loop persists)...
-    stdin.write_all(b"{\"app\":\"haar\",\"mode\":\"light\"}\n").unwrap();
+    stdin
+        .write_all(b"{\"app\":\"haar\",\"mode\":\"light\"}\n")
+        .unwrap();
     stdin.flush().unwrap();
     line.clear();
     stdout.read_line(&mut line).unwrap();

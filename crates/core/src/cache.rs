@@ -375,8 +375,7 @@ pub struct ShardedCache {
 }
 
 fn relock_shard(m: &std::sync::Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
-    m.lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl ShardedCache {
@@ -458,7 +457,11 @@ impl ShardedCache {
             if let Some(file) = s.file.as_mut() {
                 use std::io::Write;
                 let line = format!("{fp}\t{}\t{stored}\n", sha256_hex(stored.as_bytes()));
-                if file.write_all(line.as_bytes()).and_then(|_| file.flush()).is_ok() {
+                if file
+                    .write_all(line.as_bytes())
+                    .and_then(|_| file.flush())
+                    .is_ok()
+                {
                     s.persisted += 1;
                 }
             }
@@ -662,10 +665,8 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ceres-cache-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ceres-cache-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -330,7 +330,17 @@ pub struct AppOutcome {
 /// *metrics* payload nested inside; this constant versions the envelope
 /// around reports and statuses. Bump on any breaking change to either
 /// surface.
-pub const API_SCHEMA_VERSION: u32 = 1;
+///
+/// Schema **2** is the streaming multi-frame wire protocol: a
+/// `stream:true` analyze request is answered with a sequence of typed
+/// frames (`accepted`/`phase`/`partial`/`notice` and a terminal
+/// `result`/`error`), each stamped `"schema":2`. One-shot requests —
+/// the default — are still answered with the original single-line
+/// envelope, rendered at [`crate::serve::ONESHOT_SCHEMA_VERSION`]
+/// (= 1) so schema-1 clients and the pinned envelope golden are
+/// byte-for-byte unchanged. See `docs/SERVING.md` for the frame
+/// reference and the compat matrix.
+pub const API_SCHEMA_VERSION: u32 = 2;
 
 /// The merged fleet result, app order matching the job order. Replaces the
 /// old all-or-nothing `Result<Vec<AppReport>, String>`: every app gets a

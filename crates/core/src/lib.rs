@@ -82,17 +82,20 @@ pub use fleet::{
     API_SCHEMA_VERSION,
 };
 pub use obs::{
-    chrome_trace, AppMetrics, Counters, FleetMetrics, PhaseSpan, RunObs, ServeCounters,
-    METRICS_SCHEMA_VERSION,
+    chrome_trace, emit_progress, install_progress_sink, AppMetrics, Counters, FleetMetrics,
+    PhaseSpan, Progress, ProgressSinkGuard, RunObs, ServeCounters, METRICS_SCHEMA_VERSION,
 };
 pub use parallel::{
     equivalence, run_parallel, EquivalenceReport, ParallelError, ParallelRunOutput, ParallelSpec,
 };
-pub use pipeline::{analyze, publish_report, AnalyzeOptions, AppRun, Document, WebServer};
+pub use pipeline::{
+    analyze, prepare_source, publish_report, AnalyzeOptions, AppRun, Document, PreparedSource,
+    WebServer,
+};
 pub use report::ReportRepo;
 pub use serve::{
-    mode_wire_name, parse_mode, request_wire_json, serve, AnalysisRequest, DrainHandle,
-    ServeConfig, ServerHandle, SERVE_STATS_SCHEMA,
+    mode_wire_name, parse_mode, render_frame, request_wire_json, serve, AnalysisRequest,
+    DrainHandle, Frame, ServeConfig, ServerHandle, ONESHOT_SCHEMA_VERSION, SERVE_STATS_SCHEMA,
 };
 pub use spill::{ephemeral_dir, SpillQueue, SpillStats};
 pub use stack::{
@@ -100,9 +103,7 @@ pub use stack::{
     CharBits, Characterization, Flag,
 };
 pub use suggest::{render_suggestions, suggest, Suggestion};
-pub use supervisor::{
-    worker_serve_stdio, SlotOutcome, WorkerResponse, WorkerSlot, WorkerSpec,
-};
+pub use supervisor::{worker_serve_stdio, SlotOutcome, WorkerResponse, WorkerSlot, WorkerSpec};
 pub use tasks::{task_limit_study, TaskLimitStudy, TaskRecord};
 pub use welford::Welford;
 pub use whatif::{

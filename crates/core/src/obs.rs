@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Version of the `--metrics` JSON document layout. Bump on any breaking
@@ -74,6 +75,74 @@ impl PhaseSpan {
             wall_us: 0,
             ..self.clone()
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live progress sink (streaming serve protocol)
+// ---------------------------------------------------------------------
+
+/// One mid-run progress event, emitted at the moment the pipeline
+/// records it (not after the run finishes). The streaming serve
+/// protocol turns these into schema-2 `phase`/`partial` wire frames;
+/// every other consumer (fleet, CLIs) leaves the sink uninstalled and
+/// pays one thread-local read per phase.
+#[derive(Debug, Clone)]
+pub enum Progress {
+    /// A pipeline phase just completed; carries the span as recorded
+    /// (tick range deterministic, wall fields noisy — wire renderers
+    /// must use the tick fields only).
+    Phase(PhaseSpan),
+    /// An early per-app result fragment: the Table-2 timing row, known
+    /// as soon as interpretation ends and long before the nest
+    /// classification and report render. Pre-rendered JSON object body
+    /// (no braces), deterministic.
+    Partial(String),
+}
+
+thread_local! {
+    static PROGRESS_SINK: RefCell<Option<Box<dyn FnMut(&Progress)>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed sink (usually `None`) when
+/// dropped, so a panicking attempt cannot leak its sink into the next
+/// job that reuses the thread.
+pub struct ProgressSinkGuard {
+    prev: Option<Box<dyn FnMut(&Progress)>>,
+    armed: bool,
+}
+
+impl Drop for ProgressSinkGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let prev = self.prev.take();
+            PROGRESS_SINK.with(|cell| *cell.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Install a progress sink on *this thread* for the lifetime of the
+/// returned guard. The pipeline's span recording points call the sink
+/// synchronously, so a job wrapper (see `serve`/`supervisor`) installs
+/// one on the runner thread to stream phase frames mid-run.
+pub fn install_progress_sink(sink: Box<dyn FnMut(&Progress)>) -> ProgressSinkGuard {
+    let prev = PROGRESS_SINK.with(|cell| cell.borrow_mut().replace(sink));
+    ProgressSinkGuard { prev, armed: true }
+}
+
+/// Feed one event to this thread's sink, if any. The sink is taken out
+/// for the duration of the call, so a sink that (indirectly) records a
+/// span does not recurse or double-borrow.
+pub fn emit_progress(p: &Progress) {
+    let taken = PROGRESS_SINK.with(|cell| cell.borrow_mut().take());
+    if let Some(mut sink) = taken {
+        sink(p);
+        PROGRESS_SINK.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(sink);
+            }
+        });
     }
 }
 
@@ -161,13 +230,15 @@ impl RunObs {
     pub fn push_post_phase(&mut self, phase: &str, wall_us: u64) {
         let end_ticks = self.spans.iter().map(|s| s.end_ticks).max().unwrap_or(0);
         let wall_start_us = self.last_wall_end_us();
-        self.spans.push(PhaseSpan {
+        let span = PhaseSpan {
             phase: phase.to_string(),
             start_ticks: end_ticks,
             end_ticks,
             wall_start_us,
             wall_us,
-        });
+        };
+        emit_progress(&Progress::Phase(span.clone()));
+        self.spans.push(span);
     }
 
     /// Copy with every wall-clock (nondeterministic) field zeroed; the
@@ -222,13 +293,15 @@ impl SpanRecorder {
     /// reading) to now, spanning the given virtual-clock tick range.
     pub fn record(&mut self, phase: &str, start_ticks: u64, end_ticks: u64, wall_start_us: u64) {
         let wall_us = self.now_us().saturating_sub(wall_start_us);
-        self.spans.push(PhaseSpan {
+        let span = PhaseSpan {
             phase: phase.to_string(),
             start_ticks,
             end_ticks,
             wall_start_us,
             wall_us,
-        });
+        };
+        emit_progress(&Progress::Phase(span.clone()));
+        self.spans.push(span);
     }
 
     /// Record a sub-span whose duration was measured elsewhere (e.g. the
@@ -493,6 +566,16 @@ pub struct ServeCounters {
     /// Queued-but-unstarted jobs flushed to the spill file at drain time
     /// (the never-silently-dropped guarantee).
     pub jobs_flushed_on_drain: u64,
+    /// Analyze requests served over the schema-2 streaming protocol
+    /// (`stream:true`).
+    pub streams: u64,
+    /// Non-terminal frames (accepted/phase/partial/notice) written to
+    /// streaming clients. Terminal result/error lines are not counted —
+    /// they exist on the one-shot wire too.
+    pub frames_streamed: u64,
+    /// `notice` frames sent the moment a streaming client's job was
+    /// parked on the disk spill queue (admission-time, not drain-time).
+    pub spill_notices: u64,
 }
 
 #[cfg(test)]

@@ -6,13 +6,21 @@
 //! cache. This module is the serving core of the multi-process redesign
 //! (see `docs/OPERATIONS.md` for the operator's view):
 //!
-//! 1. **A stable wire surface.** Clients send one line-delimited JSON
-//!    [`AnalysisRequest`] per request over TCP; every response line is a
-//!    JSON envelope stamped with [`crate::fleet::API_SCHEMA_VERSION`].
-//!    The request fields map 1:1 onto the [`AnalyzeOptions`] builder, so
-//!    the daemon, `jsceres`, and `repro fleet` all speak the same
-//!    options vocabulary. The envelope bytes are unchanged from the
-//!    single-process design and stay golden-pinned.
+//! 1. **A stable, versioned wire surface.** Clients send one
+//!    line-delimited JSON [`AnalysisRequest`] per request over TCP. A
+//!    default (one-shot) request is answered with a single JSON
+//!    envelope rendered at [`ONESHOT_SCHEMA_VERSION`] — byte-identical
+//!    to every prior PR and golden-pinned. A `stream:true` request is
+//!    answered with the schema-2 multi-frame protocol
+//!    ([`crate::fleet::API_SCHEMA_VERSION`]): `accepted`, per-phase
+//!    `phase` frames as each pipeline stage completes, an early
+//!    `partial` timing frame, `notice` frames for queue events, and a
+//!    terminal `result`/`error` frame whose payload fragment is the
+//!    *same bytes* the one-shot envelope carries. All frames are built
+//!    by one [`render_frame`] (the one-shot envelope is the degenerate
+//!    single-`result` render). The request fields map 1:1 onto the
+//!    [`AnalyzeOptions`] builder, so the daemon, `jsceres`, and
+//!    `repro fleet` all speak the same options vocabulary.
 //! 2. **A sharded, persistent, content-addressed result cache.** Each
 //!    analyze request is keyed by [`crate::cache::CacheKey`]; keys route
 //!    to one of N [`ShardedCache`] shards (per-shard locks, per-shard
@@ -30,7 +38,20 @@
 //! 4. **Spill-to-disk admission.** The in-memory ring holds up to
 //!    `queue_capacity` jobs; overflow is appended to a crash-safe
 //!    [`SpillQueue`] segment file and drained strictly FIFO behind the
-//!    ring, so bursts queue on disk instead of being rejected.
+//!    ring, so bursts queue on disk instead of being rejected — and a
+//!    streaming client is told by an immediate `notice` frame the
+//!    moment its job is parked on disk, not only at drain time.
+//! 5. **Cross-job phase pipelining.** Execution is split into two
+//!    stage pools (Brodu et al., arXiv:1512.07067 — the event loop
+//!    re-architected as a pipeline): a *parse stage* pulls admitted
+//!    jobs, runs the parse+rewrite front half
+//!    ([`crate::pipeline::prepare_source`]) and emits the early phase
+//!    frames, then hands off to the *interp stage* (the worker slots,
+//!    threads or processes). Stages of different jobs overlap — while
+//!    one job holds an interp slot mid-dependence-analysis, the next
+//!    job's parse runs on a parse thread, and an unparseable job is
+//!    rejected without ever occupying an interp slot. Spilled jobs
+//!    replay through the same two stages.
 //!
 //! Shutdown is a graceful drain: a `shutdown` op (or
 //! [`ServerHandle::shutdown`], or SIGTERM via
@@ -76,10 +97,18 @@ const HANG_FALLBACK_TICKS: u64 = 2_000_000;
 const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Version stamp of the `stats` op payload (see `docs/METRICS.md`).
-/// Bumped to 2 when serving went multi-process: spill, shard, and
-/// worker-restart fields joined the payload. The *analyze* envelope is
-/// deliberately unchanged (still [`API_SCHEMA_VERSION`]).
-pub const SERVE_STATS_SCHEMA: u32 = 2;
+/// 2 added the multi-process fields (spill, shards, worker restarts);
+/// 3 added the streaming-pipeline fields: `exec_depth` in the payload
+/// and `streams`/`frames_streamed`/`spill_notices` in the counters.
+pub const SERVE_STATS_SCHEMA: u32 = 3;
+
+/// Schema stamp of the legacy one-shot envelope — and of every
+/// non-analyze op (`ping`, `stats`, `shutdown`), which are one-shot by
+/// nature. A request without `stream:true` is answered exactly as
+/// before the streaming protocol existed: one `"schema":1` line,
+/// byte-identical and golden-pinned. [`API_SCHEMA_VERSION`] (2) is the
+/// multi-frame streaming protocol.
+pub const ONESHOT_SCHEMA_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------------
 // Wire protocol
@@ -115,6 +144,11 @@ pub struct AnalysisRequest {
     /// or — process-worker backend only — `crash`), exercising the
     /// supervisor; injected requests are never cached.
     pub inject: Option<String>,
+    /// `true` ⇒ answer with the schema-2 multi-frame stream
+    /// (`accepted`/`phase`/`partial`/`notice` frames before the
+    /// terminal `result`/`error`). Absent or `false` ⇒ the schema-1
+    /// one-shot envelope, byte-identical to pre-streaming servers.
+    pub stream: Option<bool>,
 }
 
 /// Parse a mode name as accepted on the CLI and the wire. The single
@@ -187,17 +221,169 @@ pub fn request_wire_json(req: &AnalysisRequest, opts: &AnalyzeOptions) -> String
     if let Some(i) = &req.inject {
         parts.push(format!("\"inject\":\"{}\"", json_escape(i)));
     }
+    if req.stream == Some(true) {
+        // Carried so a worker *process* knows to emit frame lines on its
+        // stdout pipe; a replayed spill job with no waiting client keeps
+        // the flag but its frames are discarded supervisor-side.
+        parts.push("\"stream\":true".to_string());
+    }
     format!("{{{}}}", parts.join(","))
 }
 
-/// Assemble a response envelope around a payload fragment. The fragment
-/// (everything after `cached`) is exactly what the cache stores, so a
-/// warm hit is byte-identical in every field that describes the result;
-/// only `id` and `cached` — which describe the *request* — may differ.
-fn envelope(id: &str, ok: bool, cached: bool, fragment: &str) -> String {
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// One unit of an analyze response. A schema-2 streaming response is a
+/// sequence of frames ending in exactly one terminal frame; a schema-1
+/// one-shot response is the degenerate case — a single terminal frame
+/// rendered as the legacy envelope. Every response line on the wire
+/// (both backends, both schemas) goes through [`render_frame`], so
+/// there is exactly one place envelope bytes are assembled.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// The job passed admission and is queued; `queue_depth` is its
+    /// position-ish depth at admission (ring length, plus spill depth
+    /// beyond capacity for spilled jobs). A warm cache hit skips
+    /// straight to `result` — `accepted` always implies real work.
+    Accepted {
+        /// Queue depth observed at admission.
+        queue_depth: u64,
+    },
+    /// A pipeline phase of this job completed. Tick fields are virtual
+    /// clock readings and therefore deterministic; wall-clock data is
+    /// deliberately not carried (it would make the stream golden
+    /// unpinnable — same rule as the canonical report).
+    Phase {
+        /// Phase name, one of [`crate::obs::PHASES`].
+        phase: String,
+        /// Virtual clock at phase start, ticks.
+        start_ticks: u64,
+        /// Virtual clock at phase end, ticks.
+        end_ticks: u64,
+    },
+    /// An early per-app result: the Table-2 timing row, known the
+    /// moment interpretation ends, long before nest classification and
+    /// report rendering. The fragment is a pre-rendered JSON object
+    /// body, deterministic.
+    Partial {
+        /// Pre-rendered JSON object body (no surrounding braces).
+        fragment: String,
+    },
+    /// Out-of-band queue event: the job spilled to disk, or the server
+    /// is draining. Never terminal, never cached.
+    Notice {
+        /// Human-readable event description.
+        notice: String,
+    },
+    /// Terminal: the job ran to a successful supervised outcome (or was
+    /// a warm cache hit). The fragment is exactly what the cache
+    /// stores, so a warm hit is byte-identical in every result field;
+    /// only `id`, `seq`, and `cached` — which describe the *request* —
+    /// may differ.
+    Result {
+        /// Whether the job produced a report.
+        ok: bool,
+        /// Whether the fragment came from the result cache.
+        cached: bool,
+        /// Result payload fragment (JSON object body).
+        fragment: String,
+    },
+    /// Terminal: the request failed — bad request, queue full,
+    /// draining, parse rejection, or a job that ran and did not produce
+    /// a report (panicked / hung / crashed worker).
+    Error {
+        /// Error payload fragment (JSON object body).
+        fragment: String,
+    },
+}
+
+impl Frame {
+    /// Terminal frames end the response; every request gets exactly one.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Frame::Result { .. } | Frame::Error { .. })
+    }
+
+    /// The wire `type` tag of a schema-2 frame.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Frame::Accepted { .. } => "accepted",
+            Frame::Phase { .. } => "phase",
+            Frame::Partial { .. } => "partial",
+            Frame::Notice { .. } => "notice",
+            Frame::Result { .. } => "result",
+            Frame::Error { .. } => "error",
+        }
+    }
+}
+
+/// Render one frame as one wire line (sans newline). Schema 1 renders
+/// only terminal frames — no `type`, no `seq`, the legacy envelope
+/// byte-for-byte. Schema 2 stamps every frame with its type and the
+/// per-response sequence number.
+pub fn render_frame(schema: u32, id: &str, seq: u64, frame: &Frame) -> String {
+    if schema == ONESHOT_SCHEMA_VERSION {
+        let (ok, cached, fragment) = match frame {
+            Frame::Result {
+                ok,
+                cached,
+                fragment,
+            } => (*ok, *cached, fragment.clone()),
+            Frame::Error { fragment } => (false, false, fragment.clone()),
+            // Non-terminal frames have no schema-1 form; the one-shot
+            // path never writes them. A defensive render keeps this
+            // function total.
+            other => (
+                false,
+                false,
+                error_fragment(&format!(
+                    "internal: `{}` frame in a one-shot response",
+                    other.type_name()
+                )),
+            ),
+        };
+        return format!(
+            "{{\"schema\":{schema},\"id\":\"{}\",\"ok\":{ok},\"cached\":{cached},{fragment}}}",
+            json_escape(id)
+        );
+    }
+    let body = match frame {
+        Frame::Accepted { queue_depth } => format!("\"queue_depth\":{queue_depth}"),
+        Frame::Phase {
+            phase,
+            start_ticks,
+            end_ticks,
+        } => format!(
+            "\"phase\":\"{}\",\"start_ticks\":{start_ticks},\"end_ticks\":{end_ticks}",
+            json_escape(phase)
+        ),
+        Frame::Partial { fragment } => fragment.clone(),
+        Frame::Notice { notice } => format!("\"notice\":\"{}\"", json_escape(notice)),
+        Frame::Result {
+            ok,
+            cached,
+            fragment,
+        } => format!("\"ok\":{ok},\"cached\":{cached},{fragment}"),
+        Frame::Error { fragment } => format!("\"ok\":false,\"cached\":false,{fragment}"),
+    };
     format!(
-        "{{\"schema\":{API_SCHEMA_VERSION},\"id\":\"{}\",\"ok\":{ok},\"cached\":{cached},{fragment}}}",
+        "{{\"schema\":{schema},\"type\":\"{}\",\"id\":\"{}\",\"seq\":{seq},{body}}}",
+        frame.type_name(),
         json_escape(id)
+    )
+}
+
+/// The legacy one-shot envelope: a degenerate single-`result` render.
+fn envelope(id: &str, ok: bool, cached: bool, fragment: &str) -> String {
+    render_frame(
+        ONESHOT_SCHEMA_VERSION,
+        id,
+        0,
+        &Frame::Result {
+            ok,
+            cached,
+            fragment: fragment.to_string(),
+        },
     )
 }
 
@@ -426,6 +612,51 @@ pub fn result_fragment(key: &CacheKey, outcome: &AppOutcome) -> (bool, String) {
     }
 }
 
+/// Map a pipeline progress event to its streamed frame, if it has one.
+/// The parse stage already emitted `parse`/`rewrite` (the exec stage
+/// re-lowers from source and would re-record them), and sub-spans like
+/// `interp.compile` are an implementation detail — so the back half of
+/// the stream carries `interp`/`analyze`/`report` phases plus the
+/// `partial` timing row. Shared by the in-process sink and the worker
+/// process's stdout emitter, which keeps both backends' streams
+/// identical.
+pub(crate) fn frame_for_progress(p: &crate::obs::Progress) -> Option<Frame> {
+    match p {
+        crate::obs::Progress::Phase(span) => match span.phase.as_str() {
+            "interp" | "analyze" | "report" => Some(Frame::Phase {
+                phase: span.phase.clone(),
+                start_ticks: span.start_ticks,
+                end_ticks: span.end_ticks,
+            }),
+            _ => None,
+        },
+        crate::obs::Progress::Partial(fragment) => Some(Frame::Partial {
+            fragment: fragment.clone(),
+        }),
+    }
+}
+
+/// Wrap a job's work so each attempt runs with a progress sink that
+/// forwards phase/partial frames to the client's reply channel. The
+/// sink is installed *inside* the closure — i.e. on the supervised
+/// runner thread, where the pipeline's recording points fire — and the
+/// guard uninstalls it even when the attempt panics. Retried attempts
+/// re-emit their frames; `seq` stays monotonic because the connection
+/// handler stamps it at write time.
+fn streamed_work(inner: JobWork, reply: mpsc::Sender<Frame>) -> JobWork {
+    // `Sender` is `Send` but not `Sync`; `JobWork` must be both.
+    let reply = Mutex::new(reply);
+    Arc::new(move |worker, attempt| {
+        let tx = relock(&reply).clone();
+        let _guard = crate::obs::install_progress_sink(Box::new(move |p| {
+            if let Some(frame) = frame_for_progress(p) {
+                let _ = tx.send(frame);
+            }
+        }));
+        inner(worker, attempt)
+    })
+}
+
 // ---------------------------------------------------------------------
 // The server
 // ---------------------------------------------------------------------
@@ -435,10 +666,14 @@ pub fn result_fragment(key: &CacheKey, outcome: &AppOutcome) -> (bool, String) {
 /// overrides from its flags.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker slots executing queued jobs (threads, or — with
-    /// [`ServeConfig::worker_spec`] set — worker processes, one per
-    /// slot).
+    /// Worker slots executing the interp/analyze back half of queued
+    /// jobs (threads, or — with [`ServeConfig::worker_spec`] set —
+    /// worker processes, one per slot).
     pub workers: usize,
+    /// Parse-stage threads: the pipeline front half (resolve +
+    /// parse/rewrite + early frames) runs here, overlapping the next
+    /// job's parse with the previous job's interp.
+    pub parse_workers: usize,
     /// In-memory job-ring capacity; overflow spills to disk.
     pub queue_capacity: usize,
     /// Result-cache capacity, in entries (split across shards).
@@ -467,6 +702,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 2,
+            parse_workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
             cache_shards: 8,
@@ -480,25 +716,53 @@ impl Default for ServeConfig {
     }
 }
 
-/// One queued unit of work: a self-contained wire-format job spec (also
-/// the spill payload), its cache identity, and where to send the
-/// response fragment. Replayed spill jobs have no reply channel — their
-/// results go to the cache only.
+/// One admitted unit of work awaiting the parse stage: a self-contained
+/// wire-format job spec (also the spill payload), whether the client
+/// asked for the streaming protocol, and where to send frames. Replayed
+/// spill jobs have no reply channel — their results go to the cache
+/// only.
 struct QueuedJob {
     wire: String,
-    reply: Option<mpsc::Sender<(bool, String)>>,
+    stream: bool,
+    reply: Option<mpsc::Sender<Frame>>,
 }
 
-/// Queue state under the mutex: the bounded in-memory ring, the
-/// disk-backed overflow, reply channels for spilled jobs (keyed by spill
-/// seq), and the open/draining latch.
+/// A job past the parse stage, holding a slot in the bounded exec
+/// queue: the original spec (the exec backend re-lowers from it), the
+/// resolved [`PreparedJob`], and the client channel.
+struct ExecJob {
+    wire: String,
+    stream: bool,
+    reply: Option<mpsc::Sender<Frame>>,
+    prepared: PreparedJob,
+}
+
+/// A client parked on a spilled job: its frame channel plus whether it
+/// asked for the streaming protocol.
+struct Waiter {
+    reply: mpsc::Sender<Frame>,
+    stream: bool,
+}
+
+/// Queue state under the mutex: the bounded admission ring, the
+/// stage-1→stage-2 handoff queue, the disk-backed overflow, reply
+/// channels for spilled jobs (keyed by spill seq), and the
+/// open/draining latch.
 struct QueueState {
     memory: VecDeque<QueuedJob>,
+    /// Parsed jobs waiting for an interp slot, bounded by
+    /// `queue_capacity` (parse workers block while it is full, so the
+    /// front stage cannot run unboundedly ahead of the back stage).
+    exec: VecDeque<ExecJob>,
+    /// Jobs currently inside the parse stage (popped from the ring or
+    /// spill but not yet in `exec`): exec workers must not exit during
+    /// drain while this is non-zero.
+    parsing: usize,
     spill: Option<SpillQueue>,
     /// True when the spill directory was operator-chosen (backlog
     /// survives restarts); false for the ephemeral default.
     spill_persistent: bool,
-    waiters: HashMap<u64, mpsc::Sender<(bool, String)>>,
+    waiters: HashMap<u64, Waiter>,
     /// False once drain begins: workers exit when the ring is empty.
     open: bool,
 }
@@ -624,14 +888,30 @@ fn begin_drain(shared: &Arc<Shared>) {
                 flushed += 1;
             }
             if let Some(reply) = job.reply {
-                let _ = reply.send((false, drain_flush_fragment(persisted && persistent)));
+                if job.stream {
+                    let _ = reply.send(Frame::Notice {
+                        notice: "draining: flushing the queued tail".to_string(),
+                    });
+                }
+                let _ = reply.send(Frame::Error {
+                    fragment: drain_flush_fragment(persisted && persistent),
+                });
             }
         }
         // Jobs already spilled stay in the segment file; answer their
-        // waiting clients the same way.
-        let waiters: Vec<_> = q.waiters.drain().collect();
-        for (_seq, reply) in waiters {
-            let _ = reply.send((false, drain_flush_fragment(persistent)));
+        // waiting clients the same way. Jobs already past the parse
+        // stage (the exec queue) count as started: they run to
+        // completion and answer normally.
+        let waiters: Vec<Waiter> = q.waiters.drain().map(|(_, w)| w).collect();
+        for w in waiters {
+            if w.stream {
+                let _ = w.reply.send(Frame::Notice {
+                    notice: "draining: flushing the queued tail".to_string(),
+                });
+            }
+            let _ = w.reply.send(Frame::Error {
+                fragment: drain_flush_fragment(persistent),
+            });
         }
     }
     shared.bump(|c| c.jobs_flushed_on_drain += flushed);
@@ -697,6 +977,8 @@ pub fn serve(listener: TcpListener, config: ServeConfig, resolver: Resolver) -> 
     let shared = Arc::new(Shared {
         queue: Mutex::new(QueueState {
             memory: VecDeque::new(),
+            exec: VecDeque::new(),
+            parsing: 0,
             spill,
             spill_persistent,
             waiters: HashMap::new(),
@@ -714,15 +996,24 @@ pub fn serve(listener: TcpListener, config: ServeConfig, resolver: Resolver) -> 
         addr,
     });
 
-    let workers = (0..config.workers.max(1))
+    let mut workers: Vec<_> = (0..config.workers.max(1))
         .map(|worker_id| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("jsceresd-worker-{worker_id}"))
-                .spawn(move || worker_loop(&shared, worker_id))
+                .spawn(move || exec_loop(&shared, worker_id))
                 .expect("spawn worker")
         })
         .collect();
+    for parse_id in 0..config.parse_workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("jsceresd-parse-{parse_id}"))
+                .spawn(move || parse_loop(&shared))
+                .expect("spawn parse worker"),
+        );
+    }
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -766,13 +1057,16 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Pull the next job: the in-memory ring first, then the spill file
-/// (strict FIFO — arrivals go to the spill whenever it is non-empty, so
-/// ring-then-spill pop order preserves admission order).
+/// Pull the next admitted job into the parse stage: the in-memory ring
+/// first, then the spill file (strict FIFO — arrivals go to the spill
+/// whenever it is non-empty, so ring-then-spill pop order preserves
+/// admission order). Bumps `parsing` so exec workers know a job is in
+/// flight between the queues.
 fn next_job(shared: &Arc<Shared>) -> Option<QueuedJob> {
     let mut q = relock(&shared.queue);
     loop {
         if let Some(job) = q.memory.pop_front() {
+            q.parsing += 1;
             return Some(job);
         }
         if !q.open {
@@ -780,8 +1074,16 @@ fn next_job(shared: &Arc<Shared>) -> Option<QueuedJob> {
         }
         if let Some(spill) = q.spill.as_mut() {
             if let Some((seq, wire)) = spill.pop() {
-                let reply = q.waiters.remove(&seq);
-                return Some(QueuedJob { wire, reply });
+                let (reply, stream) = match q.waiters.remove(&seq) {
+                    Some(w) => (Some(w.reply), w.stream),
+                    None => (None, false),
+                };
+                q.parsing += 1;
+                return Some(QueuedJob {
+                    wire,
+                    stream,
+                    reply,
+                });
             }
         }
         q = shared
@@ -797,6 +1099,10 @@ fn next_job(shared: &Arc<Shared>) -> Option<QueuedJob> {
 struct PreparedJob {
     key: CacheKey,
     cacheable: bool,
+    /// Canonical source + mode, kept so the parse stage can run the
+    /// pipeline front half ([`crate::pipeline::prepare_source`]).
+    source: String,
+    mode: Mode,
     job: FleetJob,
 }
 
@@ -809,6 +1115,8 @@ fn prepare_job(shared: &Arc<Shared>, wire: &str) -> Result<PreparedJob, String> 
     Ok(PreparedJob {
         key,
         cacheable: resolved.cacheable,
+        source: resolved.source,
+        mode: opts.mode,
         job: FleetJob {
             app: resolved.app,
             slug: resolved.slug,
@@ -817,17 +1125,129 @@ fn prepare_job(shared: &Arc<Shared>, wire: &str) -> Result<PreparedJob, String> 
     })
 }
 
-fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
-    let mut slot = shared
-        .config
-        .worker_spec
-        .clone()
-        .map(WorkerSlot::new);
+/// Pipeline stage 1 (one thread of the parse pool): pull admitted jobs
+/// and run [`stage_parse`] on each. Exits when the queue closes and the
+/// ring is empty.
+fn parse_loop(shared: &Arc<Shared>) {
     while let Some(item) = next_job(shared) {
-        let (ok, fragment, ticks) = match prepare_job(shared, &item.wire) {
-            Ok(prepared) => execute_job(shared, worker_id, slot.as_mut(), &prepared, &item.wire),
-            Err(e) => (false, error_fragment(&e), 0),
-        };
+        stage_parse(shared, item);
+        // This parse slot is free: wake exec workers (their drain exit
+        // condition watches `parsing`) and anything else blocked on the
+        // queues.
+        relock(&shared.queue).parsing -= 1;
+        shared.available.notify_all();
+    }
+}
+
+/// Resolve one job and run its parse/rewrite front half, then hand it
+/// to the exec queue — or fail it here, before it can occupy an interp
+/// slot. Streaming jobs get their early `phase` frames from this stage;
+/// an unparseable streaming job is rejected with a terminal `error`
+/// without ever touching the back stage.
+fn stage_parse(shared: &Arc<Shared>, item: QueuedJob) {
+    let prepared = match prepare_job(shared, &item.wire) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.bump(|c| c.jobs_failed += 1);
+            if let Some(reply) = item.reply {
+                let _ = reply.send(Frame::Error {
+                    fragment: error_fragment(&e),
+                });
+            }
+            return;
+        }
+    };
+    // One-shot jobs skip the front half (the exec stage re-parses
+    // internally anyway, and their failure bytes must stay identical to
+    // the pre-pipeline server); streaming jobs pay a microseconds-scale
+    // double parse to get early frames and early rejection.
+    if item.stream {
+        match crate::pipeline::prepare_source(&prepared.source, prepared.mode) {
+            Ok(front) => {
+                if let Some(reply) = &item.reply {
+                    for span in &front.spans {
+                        let _ = reply.send(Frame::Phase {
+                            phase: span.phase.clone(),
+                            start_ticks: span.start_ticks,
+                            end_ticks: span.end_ticks,
+                        });
+                    }
+                }
+            }
+            Err(e) => {
+                shared.bump(|c| c.jobs_failed += 1);
+                if let Some(reply) = item.reply {
+                    let _ = reply.send(Frame::Error {
+                        fragment: format!(
+                            "\"key\":\"{}\",\"app\":\"{}\",\"slug\":\"{}\",\
+                             \"status\":\"failed\",\"attempts\":0,\"error\":\"{}\"",
+                            prepared.key.fingerprint(),
+                            json_escape(&prepared.job.app),
+                            json_escape(&prepared.job.slug),
+                            json_escape(&e),
+                        ),
+                    });
+                }
+                return;
+            }
+        }
+    }
+    enqueue_exec(
+        shared,
+        ExecJob {
+            wire: item.wire,
+            stream: item.stream,
+            reply: item.reply,
+            prepared,
+        },
+    );
+}
+
+/// Hand a parsed job to the exec queue, blocking while it is at
+/// capacity (backpressure: the parse stage cannot run unboundedly ahead
+/// of the interp stage). During drain the bound is waived so in-flight
+/// parses always land.
+fn enqueue_exec(shared: &Arc<Shared>, job: ExecJob) {
+    let mut q = relock(&shared.queue);
+    while q.open && q.exec.len() >= shared.config.queue_capacity {
+        q = shared
+            .available
+            .wait(q)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    q.exec.push_back(job);
+    drop(q);
+    shared.available.notify_all();
+}
+
+/// Pull the next parsed job for an interp slot. During drain, exec
+/// workers outlive the parse stage until it has fully flushed into the
+/// exec queue — a job past admission is never silently dropped.
+fn next_exec_job(shared: &Arc<Shared>) -> Option<ExecJob> {
+    let mut q = relock(&shared.queue);
+    loop {
+        if let Some(job) = q.exec.pop_front() {
+            drop(q);
+            // A capacity slot opened: wake blocked parse workers.
+            shared.available.notify_all();
+            return Some(job);
+        }
+        if !q.open && q.parsing == 0 && q.memory.is_empty() {
+            return None;
+        }
+        q = shared
+            .available
+            .wait(q)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Pipeline stage 2 (one thread per interp slot): run parsed jobs on
+/// this worker's backend and send each client its terminal frame.
+fn exec_loop(shared: &Arc<Shared>, worker_id: usize) {
+    let mut slot = shared.config.worker_spec.clone().map(WorkerSlot::new);
+    while let Some(job) = next_exec_job(shared) {
+        let (ok, fragment, ticks) = execute_job(shared, worker_id, slot.as_mut(), &job);
         shared.bump(|c| {
             c.interp_ticks += ticks;
             if ok {
@@ -836,8 +1256,17 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
                 c.jobs_failed += 1;
             }
         });
-        if let Some(reply) = item.reply {
-            let _ = reply.send((ok, fragment));
+        if let Some(reply) = &job.reply {
+            let frame = if ok {
+                Frame::Result {
+                    ok: true,
+                    cached: false,
+                    fragment,
+                }
+            } else {
+                Frame::Error { fragment }
+            };
+            let _ = reply.send(frame);
         }
     }
     if let Some(s) = slot.as_mut() {
@@ -845,21 +1274,31 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
     }
 }
 
-/// Run one prepared job on this worker's backend and return
+/// Run one parsed job on this worker's backend and return
 /// `(ok, fragment, ticks)` with the fragment already deduplicated
-/// through the cache (first-writer-wins) when cacheable.
+/// through the cache (first-writer-wins) when cacheable. Streaming
+/// jobs run with a frame path back to the client: the process backend
+/// forwards the worker pipe's frame lines, the in-process backend
+/// installs a progress sink on the runner thread.
 fn execute_job(
     shared: &Arc<Shared>,
     worker_id: usize,
     slot: Option<&mut WorkerSlot>,
-    prepared: &PreparedJob,
-    wire: &str,
+    job: &ExecJob,
 ) -> (bool, String, u64) {
+    let prepared = &job.prepared;
     let (ok, fragment, ticks) = match slot {
         // Process backend: ship the job line to this slot's worker
         // process; a dead worker is restarted with bounded backoff.
         Some(slot) => {
-            let (outcome, restarts) = slot.run(wire);
+            let streaming = job.stream && job.reply.is_some();
+            let (outcome, restarts) = slot.run(&job.wire, &mut |frame| {
+                if streaming {
+                    if let Some(reply) = &job.reply {
+                        let _ = reply.send(frame);
+                    }
+                }
+            });
             if restarts > 0 {
                 shared.bump(|c| c.worker_restarts += restarts);
             }
@@ -892,9 +1331,21 @@ fn execute_job(
                 ),
             }
         }
-        // In-process backend: the original thread-pool path.
+        // In-process backend: the original thread-pool path, with the
+        // work wrapped in a streaming progress sink when the client
+        // asked for frames.
         None => {
-            let outcome = supervise(&prepared.job, worker_id, &shared.config.policy);
+            let outcome = match (&job.reply, job.stream) {
+                (Some(reply), true) => {
+                    let streamed = FleetJob {
+                        app: prepared.job.app.clone(),
+                        slug: prepared.job.slug.clone(),
+                        work: streamed_work(Arc::clone(&prepared.job.work), reply.clone()),
+                    };
+                    supervise(&streamed, worker_id, &shared.config.policy)
+                }
+                _ => supervise(&prepared.job, worker_id, &shared.config.policy),
+            };
             let ticks = outcome
                 .report
                 .as_ref()
@@ -943,34 +1394,40 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line(line.trim(), shared);
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .is_err()
-        {
+        if handle_line(line.trim(), shared, &mut writer).is_err() {
             return;
         }
-        let _ = writer.flush();
     }
 }
 
-/// Dispatch one request line to one response line.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+/// Write one response line and flush (the protocol is line-delimited;
+/// a streaming client acts on each frame as it lands).
+fn write_line(out: &mut dyn Write, line: &str) -> std::io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+/// Dispatch one request line, writing one response line — or, for a
+/// streaming analyze, a frame sequence — to `out`. Non-analyze ops are
+/// one-shot by nature and always answer at [`ONESHOT_SCHEMA_VERSION`].
+fn handle_line(line: &str, shared: &Arc<Shared>, out: &mut dyn Write) -> std::io::Result<()> {
     let req: AnalysisRequest = match serde_json::from_str(line) {
         Ok(r) => r,
-        Err(e) => return error_line("", &format!("bad request: {e}")),
+        Err(e) => return write_line(out, &error_line("", &format!("bad request: {e}"))),
     };
     let id = req.id.clone().unwrap_or_default();
-    match req.op.as_deref().unwrap_or("analyze") {
+    let response = match req.op.as_deref().unwrap_or("analyze") {
         "ping" => envelope(&id, true, false, "\"op\":\"ping\""),
         "stats" => stats_line(&id, shared),
         "shutdown" => {
             begin_drain(shared);
             envelope(&id, true, false, "\"op\":\"shutdown\",\"draining\":true")
         }
-        "analyze" => handle_analyze(&req, &id, shared),
+        "analyze" => return handle_analyze(&req, &id, shared, out),
         other => error_line(&id, &format!("unknown op `{other}`")),
-    }
+    };
+    write_line(out, &response)
 }
 
 fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
@@ -979,10 +1436,11 @@ fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
     // The eviction odometer lives in the cache shards; mirror the
     // aggregate into the counters snapshot for one-stop scraping.
     counters.cache_evictions = cache.total.evictions;
-    let (queue_depth, spill) = {
+    let (queue_depth, exec_depth, spill) = {
         let q = relock(&shared.queue);
         (
             q.memory.len(),
+            q.exec.len(),
             q.spill.as_ref().map(|s| s.stats()),
         )
     };
@@ -1020,7 +1478,7 @@ fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"len\":{},\"capacity\":{},\
              \"shards\":{},\"persistent\":{},\"loaded\":{},\"load_corrupt\":{},\"persisted\":{},\
              \"per_shard\":[{per_shard}]}},\
-             \"queue_depth\":{queue_depth},\"spill\":{spill_json},\
+             \"queue_depth\":{queue_depth},\"exec_depth\":{exec_depth},\"spill\":{spill_json},\
              \"workers\":{},\"backend\":\"{backend}\",\"draining\":{}",
             cache.total.hits,
             cache.total.misses,
@@ -1038,16 +1496,81 @@ fn stats_line(id: &str, shared: &Arc<Shared>) -> String {
     )
 }
 
-fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> String {
+/// Writes the frames of one analyze response, stamping `seq` at write
+/// time — the stamp and the write are one step on this thread, so the
+/// sequence a client observes is gapless and monotonic no matter how
+/// the stages interleaved behind the channel.
+struct FrameWriter<'a> {
+    out: &'a mut dyn Write,
+    schema: u32,
+    id: &'a str,
+    seq: u64,
+    /// Non-terminal frames written (feeds the `frames_streamed` counter).
+    streamed: u64,
+}
+
+impl FrameWriter<'_> {
+    fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.seq += 1;
+        if !frame.is_terminal() {
+            self.streamed += 1;
+        }
+        write_line(
+            self.out,
+            &render_frame(self.schema, self.id, self.seq, frame),
+        )
+    }
+}
+
+/// How admission classified one analyze request.
+enum Admitted {
+    Ring(u64),
+    Spilled(u64),
+    Rejected(String),
+}
+
+fn handle_analyze(
+    req: &AnalysisRequest,
+    id: &str,
+    shared: &Arc<Shared>,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let stream_mode = req.stream.unwrap_or(false);
+    let schema = if stream_mode {
+        API_SCHEMA_VERSION
+    } else {
+        ONESHOT_SCHEMA_VERSION
+    };
+    let mut fw = FrameWriter {
+        out,
+        schema,
+        id,
+        seq: 0,
+        streamed: 0,
+    };
+
     let opts = match request_options(req, &shared.config) {
         Ok(o) => o,
-        Err(e) => return error_line(id, &e),
+        Err(e) => {
+            return fw.send(&Frame::Error {
+                fragment: error_fragment(&e),
+            })
+        }
     };
     let resolved = match (shared.resolver)(req, &opts) {
         Ok(r) => r,
-        Err(e) => return error_line(id, &e),
+        Err(e) => {
+            return fw.send(&Frame::Error {
+                fragment: error_fragment(&e),
+            })
+        }
     };
-    shared.bump(|c| c.requests += 1);
+    shared.bump(|c| {
+        c.requests += 1;
+        if stream_mode {
+            c.streams += 1;
+        }
+    });
     let key = CacheKey::of(&resolved.source, &opts, req.scale.unwrap_or(1));
 
     // Fault-injected requests bypass the cache in both directions: a hit
@@ -1056,24 +1579,34 @@ fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> Stri
     if resolved.cacheable {
         if let Some(fragment) = shared.cache.lookup(&key) {
             shared.bump(|c| c.cache_hits += 1);
-            return envelope(id, true, true, &fragment);
+            // A warm hit needs no pipeline: the stream collapses to its
+            // terminal frame (`accepted` always implies real work).
+            return fw.send(&Frame::Result {
+                ok: true,
+                cached: true,
+                fragment,
+            });
         }
         shared.bump(|c| c.cache_misses += 1);
     }
 
     if shared.draining.load(Ordering::SeqCst) {
         shared.bump(|c| c.rejected_draining += 1);
-        return error_line(id, "draining: not accepting new work");
+        return fw.send(&Frame::Error {
+            fragment: error_fragment("draining: not accepting new work"),
+        });
     }
 
     let wire = request_wire_json(req, &opts);
     let (tx, rx) = mpsc::channel();
-    {
+    let admitted = {
         let mut q = relock(&shared.queue);
         if !q.open {
             drop(q);
             shared.bump(|c| c.rejected_draining += 1);
-            return error_line(id, "draining: not accepting new work");
+            return fw.send(&Frame::Error {
+                fragment: error_fragment("draining: not accepting new work"),
+            });
         }
         // Strict FIFO admission: once anything is on disk, new arrivals
         // queue behind it.
@@ -1085,43 +1618,101 @@ fn handle_analyze(req: &AnalysisRequest, id: &str, shared: &Arc<Shared>) -> Stri
                 .map(|spill| spill.push(&wire).map(|seq| (seq, spill.len() as u64)));
             match pushed {
                 Some(Ok((seq, depth))) => {
-                    q.waiters.insert(seq, tx);
+                    q.waiters.insert(
+                        seq,
+                        Waiter {
+                            reply: tx,
+                            stream: stream_mode,
+                        },
+                    );
                     drop(q);
                     shared.bump(|c| {
                         c.jobs_spilled += 1;
                         c.spill_peak_depth = c.spill_peak_depth.max(depth);
+                        if stream_mode {
+                            c.spill_notices += 1;
+                        }
                     });
+                    Admitted::Spilled(depth)
                 }
                 Some(Err(e)) => {
                     drop(q);
-                    shared.bump(|c| c.rejected_queue_full += 1);
-                    return error_line(
-                        id,
-                        &format!("queue full and spill write failed ({e}): retry later"),
-                    );
+                    Admitted::Rejected(format!(
+                        "queue full and spill write failed ({e}): retry later"
+                    ))
                 }
                 None => {
                     drop(q);
-                    shared.bump(|c| c.rejected_queue_full += 1);
-                    return error_line(id, "queue full: retry later");
+                    Admitted::Rejected("queue full: retry later".to_string())
                 }
             }
         } else {
             q.memory.push_back(QueuedJob {
                 wire,
+                stream: stream_mode,
                 reply: Some(tx),
             });
             let depth = q.memory.len() as u64;
             drop(q);
             shared.bump(|c| c.queue_peak_depth = c.queue_peak_depth.max(depth));
+            Admitted::Ring(depth)
+        }
+    };
+    shared.available.notify_all();
+
+    match admitted {
+        Admitted::Rejected(e) => {
+            shared.bump(|c| c.rejected_queue_full += 1);
+            return fw.send(&Frame::Error {
+                fragment: error_fragment(&e),
+            });
+        }
+        Admitted::Ring(depth) => {
+            if stream_mode {
+                fw.send(&Frame::Accepted { queue_depth: depth })?;
+            }
+        }
+        Admitted::Spilled(depth) => {
+            // The spill-time notice (not just at drain): a streaming
+            // client learns immediately that its job went to disk.
+            if stream_mode {
+                fw.send(&Frame::Accepted {
+                    queue_depth: shared.config.queue_capacity as u64 + depth,
+                })?;
+                fw.send(&Frame::Notice {
+                    notice: format!(
+                        "job spilled to disk at depth {depth}; it runs in \
+                         admission order behind the in-memory ring"
+                    ),
+                })?;
+            }
         }
     }
-    shared.available.notify_one();
 
-    match rx.recv() {
-        Ok((ok, fragment)) => envelope(id, ok, false, &fragment),
-        Err(_) => error_line(id, "worker exited before finishing the job"),
+    loop {
+        match rx.recv() {
+            Ok(frame) => {
+                let terminal = frame.is_terminal();
+                if stream_mode || terminal {
+                    fw.send(&frame)?;
+                }
+                if terminal {
+                    break;
+                }
+            }
+            Err(_) => {
+                fw.send(&Frame::Error {
+                    fragment: error_fragment("worker exited before finishing the job"),
+                })?;
+                break;
+            }
+        }
     }
+    if fw.streamed > 0 {
+        let streamed = fw.streamed;
+        shared.bump(|c| c.frames_streamed += streamed);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1155,7 +1746,7 @@ mod tests {
         assert!(pong.contains("\"ok\":true"), "{pong}");
         assert!(pong.contains("\"id\":\"p1\""), "{pong}");
         assert!(
-            pong.contains(&format!("\"schema\":{API_SCHEMA_VERSION}")),
+            pong.contains(&format!("\"schema\":{ONESHOT_SCHEMA_VERSION}")),
             "{pong}"
         );
         let bad = roundtrip(addr, r#"{"op":"never"}"#);
@@ -1321,7 +1912,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_reports_the_v2_schema_with_spill_and_shards() {
+    fn stats_reports_the_current_schema_with_spill_and_shards() {
         let server = start(ServeConfig::default());
         let addr = server.local_addr();
         let stats = roundtrip(addr, r#"{"op":"stats","id":"s"}"#);
@@ -1332,6 +1923,10 @@ mod tests {
         for field in [
             "\"worker_restarts\":0",
             "\"jobs_spilled\":0",
+            "\"streams\":0",
+            "\"frames_streamed\":0",
+            "\"spill_notices\":0",
+            "\"exec_depth\":0",
             "\"spill\":{\"depth\":0",
             "\"per_shard\":[",
             "\"backend\":\"in-process\"",
@@ -1385,7 +1980,10 @@ mod tests {
         // option explicit.
         assert!(!wire.contains("\"id\""), "{wire}");
         assert!(wire.contains("\"mode\":\"dependence\""), "{wire}");
-        assert!(wire.contains(&format!("\"seed\":{}", config.default_seed)), "{wire}");
+        assert!(
+            wire.contains(&format!("\"seed\":{}", config.default_seed)),
+            "{wire}"
+        );
         assert!(wire.contains("\"scale\":2"), "{wire}");
         assert!(wire.contains("\"inject\":\"error\""), "{wire}");
         // And it round-trips through the ordinary request parser onto

@@ -115,11 +115,7 @@ impl SpillQueue {
                 match parse_record(line.trim_end_matches('\n')) {
                     Some((seq, payload_ok)) if payload_ok => {
                         if seq > consumed {
-                            index.push_back(Slot {
-                                seq,
-                                offset,
-                                len,
-                            });
+                            index.push_back(Slot { seq, offset, len });
                             stats.replayed += 1;
                         }
                         next_seq = next_seq.max(seq + 1);
@@ -290,10 +286,7 @@ pub fn ephemeral_dir(label: &str) -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NONCE: AtomicU64 = AtomicU64::new(0);
     let n = NONCE.fetch_add(1, Ordering::Relaxed);
-    std::env::temp_dir().join(format!(
-        "jsceresd-{label}-{}-{n}",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("jsceresd-{label}-{}-{n}", std::process::id()))
 }
 
 #[cfg(test)]
@@ -301,10 +294,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ceres-spill-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ceres-spill-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

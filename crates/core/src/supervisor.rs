@@ -29,16 +29,32 @@
 //! response fragment is built by the same code path the in-process
 //! backend uses — which is what keeps cold envelopes byte-identical
 //! across backends and golden-pinned.
+//!
+//! For a `stream:true` job the pipe carries *multiple* lines: zero or
+//! more frame lines (`{"frame":"phase",…}` / `{"frame":"partial",…}`)
+//! followed by exactly one terminal [`WorkerResponse`] line. The
+//! supervisor multiplexes the frame lines back to the right client
+//! connection ([`WorkerSlot::run`]'s `on_frame` callback); a worker
+//! that crashes mid-stream hits the ordinary crash path — the job is
+//! retried once on a fresh child (which re-emits its frames) or failed
+//! cleanly. Worker-side, a per-job stdout gate closes before the
+//! terminal line is written, so a runner thread abandoned by the wall
+//! watchdog can never interleave a stray frame into the next job's
+//! response.
 
 #![deny(missing_docs)]
 
-use crate::serve::{request_options, result_fragment, AnalysisRequest, Resolver, ServeConfig};
 use crate::cache::CacheKey;
-use crate::fleet::{supervise, FleetJob};
+use crate::fleet::{supervise, FleetJob, JobWork};
+use crate::serve::{
+    frame_for_progress, request_options, result_fragment, AnalysisRequest, Frame, Resolver,
+    ServeConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// How a worker process is started.
@@ -63,6 +79,60 @@ pub struct WorkerResponse {
     /// backend's fragment builder produces, so the supervisor can cache
     /// and forward it unchanged.
     pub fragment: String,
+}
+
+/// A non-terminal frame line on the worker pipe. Discriminated from the
+/// terminal [`WorkerResponse`] by its leading `"frame"` key (both sides
+/// render deterministically, so the prefix check is exact): phase and
+/// partial frames stream through, the terminal line never does.
+#[derive(Debug, Deserialize)]
+struct WorkerFrameLine {
+    frame: String,
+    phase: Option<String>,
+    start_ticks: Option<u64>,
+    end_ticks: Option<u64>,
+    fragment: Option<String>,
+}
+
+/// Parse one worker stdout line as a streamed frame, or `None` if it is
+/// the terminal response (or unrecognized — fail toward the strict
+/// terminal parser, whose error is a crash signal).
+fn parse_worker_frame(line: &str) -> Option<Frame> {
+    if !line.starts_with("{\"frame\":") {
+        return None;
+    }
+    let f: WorkerFrameLine = serde_json::from_str(line).ok()?;
+    match f.frame.as_str() {
+        "phase" => Some(Frame::Phase {
+            phase: f.phase?,
+            start_ticks: f.start_ticks.unwrap_or(0),
+            end_ticks: f.end_ticks.unwrap_or(0),
+        }),
+        "partial" => Some(Frame::Partial {
+            fragment: f.fragment?,
+        }),
+        _ => None,
+    }
+}
+
+/// Render the worker-side frame line for a streamed frame (the inverse
+/// of [`parse_worker_frame`]); frames with no pipe form render `None`.
+fn render_worker_frame(frame: &Frame) -> Option<String> {
+    match frame {
+        Frame::Phase {
+            phase,
+            start_ticks,
+            end_ticks,
+        } => Some(format!(
+            "{{\"frame\":\"phase\",\"phase\":\"{}\",\"start_ticks\":{start_ticks},\"end_ticks\":{end_ticks}}}",
+            crate::serve::json_escape(phase)
+        )),
+        Frame::Partial { fragment } => Some(format!(
+            "{{\"frame\":\"partial\",\"fragment\":\"{}\"}}",
+            crate::serve::json_escape(fragment)
+        )),
+        _ => None,
+    }
 }
 
 /// Base respawn backoff after a worker crash; doubles per consecutive
@@ -102,26 +172,43 @@ impl WorkerChild {
         })
     }
 
-    /// Send one job line and block for the response line. Any I/O error
-    /// (including EOF — the child died) is a crash signal to the slot.
-    fn send(&mut self, wire: &str) -> std::io::Result<WorkerResponse> {
+    /// Send one job line and block for the terminal response line,
+    /// forwarding any interleaved frame lines to `on_frame` as they
+    /// arrive. Any I/O error (including EOF — the child died) is a
+    /// crash signal to the slot.
+    fn send(
+        &mut self,
+        wire: &str,
+        on_frame: &mut dyn FnMut(Frame),
+    ) -> std::io::Result<WorkerResponse> {
         self.stdin.write_all(wire.as_bytes())?;
         self.stdin.write_all(b"\n")?;
         self.stdin.flush()?;
         let mut line = String::new();
-        let n = self.stdout.read_line(&mut line)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "worker process closed stdout mid-job",
-            ));
+        loop {
+            line.clear();
+            let n = self.stdout.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "worker process closed stdout mid-job",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(frame) = parse_worker_frame(trimmed) {
+                on_frame(frame);
+                continue;
+            }
+            return serde_json::from_str(trimmed).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad worker response: {e}"),
+                )
+            });
         }
-        serde_json::from_str(line.trim()).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("bad worker response: {e}"),
-            )
-        })
     }
 
     /// OS pid (for logs and the ops manual's kill-a-worker drills).
@@ -223,17 +310,22 @@ impl WorkerSlot {
         ))
     }
 
-    /// Run one job (a wire-format request line). Returns the outcome plus
-    /// the number of worker restarts this call performed — the caller
-    /// feeds that into the `worker_restarts` counter.
-    pub fn run(&mut self, wire: &str) -> (SlotOutcome, u64) {
+    /// Run one job (a wire-format request line). Frame lines the worker
+    /// streams mid-job are handed to `on_frame` as they arrive (pass a
+    /// no-op for one-shot jobs); the terminal response is the return
+    /// value. A job retried on a fresh worker after a crash re-emits
+    /// its frames — clients see duplicate phases, never a lost
+    /// terminal. Returns the outcome plus the number of worker restarts
+    /// this call performed — the caller feeds that into the
+    /// `worker_restarts` counter.
+    pub fn run(&mut self, wire: &str, on_frame: &mut dyn FnMut(Frame)) -> (SlotOutcome, u64) {
         let mut restarts_this_call = 0u64;
         for attempt in 1..=JOB_TRIES {
             if let Err(e) = self.ensure_child() {
                 return (SlotOutcome::Unavailable(e), restarts_this_call);
             }
             let child = self.child.as_mut().expect("ensured child");
-            match child.send(wire) {
+            match child.send(wire, on_frame) {
                 Ok(resp) => {
                     self.consecutive_crashes = 0;
                     return (SlotOutcome::Done(resp), restarts_this_call);
@@ -298,7 +390,38 @@ pub fn worker_serve_stdio(config: &ServeConfig, resolver: &Resolver) -> std::io:
     }
 }
 
-/// Run one job line and render the worker response line.
+/// Wrap a job's work so each supervised attempt emits frame lines to
+/// this process's stdout — but only while the per-job gate is open, and
+/// only while *holding* the gate lock, so closing the gate (which
+/// [`run_one_job`] does before rendering the terminal line) both blocks
+/// on any in-flight write and silences stragglers. Without the gate, a
+/// runner thread abandoned by the wall watchdog could write a frame
+/// *after* the terminal response and desync the pipe into the next
+/// job's stream.
+fn streamed_stdio_work(inner: JobWork, gate: Arc<Mutex<bool>>) -> JobWork {
+    Arc::new(move |worker, attempt| {
+        let gate = Arc::clone(&gate);
+        let _guard = crate::obs::install_progress_sink(Box::new(move |p| {
+            let Some(frame) = frame_for_progress(p) else {
+                return;
+            };
+            let Some(line) = render_worker_frame(&frame) else {
+                return;
+            };
+            let open = gate.lock().unwrap_or_else(PoisonError::into_inner);
+            if *open {
+                let mut out = std::io::stdout().lock();
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.write_all(b"\n");
+                let _ = out.flush();
+            }
+        }));
+        inner(worker, attempt)
+    })
+}
+
+/// Run one job line — streaming frames to stdout when the job asks for
+/// it — and render the terminal worker response line.
 fn run_one_job(wire: &str, config: &ServeConfig, resolver: &Resolver) -> String {
     let req: AnalysisRequest = match serde_json::from_str(wire) {
         Ok(r) => r,
@@ -308,7 +431,10 @@ fn run_one_job(wire: &str, config: &ServeConfig, resolver: &Resolver) -> String 
         // The one fault `supervise` cannot contain, on purpose: die the
         // way a segfaulting worker would, so the supervisor's restart
         // path gets exercised by something real.
-        eprintln!("worker: injected crash — aborting (pid {})", std::process::id());
+        eprintln!(
+            "worker: injected crash — aborting (pid {})",
+            std::process::id()
+        );
         std::process::abort();
     }
     let opts = match request_options(&req, config) {
@@ -320,12 +446,21 @@ fn run_one_job(wire: &str, config: &ServeConfig, resolver: &Resolver) -> String 
         Err(e) => return worker_error_line(&e),
     };
     let key = CacheKey::of(&resolved.source, &opts, req.scale.unwrap_or(1));
+    let gate = Arc::new(Mutex::new(true));
+    let work = if req.stream == Some(true) {
+        streamed_stdio_work(resolved.work, Arc::clone(&gate))
+    } else {
+        resolved.work
+    };
     let job = FleetJob {
         app: resolved.app,
         slug: resolved.slug,
-        work: resolved.work,
+        work,
     };
     let outcome = supervise(&job, 0, &config.policy);
+    // Close the gate before the terminal line: blocks until any
+    // in-flight frame write finishes, then stragglers no-op.
+    *gate.lock().unwrap_or_else(PoisonError::into_inner) = false;
     let ticks = outcome
         .report
         .as_ref()
@@ -362,7 +497,7 @@ mod tests {
             program: PathBuf::from("/nonexistent/jsceresd-worker-binary"),
             args: vec!["--worker".to_string()],
         });
-        let (outcome, restarts) = slot.run("{}");
+        let (outcome, restarts) = slot.run("{}", &mut |_| {});
         match outcome {
             SlotOutcome::Unavailable(e) => assert!(e.contains("cannot spawn"), "{e}"),
             other => panic!("expected Unavailable, got {other:?}"),
@@ -377,7 +512,7 @@ mod tests {
             program: PathBuf::from("/bin/false"),
             args: vec![],
         });
-        let (outcome, restarts) = slot.run("{\"op\":\"analyze\"}");
+        let (outcome, restarts) = slot.run("{\"op\":\"analyze\"}", &mut |_| {});
         match outcome {
             SlotOutcome::Crashed { attempts } => assert_eq!(attempts, JOB_TRIES),
             other => panic!("expected Crashed, got {other:?}"),
@@ -385,7 +520,7 @@ mod tests {
         assert_eq!(restarts, JOB_TRIES as u64);
         assert_eq!(slot.restarts(), JOB_TRIES as u64);
         // The slot recovers for the next job (fresh spawn attempt).
-        let (outcome2, _) = slot.run("{}");
+        let (outcome2, _) = slot.run("{}", &mut |_| {});
         assert!(matches!(outcome2, SlotOutcome::Crashed { .. }));
     }
 
@@ -399,7 +534,7 @@ mod tests {
             args: vec![],
         });
         let wire = r#"{"ok":true,"ticks":7,"fragment":"echoed"}"#;
-        let (outcome, restarts) = slot.run(wire);
+        let (outcome, restarts) = slot.run(wire, &mut |_| {});
         match outcome {
             SlotOutcome::Done(resp) => {
                 assert!(resp.ok);

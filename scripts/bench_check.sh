@@ -22,6 +22,15 @@
 #       allowed to differ: wall-clock timings (nondeterministic) and the
 #       VM-only `interp.compile` phase span.
 #
+#   bench_check.sh stats-schema
+#       Serving stats-schema gate: start jsceresd, fetch `{"op":"stats"}`,
+#       and fail if the flattened key set of the payload (or the
+#       `stats_schema` number itself) drifts from the committed golden
+#       (tests/golden/serve_stats_keys.txt). Adding or removing a stats
+#       field without bumping SERVE_STATS_SCHEMA — and regenerating the
+#       golden with CERES_REGEN_GOLDENS=1 — is exactly the drift this
+#       gate exists to catch.
+#
 #   bench_check.sh parallel-equivalence
 #       Fork-join equivalence gate: run `repro parallel-bench` over all 12
 #       apps and fail unless (a) every app either parallelized with
@@ -182,8 +191,87 @@ print("OK: fork-join equivalence + prediction gates hold")
 EOF
     ;;
 
+stats-schema)
+    GOLDEN=tests/golden/serve_stats_keys.txt
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+
+    cargo build --release --bin jsceresd
+    target/release/jsceresd --addr 127.0.0.1:0 --in-process --workers 1 \
+        > "$TMP/out" 2> "$TMP/err" &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q "^listening on " "$TMP/out" 2>/dev/null && break
+        kill -0 "$daemon_pid" 2>/dev/null || {
+            echo "FAIL: daemon died before binding" >&2
+            cat "$TMP/err" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$TMP/out" | head -1)
+    [ -n "$addr" ] || { echo "FAIL: no ready line" >&2; exit 1; }
+
+    python3 - "$addr" "$GOLDEN" <<'EOF'
+import json, os, socket, sys
+
+addr, golden = sys.argv[1], sys.argv[2]
+host, port = addr.rsplit(":", 1)
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+stats = rpc('{"op":"stats"}')
+assert rpc('{"op":"shutdown"}')["ok"]
+
+def flatten(obj, prefix=""):
+    """Dotted key paths; lists contribute their first element as `[]`."""
+    keys = set()
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            path = f"{prefix}.{k}" if prefix else k
+            keys.add(path)
+            keys |= flatten(v, path)
+    elif isinstance(obj, list) and obj:
+        keys |= flatten(obj[0], prefix + "[]")
+    return keys
+
+lines = [f"stats_schema={stats['stats_schema']}"] + sorted(flatten(stats))
+got = "\n".join(lines) + "\n"
+if os.environ.get("CERES_REGEN_GOLDENS"):
+    open(golden, "w").write(got)
+    print(f"regenerated {golden} ({len(lines) - 1} keys, "
+          f"stats_schema {stats['stats_schema']})")
+    sys.exit(0)
+want = open(golden).read()
+if got != want:
+    import difflib
+    diff = difflib.unified_diff(want.splitlines(), got.splitlines(),
+                                "golden", "live", lineterm="")
+    print("\n".join(diff), file=sys.stderr)
+    sys.exit("FAIL: the stats payload drifted from the committed golden. "
+             "If the change is intentional, bump SERVE_STATS_SCHEMA in "
+             "crates/core/src/serve.rs and regenerate with "
+             "CERES_REGEN_GOLDENS=1 scripts/bench_check.sh stats-schema")
+print(f"OK: stats_schema {stats['stats_schema']} with {len(lines) - 1} "
+      "payload keys, matching the committed golden")
+EOF
+    code=0
+    wait "$daemon_pid" || code=$?
+    daemon_pid=
+    [ "$code" -eq 0 ] || { echo "FAIL: daemon exited $code" >&2; exit 1; }
+    ;;
+
 *)
-    echo "usage: bench_check.sh [overhead|fleet|vm-equivalence|parallel-equivalence]" >&2
+    echo "usage: bench_check.sh [overhead|fleet|vm-equivalence|parallel-equivalence|stats-schema]" >&2
     exit 2
     ;;
 esac

@@ -4,10 +4,12 @@
 # (registry app, inline source, repeats, one fault-injected), assert the
 # content-addressed cache actually hit, crash one worker mid-run (both an
 # injected abort and a raw kill -9) and require the supervisor to restart
-# it with every non-killed job succeeding, then shut down cleanly and
-# restart to prove the persisted cache serves a warm hit with zero new
-# interpreter ticks. Run from anywhere; needs only python3 and the
-# release binaries. The operator-facing story is docs/OPERATIONS.md.
+# it with every non-killed job succeeding, drive the schema-2 streaming
+# protocol with concurrent clients (plus a kill -9 mid-stream drill that
+# must still end every stream in a terminal frame), then shut down
+# cleanly and restart to prove the persisted cache serves a warm hit with
+# zero new interpreter ticks. Run from anywhere; needs only python3 and
+# the release binaries. The operator-facing story is docs/OPERATIONS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,7 +90,7 @@ injected = results[3]
 assert injected["attempts"] == 2, f"fault not supervised: {injected}"
 
 stats = rpc('{"op":"stats"}')
-assert stats["stats_schema"] == 2, stats
+assert stats["stats_schema"] == 3, stats
 assert stats["backend"] == "process", stats
 c = stats["counters"]
 assert c["cache_hits"] > 0, f"no cache hits: {stats}"
@@ -195,6 +197,116 @@ print(f"OK phase 2b: kill -9 -> {c['worker_restarts']} total restart(s), "
 EOF
 fi
 
+# Phase 3 — the schema-2 streaming protocol: three concurrent streaming
+# clients must each see a clean frame sequence (accepted → phase frames →
+# partial → result) with no cross-client leakage, then a kill -9 of every
+# worker mid-stream must still end the victim's stream in a terminal
+# frame (the job retries on a fresh worker and succeeds).
+stream_victims=$(pgrep -P "$daemon_pid" | tr '\n' ' ')
+echo "streaming drill; current worker pids: $stream_victims"
+python3 - "$addr" $stream_victims <<'EOF'
+import json, os, signal, socket, sys, threading, time
+
+addr = sys.argv[1]
+victims = [int(p) for p in sys.argv[2:]]
+host, port = addr.rsplit(":", 1)
+
+def stream(line, on_frame=None):
+    """Send one streaming request; collect frames until the terminal."""
+    frames = []
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while True:
+            nl = buf.find(b"\n")
+            if nl < 0:
+                chunk = s.recv(65536)
+                if not chunk:
+                    return frames
+                buf += chunk
+                continue
+            frame = json.loads(buf[:nl])
+            buf = buf[nl + 1:]
+            frames.append(frame)
+            if on_frame:
+                on_frame(frame)
+            if frame["type"] in ("result", "error"):
+                return frames
+
+def rpc(line):
+    with socket.create_connection((host, int(port)), timeout=120) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+def check_stream(frames, job_id, want_ok=True):
+    assert frames, f"{job_id}: empty stream"
+    for i, f in enumerate(frames):
+        assert f["schema"] == 2, f
+        assert f["id"] == job_id, f"cross-client frame leakage: {f}"
+        assert f["seq"] == i + 1, f"gap in seq: {f}"
+    assert frames[0]["type"] == "accepted", frames[0]
+    assert all(f["type"] not in ("result", "error") for f in frames[:-1])
+    if want_ok:
+        assert frames[-1]["type"] == "result" and frames[-1]["ok"], frames[-1]
+
+# 3a — concurrent streaming clients over the shared worker pool.
+jobs = ['{"id":"s%d","stream":true,"source":"var v%d = 0; for (var i = 0; i < %d; i++) { v%d += i; }","mode":"dep"}'
+        % (i, i, 200000 + i, i) for i in range(3)]
+streams = [None] * len(jobs)
+threads = [threading.Thread(target=lambda i=i, l=l: streams.__setitem__(i, stream(l)))
+           for i, l in enumerate(jobs)]
+for t in threads: t.start()
+for t in threads: t.join()
+for i, frames in enumerate(streams):
+    check_stream(frames, f"s{i}")
+    phases = [f["phase"] for f in frames if f["type"] == "phase"]
+    assert phases[:2] == ["parse", "rewrite"], phases
+    assert "interp" in phases and "analyze" in phases, phases
+    assert any(f["type"] == "partial" for f in frames), frames
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["streams"] >= 3, stats
+assert c["frames_streamed"] >= 3 * 6, stats
+print(f"OK phase 3a: 3 concurrent streams, {c['frames_streamed']} frames streamed")
+
+# 3b — kill -9 every worker while a heavy streaming job is mid-interp.
+# The supervisor restarts the pool and retries the job on a fresh
+# worker: the client's stream must still end in a terminal frame, with
+# no failed jobs beyond the phase-2 injected crash.
+rewrite_seen = threading.Event()
+def on_frame(f):
+    if f["type"] == "phase" and f.get("phase") == "rewrite":
+        rewrite_seen.set()
+heavy = ('{"id":"victim","stream":true,"source":'
+         '"var w = 0; for (var i = 0; i < 12000000; i++) { w += i % 5; }","mode":"dep"}')
+out = [None]
+t = threading.Thread(target=lambda: out.__setitem__(0, stream(heavy, on_frame)))
+t.start()
+assert rewrite_seen.wait(timeout=60), "no rewrite frame before the drill"
+time.sleep(0.3)  # let the exec stage pick the job up
+for pid in victims:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+t.join(timeout=120)
+assert not t.is_alive(), "stream did not terminate after the worker kill"
+frames = out[0]
+check_stream(frames, "victim")
+stats = rpc('{"op":"stats"}')
+c = stats["counters"]
+assert c["worker_restarts"] >= 3, f"mid-stream kill not restarted: {stats}"
+assert c["jobs_failed"] == 1, f"the killed stream must retry, not fail: {stats}"
+print(f"OK phase 3b: kill -9 mid-stream -> terminal {frames[-1]['type']!r} "
+      f"after {len(frames)} frames, {c['worker_restarts']} total restarts")
+EOF
+
 python3 - "$addr" <<'EOF'
 import json, socket, sys
 addr = sys.argv[1]
@@ -232,7 +344,7 @@ grep -qE "drained:.* [1-9][0-9]* worker restarts" "$tmp/daemon.err" || {
 }
 sed -n 's/^drained/daemon: drained/p' "$tmp/daemon.err"
 
-# Phase 3 — warm start: a fresh daemon on the same --cache-dir must
+# Phase 4 — warm start: a fresh daemon on the same --cache-dir must
 # serve the phase-1 entry as a cache hit without a single interpreter
 # tick.
 echo "== warm start from persisted cache =="
@@ -262,7 +374,7 @@ stats = rpc('{"op":"stats"}')
 c = stats["counters"]
 assert c["interp_ticks"] == 0, f"warm-start hit must cost zero ticks: {stats}"
 assert stats["cache"]["loaded"] > 0, f"no entries loaded from disk: {stats}"
-print(f"OK phase 3: warm hit from {stats['cache']['loaded']} persisted "
+print(f"OK phase 4: warm hit from {stats['cache']['loaded']} persisted "
       f"entries, 0 new interpreter ticks")
 
 bye = rpc('{"op":"shutdown"}')

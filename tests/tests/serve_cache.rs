@@ -10,6 +10,7 @@
 //! so in the commit).
 
 use ceres_core::fleet::{FleetOutcome, API_SCHEMA_VERSION};
+use ceres_core::serve::ONESHOT_SCHEMA_VERSION;
 use ceres_core::{serve, AnalyzeOptions, CacheKey, Mode, ServeConfig, ServerHandle};
 use ceres_workloads::{registry_resolver, workload_html};
 use std::collections::HashSet;
@@ -63,8 +64,8 @@ fn serve_envelope_is_byte_identical_to_golden() {
         return;
     }
     assert!(
-        got.starts_with(&format!("{{\"schema\":{API_SCHEMA_VERSION},")),
-        "envelope must lead with the schema version: {got}"
+        got.starts_with(&format!("{{\"schema\":{ONESHOT_SCHEMA_VERSION},")),
+        "one-shot envelope must lead with the legacy schema version: {got}"
     );
     assert_eq!(
         got,
@@ -226,8 +227,7 @@ fn distinct_requests_spread_across_cache_shards() {
     let shards = cache
         .get("per_shard")
         .and_then(|x| x.as_array())
-        .expect("per_shard array")
-        .clone();
+        .expect("per_shard array");
     assert_eq!(shards.len(), 4);
     let len_sum: u64 = shards.iter().map(|s| field(s, "len")).sum();
     assert_eq!(len_sum, 12, "shard lens must sum to the total: {stats}");
@@ -261,7 +261,10 @@ fn persisted_cache_survives_restart_byte_identically_with_zero_ticks() {
     // Second life: the entry must come back from disk — cached, byte-
     // identical, and without a single new interpreter tick.
     let server2 = start(config);
-    let warm = roundtrip(server2.local_addr(), r#"{"id":"p2","app":"haar","mode":"light"}"#);
+    let warm = roundtrip(
+        server2.local_addr(),
+        r#"{"id":"p2","app":"haar","mode":"light"}"#,
+    );
     assert!(warm.contains("\"cached\":true"), "{warm}");
     assert_eq!(
         payload_tail(&cold),

@@ -1,0 +1,497 @@
+//! Integration tests for the schema-2 streaming wire protocol and the
+//! cross-job phase pipeline behind it: the golden-pinned frame sequence
+//! for a deterministic job, a many-client soak (frame ordering, no
+//! cross-client leakage), proof that a cheap job's stream overlaps an
+//! expensive job's interp on the same worker pool, the spill-time
+//! `notice` frame, and a mid-stream worker crash ending in a terminal
+//! `error`.
+//!
+//! Regenerate the stream golden with
+//! `CERES_REGEN_GOLDENS=1 cargo test -p ceres-integration-tests --test serve_stream`
+//! only when an intentional protocol or analysis change lands (and say
+//! so in the commit).
+
+use ceres_core::supervisor::WorkerSpec;
+use ceres_core::{serve, ServeConfig, ServerHandle};
+use ceres_workloads::registry_resolver;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const STREAM_GOLDEN: &str = include_str!("../golden/serve_stream.json");
+
+fn start(config: ServeConfig) -> ServerHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let policy = config.policy.clone();
+    serve(listener, config, registry_resolver(policy))
+}
+
+/// The production worker loop, as a spawnable test binary (see
+/// `tests/bin/serve_worker_harness.rs`).
+fn harness_spec() -> WorkerSpec {
+    WorkerSpec {
+        program: PathBuf::from(env!("CARGO_BIN_EXE_serve-worker-harness")),
+        args: Vec::new(),
+    }
+}
+
+/// One received frame: raw line, parsed JSON, and arrival time (for
+/// cross-client interleaving assertions).
+struct FrameRec {
+    line: String,
+    v: serde_json::Value,
+    at: Instant,
+}
+
+impl FrameRec {
+    fn ty(&self) -> &str {
+        self.v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .expect("frame has a type")
+    }
+    fn field(&self, name: &str) -> Option<&serde_json::Value> {
+        self.v.get(name)
+    }
+    fn is_terminal(&self) -> bool {
+        matches!(self.ty(), "result" | "error")
+    }
+}
+
+/// Send one streaming request and collect frames until the terminal.
+fn stream_job(addr: SocketAddr, line: &str) -> Vec<FrameRec> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut frames = Vec::new();
+    loop {
+        let mut l = String::new();
+        let n = reader.read_line(&mut l).expect("read frame line");
+        assert!(n > 0, "connection closed before a terminal frame");
+        let trimmed = l.trim_end().to_string();
+        let v: serde_json::Value = serde_json::from_str(&trimmed).expect("frame is JSON");
+        frames.push(FrameRec {
+            line: trimmed,
+            v,
+            at: Instant::now(),
+        });
+        if frames.last().expect("just pushed").is_terminal() {
+            return frames;
+        }
+    }
+}
+
+/// The per-client protocol contract: every frame stamped schema 2 and
+/// this client's id (no cross-client leakage), `seq` gapless from 1,
+/// exactly one terminal frame and it is last, and phases in pipeline
+/// order.
+fn assert_stream_hygiene(frames: &[FrameRec], id: &str) {
+    assert!(!frames.is_empty(), "{id}: empty stream");
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(
+            f.field("schema").and_then(|x| x.as_u64()),
+            Some(2),
+            "{id}: {}",
+            f.line
+        );
+        assert_eq!(
+            f.field("id").and_then(|x| x.as_str()),
+            Some(id),
+            "cross-client frame leakage: {}",
+            f.line
+        );
+        assert_eq!(
+            f.field("seq").and_then(|x| x.as_u64()),
+            Some(i as u64 + 1),
+            "{id}: seq must be gapless and monotonic: {}",
+            f.line
+        );
+    }
+    let (last, init) = frames.split_last().expect("non-empty");
+    assert!(last.is_terminal(), "{id}: last frame must be terminal");
+    for f in init {
+        assert!(
+            !f.is_terminal(),
+            "{id}: frame after the terminal: {}",
+            f.line
+        );
+    }
+    // Phases must appear in pipeline order (duplicates allowed only
+    // across supervised retries, which these jobs do not take).
+    let order = ["parse", "rewrite", "interp", "analyze", "report"];
+    let mut last_idx = 0usize;
+    for f in init.iter().filter(|f| f.ty() == "phase") {
+        let name = f
+            .field("phase")
+            .and_then(|x| x.as_str())
+            .expect("phase name");
+        let idx = order
+            .iter()
+            .position(|p| p == &name)
+            .unwrap_or_else(|| panic!("{id}: unknown phase `{name}`"));
+        assert!(
+            idx >= last_idx,
+            "{id}: phase `{name}` out of pipeline order"
+        );
+        last_idx = idx;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden frame sequence
+
+/// The exact schema-2 frame sequence for a fixed inline-source request,
+/// pinned byte-for-byte — the streaming counterpart of the schema-1
+/// `serve_envelope.json` golden (same program, same options). Frames
+/// carry only virtual-clock data, so the whole stream is deterministic.
+#[test]
+fn serve_stream_golden_is_byte_identical() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let req = r#"{"id":"golden-stream","stream":true,"source":"var t = 0; for (var i = 0; i < 6; i++) { t += i; }","mode":"dep","seed":2015}"#;
+    let frames = stream_job(addr, req);
+    server.shutdown();
+
+    assert_stream_hygiene(&frames, "golden-stream");
+    let got = frames
+        .iter()
+        .map(|f| f.line.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if std::env::var("CERES_REGEN_GOLDENS").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/serve_stream.json");
+        std::fs::write(path, format!("{got}\n")).expect("regen golden");
+        return;
+    }
+    let types: Vec<&str> = frames.iter().map(|f| f.ty()).collect();
+    assert_eq!(
+        types,
+        ["accepted", "phase", "phase", "phase", "partial", "phase", "result"],
+        "frame shape drifted"
+    );
+    assert_eq!(
+        got,
+        STREAM_GOLDEN.trim_end(),
+        "frame stream drifted from tests/golden/serve_stream.json"
+    );
+}
+
+/// The streaming terminal `result` carries the same payload fragment as
+/// the one-shot envelope for the same request — only the envelope
+/// around it differs between schemas.
+#[test]
+fn stream_result_fragment_matches_oneshot_envelope() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let src = "var q = 0; for (var i = 0; i < 9; i++) { q += i * 2; }";
+    let streamed = stream_job(
+        addr,
+        &format!(r#"{{"id":"s","stream":true,"source":"{src}","mode":"dep"}}"#),
+    );
+    // Different seed axis not used: same request one-shot ⇒ warm hit,
+    // which is exactly what we want — the cached fragment IS the cold
+    // streamed fragment if and only if both paths share bytes.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{{\"id\":\"o\",\"source\":\"{src}\",\"mode\":\"dep\"}}\n").as_bytes())
+        .expect("send");
+    let mut oneshot = String::new();
+    BufReader::new(stream)
+        .read_line(&mut oneshot)
+        .expect("response");
+    server.shutdown();
+
+    let tail = |s: &str| s[s.find("\"key\":").expect("key field")..].to_string();
+    let terminal = &streamed.last().expect("terminal").line;
+    assert_eq!(
+        tail(terminal),
+        tail(oneshot.trim_end()),
+        "stream result and one-shot envelope must share payload bytes"
+    );
+    assert!(oneshot.contains("\"cached\":true"), "{oneshot}");
+}
+
+// ---------------------------------------------------------------------
+// Cross-job pipelining
+
+/// With a single interp slot, a cheap job submitted behind an expensive
+/// one still gets its parse/rewrite frames *while the expensive job is
+/// mid-interp*: the parse stage runs on its own pool. The cheap result
+/// itself queues behind the expensive one (FIFO exec) — the overlap is
+/// in the stages, not a reorder.
+#[test]
+fn parse_stage_overlaps_interp_on_a_single_slot() {
+    let server = start(ServeConfig {
+        workers: 1,
+        parse_workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let expensive = std::thread::spawn(move || {
+        stream_job(
+            addr,
+            r#"{"id":"heavy","stream":true,"source":"var h = 0; for (var i = 0; i < 3000000; i++) { h += i % 7; }","mode":"dep"}"#,
+        )
+    });
+    // Let the expensive job claim the interp slot.
+    std::thread::sleep(Duration::from_millis(300));
+    let cheap = std::thread::spawn(move || {
+        stream_job(
+            addr,
+            r#"{"id":"light","stream":true,"source":"var l = 1 + 1;","mode":"dep"}"#,
+        )
+    });
+
+    let heavy = expensive.join().expect("heavy client");
+    let light = cheap.join().expect("light client");
+    server.shutdown();
+    assert_stream_hygiene(&heavy, "heavy");
+    assert_stream_hygiene(&light, "light");
+    assert_eq!(heavy.last().expect("terminal").ty(), "result");
+    assert_eq!(light.last().expect("terminal").ty(), "result");
+
+    let heavy_result_at = heavy.last().expect("terminal").at;
+    let light_rewrite_at = light
+        .iter()
+        .find(|f| f.ty() == "phase" && f.field("phase").and_then(|x| x.as_str()) == Some("rewrite"))
+        .expect("light job streams a rewrite frame")
+        .at;
+    assert!(
+        light_rewrite_at < heavy_result_at,
+        "the cheap job's parse stage must complete while the expensive \
+         job still holds the only interp slot"
+    );
+    assert!(
+        light.last().expect("terminal").at > heavy_result_at,
+        "one interp slot ⇒ FIFO results"
+    );
+}
+
+/// With two interp slots, a cheap job submitted while an expensive job
+/// is mid-interp finishes first — jobs pipeline across the pool instead
+/// of head-of-line blocking (the acceptance drill: a cheap `result`
+/// lands while the expensive job is still running).
+#[test]
+fn cheap_result_lands_before_a_running_expensive_job() {
+    let server = start(ServeConfig {
+        workers: 2,
+        parse_workers: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let expensive = std::thread::spawn(move || {
+        stream_job(
+            addr,
+            r#"{"id":"heavy","stream":true,"source":"var h = 0; for (var i = 0; i < 3000000; i++) { h += i % 7; }","mode":"dep"}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let cheap = std::thread::spawn(move || {
+        stream_job(
+            addr,
+            r#"{"id":"light","stream":true,"source":"var l = 2 + 3;","mode":"dep"}"#,
+        )
+    });
+
+    let heavy = expensive.join().expect("heavy client");
+    let light = cheap.join().expect("light client");
+    server.shutdown();
+    assert_stream_hygiene(&heavy, "heavy");
+    assert_stream_hygiene(&light, "light");
+    assert!(
+        light.last().expect("terminal").at < heavy.last().expect("terminal").at,
+        "cheap job must finish while the expensive job is still mid-interp"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Many-client soak
+
+/// N concurrent streaming clients with mixed cheap/expensive jobs:
+/// every client sees only its own id, gapless `seq`, ordered phases,
+/// and a successful terminal — under real cross-job interleaving.
+#[test]
+fn streaming_soak_keeps_every_client_stream_clean() {
+    let server = start(ServeConfig {
+        workers: 2,
+        parse_workers: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let n = 8usize;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            // Alternate cheap parses and heavier interps; distinct
+            // sources so the cache never short-circuits the pipeline.
+            let iters = if i % 2 == 0 { 5 + i } else { 4000 + i };
+            let req = format!(
+                r#"{{"id":"soak-{i}","stream":true,"source":"var s{i} = 0; for (var i = 0; i < {iters}; i++) {{ s{i} += i; }}","mode":"dep"}}"#,
+            );
+            std::thread::spawn(move || stream_job(addr, &req))
+        })
+        .collect();
+    let streams: Vec<Vec<FrameRec>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let counters = {
+        let c = server.counters();
+        server.shutdown();
+        c
+    };
+
+    for (i, frames) in streams.iter().enumerate() {
+        let id = format!("soak-{i}");
+        assert_stream_hygiene(frames, &id);
+        let terminal = frames.last().expect("terminal");
+        assert_eq!(terminal.ty(), "result", "{id}: {}", terminal.line);
+        assert_eq!(
+            terminal.field("ok").and_then(|x| x.as_bool()),
+            Some(true),
+            "{id}"
+        );
+        assert_eq!(frames.first().expect("first").ty(), "accepted", "{id}");
+        assert!(
+            frames.iter().any(|f| f.ty() == "partial"),
+            "{id}: missing early partial frame"
+        );
+    }
+    assert_eq!(counters.streams, n as u64);
+    assert!(
+        counters.frames_streamed >= (n * 5) as u64,
+        "each stream carries accepted+parse+rewrite+interp+partial+analyze \
+         before its terminal: {counters:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Spill-time notice
+
+/// When admission overflows to disk, a *streaming* client is told right
+/// away via a `notice` frame (the drain path is no longer the only
+/// reporter) — and the spilled job still replays through the staged
+/// pipeline to a successful terminal.
+#[test]
+fn spilled_streaming_jobs_get_an_immediate_notice_and_still_finish() {
+    let server = start(ServeConfig {
+        workers: 1,
+        parse_workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let n = 8usize;
+    // One expensive job first to pin the single interp slot for seconds…
+    let heavy = std::thread::spawn(move || {
+        stream_job(
+            addr,
+            r#"{"id":"burst-0","stream":true,"source":"var b0 = 0; for (var i = 0; i < 2000000; i++) { b0 += i; }","mode":"dep"}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(400));
+    // …then a simultaneous burst of cheap jobs. While the slot is held,
+    // only three can be absorbed (one in the exec queue, one held by the
+    // blocked parse worker, one in the ring) — the rest must spill.
+    let handles: Vec<_> = (1..n)
+        .map(|i| {
+            let req = format!(
+                r#"{{"id":"burst-{i}","stream":true,"source":"var b{i} = 0; for (var i = 0; i < {}; i++) {{ b{i} += i; }}","mode":"dep"}}"#,
+                300 + i
+            );
+            std::thread::spawn(move || stream_job(addr, &req))
+        })
+        .collect();
+    let mut handles = handles;
+    handles.insert(0, heavy);
+    let streams: Vec<Vec<FrameRec>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let counters = {
+        let c = server.counters();
+        server.shutdown();
+        c
+    };
+
+    let mut noticed = 0u64;
+    for (i, frames) in streams.iter().enumerate() {
+        let id = format!("burst-{i}");
+        assert_stream_hygiene(frames, &id);
+        let terminal = frames.last().expect("terminal");
+        assert_eq!(
+            terminal.field("ok").and_then(|x| x.as_bool()),
+            Some(true),
+            "{id}: spilled jobs must still complete: {}",
+            terminal.line
+        );
+        if frames.iter().any(|f| f.ty() == "notice") {
+            noticed += 1;
+        }
+    }
+    assert!(
+        counters.jobs_spilled > 0,
+        "a burst of {n} into a 1-slot ring must spill: {counters:?}"
+    );
+    assert!(noticed > 0, "spilled streaming clients must see a notice");
+    assert_eq!(
+        counters.spill_notices, noticed,
+        "one spill notice per spilled streaming client: {counters:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mid-stream worker crash
+
+/// Process backend: a worker that dies mid-stream leaves the client
+/// with its early `phase` frames and a clean terminal `error` — never a
+/// hung or desynced stream.
+#[test]
+fn worker_crash_mid_stream_ends_in_a_terminal_error() {
+    let mut config = ServeConfig {
+        workers: 1,
+        parse_workers: 1,
+        worker_spec: Some(harness_spec()),
+        ..ServeConfig::default()
+    };
+    config.policy.backoff = Duration::from_millis(1);
+    let server = start(config);
+    let addr = server.local_addr();
+
+    let frames = stream_job(
+        addr,
+        r#"{"id":"doomed","stream":true,"source":"var d = 0; for (var i = 0; i < 50; i++) { d += i; }","mode":"dep","inject":"crash"}"#,
+    );
+    let counters = {
+        let c = server.counters();
+        server.shutdown();
+        c
+    };
+
+    assert_stream_hygiene(&frames, "doomed");
+    let phases_before_error = frames
+        .iter()
+        .take(frames.len() - 1)
+        .filter(|f| f.ty() == "phase")
+        .count();
+    assert!(
+        phases_before_error >= 2,
+        "client must have its parse-stage frames before the crash: {:?}",
+        frames.iter().map(|f| f.line.as_str()).collect::<Vec<_>>()
+    );
+    let terminal = frames.last().expect("terminal");
+    assert_eq!(terminal.ty(), "error", "{}", terminal.line);
+    assert!(
+        terminal.line.contains("worker-crashed"),
+        "{}",
+        terminal.line
+    );
+    assert!(
+        counters.worker_restarts > 0,
+        "the crashed worker must have been restarted: {counters:?}"
+    );
+}

@@ -72,7 +72,10 @@ fn worker_crash_during_job_fails_cleanly_and_daemon_keeps_serving() {
     let addr = server.local_addr();
 
     // A clean job before the crash, for the byte-identity comparison.
-    let before = roundtrip(addr, r#"{"id":"b","source":"var k = 0; for (var i = 0; i < 9; i++) { k += i; }","mode":"dependence"}"#);
+    let before = roundtrip(
+        addr,
+        r#"{"id":"b","source":"var k = 0; for (var i = 0; i < 9; i++) { k += i; }","mode":"dependence"}"#,
+    );
     assert!(before.contains("\"ok\":true"), "{before}");
 
     // Kill a worker mid-job.
@@ -87,11 +90,20 @@ fn worker_crash_during_job_fails_cleanly_and_daemon_keeps_serving() {
     // exact bytes the pre-crash worker produced (cached — but also
     // re-runnable: a different source gives a cold run on the respawned
     // worker).
-    let warm = roundtrip(addr, r#"{"id":"b2","source":"var k = 0; for (var i = 0; i < 9; i++) { k += i; }","mode":"dependence"}"#);
+    let warm = roundtrip(
+        addr,
+        r#"{"id":"b2","source":"var k = 0; for (var i = 0; i < 9; i++) { k += i; }","mode":"dependence"}"#,
+    );
     assert!(warm.contains("\"cached\":true"), "{warm}");
     assert_eq!(payload_tail(&before), payload_tail(&warm));
-    let cold2 = roundtrip(addr, r#"{"id":"c","source":"var z = 0; for (var i = 0; i < 7; i++) { z += i * i; }","mode":"dependence"}"#);
-    assert!(cold2.contains("\"ok\":true"), "respawned worker must run new jobs: {cold2}");
+    let cold2 = roundtrip(
+        addr,
+        r#"{"id":"c","source":"var z = 0; for (var i = 0; i < 7; i++) { z += i * i; }","mode":"dependence"}"#,
+    );
+    assert!(
+        cold2.contains("\"ok\":true"),
+        "respawned worker must run new jobs: {cold2}"
+    );
 
     let counters = server.counters();
     assert!(
@@ -123,7 +135,10 @@ fn crash_on_one_worker_does_not_disturb_jobs_on_others() {
         handles.push(std::thread::spawn(move || roundtrip(addr, &req)));
     }
     let crash = std::thread::spawn(move || {
-        roundtrip(addr, r#"{"id":"boom","source":"var c = 1;","inject":"crash"}"#)
+        roundtrip(
+            addr,
+            r#"{"id":"boom","source":"var c = 1;","inject":"crash"}"#,
+        )
     });
 
     for h in handles {
@@ -175,8 +190,15 @@ fn overflow_spills_fifo_and_replies_route_to_the_right_clients() {
         // Distinct sources ⇒ distinct cache keys; a crossed reply would
         // collapse two ids onto one fingerprint.
         let tail = payload_tail(&r);
-        let fp = tail["\"key\":\"".len()..].split('"').next().unwrap().to_string();
-        assert!(fingerprints.insert(fp), "two clients saw the same payload: {r}");
+        let fp = tail["\"key\":\"".len()..]
+            .split('"')
+            .next()
+            .unwrap()
+            .to_string();
+        assert!(
+            fingerprints.insert(fp),
+            "two clients saw the same payload: {r}"
+        );
     }
     let counters = server.counters();
     assert!(
